@@ -1,0 +1,87 @@
+//! Criterion microbench: node-feature cost — segmented vs unsegmented
+//! similarity, and the PMI² probe cost (the paper: PMI² makes queries ~6×
+//! slower, 40 s vs 6.7 s).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wwt_core::features::{cover, pmi2, seg_sim, QueryView};
+use wwt_core::{MapperConfig, SimilarityMode, TableView};
+use wwt_index::IndexBuilder;
+use wwt_model::{ContextSnippet, Query, TableId, WebTable};
+
+fn big_table(id: u32, n_rows: usize) -> WebTable {
+    WebTable::new(
+        TableId(id),
+        "u",
+        Some("List of north american mountains".into()),
+        vec![
+            vec!["Mountain name".into(), "Height".into(), "Range".into()],
+            vec!["".into(), "meters".into(), "".into()],
+        ],
+        (0..n_rows)
+            .map(|r| {
+                vec![
+                    format!("Peak {r} north"),
+                    format!("{}", 1000 + r * 13),
+                    format!("Range {}", r % 7),
+                ]
+            })
+            .collect(),
+        vec![ContextSnippet::new(
+            "mountains of north america sorted by height",
+            0.9,
+        )],
+    )
+    .unwrap()
+}
+
+fn bench_features(c: &mut Criterion) {
+    let mut builder = IndexBuilder::new();
+    let tables: Vec<WebTable> = (0..50).map(|i| big_table(i, 30)).collect();
+    for t in &tables {
+        builder.add_table(t);
+    }
+    let index = builder.build();
+    let stats = index.stats();
+    let cfg_seg = MapperConfig::default();
+    let cfg_unseg = MapperConfig {
+        similarity: SimilarityMode::Unsegmented,
+        ..MapperConfig::default()
+    };
+    let query = Query::parse("north american mountains | height").unwrap();
+    let qv = QueryView::new(&query, stats);
+    let view = TableView::new(&tables[0], stats, cfg_seg.body_freq_frac);
+
+    let mut group = c.benchmark_group("features");
+    group.bench_function("segsim_segmented", |b| {
+        b.iter(|| {
+            (0..3)
+                .map(|col| seg_sim(&qv.columns[0], &view, col, &cfg_seg))
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("segsim_unsegmented", |b| {
+        b.iter(|| {
+            (0..3)
+                .map(|col| seg_sim(&qv.columns[0], &view, col, &cfg_unseg))
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("cover", |b| {
+        b.iter(|| {
+            (0..3)
+                .map(|col| cover(&qv.columns[0], &view, col, &cfg_seg))
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("pmi2", |b| {
+        b.iter(|| {
+            (0..3)
+                .map(|col| pmi2(&qv.columns[0], &view, col, &index))
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_features);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Diagnostic: per-query error decomposition for WWT — how much error
+//! comes from relevant tables marked `nr` (recall), irrelevant tables
+//! marked relevant (precision), and column mix-ups within correctly
+//! relevance-judged tables. Not a paper experiment; a tuning aid.
+
+use wwt_bench::setup;
+use wwt_core::InferenceAlgorithm;
+use wwt_engine::{evaluate_query, Method};
+
+fn main() {
+    let exp = setup();
+    let mut rows = Vec::new();
+    for spec in &exp.specs {
+        let eval = evaluate_query(
+            &exp.bound,
+            spec,
+            Method::Wwt(InferenceAlgorithm::TableCentric),
+        );
+        if eval.candidates == 0 {
+            continue;
+        }
+        let mut rel_as_nr = 0usize;
+        let mut nr_as_rel = 0usize;
+        let mut col_mix = 0usize;
+        let mut rel_total = 0usize;
+        for (lab, &id) in eval.labelings.iter().zip(&eval.candidate_ids) {
+            let t = exp.bound.wwt.store().get(id).unwrap();
+            let truth = exp.bound.truth_for(spec.index, id, t.n_cols());
+            let truth_rel = truth.iter().any(|l| l.is_query_col());
+            if truth_rel {
+                rel_total += 1;
+            }
+            match (lab.is_relevant(), truth_rel) {
+                (false, true) => rel_as_nr += 1,
+                (true, false) => nr_as_rel += 1,
+                (true, true) => {
+                    if lab
+                        .labels
+                        .iter()
+                        .zip(&truth)
+                        .any(|(p, t)| t.is_query_col() && p != t)
+                    {
+                        col_mix += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        rows.push((
+            eval.f1_error,
+            format!(
+                "{:52} err {:5.1}  cand {:3} rel {:3}  rel->nr {:3}  nr->rel {:3}  mixcol {:3}",
+                spec.query.to_string().chars().take(52).collect::<String>(),
+                eval.f1_error,
+                eval.candidates,
+                rel_total,
+                rel_as_nr,
+                nr_as_rel,
+                col_mix
+            ),
+        ));
+    }
+    rows.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    for (_, line) in &rows {
+        println!("{line}");
+    }
+}

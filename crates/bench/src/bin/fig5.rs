@@ -1,0 +1,60 @@
+//! Reproduces **Figure 5**: error reduction relative to Basic for PMI2,
+//! NbrText and WWT over seven hard-query groups (binned by Basic's error),
+//! plus the side table of Basic's per-group error and the overall errors
+//! reported in §5.1.
+
+use wwt_bench::{bin_by_basic_error, eval_methods, group_error, print_text_table, setup,
+    split_easy_hard};
+use wwt_core::InferenceAlgorithm;
+use wwt_engine::Method;
+
+fn main() {
+    let exp = setup();
+    let methods = [
+        Method::Basic,
+        Method::NbrText,
+        Method::Pmi2,
+        Method::Wwt(InferenceAlgorithm::TableCentric),
+    ];
+    let per = eval_methods(&exp, &methods);
+    let (easy, hard) = split_easy_hard(&per, exp.specs.len());
+    let basic = &per["Basic"];
+    let groups = bin_by_basic_error(&hard, basic, 7);
+
+    println!(
+        "\nFigure 5: error reduction over Basic ({} easy / {} hard queries)\n",
+        easy.len(),
+        hard.len()
+    );
+    let mut rows = Vec::new();
+    for (g, queries) in groups.iter().enumerate() {
+        let b = group_error(basic, queries);
+        let red = |name: &str| -> String {
+            let e = group_error(&per[name], queries);
+            format!("{:+.1}%", b - e)
+        };
+        rows.push(vec![
+            format!("{}", g + 1),
+            format!("{}", queries.len()),
+            format!("{b:.1}%"),
+            red("PMI2"),
+            red("NbrText"),
+            red("WWT"),
+        ]);
+    }
+    print_text_table(
+        &["Grp", "#Q", "Basic err", "PMI2 red.", "NbrText red.", "WWT red."],
+        &rows,
+    );
+
+    println!("\nOverall error on hard queries (paper: Basic 34.7, PMI2 34.7, NbrText 34.2, WWT 30.3):");
+    for name in ["Basic", "PMI2", "NbrText", "WWT"] {
+        println!("  {:8} {:.1}%", name, group_error(&per[name], &hard));
+    }
+    let all: Vec<usize> = easy.iter().chain(hard.iter()).copied().collect();
+    println!("\nOverall error on all answered queries:");
+    for name in ["Basic", "PMI2", "NbrText", "WWT"] {
+        println!("  {:8} {:.1}%", name, group_error(&per[name], &all));
+    }
+    println!("\npaper shape: WWT reduces error in every group; NbrText mixed; PMI2 ~neutral.");
+}

@@ -1,0 +1,233 @@
+//! # wwt-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper's
+//! evaluation (§5), plus criterion microbenches.
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1` | Table 1 — per-query candidate/relevant counts |
+//! | `fig5` | Figure 5 — error reduction vs Basic by query group |
+//! | `fig6` | Figure 6 — answer-row quality, WWT vs Basic |
+//! | `fig7` | Figure 7 — per-query running-time breakdown |
+//! | `fig8` | Figure 8 — segmented vs unsegmented similarity scatter |
+//! | `table2` | Table 2 — collective inference comparison |
+//! | `probe_stats` | §2.2.1 — two-stage probe statistics |
+//!
+//! All binaries accept the `WWT_SCALE` environment variable (default 0.35)
+//! scaling the synthetic corpus relative to the paper's Table 1 counts,
+//! and `WWT_THREADS` (default: available parallelism).
+
+use std::collections::HashMap;
+use wwt_corpus::{workload, CorpusConfig, CorpusGenerator, QuerySpec};
+use wwt_engine::{bind_corpus, evaluate_workload, BoundCorpus, Method, QueryEvaluation, WwtConfig};
+
+/// A fully prepared experiment environment.
+pub struct Experiment {
+    /// Engine + ground truth over the generated corpus.
+    pub bound: BoundCorpus,
+    /// The 59-query workload.
+    pub specs: Vec<QuerySpec>,
+    /// Worker threads for evaluation.
+    pub threads: usize,
+    /// Corpus scale used.
+    pub scale: f64,
+}
+
+/// Reads `WWT_SCALE` / `WWT_THREADS`, generates the corpus, builds the
+/// engine and binds ground truth.
+pub fn setup() -> Experiment {
+    let scale: f64 = std::env::var("WWT_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.35);
+    let threads: usize = std::env::var("WWT_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        });
+    let specs = workload();
+    let config = CorpusConfig {
+        scale,
+        ..CorpusConfig::default()
+    };
+    eprintln!(
+        "[setup] generating corpus (scale {scale}, {} queries) ...",
+        specs.len()
+    );
+    let corpus = CorpusGenerator::new(config).generate_for(&specs);
+    eprintln!(
+        "[setup] extracting + indexing {} documents ...",
+        corpus.documents.len()
+    );
+    let bound = bind_corpus(&corpus, WwtConfig::default());
+    eprintln!(
+        "[setup] ready: {} tables in store, {} labeled, {} extraction failures",
+        bound.wwt.store().len(),
+        bound.n_labeled(),
+        bound.extraction_failures
+    );
+    Experiment {
+        bound,
+        specs,
+        threads,
+        scale,
+    }
+}
+
+/// Evaluates several methods over the whole workload; returns
+/// `results[method_name]` in workload order.
+pub fn eval_methods(
+    exp: &Experiment,
+    methods: &[Method],
+) -> HashMap<&'static str, Vec<QueryEvaluation>> {
+    let mut out = HashMap::new();
+    for &m in methods {
+        eprintln!("[eval] {} ...", m.name());
+        let evals = evaluate_workload(&exp.bound, &exp.specs, m, exp.threads);
+        out.insert(m.name(), evals);
+    }
+    out
+}
+
+/// Splits queries into "easy" (all methods within 0.5 points of each
+/// other, the paper's criterion) and "hard" (the rest); queries with no
+/// candidates at all are dropped.
+pub fn split_easy_hard(
+    per_method: &HashMap<&'static str, Vec<QueryEvaluation>>,
+    n_queries: usize,
+) -> (Vec<usize>, Vec<usize>) {
+    let mut easy = Vec::new();
+    let mut hard = Vec::new();
+    for qi in 0..n_queries {
+        let errors: Vec<f64> = per_method.values().map(|v| v[qi].f1_error).collect();
+        let candidates = per_method
+            .values()
+            .next()
+            .map(|v| v[qi].candidates)
+            .unwrap_or(0);
+        if candidates == 0 {
+            continue;
+        }
+        let mx = errors.iter().cloned().fold(f64::MIN, f64::max);
+        let mn = errors.iter().cloned().fold(f64::MAX, f64::min);
+        if mx - mn < 0.5 {
+            easy.push(qi);
+        } else {
+            hard.push(qi);
+        }
+    }
+    (easy, hard)
+}
+
+/// Bins hard queries into `n_groups` groups by the Basic method's error,
+/// descending (group 1 = highest Basic error), as in Figure 5 / Table 2.
+pub fn bin_by_basic_error(
+    hard: &[usize],
+    basic: &[QueryEvaluation],
+    n_groups: usize,
+) -> Vec<Vec<usize>> {
+    let mut sorted: Vec<usize> = hard.to_vec();
+    sorted.sort_by(|&a, &b| {
+        basic[b]
+            .f1_error
+            .partial_cmp(&basic[a].f1_error)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let n = sorted.len();
+    let mut groups = vec![Vec::new(); n_groups];
+    for (i, qi) in sorted.into_iter().enumerate() {
+        let g = (i * n_groups) / n.max(1);
+        groups[g.min(n_groups - 1)].push(qi);
+    }
+    groups
+}
+
+/// Mean F1 error of a method over a set of queries (macro-average over
+/// queries, like the paper's per-group numbers).
+pub fn group_error(evals: &[QueryEvaluation], queries: &[usize]) -> f64 {
+    if queries.is_empty() {
+        return 0.0;
+    }
+    queries.iter().map(|&q| evals[q].f1_error).sum::<f64>() / queries.len() as f64
+}
+
+/// Renders a simple aligned text table to stdout.
+pub fn print_text_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, c) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!(
+                "{:width$}  ",
+                c,
+                width = widths[i.min(widths.len() - 1)]
+            ));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_eval(qi: usize, err: f64, candidates: usize) -> QueryEvaluation {
+        QueryEvaluation {
+            query_index: qi,
+            method: Method::Basic,
+            f1_error: err,
+            candidates,
+            relevant_candidates: 0,
+            labelings: vec![],
+            candidate_ids: vec![],
+        }
+    }
+
+    #[test]
+    fn easy_hard_split_criterion() {
+        let mut per: HashMap<&'static str, Vec<QueryEvaluation>> = HashMap::new();
+        per.insert(
+            "A",
+            vec![fake_eval(0, 10.0, 5), fake_eval(1, 50.0, 5), fake_eval(2, 0.0, 0)],
+        );
+        per.insert(
+            "B",
+            vec![fake_eval(0, 10.2, 5), fake_eval(1, 30.0, 5), fake_eval(2, 0.0, 0)],
+        );
+        let (easy, hard) = split_easy_hard(&per, 3);
+        assert_eq!(easy, vec![0]);
+        assert_eq!(hard, vec![1]);
+    }
+
+    #[test]
+    fn binning_descending_by_basic() {
+        let basic: Vec<QueryEvaluation> =
+            (0..8).map(|i| fake_eval(i, (i as f64) * 10.0, 5)).collect();
+        let hard: Vec<usize> = (0..8).collect();
+        let groups = bin_by_basic_error(&hard, &basic, 4);
+        assert_eq!(groups.len(), 4);
+        assert_eq!(groups[0], vec![7, 6]);
+        assert_eq!(groups[3], vec![1, 0]);
+        assert!(group_error(&basic, &groups[0]) > group_error(&basic, &groups[3]));
+    }
+
+    #[test]
+    fn group_error_empty_is_zero() {
+        assert_eq!(group_error(&[], &[]), 0.0);
+    }
+}

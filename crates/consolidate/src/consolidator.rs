@@ -1,0 +1,207 @@
+//! Row merging across relevant tables.
+//!
+//! Rows from different tables are duplicates when their **key** — the
+//! normalized value of the first query column — matches. Duplicate rows
+//! merge cell-wise: empty cells fill from the newcomer; conflicting cells
+//! keep the value from the more relevant source (ties keep the incumbent).
+
+use crate::ranker::rank_rows;
+use wwt_model::{AnswerRow, AnswerTable, Labeling, Query, WebTable};
+use wwt_text::normalize_cell;
+
+/// One relevant table with its column mapping and relevance score.
+#[derive(Debug, Clone, Copy)]
+pub struct RelevantInput<'a> {
+    /// The source web table.
+    pub table: &'a WebTable,
+    /// Its column labeling (must be relevant: some `Col(_)` labels).
+    pub labeling: &'a Labeling,
+    /// Table relevance score in `[0,1]` (from the column mapper).
+    pub relevance: f64,
+}
+
+/// Consolidates all relevant tables into one ranked answer table.
+pub fn consolidate(query: &Query, inputs: &[RelevantInput<'_>]) -> AnswerTable {
+    let q = query.q();
+    let mut answer = AnswerTable::empty(query.columns.clone());
+    // key -> index into answer.rows, parallel best-relevance per cell.
+    let mut by_key: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    let mut cell_relevance: Vec<Vec<f64>> = Vec::new();
+
+    for input in inputs {
+        let Some(key_col) = input.labeling.column_for(0) else {
+            continue; // must-match guarantees this for relevant tables
+        };
+        // Column of the table mapped to each query column.
+        let col_of: Vec<Option<usize>> = (0..q).map(|l| input.labeling.column_for(l)).collect();
+        for r in 0..input.table.n_rows() {
+            let key = normalize_cell(input.table.cell(r, key_col));
+            if key.is_empty() {
+                continue;
+            }
+            let cells: Vec<String> = col_of
+                .iter()
+                .map(|c| c.map(|c| input.table.cell(r, c).trim().to_string()).unwrap_or_default())
+                .collect();
+            match by_key.get(&key) {
+                None => {
+                    by_key.insert(key, answer.rows.len());
+                    cell_relevance.push(vec![input.relevance; q]);
+                    answer
+                        .rows
+                        .push(AnswerRow::new(cells, input.table.id, input.relevance));
+                }
+                Some(&idx) => {
+                    let row = &mut answer.rows[idx];
+                    row.support += 1;
+                    if !row.sources.contains(&input.table.id) {
+                        row.sources.push(input.table.id);
+                    }
+                    for (l, cell) in cells.into_iter().enumerate() {
+                        if cell.is_empty() {
+                            continue;
+                        }
+                        let incumbent = &row.cells[l];
+                        if incumbent.is_empty()
+                            || input.relevance > cell_relevance[idx][l] + 1e-12
+                        {
+                            row.cells[l] = cell;
+                            cell_relevance[idx][l] = input.relevance;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    rank_rows(&mut answer, inputs.len());
+    answer
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wwt_model::{Label, TableId};
+
+    fn table(id: u32, rows: Vec<Vec<&str>>) -> WebTable {
+        WebTable::new(
+            TableId(id),
+            "u",
+            None,
+            vec![],
+            rows.into_iter()
+                .map(|r| r.into_iter().map(String::from).collect())
+                .collect(),
+            vec![],
+        )
+        .unwrap()
+    }
+
+    fn labeling(id: u32, labels: Vec<Label>) -> Labeling {
+        Labeling::new(TableId(id), labels)
+    }
+
+    #[test]
+    fn merges_duplicate_rows_and_counts_support() {
+        let q = Query::parse("explorer | nationality").unwrap();
+        let t1 = table(
+            1,
+            vec![
+                vec!["Abel Tasman", "Dutch"],
+                vec!["Vasco da Gama", "Portuguese"],
+            ],
+        );
+        let l1 = labeling(1, vec![Label::Col(0), Label::Col(1)]);
+        // Second table: swapped columns, overlapping row, one new row.
+        let t2 = table(
+            2,
+            vec![
+                vec!["Dutch", "Abel Tasman"],
+                vec!["", "Christopher Columbus"],
+            ],
+        );
+        let l2 = labeling(2, vec![Label::Col(1), Label::Col(0)]);
+        let ans = consolidate(
+            &q,
+            &[
+                RelevantInput { table: &t1, labeling: &l1, relevance: 0.9 },
+                RelevantInput { table: &t2, labeling: &l2, relevance: 0.8 },
+            ],
+        );
+        assert_eq!(ans.len(), 3);
+        let tasman = ans
+            .rows
+            .iter()
+            .find(|r| r.cells[0] == "Abel Tasman")
+            .unwrap();
+        assert_eq!(tasman.support, 2);
+        assert_eq!(tasman.sources.len(), 2);
+        assert_eq!(tasman.cells[1], "Dutch");
+        let columbus = ans
+            .rows
+            .iter()
+            .find(|r| r.cells[0] == "Christopher Columbus")
+            .unwrap();
+        assert_eq!(columbus.cells[1], "", "missing nationality stays empty");
+    }
+
+    #[test]
+    fn key_normalization_merges_variants() {
+        let q = Query::parse("country | currency").unwrap();
+        let t1 = table(1, vec![vec!["  India ", "Rupee"]]);
+        let t2 = table(2, vec![vec!["india", "Rupee"]]);
+        let l = vec![Label::Col(0), Label::Col(1)];
+        let ans = consolidate(
+            &q,
+            &[
+                RelevantInput { table: &t1, labeling: &labeling(1, l.clone()), relevance: 0.5 },
+                RelevantInput { table: &t2, labeling: &labeling(2, l), relevance: 0.5 },
+            ],
+        );
+        assert_eq!(ans.len(), 1);
+        assert_eq!(ans.rows[0].support, 2);
+    }
+
+    #[test]
+    fn conflicts_resolved_by_relevance() {
+        let q = Query::parse("country | population").unwrap();
+        let low = table(1, vec![vec!["India", "900"]]);
+        let high = table(2, vec![vec!["India", "1200"]]);
+        let l = vec![Label::Col(0), Label::Col(1)];
+        let ans = consolidate(
+            &q,
+            &[
+                RelevantInput { table: &low, labeling: &labeling(1, l.clone()), relevance: 0.3 },
+                RelevantInput { table: &high, labeling: &labeling(2, l), relevance: 0.9 },
+            ],
+        );
+        assert_eq!(ans.rows[0].cells[1], "1200");
+    }
+
+    #[test]
+    fn missing_query_columns_left_empty() {
+        // Table maps only Q1 (single-column relevance); Q2 column empty.
+        let q = Query::parse("mountain | height").unwrap();
+        let t = table(1, vec![vec!["Denali", "x"]]);
+        let l = labeling(1, vec![Label::Col(0), Label::Na]);
+        let ans = consolidate(&q, &[RelevantInput { table: &t, labeling: &l, relevance: 0.7 }]);
+        assert_eq!(ans.rows[0].cells, vec!["Denali".to_string(), String::new()]);
+    }
+
+    #[test]
+    fn empty_inputs_empty_answer() {
+        let q = Query::parse("a | b").unwrap();
+        let ans = consolidate(&q, &[]);
+        assert!(ans.is_empty());
+        assert_eq!(ans.columns, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn empty_keys_skipped() {
+        let q = Query::parse("name | value").unwrap();
+        let t = table(1, vec![vec!["", "x"], vec!["ok", "y"]]);
+        let l = labeling(1, vec![Label::Col(0), Label::Col(1)]);
+        let ans = consolidate(&q, &[RelevantInput { table: &t, labeling: &l, relevance: 0.5 }]);
+        assert_eq!(ans.len(), 1);
+        assert_eq!(ans.rows[0].cells[0], "ok");
+    }
+}

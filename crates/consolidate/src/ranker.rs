@@ -1,0 +1,91 @@
+//! Row ranking (paper §2.2.3): "the ranker reorders the rows of the
+//! consolidated table so as to bring more relevant and highly supported
+//! rows on top".
+//!
+//! Score = (support fraction) × (best source relevance): a row confirmed by
+//! many tables from relevant sources outranks a singleton from a marginal
+//! source. Ties break on completeness (fewer empty cells first), then on
+//! the key column for determinism.
+
+use wwt_model::AnswerTable;
+
+/// Ranks the rows of `answer` in place. `n_sources` is the number of
+/// relevant tables that fed the consolidation (support normalizer).
+pub fn rank_rows(answer: &mut AnswerTable, n_sources: usize) {
+    let n = n_sources.max(1) as f64;
+    for row in &mut answer.rows {
+        let support_frac = f64::from(row.support) / n;
+        let completeness = if row.cells.is_empty() {
+            0.0
+        } else {
+            row.cells.iter().filter(|c| !c.is_empty()).count() as f64 / row.cells.len() as f64
+        };
+        // row.score was seeded with the best source relevance at insert.
+        row.score = support_frac * row.score.max(1e-6) + 0.1 * completeness;
+    }
+    answer.rows.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.cells.cmp(&b.cells))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wwt_model::{AnswerRow, TableId};
+
+    fn row(cells: Vec<&str>, support: u32, relevance: f64) -> AnswerRow {
+        let mut r = AnswerRow::new(
+            cells.into_iter().map(String::from).collect(),
+            TableId(0),
+            relevance,
+        );
+        r.support = support;
+        r
+    }
+
+    #[test]
+    fn high_support_ranks_first() {
+        let mut a = AnswerTable::empty(vec!["x".into()]);
+        a.rows.push(row(vec!["lonely"], 1, 0.9));
+        a.rows.push(row(vec!["popular"], 5, 0.9));
+        rank_rows(&mut a, 5);
+        assert_eq!(a.rows[0].cells[0], "popular");
+    }
+
+    #[test]
+    fn relevance_breaks_equal_support() {
+        let mut a = AnswerTable::empty(vec!["x".into()]);
+        a.rows.push(row(vec!["weak"], 2, 0.2));
+        a.rows.push(row(vec!["strong"], 2, 0.9));
+        rank_rows(&mut a, 4);
+        assert_eq!(a.rows[0].cells[0], "strong");
+    }
+
+    #[test]
+    fn completeness_bonus() {
+        let mut a = AnswerTable::empty(vec!["x".into(), "y".into()]);
+        a.rows.push(row(vec!["a", ""], 1, 0.5));
+        a.rows.push(row(vec!["b", "filled"], 1, 0.5));
+        rank_rows(&mut a, 2);
+        assert_eq!(a.rows[0].cells[0], "b");
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let mut a = AnswerTable::empty(vec!["x".into()]);
+        a.rows.push(row(vec!["zeta"], 1, 0.5));
+        a.rows.push(row(vec!["alpha"], 1, 0.5));
+        rank_rows(&mut a, 2);
+        assert_eq!(a.rows[0].cells[0], "alpha");
+    }
+
+    #[test]
+    fn empty_table_is_fine() {
+        let mut a = AnswerTable::empty(vec!["x".into()]);
+        rank_rows(&mut a, 0);
+        assert!(a.is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! Answer-row quality (the metric behind paper Figure 6): the error
+//! between the consolidated answer produced under a *predicted* column
+//! mapping and the one produced under the *true* mapping.
+
+use std::collections::HashMap;
+use wwt_model::AnswerTable;
+use wwt_text::normalize_cell;
+
+/// F1-style error (percent) between the row multisets of two answer
+/// tables. Rows are compared as tuples of normalized cell values.
+pub fn row_set_error(predicted: &AnswerTable, reference: &AnswerTable) -> f64 {
+    let a = row_multiset(predicted);
+    let b = row_multiset(reference);
+    let total_a: usize = a.values().sum();
+    let total_b: usize = b.values().sum();
+    if total_a + total_b == 0 {
+        return 0.0;
+    }
+    let mut inter = 0usize;
+    for (row, &ca) in &a {
+        if let Some(&cb) = b.get(row) {
+            inter += ca.min(cb);
+        }
+    }
+    100.0 - 200.0 * inter as f64 / (total_a + total_b) as f64
+}
+
+fn row_multiset(t: &AnswerTable) -> HashMap<String, usize> {
+    let mut m = HashMap::new();
+    for row in &t.rows {
+        let key = row
+            .cells
+            .iter()
+            .map(|c| normalize_cell(c))
+            .collect::<Vec<_>>()
+            .join("\u{1f}");
+        *m.entry(key).or_insert(0) += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wwt_model::{AnswerRow, TableId};
+
+    fn table(rows: Vec<Vec<&str>>) -> AnswerTable {
+        let mut t = AnswerTable::empty(vec!["a".into(), "b".into()]);
+        for r in rows {
+            t.rows.push(AnswerRow::new(
+                r.into_iter().map(String::from).collect(),
+                TableId(0),
+                0.0,
+            ));
+        }
+        t
+    }
+
+    #[test]
+    fn identical_tables_zero_error() {
+        let t = table(vec![vec!["x", "1"], vec!["y", "2"]]);
+        assert_eq!(row_set_error(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn disjoint_tables_full_error() {
+        let a = table(vec![vec!["x", "1"]]);
+        let b = table(vec![vec!["z", "9"]]);
+        assert_eq!(row_set_error(&a, &b), 100.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let a = table(vec![vec!["x", "1"], vec!["y", "2"]]);
+        let b = table(vec![vec!["x", "1"]]);
+        // intersection 1, sizes 2+1: error = 100 - 200/3.
+        assert!((row_set_error(&a, &b) - (100.0 - 200.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalization_ignores_case_and_spacing() {
+        let a = table(vec![vec!["  India ", "Rupee"]]);
+        let b = table(vec![vec!["india", "rupee"]]);
+        assert_eq!(row_set_error(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn both_empty_is_perfect() {
+        let a = table(vec![]);
+        assert_eq!(row_set_error(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        let a = table(vec![vec!["x", "1"], vec!["y", "2"]]);
+        let b = table(vec![vec!["y", "2"], vec!["x", "1"]]);
+        assert_eq!(row_set_error(&a, &b), 0.0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Column-column similarity and edge construction (paper §3.3).
+//!
+//! Edge potentials transfer labels between content-overlapping columns of
+//! *different* tables. Three robustness mechanisms from the paper:
+//!
+//! 1. **Max-matching edges** — per table pair, only the one-one
+//!    max-weight matching between their columns produces edges (prevents
+//!    label bleeding when columns within a table resemble each other);
+//! 2. **Normalized similarity** — `nsim(tc → t'c') = sim / (λ + Σ sim)`
+//!    bounds the total influence on a column at one (λ = 0.3);
+//! 3. **Confidence gating** (applied by the inference drivers): a column's
+//!    similarity only votes when its own labeling is confident.
+
+use crate::config::MapperConfig;
+use crate::view::TableView;
+use std::collections::HashMap;
+use wwt_graph::{solve_assignment, Assignment};
+
+/// An undirected cross-table column edge selected by the max-matching, with
+/// the two directed normalized similarities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColumnEdge {
+    /// First endpoint: (table index, column index).
+    pub a: (usize, usize),
+    /// Second endpoint.
+    pub b: (usize, usize),
+    /// Raw symmetric similarity.
+    pub sim: f64,
+    /// `nsim(a → b)`: a's similarity to b after normalizing over a's
+    /// neighborhood.
+    pub nsim_ab: f64,
+    /// `nsim(b → a)`.
+    pub nsim_ba: f64,
+}
+
+/// Raw similarity between two columns of *different* tables: a mix of
+/// normalized-cell-value overlap and header TF-IDF cosine
+/// (`sim = mix·overlap + (1−mix)·header_cos`).
+pub fn column_similarity(
+    va: &TableView<'_>,
+    ca: usize,
+    vb: &TableView<'_>,
+    cb: usize,
+    mix: f64,
+) -> f64 {
+    let a_vals = &va.column_values[ca];
+    let b_vals = &vb.column_values[cb];
+    let overlap = if a_vals.is_empty() || b_vals.is_empty() {
+        0.0
+    } else {
+        let inter = a_vals.intersection(b_vals).count() as f64;
+        inter / a_vals.len().min(b_vals.len()) as f64
+    };
+    let header_cos = va.column_header_vecs[ca].cosine(&vb.column_header_vecs[cb]);
+    mix * overlap + (1.0 - mix) * header_cos
+}
+
+/// Builds the cross-table edge set: for every pair of tables, the one-one
+/// max-weight matching between their columns (similarities below
+/// `cfg.min_column_sim` dropped), then `nsim` normalization over each
+/// column's kept neighborhood.
+pub fn build_edges(views: &[TableView<'_>], cfg: &MapperConfig) -> Vec<ColumnEdge> {
+    let mut raw: Vec<((usize, usize), (usize, usize), f64)> = Vec::new();
+    for i in 0..views.len() {
+        for j in (i + 1)..views.len() {
+            for (ca, cb, sim) in match_columns(&views[i], &views[j], cfg) {
+                raw.push(((i, ca), (j, cb), sim));
+            }
+        }
+    }
+    // Σ sim per column over kept edges.
+    let mut sums: HashMap<(usize, usize), f64> = HashMap::new();
+    for &(a, b, sim) in &raw {
+        *sums.entry(a).or_insert(0.0) += sim;
+        *sums.entry(b).or_insert(0.0) += sim;
+    }
+    raw.into_iter()
+        .map(|(a, b, sim)| ColumnEdge {
+            a,
+            b,
+            sim,
+            nsim_ab: sim / (cfg.nsim_lambda + sums[&a]),
+            nsim_ba: sim / (cfg.nsim_lambda + sums[&b]),
+        })
+        .collect()
+}
+
+/// One-one max-weight matching between the columns of two tables; returns
+/// `(col_a, col_b, sim)` for matched pairs above the similarity floor.
+fn match_columns(
+    va: &TableView<'_>,
+    vb: &TableView<'_>,
+    cfg: &MapperConfig,
+) -> Vec<(usize, usize, f64)> {
+    let (na, nb) = (va.n_cols(), vb.n_cols());
+    let mut sims = vec![vec![0.0f64; nb]; na];
+    let mut any = false;
+    for (ca, row) in sims.iter_mut().enumerate() {
+        for (cb, s) in row.iter_mut().enumerate() {
+            let v = column_similarity(va, ca, vb, cb, cfg.content_sim_mix);
+            if v >= cfg.min_column_sim {
+                *s = v;
+                any = true;
+            }
+        }
+    }
+    if !any {
+        return Vec::new();
+    }
+    // Assignment: items = columns of a; bins = columns of b (cap 1) plus an
+    // "unmatched" bin with enough capacity for everyone.
+    let weights: Vec<Vec<f64>> = sims
+        .iter()
+        .map(|row| {
+            let mut r: Vec<f64> = row
+                .iter()
+                .map(|&s| if s > 0.0 { s } else { f64::NEG_INFINITY })
+                .collect();
+            r.push(0.0); // unmatched
+            r
+        })
+        .collect();
+    let mut bin_caps = vec![1u32; nb];
+    bin_caps.push(na as u32);
+    let sol = match solve_assignment(&Assignment { bin_caps, weights }) {
+        Some(s) => s,
+        None => return Vec::new(),
+    };
+    sol.assignment
+        .iter()
+        .enumerate()
+        .filter(|&(_, &b)| b < nb)
+        .map(|(ca, &cb)| (ca, cb, sims[ca][cb]))
+        .filter(|&(_, _, s)| s > 0.0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wwt_model::{TableId, WebTable};
+    use wwt_text::CorpusStats;
+
+    fn make(id: u32, headers: Vec<&str>, cols: Vec<Vec<&str>>) -> WebTable {
+        let n_rows = cols[0].len();
+        let rows: Vec<Vec<String>> = (0..n_rows)
+            .map(|r| cols.iter().map(|c| c[r].to_string()).collect())
+            .collect();
+        WebTable::new(
+            TableId(id),
+            "u",
+            None,
+            vec![headers.into_iter().map(String::from).collect()],
+            rows,
+            vec![],
+        )
+        .unwrap()
+    }
+
+    fn cfg() -> MapperConfig {
+        MapperConfig::default()
+    }
+
+    #[test]
+    fn value_overlap_drives_similarity() {
+        let stats = CorpusStats::new();
+        let t1 = make(0, vec!["Country", "Currency"], vec![
+            vec!["India", "Japan", "France"],
+            vec!["Rupee", "Yen", "Euro"],
+        ]);
+        let t2 = make(1, vec!["Nation", "Money"], vec![
+            vec!["India", "Japan", "Brazil"],
+            vec!["Rupee", "Yen", "Real"],
+        ]);
+        let v1 = TableView::new(&t1, &stats, 0.3);
+        let v2 = TableView::new(&t2, &stats, 0.3);
+        let same = column_similarity(&v1, 0, &v2, 0, 0.7);
+        let cross = column_similarity(&v1, 0, &v2, 1, 0.7);
+        assert!(same > cross, "same {same} cross {cross}");
+        assert!(same > 0.4);
+    }
+
+    #[test]
+    fn header_cosine_contributes() {
+        let stats = CorpusStats::new();
+        // No shared values, shared header tokens.
+        let t1 = make(0, vec!["Currency"], vec![vec!["Rupee", "Yen"]]);
+        let t2 = make(1, vec!["Currency"], vec![vec!["Peso", "Won"]]);
+        let v1 = TableView::new(&t1, &stats, 0.3);
+        let v2 = TableView::new(&t2, &stats, 0.3);
+        let s = column_similarity(&v1, 0, &v2, 0, 0.7);
+        assert!((s - 0.3).abs() < 1e-9, "header-only sim {s}");
+    }
+
+    #[test]
+    fn max_matching_yields_one_edge_per_column() {
+        let stats = CorpusStats::new();
+        // t2's two columns BOTH resemble t1's capital column (the paper's
+        // "us states | capitals | largest cities" trap); matching must pick
+        // only the best pair per column.
+        let t1 = make(0, vec!["State", "Capital"], vec![
+            vec!["Ohio", "Texas", "Utah"],
+            vec!["Columbus", "Austin", "Salt Lake City"],
+        ]);
+        let t2 = make(1, vec!["State", "Capital", "Largest city"], vec![
+            vec!["Ohio", "Texas", "Utah"],
+            vec!["Columbus", "Austin", "Salt Lake City"],
+            vec!["Columbus", "Houston", "Salt Lake City"],
+        ]);
+        let v1 = TableView::new(&t1, &stats, 0.3);
+        let v2 = TableView::new(&t2, &stats, 0.3);
+        let views = vec![v1, v2];
+        let edges = build_edges(&views, &cfg());
+        // Each column of t1 appears in at most one edge.
+        for c in 0..2 {
+            let deg = edges.iter().filter(|e| e.a == (0, c)).count();
+            assert!(deg <= 1, "column (0,{c}) has degree {deg}");
+        }
+        // The capital column must match t2's capital column, not largest
+        // city (same values but "largest city" header mismatch drops it).
+        let cap_edge = edges.iter().find(|e| e.a == (0, 1)).expect("capital edge");
+        assert_eq!(cap_edge.b, (1, 1));
+    }
+
+    #[test]
+    fn weak_similarities_dropped() {
+        let stats = CorpusStats::new();
+        let t1 = make(0, vec!["A"], vec![vec!["x1", "x2"]]);
+        let t2 = make(1, vec!["B"], vec![vec!["y1", "y2"]]);
+        let views = vec![
+            TableView::new(&t1, &stats, 0.3),
+            TableView::new(&t2, &stats, 0.3),
+        ];
+        assert!(build_edges(&views, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn nsim_normalization_bounds_influence() {
+        let stats = CorpusStats::new();
+        // One column similar to many copies: per-edge nsim must shrink
+        // relative to the isolated-pair case.
+        let base = make(0, vec!["Country"], vec![vec!["India", "Japan", "France"]]);
+        let copies: Vec<WebTable> = (1..5)
+            .map(|i| make(i, vec!["Country"], vec![vec!["India", "Japan", "France"]]))
+            .collect();
+        let mut views = vec![TableView::new(&base, &stats, 0.3)];
+        for c in &copies {
+            views.push(TableView::new(c, &stats, 0.3));
+        }
+        let edges = build_edges(&views, &cfg());
+        let total_in: f64 = edges
+            .iter()
+            .filter(|e| e.a == (0, 0))
+            .map(|e| e.nsim_ab)
+            .sum();
+        assert!(total_in <= 1.0 + 1e-9, "total incoming nsim {total_in}");
+        // Isolated pair for comparison: one neighbor keeps most of its sim.
+        let pair_views = vec![
+            TableView::new(&base, &stats, 0.3),
+            TableView::new(&copies[0], &stats, 0.3),
+        ];
+        let pair = build_edges(&pair_views, &cfg());
+        assert_eq!(pair.len(), 1);
+        let hub_edge = edges.iter().find(|e| e.a == (0, 0)).unwrap();
+        assert!(
+            hub_edge.nsim_ab < pair[0].nsim_ab,
+            "hub nsim {} should shrink below pair nsim {}",
+            hub_edge.nsim_ab,
+            pair[0].nsim_ab
+        );
+        // Normalization never exceeds the raw similarity.
+        assert!(pair[0].nsim_ab < pair[0].sim);
+    }
+
+    #[test]
+    fn no_self_table_edges() {
+        let stats = CorpusStats::new();
+        let t1 = make(0, vec!["A", "B"], vec![
+            vec!["x", "y"],
+            vec!["x", "y"], // identical columns within the table
+        ]);
+        let views = vec![TableView::new(&t1, &stats, 0.3)];
+        assert!(build_edges(&views, &cfg()).is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! Node-potential features (paper §3.2).
+//!
+//! * [`seg_sim`] / [`cover`] — the two-part segmented query similarity
+//!   (Eq. 1) and its coverage variant (§3.2.2);
+//! * [`pmi2`] — corpus-wide co-occurrence of query keywords with column
+//!   content (§3.2.3);
+//! * [`table_relevance`] — the whole-table relevance feature `R(Q,t)`
+//!   (Eq. 2).
+
+mod pmi;
+mod relevance;
+mod segsim;
+
+pub use pmi::pmi2;
+pub use relevance::table_relevance;
+pub use segsim::{cover, seg_sim};
+
+use wwt_model::Query;
+use wwt_text::{tokenize, CorpusStats, TfIdfVector};
+
+/// A query column preprocessed for feature computation: tokens with their
+/// `TI(w)` weights (query-side TF is 1, so `TI(w) = idf(w)`).
+#[derive(Debug, Clone)]
+pub struct QueryColumn {
+    /// Tokens `q_1..q_m` in order.
+    pub tokens: Vec<String>,
+    /// `TI(w)` per token.
+    pub ti: Vec<f64>,
+    /// `‖Q_ℓ‖²  = Σ TI(w)²` (duplicate tokens counted once per position).
+    pub norm_sq: f64,
+    /// TF-IDF vector over the tokens (for unsegmented cosine).
+    pub vec: TfIdfVector,
+}
+
+/// All query columns preprocessed.
+#[derive(Debug, Clone)]
+pub struct QueryView {
+    /// One entry per query column.
+    pub columns: Vec<QueryColumn>,
+}
+
+impl QueryView {
+    /// Tokenizes and weights every query column with `stats` IDF.
+    pub fn new(query: &Query, stats: &CorpusStats) -> Self {
+        let columns = query
+            .columns
+            .iter()
+            .map(|text| {
+                let tokens = tokenize(text);
+                let ti: Vec<f64> = tokens.iter().map(|t| stats.idf(t)).collect();
+                let norm_sq = ti.iter().map(|w| w * w).sum();
+                let vec = TfIdfVector::from_tokens(&tokens, stats);
+                QueryColumn {
+                    tokens,
+                    ti,
+                    norm_sq,
+                    vec,
+                }
+            })
+            .collect();
+        QueryView { columns }
+    }
+
+    /// Number of query columns `q`.
+    pub fn q(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_view_tokenization() {
+        let q = Query::parse("name of explorers | nationality").unwrap();
+        let v = QueryView::new(&q, &CorpusStats::new());
+        assert_eq!(v.q(), 2);
+        assert_eq!(v.columns[0].tokens, vec!["name", "explorer"]);
+        // Uniform IDF = 1 on empty stats.
+        assert_eq!(v.columns[0].norm_sq, 2.0);
+        assert_eq!(v.columns[1].ti, vec![1.0]);
+    }
+
+    #[test]
+    fn empty_keywords_tolerated() {
+        let q = Query::new(vec!["of the"]); // all stopwords
+        let v = QueryView::new(&q, &CorpusStats::new());
+        assert!(v.columns[0].tokens.is_empty());
+        assert_eq!(v.columns[0].norm_sq, 0.0);
+    }
+}

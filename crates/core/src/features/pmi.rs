@@ -1,0 +1,164 @@
+//! The PMI² co-occurrence feature (paper §3.2.3, after Cafarella et al.).
+//!
+//! ```text
+//! PMI²(Qℓ, tc) = (1/#Rows(t)) Σ_r |H(Qℓ) ∩ B(Cell(t,r,c))|²
+//!                               / (|H(Qℓ)| · |B(Cell(t,r,c))|)
+//! ```
+//!
+//! `H(Qℓ)` — tables whose header or context contains all of `Qℓ`'s
+//! keywords; `B(cell)` — tables whose content contains the cell's words.
+//! Both are conjunctive doc-set probes against the corpus index; the paper
+//! found the feature noisy (§5.1: it helps some queries, hurts an equal
+//! number, and is ~6× slower), and WWT leaves it off by default.
+
+use crate::features::QueryColumn;
+use crate::view::TableView;
+use wwt_index::{Field, TableIndex};
+use wwt_text::tokenize;
+
+/// Computes `PMI²(Qℓ, tc)` against the corpus `index`.
+pub fn pmi2(q: &QueryColumn, view: &TableView<'_>, c: usize, index: &TableIndex) -> f64 {
+    if q.tokens.is_empty() {
+        return 0.0;
+    }
+    let h_set = index.docs_with_all(&q.tokens, &[Field::Header, Field::Context]);
+    if h_set.is_empty() {
+        return 0.0;
+    }
+    let n_rows = view.table.n_rows();
+    if n_rows == 0 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for r in 0..n_rows {
+        let cell_tokens = tokenize(view.table.cell(r, c));
+        if cell_tokens.is_empty() {
+            continue;
+        }
+        let b_set = index.docs_with_all(&cell_tokens, &[Field::Content]);
+        if b_set.is_empty() {
+            continue;
+        }
+        let inter = intersection_count(&h_set, &b_set) as f64;
+        sum += inter * inter / (h_set.len() as f64 * b_set.len() as f64);
+    }
+    sum / n_rows as f64
+}
+
+/// Size of the intersection of two sorted id lists.
+fn intersection_count(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::QueryView;
+    use wwt_index::IndexBuilder;
+    use wwt_model::{ContextSnippet, Query, TableId, WebTable};
+    use wwt_text::CorpusStats;
+
+    fn t(id: u32, header: &str, context: &str, rows: Vec<Vec<&str>>) -> WebTable {
+        WebTable::new(
+            TableId(id),
+            "u",
+            None,
+            vec![header.split('|').map(str::to_string).collect()],
+            rows.into_iter()
+                .map(|r| r.into_iter().map(String::from).collect())
+                .collect(),
+            vec![ContextSnippet::new(context, 0.8)],
+        )
+        .unwrap()
+    }
+
+    /// Corpus: two "mountain" tables sharing peak names, one unrelated
+    /// table sharing a generic token.
+    fn corpus() -> (Vec<WebTable>, TableIndex) {
+        let tables = vec![
+            t(
+                0,
+                "Mountain|Height",
+                "mountains of north america",
+                vec![vec!["Denali", "6190"], vec!["Logan", "5959"]],
+            ),
+            t(
+                1,
+                "Peak|Elevation",
+                "list of north american mountains",
+                vec![vec!["Denali", "20310ft"], vec!["Whitney", "14505ft"]],
+            ),
+            t(
+                2,
+                "Company|CEO",
+                "fortune 500 companies",
+                vec![vec!["Acme", "Smith"], vec!["Logan Corp", "Jones"]],
+            ),
+        ];
+        let mut b = IndexBuilder::new();
+        for table in &tables {
+            b.add_table(table);
+        }
+        (tables, b.build())
+    }
+
+    fn qcol(text: &str, stats: &CorpusStats) -> crate::features::QueryColumn {
+        QueryView::new(&Query::new(vec![text]), stats)
+            .columns
+            .remove(0)
+    }
+
+    #[test]
+    fn mountain_column_scores_higher_than_height_column() {
+        let (tables, index) = corpus();
+        let q = qcol("north american mountains", index.stats());
+        let view = TableView::new(&tables[0], index.stats(), 0.3);
+        let name_col = pmi2(&q, &view, 0, &index);
+        let height_col = pmi2(&q, &view, 1, &index);
+        assert!(
+            name_col > height_col,
+            "name {name_col} vs height {height_col}"
+        );
+        assert!(name_col > 0.0);
+    }
+
+    #[test]
+    fn unrelated_query_scores_zero() {
+        let (tables, index) = corpus();
+        let q = qcol("unknown nonsense zzz", index.stats());
+        let view = TableView::new(&tables[0], index.stats(), 0.3);
+        assert_eq!(pmi2(&q, &view, 0, &index), 0.0);
+    }
+
+    #[test]
+    fn bounded_by_one() {
+        let (tables, index) = corpus();
+        for table in &tables {
+            let view = TableView::new(table, index.stats(), 0.3);
+            let q = qcol("north american mountains", index.stats());
+            for c in 0..table.n_cols() {
+                let v = pmi2(&q, &view, c, &index);
+                assert!((0.0..=1.0).contains(&v), "pmi {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn intersection_count_basics() {
+        assert_eq!(intersection_count(&[1, 2, 3], &[2, 3, 4]), 2);
+        assert_eq!(intersection_count(&[], &[1]), 0);
+        assert_eq!(intersection_count(&[5], &[5]), 1);
+    }
+}

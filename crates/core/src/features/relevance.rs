@@ -1,0 +1,108 @@
+//! The whole-table relevance feature `R(Q,t)` (paper Eq. 2):
+//!
+//! ```text
+//! R(Q,t) = (1/q) · clip( Σ_ℓ max_c Cover(Qℓ, tc),  min(q, 1.5) )
+//! ```
+//!
+//! where `clip(a,b) = 0` if `a < b`, else `a`. Intuitively: the fraction of
+//! query words matched somewhere useful in the table, zeroed unless the
+//! total coverage clears 1.0 (single-column queries) or 1.5 (multi-column).
+
+use crate::config::MapperConfig;
+use crate::features::{cover, QueryView};
+use crate::view::TableView;
+
+/// Computes `R(Q, t)`.
+pub fn table_relevance(qv: &QueryView, view: &TableView<'_>, cfg: &MapperConfig) -> f64 {
+    let q = qv.q();
+    if q == 0 {
+        return 0.0;
+    }
+    let total: f64 = qv
+        .columns
+        .iter()
+        .map(|qc| {
+            (0..view.n_cols())
+                .map(|c| cover(qc, view, c, cfg))
+                .fold(0.0, f64::max)
+        })
+        .sum();
+    let bar = (q as f64).min(1.5);
+    let clipped = if total < bar { 0.0 } else { total };
+    clipped / q as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wwt_model::{Query, TableId, WebTable};
+    use wwt_text::CorpusStats;
+
+    fn make(headers: Vec<Vec<&str>>, rows: Vec<Vec<&str>>) -> WebTable {
+        WebTable::new(
+            TableId(0),
+            "u",
+            None,
+            headers
+                .into_iter()
+                .map(|r| r.into_iter().map(String::from).collect())
+                .collect(),
+            rows.into_iter()
+                .map(|r| r.into_iter().map(String::from).collect())
+                .collect(),
+            vec![],
+        )
+        .unwrap()
+    }
+
+    fn r_of(query: &str, t: &WebTable) -> f64 {
+        let cfg = MapperConfig::default();
+        let stats = CorpusStats::new();
+        let q = Query::parse(query).unwrap();
+        let qv = QueryView::new(&q, &stats);
+        let view = TableView::new(t, &stats, cfg.body_freq_frac);
+        table_relevance(&qv, &view, &cfg)
+    }
+
+    #[test]
+    fn perfect_two_column_match() {
+        let t = make(
+            vec![vec!["Country", "Currency"]],
+            vec![vec!["India", "Rupee"]],
+        );
+        // Both columns fully covered: total 2 >= 1.5 => R = 1.
+        assert!((r_of("country | currency", &t) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weak_match_clipped_to_zero() {
+        let t = make(vec![vec!["Country", "Area"]], vec![vec!["India", "3M"]]);
+        // Only one of two columns covered: total 1 < 1.5 => clipped.
+        assert_eq!(r_of("country | currency", &t), 0.0);
+    }
+
+    #[test]
+    fn single_column_query_bar_is_one() {
+        let t = make(vec![vec!["Dog breed", "Size"]], vec![vec!["Husky", "L"]]);
+        // q = 1, total coverage = 1 (both tokens in header) >= 1 => R = 1.
+        assert!((r_of("dog breed", &t) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn irrelevant_table_scores_zero() {
+        let t = make(vec![vec!["ID", "Name"]], vec![vec!["7", "Hills"]]);
+        assert_eq!(r_of("country | currency", &t), 0.0);
+    }
+
+    #[test]
+    fn partial_multi_column_above_bar() {
+        // 3-column query, two columns perfectly covered: total 2 >= 1.5,
+        // R = 2/3.
+        let t = make(
+            vec![vec!["Food", "Fat", "Color"]],
+            vec![vec!["Rice", "0.3", "white"]],
+        );
+        let r = r_of("food | fat | protein", &t);
+        assert!((r - 2.0 / 3.0).abs() < 1e-9, "r = {r}");
+    }
+}

@@ -1,0 +1,390 @@
+//! The segmented similarity `SegSim` (Eq. 1) and `Cover` (§3.2.2).
+//!
+//! `Q_ℓ` is split into a prefix and a suffix; one part is pinned to a
+//! header row of the candidate column (`inSim`), the other gathers support
+//! from the rest of the table (`outSim`): title `T`, context `C`, other
+//! header rows of the column `Hc`, headers of other columns in the matched
+//! row `Hr`, and frequent body tokens `B`, with reliabilities
+//! `(1.0, 0.9, 0.5, 1.0, 0.8)`.
+//!
+//! The score of a token matching several parts is the soft-max
+//! `1 − Π (1 − p_i)` — each additional match helps, with exponentially
+//! decaying influence.
+
+use crate::config::{MapperConfig, PartReliability, SimilarityMode};
+use crate::features::QueryColumn;
+use crate::view::TableView;
+use wwt_text::TfIdfVector;
+
+/// Which `inSim` the segmentation uses.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum InSimKind {
+    /// TF-IDF cosine (SegSim).
+    Cosine,
+    /// TF-IDF-weighted covered fraction (Cover).
+    Coverage,
+}
+
+/// `SegSim(Q_ℓ, tc)` — Eq. 1. Zero for headerless tables (the paper relies
+/// on content-overlap edges to rescue those).
+pub fn seg_sim(q: &QueryColumn, view: &TableView<'_>, c: usize, cfg: &MapperConfig) -> f64 {
+    match cfg.similarity {
+        SimilarityMode::Segmented => segmented(q, view, c, &cfg.reliability, InSimKind::Cosine),
+        SimilarityMode::Unsegmented => q.vec.cosine(&view.column_header_vecs[c]),
+    }
+}
+
+/// `Cover(Q_ℓ, tc)` — §3.2.2: same segmentation, `inSim` replaced by the
+/// weighted fraction of the in-part's tokens appearing in the header.
+pub fn cover(q: &QueryColumn, view: &TableView<'_>, c: usize, cfg: &MapperConfig) -> f64 {
+    match cfg.similarity {
+        SimilarityMode::Segmented => segmented(q, view, c, &cfg.reliability, InSimKind::Coverage),
+        SimilarityMode::Unsegmented => q.vec.covered_fraction(&view.column_header_vecs[c]),
+    }
+}
+
+fn segmented(
+    q: &QueryColumn,
+    view: &TableView<'_>,
+    c: usize,
+    rel: &PartReliability,
+    kind: InSimKind,
+) -> f64 {
+    let m = q.tokens.len();
+    if m == 0 || q.norm_sq == 0.0 || view.n_header_rows() == 0 {
+        return 0.0;
+    }
+    let mut best: f64 = 0.0;
+    for r in 0..view.n_header_rows() {
+        // Out-part token scores are per (r, c); precompute per token.
+        let out_score: Vec<f64> = q
+            .tokens
+            .iter()
+            .zip(&q.ti)
+            .map(|(w, &ti)| ti * ti * soft_max_reliability(w, view, r, c, rel))
+            .collect();
+        let header_vec = &view.header_vecs[r][c];
+        if header_vec.is_empty() {
+            continue;
+        }
+        for k in 0..=m {
+            // Orientation A: prefix -> header, suffix -> rest.
+            if k >= 1 {
+                if let Some(score) =
+                    score_split(q, header_vec, 0..k, k..m, &out_score, kind)
+                {
+                    best = best.max(score);
+                }
+            }
+            // Orientation B: suffix -> header, prefix -> rest.
+            if k < m {
+                if let Some(score) =
+                    score_split(q, header_vec, k..m, 0..k, &out_score, kind)
+                {
+                    best = best.max(score);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Scores one (in-part, out-part) split against one header row, or `None`
+/// when the in-part has no overlap with the header (Eq. 1's constraint
+/// `P ∩ H_rc ≠ ∅`).
+fn score_split(
+    q: &QueryColumn,
+    header_vec: &TfIdfVector,
+    in_range: std::ops::Range<usize>,
+    out_range: std::ops::Range<usize>,
+    out_score: &[f64],
+    kind: InSimKind,
+) -> Option<f64> {
+    let in_tokens = &q.tokens[in_range.clone()];
+    if !in_tokens.iter().any(|w| header_vec.weight(w) != 0.0) {
+        return None;
+    }
+    let in_norm_sq: f64 = q.ti[in_range.clone()].iter().map(|w| w * w).sum();
+    if in_norm_sq == 0.0 {
+        return None;
+    }
+    let in_sim = match kind {
+        InSimKind::Cosine => {
+            // Cosine between the in-part tokens and the header.
+            let mut dot = 0.0;
+            for (w, &ti) in in_tokens.iter().zip(&q.ti[in_range]) {
+                dot += ti * header_vec.weight(w);
+            }
+            dot / (in_norm_sq.sqrt() * header_vec.norm())
+        }
+        InSimKind::Coverage => {
+            let covered: f64 = in_tokens
+                .iter()
+                .zip(&q.ti[in_range])
+                .filter(|(w, _)| header_vec.weight(w) != 0.0)
+                .map(|(_, &ti)| ti * ti)
+                .sum();
+            covered / in_norm_sq
+        }
+    };
+    let out_total: f64 = out_range.map(|i| out_score[i]).sum();
+    // Eq. 1 with ‖S‖² cancelled into the out-part sum.
+    Some((in_norm_sq * in_sim.clamp(0.0, 1.0) + out_total) / q.norm_sq)
+}
+
+/// `1 − Π_{i: w ∈ part(i)} (1 − p_i)` over the five out-of-header parts.
+fn soft_max_reliability(
+    w: &str,
+    view: &TableView<'_>,
+    r: usize,
+    c: usize,
+    rel: &PartReliability,
+) -> f64 {
+    let mut miss = 1.0;
+    if view.title_set.contains(w) {
+        miss *= 1.0 - rel.title;
+    }
+    if view.context_set.contains(w) {
+        miss *= 1.0 - rel.context;
+    }
+    if view.in_other_header_rows(w, r, c) {
+        miss *= 1.0 - rel.other_header_rows;
+    }
+    if view.in_other_columns(w, r, c) {
+        miss *= 1.0 - rel.other_columns;
+    }
+    if view.body_frequent.contains(w) {
+        miss *= 1.0 - rel.body;
+    }
+    1.0 - miss
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::QueryView;
+    use wwt_model::{ContextSnippet, Query, TableId, WebTable};
+    use wwt_text::CorpusStats;
+
+    fn cfg() -> MapperConfig {
+        MapperConfig::default()
+    }
+
+    fn qcol(text: &str) -> QueryColumn {
+        let q = Query::new(vec![text]);
+        QueryView::new(&q, &CorpusStats::new()).columns.remove(0)
+    }
+
+    fn make_table(
+        title: Option<&str>,
+        headers: Vec<Vec<&str>>,
+        rows: Vec<Vec<&str>>,
+        context: &str,
+    ) -> WebTable {
+        WebTable::new(
+            TableId(0),
+            "u",
+            title.map(String::from),
+            headers
+                .into_iter()
+                .map(|r| r.into_iter().map(String::from).collect())
+                .collect(),
+            rows.into_iter()
+                .map(|r| r.into_iter().map(String::from).collect())
+                .collect(),
+            if context.is_empty() {
+                vec![]
+            } else {
+                vec![ContextSnippet::new(context, 0.9)]
+            },
+        )
+        .unwrap()
+    }
+
+    fn view_of(t: &WebTable) -> TableView<'_> {
+        TableView::new(t, &CorpusStats::new(), 0.3)
+    }
+
+    #[test]
+    fn exact_header_match_scores_one() {
+        let t = make_table(None, vec![vec!["Nationality", "Name"]], vec![vec!["Dutch", "Tasman"]], "");
+        let v = view_of(&t);
+        let q = qcol("nationality");
+        assert!((seg_sim(&q, &v, 0, &cfg()) - 1.0).abs() < 1e-9);
+        assert!((cover(&q, &v, 0, &cfg()) - 1.0).abs() < 1e-9);
+        // Wrong column scores 0 (no overlap).
+        assert_eq!(seg_sim(&q, &v, 1, &cfg()), 0.0);
+    }
+
+    #[test]
+    fn split_header_and_context_combine() {
+        // "nobel prize winner": "winner" in header, "nobel prize" in context.
+        let t = make_table(
+            None,
+            vec![vec!["Winner", "Year"]],
+            vec![vec!["Curie", "1903"]],
+            "List of Nobel Prize awards",
+        );
+        let v = view_of(&t);
+        let q = qcol("nobel prize winner");
+        let s = seg_sim(&q, &v, 0, &cfg());
+        // in = "winner" (1/3 of norm, cosine 1), out = "nobel prize"
+        // (2/3 of norm, context reliability 0.9) => 1/3 + 2/3*0.9 = 0.9333.
+        assert!((s - (1.0 / 3.0 + 2.0 / 3.0 * 0.9)).abs() < 1e-9, "s = {s}");
+        // Unsegmented whole-string cosine against header is much weaker.
+        let mut un = cfg();
+        un.similarity = SimilarityMode::Unsegmented;
+        let u = seg_sim(&q, &v, 0, &un);
+        assert!(u < s, "unsegmented {u} >= segmented {s}");
+    }
+
+    #[test]
+    fn no_header_overlap_means_zero() {
+        // Context matches but the header shares no token with the query:
+        // table-level matches must not count for a specific column.
+        let t = make_table(
+            None,
+            vec![vec!["ID", "Area"]],
+            vec![vec!["7", "2236"]],
+            "nobel prize winners of the world",
+        );
+        let v = view_of(&t);
+        let q = qcol("nobel prize winner");
+        assert_eq!(seg_sim(&q, &v, 0, &cfg()), 0.0);
+        assert_eq!(seg_sim(&q, &v, 1, &cfg()), 0.0);
+    }
+
+    #[test]
+    fn multi_row_split_header_concatenation_case() {
+        // "main areas explored" split across two header rows of column 1.
+        let t = make_table(
+            None,
+            vec![vec!["Name", "Main areas"], vec!["", "explored"]],
+            vec![vec!["Tasman", "Oceania"]],
+            "",
+        );
+        let v = view_of(&t);
+        let q = qcol("areas explored");
+        let s = seg_sim(&q, &v, 1, &cfg());
+        // in = "areas" on row 0 (cos with "main areas" header), out =
+        // "explored" found in the other header row (reliability 0.5), OR
+        // in = "explored" on row 1 (cos 1), out = "areas" in other row.
+        assert!(s > 0.7, "split-header score too low: {s}");
+    }
+
+    #[test]
+    fn second_header_row_with_noise_uses_single_best() {
+        // Row 2 header "chronological order" must not dilute row 1's match.
+        let t = make_table(
+            None,
+            vec![
+                vec!["Exploration", "Who explorer"],
+                vec!["chronological order", ""],
+            ],
+            vec![vec!["Oceania", "Tasman"]],
+            "",
+        );
+        let v = view_of(&t);
+        let q = qcol("name of explorers");
+        let s = seg_sim(&q, &v, 1, &cfg());
+        // "explorer" matches row 0 of column 1 exactly; "name" is unmatched.
+        // With uniform IDF: in-part norm 1/2, cosine("explorer","who explorer")
+        // = 1/sqrt(2).
+        assert!(s >= 0.3, "noisy second header hurt too much: {s}");
+    }
+
+    #[test]
+    fn frequent_body_content_supports_query() {
+        // "black metal bands": "band" in header, "black metal" frequent in
+        // the genre column.
+        let t = make_table(
+            None,
+            vec![vec!["Band name", "Country", "Genre"]],
+            vec![
+                vec!["Mayhem", "Norway", "Black metal"],
+                vec!["Burzum", "Norway", "Black metal"],
+                vec!["Marduk", "Sweden", "Black metal"],
+            ],
+            "",
+        );
+        let v = view_of(&t);
+        let q = qcol("black metal bands");
+        let s = seg_sim(&q, &v, 0, &cfg());
+        // in = "bands"→"band" (1/3 of norm, cos 1/sqrt2), out = "black
+        // metal" at body reliability 0.8 => ≈ 0.7690.
+        let expected = (1.0 / 3.0) * (1.0 / 2f64.sqrt()) + (2.0 / 3.0) * 0.8;
+        assert!((s - expected).abs() < 1e-9, "s = {s}, expected {expected}");
+    }
+
+    #[test]
+    fn other_column_header_supports_query() {
+        // "dog breeds" against a table with separate "Dog" and "Breed"
+        // columns: column "Dog" matches "dog", "breed" appears as another
+        // column's header (reliability 1.0).
+        let t = make_table(
+            None,
+            vec![vec!["Dog", "Breed", "Weight"]],
+            vec![vec!["Rex", "Husky", "25kg"]],
+            "",
+        );
+        let v = view_of(&t);
+        let q = qcol("dog breeds");
+        let s = seg_sim(&q, &v, 0, &cfg());
+        // in = "dog" (cos 1), out = "breed" in other column (p = 1.0) => 1.
+        assert!((s - 1.0).abs() < 1e-9, "s = {s}");
+    }
+
+    #[test]
+    fn headerless_table_scores_zero() {
+        let t = make_table(None, vec![], vec![vec!["a", "b"]], "relevant context words");
+        let v = view_of(&t);
+        let q = qcol("relevant context");
+        assert_eq!(seg_sim(&q, &v, 0, &cfg()), 0.0);
+        assert_eq!(cover(&q, &v, 0, &cfg()), 0.0);
+    }
+
+    #[test]
+    fn empty_query_scores_zero() {
+        let t = make_table(None, vec![vec!["A", "B"]], vec![vec!["1", "2"]], "");
+        let v = view_of(&t);
+        let q = qcol("of the"); // only stopwords
+        assert_eq!(seg_sim(&q, &v, 0, &cfg()), 0.0);
+    }
+
+    #[test]
+    fn scores_bounded_in_unit_interval() {
+        let t = make_table(
+            Some("Everything about explorers"),
+            vec![vec!["Name of explorers", "Nationality"], vec!["explorer", ""]],
+            vec![vec!["Tasman", "Dutch"], vec!["Gama", "Portuguese"]],
+            "explorers nationality name",
+        );
+        let v = view_of(&t);
+        for text in ["name of explorers", "nationality", "explorers name"] {
+            let q = qcol(text);
+            for c in 0..2 {
+                let s = seg_sim(&q, &v, c, &cfg());
+                let cv = cover(&q, &v, c, &cfg());
+                assert!((0.0..=1.0 + 1e-9).contains(&s), "segsim {s}");
+                assert!((0.0..=1.0 + 1e-9).contains(&cv), "cover {cv}");
+            }
+        }
+    }
+
+    #[test]
+    fn cover_counts_matched_fraction_not_cosine() {
+        // Header has extra tokens: cosine drops, coverage stays 1.
+        let t = make_table(
+            None,
+            vec![vec!["country name list official", "x"]],
+            vec![vec!["India", "y"]],
+            "",
+        );
+        let v = view_of(&t);
+        let q = qcol("country");
+        let s = seg_sim(&q, &v, 0, &cfg());
+        let c = cover(&q, &v, 0, &cfg());
+        assert!(c > s, "cover {c} should exceed cosine-based segsim {s}");
+        assert!((c - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,207 @@
+//! Table-independent inference (paper §4.1).
+//!
+//! With edge potentials absent, tables decouple. For each table we solve a
+//! generalized maximum matching: columns (unit capacity) against the bins
+//! `{Q1..Qq}` (capacity 1 — `mutex`) and `na` (capacity `nt − m` —
+//! `min-match`), with a large additive bonus `M` on `Q1` edges enforcing
+//! `must-match`. The resulting best *relevant* labeling is compared against
+//! labeling every column `nr` (`all-Irr` makes that the only alternative),
+//! and the higher-scoring option wins.
+
+use crate::potentials::NodePotentials;
+use wwt_graph::{solve_assignment, Assignment};
+use wwt_model::Label;
+
+/// Bonus added to Q1-edges so the optimal matching satisfies `must-match`
+/// whenever feasible. Removed again before scores are compared.
+const MUST_MATCH_BONUS: f64 = 1.0e6;
+
+/// Solves one table exactly under the node potentials and the four table
+/// constraints. Returns the labeling and its node-potential score.
+///
+/// `m_eff` is the effective `min-match` (already capped by table width).
+pub fn solve_table(pots: &NodePotentials, m_eff: usize) -> (Vec<Label>, f64) {
+    let nt = pots.n_cols();
+    let q = pots.q;
+    let all_nr = (vec![Label::Nr; nt], pots.all_nr_score());
+    match best_relevant_labeling(pots, m_eff) {
+        Some((labels, score)) if score > all_nr.1 => (labels, score),
+        _ => all_nr,
+    }
+    .tap_assert(q)
+}
+
+/// The best labeling with the table forced relevant, or `None` if the
+/// constraints cannot be met (e.g. fewer feasible columns than `m_eff`).
+pub fn best_relevant_labeling(pots: &NodePotentials, m_eff: usize) -> Option<(Vec<Label>, f64)> {
+    let nt = pots.n_cols();
+    let q = pots.q;
+    if nt == 0 {
+        return None;
+    }
+    // Bins: q query labels (cap 1) then na (cap nt − m).
+    let mut bin_caps = vec![1u32; q];
+    bin_caps.push(nt.saturating_sub(m_eff) as u32);
+    let weights: Vec<Vec<f64>> = (0..nt)
+        .map(|c| {
+            let mut row: Vec<f64> = (0..q)
+                .map(|l| {
+                    let theta = pots.theta[c][l];
+                    if l == 0 {
+                        theta + MUST_MATCH_BONUS
+                    } else {
+                        theta
+                    }
+                })
+                .collect();
+            row.push(0.0); // na: θ = 0
+            row
+        })
+        .collect();
+    let sol = solve_assignment(&Assignment { bin_caps, weights })?;
+    let labels: Vec<Label> = sol
+        .assignment
+        .iter()
+        .map(|&b| if b < q { Label::Col(b) } else { Label::Na })
+        .collect();
+    // must-match must actually hold (the bonus makes it optimal whenever
+    // feasible; if no column can take Q1 the capacity still allows skipping
+    // it, so verify).
+    if !labels.contains(&Label::Col(0)) {
+        return None;
+    }
+    let score = pots.labeling_score(&labels);
+    Some((labels, score))
+}
+
+trait TapAssert {
+    fn tap_assert(self, q: usize) -> Self;
+}
+
+impl TapAssert for (Vec<Label>, f64) {
+    fn tap_assert(self, q: usize) -> Self {
+        debug_assert!(
+            wwt_model::Labeling::new(wwt_model::TableId(0), self.0.clone())
+                .satisfies_constraints(q, 1),
+            "solver produced inconsistent labeling {:?}",
+            self.0
+        );
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds potentials directly (bypassing features) for solver tests.
+    fn pots(q: usize, theta: Vec<Vec<f64>>) -> NodePotentials {
+        NodePotentials {
+            q,
+            theta,
+            relevance: 0.0,
+        }
+    }
+
+    #[test]
+    fn clean_two_column_mapping() {
+        // cols: 0 ↔ Q1, 1 ↔ Q2; nr unattractive.
+        let p = pots(
+            2,
+            vec![
+                vec![1.0, -0.3, 0.0, 0.1],
+                vec![-0.3, 1.0, 0.0, 0.1],
+            ],
+        );
+        let (labels, score) = solve_table(&p, 2);
+        assert_eq!(labels, vec![Label::Col(0), Label::Col(1)]);
+        assert!((score - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn irrelevant_table_goes_all_nr() {
+        let p = pots(
+            2,
+            vec![
+                vec![-0.3, -0.3, 0.0, 0.4],
+                vec![-0.3, -0.3, 0.0, 0.4],
+            ],
+        );
+        let (labels, score) = solve_table(&p, 2);
+        assert_eq!(labels, vec![Label::Nr, Label::Nr]);
+        assert!((score - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mutex_forces_second_best() {
+        // Both columns prefer Q1; only one may take it; min-match=2 forces
+        // the other to Q2.
+        let p = pots(
+            2,
+            vec![
+                vec![1.0, 0.2, 0.0, 0.0],
+                vec![0.9, 0.3, 0.0, 0.0],
+            ],
+        );
+        let (labels, _) = solve_table(&p, 2);
+        assert_eq!(labels, vec![Label::Col(0), Label::Col(1)]);
+    }
+
+    #[test]
+    fn min_match_forces_na_limit() {
+        // 3 columns, q=2, m=2: at most 1 na among relevant labelings.
+        let p = pots(
+            2,
+            vec![
+                vec![1.0, 0.1, 0.0, 0.0],
+                vec![0.1, 0.05, 0.0, 0.0], // weak, would rather be na
+                vec![0.2, 0.15, 0.0, 0.0],
+            ],
+        );
+        let (labels, _) = solve_table(&p, 2);
+        let non_na = labels.iter().filter(|&&l| l != Label::Na).count();
+        assert!(non_na >= 2, "{labels:?}");
+        assert!(labels.contains(&Label::Col(0)));
+    }
+
+    #[test]
+    fn must_match_prefers_q1_even_when_weaker() {
+        // Column 0 scores higher on Q2 than Q1, but a relevant table must
+        // contain Q1: with min-match 1 and a single column, Q1 wins.
+        let p = pots(2, vec![vec![0.5, 0.8, 0.0, 0.1]]);
+        let (labels, _) = solve_table(&p, 1);
+        assert_eq!(labels, vec![Label::Col(0)]);
+    }
+
+    #[test]
+    fn relevant_vs_nr_decision_is_score_based() {
+        // Strong nr pull: mapping scores 0.5, all-nr scores 0.6.
+        let p = pots(1, vec![vec![0.5, 0.0, 0.6]]);
+        let (labels, score) = solve_table(&p, 1);
+        assert_eq!(labels, vec![Label::Nr]);
+        assert!((score - 0.6).abs() < 1e-9);
+        // Flip the balance.
+        let p = pots(1, vec![vec![0.7, 0.0, 0.6]]);
+        let (labels, _) = solve_table(&p, 1);
+        assert_eq!(labels, vec![Label::Col(0)]);
+    }
+
+    #[test]
+    fn single_column_table_with_multi_column_query() {
+        // nt=1 < m=2: effective m capped by caller at 1; table can still be
+        // relevant via Q1.
+        let p = pots(3, vec![vec![1.0, 0.0, 0.0, 0.0, 0.05]]);
+        let (labels, _) = solve_table(&p, 1);
+        assert_eq!(labels, vec![Label::Col(0)]);
+    }
+
+    #[test]
+    fn best_relevant_none_when_infeasible() {
+        // q=1, one column, but nt - m = 0 na slots and... actually with one
+        // column and m=1 it is feasible; make Q1 forbidden instead.
+        let p = pots(1, vec![vec![f64::NEG_INFINITY, 0.0, 0.3]]);
+        assert!(best_relevant_labeling(&p, 1).is_none());
+        let (labels, _) = solve_table(&p, 1);
+        assert_eq!(labels, vec![Label::Nr]);
+    }
+}

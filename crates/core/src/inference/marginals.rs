@@ -1,0 +1,184 @@
+//! Per-table max-marginals and calibrated probabilities (paper §4.2.3).
+//!
+//! `µ_tc(ℓ)` is the best score of Eq. 9 (no edge potentials) with column
+//! `c` forced to label `ℓ`, under `mutex` and `all-Irr` only — the
+//! `must-match`/`min-match` constraints are deliberately excluded so that
+//! relative magnitudes stay undistorted (§4.2.3). Probabilities are the
+//! softmax `p_tc(ℓ) = exp µ_tc(ℓ) / Σ exp µ_tc(ℓ')`; a column is
+//! *confident* when some query label exceeds the confidence threshold
+//! (paper: 0.6). These probabilities drive the edge gating (Eq. 4), the
+//! table-centric messages, and the second index probe's top-2 selection.
+
+use crate::config::MapperConfig;
+use crate::potentials::NodePotentials;
+use wwt_graph::{max_marginals, Assignment};
+
+/// Max-marginals, probabilities and confidence flags for one table.
+#[derive(Debug, Clone)]
+pub struct TableMarginals {
+    /// `mu[c][dense_label]` with the dense order `Col(0..q-1), Na, Nr`.
+    pub mu: Vec<Vec<f64>>,
+    /// Softmax-calibrated `p[c][dense_label]`.
+    pub probs: Vec<Vec<f64>>,
+    /// Per column: `max_{ℓ ∈ 1..q} p > confidence_threshold`.
+    pub confident: Vec<bool>,
+    /// Table-level relevance probability: `1 − mean_c p(nr)`.
+    pub relevance_prob: f64,
+}
+
+/// Computes Figure 3's max-marginals for one table and calibrates them.
+pub fn table_marginals(pots: &NodePotentials, cfg: &MapperConfig) -> TableMarginals {
+    let nt = pots.n_cols();
+    let q = pots.q;
+    // Bins: q labels (cap 1, mutex) + na (cap nt: unconstrained — the
+    // min-match constraint is excluded here).
+    let mut bin_caps = vec![1u32; q];
+    bin_caps.push(nt as u32);
+    let weights: Vec<Vec<f64>> = (0..nt)
+        .map(|c| {
+            let mut row: Vec<f64> = (0..q).map(|l| pots.theta[c][l]).collect();
+            row.push(0.0); // na
+            row
+        })
+        .collect();
+    let assignment_mu = max_marginals(&Assignment { bin_caps, weights });
+    let nr_score = pots.all_nr_score();
+
+    let mu: Vec<Vec<f64>> = (0..nt)
+        .map(|c| {
+            let mut row: Vec<f64> = assignment_mu[c].clone(); // q + 1 entries
+            row.push(nr_score); // µ(nr): all-Irr forces the whole table nr
+            row
+        })
+        .collect();
+    let probs: Vec<Vec<f64>> = mu
+        .iter()
+        .map(|row| softmax(row, cfg.calibration_temperature))
+        .collect();
+    let confident: Vec<bool> = probs
+        .iter()
+        .map(|p| {
+            p[..q]
+                .iter()
+                .cloned()
+                .fold(0.0f64, f64::max)
+                > cfg.confidence_threshold
+        })
+        .collect();
+    let relevance_prob = if nt == 0 {
+        0.0
+    } else {
+        1.0 - probs.iter().map(|p| p[q + 1]).sum::<f64>() / nt as f64
+    };
+    TableMarginals {
+        mu,
+        probs,
+        confident,
+        relevance_prob,
+    }
+}
+
+fn softmax(xs: &[f64], temperature: f64) -> Vec<f64> {
+    let t = temperature.max(1e-6);
+    let mx = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !mx.is_finite() {
+        // All labels infeasible: uniform.
+        return vec![1.0 / xs.len() as f64; xs.len()];
+    }
+    let exps: Vec<f64> = xs.iter().map(|&x| ((x - mx) / t).exp()).collect();
+    let z: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / z).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pots(q: usize, theta: Vec<Vec<f64>>) -> NodePotentials {
+        NodePotentials {
+            q,
+            theta,
+            relevance: 0.0,
+        }
+    }
+
+    fn cfg() -> MapperConfig {
+        MapperConfig::default()
+    }
+
+    #[test]
+    fn probabilities_normalized() {
+        let p = pots(
+            2,
+            vec![vec![2.0, 0.1, 0.0, 0.2], vec![0.1, 1.5, 0.0, 0.2]],
+        );
+        let m = table_marginals(&p, &cfg());
+        for row in &m.probs {
+            let z: f64 = row.iter().sum();
+            assert!((z - 1.0).abs() < 1e-9);
+            assert!(row.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn strong_match_is_confident() {
+        let p = pots(
+            2,
+            vec![vec![4.0, -1.0, 0.0, -1.0], vec![-1.0, 4.0, 0.0, -1.0]],
+        );
+        let m = table_marginals(&p, &cfg());
+        assert!(m.confident[0] && m.confident[1]);
+        assert!(m.probs[0][0] > 0.9);
+        assert!(m.probs[1][1] > 0.9);
+        assert!(m.relevance_prob > 0.9);
+    }
+
+    #[test]
+    fn weak_table_not_confident_low_relevance() {
+        let p = pots(
+            2,
+            vec![vec![-0.2, -0.2, 0.0, 2.0], vec![-0.2, -0.2, 0.0, 2.0]],
+        );
+        let m = table_marginals(&p, &cfg());
+        assert!(!m.confident[0] && !m.confident[1]);
+        assert!(m.relevance_prob < 0.3, "rel {}", m.relevance_prob);
+    }
+
+    #[test]
+    fn mutex_shows_in_marginals() {
+        // Two columns both strong on Q1; forcing col 1 to Q1 pushes col 0
+        // off it (to na), so µ[1][Q1] < µ[1] when col0 keeps Q1... verify
+        // the marginal reflects the exclusion cost.
+        let p = pots(
+            1,
+            vec![vec![3.0, 0.0, 0.0], vec![2.0, 0.0, 0.0]],
+        );
+        let m = table_marginals(&p, &cfg());
+        // Best overall: col0=Q1 (3), col1=na (0) => 3.
+        assert!((m.mu[0][0] - 3.0).abs() < 1e-9);
+        // Forcing col1=Q1: col0 must drop to na => total 2.
+        assert!((m.mu[1][0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nr_marginal_is_whole_table_score() {
+        let p = pots(1, vec![vec![1.0, 0.0, 0.4], vec![0.5, 0.0, 0.4]]);
+        let m = table_marginals(&p, &cfg());
+        // µ(nr) = 0.4 + 0.4 for every column.
+        assert!((m.mu[0][2] - 0.8).abs() < 1e-9);
+        assert!((m.mu[1][2] - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_match_not_applied_in_marginals() {
+        // Single strong column in a 2-col table with q=2: µ allows mapping
+        // just one column (min-match excluded per §4.2.3).
+        let p = pots(
+            2,
+            vec![vec![2.0, -1.0, 0.0, 0.0], vec![-1.0, -1.0, 0.0, 0.0]],
+        );
+        let m = table_marginals(&p, &cfg());
+        // µ[0][Q1] = 2.0 (col1 free to take na).
+        assert!((m.mu[0][0] - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,192 @@
+//! Table-centric collective inference (paper §4.2) — the algorithm the
+//! paper found best in both accuracy and running time.
+//!
+//! Three stages:
+//! 1. per table, max-marginal probabilities `p_tc(ℓ)` (Figure 3);
+//! 2. per column, neighbor messages
+//!    `msg(tc, ℓ) = Σ_{t'c' ∈ nbr(tc)} we · nsim(tc, t'c') · p_t'c'(ℓ)`,
+//!    restricted to *confident* senders (the gate of Eq. 4);
+//! 3. per table, re-solve §4.1's matching with node potentials
+//!    `max(msg(tc, ℓ), θ(tc, ℓ))`.
+
+use crate::colsim::ColumnEdge;
+use crate::config::MapperConfig;
+use crate::inference::independent::solve_table;
+use crate::inference::marginals::{table_marginals, TableMarginals};
+use crate::potentials::NodePotentials;
+use wwt_model::Label;
+
+/// Output of the collective table-centric pass.
+#[derive(Debug, Clone)]
+pub struct TableCentricResult {
+    /// Final labels per table.
+    pub labels: Vec<Vec<Label>>,
+    /// Stage-1 marginals (probabilities, confidence, relevance).
+    pub marginals: Vec<TableMarginals>,
+}
+
+/// Runs the three-stage table-centric algorithm.
+///
+/// `pots[i]` are the node potentials of candidate table `i`; `edges` the
+/// cross-table max-matching edges; `m_eff` the per-table effective
+/// `min-match` values.
+pub fn table_centric(
+    pots: &[NodePotentials],
+    edges: &[ColumnEdge],
+    m_eff: &[usize],
+    cfg: &MapperConfig,
+) -> TableCentricResult {
+    let q = pots.first().map(|p| p.q).unwrap_or(0);
+    // Stage 1: independent marginals.
+    let marginals: Vec<TableMarginals> = pots.iter().map(|p| table_marginals(p, cfg)).collect();
+
+    // Stage 2: messages. Only labels 1..q and na travel (nr is excluded by
+    // Eq. 4's ℓ ≠ nr condition).
+    let we = cfg.weights.we;
+    let mut msg: Vec<Vec<Vec<f64>>> = pots
+        .iter()
+        .map(|p| vec![vec![0.0f64; q + 1]; p.n_cols()])
+        .collect();
+    for e in edges {
+        let (ta, ca) = e.a;
+        let (tb, cb) = e.b;
+        // b -> a, gated on b's confidence.
+        if marginals[tb].confident[cb] {
+            for l in 0..=q {
+                msg[ta][ca][l] += we * e.nsim_ab * marginals[tb].probs[cb][l];
+            }
+        }
+        // a -> b.
+        if marginals[ta].confident[ca] {
+            for l in 0..=q {
+                msg[tb][cb][l] += we * e.nsim_ba * marginals[ta].probs[ca][l];
+            }
+        }
+    }
+
+    // Stage 3: per-table re-solve with boosted potentials. A message is
+    // *evidence* like SegSim/Cover, so the assignment bias w5 still
+    // applies on top of it: θ' = max(θ, w5 + msg), and only where a
+    // message actually arrived (otherwise max(0, θ) would silently erase
+    // the bias on isolated columns and flip borderline tables relevant).
+    let w5 = cfg.weights.w5;
+    let labels = pots
+        .iter()
+        .enumerate()
+        .map(|(t, p)| {
+            let boosted_theta: Vec<Vec<f64>> = (0..p.n_cols())
+                .map(|c| {
+                    let mut row = p.theta[c].clone();
+                    for (l, r) in row.iter_mut().enumerate().take(q) {
+                        if msg[t][c][l] > 0.0 {
+                            *r = r.max(w5 + msg[t][c][l]);
+                        }
+                    }
+                    // na (dense q) stays 0; nr untouched.
+                    row
+                })
+                .collect();
+            let boosted = NodePotentials {
+                q: p.q,
+                theta: boosted_theta,
+                relevance: p.relevance,
+            };
+            solve_table(&boosted, m_eff[t]).0
+        })
+        .collect();
+
+    TableCentricResult { labels, marginals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pots(q: usize, theta: Vec<Vec<f64>>) -> NodePotentials {
+        NodePotentials {
+            q,
+            theta,
+            relevance: 0.0,
+        }
+    }
+
+    fn cfg() -> MapperConfig {
+        MapperConfig::default()
+    }
+
+    /// A confident source table and a headerless (zero-potential) sink
+    /// table connected by a strong content edge.
+    #[test]
+    fn confident_neighbor_rescues_headerless_table() {
+        let source = pots(
+            1,
+            vec![vec![3.0, 0.0, 0.1], vec![-0.5, 0.0, 0.1]],
+        );
+        // Sink: no header → zero query potentials, mild nr pull: would be
+        // labeled nr on its own.
+        let sink = pots(1, vec![vec![-0.35, 0.0, 0.3], vec![-0.35, 0.0, 0.3]]);
+        let edges = vec![ColumnEdge {
+            a: (0, 0),
+            b: (1, 0),
+            sim: 0.9,
+            nsim_ab: 0.75,
+            nsim_ba: 0.75,
+        }];
+        let r = table_centric(&[source, sink], &edges, &[1, 1], &cfg());
+        assert_eq!(r.labels[0][0], Label::Col(0));
+        assert_eq!(
+            r.labels[1][0],
+            Label::Col(0),
+            "edge should rescue the sink table: {:?}",
+            r.labels
+        );
+    }
+
+    #[test]
+    fn unconfident_neighbor_sends_nothing() {
+        // Source is weak (not confident): sink must stay nr.
+        let source = pots(1, vec![vec![0.2, 0.0, 0.15], vec![0.0, 0.0, 0.15]]);
+        let sink = pots(1, vec![vec![-0.35, 0.0, 0.3], vec![-0.35, 0.0, 0.3]]);
+        let edges = vec![ColumnEdge {
+            a: (0, 0),
+            b: (1, 0),
+            sim: 0.9,
+            nsim_ab: 0.75,
+            nsim_ba: 0.75,
+        }];
+        let r = table_centric(&[source, sink], &edges, &[1, 1], &cfg());
+        assert_eq!(r.labels[1], vec![Label::Nr, Label::Nr]);
+    }
+
+    #[test]
+    fn messages_never_downgrade_potentials() {
+        // max(msg, θ): a strong own-potential must survive a weak message.
+        let a = pots(1, vec![vec![3.0, 0.0, 0.0]]);
+        let b = pots(1, vec![vec![2.5, 0.0, 0.0]]);
+        let edges = vec![ColumnEdge {
+            a: (0, 0),
+            b: (1, 0),
+            sim: 0.2,
+            nsim_ab: 0.1,
+            nsim_ba: 0.1,
+        }];
+        let r = table_centric(&[a, b], &edges, &[1, 1], &cfg());
+        assert_eq!(r.labels[0][0], Label::Col(0));
+        assert_eq!(r.labels[1][0], Label::Col(0));
+    }
+
+    #[test]
+    fn no_edges_equals_independent() {
+        let a = pots(1, vec![vec![1.0, 0.0, 0.2], vec![-0.2, 0.0, 0.2]]);
+        let independent = solve_table(&a, 1).0;
+        let r = table_centric(&[a], &[], &[1], &cfg());
+        assert_eq!(r.labels[0], independent);
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = table_centric(&[], &[], &[], &cfg());
+        assert!(r.labels.is_empty());
+        assert!(r.marginals.is_empty());
+    }
+}

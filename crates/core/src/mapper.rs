@@ -1,0 +1,333 @@
+//! The top-level column mapper: feature extraction → graphical model →
+//! inference → labeled tables with calibrated scores (paper §2.2.2, §3, §4).
+
+use crate::colsim::build_edges;
+use crate::config::MapperConfig;
+use crate::features::QueryView;
+use crate::inference::{
+    edge_centric, solve_table, table_centric, table_marginals, EdgeCentricAlgorithm,
+};
+use crate::potentials::{node_potentials, NodePotentials};
+use crate::view::TableView;
+use wwt_index::TableIndex;
+use wwt_model::{Label, Labeling, Query, WebTable};
+use wwt_text::CorpusStats;
+
+/// Inference algorithm selection (paper Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InferenceAlgorithm {
+    /// No collective inference: each table labeled independently (§4.1).
+    Independent,
+    /// The table-centric collective algorithm (§4.2) — the paper's best
+    /// and WWT's default.
+    #[default]
+    TableCentric,
+    /// Constrained α-expansion (§4.3).
+    AlphaExpansion,
+    /// Loopy belief propagation baseline.
+    BeliefPropagation,
+    /// TRW-S baseline.
+    Trws,
+}
+
+/// Output of the column mapper for one query.
+#[derive(Debug, Clone)]
+pub struct MappingResult {
+    /// One labeling per candidate table, in input order.
+    pub labelings: Vec<Labeling>,
+    /// Calibrated per-column label distributions
+    /// `probs[t][c][dense_label]`.
+    pub column_probs: Vec<Vec<Vec<f64>>>,
+    /// Per-table relevance probability (`1 − mean_c p(nr)`), used by the
+    /// second index probe's top-2 selection (§2.2.1).
+    pub table_relevance: Vec<f64>,
+    /// Per-column confidence flags (gate of Eq. 4).
+    pub confident: Vec<Vec<bool>>,
+}
+
+impl MappingResult {
+    /// Tables labeled relevant, most relevant first.
+    pub fn relevant_tables(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.labelings.len())
+            .filter(|&t| self.labelings[t].is_relevant())
+            .collect();
+        idx.sort_by(|&a, &b| {
+            self.table_relevance[b]
+                .partial_cmp(&self.table_relevance[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        idx
+    }
+}
+
+/// The column mapper (Figure 2's "Column Mapper" box).
+#[derive(Debug, Clone, Default)]
+pub struct ColumnMapper {
+    /// Model configuration.
+    pub config: MapperConfig,
+    /// Inference algorithm to run.
+    pub algorithm: InferenceAlgorithm,
+}
+
+impl ColumnMapper {
+    /// A mapper with the given configuration and the default (table
+    /// centric) algorithm.
+    pub fn new(config: MapperConfig) -> Self {
+        ColumnMapper {
+            config,
+            algorithm: InferenceAlgorithm::default(),
+        }
+    }
+
+    /// Selects the inference algorithm.
+    pub fn with_algorithm(mut self, algorithm: InferenceAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Maps every candidate table's columns to the query columns.
+    ///
+    /// `stats` supplies corpus IDF; `index` additionally enables the PMI²
+    /// feature when `config.use_pmi` is set.
+    pub fn map(
+        &self,
+        query: &Query,
+        tables: &[&WebTable],
+        stats: &CorpusStats,
+        index: Option<&TableIndex>,
+    ) -> MappingResult {
+        let cfg = &self.config;
+        let qv = QueryView::new(query, stats);
+        let q = qv.q();
+        let views: Vec<TableView<'_>> = tables
+            .iter()
+            .map(|t| TableView::new(t, stats, cfg.body_freq_frac))
+            .collect();
+        let pots: Vec<NodePotentials> = views
+            .iter()
+            .map(|v| node_potentials(&qv, v, cfg, index))
+            .collect();
+        let m_eff: Vec<usize> = views
+            .iter()
+            .map(|v| cfg.effective_min_match(q, v.n_cols()))
+            .collect();
+
+        let needs_edges = !matches!(self.algorithm, InferenceAlgorithm::Independent);
+        let edges = if needs_edges {
+            build_edges(&views, cfg)
+        } else {
+            Vec::new()
+        };
+
+        let (labels, marginals) = match self.algorithm {
+            InferenceAlgorithm::Independent => {
+                let labels: Vec<Vec<Label>> = pots
+                    .iter()
+                    .zip(&m_eff)
+                    .map(|(p, &m)| solve_table(p, m).0)
+                    .collect();
+                let marginals = pots.iter().map(|p| table_marginals(p, cfg)).collect();
+                (labels, marginals)
+            }
+            InferenceAlgorithm::TableCentric => {
+                let r = table_centric(&pots, &edges, &m_eff, cfg);
+                (r.labels, r.marginals)
+            }
+            InferenceAlgorithm::AlphaExpansion => {
+                let r = edge_centric(&pots, &edges, &m_eff, cfg, EdgeCentricAlgorithm::AlphaExpansion);
+                (r.labels, r.marginals)
+            }
+            InferenceAlgorithm::BeliefPropagation => {
+                let r = edge_centric(
+                    &pots,
+                    &edges,
+                    &m_eff,
+                    cfg,
+                    EdgeCentricAlgorithm::BeliefPropagation,
+                );
+                (r.labels, r.marginals)
+            }
+            InferenceAlgorithm::Trws => {
+                let r = edge_centric(&pots, &edges, &m_eff, cfg, EdgeCentricAlgorithm::Trws);
+                (r.labels, r.marginals)
+            }
+        };
+
+        MappingResult {
+            labelings: tables
+                .iter()
+                .zip(&labels)
+                .map(|(t, l)| Labeling::new(t.id, l.clone()))
+                .collect(),
+            column_probs: marginals.iter().map(|m| m.probs.clone()).collect(),
+            table_relevance: marginals.iter().map(|m| m.relevance_prob).collect(),
+            confident: marginals.iter().map(|m| m.confident.clone()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wwt_model::{ContextSnippet, TableId};
+
+    fn currency_table(id: u32) -> WebTable {
+        WebTable::new(
+            TableId(id),
+            "u",
+            None,
+            vec![vec!["Country".into(), "Currency".into()]],
+            vec![
+                vec!["India".into(), "Rupee".into()],
+                vec!["Japan".into(), "Yen".into()],
+                vec!["France".into(), "Euro".into()],
+            ],
+            vec![ContextSnippet::new("currencies of the world by country", 0.9)],
+        )
+        .unwrap()
+    }
+
+    fn forest_table(id: u32) -> WebTable {
+        WebTable::new(
+            TableId(id),
+            "u",
+            Some("Forest reserves".into()),
+            vec![vec!["ID".into(), "Name".into(), "Area".into()]],
+            vec![
+                vec!["7".into(), "Shakespeare Hills".into(), "2236".into()],
+                vec!["9".into(), "Plains Creek".into(), "880".into()],
+            ],
+            vec![ContextSnippet::new(
+                "areas available for mineral exploration and mining",
+                0.8,
+            )],
+        )
+        .unwrap()
+    }
+
+    fn headerless_currency(id: u32) -> WebTable {
+        WebTable::new(
+            TableId(id),
+            "u",
+            None,
+            vec![],
+            vec![
+                vec!["India".into(), "Rupee".into()],
+                vec!["Japan".into(), "Yen".into()],
+                vec!["France".into(), "Euro".into()],
+            ],
+            vec![],
+        )
+        .unwrap()
+    }
+
+    fn all_algorithms() -> [InferenceAlgorithm; 5] {
+        [
+            InferenceAlgorithm::Independent,
+            InferenceAlgorithm::TableCentric,
+            InferenceAlgorithm::AlphaExpansion,
+            InferenceAlgorithm::BeliefPropagation,
+            InferenceAlgorithm::Trws,
+        ]
+    }
+
+    #[test]
+    fn relevant_and_irrelevant_separated_by_every_algorithm() {
+        let q = Query::parse("country | currency").unwrap();
+        let good = currency_table(0);
+        let bad = forest_table(1);
+        let stats = CorpusStats::new();
+        for alg in all_algorithms() {
+            let mapper = ColumnMapper::default().with_algorithm(alg);
+            let r = mapper.map(&q, &[&good, &bad], &stats, None);
+            assert_eq!(
+                r.labelings[0].labels,
+                vec![Label::Col(0), Label::Col(1)],
+                "{alg:?} good table"
+            );
+            assert_eq!(
+                r.labelings[1].labels,
+                vec![Label::Nr; 3],
+                "{alg:?} bad table"
+            );
+            assert!(r.table_relevance[0] > r.table_relevance[1], "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn collective_inference_rescues_headerless_table() {
+        let q = Query::parse("country | currency").unwrap();
+        let good = currency_table(0);
+        let naked = headerless_currency(1);
+        let stats = CorpusStats::new();
+
+        // Independent: headerless table cannot be mapped.
+        let independent = ColumnMapper::default()
+            .with_algorithm(InferenceAlgorithm::Independent)
+            .map(&q, &[&good, &naked], &stats, None);
+        assert!(!independent.labelings[1].is_relevant());
+
+        // Table-centric: content overlap transfers the labels.
+        let collective = ColumnMapper::default()
+            .with_algorithm(InferenceAlgorithm::TableCentric)
+            .map(&q, &[&good, &naked], &stats, None);
+        assert_eq!(
+            collective.labelings[1].labels,
+            vec![Label::Col(0), Label::Col(1)],
+            "headerless table not rescued"
+        );
+    }
+
+    #[test]
+    fn swapped_column_order_mapped_correctly() {
+        // Like Figure 1's Table 2: columns in reverse query order.
+        let q = Query::parse("country | currency").unwrap();
+        let swapped = WebTable::new(
+            TableId(0),
+            "u",
+            None,
+            vec![vec!["Currency".into(), "Country name".into()]],
+            vec![vec!["Rupee".into(), "India".into()]],
+            vec![],
+        )
+        .unwrap();
+        let stats = CorpusStats::new();
+        let r = ColumnMapper::default().map(&q, &[&swapped], &stats, None);
+        assert_eq!(r.labelings[0].labels, vec![Label::Col(1), Label::Col(0)]);
+    }
+
+    #[test]
+    fn relevant_tables_sorted_by_relevance() {
+        let q = Query::parse("country | currency").unwrap();
+        let good = currency_table(0);
+        let naked = headerless_currency(1);
+        let stats = CorpusStats::new();
+        let r = ColumnMapper::default().map(&q, &[&naked, &good], &stats, None);
+        let rel = r.relevant_tables();
+        assert!(!rel.is_empty());
+        assert_eq!(rel[0], 1, "strongest table first: {rel:?}");
+    }
+
+    #[test]
+    fn empty_candidate_set() {
+        let q = Query::parse("country | currency").unwrap();
+        let stats = CorpusStats::new();
+        let r = ColumnMapper::default().map(&q, &[], &stats, None);
+        assert!(r.labelings.is_empty());
+        assert!(r.relevant_tables().is_empty());
+    }
+
+    #[test]
+    fn probabilities_well_formed() {
+        let q = Query::parse("country | currency").unwrap();
+        let good = currency_table(0);
+        let stats = CorpusStats::new();
+        let r = ColumnMapper::default().map(&q, &[&good], &stats, None);
+        for col in &r.column_probs[0] {
+            assert_eq!(col.len(), 4); // q + 2
+            let z: f64 = col.iter().sum();
+            assert!((z - 1.0).abs() < 1e-9);
+        }
+        assert!(r.table_relevance[0] > 0.5);
+    }
+}

@@ -1,0 +1,117 @@
+//! The F1 error of the column mapping task (paper §5):
+//!
+//! ```text
+//! error(y, y*) = 100 − 200·Σ [[y_tc = y*_tc ∧ y_tc ∈ 1..q]]
+//!                      / (Σ [[y_tc ∈ 1..q]] + Σ [[y*_tc ∈ 1..q]])
+//! ```
+//!
+//! i.e. 100·(1 − F1) over the query-column labels; `na`/`nr` decisions
+//! count only indirectly (as missing or spurious query-column labels).
+
+use wwt_model::Label;
+
+/// Computes the F1 error (percent, 0 = perfect, 100 = nothing right) over
+/// per-table `(predicted, reference)` label pairs.
+///
+/// Tables appearing in only one of the two labelings should be passed with
+/// an all-`nr` counterpart.
+pub fn f1_error<'a, I>(pairs: I) -> f64
+where
+    I: IntoIterator<Item = (&'a [Label], &'a [Label])>,
+{
+    let mut correct = 0usize;
+    let mut predicted = 0usize;
+    let mut reference = 0usize;
+    for (pred, truth) in pairs {
+        debug_assert_eq!(pred.len(), truth.len(), "label width mismatch");
+        for (p, t) in pred.iter().zip(truth.iter()) {
+            if p.is_query_col() {
+                predicted += 1;
+            }
+            if t.is_query_col() {
+                reference += 1;
+            }
+            if p.is_query_col() && p == t {
+                correct += 1;
+            }
+        }
+    }
+    if predicted + reference == 0 {
+        return 0.0; // nothing to find, nothing predicted: perfect
+    }
+    100.0 - 200.0 * correct as f64 / (predicted + reference) as f64
+}
+
+/// F1 error of a single table's labeling.
+pub fn f1_error_single(pred: &[Label], truth: &[Label]) -> f64 {
+    f1_error([(pred, truth)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Label::*;
+
+    #[test]
+    fn perfect_prediction_zero_error() {
+        let a = vec![Col(0), Col(1), Na];
+        assert_eq!(f1_error_single(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn all_wrong_full_error() {
+        let pred = vec![Col(1), Col(0)];
+        let truth = vec![Col(0), Col(1)];
+        assert_eq!(f1_error_single(&pred, &truth), 100.0);
+    }
+
+    #[test]
+    fn missing_labels_penalized_as_recall() {
+        // Truth maps 2 columns; prediction maps 1 of them correctly.
+        let pred = vec![Col(0), Na];
+        let truth = vec![Col(0), Col(1)];
+        // F1 = 2·1/(1+2) = 2/3 → error 33.33.
+        assert!((f1_error_single(&pred, &truth) - (100.0 - 200.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spurious_labels_penalized_as_precision() {
+        let pred = vec![Col(0), Col(1)];
+        let truth = vec![Col(0), Na];
+        assert!((f1_error_single(&pred, &truth) - (100.0 - 200.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nr_vs_na_confusion_not_directly_counted() {
+        let pred = vec![Nr, Nr];
+        let truth = vec![Na, Na];
+        // No query labels anywhere: vacuously perfect.
+        assert_eq!(f1_error_single(&pred, &truth), 0.0);
+    }
+
+    #[test]
+    fn irrelevant_table_marked_relevant_costs_precision() {
+        let pred = vec![Col(0), Col(1)];
+        let truth = vec![Nr, Nr];
+        assert_eq!(f1_error_single(&pred, &truth), 100.0);
+    }
+
+    #[test]
+    fn aggregates_over_tables() {
+        let t1_pred = vec![Col(0)];
+        let t1_truth = vec![Col(0)];
+        let t2_pred = vec![Col(0)];
+        let t2_truth = vec![Nr];
+        let e = f1_error([
+            (t1_pred.as_slice(), t1_truth.as_slice()),
+            (t2_pred.as_slice(), t2_truth.as_slice()),
+        ]);
+        // correct 1, predicted 2, reference 1 → F1 = 2/3 → error 33.33.
+        assert!((e - (100.0 - 200.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_input_is_perfect() {
+        assert_eq!(f1_error(std::iter::empty::<(&[Label], &[Label])>()), 0.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Node potentials θ(tc, ℓ) (paper Eq. 3).
+//!
+//! ```text
+//! θ(tc, ℓ) = w1·SegSim + w2·Cover + w3·PMI² + w5        ℓ ∈ 1..q
+//!          = w4 · (min(q,nt)/nt) · (1 − R(Q,t))          ℓ = nr
+//!          = 0                                           ℓ = na
+//! ```
+//!
+//! The negative bias `w5` disallows query-column maps justified only by
+//! tiny similarities; the `nr` potential rewards marking a table irrelevant
+//! when little of the query is covered (`R` low).
+
+use crate::config::MapperConfig;
+use crate::features::{cover, pmi2, seg_sim, table_relevance, QueryView};
+use crate::view::TableView;
+use wwt_index::TableIndex;
+use wwt_model::Label;
+
+/// Dense node-potential table for one candidate web table:
+/// `theta[c][Label::dense]` over the label space `Col(0..q-1), Na, Nr`.
+#[derive(Debug, Clone)]
+pub struct NodePotentials {
+    /// Number of query columns.
+    pub q: usize,
+    /// `theta[c][l]` for the dense label order.
+    pub theta: Vec<Vec<f64>>,
+    /// The table-relevance feature `R(Q,t)` (kept for diagnostics).
+    pub relevance: f64,
+}
+
+impl NodePotentials {
+    /// θ for column `c` and label.
+    #[inline]
+    pub fn get(&self, c: usize, label: Label) -> f64 {
+        self.theta[c][label.dense(self.q)]
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.theta.len()
+    }
+
+    /// Score of labeling all columns `nr` (used by the all-or-nothing
+    /// relevance decision and by µ(nr) in Figure 3).
+    pub fn all_nr_score(&self) -> f64 {
+        (0..self.n_cols())
+            .map(|c| self.theta[c][self.q + 1])
+            .sum()
+    }
+
+    /// Score of a full labeling of this table under the node potentials.
+    pub fn labeling_score(&self, labels: &[Label]) -> f64 {
+        labels
+            .iter()
+            .enumerate()
+            .map(|(c, &l)| self.get(c, l))
+            .sum()
+    }
+}
+
+/// Computes Eq. 3 for every column of `view`. `index` enables the PMI²
+/// term when [`MapperConfig::use_pmi`] is set.
+pub fn node_potentials(
+    qv: &QueryView,
+    view: &TableView<'_>,
+    cfg: &MapperConfig,
+    index: Option<&TableIndex>,
+) -> NodePotentials {
+    let q = qv.q();
+    let nt = view.n_cols();
+    let relevance = table_relevance(qv, view, cfg);
+    let w = &cfg.weights;
+    let nr_pot = w.w4 * ((q.min(nt)) as f64 / nt as f64) * (1.0 - relevance);
+    let theta = (0..nt)
+        .map(|c| {
+            let mut row = Vec::with_capacity(q + 2);
+            for qc in &qv.columns {
+                let mut score = w.w1 * seg_sim(qc, view, c, cfg) + w.w2 * cover(qc, view, c, cfg);
+                if cfg.use_pmi {
+                    if let Some(idx) = index {
+                        score += w.w3 * pmi2(qc, view, c, idx);
+                    }
+                }
+                row.push(score + w.w5);
+            }
+            row.push(0.0); // na
+            row.push(nr_pot); // nr
+            row
+        })
+        .collect();
+    NodePotentials {
+        q,
+        theta,
+        relevance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wwt_model::{Query, TableId, WebTable};
+    use wwt_text::CorpusStats;
+
+    fn currency_table() -> WebTable {
+        WebTable::new(
+            TableId(0),
+            "u",
+            None,
+            vec![vec!["Country".into(), "Currency".into(), "ISO".into()]],
+            vec![
+                vec!["India".into(), "Rupee".into(), "INR".into()],
+                vec!["Japan".into(), "Yen".into(), "JPY".into()],
+            ],
+            vec![],
+        )
+        .unwrap()
+    }
+
+    fn pots(query: &str, t: &WebTable) -> NodePotentials {
+        let cfg = MapperConfig::default();
+        let stats = CorpusStats::new();
+        let qv = QueryView::new(&Query::parse(query).unwrap(), &stats);
+        let view = TableView::new(t, &stats, cfg.body_freq_frac);
+        node_potentials(&qv, &view, &cfg, None)
+    }
+
+    #[test]
+    fn matching_column_beats_others() {
+        let t = currency_table();
+        let p = pots("country | currency", &t);
+        // Column 0 ↔ Q1, column 1 ↔ Q2 dominate.
+        assert!(p.get(0, Label::Col(0)) > p.get(0, Label::Col(1)));
+        assert!(p.get(1, Label::Col(1)) > p.get(1, Label::Col(0)));
+        assert!(p.get(0, Label::Col(0)) > p.get(2, Label::Col(0)));
+    }
+
+    #[test]
+    fn na_is_zero_everywhere() {
+        let t = currency_table();
+        let p = pots("country | currency", &t);
+        for c in 0..3 {
+            assert_eq!(p.get(c, Label::Na), 0.0);
+        }
+    }
+
+    #[test]
+    fn nr_potential_high_for_irrelevant_table() {
+        let t = currency_table();
+        let relevant = pots("country | currency", &t);
+        let irrelevant = pots("pain killers | company", &t);
+        assert!(irrelevant.get(0, Label::Nr) > relevant.get(0, Label::Nr));
+        assert!(irrelevant.relevance < relevant.relevance);
+        // Unmatched query column potentials collapse to the bias.
+        assert!(irrelevant.get(0, Label::Col(0)) < 0.0);
+    }
+
+    #[test]
+    fn nr_scaled_by_query_table_width_ratio() {
+        // Eq. 3 scales the nr potential by min(q, nt)/nt: wide tables get a
+        // smaller per-column nr reward.
+        let narrow = currency_table(); // nt = 3
+        let wide = WebTable::new(
+            TableId(1),
+            "u",
+            None,
+            vec![(0..6).map(|i| format!("h{i}")).collect()],
+            vec![(0..6).map(|i| format!("v{i}")).collect()],
+            vec![],
+        )
+        .unwrap();
+        let p_narrow = pots("x | y", &narrow);
+        let p_wide = pots("x | y", &wide);
+        // Same R (= 0); ratio 2/3 vs 2/6.
+        assert!(p_narrow.get(0, Label::Nr) > p_wide.get(0, Label::Nr));
+    }
+
+    #[test]
+    fn scores_and_helpers_consistent() {
+        let t = currency_table();
+        let p = pots("country | currency", &t);
+        let labels = vec![Label::Col(0), Label::Col(1), Label::Na];
+        let manual = p.get(0, Label::Col(0)) + p.get(1, Label::Col(1)) + p.get(2, Label::Na);
+        assert!((p.labeling_score(&labels) - manual).abs() < 1e-12);
+        let nr3 = p.get(0, Label::Nr) * 3.0;
+        assert!((p.all_nr_score() - nr3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,155 @@
+//! Parameter training by exhaustive enumeration (paper §3.4: "Since we had
+//! only six parameters, we were able to find the best values through
+//! exhaustive enumeration" — max-margin methods need exact inference,
+//! which Eq. 9 does not admit).
+//!
+//! [`grid_search`] evaluates a caller-supplied error function (typically
+//! the F1 error of the mapper over a labeled development workload) on the
+//! cross product of per-parameter candidate grids and returns the best
+//! [`Weights`].
+
+use crate::config::Weights;
+
+/// Candidate values for each of the six parameters.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    /// Candidates for `w1` (SegSim).
+    pub w1: Vec<f64>,
+    /// Candidates for `w2` (Cover).
+    pub w2: Vec<f64>,
+    /// Candidates for `w3` (PMI²).
+    pub w3: Vec<f64>,
+    /// Candidates for `w4` (nr potential).
+    pub w4: Vec<f64>,
+    /// Candidates for `w5` (bias; should be ≤ 0).
+    pub w5: Vec<f64>,
+    /// Candidates for `we` (edge weight).
+    pub we: Vec<f64>,
+}
+
+impl Default for Grid {
+    /// A coarse default grid (1,536 combinations) centered on the shipped
+    /// weights.
+    fn default() -> Self {
+        Grid {
+            w1: vec![0.5, 1.0, 1.5, 2.0],
+            w2: vec![0.2, 0.6, 1.0, 1.4],
+            w3: vec![0.0, 0.4],
+            w4: vec![0.5, 0.9, 1.3, 1.7],
+            w5: vec![-0.2, -0.35, -0.5, -0.8],
+            we: vec![0.4, 0.8, 1.2],
+        }
+    }
+}
+
+impl Grid {
+    /// Number of weight combinations the grid spans.
+    pub fn size(&self) -> usize {
+        self.w1.len() * self.w2.len() * self.w3.len() * self.w4.len() * self.w5.len()
+            * self.we.len()
+    }
+}
+
+/// Result of a grid search.
+#[derive(Debug, Clone)]
+pub struct TrainedWeights {
+    /// The best weights found.
+    pub weights: Weights,
+    /// The error they achieved.
+    pub error: f64,
+    /// Combinations evaluated.
+    pub evaluated: usize,
+}
+
+/// Exhaustively searches `grid`, evaluating `error_of` on every weight
+/// combination, and returns the argmin (ties broken by first encounter,
+/// which prefers earlier = smaller grid values deterministically).
+pub fn grid_search<F>(grid: &Grid, mut error_of: F) -> TrainedWeights
+where
+    F: FnMut(&Weights) -> f64,
+{
+    let mut best: Option<(Weights, f64)> = None;
+    let mut evaluated = 0usize;
+    for &w1 in &grid.w1 {
+        for &w2 in &grid.w2 {
+            for &w3 in &grid.w3 {
+                for &w4 in &grid.w4 {
+                    for &w5 in &grid.w5 {
+                        for &we in &grid.we {
+                            let w = Weights {
+                                w1,
+                                w2,
+                                w3,
+                                w4,
+                                w5,
+                                we,
+                            };
+                            let err = error_of(&w);
+                            evaluated += 1;
+                            if best.as_ref().map(|(_, e)| err < *e).unwrap_or(true) {
+                                best = Some((w, err));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let (weights, error) = best.expect("grid must be non-empty");
+    TrainedWeights {
+        weights,
+        error,
+        evaluated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_known_optimum() {
+        // Error = distance to a planted optimum.
+        let target = Weights {
+            w1: 1.5,
+            w2: 1.0,
+            w3: 0.0,
+            w4: 0.9,
+            w5: -0.5,
+            we: 1.2,
+        };
+        let grid = Grid::default();
+        let r = grid_search(&grid, |w| {
+            (w.w1 - target.w1).abs()
+                + (w.w2 - target.w2).abs()
+                + (w.w3 - target.w3).abs()
+                + (w.w4 - target.w4).abs()
+                + (w.w5 - target.w5).abs()
+                + (w.we - target.we).abs()
+        });
+        assert_eq!(r.weights, target);
+        assert_eq!(r.error, 0.0);
+        assert_eq!(r.evaluated, grid.size());
+    }
+
+    #[test]
+    fn grid_size_matches_enumeration() {
+        let g = Grid::default();
+        assert_eq!(g.size(), 4 * 4 * 2 * 4 * 4 * 3);
+    }
+
+    #[test]
+    fn single_point_grid() {
+        let g = Grid {
+            w1: vec![1.0],
+            w2: vec![1.0],
+            w3: vec![0.0],
+            w4: vec![1.0],
+            w5: vec![-0.3],
+            we: vec![0.5],
+        };
+        let r = grid_search(&g, |_| 42.0);
+        assert_eq!(r.evaluated, 1);
+        assert_eq!(r.error, 42.0);
+    }
+}

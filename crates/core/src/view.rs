@@ -1,0 +1,236 @@
+//! Preprocessed per-table view: everything the features need, computed once
+//! per candidate table (tokenized headers, part token sets, TF-IDF vectors,
+//! frequent-body tokens, normalized cell-value sets).
+
+use std::collections::HashSet;
+use wwt_model::WebTable;
+use wwt_text::{normalize_cell, tokenize, CorpusStats, TfIdfVector};
+
+/// Feature-ready view over one [`WebTable`].
+pub struct TableView<'t> {
+    /// The underlying table.
+    pub table: &'t WebTable,
+    /// Tokenized header cell `H_rc` per header row r, column c.
+    pub header_tokens: Vec<Vec<Vec<String>>>,
+    /// TF-IDF vector of each header cell.
+    pub header_vecs: Vec<Vec<TfIdfVector>>,
+    /// TF-IDF vector of the concatenated headers of each column (for the
+    /// unsegmented baseline and column-column similarity).
+    pub column_header_vecs: Vec<TfIdfVector>,
+    /// Title tokens (part `T`).
+    pub title_set: HashSet<String>,
+    /// Context tokens (part `C`).
+    pub context_set: HashSet<String>,
+    /// Frequent body tokens (part `B`): tokens appearing in at least
+    /// `body_freq_frac` of some single column's cells.
+    pub body_frequent: HashSet<String>,
+    /// Normalized distinct cell values per column (content overlap).
+    pub column_values: Vec<HashSet<String>>,
+}
+
+impl<'t> TableView<'t> {
+    /// Builds the view. `stats` supplies IDF; `body_freq_frac` is
+    /// [`crate::MapperConfig::body_freq_frac`].
+    pub fn new(table: &'t WebTable, stats: &CorpusStats, body_freq_frac: f64) -> Self {
+        let h = table.n_header_rows();
+        let nc = table.n_cols();
+
+        let header_tokens: Vec<Vec<Vec<String>>> = (0..h)
+            .map(|r| (0..nc).map(|c| tokenize(table.header(r, c))).collect())
+            .collect();
+        let header_vecs: Vec<Vec<TfIdfVector>> = header_tokens
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|toks| TfIdfVector::from_tokens(toks, stats))
+                    .collect()
+            })
+            .collect();
+        let column_header_vecs: Vec<TfIdfVector> = (0..nc)
+            .map(|c| {
+                let all: Vec<String> = (0..h)
+                    .flat_map(|r| header_tokens[r][c].iter().cloned())
+                    .collect();
+                TfIdfVector::from_tokens(&all, stats)
+            })
+            .collect();
+
+        let title_set: HashSet<String> = table
+            .title
+            .as_deref()
+            .map(tokenize)
+            .unwrap_or_default()
+            .into_iter()
+            .collect();
+        let context_set: HashSet<String> = table
+            .context
+            .iter()
+            .flat_map(|s| tokenize(&s.text))
+            .collect();
+
+        // Frequent body tokens, per column.
+        let mut body_frequent = HashSet::new();
+        let n_rows = table.n_rows();
+        let min_count = ((n_rows as f64 * body_freq_frac).ceil() as usize).max(2);
+        for c in 0..nc {
+            let mut counts: std::collections::HashMap<String, usize> =
+                std::collections::HashMap::new();
+            for cell in table.column(c) {
+                let mut seen_in_cell = HashSet::new();
+                for tok in tokenize(cell) {
+                    if seen_in_cell.insert(tok.clone()) {
+                        *counts.entry(tok).or_insert(0) += 1;
+                    }
+                }
+            }
+            for (tok, n) in counts {
+                if n >= min_count {
+                    body_frequent.insert(tok);
+                }
+            }
+        }
+
+        let column_values: Vec<HashSet<String>> = (0..nc)
+            .map(|c| {
+                table
+                    .column(c)
+                    .map(normalize_cell)
+                    .filter(|v| !v.is_empty())
+                    .collect()
+            })
+            .collect();
+
+        TableView {
+            table,
+            header_tokens,
+            header_vecs,
+            column_header_vecs,
+            title_set,
+            context_set,
+            body_frequent,
+            column_values,
+        }
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.table.n_cols()
+    }
+
+    /// Number of header rows.
+    pub fn n_header_rows(&self) -> usize {
+        self.table.n_header_rows()
+    }
+
+    /// True iff token `w` appears in header row `r'` ≠ `r` of column `c`
+    /// (part `Hc` of `outSim`).
+    pub fn in_other_header_rows(&self, w: &str, r: usize, c: usize) -> bool {
+        (0..self.n_header_rows())
+            .filter(|&r2| r2 != r)
+            .any(|r2| self.header_tokens[r2][c].iter().any(|t| t == w))
+    }
+
+    /// True iff token `w` appears in the header of another column `c'` ≠
+    /// `c` in row `r` (part `Hr` of `outSim`).
+    pub fn in_other_columns(&self, w: &str, r: usize, c: usize) -> bool {
+        (0..self.n_cols())
+            .filter(|&c2| c2 != c)
+            .any(|c2| self.header_tokens[r][c2].iter().any(|t| t == w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wwt_model::{ContextSnippet, TableId};
+
+    fn bands_table() -> WebTable {
+        WebTable::new(
+            TableId(0),
+            "u",
+            None,
+            vec![vec!["Band name".into(), "Country".into(), "Genre".into()]],
+            vec![
+                vec!["Mayhem".into(), "Norway".into(), "Black metal".into()],
+                vec!["Burzum".into(), "Norway".into(), "Black metal".into()],
+                vec!["Opeth".into(), "Sweden".into(), "Death metal".into()],
+            ],
+            vec![],
+        )
+        .unwrap()
+    }
+
+    fn view(t: &WebTable) -> TableView<'_> {
+        // Leak-free: tests construct stats locally.
+        TableView::new(t, &CorpusStats::new(), 0.3)
+    }
+
+    #[test]
+    fn frequent_body_tokens_found() {
+        let t = bands_table();
+        let v = view(&t);
+        // "metal" in 3/3 cells of column 2; "black" in 2/3; "norway" 2/3.
+        assert!(v.body_frequent.contains("metal"));
+        assert!(v.body_frequent.contains("black"));
+        assert!(v.body_frequent.contains("norway"));
+        // "mayhem" appears once — not frequent.
+        assert!(!v.body_frequent.contains("mayhem"));
+    }
+
+    #[test]
+    fn column_values_normalized() {
+        let t = bands_table();
+        let v = view(&t);
+        assert!(v.column_values[2].contains("black metal"));
+        assert_eq!(v.column_values[1].len(), 2); // norway, sweden
+    }
+
+    #[test]
+    fn header_tokens_and_vecs() {
+        let t = bands_table();
+        let v = view(&t);
+        assert_eq!(v.header_tokens[0][0], vec!["band", "name"]);
+        assert!(v.column_header_vecs[0].weight("band") > 0.0);
+    }
+
+    #[test]
+    fn part_membership_helpers() {
+        let t = WebTable::new(
+            TableId(1),
+            "u",
+            Some("Explorers of the world".into()),
+            vec![
+                vec!["Name".into(), "Main areas".into()],
+                vec!["".into(), "explored".into()],
+            ],
+            vec![vec!["Tasman".into(), "Oceania".into()]; 2],
+            vec![ContextSnippet::new("list of famous explorers", 0.9)],
+        )
+        .unwrap();
+        let v = view(&t);
+        assert!(v.title_set.contains("explorer"));
+        assert!(v.context_set.contains("famous"));
+        // "explored" is in header row 1 of column 1: visible from row 0.
+        assert!(v.in_other_header_rows("explored", 0, 1));
+        assert!(!v.in_other_header_rows("explored", 1, 1));
+        // "name" is in column 0's row-0 header: visible from column 1.
+        assert!(v.in_other_columns("name", 0, 1));
+        assert!(!v.in_other_columns("name", 0, 0));
+    }
+
+    #[test]
+    fn headerless_table_view() {
+        let t = WebTable::new(
+            TableId(2),
+            "u",
+            None,
+            vec![],
+            vec![vec!["a".into(), "b".into()]; 3],
+            vec![],
+        )
+        .unwrap();
+        let v = view(&t);
+        assert_eq!(v.n_header_rows(), 0);
+        assert!(v.column_header_vecs[0].is_empty());
+    }
+}

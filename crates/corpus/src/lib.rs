@@ -1,0 +1,33 @@
+//! # wwt-corpus
+//!
+//! Synthetic web corpus generator and workload — the stand-in for the
+//! paper's 500M-page crawl (25M data tables) and the 59-query AMT-derived
+//! workload of Table 1. See DESIGN.md §2 for the substitution rationale.
+//!
+//! Every workload query owns a *domain*: a private universe of entities
+//! with deterministic attribute values. For each query the generator emits
+//! HTML documents containing:
+//!
+//! * **relevant tables** — subsets of the domain universe with the paper's
+//!   noise modes: missing headers (18%), multi-row/split headers,
+//!   uninformative headers ("Name"), title rows, swapped/extra columns,
+//!   keyword-bearing context;
+//! * **irrelevant candidates** — foreign content dressed with enough query
+//!   keywords (context/headers) to be retrieved by the index probe, like
+//!   the paper's "Forest reserves … mineral exploration" example;
+//! * **distractor documents** — unrelated tables for realistic IDF, plus
+//!   layout/form/calendar junk exercising the extractor's classifier.
+//!
+//! Ground-truth column labels are tracked by construction: each document
+//! carries the reference labeling of its single candidate table *for its
+//! home query*; for any other query the table is irrelevant (all `nr`) —
+//! domains are private, so cross-query retrieval is irrelevant by design.
+
+pub mod generator;
+pub mod render;
+pub mod tablegen;
+pub mod values;
+pub mod workload;
+
+pub use generator::{CorpusConfig, CorpusGenerator, DocKind, GeneratedCorpus, GeneratedDoc};
+pub use workload::{workload, QueryClass, QuerySpec};

@@ -1,0 +1,258 @@
+//! HTML rendering of table specs into full documents, with realistic
+//! markup variety: `<th>` vs bold vs background-colored headers, optional
+//! tag soup (unclosed cells), junk tables (forms, calendars) and noise
+//! siblings around the candidate table.
+
+use crate::tablegen::TableSpec;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// How header cells are marked up (the paper: only 20% of web tables use
+/// `<th>`; the rest rely on visual markers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeaderStyle {
+    /// `<th>` cells.
+    Th,
+    /// `<td><b>…</b></td>`.
+    Bold,
+    /// `<tr bgcolor=…><td class="hd">…`.
+    Background,
+}
+
+/// Extra junk embedded in a document to exercise the extractor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Junk {
+    /// A search-form layout table (must be rejected).
+    Form,
+    /// A calendar grid (must be rejected).
+    Calendar,
+    /// A single-column nav list (must be rejected).
+    NavList,
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Renders a candidate table plus its page into a full HTML document.
+///
+/// `doc_seed` drives markup style choices (header style, tag soup, junk).
+pub fn render_doc(page_title: &str, spec: &TableSpec, doc_seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(doc_seed);
+    let style = match rng.random_range(0..10u8) {
+        0..=5 => HeaderStyle::Th,
+        6..=7 => HeaderStyle::Bold,
+        _ => HeaderStyle::Background,
+    };
+    let soup = rng.random_bool(0.15);
+    let junk = match rng.random_range(0..10u8) {
+        0 => Some(Junk::Form),
+        1 => Some(Junk::Calendar),
+        2 => Some(Junk::NavList),
+        _ => None,
+    };
+
+    let mut html = String::with_capacity(4096);
+    html.push_str("<html><head><title>");
+    html.push_str(&esc(page_title));
+    html.push_str("</title></head>\n<body>\n");
+    html.push_str(&format!("<h1>{}</h1>\n", esc(page_title)));
+    if let Some(j) = junk {
+        html.push_str(&render_junk(j));
+    }
+    // Context before the table.
+    for (i, para) in spec.context.iter().enumerate() {
+        if i % 2 == 0 {
+            html.push_str(&format!("<p>{}</p>\n", esc(para)));
+        }
+    }
+    html.push_str(&render_table(spec, style, soup));
+    // Context after the table.
+    for (i, para) in spec.context.iter().enumerate() {
+        if i % 2 == 1 {
+            html.push_str(&format!("<p>{}</p>\n", esc(para)));
+        }
+    }
+    html.push_str("<p>Generated page footer with navigation links.</p>\n");
+    html.push_str("</body></html>\n");
+    html
+}
+
+/// Renders just the table element.
+pub fn render_table(spec: &TableSpec, style: HeaderStyle, soup: bool) -> String {
+    let n_cols = spec
+        .rows
+        .first()
+        .map(Vec::len)
+        .or_else(|| spec.header_rows.first().map(Vec::len))
+        .unwrap_or(1);
+    let mut html = String::from("<table>\n");
+    if let Some(title) = &spec.title {
+        html.push_str(&format!(
+            "<tr><td colspan=\"{n_cols}\"><b>{}</b></td></tr>\n",
+            esc(title)
+        ));
+    }
+    for hrow in &spec.header_rows {
+        match style {
+            HeaderStyle::Th => {
+                html.push_str("<tr>");
+                for h in hrow {
+                    html.push_str(&format!("<th>{}</th>", esc(h)));
+                }
+                html.push_str("</tr>\n");
+            }
+            HeaderStyle::Bold => {
+                html.push_str("<tr>");
+                for h in hrow {
+                    html.push_str(&format!("<td><b>{}</b></td>", esc(h)));
+                }
+                html.push_str("</tr>\n");
+            }
+            HeaderStyle::Background => {
+                html.push_str("<tr bgcolor=\"#d0d0d0\">");
+                for h in hrow {
+                    html.push_str(&format!("<td class=\"hd\">{}</td>", esc(h)));
+                }
+                html.push_str("</tr>\n");
+            }
+        }
+    }
+    for row in &spec.rows {
+        html.push_str("<tr>");
+        for cell in row {
+            if soup {
+                // Tag soup: unclosed <td> — the DOM builder auto-closes.
+                html.push_str(&format!("<td>{}", esc(cell)));
+            } else {
+                html.push_str(&format!("<td>{}</td>", esc(cell)));
+            }
+        }
+        html.push_str("</tr>\n");
+    }
+    html.push_str("</table>\n");
+    html
+}
+
+fn render_junk(junk: Junk) -> String {
+    match junk {
+        Junk::Form => "<table><tr><td><form><input type=\"text\" name=\"q\"></form></td>\
+                       <td><input type=\"submit\" value=\"Search\"></td></tr>\
+                       <tr><td>advanced</td><td>help</td></tr></table>\n"
+            .to_string(),
+        Junk::Calendar => {
+            let mut s = String::from("<table><tr>");
+            for d in ["Mo", "Tu", "We", "Th", "Fr", "Sa", "Su"] {
+                s.push_str(&format!("<td>{d}</td>"));
+            }
+            s.push_str("</tr>");
+            for w in 0..4 {
+                s.push_str("<tr>");
+                for d in 1..=7 {
+                    s.push_str(&format!("<td>{}</td>", w * 7 + d));
+                }
+                s.push_str("</tr>");
+            }
+            s.push_str("</table>\n");
+            s
+        }
+        Junk::NavList => "<table><tr><td>Home</td></tr><tr><td>About</td></tr>\
+                          <tr><td>Contact</td></tr></table>\n"
+            .to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wwt_model::Label;
+
+    fn spec() -> TableSpec {
+        TableSpec {
+            title: Some("Forest reserves".into()),
+            header_rows: vec![vec!["Name".into(), "Area".into()]],
+            rows: vec![
+                vec!["Shakespeare Hills".into(), "2236".into()],
+                vec!["Plains Creek".into(), "880".into()],
+                vec!["Welcome Swamp".into(), "168".into()],
+            ],
+            context: vec![
+                "Reserves under the Forestry Act".into(),
+                "available for mineral exploration".into(),
+            ],
+            truth: vec![Label::Nr, Label::Nr],
+        }
+    }
+
+    #[test]
+    fn rendered_doc_extracts_back_to_one_table() {
+        for seed in 0..30 {
+            let html = render_doc("Reserve registry", &spec(), seed);
+            let tables = wwt_html::extract_tables(&html, "u", 0);
+            assert_eq!(tables.len(), 1, "seed {seed}: {html}");
+            let t = &tables[0];
+            assert_eq!(t.n_cols(), 2, "seed {seed}");
+            assert_eq!(t.n_rows(), 3, "seed {seed}: rows {:?}", t.rows);
+            assert_eq!(t.cell(0, 0), "Shakespeare Hills");
+            // Context made it through.
+            let ctx = t.all_context_text();
+            assert!(ctx.contains("Forestry Act") || ctx.contains("mineral"), "seed {seed}: {ctx}");
+        }
+    }
+
+    #[test]
+    fn header_styles_all_detected() {
+        for style in [HeaderStyle::Th, HeaderStyle::Bold, HeaderStyle::Background] {
+            let html = format!(
+                "<html><body>{}</body></html>",
+                render_table(&spec(), style, false)
+            );
+            let tables = wwt_html::extract_tables(&html, "u", 0);
+            assert_eq!(tables.len(), 1);
+            assert_eq!(
+                tables[0].n_header_rows(),
+                1,
+                "style {style:?} header missed"
+            );
+            assert_eq!(tables[0].header(0, 1), "Area", "style {style:?}");
+        }
+    }
+
+    #[test]
+    fn tag_soup_still_parses() {
+        let html = format!(
+            "<html><body>{}</body></html>",
+            render_table(&spec(), HeaderStyle::Th, true)
+        );
+        let tables = wwt_html::extract_tables(&html, "u", 0);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].n_rows(), 3);
+        assert_eq!(tables[0].cell(2, 1), "168");
+    }
+
+    #[test]
+    fn title_row_recovered() {
+        let html = render_doc("page", &spec(), 3);
+        let tables = wwt_html::extract_tables(&html, "u", 0);
+        let title = tables[0].title.clone().unwrap_or_default();
+        assert!(title.contains("Forest reserves"), "title: {title}");
+    }
+
+    #[test]
+    fn junk_tables_rejected() {
+        for junk in [Junk::Form, Junk::Calendar, Junk::NavList] {
+            let html = format!("<html><body>{}</body></html>", render_junk(junk));
+            let tables = wwt_html::extract_tables(&html, "u", 0);
+            assert!(tables.is_empty(), "{junk:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn escaping_special_characters() {
+        let mut s = spec();
+        s.rows[0][0] = "Tom & Jerry <3".into();
+        let html = render_doc("t", &s, 0);
+        let tables = wwt_html::extract_tables(&html, "u", 0);
+        assert_eq!(tables[0].cell(0, 0), "Tom & Jerry <3");
+    }
+}

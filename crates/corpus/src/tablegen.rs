@@ -1,0 +1,441 @@
+//! Logical table specs for a query domain: relevant tables with the
+//! paper's noise modes, and keyword-dressed irrelevant candidates.
+
+use crate::values::{hash_parts, infer_kind, syllable_name, ValueKind};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use wwt_model::{Label, Query};
+
+/// A query's private domain: a universe of entities with deterministic
+/// attribute values per query column.
+#[derive(Debug, Clone)]
+pub struct Domain {
+    /// Domain seed (derived from corpus seed + query index).
+    pub seed: u64,
+    /// The owning query.
+    pub query: Query,
+    /// Value kind per query column.
+    pub kinds: Vec<ValueKind>,
+    /// Universe size (number of entities).
+    pub universe: usize,
+}
+
+impl Domain {
+    /// Builds the domain of workload query `qidx`.
+    pub fn new(corpus_seed: u64, qidx: usize, query: Query) -> Self {
+        let kinds = query
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(c, kw)| infer_kind(kw, c == 0))
+            .collect();
+        Domain {
+            seed: hash_parts(&[corpus_seed, 0xD0_11A1, qidx as u64]),
+            query,
+            kinds,
+            universe: 60,
+        }
+    }
+
+    /// Value of entity `i` in query column `col`.
+    pub fn value(&self, col: usize, i: usize) -> String {
+        self.kinds[col].value(self.seed, col, i)
+    }
+}
+
+/// A fully specified logical table plus its reference labeling.
+#[derive(Debug, Clone)]
+pub struct TableSpec {
+    /// Optional title-row text (rendered as a colspan row).
+    pub title: Option<String>,
+    /// Header rows (may be empty = headerless table).
+    pub header_rows: Vec<Vec<String>>,
+    /// Body rows.
+    pub rows: Vec<Vec<String>>,
+    /// Context paragraphs (rendered around the table).
+    pub context: Vec<String>,
+    /// Reference label per column for the *home* query.
+    pub truth: Vec<Label>,
+}
+
+/// Per-query noise profile. Queries differ in difficulty (this is what
+/// spreads Basic's error into the seven groups of Figure 5); the profile
+/// is derived deterministically from the query index.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseProfile {
+    /// Probability a relevant table has no header at all (paper: 18%).
+    pub p_no_header: f64,
+    /// Probability an informative header is split over two rows.
+    pub p_split_header: f64,
+    /// Probability a header cell is uninformative ("Name", "Value").
+    pub p_generic_header: f64,
+    /// Probability of a title row.
+    pub p_title: f64,
+    /// Probability the context mentions the query keywords.
+    pub p_context_keywords: f64,
+    /// Probability the column order is shuffled.
+    pub p_swap: f64,
+}
+
+impl NoiseProfile {
+    /// Profile for query `qidx`: base rates (matching the corpus-wide
+    /// statistics the paper reports) plus a per-query difficulty factor in
+    /// `[0, 1]`.
+    pub fn for_query(corpus_seed: u64, qidx: usize) -> Self {
+        let h = hash_parts(&[corpus_seed, 0x0D1F_F1C0, qidx as u64]);
+        // Difficulty skewed toward easy (the paper found one third of its
+        // queries "easy"): squaring a uniform draw concentrates mass low.
+        let u = (h % 1000) as f64 / 999.0;
+        let d = u * u;
+        NoiseProfile {
+            p_no_header: 0.08 + 0.16 * d,
+            p_split_header: 0.12 + 0.10 * d,
+            p_generic_header: 0.05 + 0.40 * d,
+            p_title: 0.25,
+            p_context_keywords: 0.95 - 0.45 * d,
+            p_swap: 0.4,
+        }
+    }
+}
+
+const GENERIC_HEADERS: &[&str] = &["Name", "Value", "Details", "Item", "Info"];
+const EXTRA_HEADERS: &[&str] = &["Rank", "Notes", "Ref", "Region", "Code"];
+
+/// Header text variants for query column `col`: the full keyword phrase,
+/// a truncated variant, or a title-cased fragment.
+fn header_variant(rng: &mut StdRng, keywords: &str) -> String {
+    let words: Vec<&str> = keywords.split_whitespace().collect();
+    match rng.random_range(0..3u8) {
+        0 => title_case(keywords),
+        1 if words.len() > 1 => title_case(words[words.len() - 1]),
+        _ => {
+            // Keyword phrase with a filler suffix, e.g. "Currency used".
+            let suffix = ["used", "(official)", "info"][rng.random_range(0..3usize)];
+            format!("{} {suffix}", title_case(keywords))
+        }
+    }
+}
+
+fn title_case(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut first = true;
+    for w in s.split_whitespace() {
+        if !first {
+            out.push(' ');
+        }
+        if first {
+            let mut cs = w.chars();
+            if let Some(c) = cs.next() {
+                out.extend(c.to_uppercase());
+                out.push_str(cs.as_str());
+            }
+        } else {
+            out.push_str(w);
+        }
+        first = false;
+    }
+    out
+}
+
+/// Generates one relevant table for `domain` with noise from `profile`.
+pub fn relevant_table(domain: &Domain, profile: &NoiseProfile, table_seed: u64) -> TableSpec {
+    let mut rng = StdRng::seed_from_u64(table_seed);
+    let q = domain.query.q();
+
+    // Entities: a random contiguous-ish sample of the universe.
+    let n_rows = rng.random_range(6..=20usize);
+    let mut entities: Vec<usize> = (0..domain.universe).collect();
+    shuffle(&mut entities, &mut rng);
+    entities.truncate(n_rows);
+    entities.sort_unstable();
+
+    // Columns: all query columns, plus extras; ensure >= 2 total columns so
+    // the data-table classifier keeps the table.
+    let mut columns: Vec<Option<usize>> = (0..q).map(Some).collect(); // Some = query col
+    let n_extra = if q == 1 {
+        rng.random_range(1..=2usize)
+    } else {
+        rng.random_range(0..=2usize)
+    };
+    for _ in 0..n_extra {
+        columns.push(None);
+    }
+    if rng.random_bool(profile.p_swap) {
+        shuffle(&mut columns, &mut rng);
+    }
+
+    // Extra-column content kinds and headers. With some probability an
+    // extra column *shadows* a query column — mostly the same values with
+    // a different meaning (the paper's "capitals | largest cities" trap
+    // that breaks NbrText's naive neighbor-text import).
+    let extra_kinds = [
+        ValueKind::Number { lo: 1, hi: 500, decimals: 0 },
+        ValueKind::Phrase,
+        ValueKind::Year,
+    ];
+    let shadow_source: Option<usize> = if rng.random_bool(0.3) {
+        Some(rng.random_range(0..q))
+    } else {
+        None
+    };
+    let mut extra_ids: Vec<usize> = Vec::new();
+
+    let truth: Vec<Label> = columns
+        .iter()
+        .map(|c| match c {
+            Some(l) => Label::Col(*l),
+            None => Label::Na,
+        })
+        .collect();
+
+    // Body rows.
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(entities.len());
+    for &e in &entities {
+        let mut row = Vec::with_capacity(columns.len());
+        for (ci, col) in columns.iter().enumerate() {
+            match col {
+                Some(l) => row.push(domain.value(*l, e)),
+                None => match shadow_source {
+                    // Shadow column: ~80% of cells replicate a query
+                    // column's value for the same entity.
+                    Some(src) if e % 5 != 0 => row.push(domain.value(src, e)),
+                    _ => {
+                        let kind = extra_kinds[ci % extra_kinds.len()];
+                        // Extra columns draw from a column-specific pool
+                        // keyed off the domain seed so they stay coherent.
+                        row.push(kind.value(domain.seed ^ 0xE77A, 100 + ci, e));
+                    }
+                },
+            }
+        }
+        rows.push(row);
+    }
+
+    // Headers.
+    let mut header_rows: Vec<Vec<String>> = Vec::new();
+    let mut dropped_keywords: Vec<String> = Vec::new();
+    if !rng.random_bool(profile.p_no_header) {
+        let mut row1: Vec<String> = Vec::with_capacity(columns.len());
+        let mut row2: Vec<String> = vec![String::new(); columns.len()];
+        let mut use_row2 = false;
+        for (ci, col) in columns.iter().enumerate() {
+            match col {
+                Some(l) => {
+                    let kw = domain.query.column(*l);
+                    if rng.random_bool(profile.p_generic_header) {
+                        row1.push(GENERIC_HEADERS[rng.random_range(0..GENERIC_HEADERS.len())].to_string());
+                        dropped_keywords.push(kw.to_string());
+                    } else if rng.random_bool(profile.p_split_header)
+                        && kw.split_whitespace().count() >= 2
+                    {
+                        // Split the phrase over two header rows.
+                        let words: Vec<&str> = kw.split_whitespace().collect();
+                        let cut = words.len() / 2;
+                        row1.push(title_case(&words[..cut.max(1)].join(" ")));
+                        row2[ci] = words[cut.max(1)..].join(" ");
+                        use_row2 = true;
+                    } else {
+                        row1.push(header_variant(&mut rng, kw));
+                    }
+                }
+                None => {
+                    extra_ids.push(ci);
+                    row1.push(EXTRA_HEADERS[rng.random_range(0..EXTRA_HEADERS.len())].to_string());
+                }
+            }
+        }
+        header_rows.push(row1);
+        if use_row2 {
+            header_rows.push(row2);
+        }
+    }
+
+    // Title and context.
+    let all_kw = domain.query.all_keywords();
+    let title = if rng.random_bool(profile.p_title) {
+        Some(format!("List of {}", domain.query.column(0)))
+    } else {
+        None
+    };
+    let mut context = Vec::new();
+    if rng.random_bool(profile.p_context_keywords) {
+        context.push(format!(
+            "This page lists {all_kw} collected from public sources."
+        ));
+    }
+    // Keywords dropped from headers resurface in context half the time —
+    // exactly the split-evidence situation SegSim exploits.
+    for kw in dropped_keywords {
+        if rng.random_bool(0.5) {
+            context.push(format!("The table below covers {kw} entries."));
+        }
+    }
+    context.push(format!(
+        "Compiled by {} on behalf of the archive.",
+        syllable_name(table_seed ^ 0xC0FFEE)
+    ));
+
+    TableSpec {
+        title,
+        header_rows,
+        rows,
+        context,
+        truth,
+    }
+}
+
+/// Generates an irrelevant-but-retrievable candidate: foreign content with
+/// query keywords planted in its context (the "Forest reserves … mineral
+/// exploration" pattern).
+pub fn irrelevant_table(domain: &Domain, table_seed: u64) -> TableSpec {
+    let mut rng = StdRng::seed_from_u64(table_seed ^ 0xBAD);
+    let decoy_seed = hash_parts(&[domain.seed, 0xDEC0_7, table_seed]);
+    let n_cols = rng.random_range(2..=4usize);
+    let n_rows = rng.random_range(5..=14usize);
+    let kinds = [
+        ValueKind::Thing,
+        ValueKind::Number { lo: 1, hi: 5000, decimals: 0 },
+        ValueKind::Person,
+        ValueKind::Phrase,
+    ];
+    let header_rows = vec![(0..n_cols)
+        .map(|c| title_case(&syllable_name(hash_parts(&[decoy_seed, c as u64, 0x4EAD]))))
+        .collect::<Vec<String>>()];
+    let rows: Vec<Vec<String>> = (0..n_rows)
+        .map(|r| {
+            (0..n_cols)
+                .map(|c| kinds[c % kinds.len()].value(decoy_seed, c, r))
+                .collect()
+        })
+        .collect();
+
+    // Plant 1–2 query keywords in the context.
+    let all_kw = domain.query.all_keywords();
+    let words: Vec<&str> = all_kw.split_whitespace().collect();
+    let mut planted: Vec<&str> = Vec::new();
+    for _ in 0..rng.random_range(1..=2usize) {
+        planted.push(words[rng.random_range(0..words.len())]);
+    }
+    let context = vec![
+        format!(
+            "All {} will be available for {} related inquiries.",
+            syllable_name(decoy_seed ^ 1).to_lowercase(),
+            planted.join(" and ")
+        ),
+        format!("Records maintained by {}.", syllable_name(decoy_seed ^ 2)),
+    ];
+    let truth = vec![Label::Nr; n_cols];
+    TableSpec {
+        title: Some(format!("{} registry", syllable_name(decoy_seed ^ 3))),
+        header_rows,
+        rows,
+        context,
+        truth,
+    }
+}
+
+/// Fisher–Yates shuffle with the local RNG (avoids depending on rand's
+/// `SliceRandom` trait surface).
+fn shuffle<T>(xs: &mut [T], rng: &mut StdRng) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.random_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn domain() -> Domain {
+        Domain::new(
+            42,
+            8,
+            Query::parse("name of explorers | nationality | areas explored").unwrap(),
+        )
+    }
+
+    #[test]
+    fn relevant_table_shape_and_truth() {
+        let d = domain();
+        let p = NoiseProfile::for_query(42, 8);
+        for seed in 0..20 {
+            let t = relevant_table(&d, &p, seed);
+            let n_cols = t.truth.len();
+            assert!(n_cols >= 3, "must contain all query columns");
+            assert!(t.rows.iter().all(|r| r.len() == n_cols));
+            for l in 0..3 {
+                assert!(
+                    t.truth.contains(&Label::Col(l)),
+                    "query column {l} missing from {:?}",
+                    t.truth
+                );
+            }
+            assert!(t.rows.len() >= 6);
+        }
+    }
+
+    #[test]
+    fn values_consistent_across_tables() {
+        // The same entity must carry the same value in different tables —
+        // this is what content overlap relies on.
+        let d = domain();
+        let v1 = d.value(0, 5);
+        let v2 = d.value(0, 5);
+        assert_eq!(v1, v2);
+        // Overlap between two generated tables' first query column.
+        let p = NoiseProfile::for_query(42, 8);
+        let t1 = relevant_table(&d, &p, 1);
+        let t2 = relevant_table(&d, &p, 2);
+        let col_of = |t: &TableSpec, l: usize| -> Vec<String> {
+            let c = t.truth.iter().position(|&x| x == Label::Col(l)).unwrap();
+            t.rows.iter().map(|r| r[c].clone()).collect()
+        };
+        let a: std::collections::HashSet<String> = col_of(&t1, 0).into_iter().collect();
+        let b: std::collections::HashSet<String> = col_of(&t2, 0).into_iter().collect();
+        assert!(a.intersection(&b).count() >= 1, "universes must overlap");
+    }
+
+    #[test]
+    fn single_column_queries_get_extra_columns() {
+        let d = Domain::new(42, 0, Query::parse("dog breed").unwrap());
+        let p = NoiseProfile::for_query(42, 0);
+        for seed in 0..10 {
+            let t = relevant_table(&d, &p, seed);
+            assert!(t.truth.len() >= 2, "classifier needs >= 2 columns");
+            assert_eq!(t.truth.iter().filter(|l| l.is_query_col()).count(), 1);
+        }
+    }
+
+    #[test]
+    fn irrelevant_tables_all_nr_with_planted_keywords() {
+        let d = domain();
+        let t = irrelevant_table(&d, 7);
+        assert!(t.truth.iter().all(|&l| l == Label::Nr));
+        let ctx = t.context.join(" ");
+        let kw_hit = d
+            .query
+            .all_keywords()
+            .split_whitespace()
+            .any(|w| ctx.contains(w));
+        assert!(kw_hit, "context must mention a query keyword: {ctx}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let d = domain();
+        let p = NoiseProfile::for_query(42, 8);
+        let a = relevant_table(&d, &p, 5);
+        let b = relevant_table(&d, &p, 5);
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(a.header_rows, b.header_rows);
+        assert_eq!(a.truth, b.truth);
+    }
+
+    #[test]
+    fn noise_profiles_vary_by_query() {
+        let a = NoiseProfile::for_query(42, 0);
+        let b = NoiseProfile::for_query(42, 30);
+        assert!((a.p_generic_header - b.p_generic_header).abs() > 1e-6);
+    }
+}

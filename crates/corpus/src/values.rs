@@ -1,0 +1,222 @@
+//! Deterministic value generation for domain universes.
+//!
+//! Every (domain, column, entity) triple maps to a fixed value, so the same
+//! entity carries the same attribute value in every table that mentions it
+//! — which is what makes content overlap across tables (paper §3.3) real.
+
+/// What kind of values a column holds, inferred from its keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueKind {
+    /// Person names ("Kalomar Denve").
+    Person,
+    /// Place names ("Veluta").
+    Place,
+    /// Organization names ("Tagave Corp").
+    Org,
+    /// Generic named things ("Rimodu").
+    Thing,
+    /// Years (1900–2012).
+    Year,
+    /// Numbers within a range, possibly with decimals.
+    Number {
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+        /// Decimal places (0 = integer).
+        decimals: u32,
+    },
+    /// Short multi-word phrases ("sea route to veluta").
+    Phrase,
+}
+
+/// Infers the value kind of a column from its keyword string.
+pub fn infer_kind(keywords: &str, is_entity_column: bool) -> ValueKind {
+    let k = keywords.to_ascii_lowercase();
+    let has = |w: &str| k.contains(w);
+    if has("year") || has("date") {
+        return ValueKind::Year;
+    }
+    if has("price") || has("sales") || has("gdp") || has("cost") {
+        return ValueKind::Number { lo: 10, hi: 90_000, decimals: 2 };
+    }
+    if has("population") || has("number of") {
+        return ValueKind::Number { lo: 10_000, hi: 90_000_000, decimals: 0 };
+    }
+    if has("height") || has("area") || has("weight") || has("speed") || has("score")
+        || has("resolution")
+    {
+        return ValueKind::Number { lo: 10, hi: 9_000, decimals: 0 };
+    }
+    if has("percentage") || has("rate") || has("consumption") {
+        return ValueKind::Number { lo: 0, hi: 100, decimals: 2 };
+    }
+    if has("atomic number") {
+        return ValueKind::Number { lo: 1, hi: 118, decimals: 0 };
+    }
+    if has("winner") || has("player") || has("president") || has("author") || has("discoverer")
+        || has("minister") || has("wrestler") || has("king") || has("champion") || has("explorer")
+    {
+        return ValueKind::Person;
+    }
+    if has("country") || has("city") || has("state") || has("capital") || has("location")
+        || has("nationality") || has("origin")
+    {
+        return ValueKind::Place;
+    }
+    if has("company") || has("band") || has("university") || has("bank") || has("store") {
+        return ValueKind::Org;
+    }
+    if has("motto") || has("explored") || has("symbol") || has("license") || has("entity")
+        || has("field") || has("discipline") || has("event")
+    {
+        return ValueKind::Phrase;
+    }
+    if is_entity_column {
+        ValueKind::Thing
+    } else {
+        ValueKind::Phrase
+    }
+}
+
+/// SplitMix64: cheap deterministic hashing for (seed, indices) → u64.
+pub fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Combines parts into one hash.
+pub fn hash_parts(parts: &[u64]) -> u64 {
+    let mut h = 0x8c90_4ad6_36f4_9b1fu64;
+    for &p in parts {
+        h = mix(h ^ p);
+    }
+    h
+}
+
+const SYLLABLES: &[&str] = &[
+    "ka", "ri", "mo", "ta", "lu", "ne", "si", "do", "va", "be", "tu", "ga", "ye", "pol", "den",
+    "mar", "vel", "sho", "ran", "qui", "zan", "fe", "lor", "mi", "sta", "gre", "nor", "wes",
+];
+
+/// A pronounceable pseudo-name from a hash (2–4 syllables, capitalized).
+pub fn syllable_name(h: u64) -> String {
+    let n = 2 + (h % 3) as usize;
+    let mut s = String::new();
+    let mut x = h;
+    for _ in 0..n {
+        x = mix(x);
+        s.push_str(SYLLABLES[(x % SYLLABLES.len() as u64) as usize]);
+    }
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+        None => s,
+    }
+}
+
+impl ValueKind {
+    /// The deterministic value of entity `i` in the column identified by
+    /// `(domain_seed, column)`.
+    pub fn value(self, domain_seed: u64, column: usize, i: usize) -> String {
+        let h = hash_parts(&[domain_seed, column as u64, i as u64]);
+        match self {
+            ValueKind::Person => {
+                format!("{} {}", syllable_name(h), syllable_name(mix(h)))
+            }
+            ValueKind::Place => syllable_name(h),
+            ValueKind::Org => {
+                let suffix = ["Corp", "Group", "Ltd", "Inc"][(h % 4) as usize];
+                format!("{} {}", syllable_name(h), suffix)
+            }
+            ValueKind::Thing => syllable_name(h),
+            ValueKind::Year => format!("{}", 1900 + (h % 113)),
+            ValueKind::Number { lo, hi, decimals } => {
+                let span = (hi - lo).max(1) as u64;
+                let v = lo + (h % span) as i64;
+                if decimals == 0 {
+                    format!("{v}")
+                } else {
+                    let frac = mix(h) % 10u64.pow(decimals);
+                    format!("{v}.{frac:0width$}", width = decimals as usize)
+                }
+            }
+            ValueKind::Phrase => {
+                let a = syllable_name(h).to_lowercase();
+                let b = syllable_name(mix(h)).to_lowercase();
+                let joiner = ["of", "near", "with"][(h % 3) as usize];
+                format!("{a} {joiner} {b}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_are_deterministic() {
+        let k = ValueKind::Person;
+        assert_eq!(k.value(7, 0, 3), k.value(7, 0, 3));
+        assert_ne!(k.value(7, 0, 3), k.value(7, 0, 4));
+        assert_ne!(k.value(7, 0, 3), k.value(8, 0, 3));
+        assert_ne!(k.value(7, 1, 3), k.value(7, 0, 3));
+    }
+
+    #[test]
+    fn kind_inference_rules() {
+        assert_eq!(infer_kind("year", false), ValueKind::Year);
+        assert_eq!(infer_kind("release date", false), ValueKind::Year);
+        assert_eq!(infer_kind("country of origin", false), ValueKind::Place);
+        assert_eq!(infer_kind("name of explorers", true), ValueKind::Person);
+        assert_eq!(infer_kind("company", false), ValueKind::Org);
+        assert!(matches!(
+            infer_kind("population", false),
+            ValueKind::Number { .. }
+        ));
+        assert_eq!(infer_kind("weird unseen words", true), ValueKind::Thing);
+        assert_eq!(infer_kind("motto", false), ValueKind::Phrase);
+    }
+
+    #[test]
+    fn year_values_in_range() {
+        for i in 0..50 {
+            let v: u32 = ValueKind::Year.value(1, 0, i).parse().unwrap();
+            assert!((1900..=2012).contains(&v));
+        }
+    }
+
+    #[test]
+    fn number_values_in_range_and_format() {
+        let k = ValueKind::Number { lo: 10, hi: 100, decimals: 2 };
+        for i in 0..50 {
+            let v = k.value(2, 1, i);
+            let f: f64 = v.parse().unwrap();
+            assert!((10.0..101.0).contains(&f), "{v}");
+            assert_eq!(v.split('.').nth(1).unwrap().len(), 2, "{v}");
+        }
+    }
+
+    #[test]
+    fn names_look_reasonable() {
+        let n = syllable_name(42);
+        assert!(n.chars().next().unwrap().is_uppercase());
+        assert!(n.len() >= 4);
+        let p = ValueKind::Person.value(3, 0, 0);
+        assert_eq!(p.split(' ').count(), 2);
+    }
+
+    #[test]
+    fn different_domains_have_disjoint_universes() {
+        // Collision probability should be negligible for small universes.
+        let a: std::collections::HashSet<String> =
+            (0..60).map(|i| ValueKind::Place.value(1000, 0, i)).collect();
+        let b: std::collections::HashSet<String> =
+            (0..60).map(|i| ValueKind::Place.value(2000, 0, i)).collect();
+        let inter = a.intersection(&b).count();
+        assert!(inter <= 3, "too much cross-domain collision: {inter}");
+    }
+}

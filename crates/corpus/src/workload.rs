@@ -1,0 +1,170 @@
+//! The 59-query workload of paper Table 1 (51 AMT topic queries converted
+//! to multi-column queries + 12 Wikipedia-sourced queries, minus 4 the
+//! authors could not interpret), with the paper's per-query candidate and
+//! relevant table counts.
+
+use wwt_model::Query;
+
+/// Query arity class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryClass {
+    /// One column keyword set.
+    Single,
+    /// Two column keyword sets.
+    Two,
+    /// Three column keyword sets.
+    Three,
+}
+
+/// One workload entry of Table 1.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// Position in Table 1 (0-based; stable across runs).
+    pub index: usize,
+    /// The column-keyword query.
+    pub query: Query,
+    /// Source tables returned by the two-phase index probe (paper count).
+    pub total: usize,
+    /// Relevant source tables among them (paper count).
+    pub relevant: usize,
+}
+
+impl QuerySpec {
+    /// Arity class.
+    pub fn class(&self) -> QueryClass {
+        match self.query.q() {
+            1 => QueryClass::Single,
+            2 => QueryClass::Two,
+            _ => QueryClass::Three,
+        }
+    }
+}
+
+/// `(query, total, relevant)` rows of Table 1, verbatim.
+const TABLE1: &[(&str, usize, usize)] = &[
+    // Single column queries.
+    ("dog breed", 68, 66),
+    ("kings of africa", 26, 0),
+    ("phases of moon", 56, 17),
+    ("prime ministers of england", 35, 3),
+    ("professional wrestlers", 52, 52),
+    // Two column queries.
+    ("2008 beijing Olympic events | winners", 29, 0),
+    ("2008 olympic gold medal winners | sports/event", 26, 0),
+    ("australian cities | area", 30, 4),
+    ("banks | interest rates", 51, 34),
+    ("black metal bands | country", 39, 19),
+    ("books in United States | author", 6, 2),
+    ("car accidents location | year", 46, 8),
+    ("clothing sizes | symbols", 20, 0),
+    ("composition of the sun | percentage", 50, 12),
+    ("country | currency", 56, 53),
+    ("country | daily fuel consumption", 38, 14),
+    ("country | gdp", 58, 56),
+    ("country | population", 58, 55),
+    ("country | us dollar exchange rate", 52, 43),
+    ("fifa worlds cup winners | year", 49, 9),
+    ("Golden Globe award winners | year", 23, 19),
+    ("Ibanez guitar series | models", 21, 3),
+    ("Internet domains | entity", 10, 4),
+    ("James Bond films | year", 16, 11),
+    ("Microsoft Windows products | release date", 25, 12),
+    ("MLB world series winners | year", 13, 3),
+    ("movies | gross collection", 57, 57),
+    ("name of parrot | binomial name", 11, 8),
+    ("north american mountains | height", 47, 28),
+    ("pain killers | company", 1, 1),
+    ("pga players | total score", 40, 29),
+    ("pre-production electric vehicle | release date", 3, 0),
+    ("running shoes model | company", 11, 5),
+    ("science discoveries | discoverers", 41, 37),
+    ("university | motto", 7, 5),
+    ("us cities | population", 34, 32),
+    ("us pizza store | annual sales", 35, 1),
+    ("usa states | population", 41, 37),
+    ("used cellphones | price", 29, 0),
+    ("video games | company", 30, 28),
+    ("wimbledon champions | year", 38, 24),
+    ("world tallest buildings | height", 51, 12),
+    // Three column queries.
+    ("academy award category | winner | year", 56, 22),
+    ("bittorrent clients | license | cost", 0, 0),
+    ("chemical element | atomic number | atomic weight", 33, 30),
+    ("company | stock ticker | price", 53, 53),
+    (
+        "educational exchange discipline in US | number of students | year",
+        13,
+        2,
+    ),
+    ("fast cars | company | top speed", 34, 29),
+    ("food | fat | protein", 47, 43),
+    ("ipod models | release date | price", 44, 16),
+    ("name of explorers | nationality | areas explored", 19, 13),
+    ("NBA Match | date | winner", 44, 34),
+    ("new Jedi Order novels | authors | year", 25, 24),
+    ("Nobel prize winners | field | year", 12, 10),
+    ("Olympus digital SLR Models | resolution | price", 11, 3),
+    ("president | library name | location", 8, 1),
+    ("religion | number of followers | country of origin", 37, 32),
+    ("Star Trek novels | authors | release date", 8, 8),
+    ("us states | capitals | largest cities", 32, 30),
+];
+
+/// The full 59-query workload, in Table 1 order.
+pub fn workload() -> Vec<QuerySpec> {
+    TABLE1
+        .iter()
+        .enumerate()
+        .map(|(index, &(q, total, relevant))| QuerySpec {
+            index,
+            query: Query::parse(q).expect("workload query parses"),
+            total,
+            relevant,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifty_nine_queries() {
+        assert_eq!(workload().len(), 59);
+    }
+
+    #[test]
+    fn arity_distribution_matches_paper() {
+        let w = workload();
+        let singles = w.iter().filter(|s| s.class() == QueryClass::Single).count();
+        let twos = w.iter().filter(|s| s.class() == QueryClass::Two).count();
+        let threes = w.iter().filter(|s| s.class() == QueryClass::Three).count();
+        assert_eq!((singles, twos, threes), (5, 37, 17));
+    }
+
+    #[test]
+    fn relevant_never_exceeds_total() {
+        for s in workload() {
+            assert!(s.relevant <= s.total, "{}", s.query);
+        }
+    }
+
+    #[test]
+    fn average_candidates_close_to_paper() {
+        // Paper: between 0 and 68 candidates, average 32.29; ~60% relevant.
+        let w = workload();
+        let total: usize = w.iter().map(|s| s.total).sum();
+        let avg = total as f64 / w.len() as f64;
+        assert!((avg - 32.29).abs() < 0.5, "avg {avg}");
+        let rel: usize = w.iter().map(|s| s.relevant).sum();
+        let frac = rel as f64 / total as f64;
+        assert!((0.5..0.7).contains(&frac), "relevant fraction {frac}");
+    }
+
+    #[test]
+    fn indices_are_dense_and_stable() {
+        for (i, s) in workload().iter().enumerate() {
+            assert_eq!(s.index, i);
+        }
+    }
+}

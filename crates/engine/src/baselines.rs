@@ -1,0 +1,314 @@
+//! The baseline column-mapping methods of paper §5:
+//!
+//! * **Basic** — threshold the TF-IDF similarity of the query keywords to
+//!   a table's context+header text for relevance, then greedily match each
+//!   query column to its best-scoring header (§3's opening description);
+//! * **NbrText** — Basic with header text imported from similar columns:
+//!   `sim(Qℓ,tc) = max(TI(Qℓ,tc), max_{t'c'} sim(tc,t'c')·TI(Qℓ,t'c'))`;
+//! * **PMI2** — Basic augmented with the PMI² corpus co-occurrence score.
+
+use wwt_core::colsim::column_similarity;
+use wwt_core::features::{pmi2, QueryView};
+use wwt_core::TableView;
+use wwt_index::TableIndex;
+use wwt_model::{Label, Labeling, Query, WebTable};
+use wwt_text::{tokenize, CorpusStats, TfIdfVector};
+
+/// Baseline selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineMethod {
+    /// Thresholded whole-string similarity (the paper's strawman).
+    Basic,
+    /// Basic + neighbor header text.
+    NbrText,
+    /// Basic + PMI² (requires an index).
+    Pmi2,
+}
+
+/// Baseline thresholds and weights.
+#[derive(Debug, Clone)]
+pub struct BaselineConfig {
+    /// Minimum whole-table relevance (cosine of query vs header+context).
+    pub rel_threshold: f64,
+    /// Minimum per-column similarity for a query-column assignment.
+    pub col_threshold: f64,
+    /// Weight of the PMI² term (PMI2 method only).
+    pub pmi_weight: f64,
+    /// Cell-overlap/header mix for NbrText's column similarity.
+    pub content_sim_mix: f64,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig {
+            rel_threshold: 0.5,
+            col_threshold: 0.3,
+            pmi_weight: 0.5,
+            content_sim_mix: 0.7,
+        }
+    }
+}
+
+/// Runs a baseline method over candidate tables, returning one labeling
+/// per table.
+pub fn baseline_map(
+    method: BaselineMethod,
+    query: &Query,
+    tables: &[&WebTable],
+    stats: &CorpusStats,
+    index: Option<&TableIndex>,
+    cfg: &BaselineConfig,
+) -> Vec<Labeling> {
+    let qv = QueryView::new(query, stats);
+    let q = query.q();
+    let views: Vec<TableView<'_>> = tables
+        .iter()
+        .map(|t| TableView::new(t, stats, 0.3))
+        .collect();
+    let whole_query = TfIdfVector::from_tokens(&tokenize(&query.all_keywords()), stats);
+
+    // Per-column query-to-header similarity for every (table, column).
+    let mut col_sim: Vec<Vec<Vec<f64>>> = views
+        .iter()
+        .map(|v| {
+            (0..v.n_cols())
+                .map(|c| {
+                    (0..q)
+                        .map(|l| qv.columns[l].vec.cosine(&v.column_header_vecs[c]))
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+
+    match method {
+        BaselineMethod::Basic => {}
+        BaselineMethod::NbrText => {
+            // Import neighbor header similarity scaled by column sim. The
+            // naive all-pairs version (no max-matching) — this is exactly
+            // the ad hoc method the paper shows to be fragile.
+            let snapshot = col_sim.clone();
+            for (ti, v) in views.iter().enumerate() {
+                for c in 0..v.n_cols() {
+                    for (tj, v2) in views.iter().enumerate() {
+                        if ti == tj {
+                            continue;
+                        }
+                        for c2 in 0..v2.n_cols() {
+                            let s = column_similarity(v, c, v2, c2, cfg.content_sim_mix);
+                            if s <= 0.0 {
+                                continue;
+                            }
+                            for l in 0..q {
+                                let imported = s * snapshot[tj][c2][l];
+                                if imported > col_sim[ti][c][l] {
+                                    col_sim[ti][c][l] = imported;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        BaselineMethod::Pmi2 => {
+            if let Some(idx) = index {
+                for (ti, v) in views.iter().enumerate() {
+                    for c in 0..v.n_cols() {
+                        for l in 0..q {
+                            col_sim[ti][c][l] += cfg.pmi_weight * pmi2(&qv.columns[l], v, c, idx);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    views
+        .iter()
+        .enumerate()
+        .map(|(ti, v)| {
+            let t = tables[ti];
+            // Whole-table relevance: cosine of the full query against
+            // header and context text.
+            let header_vec = TfIdfVector::from_tokens(&tokenize(&t.all_header_text()), stats);
+            let ctx_vec = TfIdfVector::from_tokens(&tokenize(&t.all_context_text()), stats);
+            let rel = whole_query.cosine(&header_vec) + whole_query.cosine(&ctx_vec);
+            if rel < cfg.rel_threshold {
+                return Labeling::all_nr(t.id, v.n_cols());
+            }
+            // Greedy best-first assignment with mutex.
+            let mut labels = vec![Label::Na; v.n_cols()];
+            let mut pairs: Vec<(f64, usize, usize)> = Vec::new();
+            for c in 0..v.n_cols() {
+                for l in 0..q {
+                    let s = col_sim[ti][c][l];
+                    if s >= cfg.col_threshold {
+                        pairs.push((s, c, l));
+                    }
+                }
+            }
+            pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+            let mut used_col = vec![false; v.n_cols()];
+            let mut used_label = vec![false; q];
+            for (_, c, l) in pairs {
+                if !used_col[c] && !used_label[l] {
+                    labels[c] = Label::Col(l);
+                    used_col[c] = true;
+                    used_label[l] = true;
+                }
+            }
+            if !labels.iter().any(|l| l.is_query_col()) {
+                return Labeling::all_nr(t.id, v.n_cols());
+            }
+            Labeling::new(t.id, labels)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wwt_model::{ContextSnippet, TableId};
+
+    fn currency_table(id: u32) -> WebTable {
+        WebTable::new(
+            TableId(id),
+            "u",
+            None,
+            vec![vec!["Country".into(), "Currency".into()]],
+            vec![
+                vec!["India".into(), "Rupee".into()],
+                vec!["Japan".into(), "Yen".into()],
+            ],
+            vec![ContextSnippet::new("currencies by country", 0.9)],
+        )
+        .unwrap()
+    }
+
+    fn unrelated_table(id: u32) -> WebTable {
+        WebTable::new(
+            TableId(id),
+            "u",
+            None,
+            vec![vec!["Reserve".into(), "Area".into()]],
+            vec![vec!["Hills".into(), "2236".into()]],
+            vec![ContextSnippet::new("forestry act reserves", 0.9)],
+        )
+        .unwrap()
+    }
+
+    fn headerless_currency(id: u32) -> WebTable {
+        WebTable::new(
+            TableId(id),
+            "u",
+            None,
+            vec![],
+            vec![
+                vec!["India".into(), "Rupee".into()],
+                vec!["Japan".into(), "Yen".into()],
+            ],
+            vec![],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_maps_clean_table_and_rejects_junk() {
+        let q = Query::parse("country | currency").unwrap();
+        let good = currency_table(0);
+        let bad = unrelated_table(1);
+        let stats = CorpusStats::new();
+        let out = baseline_map(
+            BaselineMethod::Basic,
+            &q,
+            &[&good, &bad],
+            &stats,
+            None,
+            &BaselineConfig::default(),
+        );
+        assert_eq!(out[0].labels, vec![Label::Col(0), Label::Col(1)]);
+        assert_eq!(out[1].labels, vec![Label::Nr, Label::Nr]);
+    }
+
+    #[test]
+    fn basic_cannot_map_headerless_tables() {
+        let q = Query::parse("country | currency").unwrap();
+        let naked = headerless_currency(0);
+        let stats = CorpusStats::new();
+        let out = baseline_map(
+            BaselineMethod::Basic,
+            &q,
+            &[&naked],
+            &stats,
+            None,
+            &BaselineConfig::default(),
+        );
+        assert!(!out[0].is_relevant());
+    }
+
+    #[test]
+    fn nbrtext_imports_neighbor_headers() {
+        let q = Query::parse("country | currency").unwrap();
+        let good = currency_table(0);
+        let naked = headerless_currency(1);
+        let stats = CorpusStats::new();
+        let out = baseline_map(
+            BaselineMethod::NbrText,
+            &q,
+            &[&good, &naked],
+            &stats,
+            None,
+            &BaselineConfig {
+                rel_threshold: 0.0, // headerless tables have no text to match
+                ..BaselineConfig::default()
+            },
+        );
+        assert!(
+            out[1].is_relevant(),
+            "NbrText should rescue the headerless table: {:?}",
+            out[1]
+        );
+    }
+
+    #[test]
+    fn greedy_mutex_no_double_assignment() {
+        let q = Query::parse("name | name again").unwrap();
+        let t = WebTable::new(
+            TableId(0),
+            "u",
+            None,
+            vec![vec!["Name".into(), "Name".into()]],
+            vec![vec!["a".into(), "b".into()]],
+            vec![ContextSnippet::new("name name again", 0.9)],
+        )
+        .unwrap();
+        let stats = CorpusStats::new();
+        let out = baseline_map(
+            BaselineMethod::Basic,
+            &q,
+            &[&t],
+            &stats,
+            None,
+            &BaselineConfig::default(),
+        );
+        let cols: Vec<_> = out[0].labels.iter().filter(|l| l.is_query_col()).collect();
+        let mut dedup = cols.clone();
+        dedup.dedup();
+        assert_eq!(cols.len(), dedup.len(), "{:?}", out[0].labels);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let q = Query::parse("a | b").unwrap();
+        let stats = CorpusStats::new();
+        let out = baseline_map(
+            BaselineMethod::Basic,
+            &q,
+            &[],
+            &stats,
+            None,
+            &BaselineConfig::default(),
+        );
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,24 @@
+//! # wwt-engine
+//!
+//! The end-to-end WWT system of paper Figure 2:
+//!
+//! * **offline** ([`Wwt::build`]): crawl documents → table extraction
+//!   (`wwt-html`) → table store + fielded index (`wwt-index`);
+//! * **online** ([`Wwt::answer`]): two-stage index probe (§2.2.1), column
+//!   mapping (`wwt-core`), consolidation and ranking (`wwt-consolidate`),
+//!   with per-stage wall-clock timing (the Figure 7 breakdown);
+//! * **baselines** ([`baselines`]): the Basic / NbrText / PMI2 methods of
+//!   §5 that WWT is compared against;
+//! * **evaluation** ([`evaluate`]): binding generated corpora to ground
+//!   truth and computing the F1 error per method (the machinery behind
+//!   every table and figure reproduction in `wwt-bench`).
+
+pub mod baselines;
+pub mod evaluate;
+pub mod pipeline;
+pub mod timing;
+
+pub use baselines::{baseline_map, BaselineConfig, BaselineMethod};
+pub use evaluate::{bind_corpus, evaluate_query, evaluate_query_with, evaluate_workload, evaluate_workload_with, BoundCorpus, Method, QueryEvaluation};
+pub use pipeline::{QueryOutcome, Wwt, WwtConfig};
+pub use timing::StageTimings;

@@ -1,0 +1,351 @@
+//! The end-to-end query pipeline (paper §2.2).
+
+use crate::timing::StageTimings;
+use std::time::Instant;
+use wwt_consolidate::{consolidate, RelevantInput};
+use wwt_core::{ColumnMapper, InferenceAlgorithm, MapperConfig, MappingResult};
+use wwt_html::extract_tables;
+use wwt_index::{IndexBuilder, TableIndex, TableStore};
+use wwt_model::{AnswerTable, Query, TableId, WebTable};
+use wwt_text::tokenize;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct WwtConfig {
+    /// Column-mapper configuration (weights, thresholds).
+    pub mapper: MapperConfig,
+    /// Collective inference algorithm.
+    pub algorithm: InferenceAlgorithm,
+    /// Candidates retrieved by the first index probe.
+    pub probe1_k: usize,
+    /// New candidates admitted by the second index probe (top content
+    /// overlap matches only; a small cap keeps sampled-row noise out).
+    pub probe2_k: usize,
+    /// Relevance-probability bar for the "top-two tables with very high
+    /// relevance score" that seed the second probe (§2.2.1).
+    pub high_relevance: f64,
+    /// Rows sampled from each confident table for the second probe
+    /// (paper: 10).
+    pub sample_rows: usize,
+    /// Probe hits scoring below this fraction of the best hit's score are
+    /// dropped (keeps weak single-keyword matches from flooding the
+    /// candidate set).
+    pub score_cutoff_frac: f64,
+}
+
+impl Default for WwtConfig {
+    fn default() -> Self {
+        WwtConfig {
+            mapper: MapperConfig::default(),
+            algorithm: InferenceAlgorithm::TableCentric,
+            probe1_k: 60,
+            probe2_k: 12,
+            high_relevance: 0.75,
+            sample_rows: 10,
+            score_cutoff_frac: 0.34,
+        }
+    }
+}
+
+/// Everything the engine produces for one query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The consolidated, ranked answer table.
+    pub table: AnswerTable,
+    /// The column mapping over all candidates.
+    pub mapping: MappingResult,
+    /// Candidate table ids, aligned with `mapping.labelings`.
+    pub candidates: Vec<TableId>,
+    /// Ids retrieved by the first probe.
+    pub stage1: Vec<TableId>,
+    /// Ids newly contributed by the second probe.
+    pub stage2: Vec<TableId>,
+    /// Whether the second probe fired.
+    pub probe2_used: bool,
+    /// Per-stage timing.
+    pub timing: StageTimings,
+}
+
+/// The assembled WWT system: index + table store + mapper.
+pub struct Wwt {
+    index: TableIndex,
+    store: TableStore,
+    config: WwtConfig,
+}
+
+impl Wwt {
+    /// Offline pipeline: extract data tables from raw HTML documents,
+    /// build the store and the fielded index (paper §2.1).
+    pub fn build<'a>(docs: impl IntoIterator<Item = &'a str>, config: WwtConfig) -> Self {
+        let mut tables = Vec::new();
+        let mut next_id = 0u32;
+        for (i, html) in docs.into_iter().enumerate() {
+            let url = format!("doc://{i}");
+            let extracted = extract_tables(html, &url, next_id);
+            next_id += extracted.len() as u32;
+            tables.extend(extracted);
+        }
+        Self::from_tables(tables, config)
+    }
+
+    /// Builds the system from already extracted tables.
+    pub fn from_tables(tables: Vec<WebTable>, config: WwtConfig) -> Self {
+        let mut builder = IndexBuilder::new();
+        for t in &tables {
+            builder.add_table(t);
+        }
+        Wwt {
+            index: builder.build(),
+            store: TableStore::from_tables(tables),
+            config,
+        }
+    }
+
+    /// The fielded index.
+    pub fn index(&self) -> &TableIndex {
+        &self.index
+    }
+
+    /// The table store.
+    pub fn store(&self) -> &TableStore {
+        &self.store
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &WwtConfig {
+        &self.config
+    }
+
+    /// Runs the two-stage candidate retrieval (§2.2.1). Returns
+    /// `(stage1_ids, stage2_only_ids, probe2_used, timings-so-far)`.
+    pub fn retrieve(&self, query: &Query) -> (Vec<TableId>, Vec<TableId>, bool, StageTimings) {
+        let mut timing = StageTimings::default();
+        let cfg = &self.config;
+
+        // Probe 1: union of query keywords (hits far below the best match
+        // are dropped — they are single-keyword noise).
+        let t0 = Instant::now();
+        let tokens = tokenize(&query.all_keywords());
+        let mut hits1 = self.index.search(&tokens, cfg.probe1_k);
+        if let Some(best) = hits1.first().map(|h| h.score) {
+            hits1.retain(|h| h.score >= best * cfg.score_cutoff_frac);
+        }
+        timing.index1 = t0.elapsed();
+
+        let t0 = Instant::now();
+        let stage1: Vec<TableId> = hits1.iter().map(|h| h.table).collect();
+        let tables1: Vec<&WebTable> = stage1
+            .iter()
+            .filter_map(|&id| self.store.get(id))
+            .collect();
+        timing.read1 = t0.elapsed();
+
+        // Pre-map stage-1 candidates to find confident seed tables.
+        let t0 = Instant::now();
+        let mapper = ColumnMapper {
+            config: cfg.mapper.clone(),
+            algorithm: cfg.algorithm,
+        };
+        let pre = mapper.map(query, &tables1, self.index.stats(), Some(&self.index));
+        timing.column_map += t0.elapsed();
+
+        let mut seeds: Vec<usize> = (0..tables1.len())
+            .filter(|&i| {
+                pre.table_relevance[i] >= cfg.high_relevance && pre.labelings[i].is_relevant()
+            })
+            .collect();
+        seeds.sort_by(|&a, &b| {
+            pre.table_relevance[b]
+                .partial_cmp(&pre.table_relevance[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        seeds.truncate(2);
+
+        let mut stage2: Vec<TableId> = Vec::new();
+        let probe2_used = !seeds.is_empty();
+        if probe2_used {
+            // Sample rows from the confident tables (deterministic spread).
+            let mut sample_tokens: Vec<String> = tokens.clone();
+            for &s in &seeds {
+                let t = tables1[s];
+                let n = t.n_rows();
+                let step = (n / cfg.sample_rows.max(1)).max(1);
+                for r in (0..n).step_by(step).take(cfg.sample_rows) {
+                    for c in 0..t.n_cols() {
+                        // Purely numeric tokens (years, counts) match
+                        // foreign tables everywhere; the discriminative
+                        // part of a sampled row is its entity text.
+                        sample_tokens.extend(
+                            tokenize(t.cell(r, c))
+                                .into_iter()
+                                .filter(|tok| !tok.chars().all(|c| c.is_ascii_digit())),
+                        );
+                    }
+                }
+            }
+            let t0 = Instant::now();
+            // Stage-1 tables re-match their own sampled rows, so search
+            // wide enough that they cannot crowd out new tables, then keep
+            // the top `probe2_k` *new* content-overlap matches.
+            let mut hits2 = self
+                .index
+                .search(&sample_tokens, cfg.probe2_k + stage1.len());
+            hits2.retain(|h| !stage1.contains(&h.table));
+            hits2.truncate(cfg.probe2_k);
+            timing.index2 = t0.elapsed();
+            let t0 = Instant::now();
+            for h in hits2 {
+                if !stage2.contains(&h.table) {
+                    stage2.push(h.table);
+                }
+            }
+            timing.read2 = t0.elapsed();
+        }
+        (stage1, stage2, probe2_used, timing)
+    }
+
+    /// Full online pipeline: retrieve → map → consolidate → rank (§2.2).
+    pub fn answer(&self, query: &Query) -> QueryOutcome {
+        let cfg = &self.config;
+        let (stage1, stage2, probe2_used, mut timing) = self.retrieve(query);
+        let candidates: Vec<TableId> = stage1.iter().chain(stage2.iter()).copied().collect();
+
+        let t0 = Instant::now();
+        let tables: Vec<&WebTable> = candidates
+            .iter()
+            .filter_map(|&id| self.store.get(id))
+            .collect();
+        timing.read2 += t0.elapsed();
+
+        let t0 = Instant::now();
+        let mapper = ColumnMapper {
+            config: cfg.mapper.clone(),
+            algorithm: cfg.algorithm,
+        };
+        let mapping = mapper.map(query, &tables, self.index.stats(), Some(&self.index));
+        timing.column_map += t0.elapsed();
+
+        let t0 = Instant::now();
+        let inputs: Vec<RelevantInput<'_>> = (0..tables.len())
+            .filter(|&i| mapping.labelings[i].is_relevant())
+            .map(|i| RelevantInput {
+                table: tables[i],
+                labeling: &mapping.labelings[i],
+                relevance: mapping.table_relevance[i],
+            })
+            .collect();
+        let table = consolidate(query, &inputs);
+        timing.consolidate = t0.elapsed();
+
+        QueryOutcome {
+            table,
+            mapping,
+            candidates,
+            stage1,
+            stage2,
+            probe2_used,
+            timing,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn currency_page(i: usize, countries: &[(&str, &str)]) -> String {
+        let mut rows = String::new();
+        for (c, m) in countries {
+            rows.push_str(&format!("<tr><td>{c}</td><td>{m}</td></tr>"));
+        }
+        format!(
+            "<html><head><title>currencies {i}</title></head><body>\
+             <p>List of countries and their currency</p>\
+             <table><tr><th>Country</th><th>Currency</th></tr>{rows}</table>\
+             </body></html>"
+        )
+    }
+
+    fn junk_page() -> String {
+        "<html><body><p>nothing here about forests</p>\
+         <table><tr><th>ID</th><th>Area</th></tr>\
+         <tr><td>7</td><td>2236</td></tr><tr><td>9</td><td>880</td></tr></table>\
+         </body></html>"
+            .to_string()
+    }
+
+    fn build_engine() -> Wwt {
+        let docs = vec![
+            currency_page(0, &[("India", "Rupee"), ("Japan", "Yen"), ("France", "Euro")]),
+            currency_page(1, &[("India", "Rupee"), ("Brazil", "Real"), ("Japan", "Yen")]),
+            junk_page(),
+        ];
+        Wwt::build(docs.iter().map(String::as_str), WwtConfig::default())
+    }
+
+    #[test]
+    fn offline_build_extracts_and_indexes() {
+        let wwt = build_engine();
+        assert_eq!(wwt.store().len(), 3);
+        assert_eq!(wwt.index().n_docs(), 3);
+    }
+
+    #[test]
+    fn answer_consolidates_currency_tables() {
+        let wwt = build_engine();
+        let q = Query::parse("country | currency").unwrap();
+        let out = wwt.answer(&q);
+        assert!(!out.table.is_empty(), "no answer rows");
+        // India appears in both tables: must be merged with support 2.
+        let india = out
+            .table
+            .rows
+            .iter()
+            .find(|r| r.cells[0] == "India")
+            .expect("India row");
+        assert_eq!(india.support, 2);
+        assert_eq!(india.cells[1], "Rupee");
+        // Four distinct countries in total.
+        assert_eq!(out.table.len(), 4);
+        // Junk table must not contribute.
+        assert!(out
+            .table
+            .rows
+            .iter()
+            .all(|r| r.cells[0] != "7" && r.cells[1] != "2236"));
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let wwt = build_engine();
+        let q = Query::parse("country | currency").unwrap();
+        let out = wwt.answer(&q);
+        assert!(out.timing.column_map > std::time::Duration::ZERO);
+        assert!(out.timing.total() >= out.timing.column_map);
+    }
+
+    #[test]
+    fn retrieval_finds_stage1_candidates() {
+        let wwt = build_engine();
+        let q = Query::parse("country | currency").unwrap();
+        let (s1, _s2, _used, _t) = wwt.retrieve(&q);
+        assert!(s1.len() >= 2, "stage1 {s1:?}");
+    }
+
+    #[test]
+    fn unanswerable_query_yields_empty_table() {
+        let wwt = build_engine();
+        let q = Query::parse("zebra migrations | season").unwrap();
+        let out = wwt.answer(&q);
+        assert!(out.table.is_empty());
+    }
+
+    #[test]
+    fn empty_engine_is_safe() {
+        let wwt = Wwt::from_tables(vec![], WwtConfig::default());
+        let q = Query::parse("anything | at all").unwrap();
+        let out = wwt.answer(&q);
+        assert!(out.table.is_empty());
+        assert!(out.candidates.is_empty());
+    }
+}

@@ -1,0 +1,67 @@
+//! Per-stage timing of the online pipeline (paper Figure 7 splits query
+//! time into: 1st index probe, 1st table read, 2nd index probe, 2nd table
+//! read, column mapping, consolidation).
+
+use std::time::Duration;
+
+/// Wall-clock time spent in each online stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// First index probe.
+    pub index1: Duration,
+    /// Reading stage-1 candidate tables from the store.
+    pub read1: Duration,
+    /// Second index probe (zero when not used).
+    pub index2: Duration,
+    /// Reading stage-2 candidate tables.
+    pub read2: Duration,
+    /// Column mapping (including the top-2 pre-mapping for the probe).
+    pub column_map: Duration,
+    /// Consolidation + ranking.
+    pub consolidate: Duration,
+}
+
+impl StageTimings {
+    /// Total time across stages.
+    pub fn total(&self) -> Duration {
+        self.index1 + self.read1 + self.index2 + self.read2 + self.column_map + self.consolidate
+    }
+
+    /// The stage durations in Figure 7's stacking order, with labels.
+    pub fn stacked(&self) -> [(&'static str, Duration); 6] {
+        [
+            ("1st Index", self.index1),
+            ("1st Table Read", self.read1),
+            ("2nd Index", self.index2),
+            ("2nd Table Read", self.read2),
+            ("Column Map", self.column_map),
+            ("Consolidate", self.consolidate),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_components() {
+        let t = StageTimings {
+            index1: Duration::from_millis(5),
+            read1: Duration::from_millis(10),
+            index2: Duration::from_millis(3),
+            read2: Duration::from_millis(7),
+            column_map: Duration::from_millis(20),
+            consolidate: Duration::from_millis(5),
+        };
+        assert_eq!(t.total(), Duration::from_millis(50));
+        let stacked = t.stacked();
+        assert_eq!(stacked.len(), 6);
+        assert_eq!(stacked[4].0, "Column Map");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(StageTimings::default().total(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,284 @@
+//! α-expansion (Boykov–Veksler–Zabih) for score maximization, with the
+//! paper's modification for the `mutex` constraint (§4.3): expansion moves
+//! on query-column labels are solved as *constrained* min s-t cuts so that
+//! at most one column per table switches to (or keeps) the label α.
+//!
+//! Score maximization is handled as energy minimization with
+//! `E = −score`. Each move builds the standard binary-cut graph with the
+//! decomposition
+//!
+//! ```text
+//! E(xu,xv) = a + (c−a)·xu + (d−c)·xv + (b+c−a−d)·(1−xu)·xv
+//! ```
+//!
+//! where `x = 1` means "take α" (t side of the cut). Edge terms that
+//! violate submodularity (`b+c−a−d < 0`) are truncated to zero — the
+//! paper's potentials are metric, so truncation only absorbs floating-point
+//! slack.
+
+use crate::constrained_cut::{constrained_min_cut, ConstrainedCutProblem};
+use crate::maxflow::MaxFlowGraph;
+use crate::mrf::PairwiseMrf;
+
+/// Options for [`alpha_expansion`].
+#[derive(Debug, Clone, Default)]
+pub struct AlphaOptions {
+    /// Maximum full rounds over the label set (a round with no accepted
+    /// move terminates earlier). 0 means "until convergence" (bounded
+    /// internally at 20).
+    pub max_rounds: usize,
+    /// Variable groups subject to the mutex constraint (e.g. the columns of
+    /// one table).
+    pub mutex_groups: Vec<Vec<usize>>,
+    /// Labels α whose expansion moves must respect the group constraint
+    /// (the query-column labels `1..q`; `na`/`nr` moves are unconstrained).
+    pub constrained_labels: Vec<usize>,
+}
+
+/// Runs α-expansion from `init`; returns the final labeling. The score of
+/// the result is never below the score of `init`.
+pub fn alpha_expansion(mrf: &PairwiseMrf, init: Vec<usize>, opts: &AlphaOptions) -> Vec<usize> {
+    assert_eq!(init.len(), mrf.n_vars());
+    let max_rounds = if opts.max_rounds == 0 {
+        20
+    } else {
+        opts.max_rounds
+    };
+    let mut current = init;
+    let mut current_score = mrf.score(&current);
+    for _round in 0..max_rounds {
+        let mut improved = false;
+        for alpha in 0..mrf.n_labels() {
+            let candidate = expansion_move(mrf, &current, alpha, opts);
+            let cand_score = mrf.score(&candidate);
+            if cand_score > current_score + 1e-9 {
+                current = candidate;
+                current_score = cand_score;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    current
+}
+
+/// Computes the optimal (or constraint-repaired) α-move from `y`.
+fn expansion_move(
+    mrf: &PairwiseMrf,
+    y: &[usize],
+    alpha: usize,
+    opts: &AlphaOptions,
+) -> Vec<usize> {
+    let n = mrf.n_vars();
+    // Node layout: 0 = s, 1 = t, variable i -> 2 + i.
+    let s = 0;
+    let t = 1;
+    let var = |i: usize| 2 + i;
+    // Accumulated terminal capacities per variable.
+    let mut cap_s = vec![0.0f64; n]; // cost of x=1 (take α)
+    let mut cap_t = vec![0.0f64; n]; // cost of x=0 (keep)
+    let mut graph = MaxFlowGraph::new(2 + n);
+    // Unary terms: E_i(0) = −θ(i, y_i), E_i(1) = −θ(i, α).
+    // A variable already labeled α keeps α on either side; we pin it to the
+    // t side so the group (mutex) constraint counts it, and so the repair
+    // loop of Figure 4 sees a prohibitive cost for forcing it to s.
+    const PIN_ALPHA: f64 = 1.0e12;
+    for i in 0..n {
+        if y[i] == alpha {
+            cap_t[i] += PIN_ALPHA;
+            continue;
+        }
+        let e0 = -mrf.node_pot(i, y[i]);
+        let e1 = -mrf.node_pot(i, alpha);
+        let base = e0.min(e1);
+        cap_t[i] += e0 - base;
+        cap_s[i] += e1 - base;
+    }
+    // Pairwise terms.
+    let mut inner_edges: Vec<(usize, usize, f64)> = Vec::new();
+    for e in mrf.edges() {
+        let (u, v) = (e.u, e.v);
+        let a = -mrf_edge(mrf, e, y[u], y[v]);
+        let b = -mrf_edge(mrf, e, y[u], alpha);
+        let c = -mrf_edge(mrf, e, alpha, y[v]);
+        let d = -mrf_edge(mrf, e, alpha, alpha);
+        // (c−a) on xu.
+        let cu = c - a;
+        if cu >= 0.0 {
+            cap_s[u] += cu;
+        } else {
+            cap_t[u] += -cu;
+        }
+        // (d−c) on xv.
+        let cv = d - c;
+        if cv >= 0.0 {
+            cap_s[v] += cv;
+        } else {
+            cap_t[v] += -cv;
+        }
+        // (b+c−a−d)(1−xu)xv: edge u→v, truncated at 0.
+        let w = (b + c - a - d).max(0.0);
+        if w > 0.0 {
+            inner_edges.push((u, v, w));
+        }
+    }
+    // Terminal edges (always created so the constrained cut can raise the
+    // s-edge of any group member).
+    let s_edges: Vec<usize> = (0..n)
+        .map(|i| graph.add_edge(s, var(i), cap_s[i]))
+        .collect();
+    for i in 0..n {
+        graph.add_edge(var(i), t, cap_t[i]);
+    }
+    for (u, v, w) in inner_edges {
+        graph.add_edge(var(u), var(v), w);
+    }
+
+    let constrained = opts.constrained_labels.contains(&alpha) && !opts.mutex_groups.is_empty();
+    let t_side: Vec<bool> = if constrained {
+        let groups: Vec<Vec<(usize, usize)>> = opts
+            .mutex_groups
+            .iter()
+            .map(|g| g.iter().map(|&i| (var(i), s_edges[i])).collect())
+            .collect();
+        constrained_min_cut(ConstrainedCutProblem {
+            graph: &mut graph,
+            s,
+            t,
+            groups,
+        })
+    } else {
+        graph.max_flow(s, t);
+        graph.s_side(s).iter().map(|&x| !x).collect()
+    };
+
+    (0..n)
+        .map(|i| if t_side[var(i)] { alpha } else { y[i] })
+        .collect()
+}
+
+#[inline]
+fn mrf_edge(mrf: &PairwiseMrf, e: &crate::mrf::MrfEdge, lu: usize, lv: usize) -> f64 {
+    e.pot[lu * mrf.n_labels() + lv]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> AlphaOptions {
+        AlphaOptions::default()
+    }
+
+    #[test]
+    fn unary_only_reaches_pointwise_optimum() {
+        let mrf = PairwiseMrf::new(vec![
+            vec![0.0, 3.0, 1.0],
+            vec![2.0, 0.0, 0.0],
+            vec![0.0, 0.0, 5.0],
+        ]);
+        let out = alpha_expansion(&mrf, vec![0, 0, 0], &opts());
+        assert_eq!(out, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn attractive_potts_matches_brute_force() {
+        // Two strong nodes pull a weak middle node to their label.
+        let mut mrf = PairwiseMrf::new(vec![
+            vec![4.0, 0.0],
+            vec![0.4, 0.5],
+            vec![4.0, 0.0],
+        ]);
+        mrf.add_potts_edge(0, 1, 1.0, &[]);
+        mrf.add_potts_edge(1, 2, 1.0, &[]);
+        let out = alpha_expansion(&mrf, vec![1, 1, 1], &opts());
+        let (brute, _) = mrf.brute_force_map();
+        assert_eq!(out, brute);
+        assert_eq!(out, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn never_decreases_score() {
+        // Pseudo-random models; expansion result must score >= init.
+        let mut state = 7u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) * 4.0 - 1.0
+        };
+        for _ in 0..20 {
+            let n = 4;
+            let l = 3;
+            let node = (0..n)
+                .map(|_| (0..l).map(|_| next()).collect::<Vec<_>>())
+                .collect::<Vec<_>>();
+            let mut mrf = PairwiseMrf::new(node);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    mrf.add_potts_edge(u, v, next().abs(), &[]);
+                }
+            }
+            let init = vec![0; n];
+            let init_score = mrf.score(&init);
+            let out = alpha_expansion(&mrf, init, &opts());
+            assert!(mrf.score(&out) >= init_score - 1e-9);
+            // And close to brute force on these tiny attractive models.
+            let (_, best) = mrf.brute_force_map();
+            assert!(mrf.score(&out) >= best - 1e-6, "out {} best {best}", mrf.score(&out));
+        }
+    }
+
+    #[test]
+    fn mutex_constraint_limits_one_per_group() {
+        // Three vars in one group all want label 0.
+        let mrf = PairwiseMrf::new(vec![vec![5.0, 0.0]; 3]);
+        let o = AlphaOptions {
+            max_rounds: 5,
+            mutex_groups: vec![vec![0, 1, 2]],
+            constrained_labels: vec![0],
+        };
+        let out = alpha_expansion(&mrf, vec![1, 1, 1], &o);
+        let count0 = out.iter().filter(|&&l| l == 0).count();
+        assert!(count0 <= 1, "mutex violated: {out:?}");
+        assert_eq!(count0, 1, "one var should still win label 0: {out:?}");
+    }
+
+    #[test]
+    fn mutex_counts_vars_already_at_alpha() {
+        // Var 0 starts at label 0; var 1 wants to switch to 0 as well.
+        let mrf = PairwiseMrf::new(vec![vec![5.0, 0.0], vec![5.0, 0.0]]);
+        let o = AlphaOptions {
+            max_rounds: 3,
+            mutex_groups: vec![vec![0, 1]],
+            constrained_labels: vec![0],
+        };
+        let out = alpha_expansion(&mrf, vec![0, 1], &o);
+        assert_eq!(out.iter().filter(|&&l| l == 0).count(), 1, "{out:?}");
+    }
+
+    #[test]
+    fn hard_negative_edges_respected() {
+        // Forbid (0,0): the pair must split labels despite unary pull.
+        let mut mrf = PairwiseMrf::new(vec![vec![3.0, 0.0], vec![3.0, 0.0]]);
+        let l = 2;
+        let mut pot = vec![0.0; l * l];
+        pot[0] = crate::NEG_INF_SCORE; // (0,0) forbidden
+        mrf.add_edge(0, 1, pot);
+        let out = alpha_expansion(&mrf, vec![1, 1], &opts());
+        assert!(mrf.is_feasible(&out), "{out:?}");
+        assert_ne!(out, vec![0, 0]);
+    }
+
+    #[test]
+    fn groups_without_constrained_labels_ignored() {
+        let mrf = PairwiseMrf::new(vec![vec![5.0, 0.0]; 2]);
+        let o = AlphaOptions {
+            max_rounds: 3,
+            mutex_groups: vec![vec![0, 1]],
+            constrained_labels: vec![], // no label constrained
+        };
+        let out = alpha_expansion(&mrf, vec![1, 1], &o);
+        assert_eq!(out, vec![0, 0]);
+    }
+}

@@ -1,0 +1,507 @@
+//! Generalized maximum-weight bipartite matching (paper §4.1) and
+//! max-marginals (paper §4.2.3, Figure 3).
+//!
+//! *Items* (table columns) have unit capacity; *bins* (query labels and
+//! `na`) have arbitrary capacities. Every item must be assigned to exactly
+//! one bin; the assignment maximizes the total weight. Forbidden pairs are
+//! expressed with `f64::NEG_INFINITY` weights.
+//!
+//! [`max_marginals`] computes, for every `(item, bin)` pair, the best total
+//! weight of a *complete* assignment forced to place `item` in `bin` — the
+//! quantity `µ_tc(ℓ)` of Eq. 10 — using the paper's trick: one optimal
+//! matching on a capacity-balanced network, then one shortest-path pass per
+//! bin over the final residual graph.
+
+use crate::mincost::MinCostFlow;
+
+/// A generalized assignment problem instance.
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    /// Capacity of each bin.
+    pub bin_caps: Vec<u32>,
+    /// `weights[item][bin]`; `NEG_INFINITY` marks forbidden pairs.
+    pub weights: Vec<Vec<f64>>,
+}
+
+/// An optimal assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssignmentSolution {
+    /// For each item, the bin it is assigned to.
+    pub assignment: Vec<usize>,
+    /// Total weight.
+    pub total: f64,
+}
+
+impl Assignment {
+    /// Number of items.
+    pub fn n_items(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Number of bins.
+    pub fn n_bins(&self) -> usize {
+        self.bin_caps.len()
+    }
+
+    fn check(&self) {
+        for w in &self.weights {
+            assert_eq!(w.len(), self.n_bins(), "weight row width != n_bins");
+        }
+    }
+
+    /// Total weight of a concrete assignment (`NEG_INFINITY` if any pair is
+    /// forbidden). Does not check capacities.
+    pub fn score(&self, assignment: &[usize]) -> f64 {
+        assignment
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| self.weights[i][b])
+            .sum()
+    }
+}
+
+/// Node layout of the flow network.
+struct Layout {
+    s: usize,
+    t: usize,
+    dummy: Option<usize>,
+    n_items: usize,
+}
+
+impl Layout {
+    fn item(&self, i: usize) -> usize {
+        2 + i
+    }
+    fn bin(&self, b: usize) -> usize {
+        2 + self.n_items + b
+    }
+}
+
+/// Builds the (optionally capacity-balanced) flow network.
+fn build_network(p: &Assignment, balanced: bool) -> (MinCostFlow, Layout) {
+    let n_items = p.n_items();
+    let n_bins = p.n_bins();
+    let total_cap: i64 = p.bin_caps.iter().map(|&c| c as i64).sum();
+    let deficit = total_cap - n_items as i64;
+    let use_dummy = balanced && deficit > 0;
+    let n_nodes = 2 + n_items + n_bins + usize::from(use_dummy);
+    let mut g = MinCostFlow::new(n_nodes);
+    let layout = Layout {
+        s: 0,
+        t: 1,
+        dummy: use_dummy.then_some(n_nodes - 1),
+        n_items,
+    };
+    for i in 0..n_items {
+        g.add_edge(layout.s, layout.item(i), 1, 0.0);
+        for b in 0..n_bins {
+            let w = p.weights[i][b];
+            if w.is_finite() && p.bin_caps[b] > 0 {
+                g.add_edge(layout.item(i), layout.bin(b), 1, -w);
+            }
+        }
+    }
+    for b in 0..n_bins {
+        g.add_edge(layout.bin(b), layout.t, p.bin_caps[b] as i64, 0.0);
+    }
+    if let Some(d) = layout.dummy {
+        g.add_edge(layout.s, d, deficit, 0.0);
+        for b in 0..n_bins {
+            if p.bin_caps[b] > 0 {
+                g.add_edge(d, layout.bin(b), p.bin_caps[b] as i64, 0.0);
+            }
+        }
+    }
+    (g, layout)
+}
+
+/// Reads each item's assigned bin from edge flows.
+fn read_assignment(g: &MinCostFlow, p: &Assignment, _layout: &Layout) -> Option<Vec<usize>> {
+    // Edge ids are deterministic: reconstruct by replaying add order.
+    let mut assignment = vec![usize::MAX; p.n_items()];
+    let mut e = 0usize;
+    for i in 0..p.n_items() {
+        e += 2; // s -> item edge (fwd + rev)
+        for b in 0..p.n_bins() {
+            let w = p.weights[i][b];
+            if w.is_finite() && p.bin_caps[b] > 0 {
+                if g.flow(e) > 0 {
+                    assignment[i] = b;
+                }
+                e += 2;
+            }
+        }
+    }
+    if assignment.iter().any(|&b| b == usize::MAX) {
+        None
+    } else {
+        Some(assignment)
+    }
+}
+
+/// Solves the assignment problem. Returns `None` when no complete
+/// assignment exists (insufficient capacity or forbidden structure).
+pub fn solve_assignment(p: &Assignment) -> Option<AssignmentSolution> {
+    p.check();
+    if p.n_items() == 0 {
+        return Some(AssignmentSolution {
+            assignment: vec![],
+            total: 0.0,
+        });
+    }
+    let (mut g, layout) = build_network(p, false);
+    let (flow, cost) = g.run(layout.s, layout.t);
+    if flow < p.n_items() as i64 {
+        return None;
+    }
+    let assignment = read_assignment(&g, p, &layout)?;
+    Some(AssignmentSolution {
+        assignment,
+        total: -cost,
+    })
+}
+
+/// Computes all max-marginals `µ[item][bin]`: the best total weight of a
+/// complete assignment with `item` forced into `bin`
+/// (`NEG_INFINITY` when infeasible). Implements Figure 3 of the paper.
+pub fn max_marginals(p: &Assignment) -> Vec<Vec<f64>> {
+    p.check();
+    let n_items = p.n_items();
+    let n_bins = p.n_bins();
+    let mut mu = vec![vec![f64::NEG_INFINITY; n_bins]; n_items];
+    if n_items == 0 {
+        return mu;
+    }
+    let total_cap: i64 = p.bin_caps.iter().map(|&c| c as i64).sum();
+    if total_cap < n_items as i64 {
+        return mu; // no complete assignment at all
+    }
+    let (mut g, layout) = build_network(p, true);
+    let (flow, cost) = g.run(layout.s, layout.t);
+    if flow < total_cap {
+        // Balanced network could not saturate: some item has no feasible
+        // bin. Fall back: no marginals.
+        return mu;
+    }
+    let opt = -cost;
+    // One Bellman–Ford per bin over the final residual graph (Figure 3).
+    for b in 0..n_bins {
+        if p.bin_caps[b] == 0 {
+            continue;
+        }
+        let dist = g.residual_dist_from(layout.bin(b));
+        for (i, mu_i) in mu.iter_mut().enumerate() {
+            let w = p.weights[i][b];
+            if !w.is_finite() {
+                continue;
+            }
+            let d = dist[layout.item(i)];
+            if d.is_finite() {
+                // µ = Opt − d(bin, item) − cost(item, bin); cost = −w.
+                mu_i[b] = opt - d + w;
+            }
+        }
+    }
+    mu
+}
+
+/// Brute-force reference implementations (exponential; for validation and
+/// tiny instances only).
+pub mod brute {
+    use super::{Assignment, AssignmentSolution};
+
+    fn feasible(p: &Assignment, assignment: &[usize]) -> bool {
+        let mut used = vec![0u32; p.n_bins()];
+        for (&b, ()) in assignment.iter().zip(std::iter::repeat(())) {
+            used[b] += 1;
+            if used[b] > p.bin_caps[b] {
+                return false;
+            }
+        }
+        assignment
+            .iter()
+            .enumerate()
+            .all(|(i, &b)| p.weights[i][b].is_finite())
+    }
+
+    fn enumerate(
+        p: &Assignment,
+        i: usize,
+        cur: &mut Vec<usize>,
+        best: &mut Option<AssignmentSolution>,
+        force: Option<(usize, usize)>,
+    ) {
+        if i == p.n_items() {
+            if feasible(p, cur) {
+                let total = p.score(cur);
+                if best.as_ref().map(|b| total > b.total).unwrap_or(true) {
+                    *best = Some(AssignmentSolution {
+                        assignment: cur.clone(),
+                        total,
+                    });
+                }
+            }
+            return;
+        }
+        let bins: Vec<usize> = match force {
+            Some((fi, fb)) if fi == i => vec![fb],
+            _ => (0..p.n_bins()).collect(),
+        };
+        for b in bins {
+            cur.push(b);
+            enumerate(p, i + 1, cur, best, force);
+            cur.pop();
+        }
+    }
+
+    /// Exhaustive optimal assignment.
+    pub fn solve(p: &Assignment) -> Option<AssignmentSolution> {
+        let mut best = None;
+        enumerate(p, 0, &mut Vec::new(), &mut best, None);
+        best
+    }
+
+    /// Exhaustive max-marginals.
+    pub fn max_marginals(p: &Assignment) -> Vec<Vec<f64>> {
+        let mut mu = vec![vec![f64::NEG_INFINITY; p.n_bins()]; p.n_items()];
+        for i in 0..p.n_items() {
+            for b in 0..p.n_bins() {
+                let mut best = None;
+                enumerate(p, 0, &mut Vec::new(), &mut best, Some((i, b)));
+                if let Some(s) = best {
+                    mu[i][b] = s.total;
+                }
+            }
+        }
+        mu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NI: f64 = f64::NEG_INFINITY;
+
+    #[test]
+    fn unit_capacity_matching() {
+        // Classic 2x2: diagonal is optimal.
+        let p = Assignment {
+            bin_caps: vec![1, 1],
+            weights: vec![vec![5.0, 1.0], vec![1.0, 5.0]],
+        };
+        let s = solve_assignment(&p).unwrap();
+        assert_eq!(s.assignment, vec![0, 1]);
+        assert!((s.total - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conflict_resolved_globally() {
+        // Both items prefer bin 0 (cap 1); optimal sacrifices item 0.
+        let p = Assignment {
+            bin_caps: vec![1, 1],
+            weights: vec![vec![5.0, 4.0], vec![5.0, 0.0]],
+        };
+        let s = solve_assignment(&p).unwrap();
+        assert_eq!(s.assignment, vec![1, 0]);
+        assert!((s.total - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_capacity_bin() {
+        let p = Assignment {
+            bin_caps: vec![3],
+            weights: vec![vec![1.0], vec![2.0], vec![3.0]],
+        };
+        let s = solve_assignment(&p).unwrap();
+        assert_eq!(s.assignment, vec![0, 0, 0]);
+        assert!((s.total - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_capacity() {
+        let p = Assignment {
+            bin_caps: vec![1],
+            weights: vec![vec![1.0], vec![1.0]],
+        };
+        assert!(solve_assignment(&p).is_none());
+    }
+
+    #[test]
+    fn forbidden_pairs_respected() {
+        let p = Assignment {
+            bin_caps: vec![1, 1],
+            weights: vec![vec![NI, 2.0], vec![NI, 3.0]],
+        };
+        // Both items can only use bin 1 (cap 1) -> infeasible.
+        assert!(solve_assignment(&p).is_none());
+    }
+
+    #[test]
+    fn negative_weights_still_assigned() {
+        // Complete assignment is required even at negative weight.
+        let p = Assignment {
+            bin_caps: vec![1, 1],
+            weights: vec![vec![-2.0, -5.0], vec![-1.0, -1.0]],
+        };
+        let s = solve_assignment(&p).unwrap();
+        assert_eq!(s.assignment, vec![0, 1]);
+        assert!((s.total - (-3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_problem() {
+        let p = Assignment {
+            bin_caps: vec![2],
+            weights: vec![],
+        };
+        let s = solve_assignment(&p).unwrap();
+        assert!(s.assignment.is_empty());
+        assert_eq!(s.total, 0.0);
+        assert!(max_marginals(&p).is_empty());
+    }
+
+    #[test]
+    fn matches_brute_force_on_fixed_instances() {
+        let instances = vec![
+            Assignment {
+                bin_caps: vec![1, 1, 3],
+                weights: vec![
+                    vec![2.0, 1.0, 0.0],
+                    vec![1.5, 2.5, 0.0],
+                    vec![0.5, 0.5, 0.0],
+                    vec![3.0, NI, 0.0],
+                ],
+            },
+            Assignment {
+                bin_caps: vec![1, 2],
+                weights: vec![vec![-1.0, -2.0], vec![4.0, 1.0], vec![NI, 0.5]],
+            },
+        ];
+        for p in instances {
+            let fast = solve_assignment(&p).unwrap();
+            let slow = brute::solve(&p).unwrap();
+            assert!(
+                (fast.total - slow.total).abs() < 1e-9,
+                "fast {} vs brute {}",
+                fast.total,
+                slow.total
+            );
+        }
+    }
+
+    #[test]
+    fn max_marginals_match_brute_force() {
+        let p = Assignment {
+            bin_caps: vec![1, 1, 4],
+            weights: vec![
+                vec![2.0, 1.0, 0.0],
+                vec![1.5, 2.5, 0.0],
+                vec![0.5, NI, 0.0],
+            ],
+        };
+        let fast = max_marginals(&p);
+        let slow = brute::max_marginals(&p);
+        for i in 0..p.n_items() {
+            for b in 0..p.n_bins() {
+                let (f, s) = (fast[i][b], slow[i][b]);
+                if s.is_finite() {
+                    assert!(
+                        (f - s).abs() < 1e-9,
+                        "mu[{i}][{b}]: fast {f} vs brute {s}"
+                    );
+                } else {
+                    assert!(!f.is_finite(), "mu[{i}][{b}] should be -inf, got {f}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_marginal_of_optimal_choice_equals_optimum() {
+        let p = Assignment {
+            bin_caps: vec![1, 1, 2],
+            weights: vec![vec![3.0, 0.0, 0.0], vec![0.0, 3.0, 0.0]],
+        };
+        let s = solve_assignment(&p).unwrap();
+        let mu = max_marginals(&p);
+        for (i, &b) in s.assignment.iter().enumerate() {
+            assert!((mu[i][b] - s.total).abs() < 1e-9);
+        }
+        // Forcing a non-optimal bin must not beat the optimum.
+        for i in 0..p.n_items() {
+            for b in 0..p.n_bins() {
+                assert!(mu[i][b] <= s.total + 1e-9);
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// Flow-based solver agrees with brute force on random instances.
+        #[test]
+        fn prop_solver_matches_brute(
+            n_items in 1usize..5,
+            n_bins in 1usize..4,
+            seed in 0u64..10_000,
+        ) {
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) * 8.0 - 2.0
+            };
+            let bin_caps: Vec<u32> = (0..n_bins).map(|_| (next().abs() as u32 % 3) + 1).collect();
+            let weights: Vec<Vec<f64>> = (0..n_items)
+                .map(|_| (0..n_bins).map(|_| {
+                    let w = next();
+                    if w < -1.5 { f64::NEG_INFINITY } else { (w * 4.0).round() / 4.0 }
+                }).collect())
+                .collect();
+            let p = Assignment { bin_caps, weights };
+            let fast = solve_assignment(&p);
+            let slow = brute::solve(&p);
+            match (fast, slow) {
+                (Some(f), Some(s)) => proptest::prop_assert!((f.total - s.total).abs() < 1e-6,
+                    "fast {} brute {} on {:?}", f.total, s.total, p),
+                (None, None) => {}
+                (f, s) => proptest::prop_assert!(false, "feasibility mismatch {f:?} vs {s:?} on {p:?}"),
+            }
+        }
+
+        /// Residual-graph max-marginals agree with brute force.
+        #[test]
+        fn prop_max_marginals_match_brute(
+            n_items in 1usize..4,
+            n_bins in 1usize..4,
+            seed in 0u64..10_000,
+        ) {
+            let mut state = seed.wrapping_add(77);
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) * 8.0 - 2.0
+            };
+            let bin_caps: Vec<u32> = (0..n_bins).map(|_| (next().abs() as u32 % 3) + 1).collect();
+            let weights: Vec<Vec<f64>> = (0..n_items)
+                .map(|_| (0..n_bins).map(|_| {
+                    let w = next();
+                    if w < -1.5 { f64::NEG_INFINITY } else { (w * 4.0).round() / 4.0 }
+                }).collect())
+                .collect();
+            let p = Assignment { bin_caps, weights };
+            let fast = max_marginals(&p);
+            let slow = brute::max_marginals(&p);
+            for i in 0..p.n_items() {
+                for b in 0..p.n_bins() {
+                    if slow[i][b].is_finite() {
+                        proptest::prop_assert!((fast[i][b] - slow[i][b]).abs() < 1e-6,
+                            "mu[{}][{}]: fast {} brute {} on {:?}", i, b, fast[i][b], slow[i][b], p);
+                    } else {
+                        proptest::prop_assert!(!fast[i][b].is_finite(),
+                            "mu[{}][{}] should be -inf on {:?}", i, b, p);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Loopy max-product belief propagation (log/score domain, damped,
+//! synchronous). One of the two edge-centric baselines of paper §5.3.
+//!
+//! BP is exact on trees; on loopy graphs it is a heuristic that the paper
+//! found slightly worse than α-expansion, in part because lowering the
+//! `mutex` constraint to pairwise potentials creates many dissociative
+//! edges, which message passing handles poorly. We reproduce that setup
+//! faithfully.
+
+use crate::mrf::PairwiseMrf;
+
+/// Options for [`loopy_bp`].
+#[derive(Debug, Clone)]
+pub struct BpOptions {
+    /// Number of synchronous message-update iterations.
+    pub iterations: usize,
+    /// Damping factor in `[0,1)`: `m ← damp·m_old + (1−damp)·m_new`.
+    pub damping: f64,
+}
+
+impl Default for BpOptions {
+    fn default() -> Self {
+        BpOptions {
+            iterations: 50,
+            damping: 0.5,
+        }
+    }
+}
+
+/// Runs loopy max-product BP and returns the belief-argmax labeling.
+pub fn loopy_bp(mrf: &PairwiseMrf, opts: &BpOptions) -> Vec<usize> {
+    let l = mrf.n_labels();
+    let ne = mrf.edges().len();
+    // messages[e][0] = message u→v, messages[e][1] = message v→u.
+    let mut messages = vec![[vec![0.0f64; l], vec![0.0f64; l]]; ne];
+    let mut new_messages = messages.clone();
+
+    for _ in 0..opts.iterations {
+        for (eid, edge) in mrf.edges().iter().enumerate() {
+            for dir in 0..2 {
+                let from = if dir == 0 { edge.u } else { edge.v };
+                let out = &mut new_messages[eid][dir];
+                for lt in 0..l {
+                    let mut best = f64::NEG_INFINITY;
+                    for lf in 0..l {
+                        let pot = if dir == 0 {
+                            mrf.edge_pot(eid, lf, lt)
+                        } else {
+                            mrf.edge_pot(eid, lt, lf)
+                        };
+                        let mut val = mrf.node_pot(from, lf) + pot;
+                        for &e2 in mrf.incident(from) {
+                            if e2 == eid {
+                                continue;
+                            }
+                            let other = &mrf.edges()[e2];
+                            // Message INTO `from` along e2.
+                            let incoming_dir = if other.u == from { 1 } else { 0 };
+                            val += messages[e2][incoming_dir][lf];
+                        }
+                        best = best.max(val);
+                    }
+                    out[lt] = best;
+                }
+                // Normalize to avoid drift.
+                let mx = out.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                if mx.is_finite() {
+                    for x in out.iter_mut() {
+                        *x -= mx;
+                    }
+                }
+            }
+        }
+        // Damped synchronous update.
+        for e in 0..ne {
+            for dir in 0..2 {
+                for lt in 0..l {
+                    messages[e][dir][lt] = opts.damping * messages[e][dir][lt]
+                        + (1.0 - opts.damping) * new_messages[e][dir][lt];
+                }
+            }
+        }
+    }
+
+    // Beliefs and decoding.
+    (0..mrf.n_vars())
+        .map(|v| {
+            let mut best = (0usize, f64::NEG_INFINITY);
+            for lab in 0..l {
+                let mut b = mrf.node_pot(v, lab);
+                for &e in mrf.incident(v) {
+                    let edge = &mrf.edges()[e];
+                    let incoming_dir = if edge.u == v { 1 } else { 0 };
+                    b += messages[e][incoming_dir][lab];
+                }
+                if b > best.1 {
+                    best = (lab, b);
+                }
+            }
+            best.0
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unary_only_is_argmax() {
+        let mrf = PairwiseMrf::new(vec![vec![0.0, 2.0], vec![3.0, 1.0]]);
+        assert_eq!(loopy_bp(&mrf, &BpOptions::default()), vec![1, 0]);
+    }
+
+    #[test]
+    fn exact_on_chain() {
+        // BP is exact on trees: compare against brute force.
+        let mut mrf = PairwiseMrf::new(vec![
+            vec![1.0, 0.0, 0.2],
+            vec![0.0, 0.1, 0.0],
+            vec![0.0, 0.0, 1.2],
+        ]);
+        mrf.add_potts_edge(0, 1, 0.8, &[]);
+        mrf.add_potts_edge(1, 2, 0.8, &[]);
+        let bp = loopy_bp(&mrf, &BpOptions::default());
+        let (brute, best) = mrf.brute_force_map();
+        assert!((mrf.score(&bp) - best).abs() < 1e-9, "bp {bp:?} brute {brute:?}");
+    }
+
+    #[test]
+    fn attractive_loop_consensus() {
+        // Triangle with attractive edges: all nodes agree with the strong one.
+        let mut mrf = PairwiseMrf::new(vec![
+            vec![2.0, 0.0],
+            vec![0.0, 0.1],
+            vec![0.0, 0.1],
+        ]);
+        mrf.add_potts_edge(0, 1, 1.0, &[]);
+        mrf.add_potts_edge(1, 2, 1.0, &[]);
+        mrf.add_potts_edge(0, 2, 1.0, &[]);
+        let bp = loopy_bp(&mrf, &BpOptions::default());
+        assert_eq!(bp, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn isolated_variables_fine() {
+        let mrf = PairwiseMrf::new(vec![vec![0.0, 1.0]; 4]);
+        assert_eq!(loopy_bp(&mrf, &BpOptions::default()), vec![1; 4]);
+    }
+
+    #[test]
+    fn dissociative_edge_splits_labels() {
+        // Asymmetric unaries break the tie; the dissociative edge (like a
+        // mutex lowered to pairwise form) must force different labels.
+        let mut mrf = PairwiseMrf::new(vec![vec![2.0, 0.0], vec![1.0, 0.9]]);
+        let mut pot = vec![0.0; 4];
+        pot[0] = -10.0;
+        pot[3] = -10.0;
+        mrf.add_edge(0, 1, pot);
+        let bp = loopy_bp(&mrf, &BpOptions::default());
+        assert_eq!(bp, vec![0, 1], "{bp:?}");
+    }
+
+    #[test]
+    fn symmetric_dissociative_ties_are_a_known_bp_weakness() {
+        // With perfectly symmetric unaries, synchronous BP cannot break the
+        // tie between [0,1] and [1,0] — the failure mode the paper blames
+        // for BP's weakness on dissociative (mutex) edges. We only require
+        // termination and a valid label range here.
+        let mut mrf = PairwiseMrf::new(vec![vec![1.0, 0.9], vec![1.0, 0.9]]);
+        let mut pot = vec![0.0; 4];
+        pot[0] = -10.0;
+        pot[3] = -10.0;
+        mrf.add_edge(0, 1, pot);
+        let bp = loopy_bp(&mrf, &BpOptions::default());
+        assert!(bp.iter().all(|&l| l < 2));
+    }
+
+    #[test]
+    fn zero_iterations_degenerates_to_argmax() {
+        let mut mrf = PairwiseMrf::new(vec![vec![0.0, 2.0], vec![0.0, 2.0]]);
+        mrf.add_potts_edge(0, 1, 5.0, &[]);
+        let bp = loopy_bp(
+            &mrf,
+            &BpOptions {
+                iterations: 0,
+                damping: 0.5,
+            },
+        );
+        assert_eq!(bp, vec![1, 1]);
+    }
+}

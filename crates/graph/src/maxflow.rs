@@ -1,0 +1,259 @@
+//! Dinic max-flow / min-cut over `f64` capacities.
+//!
+//! Used by α-expansion moves (§4.3). Supports *incremental capacity
+//! raises*: the constrained-cut loop of Figure 4 repeatedly sets
+//! `cap(s,u) = ∞` and pushes the additional flow without recomputing from
+//! scratch.
+
+/// A large capacity standing in for `∞` (hard constraints).
+pub const INF_CAP: f64 = 1.0e13;
+
+const EPS: f64 = 1e-9;
+
+/// Directed flow network with residual bookkeeping.
+#[derive(Debug, Clone)]
+pub struct MaxFlowGraph {
+    n: usize,
+    to: Vec<usize>,
+    cap: Vec<f64>,
+    adj: Vec<Vec<usize>>,
+    total_flow: f64,
+}
+
+impl MaxFlowGraph {
+    /// A network with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        MaxFlowGraph {
+            n,
+            to: Vec::new(),
+            cap: Vec::new(),
+            adj: vec![Vec::new(); n],
+            total_flow: 0.0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Adds a directed edge with the given capacity; returns its id.
+    pub fn add_edge(&mut self, u: usize, v: usize, cap: f64) -> usize {
+        assert!(u < self.n && v < self.n, "endpoint out of range");
+        assert!(cap >= 0.0, "capacity must be non-negative, got {cap}");
+        let id = self.to.len();
+        self.to.push(v);
+        self.cap.push(cap);
+        self.adj[u].push(id);
+        self.to.push(u);
+        self.cap.push(0.0);
+        self.adj[v].push(id + 1);
+        id
+    }
+
+    /// Raises the *residual* capacity of edge `e` by `delta` (used to force
+    /// vertices to the s side in the constrained cut).
+    pub fn raise_cap(&mut self, e: usize, delta: f64) {
+        assert!(delta >= 0.0);
+        self.cap[e] += delta;
+    }
+
+    /// Residual capacity currently on edge `e`.
+    pub fn residual(&self, e: usize) -> f64 {
+        self.cap[e]
+    }
+
+    /// Total flow pushed so far.
+    pub fn flow_value(&self) -> f64 {
+        self.total_flow
+    }
+
+    /// Pushes as much additional flow from `s` to `t` as possible; returns
+    /// the *additional* flow. Can be called repeatedly after capacity
+    /// raises.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> f64 {
+        assert!(s < self.n && t < self.n && s != t);
+        let mut pushed = 0.0;
+        loop {
+            let level = self.bfs_levels(s);
+            if level[t].is_none() {
+                break;
+            }
+            let mut iter = vec![0usize; self.n];
+            loop {
+                let f = self.dfs_push(s, t, f64::INFINITY, &level, &mut iter);
+                if f <= EPS {
+                    break;
+                }
+                pushed += f;
+            }
+        }
+        self.total_flow += pushed;
+        pushed
+    }
+
+    fn bfs_levels(&self, s: usize) -> Vec<Option<u32>> {
+        let mut level = vec![None; self.n];
+        level[s] = Some(0);
+        let mut q = std::collections::VecDeque::new();
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            for &e in &self.adj[u] {
+                let v = self.to[e];
+                if self.cap[e] > EPS && level[v].is_none() {
+                    level[v] = Some(level[u].unwrap() + 1);
+                    q.push_back(v);
+                }
+            }
+        }
+        level
+    }
+
+    fn dfs_push(
+        &mut self,
+        u: usize,
+        t: usize,
+        limit: f64,
+        level: &[Option<u32>],
+        iter: &mut [usize],
+    ) -> f64 {
+        if u == t {
+            return limit;
+        }
+        while iter[u] < self.adj[u].len() {
+            let e = self.adj[u][iter[u]];
+            let v = self.to[e];
+            let ok = self.cap[e] > EPS
+                && matches!((level[u], level[v]), (Some(lu), Some(lv)) if lv == lu + 1);
+            if ok {
+                let f = self.dfs_push(v, t, limit.min(self.cap[e]), level, iter);
+                if f > EPS {
+                    self.cap[e] -= f;
+                    self.cap[e ^ 1] += f;
+                    return f;
+                }
+            }
+            iter[u] += 1;
+        }
+        0.0
+    }
+
+    /// After a max-flow: true for nodes reachable from `s` in the residual
+    /// graph (the s side of a minimum cut).
+    pub fn s_side(&self, s: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.n];
+        seen[s] = true;
+        let mut q = std::collections::VecDeque::new();
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            for &e in &self.adj[u] {
+                let v = self.to[e];
+                if self.cap[e] > EPS && !seen[v] {
+                    seen[v] = true;
+                    q.push_back(v);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_path() {
+        let mut g = MaxFlowGraph::new(3);
+        g.add_edge(0, 1, 4.0);
+        g.add_edge(1, 2, 2.5);
+        assert!((g.max_flow(0, 2) - 2.5).abs() < 1e-9);
+        assert!((g.flow_value() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classic_diamond() {
+        // s=0, a=1, b=2, t=3 with cross edge.
+        let mut g = MaxFlowGraph::new(4);
+        g.add_edge(0, 1, 3.0);
+        g.add_edge(0, 2, 2.0);
+        g.add_edge(1, 2, 5.0);
+        g.add_edge(1, 3, 2.0);
+        g.add_edge(2, 3, 3.0);
+        assert!((g.max_flow(0, 3) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_cut_sides() {
+        let mut g = MaxFlowGraph::new(4);
+        g.add_edge(0, 1, 10.0);
+        g.add_edge(1, 2, 1.0); // bottleneck
+        g.add_edge(2, 3, 10.0);
+        g.max_flow(0, 3);
+        let side = g.s_side(0);
+        assert_eq!(side, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn incremental_capacity_raise() {
+        let mut g = MaxFlowGraph::new(3);
+        let e = g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 10.0);
+        assert!((g.max_flow(0, 2) - 1.0).abs() < 1e-9);
+        g.raise_cap(e, 4.0);
+        // Additional flow only.
+        assert!((g.max_flow(0, 2) - 4.0).abs() < 1e-9);
+        assert!((g.flow_value() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected() {
+        let mut g = MaxFlowGraph::new(3);
+        g.add_edge(0, 1, 5.0);
+        assert_eq!(g.max_flow(0, 2), 0.0);
+        let side = g.s_side(0);
+        assert!(side[0] && side[1] && !side[2]);
+    }
+
+    #[test]
+    fn zero_capacity_edges_ignored() {
+        let mut g = MaxFlowGraph::new(3);
+        g.add_edge(0, 1, 0.0);
+        g.add_edge(1, 2, 1.0);
+        assert_eq!(g.max_flow(0, 2), 0.0);
+    }
+
+    #[test]
+    fn flow_conservation_on_random_graph() {
+        // Fixed pseudo-random dense graph; check conservation at inner nodes.
+        let n = 8;
+        let mut g = MaxFlowGraph::new(n);
+        let mut caps = Vec::new();
+        let mut state = 42u64;
+        for u in 0..n {
+            for v in 0..n {
+                if u != v {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let c = ((state >> 33) % 7) as f64;
+                    if c > 0.0 {
+                        let id = g.add_edge(u, v, c);
+                        caps.push((u, v, c, id));
+                    }
+                }
+            }
+        }
+        let f = g.max_flow(0, n - 1);
+        assert!(f > 0.0);
+        // Net flow at each internal node must be ~0.
+        let mut net = vec![0.0; n];
+        for &(u, v, c, id) in &caps {
+            let flow = c - g.residual(id);
+            net[u] -= flow;
+            net[v] += flow;
+        }
+        for node in 1..n - 1 {
+            assert!(net[node].abs() < 1e-6, "node {node} net {}", net[node]);
+        }
+        assert!((net[n - 1] - f).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,239 @@
+//! Context extraction (paper §2.1.2).
+//!
+//! The *context* of a table is the text in its parent document that says
+//! what the table is about. The paper's policy, which we follow, is to be
+//! generous about inclusion and attach a score to each snippet instead:
+//!
+//! * candidate snippets are the text (or element) siblings of every node on
+//!   the path from the table node `T` to the document root;
+//! * the score combines (1) the tree edge-distance between the snippet and
+//!   `T` plus whether the snippet sits to the left (before) or right
+//!   (after) of the path, and (2) the relative frequency in the document of
+//!   the formatting tags wrapping the snippet — a heading tag that is rare
+//!   in the page marks its text as more salient.
+
+use crate::dom::{Document, NodeId, NodeKind};
+use wwt_model::ContextSnippet;
+
+/// Formatting tags whose (relative) rarity boosts a snippet's score.
+const FORMAT_TAGS: &[&str] = &[
+    "h1", "h2", "h3", "h4", "h5", "h6", "b", "strong", "i", "em", "u", "caption", "title",
+];
+
+/// Maximum snippets attached to one table.
+const MAX_SNIPPETS: usize = 8;
+
+/// Maximum characters kept per snippet (long prose is truncated — the
+/// score, not the length, carries the signal).
+const MAX_SNIPPET_CHARS: usize = 400;
+
+/// Extracts scored context snippets for the table rooted at `table_node`.
+pub fn extract_context(doc: &Document, table_node: NodeId) -> Vec<ContextSnippet> {
+    let mut snippets: Vec<ContextSnippet> = Vec::new();
+    let format_freq = format_tag_frequencies(doc);
+
+    // The page <title> is always context (highest-level description).
+    for &tid in &doc.elements_by_tag("title") {
+        let text = doc.text_of(tid, &[]);
+        if !text.is_empty() {
+            snippets.push(ContextSnippet::new(truncate(&text), 0.9));
+        }
+    }
+
+    // Walk the path from the table to the root; examine siblings.
+    let table_depth = doc.depth(table_node);
+    let mut path_child = table_node;
+    let mut parent = doc.node(table_node).parent;
+    loop {
+        let siblings = &doc.node(parent).children;
+        let child_pos = siblings.iter().position(|&c| c == path_child).unwrap_or(0);
+        for (pos, &sib) in siblings.iter().enumerate() {
+            if sib == path_child {
+                continue;
+            }
+            // Skip siblings that are themselves tables (their text is their
+            // own content, not our description) and script/style noise.
+            if matches!(doc.tag(sib), Some("table") | Some("script") | Some("style")) {
+                continue;
+            }
+            let text = match &doc.node(sib).kind {
+                NodeKind::Text(t) => t.trim().to_string(),
+                NodeKind::Element { .. } => doc.text_of(sib, &["table"]),
+                NodeKind::Root => String::new(),
+            };
+            if text.split_whitespace().count() < 2 {
+                continue; // single tokens are rarely descriptive
+            }
+            // Edge distance between snippet and table: up from T to the
+            // common ancestor (`parent`), then one step down to the sibling.
+            let dist = (table_depth - doc.depth(parent)) + 1;
+            let is_left = pos < child_pos;
+            let mut score = distance_score(dist, is_left);
+            score *= format_bonus(doc, sib, &format_freq);
+            snippets.push(ContextSnippet::new(truncate(&text), score.min(1.0)));
+        }
+        if parent == doc.root() {
+            break;
+        }
+        path_child = parent;
+        parent = doc.node(parent).parent;
+    }
+
+    // Highest scores first; deduplicate identical text, keep the cap.
+    snippets.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    let mut seen: Vec<String> = Vec::new();
+    snippets.retain(|s| {
+        if seen.contains(&s.text) {
+            false
+        } else {
+            seen.push(s.text.clone());
+            true
+        }
+    });
+    snippets.truncate(MAX_SNIPPETS);
+    snippets
+}
+
+/// Base score from tree distance and side. Text *before* the table (left
+/// sibling) introduces it and outranks text after it at equal distance.
+fn distance_score(dist: usize, is_left: bool) -> f64 {
+    let side = if is_left { 1.0 } else { 0.7 };
+    side / (1.0 + 0.35 * (dist.saturating_sub(1)) as f64)
+}
+
+/// Counts how often each formatting tag occurs in the document.
+fn format_tag_frequencies(doc: &Document) -> Vec<(String, usize)> {
+    FORMAT_TAGS
+        .iter()
+        .map(|&t| (t.to_string(), doc.elements_by_tag(t).len()))
+        .filter(|(_, n)| *n > 0)
+        .collect()
+}
+
+/// Bonus for snippets wrapped in formatting tags: a tag that appears rarely
+/// in the document marks its contents as salient (paper: "the relative
+/// frequency in d of the format tags attached with x").
+fn format_bonus(doc: &Document, node: NodeId, freq: &[(String, usize)]) -> f64 {
+    let total: usize = freq.iter().map(|(_, n)| n).sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let mut tags: Vec<&str> = doc.ancestor_tags(node);
+    if let Some(t) = doc.tag(node) {
+        tags.push(t);
+    }
+    let mut bonus = 1.0;
+    for (tag, n) in freq {
+        if tags.contains(&tag.as_str()) {
+            let rel = *n as f64 / total as f64;
+            bonus *= 1.0 + 0.5 * (1.0 - rel);
+        }
+    }
+    bonus
+}
+
+fn truncate(s: &str) -> String {
+    if s.chars().count() <= MAX_SNIPPET_CHARS {
+        s.to_string()
+    } else {
+        s.chars().take(MAX_SNIPPET_CHARS).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(html: &str) -> Vec<ContextSnippet> {
+        let doc = Document::parse(html);
+        let t = doc.elements_by_tag("table")[0];
+        extract_context(&doc, t)
+    }
+
+    #[test]
+    fn heading_before_table_scores_high() {
+        let snips = ctx(
+            "<html><body><h2>List of explorers</h2>\
+             <table><tr><td>a</td><td>b</td></tr></table>\
+             <p>unrelated footer text far away</p></body></html>",
+        );
+        let heading = snips.iter().find(|s| s.text.contains("explorers")).unwrap();
+        let footer = snips.iter().find(|s| s.text.contains("footer")).unwrap();
+        assert!(
+            heading.score > footer.score,
+            "heading {} vs footer {}",
+            heading.score,
+            footer.score
+        );
+    }
+
+    #[test]
+    fn page_title_included() {
+        let snips = ctx(
+            "<html><head><title>Forest Reserves under the Forestry Act</title></head>\
+             <body><table><tr><td>a</td><td>b</td></tr></table></body></html>",
+        );
+        assert!(snips.iter().any(|s| s.text.contains("Forestry Act")));
+    }
+
+    #[test]
+    fn left_siblings_beat_right_at_same_distance() {
+        let snips = ctx(
+            "<body><p>text before the table</p>\
+             <table><tr><td>a</td></tr></table>\
+             <p>text after the table</p></body>",
+        );
+        let before = snips.iter().find(|s| s.text.contains("before")).unwrap();
+        let after = snips.iter().find(|s| s.text.contains("after")).unwrap();
+        assert!(before.score > after.score);
+    }
+
+    #[test]
+    fn distant_ancestors_score_lower() {
+        let snips = ctx(
+            "<body><p>far away description of page</p>\
+             <div><div><p>immediately near the table</p>\
+             <table><tr><td>a</td></tr></table></div></div></body>",
+        );
+        let near = snips.iter().find(|s| s.text.contains("near the")).unwrap();
+        let far = snips.iter().find(|s| s.text.contains("far away")).unwrap();
+        assert!(near.score > far.score);
+    }
+
+    #[test]
+    fn sibling_tables_excluded() {
+        let snips = ctx(
+            "<body><table><tr><td>first table cell content here</td></tr></table>\
+             <table><tr><td>a</td></tr></table></body>",
+        );
+        assert!(snips.iter().all(|s| !s.text.contains("first table")));
+    }
+
+    #[test]
+    fn single_token_siblings_skipped() {
+        let snips = ctx("<body><p>x</p><table><tr><td>a</td></tr></table></body>");
+        assert!(snips.iter().all(|s| s.text != "x"));
+    }
+
+    #[test]
+    fn snippet_cap_respected() {
+        let mut html = String::from("<body>");
+        for i in 0..30 {
+            html.push_str(&format!("<p>descriptive paragraph number {i}</p>"));
+        }
+        html.push_str("<table><tr><td>a</td></tr></table></body>");
+        let snips = ctx(&html);
+        assert!(snips.len() <= MAX_SNIPPETS);
+    }
+
+    #[test]
+    fn scores_within_unit_interval() {
+        let snips = ctx(
+            "<body><h1>Big heading near table</h1>\
+             <table><tr><td>a</td></tr></table></body>",
+        );
+        for s in &snips {
+            assert!(s.score > 0.0 && s.score <= 1.0, "score {}", s.score);
+        }
+    }
+}

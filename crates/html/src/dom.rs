@@ -1,0 +1,364 @@
+//! An arena-backed DOM tree built from the token stream.
+//!
+//! The builder is tolerant: unclosed elements are closed implicitly, stray
+//! end tags are dropped, and the HTML auto-closing rules that matter for
+//! tables (`tr`/`td`/`th`/`li`/`p`/`option`) are applied so that
+//! tag-soup markup still yields a sensible tree. The context extractor
+//! (paper §2.1.2) depends on accurate parent/sibling structure.
+
+use crate::lexer::{tokenize, Token};
+
+/// Index of a node in the [`Document`] arena.
+pub type NodeId = usize;
+
+/// One DOM node.
+#[derive(Debug, Clone)]
+pub enum NodeKind {
+    /// The synthetic document root.
+    Root,
+    /// An element like `<table>`.
+    Element {
+        /// Lowercased tag name.
+        tag: String,
+        /// Attribute pairs as they appeared.
+        attrs: Vec<(String, String)>,
+    },
+    /// A text node.
+    Text(String),
+}
+
+/// Node with tree links.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// What the node is.
+    pub kind: NodeKind,
+    /// Parent id (the root is its own parent).
+    pub parent: NodeId,
+    /// Children in document order.
+    pub children: Vec<NodeId>,
+}
+
+/// A parsed HTML document.
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<Node>,
+}
+
+/// Elements that implicitly close an open element of the same tag
+/// (simplified HTML insertion rules sufficient for table markup).
+fn auto_closes(open: &str, incoming: &str) -> bool {
+    match open {
+        "tr" => matches!(incoming, "tr"),
+        "td" | "th" => matches!(incoming, "td" | "th" | "tr"),
+        "li" => incoming == "li",
+        "p" => matches!(incoming, "p" | "table" | "ul" | "ol" | "div" | "h1" | "h2" | "h3"),
+        "option" => incoming == "option",
+        _ => false,
+    }
+}
+
+/// Void elements that never contain children.
+fn is_void(tag: &str) -> bool {
+    matches!(
+        tag,
+        "br" | "hr" | "img" | "input" | "meta" | "link" | "area" | "base" | "col" | "embed"
+            | "source" | "track" | "wbr"
+    )
+}
+
+impl Document {
+    /// Parses `html` into a DOM tree. Never fails; the worst input yields a
+    /// root with text children.
+    pub fn parse(html: &str) -> Self {
+        let mut doc = Document {
+            nodes: vec![Node {
+                kind: NodeKind::Root,
+                parent: 0,
+                children: Vec::new(),
+            }],
+        };
+        let mut stack: Vec<(NodeId, String)> = Vec::new(); // (node, tag)
+        for tok in tokenize(html) {
+            match tok {
+                Token::Start {
+                    name,
+                    attrs,
+                    self_closing,
+                } => {
+                    while let Some((_, open)) = stack.last() {
+                        if auto_closes(open, &name) {
+                            stack.pop();
+                        } else {
+                            break;
+                        }
+                    }
+                    let parent = stack.last().map(|&(id, _)| id).unwrap_or(0);
+                    let id = doc.push(
+                        NodeKind::Element {
+                            tag: name.clone(),
+                            attrs,
+                        },
+                        parent,
+                    );
+                    if !self_closing && !is_void(&name) {
+                        stack.push((id, name));
+                    }
+                }
+                Token::End(name) => {
+                    // Pop to the matching open tag if present; otherwise
+                    // ignore the stray end tag.
+                    if let Some(pos) = stack.iter().rposition(|(_, t)| *t == name) {
+                        stack.truncate(pos);
+                    }
+                }
+                Token::Text(text) => {
+                    let parent = stack.last().map(|&(id, _)| id).unwrap_or(0);
+                    doc.push(NodeKind::Text(text), parent);
+                }
+            }
+        }
+        doc
+    }
+
+    fn push(&mut self, kind: NodeKind, parent: NodeId) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            kind,
+            parent,
+            children: Vec::new(),
+        });
+        self.nodes[parent].children.push(id);
+        id
+    }
+
+    /// The node with the given id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Number of nodes including the root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the document contains only the root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// The root node id (always 0).
+    pub fn root(&self) -> NodeId {
+        0
+    }
+
+    /// Tag name of an element node, or `None` for text/root.
+    pub fn tag(&self, id: NodeId) -> Option<&str> {
+        match &self.nodes[id].kind {
+            NodeKind::Element { tag, .. } => Some(tag),
+            _ => None,
+        }
+    }
+
+    /// Attribute value on an element node.
+    pub fn attr(&self, id: NodeId, name: &str) -> Option<&str> {
+        match &self.nodes[id].kind {
+            NodeKind::Element { attrs, .. } => attrs
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Ids of all elements with the given tag, in document order.
+    pub fn elements_by_tag(&self, tag: &str) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|&id| self.tag(id) == Some(tag))
+            .collect()
+    }
+
+    /// Depth of `id` (root = 0).
+    pub fn depth(&self, id: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = id;
+        while cur != 0 {
+            cur = self.nodes[cur].parent;
+            d += 1;
+        }
+        d
+    }
+
+    /// True iff `ancestor` is `id` or an ancestor of `id`.
+    pub fn is_ancestor(&self, ancestor: NodeId, id: NodeId) -> bool {
+        let mut cur = id;
+        loop {
+            if cur == ancestor {
+                return true;
+            }
+            if cur == 0 {
+                return false;
+            }
+            cur = self.nodes[cur].parent;
+        }
+    }
+
+    /// Concatenated text of the subtree rooted at `id`, whitespace
+    /// normalized, excluding any descendant subtrees whose root tag is in
+    /// `exclude_tags`.
+    pub fn text_of(&self, id: NodeId, exclude_tags: &[&str]) -> String {
+        let mut out = String::new();
+        self.collect_text(id, exclude_tags, &mut out, true);
+        out.split_whitespace().collect::<Vec<_>>().join(" ")
+    }
+
+    fn collect_text(&self, id: NodeId, exclude: &[&str], out: &mut String, is_root: bool) {
+        match &self.nodes[id].kind {
+            NodeKind::Text(t) => {
+                out.push(' ');
+                out.push_str(t);
+            }
+            NodeKind::Element { tag, .. } => {
+                if !is_root && exclude.contains(&tag.as_str()) {
+                    return;
+                }
+                for &c in &self.nodes[id].children {
+                    self.collect_text(c, exclude, out, false);
+                }
+            }
+            NodeKind::Root => {
+                for &c in &self.nodes[id].children {
+                    self.collect_text(c, exclude, out, false);
+                }
+            }
+        }
+    }
+
+    /// True iff the subtree rooted at `id` contains an element with any of
+    /// the given tags (the root itself not counted).
+    pub fn subtree_contains(&self, id: NodeId, tags: &[&str]) -> bool {
+        self.nodes[id].children.iter().any(|&c| {
+            if let Some(t) = self.tag(c) {
+                if tags.contains(&t) {
+                    return true;
+                }
+            }
+            self.subtree_contains(c, tags)
+        })
+    }
+
+    /// All tag names on the path strictly between `id` and the root, i.e.
+    /// the ancestor element tags of `id`.
+    pub fn ancestor_tags(&self, id: NodeId) -> Vec<&str> {
+        let mut out = Vec::new();
+        let mut cur = self.nodes[id].parent;
+        while cur != 0 {
+            if let Some(t) = self.tag(cur) {
+                out.push(t);
+            }
+            cur = self.nodes[cur].parent;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tree_shape() {
+        let d = Document::parse("<html><body><p>hi</p></body></html>");
+        let ps = d.elements_by_tag("p");
+        assert_eq!(ps.len(), 1);
+        assert_eq!(d.text_of(ps[0], &[]), "hi");
+        assert_eq!(d.depth(ps[0]), 3);
+    }
+
+    #[test]
+    fn unclosed_td_and_tr_autoclose() {
+        let d = Document::parse("<table><tr><td>a<td>b<tr><td>c</table>");
+        let trs = d.elements_by_tag("tr");
+        assert_eq!(trs.len(), 2);
+        assert_eq!(d.node(trs[0]).children.len(), 2);
+        assert_eq!(d.node(trs[1]).children.len(), 1);
+        let tds = d.elements_by_tag("td");
+        assert_eq!(d.text_of(tds[1], &[]), "b");
+    }
+
+    #[test]
+    fn stray_end_tag_ignored() {
+        let d = Document::parse("</div><p>x</p>");
+        assert_eq!(d.elements_by_tag("p").len(), 1);
+        assert_eq!(d.elements_by_tag("div").len(), 0);
+    }
+
+    #[test]
+    fn nested_tables_structure() {
+        let d = Document::parse(
+            "<table><tr><td><table><tr><td>inner</td></tr></table></td></tr></table>",
+        );
+        let tables = d.elements_by_tag("table");
+        assert_eq!(tables.len(), 2);
+        assert!(d.is_ancestor(tables[0], tables[1]));
+        assert!(!d.is_ancestor(tables[1], tables[0]));
+    }
+
+    #[test]
+    fn text_of_excludes_subtrees() {
+        let d = Document::parse("<div>before<table><tr><td>cell</td></tr></table>after</div>");
+        let div = d.elements_by_tag("div")[0];
+        assert_eq!(d.text_of(div, &["table"]), "before after");
+        assert_eq!(d.text_of(div, &[]), "before cell after");
+    }
+
+    #[test]
+    fn attributes_accessible() {
+        let d = Document::parse(r#"<td colspan="2" class="hd">x</td>"#);
+        let td = d.elements_by_tag("td")[0];
+        assert_eq!(d.attr(td, "colspan"), Some("2"));
+        assert_eq!(d.attr(td, "class"), Some("hd"));
+        assert_eq!(d.attr(td, "missing"), None);
+    }
+
+    #[test]
+    fn void_elements_do_not_nest() {
+        let d = Document::parse("<p>a<br>b</p>");
+        let p = d.elements_by_tag("p")[0];
+        assert_eq!(d.text_of(p, &[]), "a b");
+        let br = d.elements_by_tag("br")[0];
+        assert!(d.node(br).children.is_empty());
+    }
+
+    #[test]
+    fn subtree_contains_finds_forms() {
+        let d = Document::parse("<table><tr><td><form><input></form></td></tr></table>");
+        let t = d.elements_by_tag("table")[0];
+        assert!(d.subtree_contains(t, &["form"]));
+        assert!(d.subtree_contains(t, &["input"]));
+        assert!(!d.subtree_contains(t, &["select"]));
+    }
+
+    #[test]
+    fn ancestor_tags_order() {
+        let d = Document::parse("<div><b><i>x</i></b></div>");
+        let i = d.elements_by_tag("i")[0];
+        let texts = d.node(i).children.clone();
+        assert_eq!(d.ancestor_tags(texts[0]), vec!["i", "b", "div"]);
+    }
+
+    #[test]
+    fn empty_doc() {
+        let d = Document::parse("");
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn p_autocloses_before_table() {
+        let d = Document::parse("<p>intro<table><tr><td>x</td></tr></table>");
+        let table = d.elements_by_tag("table")[0];
+        // The table must be a sibling of the paragraph, not its child.
+        let p = d.elements_by_tag("p")[0];
+        assert!(!d.is_ancestor(p, table));
+    }
+}

@@ -1,0 +1,244 @@
+//! Raw table extraction: from DOM `<table>` elements to row/cell grids with
+//! per-cell formatting flags (the inputs of the header extractor, §2.1.1).
+
+use crate::dom::{Document, NodeId};
+
+/// A table cell before header/body splitting, with the formatting markers
+/// the header extractor inspects.
+#[derive(Debug, Clone, Default)]
+pub struct RawCell {
+    /// Whitespace-normalized cell text (nested-table content excluded).
+    pub text: String,
+    /// Cell used the designated `<th>` tag.
+    pub is_th: bool,
+    /// Contains `<b>`/`<strong>`.
+    pub bold: bool,
+    /// Contains `<i>`/`<em>`.
+    pub italic: bool,
+    /// Contains `<u>`.
+    pub underline: bool,
+    /// Contains `<code>`/`<tt>`.
+    pub code: bool,
+    /// Cell or its row declares a background (bgcolor attr or
+    /// `background` in an inline style).
+    pub has_bg: bool,
+    /// Cell or its row carries a CSS class.
+    pub has_class: bool,
+}
+
+/// One table row of raw cells (colspan already expanded).
+#[derive(Debug, Clone, Default)]
+pub struct RawRow {
+    /// The row's cells.
+    pub cells: Vec<RawCell>,
+}
+
+/// A table as extracted from the DOM, before classification and header
+/// splitting.
+#[derive(Debug, Clone)]
+pub struct RawTable {
+    /// The `<table>` element in the document (used for context extraction).
+    pub node: NodeId,
+    /// Rows in document order.
+    pub rows: Vec<RawRow>,
+    /// `<caption>` text, if present.
+    pub caption: Option<String>,
+    /// The subtree contains form controls (a strong layout/artifact signal).
+    pub has_form: bool,
+}
+
+impl RawTable {
+    /// Maximum number of cells in any row.
+    pub fn n_cols(&self) -> usize {
+        self.rows.iter().map(|r| r.cells.len()).max().unwrap_or(0)
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// Extracts every `<table>` element of `doc` as a [`RawTable`]. Rows and
+/// cells of *nested* tables are not mixed into the outer table; nested
+/// tables are returned as their own entries.
+pub fn extract_raw_tables(doc: &Document) -> Vec<RawTable> {
+    let tables = doc.elements_by_tag("table");
+    tables
+        .iter()
+        .map(|&tnode| {
+            let mut rows = Vec::new();
+            let mut caption = None;
+            collect_rows(doc, tnode, tnode, &mut rows, &mut caption);
+            let has_form = doc.subtree_contains(
+                tnode,
+                &["form", "input", "select", "textarea", "button"],
+            );
+            RawTable {
+                node: tnode,
+                rows,
+                caption,
+                has_form,
+            }
+        })
+        .collect()
+}
+
+/// Walks the subtree under `id`, collecting `<tr>` rows that belong to
+/// `table` (stopping at nested `<table>` boundaries).
+fn collect_rows(
+    doc: &Document,
+    table: NodeId,
+    id: NodeId,
+    rows: &mut Vec<RawRow>,
+    caption: &mut Option<String>,
+) {
+    for &child in &doc.node(id).children {
+        match doc.tag(child) {
+            Some("table") if child != table => continue, // nested table boundary
+            Some("tr") => {
+                let row = extract_row(doc, child);
+                if !row.cells.is_empty() {
+                    rows.push(row);
+                }
+            }
+            Some("caption") => {
+                let text = doc.text_of(child, &["table"]);
+                if !text.is_empty() {
+                    *caption = Some(text);
+                }
+            }
+            _ => collect_rows(doc, table, child, rows, caption),
+        }
+    }
+}
+
+fn extract_row(doc: &Document, tr: NodeId) -> RawRow {
+    let row_bg = has_bg(doc, tr);
+    let row_class = doc.attr(tr, "class").is_some();
+    let mut cells = Vec::new();
+    for &child in &doc.node(tr).children {
+        let tag = doc.tag(child);
+        if !matches!(tag, Some("td") | Some("th")) {
+            continue;
+        }
+        let colspan: usize = doc
+            .attr(child, "colspan")
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(1)
+            .clamp(1, 32);
+        let cell = RawCell {
+            text: doc.text_of(child, &["table"]),
+            is_th: tag == Some("th"),
+            bold: doc.subtree_contains(child, &["b", "strong"]),
+            italic: doc.subtree_contains(child, &["i", "em"]),
+            underline: doc.subtree_contains(child, &["u"]),
+            code: doc.subtree_contains(child, &["code", "tt"]),
+            has_bg: row_bg || has_bg(doc, child),
+            has_class: row_class || doc.attr(child, "class").is_some(),
+        };
+        cells.push(cell);
+        // Colspan expansion: pad with empty cells that inherit formatting
+        // flags, so row signatures stay stable.
+        for _ in 1..colspan {
+            cells.push(RawCell {
+                text: String::new(),
+                ..cells.last().cloned().unwrap_or_default()
+            });
+        }
+    }
+    RawRow { cells }
+}
+
+fn has_bg(doc: &Document, id: NodeId) -> bool {
+    if doc.attr(id, "bgcolor").is_some() {
+        return true;
+    }
+    doc.attr(id, "style")
+        .map(|s| s.to_ascii_lowercase().contains("background"))
+        .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_one(html: &str) -> RawTable {
+        let doc = Document::parse(html);
+        let mut ts = extract_raw_tables(&doc);
+        assert!(!ts.is_empty(), "no table found");
+        ts.remove(0)
+    }
+
+    #[test]
+    fn basic_grid() {
+        let t = parse_one("<table><tr><th>A</th><th>B</th></tr><tr><td>1</td><td>2</td></tr></table>");
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.n_cols(), 2);
+        assert!(t.rows[0].cells[0].is_th);
+        assert!(!t.rows[1].cells[0].is_th);
+        assert_eq!(t.rows[1].cells[1].text, "2");
+    }
+
+    #[test]
+    fn colspan_expanded() {
+        let t = parse_one(r#"<table><tr><td colspan="3">Title</td></tr><tr><td>a</td><td>b</td><td>c</td></tr></table>"#);
+        assert_eq!(t.rows[0].cells.len(), 3);
+        assert_eq!(t.rows[0].cells[0].text, "Title");
+        assert_eq!(t.rows[0].cells[1].text, "");
+        assert_eq!(t.rows[0].cells[2].text, "");
+    }
+
+    #[test]
+    fn colspan_clamped() {
+        let t = parse_one(r#"<table><tr><td colspan="9999">x</td></tr><tr><td>y</td></tr></table>"#);
+        assert_eq!(t.rows[0].cells.len(), 32);
+    }
+
+    #[test]
+    fn formatting_flags() {
+        let t = parse_one(
+            r##"<table><tr bgcolor="#eee"><td class="hd"><b>Name</b></td><td><i>x</i> <u>y</u> <code>z</code></td></tr></table>"##,
+        );
+        let c0 = &t.rows[0].cells[0];
+        assert!(c0.bold && c0.has_bg && c0.has_class);
+        let c1 = &t.rows[0].cells[1];
+        assert!(c1.italic && c1.underline && c1.code && c1.has_bg);
+        assert!(!c1.bold);
+    }
+
+    #[test]
+    fn nested_tables_not_merged() {
+        let doc = Document::parse(
+            "<table><tr><td>outer<table><tr><td>inner</td></tr></table></td></tr></table>",
+        );
+        let ts = extract_raw_tables(&doc);
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].rows[0].cells[0].text, "outer");
+        assert_eq!(ts[1].rows[0].cells[0].text, "inner");
+    }
+
+    #[test]
+    fn caption_and_form_detected() {
+        let t = parse_one(
+            "<table><caption>Forest reserves</caption><tr><td><input></td></tr></table>",
+        );
+        assert_eq!(t.caption.as_deref(), Some("Forest reserves"));
+        assert!(t.has_form);
+    }
+
+    #[test]
+    fn tbody_thead_transparent() {
+        let t = parse_one(
+            "<table><thead><tr><th>H</th></tr></thead><tbody><tr><td>b</td></tr></tbody></table>",
+        );
+        assert_eq!(t.n_rows(), 2);
+        assert!(t.rows[0].cells[0].is_th);
+    }
+
+    #[test]
+    fn style_background_counts_as_bg() {
+        let t = parse_one(r#"<table><tr><td style="background-color: red">x</td></tr></table>"#);
+        assert!(t.rows[0].cells[0].has_bg);
+    }
+}

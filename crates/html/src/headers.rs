@@ -1,0 +1,338 @@
+//! Header extraction (paper §2.1.1).
+//!
+//! Only 20% of web tables use the `<th>` tag; the rest mark headers with
+//! formatting, layout or content differences. The paper's heuristic, which
+//! we reproduce:
+//!
+//! > The rows of a table are assumed to consist of zero or more title rows,
+//! > followed by zero or more header rows, followed by body rows. We scan
+//! > rows sequentially from the top as long as we find rows different from
+//! > most of the rows below it in terms of formatting (bold, italics,
+//! > underline, capitalization, code, header tags), layout (background
+//! > color, CSS classes) or content (textual header with numeric body,
+//! > number of characters). A 'different' row is labeled a title if all but
+//! > the first column is empty*. Else we label the row a header. Subsequent
+//! > rows stay headers while similar to the first header row and different
+//! > from the rows below. We stop as soon as a row fails the test.
+//!
+//! *The paper's text reads "non-empty", but its own Figure 1 (Table 3's
+//! title "Forest reserves" occupying a single spanned cell) and the usual
+//! shape of title rows imply "empty"; we treat this as an erratum and use
+//! "all but the first column empty". See DESIGN.md.
+
+use crate::extract::{RawCell, RawRow, RawTable};
+
+/// Maximum number of header rows we will peel off (the paper reports 5% of
+/// tables with more than two; beyond four is noise).
+const MAX_HEADER_ROWS: usize = 4;
+
+/// Threshold on the weighted signature distance above which a row is
+/// "different from the rows below".
+const DIFFERENT_THRESHOLD: f64 = 0.55;
+
+/// Threshold under which two header-candidate rows count as "similar".
+const SIMILAR_THRESHOLD: f64 = 0.75;
+
+/// Result of splitting a raw table into title / header / body rows.
+#[derive(Debug, Clone)]
+pub struct HeaderSplit {
+    /// Concatenated text of title rows and the `<caption>`, if any.
+    pub title: Option<String>,
+    /// Header rows, top to bottom.
+    pub header_rows: Vec<Vec<RawCell>>,
+    /// Body rows.
+    pub body_rows: Vec<Vec<RawCell>>,
+}
+
+/// Per-row feature signature used for the "different from rows below" test.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct RowSig {
+    th: f64,
+    bold: f64,
+    italic: f64,
+    underline: f64,
+    code: f64,
+    bg: f64,
+    class: f64,
+    numeric: f64,
+    caps: f64,
+    len: f64,
+}
+
+impl RowSig {
+    fn of(row: &RawRow) -> RowSig {
+        let n = row.cells.len().max(1) as f64;
+        let frac = |pred: fn(&RawCell) -> bool| -> f64 {
+            row.cells.iter().filter(|c| pred(c)).count() as f64 / n
+        };
+        let nonempty: Vec<&RawCell> = row.cells.iter().filter(|c| !c.text.is_empty()).collect();
+        let ne = nonempty.len().max(1) as f64;
+        RowSig {
+            th: frac(|c| c.is_th),
+            bold: frac(|c| c.bold),
+            italic: frac(|c| c.italic),
+            underline: frac(|c| c.underline),
+            code: frac(|c| c.code),
+            bg: frac(|c| c.has_bg),
+            class: frac(|c| c.has_class),
+            numeric: nonempty.iter().filter(|c| is_numericish(&c.text)).count() as f64 / ne,
+            caps: nonempty
+                .iter()
+                .filter(|c| starts_capitalized(&c.text))
+                .count() as f64
+                / ne,
+            len: nonempty
+                .iter()
+                .map(|c| (c.text.chars().count() as f64).min(40.0) / 40.0)
+                .sum::<f64>()
+                / ne,
+        }
+    }
+
+    fn mean(sigs: &[RowSig]) -> RowSig {
+        let n = sigs.len().max(1) as f64;
+        let mut m = RowSig::default();
+        for s in sigs {
+            m.th += s.th;
+            m.bold += s.bold;
+            m.italic += s.italic;
+            m.underline += s.underline;
+            m.code += s.code;
+            m.bg += s.bg;
+            m.class += s.class;
+            m.numeric += s.numeric;
+            m.caps += s.caps;
+            m.len += s.len;
+        }
+        m.th /= n;
+        m.bold /= n;
+        m.italic /= n;
+        m.underline /= n;
+        m.code /= n;
+        m.bg /= n;
+        m.class /= n;
+        m.numeric /= n;
+        m.caps /= n;
+        m.len /= n;
+        m
+    }
+
+    /// Weighted L1 distance. The `<th>` tag and the textual-header /
+    /// numeric-body contrast are the strongest cues (paper lists them
+    /// first); capitalization and raw length are weak cues.
+    fn distance(&self, other: &RowSig) -> f64 {
+        3.0 * (self.th - other.th).abs()
+            + 1.5 * (self.bold - other.bold).abs()
+            + 1.0 * (self.italic - other.italic).abs()
+            + 1.0 * (self.underline - other.underline).abs()
+            + 1.0 * (self.code - other.code).abs()
+            + 1.0 * (self.bg - other.bg).abs()
+            + 0.5 * (self.class - other.class).abs()
+            + 2.0 * (self.numeric - other.numeric).abs()
+            + 0.4 * (self.caps - other.caps).abs()
+            + 0.6 * (self.len - other.len).abs()
+    }
+}
+
+/// True for strings that read as numbers/measurements ("2,236", "$1.5",
+/// "42%", "1975").
+pub fn is_numericish(s: &str) -> bool {
+    let s = s.trim();
+    if s.is_empty() {
+        return false;
+    }
+    let digits = s.chars().filter(|c| c.is_ascii_digit()).count();
+    let allowed = s
+        .chars()
+        .filter(|c| c.is_ascii_digit() || " .,%-+$€£#()/:".contains(*c))
+        .count();
+    digits > 0 && allowed == s.chars().count() && digits * 2 >= s.chars().count()
+}
+
+fn starts_capitalized(s: &str) -> bool {
+    s.chars().next().map(char::is_uppercase).unwrap_or(false)
+}
+
+/// True iff the row is shaped like a title: the first cell has text and
+/// every other cell is empty (typically a colspan-expanded single cell).
+fn is_title_shaped(row: &RawRow) -> bool {
+    row.cells.len() >= 2
+        && !row.cells[0].text.is_empty()
+        && row.cells[1..].iter().all(|c| c.text.is_empty())
+}
+
+/// Splits the rows of `t` into title / header / body per §2.1.1.
+pub fn split_rows(t: &RawTable) -> HeaderSplit {
+    let sigs: Vec<RowSig> = t.rows.iter().map(RowSig::of).collect();
+    let n = t.rows.len();
+    let mut title_parts: Vec<String> = Vec::new();
+    if let Some(c) = &t.caption {
+        title_parts.push(c.clone());
+    }
+    let mut header_rows: Vec<Vec<RawCell>> = Vec::new();
+    let mut i = 0;
+    let mut first_header_sig: Option<RowSig> = None;
+
+    while i < n {
+        // Keep at least one body row.
+        if i + 1 >= n {
+            break;
+        }
+        let below = RowSig::mean(&sigs[i + 1..]);
+        let is_different = sigs[i].distance(&below) > DIFFERENT_THRESHOLD
+            // A row of <th> cells is a header regardless of the threshold:
+            // it is the designated markup.
+            || sigs[i].th >= 0.5;
+        if !is_different {
+            break;
+        }
+        if is_title_shaped(&t.rows[i]) && header_rows.is_empty() {
+            title_parts.push(t.rows[i].cells[0].text.clone());
+            i += 1;
+            continue;
+        }
+        match &first_header_sig {
+            None => first_header_sig = Some(sigs[i]),
+            Some(first) => {
+                if sigs[i].distance(first) > SIMILAR_THRESHOLD
+                    || header_rows.len() >= MAX_HEADER_ROWS
+                {
+                    break;
+                }
+            }
+        }
+        header_rows.push(t.rows[i].cells.clone());
+        i += 1;
+    }
+
+    let body_rows: Vec<Vec<RawCell>> = t.rows[i..].iter().map(|r| r.cells.clone()).collect();
+    let title = if title_parts.is_empty() {
+        None
+    } else {
+        Some(title_parts.join(" "))
+    };
+    HeaderSplit {
+        title,
+        header_rows,
+        body_rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::Document;
+    use crate::extract::extract_raw_tables;
+
+    fn split(html: &str) -> HeaderSplit {
+        let t = extract_raw_tables(&Document::parse(html)).remove(0);
+        split_rows(&t)
+    }
+
+    #[test]
+    fn th_row_is_header() {
+        let s = split(
+            "<table><tr><th>Name</th><th>Area</th></tr>\
+             <tr><td>Shakespeare Hills</td><td>2236</td></tr>\
+             <tr><td>Plains Creek</td><td>880</td></tr></table>",
+        );
+        assert_eq!(s.header_rows.len(), 1);
+        assert_eq!(s.header_rows[0][0].text, "Name");
+        assert_eq!(s.body_rows.len(), 2);
+        assert!(s.title.is_none());
+    }
+
+    #[test]
+    fn bold_text_header_over_numeric_body() {
+        let s = split(
+            "<table><tr><td><b>City</b></td><td><b>Population</b></td></tr>\
+             <tr><td>Mumbai</td><td>20411000</td></tr>\
+             <tr><td>Delhi</td><td>16787941</td></tr>\
+             <tr><td>Bangalore</td><td>8443675</td></tr></table>",
+        );
+        assert_eq!(s.header_rows.len(), 1, "bold row must be header");
+        assert_eq!(s.body_rows.len(), 3);
+    }
+
+    #[test]
+    fn headerless_table_detected() {
+        let s = split(
+            "<table><tr><td>Mumbai</td><td>20411000</td></tr>\
+             <tr><td>Delhi</td><td>16787941</td></tr>\
+             <tr><td>Bangalore</td><td>8443675</td></tr></table>",
+        );
+        assert!(s.header_rows.is_empty());
+        assert_eq!(s.body_rows.len(), 3);
+    }
+
+    #[test]
+    fn title_row_peeled_before_headers() {
+        let s = split(
+            "<table><tr><td colspan=3><b>Forest reserves</b></td></tr>\
+             <tr><th>ID</th><th>Name</th><th>Area</th></tr>\
+             <tr><td>7</td><td>Shakespeare Hills</td><td>2236</td></tr>\
+             <tr><td>9</td><td>Plains Creek</td><td>880</td></tr></table>",
+        );
+        assert_eq!(s.title.as_deref(), Some("Forest reserves"));
+        assert_eq!(s.header_rows.len(), 1);
+        assert_eq!(s.header_rows[0][1].text, "Name");
+        assert_eq!(s.body_rows.len(), 2);
+    }
+
+    #[test]
+    fn two_header_rows_split_phrase() {
+        // "Main areas" / "explored" split header, as in Figure 1 Table 1.
+        let s = split(
+            "<table><tr><th>Name</th><th>Nationality</th><th>Main areas</th></tr>\
+             <tr><th></th><th></th><th>explored</th></tr>\
+             <tr><td>Abel Tasman</td><td>Dutch</td><td>Oceania</td></tr>\
+             <tr><td>Vasco da Gama</td><td>Portuguese</td><td>Sea route to India</td></tr></table>",
+        );
+        assert_eq!(s.header_rows.len(), 2);
+        assert_eq!(s.header_rows[1][2].text, "explored");
+        assert_eq!(s.body_rows.len(), 2);
+    }
+
+    #[test]
+    fn caption_becomes_title() {
+        let s = split(
+            "<table><caption>Other Formal Reserves</caption>\
+             <tr><th>ID</th><th>Name</th></tr>\
+             <tr><td>7</td><td>Hills</td></tr></table>",
+        );
+        assert_eq!(s.title.as_deref(), Some("Other Formal Reserves"));
+    }
+
+    #[test]
+    fn at_least_one_body_row_kept() {
+        // Two rows, both th: second must stay body.
+        let s = split("<table><tr><th>A</th><th>B</th></tr><tr><th>C</th><th>D</th></tr></table>");
+        assert_eq!(s.header_rows.len(), 1);
+        assert_eq!(s.body_rows.len(), 1);
+    }
+
+    #[test]
+    fn numericish_detector() {
+        for good in ["2236", "2,236", "$1.5", "42%", "1975", "12/31", "(880)"] {
+            assert!(is_numericish(good), "{good}");
+        }
+        for bad in ["Mumbai", "", "Route 66 is long", "B12 vitamin", "-"] {
+            assert!(!is_numericish(bad), "{bad}");
+        }
+    }
+
+    #[test]
+    fn header_rows_capped() {
+        let mut html = String::from("<table>");
+        for i in 0..8 {
+            html.push_str(&format!("<tr><th>h{i}a</th><th>h{i}b</th></tr>"));
+        }
+        for i in 0..4 {
+            html.push_str(&format!("<tr><td>v{i}</td><td>{i}</td></tr>"));
+        }
+        html.push_str("</table>");
+        let s = split(&html);
+        assert!(s.header_rows.len() <= MAX_HEADER_ROWS);
+        assert!(s.body_rows.len() >= 4);
+    }
+}

@@ -1,0 +1,348 @@
+//! A forgiving HTML token stream.
+//!
+//! Produces [`Token`]s from raw HTML text. Handles quoted / unquoted /
+//! valueless attributes, self-closing tags, comments, and treats the
+//! contents of `<script>` and `<style>` as opaque text that is skipped.
+//! Entity decoding covers the named entities that matter for table text
+//! plus numeric entities.
+
+/// One lexical HTML token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `<name attr="v" ...>`; `self_closing` is true for `<br/>`-style tags.
+    Start {
+        /// Lowercased tag name.
+        name: String,
+        /// Attribute `(name, value)` pairs; valueless attributes get `""`.
+        attrs: Vec<(String, String)>,
+        /// True for `<tag/>`.
+        self_closing: bool,
+    },
+    /// `</name>` with lowercased name.
+    End(String),
+    /// Text between tags, entity-decoded, whitespace preserved.
+    Text(String),
+}
+
+/// Tokenizes `html`. Malformed input never panics; garbage degrades to
+/// text tokens.
+pub fn tokenize(html: &str) -> Vec<Token> {
+    let bytes = html.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let n = bytes.len();
+    let mut text_start = 0;
+
+    let flush_text = |tokens: &mut Vec<Token>, from: usize, to: usize| {
+        if from < to {
+            let raw = &html[from..to];
+            if !raw.trim().is_empty() {
+                tokens.push(Token::Text(decode_entities(raw)));
+            }
+        }
+    };
+
+    while i < n {
+        if bytes[i] != b'<' {
+            i += 1;
+            continue;
+        }
+        // Comment?
+        if html[i..].starts_with("<!--") {
+            flush_text(&mut tokens, text_start, i);
+            let end = html[i + 4..].find("-->").map(|p| i + 4 + p + 3).unwrap_or(n);
+            i = end;
+            text_start = i;
+            continue;
+        }
+        // Doctype / processing instruction: skip to '>'.
+        if html[i..].starts_with("<!") || html[i..].starts_with("<?") {
+            flush_text(&mut tokens, text_start, i);
+            let end = html[i..].find('>').map(|p| i + p + 1).unwrap_or(n);
+            i = end;
+            text_start = i;
+            continue;
+        }
+        // A real tag must be followed by '/' or an ASCII letter; otherwise
+        // the '<' is literal text.
+        let next = bytes.get(i + 1).copied();
+        let is_tag = matches!(next, Some(b'/')) || next.map(|b| b.is_ascii_alphabetic()).unwrap_or(false);
+        if !is_tag {
+            i += 1;
+            continue;
+        }
+        flush_text(&mut tokens, text_start, i);
+        let close = html[i..].find('>').map(|p| i + p);
+        let Some(close) = close else {
+            // Unterminated tag: treat the rest as text.
+            text_start = i;
+            break;
+        };
+        let inner = &html[i + 1..close];
+        if let Some(stripped) = inner.strip_prefix('/') {
+            let name = stripped.trim().to_ascii_lowercase();
+            if !name.is_empty() {
+                tokens.push(Token::End(name));
+            }
+        } else {
+            let (name, attrs, self_closing) = parse_tag_body(inner);
+            if !name.is_empty() {
+                // script/style content is opaque: skip to the end tag.
+                if name == "script" || name == "style" {
+                    let end_tag = format!("</{name}");
+                    let rest = &html[close + 1..];
+                    let skip = rest
+                        .to_ascii_lowercase()
+                        .find(&end_tag)
+                        .map(|p| close + 1 + p)
+                        .unwrap_or(n);
+                    tokens.push(Token::Start {
+                        name: name.clone(),
+                        attrs,
+                        self_closing,
+                    });
+                    tokens.push(Token::End(name));
+                    let after = html[skip..].find('>').map(|p| skip + p + 1).unwrap_or(n);
+                    i = after;
+                    text_start = i;
+                    continue;
+                }
+                tokens.push(Token::Start {
+                    name,
+                    attrs,
+                    self_closing,
+                });
+            }
+        }
+        i = close + 1;
+        text_start = i;
+    }
+    flush_text(&mut tokens, text_start, n);
+    tokens
+}
+
+/// Parses the inside of a start tag: `name attr=val attr2="v" flag /`.
+fn parse_tag_body(inner: &str) -> (String, Vec<(String, String)>, bool) {
+    let inner = inner.trim();
+    let self_closing = inner.ends_with('/');
+    let inner = inner.trim_end_matches('/').trim();
+    let mut name_end = inner.len();
+    for (idx, ch) in inner.char_indices() {
+        if ch.is_whitespace() {
+            name_end = idx;
+            break;
+        }
+    }
+    let name = inner[..name_end].to_ascii_lowercase();
+    let mut attrs = Vec::new();
+    let rest = &inner[name_end..];
+    let mut j = 0;
+    let rb = rest.as_bytes();
+    while j < rb.len() {
+        while j < rb.len() && rb[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if j >= rb.len() {
+            break;
+        }
+        // attribute name
+        let name_start = j;
+        while j < rb.len() && !rb[j].is_ascii_whitespace() && rb[j] != b'=' {
+            j += 1;
+        }
+        let aname = rest[name_start..j].to_ascii_lowercase();
+        while j < rb.len() && rb[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        let mut aval = String::new();
+        if j < rb.len() && rb[j] == b'=' {
+            j += 1;
+            while j < rb.len() && rb[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if j < rb.len() && (rb[j] == b'"' || rb[j] == b'\'') {
+                let quote = rb[j];
+                j += 1;
+                let vstart = j;
+                while j < rb.len() && rb[j] != quote {
+                    j += 1;
+                }
+                aval = decode_entities(&rest[vstart..j]);
+                j = (j + 1).min(rb.len());
+            } else {
+                let vstart = j;
+                while j < rb.len() && !rb[j].is_ascii_whitespace() {
+                    j += 1;
+                }
+                aval = decode_entities(&rest[vstart..j]);
+            }
+        }
+        if !aname.is_empty() {
+            attrs.push((aname, aval));
+        }
+    }
+    (name, attrs, self_closing)
+}
+
+/// Decodes the common named entities and numeric character references.
+pub fn decode_entities(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(pos) = rest.find('&') {
+        out.push_str(&rest[..pos]);
+        rest = &rest[pos..];
+        let semi = rest[..rest.len().min(12)].find(';');
+        match semi {
+            Some(end) => {
+                let ent = &rest[1..end];
+                let decoded: Option<String> = match ent {
+                    "amp" => Some("&".into()),
+                    "lt" => Some("<".into()),
+                    "gt" => Some(">".into()),
+                    "quot" => Some("\"".into()),
+                    "apos" => Some("'".into()),
+                    "nbsp" => Some(" ".into()),
+                    "mdash" => Some("—".into()),
+                    "ndash" => Some("–".into()),
+                    "hellip" => Some("…".into()),
+                    _ => {
+                        if let Some(num) = ent.strip_prefix('#') {
+                            let cp = if let Some(hex) = num.strip_prefix(['x', 'X']) {
+                                u32::from_str_radix(hex, 16).ok()
+                            } else {
+                                num.parse::<u32>().ok()
+                            };
+                            cp.and_then(char::from_u32).map(|c| c.to_string())
+                        } else {
+                            None
+                        }
+                    }
+                };
+                match decoded {
+                    Some(d) => {
+                        out.push_str(&d);
+                        rest = &rest[end + 1..];
+                    }
+                    None => {
+                        out.push('&');
+                        rest = &rest[1..];
+                    }
+                }
+            }
+            None => {
+                out.push('&');
+                rest = &rest[1..];
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(name: &str) -> Token {
+        Token::Start {
+            name: name.into(),
+            attrs: vec![],
+            self_closing: false,
+        }
+    }
+
+    #[test]
+    fn simple_tags_and_text() {
+        let toks = tokenize("<p>Hello</p>");
+        assert_eq!(
+            toks,
+            vec![start("p"), Token::Text("Hello".into()), Token::End("p".into())]
+        );
+    }
+
+    #[test]
+    fn attributes_quoted_unquoted_valueless() {
+        let toks = tokenize(r#"<td colspan="3" align=center nowrap>"#);
+        match &toks[0] {
+            Token::Start { name, attrs, .. } => {
+                assert_eq!(name, "td");
+                assert_eq!(
+                    attrs,
+                    &vec![
+                        ("colspan".to_string(), "3".to_string()),
+                        ("align".to_string(), "center".to_string()),
+                        ("nowrap".to_string(), String::new()),
+                    ]
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_closing() {
+        let toks = tokenize("<br/><hr />");
+        assert!(matches!(&toks[0], Token::Start { name, self_closing: true, .. } if name == "br"));
+        assert!(matches!(&toks[1], Token::Start { name, self_closing: true, .. } if name == "hr"));
+    }
+
+    #[test]
+    fn comments_and_doctype_skipped() {
+        let toks = tokenize("<!DOCTYPE html><!-- hidden <table> --><b>x</b>");
+        assert_eq!(
+            toks,
+            vec![start("b"), Token::Text("x".into()), Token::End("b".into())]
+        );
+    }
+
+    #[test]
+    fn script_content_opaque() {
+        let toks = tokenize("<script>if (a < b) { doc.write('<table>'); }</script><p>y</p>");
+        // No table token may leak out of the script body.
+        assert!(toks
+            .iter()
+            .all(|t| !matches!(t, Token::Start { name, .. } if name == "table")));
+        assert!(toks.contains(&Token::Text("y".into())));
+    }
+
+    #[test]
+    fn entities_decoded() {
+        let toks = tokenize("<td>Tom &amp; Jerry &lt;3 &#65;&#x42;</td>");
+        assert_eq!(toks[1], Token::Text("Tom & Jerry <3 AB".into()));
+    }
+
+    #[test]
+    fn stray_lt_is_text() {
+        let toks = tokenize("3 < 4 but <b>bold</b>");
+        assert_eq!(toks[0], Token::Text("3 < 4 but ".into()));
+        assert_eq!(toks[1], start("b"));
+    }
+
+    #[test]
+    fn unterminated_tag_degrades() {
+        // No token may be lost; the unterminated tag is kept as text.
+        let toks = tokenize("text <table");
+        assert_eq!(
+            toks,
+            vec![Token::Text("text ".into()), Token::Text("<table".into())]
+        );
+    }
+
+    #[test]
+    fn case_insensitive_names() {
+        let toks = tokenize("<TABLE><TR></TR></TABLE>");
+        assert_eq!(toks[0], start("table"));
+        assert_eq!(toks[3], Token::End("table".into()));
+    }
+
+    #[test]
+    fn decode_entities_edge_cases() {
+        assert_eq!(decode_entities("no entities"), "no entities");
+        assert_eq!(decode_entities("&bogus; &amp;"), "&bogus; &");
+        assert_eq!(decode_entities("trailing &"), "trailing &");
+        assert_eq!(decode_entities("&#999999999;"), "&#999999999;");
+    }
+}

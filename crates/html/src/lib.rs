@@ -1,0 +1,116 @@
+//! # wwt-html
+//!
+//! HTML substrate for WWT (paper §2.1): a small, robust HTML parser plus
+//! the three extraction stages that turn a crawled page into [`WebTable`]s:
+//!
+//! 1. **Table extraction** ([`extract`]) — everything inside `<table>` tags,
+//!    with colspan expansion and per-cell formatting flags;
+//! 2. **Data-table classification** ([`classify`]) — heuristics that reject
+//!    layout tables, forms, calendars and lists (the paper keeps ~10% of
+//!    table tags);
+//! 3. **Header extraction** ([`headers`], §2.1.1) and **context
+//!    extraction** ([`context`], §2.1.2).
+//!
+//! The parser ([`lexer`] + [`dom`]) is intentionally forgiving: real web
+//! pages contain unclosed tags, stray end tags and unquoted attributes, and
+//! the corpus generator produces some of those deliberately.
+//!
+//! Entry point: [`extract_tables`] parses a document and returns fully
+//! assembled [`WebTable`]s.
+//!
+//! [`WebTable`]: wwt_model::WebTable
+
+pub mod classify;
+pub mod context;
+pub mod dom;
+pub mod extract;
+pub mod headers;
+pub mod lexer;
+
+use wwt_model::{TableId, WebTable};
+
+/// Parses `html` and returns all *data* tables found in the document,
+/// with headers, title and context attached. Table ids are assigned
+/// sequentially starting from `first_id`.
+///
+/// This is the offline pipeline of paper §2.1 for a single page.
+pub fn extract_tables(html: &str, url: &str, first_id: u32) -> Vec<WebTable> {
+    let doc = dom::Document::parse(html);
+    let raw_tables = extract::extract_raw_tables(&doc);
+    let mut out = Vec::new();
+    let mut next = first_id;
+    for raw in &raw_tables {
+        if !classify::is_data_table(raw) {
+            continue;
+        }
+        let split = headers::split_rows(raw);
+        let snippets = context::extract_context(&doc, raw.node);
+        let headers: Vec<Vec<String>> = split
+            .header_rows
+            .iter()
+            .map(|r| r.iter().map(|c| c.text.clone()).collect())
+            .collect();
+        let rows: Vec<Vec<String>> = split
+            .body_rows
+            .iter()
+            .map(|r| r.iter().map(|c| c.text.clone()).collect())
+            .collect();
+        if let Some(t) = WebTable::new(TableId(next), url, split.title, headers, rows, snippets) {
+            // A data table must keep at least one body row after header
+            // splitting.
+            if t.n_rows() > 0 {
+                out.push(t);
+                next += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAGE: &str = r#"
+      <html><head><title>List of explorers - Wikipedia</title></head>
+      <body>
+        <h1>List of explorers</h1>
+        <p>This article lists the explorations in history.</p>
+        <table>
+          <tr><th>Name</th><th>Nationality</th><th>Main areas explored</th></tr>
+          <tr><td>Abel Tasman</td><td>Dutch</td><td>Oceania</td></tr>
+          <tr><td>Vasco da Gama</td><td>Portuguese</td><td>Sea route to India</td></tr>
+        </table>
+        <table><tr><td><form><input type="text"></form></td></tr></table>
+      </body></html>"#;
+
+    #[test]
+    fn end_to_end_extraction() {
+        let tables = extract_tables(PAGE, "http://x", 0);
+        assert_eq!(tables.len(), 1, "form table must be rejected");
+        let t = &tables[0];
+        assert_eq!(t.n_cols(), 3);
+        assert_eq!(t.n_header_rows(), 1);
+        assert_eq!(t.header(0, 1), "Nationality");
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.cell(1, 2), "Sea route to India");
+        let ctx = t.all_context_text();
+        assert!(ctx.contains("explorations in history"), "ctx = {ctx}");
+    }
+
+    #[test]
+    fn ids_assigned_sequentially() {
+        let page = "<table><tr><th>A</th><th>B</th></tr><tr><td>1</td><td>2</td></tr><tr><td>5</td><td>6</td></tr></table>\
+                    <table><tr><th>C</th><th>D</th></tr><tr><td>3</td><td>4</td></tr><tr><td>7</td><td>8</td></tr></table>";
+        let tables = extract_tables(page, "u", 10);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].id, TableId(10));
+        assert_eq!(tables[1].id, TableId(11));
+    }
+
+    #[test]
+    fn empty_document() {
+        assert!(extract_tables("", "u", 0).is_empty());
+        assert!(extract_tables("<p>no tables here</p>", "u", 0).is_empty());
+    }
+}

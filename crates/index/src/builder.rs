@@ -1,0 +1,137 @@
+//! Building the index from extracted tables (offline pipeline, §2.1).
+
+use crate::field::Field;
+use crate::search::{Postings, TableIndex};
+use std::collections::HashMap;
+use wwt_model::{TableId, WebTable};
+use wwt_text::{tokenize, CorpusStats};
+
+/// Accumulates table documents and freezes them into a [`TableIndex`].
+#[derive(Default)]
+pub struct IndexBuilder {
+    postings: HashMap<String, Postings>,
+    doc_tables: Vec<TableId>,
+    field_lens: Vec<[u32; 3]>,
+    stats: CorpusStats,
+}
+
+impl IndexBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Indexes one table as a three-field document. Tables should be added
+    /// in ascending id order for best locality, but any order works.
+    pub fn add_table(&mut self, t: &WebTable) {
+        let doc = self.doc_tables.len() as u32;
+        self.doc_tables.push(t.id);
+
+        let field_text = [
+            t.all_header_text(),
+            t.all_context_text(),
+            t.all_content_text(),
+        ];
+        let mut lens = [0u32; 3];
+        let mut all_tokens: Vec<String> = Vec::new();
+        for f in Field::ALL {
+            let tokens = tokenize(&field_text[f.dense()]);
+            lens[f.dense()] = tokens.len() as u32;
+            let mut tf: HashMap<&str, u32> = HashMap::new();
+            for tok in &tokens {
+                *tf.entry(tok.as_str()).or_insert(0) += 1;
+            }
+            for (tok, count) in tf {
+                self.postings
+                    .entry(tok.to_string())
+                    .or_default()
+                    .per_field[f.dense()]
+                .push((doc, count));
+            }
+            all_tokens.extend(tokens);
+        }
+        self.field_lens.push(lens);
+        self.stats.add_doc(all_tokens.iter().map(String::as_str));
+    }
+
+    /// Number of documents added so far.
+    pub fn n_docs(&self) -> usize {
+        self.doc_tables.len()
+    }
+
+    /// Freezes the builder into an immutable, searchable index.
+    pub fn build(mut self) -> TableIndex {
+        // Postings must be doc-ordered for the sorted-set operations.
+        for p in self.postings.values_mut() {
+            for list in &mut p.per_field {
+                list.sort_unstable_by_key(|&(d, _)| d);
+            }
+        }
+        TableIndex::from_parts(self.postings, self.doc_tables, self.field_lens, self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wwt_model::ContextSnippet;
+
+    fn table(id: u32) -> WebTable {
+        WebTable::new(
+            TableId(id),
+            "u",
+            Some("Explorers".into()),
+            vec![vec!["Name".into(), "Nationality".into()]],
+            vec![vec!["Tasman".into(), "Dutch".into()]],
+            vec![ContextSnippet::new("list of explorers", 0.9)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_with_field_separation() {
+        let mut b = IndexBuilder::new();
+        b.add_table(&table(0));
+        assert_eq!(b.n_docs(), 1);
+        let idx = b.build();
+        assert_eq!(idx.n_docs(), 1);
+        // "name" only in header field.
+        assert_eq!(
+            idx.docs_with_all(&["name".into()], &[Field::Header]).len(),
+            1
+        );
+        assert_eq!(
+            idx.docs_with_all(&["name".into()], &[Field::Content]).len(),
+            0
+        );
+        // "explorers" stems to "explorer" (title + snippet) in context field.
+        assert_eq!(
+            idx.docs_with_all(&["explorer".into()], &[Field::Context])
+                .len(),
+            1
+        );
+        // "dutch" in content.
+        assert_eq!(
+            idx.docs_with_all(&["dutch".into()], &[Field::Content]).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn stats_track_documents() {
+        let mut b = IndexBuilder::new();
+        b.add_table(&table(0));
+        b.add_table(&table(1));
+        let idx = b.build();
+        assert_eq!(idx.stats().n_docs(), 2);
+        assert_eq!(idx.stats().df("dutch"), 2);
+        assert!(idx.vocab_size() >= 5);
+    }
+
+    #[test]
+    fn empty_index_is_valid() {
+        let idx = IndexBuilder::new().build();
+        assert_eq!(idx.n_docs(), 0);
+        assert!(idx.search(&["x".into()], 5).is_empty());
+    }
+}

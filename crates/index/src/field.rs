@@ -1,0 +1,82 @@
+//! The three indexed fields and their boosts (paper §2.1).
+
+/// A field of an indexed table document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Field {
+    /// All header-row text of the table.
+    Header,
+    /// Title + context snippets from the parent page.
+    Context,
+    /// All body-cell text.
+    Content,
+}
+
+impl Field {
+    /// All fields, in dense order.
+    pub const ALL: [Field; 3] = [Field::Header, Field::Context, Field::Content];
+
+    /// Dense index in `0..3`.
+    #[inline]
+    pub fn dense(self) -> usize {
+        match self {
+            Field::Header => 0,
+            Field::Context => 1,
+            Field::Content => 2,
+        }
+    }
+
+    /// The boost the paper assigns while indexing: header 2.0,
+    /// context 1.5, content 1.0.
+    #[inline]
+    pub fn boost(self) -> f64 {
+        match self {
+            Field::Header => 2.0,
+            Field::Context => 1.5,
+            Field::Content => 1.0,
+        }
+    }
+
+    /// Field from its dense index.
+    #[inline]
+    pub fn from_dense(i: usize) -> Field {
+        Field::ALL[i]
+    }
+}
+
+impl std::fmt::Display for Field {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Field::Header => "header",
+            Field::Context => "context",
+            Field::Content => "content",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_roundtrip() {
+        for (i, f) in Field::ALL.iter().enumerate() {
+            assert_eq!(f.dense(), i);
+            assert_eq!(Field::from_dense(i), *f);
+        }
+    }
+
+    #[test]
+    fn paper_boosts() {
+        assert_eq!(Field::Header.boost(), 2.0);
+        assert_eq!(Field::Context.boost(), 1.5);
+        assert_eq!(Field::Content.boost(), 1.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Field::Header.to_string(), "header");
+        assert_eq!(Field::Context.to_string(), "context");
+        assert_eq!(Field::Content.to_string(), "content");
+    }
+}

@@ -1,0 +1,33 @@
+//! # wwt-index
+//!
+//! The search-index substrate of WWT — a from-scratch replacement for the
+//! Lucene deployment of paper §2.1/§2.2.1.
+//!
+//! Each extracted web table is indexed as one document with three text
+//! fields — **header**, **context** and **content** — carrying boosts
+//! 2.0 / 1.5 / 1.0 respectively (the paper's values). Queries are OR
+//! keyword probes scored with TF-IDF; the engine issues two probes per
+//! query (keywords only, then keywords ∪ sampled rows of confident
+//! tables).
+//!
+//! Beyond ranked retrieval, the index exposes the *document-set* operations
+//! the PMI² feature (§3.2.3) needs: `H(Qℓ)` (tables containing all of
+//! `Qℓ`'s tokens in header∪context) and `B(cell)` (tables containing a
+//! cell's tokens in content).
+//!
+//! The index is immutable after [`IndexBuilder::build`]; a small internal
+//! cache (guarded by a `parking_lot` mutex) memoizes repeated doc-set
+//! probes within a query. [`persist`] provides a compact binary
+//! serialization, and [`store`] a JSON-lines table store standing in for
+//! the paper's on-disk "Table Store".
+
+pub mod builder;
+pub mod field;
+pub mod persist;
+pub mod search;
+pub mod store;
+
+pub use builder::IndexBuilder;
+pub use field::Field;
+pub use search::{SearchHit, TableIndex};
+pub use store::TableStore;

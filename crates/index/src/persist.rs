@@ -1,0 +1,233 @@
+//! Binary persistence of the index ("stored on disk" — paper §2.1).
+//!
+//! Format (little-endian, via the `bytes` crate):
+//!
+//! ```text
+//! magic  u64  = 0x5757_5449_4458_0001            ("WWTIDX" v1)
+//! n_docs u32
+//! per doc: table_id u32, field_lens 3×u32
+//! n_terms u32
+//! per term: len u16, utf-8 bytes,
+//!           per field: n_postings u32, then (doc u32, tf u32)*
+//! ```
+//!
+//! Corpus statistics are rebuilt from the postings at load time (df of a
+//! term = number of distinct docs across fields), so they are not stored.
+
+use crate::field::Field;
+use crate::search::{Postings, TableIndex};
+use bytes::{Buf, BufMut, BytesMut};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::path::Path;
+use wwt_model::{TableId, WwtError};
+use wwt_text::CorpusStats;
+
+const MAGIC: u64 = 0x5757_5449_4458_0001;
+
+/// Serializes the index into a byte buffer.
+pub fn to_bytes(index: &TableIndex) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    buf.put_u64_le(MAGIC);
+    buf.put_u32_le(index.doc_tables.len() as u32);
+    for (i, t) in index.doc_tables.iter().enumerate() {
+        buf.put_u32_le(t.0);
+        for f in Field::ALL {
+            buf.put_u32_le(index.field_lens[i][f.dense()]);
+        }
+    }
+    // Deterministic term order.
+    let mut terms: Vec<&String> = index.postings.keys().collect();
+    terms.sort();
+    buf.put_u32_le(terms.len() as u32);
+    for term in terms {
+        let bytes = term.as_bytes();
+        buf.put_u16_le(bytes.len() as u16);
+        buf.put_slice(bytes);
+        let post = &index.postings[term];
+        for f in Field::ALL {
+            let list = &post.per_field[f.dense()];
+            buf.put_u32_le(list.len() as u32);
+            for &(d, tf) in list {
+                buf.put_u32_le(d);
+                buf.put_u32_le(tf);
+            }
+        }
+    }
+    buf.to_vec()
+}
+
+/// Deserializes an index produced by [`to_bytes`].
+pub fn from_bytes(data: &[u8]) -> Result<TableIndex, WwtError> {
+    let mut buf = data;
+    let check = |ok: bool, what: &str| -> Result<(), WwtError> {
+        if ok {
+            Ok(())
+        } else {
+            Err(WwtError::Corrupt(format!("index file truncated at {what}")))
+        }
+    };
+    check(buf.remaining() >= 12, "magic")?;
+    if buf.get_u64_le() != MAGIC {
+        return Err(WwtError::Corrupt("bad index magic".into()));
+    }
+    let n_docs = buf.get_u32_le() as usize;
+    let mut doc_tables = Vec::with_capacity(n_docs);
+    let mut field_lens = Vec::with_capacity(n_docs);
+    for _ in 0..n_docs {
+        check(buf.remaining() >= 16, "doc row")?;
+        doc_tables.push(TableId(buf.get_u32_le()));
+        let mut lens = [0u32; 3];
+        for l in &mut lens {
+            *l = buf.get_u32_le();
+        }
+        field_lens.push(lens);
+    }
+    check(buf.remaining() >= 4, "term count")?;
+    let n_terms = buf.get_u32_le() as usize;
+    let mut postings: HashMap<String, Postings> = HashMap::with_capacity(n_terms);
+    let mut doc_terms: Vec<Vec<String>> = vec![Vec::new(); n_docs];
+    for _ in 0..n_terms {
+        check(buf.remaining() >= 2, "term len")?;
+        let len = buf.get_u16_le() as usize;
+        check(buf.remaining() >= len, "term bytes")?;
+        let mut tb = vec![0u8; len];
+        buf.copy_to_slice(&mut tb);
+        let term = String::from_utf8(tb)
+            .map_err(|_| WwtError::Corrupt("non-utf8 term".into()))?;
+        let mut post = Postings::default();
+        let mut seen_docs: Vec<u32> = Vec::new();
+        for f in Field::ALL {
+            check(buf.remaining() >= 4, "posting len")?;
+            let n = buf.get_u32_le() as usize;
+            check(buf.remaining() >= n * 8, "posting list")?;
+            let list = &mut post.per_field[f.dense()];
+            list.reserve(n);
+            for _ in 0..n {
+                let d = buf.get_u32_le();
+                let tf = buf.get_u32_le();
+                if d as usize >= n_docs {
+                    return Err(WwtError::Corrupt("doc id out of range".into()));
+                }
+                list.push((d, tf));
+                if !seen_docs.contains(&d) {
+                    seen_docs.push(d);
+                }
+            }
+        }
+        for d in seen_docs {
+            doc_terms[d as usize].push(term.clone());
+        }
+        postings.insert(term, post);
+    }
+    let mut stats = CorpusStats::new();
+    for terms in &doc_terms {
+        stats.add_doc(terms.iter().map(String::as_str));
+    }
+    Ok(TableIndex::from_parts(
+        postings, doc_tables, field_lens, stats,
+    ))
+}
+
+/// Writes the index to a file.
+pub fn save(index: &TableIndex, path: &Path) -> Result<(), WwtError> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    f.write_all(&to_bytes(index))?;
+    f.flush()?;
+    Ok(())
+}
+
+/// Reads an index written by [`save`].
+pub fn load(path: &Path) -> Result<TableIndex, WwtError> {
+    let mut data = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut data)?;
+    from_bytes(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IndexBuilder;
+    use wwt_model::{ContextSnippet, WebTable};
+
+    fn sample_index() -> TableIndex {
+        let mut b = IndexBuilder::new();
+        for i in 0..5u32 {
+            let t = WebTable::new(
+                TableId(i * 2), // non-dense ids on purpose
+                "u",
+                None,
+                vec![vec![format!("header{i}"), "common".into()]],
+                vec![vec![format!("val{i}"), "shared".into()]],
+                vec![ContextSnippet::new(format!("context {i} words"), 0.5)],
+            )
+            .unwrap();
+            b.add_table(&t);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_search() {
+        let idx = sample_index();
+        let restored = from_bytes(&to_bytes(&idx)).unwrap();
+        assert_eq!(restored.n_docs(), idx.n_docs());
+        assert_eq!(restored.vocab_size(), idx.vocab_size());
+        for probe in ["common", "header3", "val1 shared", "context"] {
+            let q = wwt_text::tokenize(probe);
+            let a = idx.search(&q, 10);
+            let b = restored.search(&q, 10);
+            assert_eq!(a.len(), b.len(), "probe {probe}");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.table, y.table);
+                assert!((x.score - y.score).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_docsets() {
+        let idx = sample_index();
+        let restored = from_bytes(&to_bytes(&idx)).unwrap();
+        let toks = vec!["shared".to_string()];
+        assert_eq!(
+            *idx.docs_with_all(&toks, &[Field::Content]),
+            *restored.docs_with_all(&toks, &[Field::Content])
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut data = to_bytes(&sample_index());
+        data[0] ^= 0xff;
+        assert!(matches!(from_bytes(&data), Err(WwtError::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncation_rejected_not_panic() {
+        let data = to_bytes(&sample_index());
+        for cut in [0, 4, 11, data.len() / 2, data.len() - 1] {
+            let r = from_bytes(&data[..cut]);
+            assert!(r.is_err(), "cut at {cut} must error");
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let idx = sample_index();
+        let dir = std::env::temp_dir().join("wwt_index_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.idx");
+        save(&idx, &path).unwrap();
+        let restored = load(&path).unwrap();
+        assert_eq!(restored.n_docs(), idx.n_docs());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_index_roundtrip() {
+        let idx = IndexBuilder::new().build();
+        let restored = from_bytes(&to_bytes(&idx)).unwrap();
+        assert_eq!(restored.n_docs(), 0);
+    }
+}

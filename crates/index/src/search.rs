@@ -1,0 +1,313 @@
+//! The immutable fielded inverted index and its query operations.
+
+use crate::field::Field;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use wwt_model::TableId;
+use wwt_text::CorpusStats;
+
+/// Per-term postings: for each field, a doc-ordered list of
+/// `(doc, term_frequency)` pairs. Docs are internal dense ids.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Postings {
+    pub(crate) per_field: [Vec<(u32, u32)>; 3],
+}
+
+impl Postings {
+    /// Sorted doc ids of the union of the given fields.
+    pub(crate) fn docs_in_fields(&self, fields: &[Field]) -> Vec<u32> {
+        let mut out: Vec<u32> = Vec::new();
+        for f in fields {
+            let list = &self.per_field[f.dense()];
+            out = union_sorted(&out, list.iter().map(|&(d, _)| d));
+        }
+        out
+    }
+}
+
+fn union_sorted(a: &[u32], b: impl Iterator<Item = u32>) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len());
+    let mut ai = 0;
+    for d in b {
+        while ai < a.len() && a[ai] < d {
+            out.push(a[ai]);
+            ai += 1;
+        }
+        if ai < a.len() && a[ai] == d {
+            ai += 1;
+        }
+        out.push(d);
+    }
+    out.extend_from_slice(&a[ai..]);
+    out
+}
+
+pub(crate) fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// A ranked retrieval result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchHit {
+    /// The matching table.
+    pub table: TableId,
+    /// TF-IDF score with field boosts applied; higher is better.
+    pub score: f64,
+}
+
+/// The immutable fielded index over a table corpus.
+///
+/// Built with [`crate::IndexBuilder`]; every query-side operation takes
+/// `&self`, so the index can be shared across threads (`Sync`).
+pub struct TableIndex {
+    pub(crate) postings: HashMap<String, Postings>,
+    /// Internal doc id → table id.
+    pub(crate) doc_tables: Vec<TableId>,
+    /// Per doc, per field: number of tokens (for length normalization).
+    pub(crate) field_lens: Vec<[u32; 3]>,
+    /// Corpus document-frequency statistics over all fields combined.
+    pub(crate) stats: CorpusStats,
+    /// Memo for `docs_with_all` (PMI² issues many repeated probes).
+    docset_cache: Mutex<HashMap<(Vec<String>, u8), std::sync::Arc<Vec<u32>>>>,
+}
+
+impl TableIndex {
+    pub(crate) fn from_parts(
+        postings: HashMap<String, Postings>,
+        doc_tables: Vec<TableId>,
+        field_lens: Vec<[u32; 3]>,
+        stats: CorpusStats,
+    ) -> Self {
+        TableIndex {
+            postings,
+            doc_tables,
+            field_lens,
+            stats,
+            docset_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of indexed tables.
+    pub fn n_docs(&self) -> usize {
+        self.doc_tables.len()
+    }
+
+    /// Corpus statistics (shared IDF source for all features).
+    pub fn stats(&self) -> &CorpusStats {
+        &self.stats
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// OR-keyword probe: returns up to `k` tables scored by boosted
+    /// TF-IDF, descending (ties broken by table id for determinism).
+    ///
+    /// `score(d) = Σ_f boost(f) · Σ_t idf(t) · √tf(d,f,t) / √(len_f(d)+1)`
+    pub fn search(&self, tokens: &[String], k: usize) -> Vec<SearchHit> {
+        let mut scores: HashMap<u32, f64> = HashMap::new();
+        // Dedup query tokens: the probe is a set-of-keywords union.
+        let mut seen: Vec<&str> = Vec::new();
+        for t in tokens {
+            if seen.contains(&t.as_str()) {
+                continue;
+            }
+            seen.push(t);
+            let Some(post) = self.postings.get(t) else {
+                continue;
+            };
+            let idf = self.stats.idf(t);
+            for f in Field::ALL {
+                for &(doc, tf) in &post.per_field[f.dense()] {
+                    let len = self.field_lens[doc as usize][f.dense()] as f64;
+                    let contrib = f.boost() * idf * (tf as f64).sqrt() / (len + 1.0).sqrt();
+                    *scores.entry(doc).or_insert(0.0) += contrib;
+                }
+            }
+        }
+        let mut hits: Vec<SearchHit> = scores
+            .into_iter()
+            .map(|(doc, score)| SearchHit {
+                table: self.doc_tables[doc as usize],
+                score,
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.table.cmp(&b.table))
+        });
+        hits.truncate(k);
+        hits
+    }
+
+    /// Tables containing **all** of `tokens` in the union of `fields`
+    /// (conjunctive probe). This realizes `H(Qℓ)` (fields = header,
+    /// context) and `B(cell)` (fields = content) of the PMI² feature.
+    ///
+    /// Returns the count only via `.len()` of the shared vector; results
+    /// are memoized because PMI² re-probes the same cell values often.
+    pub fn docs_with_all(&self, tokens: &[String], fields: &[Field]) -> std::sync::Arc<Vec<u32>> {
+        let mut key_tokens: Vec<String> = tokens.to_vec();
+        key_tokens.sort();
+        key_tokens.dedup();
+        let fmask: u8 = fields.iter().fold(0, |m, f| m | (1 << f.dense()));
+        let key = (key_tokens.clone(), fmask);
+        if let Some(hit) = self.docset_cache.lock().get(&key) {
+            return hit.clone();
+        }
+        let mut acc: Option<Vec<u32>> = None;
+        for t in &key_tokens {
+            let docs = match self.postings.get(t) {
+                Some(p) => p.docs_in_fields(fields),
+                None => Vec::new(),
+            };
+            acc = Some(match acc {
+                None => docs,
+                Some(prev) => intersect_sorted(&prev, &docs),
+            });
+            if acc.as_ref().map(Vec::is_empty).unwrap_or(false) {
+                break;
+            }
+        }
+        let result = std::sync::Arc::new(acc.unwrap_or_default());
+        self.docset_cache.lock().insert(key, result.clone());
+        result
+    }
+
+    /// The table id of an internal doc id (used by persistence tests).
+    pub fn table_of_doc(&self, doc: u32) -> TableId {
+        self.doc_tables[doc as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IndexBuilder;
+    use wwt_model::{ContextSnippet, WebTable};
+
+    fn table(id: u32, header: &str, context: &str, cells: &[&str]) -> WebTable {
+        WebTable::new(
+            TableId(id),
+            "u",
+            None,
+            vec![header.split(',').map(str::to_string).collect()],
+            vec![cells.iter().map(|s| s.to_string()).collect()],
+            vec![ContextSnippet::new(context, 0.8)],
+        )
+        .unwrap()
+    }
+
+    fn index() -> TableIndex {
+        let mut b = IndexBuilder::new();
+        b.add_table(&table(0, "country,currency", "list of currencies", &["india", "rupee"]));
+        b.add_table(&table(1, "country,population", "world population", &["india", "1.2b"]));
+        b.add_table(&table(2, "name,area", "forest reserves", &["hills", "2236"]));
+        b.build()
+    }
+
+    fn toks(s: &str) -> Vec<String> {
+        wwt_text::tokenize(s)
+    }
+
+    #[test]
+    fn keyword_probe_ranks_matches_first() {
+        let idx = index();
+        let hits = idx.search(&toks("country currency"), 10);
+        assert_eq!(hits[0].table, TableId(0));
+        assert!(hits.iter().any(|h| h.table == TableId(1))); // matches "country"
+        assert!(hits.iter().all(|h| h.table != TableId(2)));
+    }
+
+    #[test]
+    fn header_boost_outranks_content_match() {
+        let mut b = IndexBuilder::new();
+        // "rupee" in header of t0, in content of t1; equal lengths.
+        b.add_table(&table(0, "rupee,rate", "x y", &["a", "b"]));
+        b.add_table(&table(1, "name,rate", "x y", &["rupee", "b"]));
+        let idx = b.build();
+        let hits = idx.search(&toks("rupee"), 10);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].table, TableId(0));
+        assert!(hits[0].score > hits[1].score);
+    }
+
+    #[test]
+    fn k_truncates() {
+        let idx = index();
+        assert_eq!(idx.search(&toks("country"), 1).len(), 1);
+        assert!(idx.search(&toks("zzz-unknown"), 5).is_empty());
+    }
+
+    #[test]
+    fn duplicate_query_tokens_do_not_double_count() {
+        let idx = index();
+        let once = idx.search(&toks("currency"), 10);
+        let twice = idx.search(&toks("currency currency"), 10);
+        assert_eq!(once.len(), twice.len());
+        assert!((once[0].score - twice[0].score).abs() < 1e-12);
+    }
+
+    #[test]
+    fn docs_with_all_conjunctive() {
+        let idx = index();
+        // "country" appears in headers of t0 and t1.
+        let hc = [Field::Header, Field::Context];
+        assert_eq!(idx.docs_with_all(&toks("country"), &hc).len(), 2);
+        // "country currency" only in t0.
+        assert_eq!(idx.docs_with_all(&toks("country currency"), &hc).len(), 1);
+        // "india" is content-only.
+        assert_eq!(idx.docs_with_all(&toks("india"), &hc).len(), 0);
+        assert_eq!(idx.docs_with_all(&toks("india"), &[Field::Content]).len(), 2);
+        // unknown token kills the intersection.
+        assert_eq!(idx.docs_with_all(&toks("country zebra"), &hc).len(), 0);
+    }
+
+    #[test]
+    fn docs_with_all_memoized() {
+        let idx = index();
+        let a = idx.docs_with_all(&toks("country"), &[Field::Header]);
+        let b = idx.docs_with_all(&toks("country"), &[Field::Header]);
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn sorted_set_helpers() {
+        assert_eq!(intersect_sorted(&[1, 3, 5], &[2, 3, 5, 7]), vec![3, 5]);
+        assert_eq!(intersect_sorted(&[], &[1]), Vec::<u32>::new());
+        assert_eq!(
+            union_sorted(&[1, 4], [2, 4, 6].into_iter()),
+            vec![1, 2, 4, 6]
+        );
+        assert_eq!(union_sorted(&[], [1, 2].into_iter()), vec![1, 2]);
+        assert_eq!(union_sorted(&[1, 2], std::iter::empty()), vec![1, 2]);
+    }
+
+    #[test]
+    fn deterministic_tie_break_by_id() {
+        let mut b = IndexBuilder::new();
+        b.add_table(&table(5, "alpha,beta", "c c", &["x", "y"]));
+        b.add_table(&table(3, "alpha,beta", "c c", &["x", "y"]));
+        let idx = b.build();
+        let hits = idx.search(&toks("alpha"), 10);
+        assert_eq!(hits[0].table, TableId(3));
+        assert_eq!(hits[1].table, TableId(5));
+    }
+}

@@ -1,0 +1,173 @@
+//! The consolidated answer table returned to the user (paper §2.2.3).
+
+use crate::table::TableId;
+use serde::{Deserialize, Serialize};
+
+/// One row of the consolidated answer, with provenance and support.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnswerRow {
+    /// Cell values, one per query column (empty string = no value found).
+    pub cells: Vec<String>,
+    /// Number of source rows merged into this row (duplicates across
+    /// tables increase support; the ranker surfaces highly supported rows).
+    pub support: u32,
+    /// Tables that contributed to this row.
+    pub sources: Vec<TableId>,
+    /// Ranker score (higher ranks first); combines support and the
+    /// relevance of contributing tables.
+    pub score: f64,
+}
+
+impl AnswerRow {
+    /// Creates a row with unit support from a single source table.
+    pub fn new(cells: Vec<String>, source: TableId, score: f64) -> Self {
+        AnswerRow {
+            cells,
+            support: 1,
+            sources: vec![source],
+            score,
+        }
+    }
+}
+
+/// The consolidated multi-column answer table.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AnswerTable {
+    /// Column headers: the query's keyword strings `Q_1..Q_q`.
+    pub columns: Vec<String>,
+    /// Rows, in ranker order (most relevant / best supported first).
+    pub rows: Vec<AnswerRow>,
+}
+
+impl AnswerTable {
+    /// An empty answer for a query with the given column descriptors.
+    pub fn empty(columns: Vec<String>) -> Self {
+        AnswerTable {
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of answer columns `q`.
+    pub fn q(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of consolidated rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff no rows were produced.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned plain text (for examples and CLI
+    /// output). Columns wider than `max_width` characters are truncated
+    /// with `…`.
+    pub fn render(&self, max_width: usize) -> String {
+        let clip = |s: &str| -> String {
+            if s.chars().count() > max_width {
+                let mut out: String = s.chars().take(max_width.saturating_sub(1)).collect();
+                out.push('…');
+                out
+            } else {
+                s.to_string()
+            }
+        };
+        let header: Vec<String> = self.columns.iter().map(|c| clip(c)).collect();
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.cells.iter().map(|c| clip(c)).collect())
+            .collect();
+        let mut widths: Vec<usize> = header.iter().map(|h| h.chars().count()).collect();
+        for r in &rows {
+            for (i, c) in r.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(c.chars().count());
+                }
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for (i, w) in widths.iter().enumerate() {
+                let c = cells.get(i).map(String::as_str).unwrap_or("");
+                let pad = w - c.chars().count().min(*w);
+                line.push(' ');
+                line.push_str(c);
+                line.push_str(&" ".repeat(pad));
+                line.push_str(" |");
+            }
+            line
+        };
+        let sep = {
+            let mut line = String::from("+");
+            for w in &widths {
+                line.push_str(&"-".repeat(w + 2));
+                line.push('+');
+            }
+            line
+        };
+        let mut out = String::new();
+        out.push_str(&sep);
+        out.push('\n');
+        out.push_str(&fmt_row(&header));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for r in &rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_answer() {
+        let a = AnswerTable::empty(vec!["country".into(), "currency".into()]);
+        assert!(a.is_empty());
+        assert_eq!(a.q(), 2);
+        assert_eq!(a.len(), 0);
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut a = AnswerTable::empty(vec!["name".into(), "nationality".into()]);
+        a.rows.push(AnswerRow::new(
+            vec!["Abel Tasman".into(), "Dutch".into()],
+            TableId(1),
+            1.0,
+        ));
+        let s = a.render(40);
+        assert!(s.contains("| name        | nationality |"));
+        assert!(s.contains("| Abel Tasman | Dutch       |"));
+    }
+
+    #[test]
+    fn render_truncates_wide_cells() {
+        let mut a = AnswerTable::empty(vec!["x".into()]);
+        a.rows.push(AnswerRow::new(
+            vec!["abcdefghijklmnop".into()],
+            TableId(0),
+            0.0,
+        ));
+        let s = a.render(8);
+        assert!(s.contains("abcdefg…"));
+        assert!(!s.contains("abcdefgh"));
+    }
+
+    #[test]
+    fn answer_row_provenance() {
+        let r = AnswerRow::new(vec!["a".into()], TableId(4), 0.5);
+        assert_eq!(r.support, 1);
+        assert_eq!(r.sources, vec![TableId(4)]);
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type shared across the workspace.
+
+/// Errors surfaced by WWT components.
+#[derive(Debug)]
+pub enum WwtError {
+    /// An I/O error from index persistence or corpus loading.
+    Io(std::io::Error),
+    /// A persisted index or corpus file was malformed.
+    Corrupt(String),
+    /// A query referenced something that does not exist (e.g. an unknown
+    /// table id in a table store).
+    NotFound(String),
+    /// Invalid configuration or arguments.
+    Invalid(String),
+}
+
+impl std::fmt::Display for WwtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WwtError::Io(e) => write!(f, "io error: {e}"),
+            WwtError::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            WwtError::NotFound(m) => write!(f, "not found: {m}"),
+            WwtError::Invalid(m) => write!(f, "invalid: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WwtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WwtError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WwtError {
+    fn from(e: std::io::Error) -> Self {
+        WwtError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(WwtError::Corrupt("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
+        assert!(WwtError::NotFound("T9".into()).to_string().contains("T9"));
+        assert!(WwtError::Invalid("q=0".into()).to_string().contains("q=0"));
+    }
+
+    #[test]
+    fn io_error_source_preserved() {
+        use std::error::Error;
+        let e: WwtError = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("boom"));
+    }
+}

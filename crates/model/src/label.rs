@@ -1,0 +1,293 @@
+//! The label space of the column mapping task (paper §3.1) and labelings.
+
+use crate::table::TableId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Label assigned to a web-table column.
+///
+/// The paper's label set is `Y = {1..q} ∪ {na, nr}` (§3.1):
+/// * `Col(l)` — the column maps to query column `l` (0-based here);
+/// * `Na` — the table is relevant but this column matches no query column;
+/// * `Nr` — the column belongs to an irrelevant table (the `all-Irr`
+///   constraint forces all columns of a table to share this label).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Label {
+    /// Maps to query column `l` (0-based).
+    Col(usize),
+    /// Relevant table, no matching query column ("na").
+    Na,
+    /// Irrelevant table ("nr").
+    Nr,
+}
+
+impl Label {
+    /// True iff the label is a query-column label (`1..q` in the paper).
+    #[inline]
+    pub fn is_query_col(self) -> bool {
+        matches!(self, Label::Col(_))
+    }
+
+    /// The query column index if this is a `Col` label.
+    #[inline]
+    pub fn col(self) -> Option<usize> {
+        match self {
+            Label::Col(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Enumerates the full label space for a query with `q` columns, in the
+    /// order `Col(0)..Col(q-1), Na, Nr` (the order used by dense per-label
+    /// arrays throughout the workspace).
+    pub fn space(q: usize) -> Vec<Label> {
+        let mut v: Vec<Label> = (0..q).map(Label::Col).collect();
+        v.push(Label::Na);
+        v.push(Label::Nr);
+        v
+    }
+
+    /// Dense index of this label within [`Label::space`]`(q)`.
+    #[inline]
+    pub fn dense(self, q: usize) -> usize {
+        match self {
+            Label::Col(l) => {
+                debug_assert!(l < q);
+                l
+            }
+            Label::Na => q,
+            Label::Nr => q + 1,
+        }
+    }
+
+    /// Inverse of [`Label::dense`].
+    #[inline]
+    pub fn from_dense(i: usize, q: usize) -> Label {
+        if i < q {
+            Label::Col(i)
+        } else if i == q {
+            Label::Na
+        } else {
+            debug_assert_eq!(i, q + 1);
+            Label::Nr
+        }
+    }
+}
+
+impl std::fmt::Display for Label {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Label::Col(l) => write!(f, "Q{}", l + 1),
+            Label::Na => write!(f, "na"),
+            Label::Nr => write!(f, "nr"),
+        }
+    }
+}
+
+/// A full labeling of one table: one [`Label`] per column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Labeling {
+    /// The labeled table.
+    pub table: TableId,
+    /// One label per column of the table.
+    pub labels: Vec<Label>,
+}
+
+impl Labeling {
+    /// Creates a labeling.
+    pub fn new(table: TableId, labels: Vec<Label>) -> Self {
+        Labeling { table, labels }
+    }
+
+    /// Marks the whole table irrelevant.
+    pub fn all_nr(table: TableId, n_cols: usize) -> Self {
+        Labeling {
+            table,
+            labels: vec![Label::Nr; n_cols],
+        }
+    }
+
+    /// True iff any column carries a query-column label (i.e. the table was
+    /// judged relevant and mapped).
+    pub fn is_relevant(&self) -> bool {
+        self.labels.iter().any(|l| l.is_query_col())
+    }
+
+    /// The column of this table mapped to query column `l`, if any.
+    pub fn column_for(&self, l: usize) -> Option<usize> {
+        self.labels.iter().position(|&lab| lab == Label::Col(l))
+    }
+
+    /// Checks the paper's four table-level hard constraints
+    /// (Eqs. 5–8) for a query with `q` columns and `min_match` m.
+    /// `m` is capped at the number of columns (see DESIGN.md).
+    pub fn satisfies_constraints(&self, q: usize, min_match: usize) -> bool {
+        let nt = self.labels.len();
+        let m = min_match.min(nt);
+        // mutex: each query column used at most once.
+        let mut used = vec![0usize; q];
+        for lab in &self.labels {
+            if let Label::Col(l) = lab {
+                if *l >= q {
+                    return false;
+                }
+                used[*l] += 1;
+                if used[*l] > 1 {
+                    return false;
+                }
+            }
+        }
+        // all-Irr: nr count is 0 or nt.
+        let nr = self.labels.iter().filter(|&&l| l == Label::Nr).count();
+        if nr != 0 && nr != nt {
+            return false;
+        }
+        if nr == nt {
+            return true; // fully irrelevant labeling is always consistent.
+        }
+        // must-match: some column maps to query column 1 (label Col(0)).
+        if !self.labels.contains(&Label::Col(0)) {
+            return false;
+        }
+        // min-match: at least m columns not labeled na.
+        let non_na = self.labels.iter().filter(|&&l| l != Label::Na).count();
+        non_na >= m
+    }
+}
+
+/// Ground-truth column labels for a set of candidate tables, as produced by
+/// the corpus generator (standing in for the paper's 1906 manually labeled
+/// tables).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Table → reference labels, ordered for reproducibility.
+    pub labels: BTreeMap<TableId, Vec<Label>>,
+}
+
+impl GroundTruth {
+    /// Empty ground truth.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the reference labeling of one table.
+    pub fn insert(&mut self, table: TableId, labels: Vec<Label>) {
+        self.labels.insert(table, labels);
+    }
+
+    /// Reference labels of `table`, if known.
+    pub fn get(&self, table: TableId) -> Option<&[Label]> {
+        self.labels.get(&table).map(Vec::as_slice)
+    }
+
+    /// True iff the reference marks `table` relevant.
+    pub fn is_relevant(&self, table: TableId) -> bool {
+        self.get(table)
+            .map(|ls| ls.iter().any(|l| l.is_query_col()))
+            .unwrap_or(false)
+    }
+
+    /// Number of labeled tables.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True iff no table is labeled.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_roundtrip() {
+        for q in 1..5 {
+            for (i, lab) in Label::space(q).into_iter().enumerate() {
+                assert_eq!(lab.dense(q), i);
+                assert_eq!(Label::from_dense(i, q), lab);
+            }
+        }
+    }
+
+    #[test]
+    fn space_size() {
+        assert_eq!(Label::space(3).len(), 5);
+        assert_eq!(Label::space(1), vec![Label::Col(0), Label::Na, Label::Nr]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Label::Col(0).to_string(), "Q1");
+        assert_eq!(Label::Na.to_string(), "na");
+        assert_eq!(Label::Nr.to_string(), "nr");
+    }
+
+    #[test]
+    fn mutex_violation_detected() {
+        let l = Labeling::new(TableId(0), vec![Label::Col(0), Label::Col(0)]);
+        assert!(!l.satisfies_constraints(2, 2));
+    }
+
+    #[test]
+    fn all_irr_violation_detected() {
+        let l = Labeling::new(TableId(0), vec![Label::Nr, Label::Col(0)]);
+        assert!(!l.satisfies_constraints(2, 2));
+    }
+
+    #[test]
+    fn must_match_violation_detected() {
+        let l = Labeling::new(TableId(0), vec![Label::Col(1), Label::Na]);
+        assert!(!l.satisfies_constraints(2, 1));
+    }
+
+    #[test]
+    fn min_match_counts_non_na() {
+        // Two mapped columns: ok with m=2.
+        let l = Labeling::new(TableId(0), vec![Label::Col(0), Label::Col(1), Label::Na]);
+        assert!(l.satisfies_constraints(2, 2));
+        // Only one mapped column: violates m=2.
+        let l = Labeling::new(TableId(0), vec![Label::Col(0), Label::Na, Label::Na]);
+        assert!(!l.satisfies_constraints(2, 2));
+    }
+
+    #[test]
+    fn min_match_capped_by_width() {
+        // Single-column table with q=2: effective m = 1.
+        let l = Labeling::new(TableId(0), vec![Label::Col(0)]);
+        assert!(l.satisfies_constraints(2, 2));
+    }
+
+    #[test]
+    fn all_nr_is_consistent() {
+        let l = Labeling::all_nr(TableId(0), 4);
+        assert!(l.satisfies_constraints(3, 2));
+        assert!(!l.is_relevant());
+    }
+
+    #[test]
+    fn column_for_lookup() {
+        let l = Labeling::new(
+            TableId(0),
+            vec![Label::Na, Label::Col(1), Label::Col(0)],
+        );
+        assert_eq!(l.column_for(0), Some(2));
+        assert_eq!(l.column_for(1), Some(1));
+        assert_eq!(l.column_for(2), None);
+        assert!(l.is_relevant());
+    }
+
+    #[test]
+    fn ground_truth_basics() {
+        let mut gt = GroundTruth::new();
+        assert!(gt.is_empty());
+        gt.insert(TableId(1), vec![Label::Col(0), Label::Na]);
+        gt.insert(TableId(2), vec![Label::Nr]);
+        assert_eq!(gt.len(), 2);
+        assert!(gt.is_relevant(TableId(1)));
+        assert!(!gt.is_relevant(TableId(2)));
+        assert!(!gt.is_relevant(TableId(99)));
+    }
+}

@@ -1,0 +1,32 @@
+//! # wwt-model
+//!
+//! Shared data model for the WWT structured web-search system
+//! (Pimplikar & Sarawagi, VLDB 2012).
+//!
+//! This crate defines the vocabulary every other crate speaks:
+//!
+//! * [`WebTable`] — a table harvested from an HTML page, with title,
+//!   zero-or-more header rows, body rows and scored context snippets
+//!   (paper §2.1).
+//! * [`Query`] — a column-keyword query `Q = (Q1..Qq)` (paper §1).
+//! * [`Label`] — the label space `{1..q} ∪ {na, nr}` of the column
+//!   mapping task (paper §3.1).
+//! * [`Labeling`] / [`GroundTruth`] — predicted and reference column
+//!   labelings used by the F1 metric (paper §5).
+//! * [`AnswerTable`] — the consolidated multi-column answer (paper §2.2.3).
+//!
+//! The crate is dependency-light so that substrates (HTML parser, index,
+//! graph algorithms) and the core column mapper can share types without
+//! pulling in each other.
+
+pub mod answer;
+pub mod error;
+pub mod label;
+pub mod query;
+pub mod table;
+
+pub use answer::{AnswerRow, AnswerTable};
+pub use error::WwtError;
+pub use label::{GroundTruth, Label, Labeling};
+pub use query::Query;
+pub use table::{ContextSnippet, TableId, WebTable};

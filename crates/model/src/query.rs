@@ -1,0 +1,125 @@
+//! Column-keyword queries (paper §1).
+
+use serde::{Deserialize, Serialize};
+
+/// A table query: `q` sets of keywords, one per desired answer column.
+///
+/// Example from the paper's Figure 1:
+/// `Query::parse("name of explorers | nationality | areas explored")`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Query {
+    /// Keyword string for each query column `Q_1 .. Q_q`, in order. The
+    /// first column is special: every relevant table must contain it
+    /// (the `must-match` constraint, paper Eq. 7).
+    pub columns: Vec<String>,
+}
+
+impl Query {
+    /// Builds a query from column keyword strings.
+    ///
+    /// # Panics
+    /// Panics if `columns` is empty.
+    pub fn new<S: Into<String>>(columns: Vec<S>) -> Self {
+        let columns: Vec<String> = columns.into_iter().map(Into::into).collect();
+        assert!(!columns.is_empty(), "a query needs at least one column");
+        Query { columns }
+    }
+
+    /// Parses the `"kw kw | kw kw | ..."` syntax used throughout the paper
+    /// (Table 1). Empty segments are dropped; returns `None` if nothing
+    /// remains.
+    pub fn parse(s: &str) -> Option<Self> {
+        let columns: Vec<String> = s
+            .split('|')
+            .map(|c| c.trim().to_string())
+            .filter(|c| !c.is_empty())
+            .collect();
+        if columns.is_empty() {
+            None
+        } else {
+            Some(Query { columns })
+        }
+    }
+
+    /// Number of query columns `q`.
+    #[inline]
+    pub fn q(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The keyword string of query column `l` (0-based).
+    #[inline]
+    pub fn column(&self, l: usize) -> &str {
+        &self.columns[l]
+    }
+
+    /// The union of all column keyword strings, used for the first index
+    /// probe (paper §2.2.1).
+    pub fn all_keywords(&self) -> String {
+        self.columns.join(" ")
+    }
+
+    /// Minimum number of columns a relevant table must map (`min-match`,
+    /// paper Eq. 8): 1 for single-column queries, 2 otherwise.
+    #[inline]
+    pub fn min_match(&self) -> usize {
+        if self.q() >= 2 {
+            2
+        } else {
+            1
+        }
+    }
+}
+
+impl std::fmt::Display for Query {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.columns.join(" | "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_pipe_syntax() {
+        let q = Query::parse("name of explorers | nationality | areas explored").unwrap();
+        assert_eq!(q.q(), 3);
+        assert_eq!(q.column(1), "nationality");
+    }
+
+    #[test]
+    fn parse_trims_and_drops_empty_segments() {
+        let q = Query::parse("  dog breed |  | ").unwrap();
+        assert_eq!(q.q(), 1);
+        assert_eq!(q.column(0), "dog breed");
+        assert!(Query::parse(" | ").is_none());
+        assert!(Query::parse("").is_none());
+    }
+
+    #[test]
+    fn min_match_rule() {
+        assert_eq!(Query::parse("dog breed").unwrap().min_match(), 1);
+        assert_eq!(Query::parse("country | currency").unwrap().min_match(), 2);
+        assert_eq!(Query::parse("a | b | c").unwrap().min_match(), 2);
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let q = Query::parse("country | currency").unwrap();
+        assert_eq!(q.to_string(), "country | currency");
+        assert_eq!(Query::parse(&q.to_string()).unwrap(), q);
+    }
+
+    #[test]
+    fn all_keywords_union() {
+        let q = Query::parse("pain killers | company").unwrap();
+        assert_eq!(q.all_keywords(), "pain killers company");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_query_panics() {
+        let _ = Query::new(Vec::<String>::new());
+    }
+}

@@ -1,0 +1,292 @@
+//! Web-table data model (paper §2.1).
+//!
+//! A [`WebTable`] is the unit extracted from an HTML document: an optional
+//! title row, zero or more header rows, body rows, and a list of scored
+//! [`ContextSnippet`]s pulled from around the table in the parent document.
+
+use serde::{Deserialize, Serialize};
+
+/// Opaque identifier of a web table within a corpus / table store.
+///
+/// Identifiers are dense (assigned sequentially at extraction time), so they
+/// can be used to index into `Vec`-backed side tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TableId(pub u32);
+
+impl TableId {
+    /// The id as a `usize`, for indexing side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for TableId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// A text snippet extracted from the parent document of a table, with a
+/// score reflecting how likely the snippet describes the table (paper
+/// §2.1.2: DOM distance and formatting-tag frequency).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContextSnippet {
+    /// The raw snippet text.
+    pub text: String,
+    /// Score in `(0, 1]`; higher means more likely to describe the table.
+    pub score: f64,
+}
+
+impl ContextSnippet {
+    /// Creates a snippet, clamping the score into `(0, 1]`.
+    pub fn new(text: impl Into<String>, score: f64) -> Self {
+        ContextSnippet {
+            text: text.into(),
+            score: score.clamp(f64::MIN_POSITIVE, 1.0),
+        }
+    }
+}
+
+/// A data table extracted from a web page.
+///
+/// Invariants (enforced by [`WebTable::new`]):
+/// * every header row and every body row has exactly `n_cols` cells
+///   (short rows are padded with empty strings, long rows truncated);
+/// * `n_cols >= 1`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WebTable {
+    /// Identifier within the corpus.
+    pub id: TableId,
+    /// URL of the page the table was extracted from.
+    pub url: String,
+    /// Title row text, if a title row was detected (paper §2.1.1: a
+    /// "different" top row whose columns beyond the first are empty).
+    pub title: Option<String>,
+    /// Header rows (`h × n_cols`). May be empty: 18% of the paper's corpus
+    /// had no header.
+    pub headers: Vec<Vec<String>>,
+    /// Body rows (`n × n_cols`).
+    pub rows: Vec<Vec<String>>,
+    /// Scored context snippets from the parent document.
+    pub context: Vec<ContextSnippet>,
+    n_cols: usize,
+}
+
+impl WebTable {
+    /// Builds a table, normalizing all rows to a common width.
+    ///
+    /// The width is the maximum width over header and body rows; short rows
+    /// are padded with empty cells. Returns `None` when the table has no
+    /// columns at all (no rows, or only empty rows).
+    pub fn new(
+        id: TableId,
+        url: impl Into<String>,
+        title: Option<String>,
+        mut headers: Vec<Vec<String>>,
+        mut rows: Vec<Vec<String>>,
+        context: Vec<ContextSnippet>,
+    ) -> Option<Self> {
+        let n_cols = headers
+            .iter()
+            .chain(rows.iter())
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0);
+        if n_cols == 0 {
+            return None;
+        }
+        for r in headers.iter_mut().chain(rows.iter_mut()) {
+            r.resize(n_cols, String::new());
+        }
+        Some(WebTable {
+            id,
+            url: url.into(),
+            title,
+            headers,
+            rows,
+            context,
+            n_cols,
+        })
+    }
+
+    /// Number of columns `n_t`.
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of body rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of header rows `h`.
+    #[inline]
+    pub fn n_header_rows(&self) -> usize {
+        self.headers.len()
+    }
+
+    /// Cell text of body row `r`, column `c`.
+    ///
+    /// # Panics
+    /// Panics if `r` or `c` is out of bounds.
+    #[inline]
+    pub fn cell(&self, r: usize, c: usize) -> &str {
+        &self.rows[r][c]
+    }
+
+    /// Header text of header row `r`, column `c` (`H_rc` in the paper).
+    ///
+    /// # Panics
+    /// Panics if `r` or `c` is out of bounds.
+    #[inline]
+    pub fn header(&self, r: usize, c: usize) -> &str {
+        &self.headers[r][c]
+    }
+
+    /// Iterator over the body cells of column `c`.
+    pub fn column(&self, c: usize) -> impl Iterator<Item = &str> + '_ {
+        self.rows.iter().map(move |row| row[c].as_str())
+    }
+
+    /// All header texts of column `c`, one entry per header row.
+    pub fn column_headers(&self, c: usize) -> impl Iterator<Item = &str> + '_ {
+        self.headers.iter().map(move |row| row[c].as_str())
+    }
+
+    /// Concatenation of all header cells (all rows, all columns), used when
+    /// indexing the `header` field.
+    pub fn all_header_text(&self) -> String {
+        let mut s = String::new();
+        for row in &self.headers {
+            for cell in row {
+                if !cell.is_empty() {
+                    if !s.is_empty() {
+                        s.push(' ');
+                    }
+                    s.push_str(cell);
+                }
+            }
+        }
+        s
+    }
+
+    /// Concatenation of title and all context snippets, used when indexing
+    /// the `context` field.
+    pub fn all_context_text(&self) -> String {
+        let mut s = String::new();
+        if let Some(t) = &self.title {
+            s.push_str(t);
+        }
+        for snip in &self.context {
+            if !s.is_empty() {
+                s.push(' ');
+            }
+            s.push_str(&snip.text);
+        }
+        s
+    }
+
+    /// Concatenation of all body cells, used when indexing the `content`
+    /// field.
+    pub fn all_content_text(&self) -> String {
+        let mut s = String::new();
+        for row in &self.rows {
+            for cell in row {
+                if !cell.is_empty() {
+                    if !s.is_empty() {
+                        s.push(' ');
+                    }
+                    s.push_str(cell);
+                }
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WebTable {
+        WebTable::new(
+            TableId(7),
+            "http://example.org/explorers",
+            Some("List of explorers".into()),
+            vec![vec!["Name".into(), "Nationality".into()]],
+            vec![
+                vec!["Abel Tasman".into(), "Dutch".into()],
+                vec!["Vasco da Gama".into(), "Portuguese".into()],
+            ],
+            vec![ContextSnippet::new("famous explorers in history", 0.9)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dimensions() {
+        let t = sample();
+        assert_eq!(t.n_cols(), 2);
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.n_header_rows(), 1);
+    }
+
+    #[test]
+    fn ragged_rows_are_padded() {
+        let t = WebTable::new(
+            TableId(0),
+            "u",
+            None,
+            vec![vec!["a".into()]],
+            vec![vec!["1".into(), "2".into(), "3".into()], vec!["x".into()]],
+            vec![],
+        )
+        .unwrap();
+        assert_eq!(t.n_cols(), 3);
+        assert_eq!(t.header(0, 2), "");
+        assert_eq!(t.cell(1, 1), "");
+        assert_eq!(t.cell(0, 2), "3");
+    }
+
+    #[test]
+    fn empty_table_rejected() {
+        assert!(WebTable::new(TableId(0), "u", None, vec![], vec![], vec![]).is_none());
+        assert!(WebTable::new(TableId(0), "u", None, vec![vec![]], vec![vec![]], vec![]).is_none());
+    }
+
+    #[test]
+    fn field_text_concatenation() {
+        let t = sample();
+        assert_eq!(t.all_header_text(), "Name Nationality");
+        assert_eq!(
+            t.all_context_text(),
+            "List of explorers famous explorers in history"
+        );
+        assert!(t.all_content_text().contains("Abel Tasman"));
+        assert!(t.all_content_text().contains("Portuguese"));
+    }
+
+    #[test]
+    fn column_iterators() {
+        let t = sample();
+        let col1: Vec<&str> = t.column(1).collect();
+        assert_eq!(col1, vec!["Dutch", "Portuguese"]);
+        let h0: Vec<&str> = t.column_headers(0).collect();
+        assert_eq!(h0, vec!["Name"]);
+    }
+
+    #[test]
+    fn context_score_clamped() {
+        assert_eq!(ContextSnippet::new("x", 7.0).score, 1.0);
+        assert!(ContextSnippet::new("x", -1.0).score > 0.0);
+    }
+
+    #[test]
+    fn table_id_display_and_index() {
+        assert_eq!(TableId(3).to_string(), "T3");
+        assert_eq!(TableId(3).index(), 3);
+    }
+}

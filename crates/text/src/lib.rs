@@ -1,0 +1,23 @@
+//! # wwt-text
+//!
+//! Text substrate for WWT: tokenization, cell-value normalization, corpus
+//! document-frequency statistics (IDF), TF-IDF vectors and the similarity
+//! primitives used by the paper's features (§3.2.1):
+//!
+//! * `TI(w)` — the TF-IDF score of a term, realized as IDF from
+//!   [`CorpusStats`] (query-side term frequency is 1);
+//! * `‖P‖²` — squared L2 norm of the TF-IDF vector over a token sequence;
+//! * `inSim(P, H_rc)` — TF-IDF-weighted cosine similarity;
+//! * the covered-fraction variant used by the `Cover` feature (§3.2.2).
+//!
+//! The tokenizer is deliberately simple and deterministic: Unicode
+//! whitespace/punctuation splitting plus lowercasing, with a small English
+//! stopword list applied where the caller asks for it.
+
+pub mod stats;
+pub mod tfidf;
+pub mod tokenize;
+
+pub use stats::CorpusStats;
+pub use tfidf::TfIdfVector;
+pub use tokenize::{is_stopword, normalize_cell, stem_plural, tokenize, tokenize_keep_stopwords};

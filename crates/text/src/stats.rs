@@ -1,0 +1,151 @@
+//! Corpus document-frequency statistics and IDF.
+//!
+//! `TI(w)` in the paper (§3.2.1) is "the TF-IDF score of the term": on the
+//! query side term frequency is 1, so `TI(w)` reduces to the corpus IDF of
+//! `w`. [`CorpusStats`] is built once over the whole table corpus (each
+//! table = one document, all three fields concatenated) and shared by the
+//! index, the features and the consolidator.
+
+use std::collections::HashMap;
+
+/// Document-frequency table over a corpus of `n_docs` documents.
+#[derive(Debug, Clone, Default)]
+pub struct CorpusStats {
+    n_docs: u64,
+    df: HashMap<String, u32>,
+}
+
+impl CorpusStats {
+    /// Empty statistics (IDF falls back to a constant 1.0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds statistics from an iterator of documents, each given as its
+    /// token list. A term is counted once per document.
+    pub fn from_token_docs<I, D, S>(docs: I) -> Self
+    where
+        I: IntoIterator<Item = D>,
+        D: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut stats = Self::new();
+        for doc in docs {
+            stats.add_doc(doc);
+        }
+        stats
+    }
+
+    /// Adds one document's tokens (duplicates within the document are
+    /// counted once).
+    pub fn add_doc<D, S>(&mut self, tokens: D)
+    where
+        D: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        self.n_docs += 1;
+        let mut seen: Vec<&str> = Vec::new();
+        let tokens: Vec<S> = tokens.into_iter().collect();
+        for t in &tokens {
+            let t = t.as_ref();
+            if !seen.contains(&t) {
+                seen.push(t);
+            }
+        }
+        for t in seen {
+            *self.df.entry(t.to_string()).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of documents seen.
+    pub fn n_docs(&self) -> u64 {
+        self.n_docs
+    }
+
+    /// Document frequency of `term` (0 if unseen).
+    pub fn df(&self, term: &str) -> u32 {
+        self.df.get(term).copied().unwrap_or(0)
+    }
+
+    /// Smoothed inverse document frequency:
+    /// `idf(w) = 1 + ln((1 + N) / (1 + df(w)))`.
+    ///
+    /// Always ≥ 1 so that even corpus-saturating terms retain a little
+    /// weight (mirrors Lucene's classic similarity). On an empty corpus the
+    /// IDF is a constant 1.0, which degrades TF-IDF cosine to plain cosine.
+    pub fn idf(&self, term: &str) -> f64 {
+        if self.n_docs == 0 {
+            return 1.0;
+        }
+        let df = self.df(term) as f64;
+        1.0 + ((1.0 + self.n_docs as f64) / (1.0 + df)).ln()
+    }
+
+    /// Number of distinct terms seen.
+    pub fn vocab_size(&self) -> usize {
+        self.df.len()
+    }
+
+    /// Iterates over `(term, df)` pairs (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u32)> + '_ {
+        self.df.iter().map(|(t, &d)| (t.as_str(), d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> CorpusStats {
+        CorpusStats::from_token_docs(vec![
+            vec!["country", "currency"],
+            vec!["country", "population"],
+            vec!["dog", "breed", "dog"], // duplicate within doc counted once
+        ])
+    }
+
+    #[test]
+    fn df_counts_docs_not_occurrences() {
+        let s = stats();
+        assert_eq!(s.n_docs(), 3);
+        assert_eq!(s.df("country"), 2);
+        assert_eq!(s.df("dog"), 1);
+        assert_eq!(s.df("unseen"), 0);
+    }
+
+    #[test]
+    fn idf_ordering() {
+        let s = stats();
+        // Rarer terms get higher IDF; unseen terms the highest.
+        assert!(s.idf("unseen") > s.idf("dog"));
+        assert!(s.idf("dog") > s.idf("country"));
+        assert!(s.idf("country") >= 1.0);
+    }
+
+    #[test]
+    fn empty_corpus_constant_idf() {
+        let s = CorpusStats::new();
+        assert_eq!(s.idf("anything"), 1.0);
+        assert_eq!(s.n_docs(), 0);
+    }
+
+    #[test]
+    fn vocab_size_and_iter() {
+        let s = stats();
+        assert_eq!(s.vocab_size(), 5);
+        let total: u32 = s.iter().map(|(_, d)| d).sum();
+        assert_eq!(total, 2 + 1 + 1 + 1 + 1);
+    }
+
+    #[test]
+    fn idf_monotone_in_df() {
+        let mut s = CorpusStats::new();
+        for _ in 0..100 {
+            s.add_doc(vec!["common"]);
+        }
+        s.add_doc(vec!["rare", "common"]);
+        assert!(s.idf("rare") > s.idf("common"));
+        // Smoothed IDF stays >= 1 even for a term in every document.
+        assert!(s.idf("common") >= 1.0);
+    }
+}

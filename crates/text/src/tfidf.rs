@@ -1,0 +1,186 @@
+//! TF-IDF vectors and the similarity primitives of paper §3.2.1–3.2.2.
+
+use crate::stats::CorpusStats;
+use std::collections::HashMap;
+
+/// A sparse TF-IDF vector over tokens.
+///
+/// Weight of term `w` = `tf(w) · idf(w)`. The squared L2 norm `‖·‖²` is the
+/// quantity the paper's Eq. 1 uses to weight the prefix/suffix parts of a
+/// segmented query.
+#[derive(Debug, Clone, Default)]
+pub struct TfIdfVector {
+    weights: HashMap<String, f64>,
+    norm_sq: f64,
+}
+
+impl TfIdfVector {
+    /// Builds a vector from raw tokens using `stats` for IDF.
+    pub fn from_tokens<S: AsRef<str>>(tokens: &[S], stats: &CorpusStats) -> Self {
+        let mut tf: HashMap<&str, f64> = HashMap::new();
+        for t in tokens {
+            *tf.entry(t.as_ref()).or_insert(0.0) += 1.0;
+        }
+        let mut weights = HashMap::with_capacity(tf.len());
+        let mut norm_sq = 0.0;
+        for (t, f) in tf {
+            let w = f * stats.idf(t);
+            norm_sq += w * w;
+            weights.insert(t.to_string(), w);
+        }
+        TfIdfVector { weights, norm_sq }
+    }
+
+    /// Weight of `term` (0 if absent).
+    pub fn weight(&self, term: &str) -> f64 {
+        self.weights.get(term).copied().unwrap_or(0.0)
+    }
+
+    /// Squared L2 norm `‖v‖²`.
+    pub fn norm_sq(&self) -> f64 {
+        self.norm_sq
+    }
+
+    /// L2 norm `‖v‖`.
+    pub fn norm(&self) -> f64 {
+        self.norm_sq.sqrt()
+    }
+
+    /// True iff the vector has no terms with non-zero weight.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Dot product with another vector.
+    pub fn dot(&self, other: &TfIdfVector) -> f64 {
+        // Iterate over the smaller map.
+        let (small, large) = if self.weights.len() <= other.weights.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small
+            .weights
+            .iter()
+            .map(|(t, w)| w * large.weight(t))
+            .sum()
+    }
+
+    /// Cosine similarity (0 when either vector is empty). This is the
+    /// paper's `inSim(P, H_rc)`.
+    pub fn cosine(&self, other: &TfIdfVector) -> f64 {
+        let denom = self.norm() * other.norm();
+        if denom == 0.0 {
+            0.0
+        } else {
+            (self.dot(other) / denom).clamp(0.0, 1.0)
+        }
+    }
+
+    /// The `Cover` variant of `inSim` (paper §3.2.2): the TF-IDF-weighted
+    /// fraction of *this* vector's terms that appear in `other`:
+    /// `(1/‖P‖²) Σ_{w ∈ P ∩ H} TI(w)²`.
+    pub fn covered_fraction(&self, other: &TfIdfVector) -> f64 {
+        if self.norm_sq == 0.0 {
+            return 0.0;
+        }
+        let covered: f64 = self
+            .weights
+            .iter()
+            .filter(|(t, _)| other.weight(t) != 0.0)
+            .map(|(_, w)| w * w)
+            .sum();
+        (covered / self.norm_sq).clamp(0.0, 1.0)
+    }
+
+    /// Iterates over `(term, weight)` pairs (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
+        self.weights.iter().map(|(t, &w)| (t.as_str(), w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::tokenize;
+
+    fn v(text: &str, stats: &CorpusStats) -> TfIdfVector {
+        TfIdfVector::from_tokens(&tokenize(text), stats)
+    }
+
+    #[test]
+    fn identical_vectors_have_cosine_one() {
+        let s = CorpusStats::new();
+        let a = v("nobel prize winner", &s);
+        let b = v("nobel prize winner", &s);
+        assert!((a.cosine(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_vectors_have_cosine_zero() {
+        let s = CorpusStats::new();
+        let a = v("nobel prize", &s);
+        let b = v("dog breed", &s);
+        assert_eq!(a.cosine(&b), 0.0);
+    }
+
+    #[test]
+    fn empty_vector_safe() {
+        let s = CorpusStats::new();
+        let a = v("", &s);
+        let b = v("anything", &s);
+        assert_eq!(a.cosine(&b), 0.0);
+        assert_eq!(a.covered_fraction(&b), 0.0);
+        assert!(a.is_empty());
+        assert_eq!(a.norm(), 0.0);
+    }
+
+    #[test]
+    fn covered_fraction_partial() {
+        let s = CorpusStats::new(); // uniform IDF = 1
+        let q = v("nobel prize winner", &s);
+        let h = v("winner list", &s);
+        // one of three uniformly weighted terms covered.
+        assert!((q.covered_fraction(&h) - 1.0 / 3.0).abs() < 1e-12);
+        // covering vector direction does not matter for full overlap.
+        assert!((h.covered_fraction(&h) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idf_downweights_common_terms_in_cosine() {
+        // "name" is in every doc, "nationality" in one.
+        let stats = CorpusStats::from_token_docs(vec![
+            vec!["name", "nationality"],
+            vec!["name", "area"],
+            vec!["name", "id"],
+        ]);
+        let q = v("nationality", &stats);
+        let h_good = v("name nationality", &stats);
+        let h_bad = v("name id", &stats);
+        assert!(q.cosine(&h_good) > q.cosine(&h_bad));
+        assert_eq!(q.cosine(&h_bad), 0.0);
+    }
+
+    #[test]
+    fn term_frequency_accumulates() {
+        let s = CorpusStats::new();
+        let a = TfIdfVector::from_tokens(&["dog", "dog", "cat"], &s);
+        assert_eq!(a.weight("dog"), 2.0);
+        assert_eq!(a.weight("cat"), 1.0);
+        assert_eq!(a.norm_sq(), 5.0);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn dot_symmetry() {
+        let s = CorpusStats::new();
+        let a = v("a b c d", &s);
+        let b = v("c d e", &s);
+        assert!((a.dot(&b) - b.dot(&a)).abs() < 1e-12);
+    }
+}

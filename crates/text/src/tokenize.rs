@@ -1,0 +1,171 @@
+//! Tokenization and normalization.
+//!
+//! All text entering the index, the features and the consolidator passes
+//! through [`tokenize`] (or [`normalize_cell`] for cell-value matching), so
+//! every component sees the same token stream.
+
+/// Small English stopword list. Kept short on purpose: column keywords such
+/// as "of" in "country of origin" carry little signal, but domain words must
+/// never be dropped.
+const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "in", "into", "is", "it",
+    "of", "on", "or", "s", "that", "the", "their", "this", "to", "was", "were", "will", "with",
+];
+
+/// True iff `w` (already lowercased) is a stopword.
+pub fn is_stopword(w: &str) -> bool {
+    STOPWORDS.binary_search(&w).is_ok()
+}
+
+/// Splits `text` into lowercase alphanumeric tokens, dropping stopwords and
+/// applying light plural stemming (`bands` → `band`, `currencies` →
+/// `currency`), so query keywords match singular/plural header variants.
+///
+/// Token boundaries are any characters that are neither alphanumeric nor
+/// `'`/`’` (apostrophes are removed rather than splitting, so `"world's"`
+/// tokenizes to `worlds` and then stems to `world`).
+pub fn tokenize(text: &str) -> Vec<String> {
+    raw_tokens(text)
+        .filter(|t| !is_stopword(t))
+        .map(|t| stem_plural(&t))
+        .collect()
+}
+
+/// Light plural stemmer: strips common English plural suffixes without a
+/// full Porter stemmer. Conservative on short words and `-ss`/`-us`/`-is`
+/// endings ("glass", "status", "thesis" are left alone).
+pub fn stem_plural(w: &str) -> String {
+    let n = w.len();
+    if n > 4 && w.ends_with("ies") {
+        return format!("{}y", &w[..n - 3]);
+    }
+    if n > 4
+        && (w.ends_with("ches") || w.ends_with("shes") || w.ends_with("xes") || w.ends_with("zes")
+            || w.ends_with("ses"))
+    {
+        return w[..n - 2].to_string();
+    }
+    if n > 3
+        && w.ends_with('s')
+        && !w.ends_with("ss")
+        && !w.ends_with("us")
+        && !w.ends_with("is")
+    {
+        return w[..n - 1].to_string();
+    }
+    w.to_string()
+}
+
+/// Like [`tokenize`] but keeps stopwords. Used where exact phrase coverage
+/// matters (e.g. cell-value comparison).
+pub fn tokenize_keep_stopwords(text: &str) -> Vec<String> {
+    raw_tokens(text).collect()
+}
+
+fn raw_tokens(text: &str) -> impl Iterator<Item = String> + '_ {
+    text.split(|ch: char| !(ch.is_alphanumeric() || ch == '\'' || ch == '’'))
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.chars()
+                .filter(|&c| c != '\'' && c != '’')
+                .flat_map(char::to_lowercase)
+                .collect::<String>()
+        })
+        .filter(|s| !s.is_empty())
+}
+
+/// Normalizes a cell value for duplicate detection and content-overlap
+/// computation: lowercase, punctuation stripped, whitespace collapsed to a
+/// single space. Stopwords are kept (they are part of values like
+/// "sea route to india").
+pub fn normalize_cell(text: &str) -> String {
+    tokenize_keep_stopwords(text).join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopword_list_is_sorted_for_binary_search() {
+        let mut sorted = STOPWORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, STOPWORDS, "STOPWORDS must stay sorted");
+    }
+
+    #[test]
+    fn basic_tokenization() {
+        assert_eq!(tokenize("Name of Explorers"), vec!["name", "explorer"]);
+        assert_eq!(
+            tokenize_keep_stopwords("Name of Explorers"),
+            vec!["name", "of", "explorers"]
+        );
+    }
+
+    #[test]
+    fn punctuation_splits_tokens() {
+        assert_eq!(
+            tokenize("Pain-killer: side/effects (2008)"),
+            vec!["pain", "killer", "side", "effect", "2008"]
+        );
+    }
+
+    #[test]
+    fn apostrophes_removed_not_split() {
+        assert_eq!(tokenize("world's tallest"), vec!["world", "tallest"]);
+        assert_eq!(tokenize("world’s"), vec!["world"]);
+    }
+
+    #[test]
+    fn plural_stemming() {
+        assert_eq!(stem_plural("bands"), "band");
+        assert_eq!(stem_plural("currencies"), "currency");
+        assert_eq!(stem_plural("churches"), "church");
+        assert_eq!(stem_plural("boxes"), "box");
+        assert_eq!(stem_plural("mountains"), "mountain");
+        // Protected endings and short words stay intact.
+        assert_eq!(stem_plural("glass"), "glass");
+        assert_eq!(stem_plural("status"), "status");
+        assert_eq!(stem_plural("thesis"), "thesis");
+        assert_eq!(stem_plural("gas"), "gas");
+        assert_eq!(stem_plural("dog"), "dog");
+    }
+
+    #[test]
+    fn stemming_aligns_query_and_header() {
+        // "black metal bands" should share a token with header "Band name".
+        let q = tokenize("black metal bands");
+        let h = tokenize("Band name");
+        assert!(q.iter().any(|t| h.contains(t)));
+    }
+
+    #[test]
+    fn unicode_lowercasing() {
+        assert_eq!(tokenize("Österreich GmbH"), vec!["österreich", "gmbh"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("  \t \n ").is_empty());
+        assert!(tokenize("--- !!!").is_empty());
+    }
+
+    #[test]
+    fn normalize_cell_collapses() {
+        assert_eq!(normalize_cell("  Vasco   da Gama! "), "vasco da gama");
+        assert_eq!(normalize_cell("Sea route to India"), "sea route to india");
+    }
+
+    #[test]
+    fn numbers_survive() {
+        assert_eq!(tokenize("2236 km"), vec!["2236", "km"]);
+    }
+
+    #[test]
+    fn stopword_membership() {
+        assert!(is_stopword("the"));
+        assert!(is_stopword("of"));
+        assert!(!is_stopword("country"));
+    }
+}

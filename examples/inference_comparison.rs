@@ -1,0 +1,50 @@
+//! Compares the five inference algorithms of paper Table 2 on one
+//! generated workload query, showing their labelings, F1 error and
+//! running time.
+//!
+//! Run with: `cargo run --release --example inference_comparison`
+
+use std::time::Instant;
+use wwt::core::InferenceAlgorithm;
+use wwt::corpus::{workload, CorpusConfig, CorpusGenerator};
+use wwt::engine::{bind_corpus, evaluate_query, Method, WwtConfig};
+
+fn main() {
+    let spec = workload()
+        .into_iter()
+        .find(|s| s.query.to_string().starts_with("us states | capitals"))
+        .expect("workload query");
+    println!("query: {}\n", spec.query);
+
+    let corpus = CorpusGenerator::new(CorpusConfig::small()).generate_for(&[spec.clone()]);
+    let bound = bind_corpus(&corpus, WwtConfig::default());
+    println!(
+        "corpus: {} tables ({} ground-truth labeled)\n",
+        bound.wwt.store().len(),
+        bound.n_labeled()
+    );
+
+    let algorithms = [
+        ("None (independent, §4.1)", InferenceAlgorithm::Independent),
+        ("Table-centric (§4.2)", InferenceAlgorithm::TableCentric),
+        ("alpha-expansion (§4.3)", InferenceAlgorithm::AlphaExpansion),
+        ("Belief propagation", InferenceAlgorithm::BeliefPropagation),
+        ("TRW-S", InferenceAlgorithm::Trws),
+    ];
+    println!(
+        "{:28} {:>8} {:>10} {:>10}",
+        "algorithm", "F1 err", "relevant", "time"
+    );
+    for (name, alg) in algorithms {
+        let t0 = Instant::now();
+        let eval = evaluate_query(&bound, &spec, Method::Wwt(alg));
+        let dt = t0.elapsed();
+        let relevant = eval.labelings.iter().filter(|l| l.is_relevant()).count();
+        println!(
+            "{:28} {:>7.1}% {:>10} {:>9.1?}",
+            name, eval.f1_error, relevant, dt
+        );
+    }
+    println!("\npaper: table-centric is both the most accurate and the fastest;");
+    println!("       BP/TRWS suffer from the mutex constraint lowered to dissociative edges.");
+}

@@ -1,0 +1,65 @@
+//! Quickstart: build a tiny corpus of HTML pages, index it, and answer a
+//! two-column table query end to end.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use wwt::engine::{Wwt, WwtConfig};
+use wwt::model::Query;
+
+fn main() {
+    // Three web pages: two data tables about currencies (one with noisy
+    // headers), and a layout page the extractor must reject.
+    let pages = vec![
+        r#"<html><head><title>World currencies</title></head><body>
+           <h2>List of countries and their currency</h2>
+           <table>
+             <tr><th>Country</th><th>Currency</th><th>ISO</th></tr>
+             <tr><td>India</td><td>Rupee</td><td>INR</td></tr>
+             <tr><td>Japan</td><td>Yen</td><td>JPY</td></tr>
+             <tr><td>France</td><td>Euro</td><td>EUR</td></tr>
+           </table></body></html>"#
+            .to_string(),
+        // Headerless table — only content overlap can identify its columns.
+        r#"<html><body><p>money reference</p><table>
+             <tr><td>Brazil</td><td>Real</td></tr>
+             <tr><td>India</td><td>Rupee</td></tr>
+             <tr><td>Japan</td><td>Yen</td></tr>
+           </table></body></html>"#
+            .to_string(),
+        r#"<html><body><table><tr><td><form><input name=q></form></td>
+           <td>Search</td></tr><tr><td>a</td><td>b</td></tr></table></body></html>"#
+            .to_string(),
+    ];
+
+    // Offline: extract data tables, build the fielded index (paper §2.1).
+    let wwt = Wwt::build(pages.iter().map(String::as_str), WwtConfig::default());
+    println!(
+        "indexed {} data tables (layout/form tables rejected)",
+        wwt.store().len()
+    );
+
+    // Online: column-keyword query, one keyword set per answer column.
+    let query = Query::parse("country | currency").expect("valid query");
+    let out = wwt.answer(&query);
+
+    println!("\nquery: {query}");
+    println!(
+        "candidates: {} (second probe used: {})",
+        out.candidates.len(),
+        out.probe2_used
+    );
+    for (i, lab) in out.mapping.labelings.iter().enumerate() {
+        println!(
+            "  {} relevance {:.2} labels {:?}",
+            out.candidates[i],
+            out.mapping.table_relevance[i],
+            lab.labels.iter().map(|l| l.to_string()).collect::<Vec<_>>()
+        );
+    }
+    println!("\nconsolidated answer:\n{}", out.table.render(24));
+    println!(
+        "\ntimings: column map {:?}, total {:?}",
+        out.timing.column_map,
+        out.timing.total()
+    );
+}

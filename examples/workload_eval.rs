@@ -1,0 +1,57 @@
+//! Runs the full 59-query workload of paper Table 1 at a small corpus
+//! scale and prints the per-query F1 error of WWT vs the Basic baseline.
+//!
+//! Run with: `cargo run --release --example workload_eval`
+//! (set `WWT_SCALE` to change the corpus size, default 0.15 here).
+
+use wwt::core::InferenceAlgorithm;
+use wwt::corpus::{workload, CorpusConfig, CorpusGenerator};
+use wwt::engine::{bind_corpus, evaluate_workload, Method, WwtConfig};
+
+fn main() {
+    let scale: f64 = std::env::var("WWT_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.15);
+    let specs = workload();
+    let corpus = CorpusGenerator::new(CorpusConfig {
+        scale,
+        ..CorpusConfig::default()
+    })
+    .generate_for(&specs);
+    eprintln!("corpus: {} documents", corpus.documents.len());
+    let bound = bind_corpus(&corpus, WwtConfig::default());
+
+    let wwt = evaluate_workload(
+        &bound,
+        &specs,
+        Method::Wwt(InferenceAlgorithm::TableCentric),
+        4,
+    );
+    let basic = evaluate_workload(&bound, &specs, Method::Basic, 4);
+
+    println!("{:52} {:>6} {:>8} {:>8}", "query", "cand", "Basic", "WWT");
+    let mut sums = (0.0, 0.0, 0usize);
+    for (w, b) in wwt.iter().zip(&basic) {
+        let q = specs[w.query_index].query.to_string();
+        if w.candidates == 0 {
+            continue;
+        }
+        println!(
+            "{:52} {:>6} {:>7.1}% {:>7.1}%",
+            q.chars().take(52).collect::<String>(),
+            w.candidates,
+            b.f1_error,
+            w.f1_error
+        );
+        sums.0 += b.f1_error;
+        sums.1 += w.f1_error;
+        sums.2 += 1;
+    }
+    println!(
+        "\naverages over {} answered queries: Basic {:.1}%, WWT {:.1}%",
+        sums.2,
+        sums.0 / sums.2 as f64,
+        sums.1 / sums.2 as f64
+    );
+}

@@ -1,0 +1,54 @@
+//! # wwt
+//!
+//! Umbrella crate for the WWT workspace — a from-scratch Rust reproduction
+//! of **"Answering Table Queries on the Web using Column Keywords"**
+//! (Pimplikar & Sarawagi, VLDB 2012).
+//!
+//! WWT answers a *table query* — one keyword set per desired answer column,
+//! e.g. `"name of explorers | nationality | areas explored"` — over a corpus
+//! of tables harvested from HTML pages, and returns a single consolidated
+//! multi-column table.
+//!
+//! The umbrella re-exports every sub-crate under a stable module name:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`model`] | shared types: [`model::WebTable`], [`model::Query`], [`model::Label`], … |
+//! | [`text`] | tokenizer, IDF statistics, TF-IDF vectors |
+//! | [`html`] | HTML parser, table / header / context extraction |
+//! | [`index`] | fielded inverted index (Lucene substitute) |
+//! | [`graph`] | flows, matching, constrained cuts, α-expansion, BP, TRW-S |
+//! | [`core`] | the column mapper: features, potentials, inference |
+//! | [`corpus`] | synthetic web corpus generator + the 59-query workload |
+//! | [`consolidate`] | answer-table consolidation and ranking |
+//! | [`engine`] | end-to-end pipeline, baselines, metrics, timing |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use wwt::corpus::{CorpusConfig, CorpusGenerator};
+//! use wwt::engine::{Wwt, WwtConfig};
+//! use wwt::model::Query;
+//!
+//! // Generate a small synthetic web corpus for one workload query.
+//! let spec = wwt::corpus::workload()
+//!     .into_iter()
+//!     .find(|s| s.query.to_string().starts_with("country | currency"))
+//!     .unwrap();
+//! let corpus = CorpusGenerator::new(CorpusConfig::small()).generate_for(&[spec]);
+//!
+//! // Build the engine offline (extract + index) and ask the query online.
+//! let wwt = Wwt::build(corpus.documents.iter().map(|d| d.html.as_str()), WwtConfig::default());
+//! let answer = wwt.answer(&Query::parse("country | currency").unwrap());
+//! assert_eq!(answer.table.columns.len(), 2);
+//! ```
+
+pub use wwt_consolidate as consolidate;
+pub use wwt_core as core;
+pub use wwt_corpus as corpus;
+pub use wwt_engine as engine;
+pub use wwt_graph as graph;
+pub use wwt_html as html;
+pub use wwt_index as index;
+pub use wwt_model as model;
+pub use wwt_text as text;

@@ -1,0 +1,61 @@
+//! Integration tests for on-disk persistence: index and table store
+//! round-trip through files and keep answering queries identically.
+
+use wwt::index::{persist, IndexBuilder, TableStore};
+use wwt::html::extract_tables;
+use wwt::text::tokenize;
+
+fn sample_tables() -> Vec<wwt::model::WebTable> {
+    let html = "<html><head><title>currencies</title></head><body>\
+        <p>countries and currency</p><table>\
+        <tr><th>Country</th><th>Currency</th></tr>\
+        <tr><td>India</td><td>Rupee</td></tr>\
+        <tr><td>Japan</td><td>Yen</td></tr></table>\
+        <table><tr><th>City</th><th>Population</th></tr>\
+        <tr><td>Mumbai</td><td>20411000</td></tr>\
+        <tr><td>Delhi</td><td>16787941</td></tr></table></body></html>";
+    extract_tables(html, "test://doc", 0)
+}
+
+#[test]
+fn index_file_roundtrip_preserves_ranking() {
+    let tables = sample_tables();
+    let mut b = IndexBuilder::new();
+    for t in &tables {
+        b.add_table(t);
+    }
+    let index = b.build();
+    let dir = std::env::temp_dir().join("wwt_integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("roundtrip.idx");
+    persist::save(&index, &path).unwrap();
+    let restored = persist::load(&path).unwrap();
+    for probe in ["country currency", "city population", "india"] {
+        let q = tokenize(probe);
+        let a = index.search(&q, 10);
+        let b = restored.search(&q, 10);
+        assert_eq!(a.len(), b.len(), "probe {probe}");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.table, y.table);
+            assert!((x.score - y.score).abs() < 1e-9);
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn store_file_roundtrip_preserves_tables() {
+    let tables = sample_tables();
+    let store = TableStore::from_tables(tables.clone());
+    let dir = std::env::temp_dir().join("wwt_integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("store.jsonl");
+    store.save(&path).unwrap();
+    let restored = TableStore::load(&path).unwrap();
+    assert_eq!(restored.len(), tables.len());
+    for t in &tables {
+        let r = restored.get(t.id).unwrap();
+        assert_eq!(r, t);
+    }
+    std::fs::remove_file(&path).ok();
+}
