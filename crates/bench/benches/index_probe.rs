@@ -23,14 +23,14 @@ fn bench_probe(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("search_top60", format!("scale_{scale}")),
             &bound,
-            |b, bound| b.iter(|| bound.wwt.index().search(&tokens, 60)),
+            |b, bound| b.iter(|| bound.engine.index().search(&tokens, 60)),
         );
         group.bench_with_input(
             BenchmarkId::new("two_stage_retrieve", format!("scale_{scale}")),
             &bound,
             |b, bound| {
                 let q = specs[14].query.clone(); // country | currency
-                b.iter(|| bound.wwt.retrieve(&q))
+                b.iter(|| bound.engine.retrieve(&q))
             },
         );
     }

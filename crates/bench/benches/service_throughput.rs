@@ -1,0 +1,75 @@
+//! Criterion microbench: serving-layer throughput — cached vs uncached vs
+//! batched query answering through `TableSearchService`, anchoring future
+//! serving-performance PRs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::Arc;
+use wwt_corpus::{workload, CorpusConfig, CorpusGenerator};
+use wwt_engine::{bind_corpus, QueryRequest, WwtConfig};
+use wwt_service::{ServiceConfig, TableSearchService};
+
+fn bench_service(c: &mut Criterion) {
+    let specs: Vec<_> = workload().into_iter().take(8).collect();
+    let corpus = CorpusGenerator::new(CorpusConfig {
+        seed: 7,
+        scale: 0.15,
+        distractors: 60,
+    })
+    .generate_for(&specs);
+    let engine = Arc::new(bind_corpus(&corpus, WwtConfig::default()).engine);
+    let requests: Vec<QueryRequest> = specs
+        .iter()
+        .map(|s| QueryRequest::new(s.query.clone()))
+        .collect();
+
+    let mut group = c.benchmark_group("service_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(requests.len() as u64));
+
+    // Cold path: every request runs the full pipeline (cache disabled).
+    let uncached = TableSearchService::with_config(
+        Arc::clone(&engine),
+        ServiceConfig {
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        },
+    );
+    group.bench_function("uncached_serial", |b| {
+        b.iter(|| {
+            for req in &requests {
+                uncached.answer(req).unwrap();
+            }
+        })
+    });
+
+    // Hot path: the working set fits the cache, so steady state is pure
+    // lookup.
+    let cached = TableSearchService::new(Arc::clone(&engine));
+    for req in &requests {
+        cached.answer(req).unwrap(); // warm the cache
+    }
+    group.bench_function("cached_serial", |b| {
+        b.iter(|| {
+            for req in &requests {
+                cached.answer(req).unwrap();
+            }
+        })
+    });
+
+    // Fan-out: the same cold requests spread over the scoped worker pool.
+    let batched = TableSearchService::with_config(
+        Arc::clone(&engine),
+        ServiceConfig {
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        },
+    );
+    group.bench_function("uncached_batched", |b| {
+        b.iter(|| batched.answer_batch(&requests))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

@@ -24,7 +24,7 @@ fn main() {
         let mut col_mix = 0usize;
         let mut rel_total = 0usize;
         for (lab, &id) in eval.labelings.iter().zip(&eval.candidate_ids) {
-            let t = exp.bound.wwt.store().get(id).unwrap();
+            let t = exp.bound.engine.store().get(id).unwrap();
             let truth = exp.bound.truth_for(spec.index, id, t.n_cols());
             let truth_rel = truth.iter().any(|l| l.is_query_col());
             if truth_rel {
@@ -33,15 +33,14 @@ fn main() {
             match (lab.is_relevant(), truth_rel) {
                 (false, true) => rel_as_nr += 1,
                 (true, false) => nr_as_rel += 1,
-                (true, true) => {
+                (true, true)
                     if lab
                         .labels
                         .iter()
                         .zip(&truth)
-                        .any(|(p, t)| t.is_query_col() && p != t)
-                    {
-                        col_mix += 1;
-                    }
+                        .any(|(p, t)| t.is_query_col() && p != t) =>
+                {
+                    col_mix += 1;
                 }
                 _ => {}
             }

@@ -3,8 +3,9 @@
 //! plus the side table of Basic's per-group error and the overall errors
 //! reported in §5.1.
 
-use wwt_bench::{bin_by_basic_error, eval_methods, group_error, print_text_table, setup,
-    split_easy_hard};
+use wwt_bench::{
+    bin_by_basic_error, eval_methods, group_error, print_text_table, setup, split_easy_hard,
+};
 use wwt_core::InferenceAlgorithm;
 use wwt_engine::Method;
 
@@ -43,11 +44,20 @@ fn main() {
         ]);
     }
     print_text_table(
-        &["Grp", "#Q", "Basic err", "PMI2 red.", "NbrText red.", "WWT red."],
+        &[
+            "Grp",
+            "#Q",
+            "Basic err",
+            "PMI2 red.",
+            "NbrText red.",
+            "WWT red.",
+        ],
         &rows,
     );
 
-    println!("\nOverall error on hard queries (paper: Basic 34.7, PMI2 34.7, NbrText 34.2, WWT 30.3):");
+    println!(
+        "\nOverall error on hard queries (paper: Basic 34.7, PMI2 34.7, NbrText 34.2, WWT 30.3):"
+    );
     for name in ["Basic", "PMI2", "NbrText", "WWT"] {
         println!("  {:8} {:.1}%", name, group_error(&per[name], &hard));
     }

@@ -19,7 +19,7 @@ fn answer_under(
     let tables: Vec<_> = eval
         .candidate_ids
         .iter()
-        .filter_map(|&id| exp.bound.wwt.store().get(id))
+        .filter_map(|&id| exp.bound.engine.store().get(id))
         .collect();
     let inputs: Vec<RelevantInput<'_>> = tables
         .iter()
@@ -36,10 +36,7 @@ fn answer_under(
 
 fn main() {
     let exp = setup();
-    let methods = [
-        Method::Basic,
-        Method::Wwt(InferenceAlgorithm::TableCentric),
-    ];
+    let methods = [Method::Basic, Method::Wwt(InferenceAlgorithm::TableCentric)];
     let per = eval_methods(&exp, &methods);
     let (_easy, hard) = split_easy_hard(&per, exp.specs.len());
     let groups = bin_by_basic_error(&hard, &per["Basic"], 7);
@@ -52,7 +49,7 @@ fn main() {
             .candidate_ids
             .iter()
             .map(|&id| {
-                let t = exp.bound.wwt.store().get(id).unwrap();
+                let t = exp.bound.engine.store().get(id).unwrap();
                 Labeling::new(id, exp.bound.truth_for(spec.index, id, t.n_cols()))
             })
             .collect();
@@ -77,5 +74,7 @@ fn main() {
         ]);
     }
     print_text_table(&["Grp", "WWT row err", "Basic row err"], &rows);
-    println!("\npaper shape: WWT's answer rows are closer to the true-mapping answer in every group.");
+    println!(
+        "\npaper shape: WWT's answer rows are closer to the true-mapping answer in every group."
+    );
 }

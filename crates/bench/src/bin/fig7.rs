@@ -8,8 +8,8 @@ fn main() {
     let exp = setup();
     let mut rows: Vec<(f64, Vec<String>)> = Vec::new();
     for spec in &exp.specs {
-        let out = exp.bound.wwt.answer(&spec.query);
-        let t = out.timing;
+        let out = exp.bound.engine.answer_query(&spec.query);
+        let t = out.diagnostics.timing;
         let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
         let total = ms(t.total());
         rows.push((
@@ -49,6 +49,8 @@ fn main() {
         totals.last().copied().unwrap_or(0.0),
         avg
     );
-    println!("paper    : 1.5–14 s, avg 6.7 s (disk-backed 25M-table index; ours is in-memory & tiny)");
+    println!(
+        "paper    : 1.5–14 s, avg 6.7 s (disk-backed 25M-table index; ours is in-memory & tiny)"
+    );
     println!("paper shape to check: column-map time is a small fraction of the total.");
 }

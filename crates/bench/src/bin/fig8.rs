@@ -36,8 +36,14 @@ fn main() {
             exp.specs[qi].query.to_string(),
             format!("{unseg:.1}"),
             format!("{seg:.1}"),
-            if seg < unseg - 1e-9 { "below diagonal" } else if seg > unseg + 1e-9 { "ABOVE" } else { "on" }
-                .to_string(),
+            if seg < unseg - 1e-9 {
+                "below diagonal"
+            } else if seg > unseg + 1e-9 {
+                "ABOVE"
+            } else {
+                "on"
+            }
+            .to_string(),
         ]);
     }
     print_text_table(
@@ -53,6 +59,8 @@ fn main() {
         group_error(&per["WWT"], &hard),
         group_error(&per["WWT-Unseg"], &hard)
     );
-    println!("paper    : segmented below the 45° line for all but 3 of 32 queries; 8 wins >10 points;");
+    println!(
+        "paper    : segmented below the 45° line for all but 3 of 32 queries; 8 wins >10 points;"
+    );
     println!("           overall 30.3% vs 33.3%.");
 }

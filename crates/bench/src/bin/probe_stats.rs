@@ -15,7 +15,8 @@ fn main() {
     let mut rel_from_stage2 = Vec::new();
 
     for spec in &exp.specs {
-        let (stage1, stage2, probe2, _) = exp.bound.wwt.retrieve(&spec.query);
+        let retrieval = exp.bound.engine.retrieve(&spec.query);
+        let (stage1, stage2, probe2) = (retrieval.stage1, retrieval.stage2, retrieval.probe2_used);
         if stage1.is_empty() && stage2.is_empty() {
             continue;
         }
@@ -26,7 +27,7 @@ fn main() {
         let relevant = |ids: &[wwt_model::TableId]| -> usize {
             ids.iter()
                 .filter(|&&id| {
-                    let t = exp.bound.wwt.store().get(id).unwrap();
+                    let t = exp.bound.engine.store().get(id).unwrap();
                     exp.bound
                         .truth_for(spec.index, id, t.n_cols())
                         .iter()
@@ -55,9 +56,7 @@ fn main() {
     } else {
         100.0 * rel_from_stage2.iter().sum::<f64>() / rel_from_stage2.len() as f64
     };
-    println!(
-        "relevant tables from stage2: {s2_share:.0}% (avg over probe-2 queries; paper: 50%)"
-    );
+    println!("relevant tables from stage2: {s2_share:.0}% (avg over probe-2 queries; paper: 50%)");
     println!(
         "relevant fraction stage 1:   {:.0}%                      (paper: 52%)",
         100.0 * s1_rel as f64 / s1_total.max(1) as f64

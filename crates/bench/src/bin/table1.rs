@@ -10,12 +10,12 @@ fn main() {
     let mut sum_total = 0usize;
     let mut sum_rel = 0usize;
     for spec in &exp.specs {
-        let (stage1, stage2, _, _) = exp.bound.wwt.retrieve(&spec.query);
-        let candidates: Vec<_> = stage1.iter().chain(stage2.iter()).collect();
+        let retrieval = exp.bound.engine.retrieve(&spec.query);
+        let candidates = retrieval.candidates();
         let relevant = candidates
             .iter()
-            .filter(|&&&id| {
-                let t = exp.bound.wwt.store().get(id).unwrap();
+            .filter(|&&id| {
+                let t = exp.bound.engine.store().get(id).unwrap();
                 exp.bound
                     .truth_for(spec.index, id, t.n_cols())
                     .iter()
@@ -32,9 +32,18 @@ fn main() {
             format!("{}", spec.relevant),
         ]);
     }
-    println!("\nTable 1: query set (measured at corpus scale {})\n", exp.scale);
+    println!(
+        "\nTable 1: query set (measured at corpus scale {})\n",
+        exp.scale
+    );
     print_text_table(
-        &["Query", "Total", "Relevant", "Paper Total", "Paper Relevant"],
+        &[
+            "Query",
+            "Total",
+            "Relevant",
+            "Paper Total",
+            "Paper Relevant",
+        ],
         &rows,
     );
     let n = exp.specs.len() as f64;

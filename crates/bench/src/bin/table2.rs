@@ -4,8 +4,9 @@
 //! their relative running times (§5.3).
 
 use std::time::Instant;
-use wwt_bench::{bin_by_basic_error, eval_methods, group_error, print_text_table, setup,
-    split_easy_hard};
+use wwt_bench::{
+    bin_by_basic_error, eval_methods, group_error, print_text_table, setup, split_easy_hard,
+};
 use wwt_core::InferenceAlgorithm;
 use wwt_engine::{evaluate_workload, Method};
 

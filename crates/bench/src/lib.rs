@@ -65,7 +65,7 @@ pub fn setup() -> Experiment {
     let bound = bind_corpus(&corpus, WwtConfig::default());
     eprintln!(
         "[setup] ready: {} tables in store, {} labeled, {} extraction failures",
-        bound.wwt.store().len(),
+        bound.engine.store().len(),
         bound.n_labeled(),
         bound.extraction_failures
     );
@@ -203,11 +203,19 @@ mod tests {
         let mut per: HashMap<&'static str, Vec<QueryEvaluation>> = HashMap::new();
         per.insert(
             "A",
-            vec![fake_eval(0, 10.0, 5), fake_eval(1, 50.0, 5), fake_eval(2, 0.0, 0)],
+            vec![
+                fake_eval(0, 10.0, 5),
+                fake_eval(1, 50.0, 5),
+                fake_eval(2, 0.0, 0),
+            ],
         );
         per.insert(
             "B",
-            vec![fake_eval(0, 10.2, 5), fake_eval(1, 30.0, 5), fake_eval(2, 0.0, 0)],
+            vec![
+                fake_eval(0, 10.2, 5),
+                fake_eval(1, 30.0, 5),
+                fake_eval(2, 0.0, 0),
+            ],
         );
         let (easy, hard) = split_easy_hard(&per, 3);
         assert_eq!(easy, vec![0]);

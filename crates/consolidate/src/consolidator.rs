@@ -41,7 +41,10 @@ pub fn consolidate(query: &Query, inputs: &[RelevantInput<'_>]) -> AnswerTable {
             }
             let cells: Vec<String> = col_of
                 .iter()
-                .map(|c| c.map(|c| input.table.cell(r, c).trim().to_string()).unwrap_or_default())
+                .map(|c| {
+                    c.map(|c| input.table.cell(r, c).trim().to_string())
+                        .unwrap_or_default()
+                })
                 .collect();
             match by_key.get(&key) {
                 None => {
@@ -62,8 +65,7 @@ pub fn consolidate(query: &Query, inputs: &[RelevantInput<'_>]) -> AnswerTable {
                             continue;
                         }
                         let incumbent = &row.cells[l];
-                        if incumbent.is_empty()
-                            || input.relevance > cell_relevance[idx][l] + 1e-12
+                        if incumbent.is_empty() || input.relevance > cell_relevance[idx][l] + 1e-12
                         {
                             row.cells[l] = cell;
                             cell_relevance[idx][l] = input.relevance;
@@ -123,8 +125,16 @@ mod tests {
         let ans = consolidate(
             &q,
             &[
-                RelevantInput { table: &t1, labeling: &l1, relevance: 0.9 },
-                RelevantInput { table: &t2, labeling: &l2, relevance: 0.8 },
+                RelevantInput {
+                    table: &t1,
+                    labeling: &l1,
+                    relevance: 0.9,
+                },
+                RelevantInput {
+                    table: &t2,
+                    labeling: &l2,
+                    relevance: 0.8,
+                },
             ],
         );
         assert_eq!(ans.len(), 3);
@@ -153,8 +163,16 @@ mod tests {
         let ans = consolidate(
             &q,
             &[
-                RelevantInput { table: &t1, labeling: &labeling(1, l.clone()), relevance: 0.5 },
-                RelevantInput { table: &t2, labeling: &labeling(2, l), relevance: 0.5 },
+                RelevantInput {
+                    table: &t1,
+                    labeling: &labeling(1, l.clone()),
+                    relevance: 0.5,
+                },
+                RelevantInput {
+                    table: &t2,
+                    labeling: &labeling(2, l),
+                    relevance: 0.5,
+                },
             ],
         );
         assert_eq!(ans.len(), 1);
@@ -170,8 +188,16 @@ mod tests {
         let ans = consolidate(
             &q,
             &[
-                RelevantInput { table: &low, labeling: &labeling(1, l.clone()), relevance: 0.3 },
-                RelevantInput { table: &high, labeling: &labeling(2, l), relevance: 0.9 },
+                RelevantInput {
+                    table: &low,
+                    labeling: &labeling(1, l.clone()),
+                    relevance: 0.3,
+                },
+                RelevantInput {
+                    table: &high,
+                    labeling: &labeling(2, l),
+                    relevance: 0.9,
+                },
             ],
         );
         assert_eq!(ans.rows[0].cells[1], "1200");
@@ -183,7 +209,14 @@ mod tests {
         let q = Query::parse("mountain | height").unwrap();
         let t = table(1, vec![vec!["Denali", "x"]]);
         let l = labeling(1, vec![Label::Col(0), Label::Na]);
-        let ans = consolidate(&q, &[RelevantInput { table: &t, labeling: &l, relevance: 0.7 }]);
+        let ans = consolidate(
+            &q,
+            &[RelevantInput {
+                table: &t,
+                labeling: &l,
+                relevance: 0.7,
+            }],
+        );
         assert_eq!(ans.rows[0].cells, vec!["Denali".to_string(), String::new()]);
     }
 
@@ -200,7 +233,14 @@ mod tests {
         let q = Query::parse("name | value").unwrap();
         let t = table(1, vec![vec!["", "x"], vec!["ok", "y"]]);
         let l = labeling(1, vec![Label::Col(0), Label::Col(1)]);
-        let ans = consolidate(&q, &[RelevantInput { table: &t, labeling: &l, relevance: 0.5 }]);
+        let ans = consolidate(
+            &q,
+            &[RelevantInput {
+                table: &t,
+                labeling: &l,
+                relevance: 0.5,
+            }],
+        );
         assert_eq!(ans.len(), 1);
         assert_eq!(ans.rows[0].cells[0], "ok");
     }

@@ -164,14 +164,22 @@ mod tests {
     #[test]
     fn value_overlap_drives_similarity() {
         let stats = CorpusStats::new();
-        let t1 = make(0, vec!["Country", "Currency"], vec![
-            vec!["India", "Japan", "France"],
-            vec!["Rupee", "Yen", "Euro"],
-        ]);
-        let t2 = make(1, vec!["Nation", "Money"], vec![
-            vec!["India", "Japan", "Brazil"],
-            vec!["Rupee", "Yen", "Real"],
-        ]);
+        let t1 = make(
+            0,
+            vec!["Country", "Currency"],
+            vec![
+                vec!["India", "Japan", "France"],
+                vec!["Rupee", "Yen", "Euro"],
+            ],
+        );
+        let t2 = make(
+            1,
+            vec!["Nation", "Money"],
+            vec![
+                vec!["India", "Japan", "Brazil"],
+                vec!["Rupee", "Yen", "Real"],
+            ],
+        );
         let v1 = TableView::new(&t1, &stats, 0.3);
         let v2 = TableView::new(&t2, &stats, 0.3);
         let same = column_similarity(&v1, 0, &v2, 0, 0.7);
@@ -198,15 +206,23 @@ mod tests {
         // t2's two columns BOTH resemble t1's capital column (the paper's
         // "us states | capitals | largest cities" trap); matching must pick
         // only the best pair per column.
-        let t1 = make(0, vec!["State", "Capital"], vec![
-            vec!["Ohio", "Texas", "Utah"],
-            vec!["Columbus", "Austin", "Salt Lake City"],
-        ]);
-        let t2 = make(1, vec!["State", "Capital", "Largest city"], vec![
-            vec!["Ohio", "Texas", "Utah"],
-            vec!["Columbus", "Austin", "Salt Lake City"],
-            vec!["Columbus", "Houston", "Salt Lake City"],
-        ]);
+        let t1 = make(
+            0,
+            vec!["State", "Capital"],
+            vec![
+                vec!["Ohio", "Texas", "Utah"],
+                vec!["Columbus", "Austin", "Salt Lake City"],
+            ],
+        );
+        let t2 = make(
+            1,
+            vec!["State", "Capital", "Largest city"],
+            vec![
+                vec!["Ohio", "Texas", "Utah"],
+                vec!["Columbus", "Austin", "Salt Lake City"],
+                vec!["Columbus", "Houston", "Salt Lake City"],
+            ],
+        );
         let v1 = TableView::new(&t1, &stats, 0.3);
         let v2 = TableView::new(&t2, &stats, 0.3);
         let views = vec![v1, v2];
@@ -275,10 +291,14 @@ mod tests {
     #[test]
     fn no_self_table_edges() {
         let stats = CorpusStats::new();
-        let t1 = make(0, vec!["A", "B"], vec![
-            vec!["x", "y"],
-            vec!["x", "y"], // identical columns within the table
-        ]);
+        let t1 = make(
+            0,
+            vec!["A", "B"],
+            vec![
+                vec!["x", "y"],
+                vec!["x", "y"], // identical columns within the table
+            ],
+        );
         let views = vec![TableView::new(&t1, &stats, 0.3)];
         assert!(build_edges(&views, &cfg()).is_empty());
     }

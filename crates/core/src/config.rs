@@ -149,7 +149,13 @@ mod tests {
     fn paper_reliability_defaults() {
         let p = PartReliability::default();
         assert_eq!(
-            (p.title, p.context, p.other_header_rows, p.other_columns, p.body),
+            (
+                p.title,
+                p.context,
+                p.other_header_rows,
+                p.other_columns,
+                p.body
+            ),
             (1.0, 0.9, 0.5, 1.0, 0.8)
         );
     }

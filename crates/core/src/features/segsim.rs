@@ -70,17 +70,13 @@ fn segmented(
         for k in 0..=m {
             // Orientation A: prefix -> header, suffix -> rest.
             if k >= 1 {
-                if let Some(score) =
-                    score_split(q, header_vec, 0..k, k..m, &out_score, kind)
-                {
+                if let Some(score) = score_split(q, header_vec, 0..k, k..m, &out_score, kind) {
                     best = best.max(score);
                 }
             }
             // Orientation B: suffix -> header, prefix -> rest.
             if k < m {
-                if let Some(score) =
-                    score_split(q, header_vec, k..m, 0..k, &out_score, kind)
-                {
+                if let Some(score) = score_split(q, header_vec, k..m, 0..k, &out_score, kind) {
                     best = best.max(score);
                 }
             }
@@ -207,7 +203,12 @@ mod tests {
 
     #[test]
     fn exact_header_match_scores_one() {
-        let t = make_table(None, vec![vec!["Nationality", "Name"]], vec![vec!["Dutch", "Tasman"]], "");
+        let t = make_table(
+            None,
+            vec![vec!["Nationality", "Name"]],
+            vec![vec!["Dutch", "Tasman"]],
+            "",
+        );
         let v = view_of(&t);
         let q = qcol("nationality");
         assert!((seg_sim(&q, &v, 0, &cfg()) - 1.0).abs() < 1e-9);
@@ -355,7 +356,10 @@ mod tests {
     fn scores_bounded_in_unit_interval() {
         let t = make_table(
             Some("Everything about explorers"),
-            vec![vec!["Name of explorers", "Nationality"], vec!["explorer", ""]],
+            vec![
+                vec!["Name of explorers", "Nationality"],
+                vec!["explorer", ""],
+            ],
             vec![vec!["Tasman", "Dutch"], vec!["Gama", "Portuguese"]],
             "explorers nationality name",
         );

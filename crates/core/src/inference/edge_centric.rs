@@ -143,8 +143,7 @@ pub fn edge_centric(
         .enumerate()
         .map(|(t, vars)| {
             let decoded: Vec<Label> = vars.iter().map(|&v| Label::from_dense(raw[v], q)).collect();
-            let ok = Labeling::new(TableId(0), decoded.clone())
-                .satisfies_constraints(q, m_eff[t]);
+            let ok = Labeling::new(TableId(0), decoded.clone()).satisfies_constraints(q, m_eff[t]);
             if ok {
                 decoded
             } else {
@@ -185,17 +184,10 @@ mod tests {
         for alg in algorithms() {
             let p = pots(
                 2,
-                vec![
-                    vec![2.0, -0.3, 0.0, 0.1],
-                    vec![-0.3, 2.0, 0.0, 0.1],
-                ],
+                vec![vec![2.0, -0.3, 0.0, 0.1], vec![-0.3, 2.0, 0.0, 0.1]],
             );
             let r = edge_centric(&[p], &[], &[2], &cfg(), alg);
-            assert_eq!(
-                r.labels[0],
-                vec![Label::Col(0), Label::Col(1)],
-                "{alg:?}"
-            );
+            assert_eq!(r.labels[0], vec![Label::Col(0), Label::Col(1)], "{alg:?}");
         }
     }
 
@@ -204,10 +196,7 @@ mod tests {
         for alg in algorithms() {
             let p = pots(
                 2,
-                vec![
-                    vec![-0.3, -0.3, 0.0, 0.5],
-                    vec![-0.3, -0.3, 0.0, 0.5],
-                ],
+                vec![vec![-0.3, -0.3, 0.0, 0.5], vec![-0.3, -0.3, 0.0, 0.5]],
             );
             let r = edge_centric(&[p], &[], &[2], &cfg(), alg);
             assert_eq!(r.labels[0], vec![Label::Nr, Label::Nr], "{alg:?}");
@@ -240,8 +229,7 @@ mod tests {
             let r = edge_centric(&[a, b], &edges, &[2, 2], &cfg(), alg);
             for (t, labels) in r.labels.iter().enumerate() {
                 assert!(
-                    Labeling::new(TableId(t as u32), labels.clone())
-                        .satisfies_constraints(2, 2),
+                    Labeling::new(TableId(t as u32), labels.clone()).satisfies_constraints(2, 2),
                     "{alg:?} table {t}: {labels:?}"
                 );
             }

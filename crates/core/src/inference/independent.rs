@@ -108,10 +108,7 @@ mod tests {
         // cols: 0 ↔ Q1, 1 ↔ Q2; nr unattractive.
         let p = pots(
             2,
-            vec![
-                vec![1.0, -0.3, 0.0, 0.1],
-                vec![-0.3, 1.0, 0.0, 0.1],
-            ],
+            vec![vec![1.0, -0.3, 0.0, 0.1], vec![-0.3, 1.0, 0.0, 0.1]],
         );
         let (labels, score) = solve_table(&p, 2);
         assert_eq!(labels, vec![Label::Col(0), Label::Col(1)]);
@@ -122,10 +119,7 @@ mod tests {
     fn irrelevant_table_goes_all_nr() {
         let p = pots(
             2,
-            vec![
-                vec![-0.3, -0.3, 0.0, 0.4],
-                vec![-0.3, -0.3, 0.0, 0.4],
-            ],
+            vec![vec![-0.3, -0.3, 0.0, 0.4], vec![-0.3, -0.3, 0.0, 0.4]],
         );
         let (labels, score) = solve_table(&p, 2);
         assert_eq!(labels, vec![Label::Nr, Label::Nr]);
@@ -136,13 +130,7 @@ mod tests {
     fn mutex_forces_second_best() {
         // Both columns prefer Q1; only one may take it; min-match=2 forces
         // the other to Q2.
-        let p = pots(
-            2,
-            vec![
-                vec![1.0, 0.2, 0.0, 0.0],
-                vec![0.9, 0.3, 0.0, 0.0],
-            ],
-        );
+        let p = pots(2, vec![vec![1.0, 0.2, 0.0, 0.0], vec![0.9, 0.3, 0.0, 0.0]]);
         let (labels, _) = solve_table(&p, 2);
         assert_eq!(labels, vec![Label::Col(0), Label::Col(1)]);
     }

@@ -57,13 +57,7 @@ pub fn table_marginals(pots: &NodePotentials, cfg: &MapperConfig) -> TableMargin
         .collect();
     let confident: Vec<bool> = probs
         .iter()
-        .map(|p| {
-            p[..q]
-                .iter()
-                .cloned()
-                .fold(0.0f64, f64::max)
-                > cfg.confidence_threshold
-        })
+        .map(|p| p[..q].iter().cloned().fold(0.0f64, f64::max) > cfg.confidence_threshold)
         .collect();
     let relevance_prob = if nt == 0 {
         0.0
@@ -108,10 +102,7 @@ mod tests {
 
     #[test]
     fn probabilities_normalized() {
-        let p = pots(
-            2,
-            vec![vec![2.0, 0.1, 0.0, 0.2], vec![0.1, 1.5, 0.0, 0.2]],
-        );
+        let p = pots(2, vec![vec![2.0, 0.1, 0.0, 0.2], vec![0.1, 1.5, 0.0, 0.2]]);
         let m = table_marginals(&p, &cfg());
         for row in &m.probs {
             let z: f64 = row.iter().sum();
@@ -149,10 +140,7 @@ mod tests {
         // Two columns both strong on Q1; forcing col 1 to Q1 pushes col 0
         // off it (to na), so µ[1][Q1] < µ[1] when col0 keeps Q1... verify
         // the marginal reflects the exclusion cost.
-        let p = pots(
-            1,
-            vec![vec![3.0, 0.0, 0.0], vec![2.0, 0.0, 0.0]],
-        );
+        let p = pots(1, vec![vec![3.0, 0.0, 0.0], vec![2.0, 0.0, 0.0]]);
         let m = table_marginals(&p, &cfg());
         // Best overall: col0=Q1 (3), col1=na (0) => 3.
         assert!((m.mu[0][0] - 3.0).abs() < 1e-9);

@@ -118,10 +118,7 @@ mod tests {
     /// table connected by a strong content edge.
     #[test]
     fn confident_neighbor_rescues_headerless_table() {
-        let source = pots(
-            1,
-            vec![vec![3.0, 0.0, 0.1], vec![-0.5, 0.0, 0.1]],
-        );
+        let source = pots(1, vec![vec![3.0, 0.0, 0.1], vec![-0.5, 0.0, 0.1]]);
         // Sink: no header → zero query potentials, mild nr pull: would be
         // labeled nr on its own.
         let sink = pots(1, vec![vec![-0.35, 0.0, 0.3], vec![-0.35, 0.0, 0.3]]);

@@ -134,7 +134,13 @@ impl ColumnMapper {
                 (r.labels, r.marginals)
             }
             InferenceAlgorithm::AlphaExpansion => {
-                let r = edge_centric(&pots, &edges, &m_eff, cfg, EdgeCentricAlgorithm::AlphaExpansion);
+                let r = edge_centric(
+                    &pots,
+                    &edges,
+                    &m_eff,
+                    cfg,
+                    EdgeCentricAlgorithm::AlphaExpansion,
+                );
                 (r.labels, r.marginals)
             }
             InferenceAlgorithm::BeliefPropagation => {
@@ -182,7 +188,10 @@ mod tests {
                 vec!["Japan".into(), "Yen".into()],
                 vec!["France".into(), "Euro".into()],
             ],
-            vec![ContextSnippet::new("currencies of the world by country", 0.9)],
+            vec![ContextSnippet::new(
+                "currencies of the world by country",
+                0.9,
+            )],
         )
         .unwrap()
     }

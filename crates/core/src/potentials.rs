@@ -43,9 +43,7 @@ impl NodePotentials {
     /// Score of labeling all columns `nr` (used by the all-or-nothing
     /// relevance decision and by µ(nr) in Figure 3).
     pub fn all_nr_score(&self) -> f64 {
-        (0..self.n_cols())
-            .map(|c| self.theta[c][self.q + 1])
-            .sum()
+        (0..self.n_cols()).map(|c| self.theta[c][self.q + 1]).sum()
     }
 
     /// Score of a full labeling of this table under the node potentials.

@@ -45,7 +45,11 @@ impl Default for Grid {
 impl Grid {
     /// Number of weight combinations the grid spans.
     pub fn size(&self) -> usize {
-        self.w1.len() * self.w2.len() * self.w3.len() * self.w4.len() * self.w5.len()
+        self.w1.len()
+            * self.w2.len()
+            * self.w3.len()
+            * self.w4.len()
+            * self.w5.len()
             * self.we.len()
     }
 }

@@ -146,9 +146,15 @@ impl CorpusGenerator {
             for j in 0..total {
                 let table_seed = hash_parts(&[seed, spec.index as u64, j as u64]);
                 let (table, kind) = if j < relevant {
-                    (relevant_table(&domain, &profile, table_seed), DocKind::Relevant)
+                    (
+                        relevant_table(&domain, &profile, table_seed),
+                        DocKind::Relevant,
+                    )
                 } else {
-                    (irrelevant_table(&domain, table_seed), DocKind::IrrelevantCandidate)
+                    (
+                        irrelevant_table(&domain, table_seed),
+                        DocKind::IrrelevantCandidate,
+                    )
                 };
                 let page_title = match kind {
                     DocKind::Relevant => {
@@ -172,7 +178,11 @@ impl CorpusGenerator {
             let dseed = hash_parts(&[seed, 0xF111, d as u64]);
             let kinds = [
                 ValueKind::Thing,
-                ValueKind::Number { lo: 1, hi: 10_000, decimals: 0 },
+                ValueKind::Number {
+                    lo: 1,
+                    hi: 10_000,
+                    decimals: 0,
+                },
                 ValueKind::Phrase,
             ];
             let n_cols = 2 + (d % 3);
@@ -226,10 +236,16 @@ mod tests {
         });
         let w = workload();
         // "pain killers | company" (1, 1) must survive scaling.
-        let pain = w.iter().find(|s| s.query.to_string().contains("pain")).unwrap();
+        let pain = w
+            .iter()
+            .find(|s| s.query.to_string().contains("pain"))
+            .unwrap();
         assert_eq!(g.scaled_counts(pain), (1, 1));
         // "bittorrent clients" (0,0) stays empty.
-        let bt = w.iter().find(|s| s.query.to_string().contains("bittorrent")).unwrap();
+        let bt = w
+            .iter()
+            .find(|s| s.query.to_string().contains("bittorrent"))
+            .unwrap();
         assert_eq!(g.scaled_counts(bt), (0, 0));
         // relevant <= total always.
         for s in &w {
@@ -247,7 +263,7 @@ mod tests {
             .unwrap()
             .clone();
         let g = CorpusGenerator::new(CorpusConfig::small());
-        let corpus = g.generate_for(&[spec.clone()]);
+        let corpus = g.generate_for(std::slice::from_ref(&spec));
         let (total, relevant) = g.scaled_counts(&spec);
         assert_eq!(corpus.docs_for_query(spec.index).count(), total);
         assert_eq!(corpus.relevant_count(spec.index), relevant);

@@ -31,7 +31,9 @@ pub enum Junk {
 }
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Renders a candidate table plus its page into a full HTML document.
@@ -196,7 +198,10 @@ mod tests {
             assert_eq!(t.cell(0, 0), "Shakespeare Hills");
             // Context made it through.
             let ctx = t.all_context_text();
-            assert!(ctx.contains("Forestry Act") || ctx.contains("mineral"), "seed {seed}: {ctx}");
+            assert!(
+                ctx.contains("Forestry Act") || ctx.contains("mineral"),
+                "seed {seed}: {ctx}"
+            );
         }
     }
 

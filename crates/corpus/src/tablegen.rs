@@ -169,7 +169,11 @@ pub fn relevant_table(domain: &Domain, profile: &NoiseProfile, table_seed: u64) 
     // a different meaning (the paper's "capitals | largest cities" trap
     // that breaks NbrText's naive neighbor-text import).
     let extra_kinds = [
-        ValueKind::Number { lo: 1, hi: 500, decimals: 0 },
+        ValueKind::Number {
+            lo: 1,
+            hi: 500,
+            decimals: 0,
+        },
         ValueKind::Phrase,
         ValueKind::Year,
     ];
@@ -223,7 +227,9 @@ pub fn relevant_table(domain: &Domain, profile: &NoiseProfile, table_seed: u64) 
                 Some(l) => {
                     let kw = domain.query.column(*l);
                     if rng.random_bool(profile.p_generic_header) {
-                        row1.push(GENERIC_HEADERS[rng.random_range(0..GENERIC_HEADERS.len())].to_string());
+                        row1.push(
+                            GENERIC_HEADERS[rng.random_range(0..GENERIC_HEADERS.len())].to_string(),
+                        );
                         dropped_keywords.push(kw.to_string());
                     } else if rng.random_bool(profile.p_split_header)
                         && kw.split_whitespace().count() >= 2
@@ -289,12 +295,16 @@ pub fn relevant_table(domain: &Domain, profile: &NoiseProfile, table_seed: u64) 
 /// exploration" pattern).
 pub fn irrelevant_table(domain: &Domain, table_seed: u64) -> TableSpec {
     let mut rng = StdRng::seed_from_u64(table_seed ^ 0xBAD);
-    let decoy_seed = hash_parts(&[domain.seed, 0xDEC0_7, table_seed]);
+    let decoy_seed = hash_parts(&[domain.seed, 0xD_EC07, table_seed]);
     let n_cols = rng.random_range(2..=4usize);
     let n_rows = rng.random_range(5..=14usize);
     let kinds = [
         ValueKind::Thing,
-        ValueKind::Number { lo: 1, hi: 5000, decimals: 0 },
+        ValueKind::Number {
+            lo: 1,
+            hi: 5000,
+            decimals: 0,
+        },
         ValueKind::Person,
         ValueKind::Phrase,
     ];

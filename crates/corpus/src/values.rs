@@ -38,37 +38,80 @@ pub fn infer_kind(keywords: &str, is_entity_column: bool) -> ValueKind {
         return ValueKind::Year;
     }
     if has("price") || has("sales") || has("gdp") || has("cost") {
-        return ValueKind::Number { lo: 10, hi: 90_000, decimals: 2 };
+        return ValueKind::Number {
+            lo: 10,
+            hi: 90_000,
+            decimals: 2,
+        };
     }
     if has("population") || has("number of") {
-        return ValueKind::Number { lo: 10_000, hi: 90_000_000, decimals: 0 };
+        return ValueKind::Number {
+            lo: 10_000,
+            hi: 90_000_000,
+            decimals: 0,
+        };
     }
-    if has("height") || has("area") || has("weight") || has("speed") || has("score")
+    if has("height")
+        || has("area")
+        || has("weight")
+        || has("speed")
+        || has("score")
         || has("resolution")
     {
-        return ValueKind::Number { lo: 10, hi: 9_000, decimals: 0 };
+        return ValueKind::Number {
+            lo: 10,
+            hi: 9_000,
+            decimals: 0,
+        };
     }
     if has("percentage") || has("rate") || has("consumption") {
-        return ValueKind::Number { lo: 0, hi: 100, decimals: 2 };
+        return ValueKind::Number {
+            lo: 0,
+            hi: 100,
+            decimals: 2,
+        };
     }
     if has("atomic number") {
-        return ValueKind::Number { lo: 1, hi: 118, decimals: 0 };
+        return ValueKind::Number {
+            lo: 1,
+            hi: 118,
+            decimals: 0,
+        };
     }
-    if has("winner") || has("player") || has("president") || has("author") || has("discoverer")
-        || has("minister") || has("wrestler") || has("king") || has("champion") || has("explorer")
+    if has("winner")
+        || has("player")
+        || has("president")
+        || has("author")
+        || has("discoverer")
+        || has("minister")
+        || has("wrestler")
+        || has("king")
+        || has("champion")
+        || has("explorer")
     {
         return ValueKind::Person;
     }
-    if has("country") || has("city") || has("state") || has("capital") || has("location")
-        || has("nationality") || has("origin")
+    if has("country")
+        || has("city")
+        || has("state")
+        || has("capital")
+        || has("location")
+        || has("nationality")
+        || has("origin")
     {
         return ValueKind::Place;
     }
     if has("company") || has("band") || has("university") || has("bank") || has("store") {
         return ValueKind::Org;
     }
-    if has("motto") || has("explored") || has("symbol") || has("license") || has("entity")
-        || has("field") || has("discipline") || has("event")
+    if has("motto")
+        || has("explored")
+        || has("symbol")
+        || has("license")
+        || has("entity")
+        || has("field")
+        || has("discipline")
+        || has("event")
     {
         return ValueKind::Phrase;
     }
@@ -191,7 +234,11 @@ mod tests {
 
     #[test]
     fn number_values_in_range_and_format() {
-        let k = ValueKind::Number { lo: 10, hi: 100, decimals: 2 };
+        let k = ValueKind::Number {
+            lo: 10,
+            hi: 100,
+            decimals: 2,
+        };
         for i in 0..50 {
             let v = k.value(2, 1, i);
             let f: f64 = v.parse().unwrap();
@@ -212,10 +259,12 @@ mod tests {
     #[test]
     fn different_domains_have_disjoint_universes() {
         // Collision probability should be negligible for small universes.
-        let a: std::collections::HashSet<String> =
-            (0..60).map(|i| ValueKind::Place.value(1000, 0, i)).collect();
-        let b: std::collections::HashSet<String> =
-            (0..60).map(|i| ValueKind::Place.value(2000, 0, i)).collect();
+        let a: std::collections::HashSet<String> = (0..60)
+            .map(|i| ValueKind::Place.value(1000, 0, i))
+            .collect();
+        let b: std::collections::HashSet<String> = (0..60)
+            .map(|i| ValueKind::Place.value(2000, 0, i))
+            .collect();
         let inter = a.intersection(&b).count();
         assert!(inter <= 3, "too much cross-domain collision: {inter}");
     }

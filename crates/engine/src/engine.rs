@@ -1,0 +1,524 @@
+//! The offline/online split of the service-grade API.
+//!
+//! [`EngineBuilder`] runs the paper's offline pipeline (§2.1): table
+//! extraction → table store → fielded index. [`Engine`] is the resulting
+//! immutable snapshot — its internals are `Arc`-shared and every online
+//! operation takes `&self`, so one build can serve queries from many
+//! threads (`Engine: Send + Sync + Clone`, and cloning is cheap).
+
+use crate::pipeline::WwtConfig;
+use crate::request::{QueryDiagnostics, QueryRequest, QueryResponse};
+use crate::retrieval::Retrieval;
+use crate::timing::StageTimings;
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Instant;
+use wwt_consolidate::{consolidate, RelevantInput};
+use wwt_core::{ColumnMapper, MappingResult};
+use wwt_html::extract_tables;
+use wwt_index::{IndexBuilder, TableIndex, TableStore};
+use wwt_model::{Query, TableId, WebTable, WwtError};
+use wwt_text::tokenize;
+
+/// Offline builder: accumulates documents/tables, then freezes them into
+/// an [`Engine`] (extract → store → index, paper §2.1).
+#[derive(Debug, Default)]
+pub struct EngineBuilder {
+    config: WwtConfig,
+    tables: Vec<WebTable>,
+    next_table_id: u32,
+    n_docs: usize,
+}
+
+impl EngineBuilder {
+    /// A builder with the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A builder with the given engine configuration.
+    pub fn with_config(config: WwtConfig) -> Self {
+        EngineBuilder {
+            config,
+            ..Self::default()
+        }
+    }
+
+    /// Replaces the engine configuration.
+    pub fn config(&mut self, config: WwtConfig) -> &mut Self {
+        self.config = config;
+        self
+    }
+
+    /// Extracts data tables from one HTML document under a synthetic
+    /// `doc://N` URL.
+    pub fn add_html(&mut self, html: &str) -> &mut Self {
+        let url = format!("doc://{}", self.n_docs);
+        self.add_document(html, &url)
+    }
+
+    /// Extracts data tables from one HTML document.
+    pub fn add_document(&mut self, html: &str, url: &str) -> &mut Self {
+        let extracted = extract_tables(html, url, self.next_table_id);
+        self.next_table_id += extracted.len() as u32;
+        self.n_docs += 1;
+        self.tables.extend(extracted);
+        self
+    }
+
+    /// Extracts data tables from many HTML documents.
+    pub fn add_documents<'a>(&mut self, docs: impl IntoIterator<Item = &'a str>) -> &mut Self {
+        for html in docs {
+            self.add_html(html);
+        }
+        self
+    }
+
+    /// Adds an already extracted table verbatim.
+    pub fn add_table(&mut self, table: WebTable) -> &mut Self {
+        self.next_table_id = self.next_table_id.max(table.id.0 + 1);
+        self.tables.push(table);
+        self
+    }
+
+    /// Adds many already extracted tables verbatim.
+    pub fn add_tables(&mut self, tables: impl IntoIterator<Item = WebTable>) -> &mut Self {
+        for t in tables {
+            self.add_table(t);
+        }
+        self
+    }
+
+    /// Number of tables accumulated so far.
+    pub fn n_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Freezes the accumulated tables into an immutable [`Engine`],
+    /// consuming the builder (reuse after `build` is a compile error).
+    pub fn build(self) -> Engine {
+        let mut builder = IndexBuilder::new();
+        for t in &self.tables {
+            builder.add_table(t);
+        }
+        Engine {
+            index: Arc::new(builder.build()),
+            store: Arc::new(TableStore::from_tables(self.tables)),
+            config: self.config,
+        }
+    }
+}
+
+/// The immutable, thread-shareable WWT engine: index + table store +
+/// configuration. All query-side methods take `&self`; share one engine
+/// across threads with [`Clone`] or `Arc`.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    index: Arc<TableIndex>,
+    store: Arc<TableStore>,
+    config: WwtConfig,
+}
+
+// Compile-time proof that one engine can serve many threads.
+const _: () = {
+    const fn assert_send_sync_clone<T: Send + Sync + Clone>() {}
+    assert_send_sync_clone::<Engine>();
+};
+
+impl Engine {
+    /// A fresh offline builder.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// Builds an engine directly from extracted tables.
+    pub fn from_tables(tables: Vec<WebTable>, config: WwtConfig) -> Self {
+        let mut b = EngineBuilder::with_config(config);
+        b.add_tables(tables);
+        b.build()
+    }
+
+    /// The fielded index.
+    pub fn index(&self) -> &TableIndex {
+        &self.index
+    }
+
+    /// The table store.
+    pub fn store(&self) -> &TableStore {
+        &self.store
+    }
+
+    /// The engine configuration (per-request overrides are applied on
+    /// top via [`QueryRequest`]).
+    pub fn config(&self) -> &WwtConfig {
+        &self.config
+    }
+
+    /// Runs the two-stage candidate retrieval (§2.2.1) with the engine
+    /// configuration.
+    pub fn retrieve(&self, query: &Query) -> Retrieval {
+        self.retrieve_with(query, &self.config).0
+    }
+
+    /// Retrieval plus the stage-1 pre-mapping it computed along the way
+    /// (reusable as the final mapping when the second probe adds
+    /// nothing).
+    fn retrieve_with(&self, query: &Query, cfg: &WwtConfig) -> (Retrieval, MappingResult) {
+        let mut timing = StageTimings::default();
+
+        // Probe 1: union of query keywords (hits far below the best match
+        // are dropped — they are single-keyword noise).
+        let t0 = Instant::now();
+        let tokens = tokenize(&query.all_keywords());
+        let mut hits1 = self.index.search(&tokens, cfg.probe1_k);
+        if let Some(best) = hits1.first().map(|h| h.score) {
+            hits1.retain(|h| h.score >= best * cfg.score_cutoff_frac);
+        }
+        timing.index1 = t0.elapsed();
+
+        let t0 = Instant::now();
+        let stage1: Vec<TableId> = hits1.iter().map(|h| h.table).collect();
+        let stage1_set: HashSet<TableId> = stage1.iter().copied().collect();
+        let tables1: Vec<&WebTable> = stage1.iter().filter_map(|&id| self.store.get(id)).collect();
+        timing.read1 = t0.elapsed();
+
+        // Pre-map stage-1 candidates to find confident seed tables.
+        let t0 = Instant::now();
+        let mapper = ColumnMapper {
+            config: cfg.mapper.clone(),
+            algorithm: cfg.algorithm,
+        };
+        let pre = mapper.map(query, &tables1, self.index.stats(), Some(&self.index));
+        timing.column_map += t0.elapsed();
+
+        let mut seeds: Vec<usize> = (0..tables1.len())
+            .filter(|&i| {
+                pre.table_relevance[i] >= cfg.high_relevance && pre.labelings[i].is_relevant()
+            })
+            .collect();
+        seeds.sort_by(|&a, &b| {
+            pre.table_relevance[b]
+                .partial_cmp(&pre.table_relevance[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        seeds.truncate(2);
+
+        let mut stage2: Vec<TableId> = Vec::new();
+        let probe2_used = !seeds.is_empty();
+        if probe2_used {
+            // Sample rows from the confident tables (deterministic spread).
+            let mut sample_tokens: Vec<String> = tokens.clone();
+            for &s in &seeds {
+                let t = tables1[s];
+                let n = t.n_rows();
+                let step = (n / cfg.sample_rows.max(1)).max(1);
+                for r in (0..n).step_by(step).take(cfg.sample_rows) {
+                    for c in 0..t.n_cols() {
+                        // Purely numeric tokens (years, counts) match
+                        // foreign tables everywhere; the discriminative
+                        // part of a sampled row is its entity text.
+                        sample_tokens.extend(
+                            tokenize(t.cell(r, c))
+                                .into_iter()
+                                .filter(|tok| !tok.chars().all(|c| c.is_ascii_digit())),
+                        );
+                    }
+                }
+            }
+            let t0 = Instant::now();
+            // Stage-1 tables re-match their own sampled rows, so search
+            // wide enough that they cannot crowd out new tables, then keep
+            // the top `probe2_k` *new* content-overlap matches.
+            let mut hits2 = self
+                .index
+                .search(&sample_tokens, cfg.probe2_k + stage1.len());
+            hits2.retain(|h| !stage1_set.contains(&h.table));
+            hits2.truncate(cfg.probe2_k);
+            timing.index2 = t0.elapsed();
+            let t0 = Instant::now();
+            let mut seen2: HashSet<TableId> = HashSet::with_capacity(hits2.len());
+            for h in hits2 {
+                if seen2.insert(h.table) {
+                    stage2.push(h.table);
+                }
+            }
+            timing.read2 = t0.elapsed();
+        }
+        (
+            Retrieval {
+                stage1,
+                stage2,
+                probe2_used,
+                timing,
+            },
+            pre,
+        )
+    }
+
+    /// Full online pipeline for one typed request: validate options →
+    /// retrieve → map → consolidate → rank → limit (§2.2).
+    pub fn answer(&self, request: &QueryRequest) -> Result<QueryResponse, WwtError> {
+        let cfg = request.options.resolve(&self.config)?;
+        Ok(self.answer_with(&request.query, &cfg, request.options.max_rows))
+    }
+
+    /// Full online pipeline for a bare query with the engine defaults
+    /// (infallible: there are no per-request options to validate).
+    pub fn answer_query(&self, query: &Query) -> QueryResponse {
+        self.answer_with(query, &self.config, None)
+    }
+
+    fn answer_with(
+        &self,
+        query: &Query,
+        cfg: &WwtConfig,
+        max_rows: Option<usize>,
+    ) -> QueryResponse {
+        let (retrieval, premap) = self.retrieve_with(query, cfg);
+        let mut timing = retrieval.timing;
+        let candidates = retrieval.candidates();
+
+        let t0 = Instant::now();
+        let tables: Vec<&WebTable> = candidates
+            .iter()
+            .filter_map(|&id| self.store.get(id))
+            .collect();
+        timing.read2 += t0.elapsed();
+
+        // The stage-1 pre-map already labeled exactly this candidate set
+        // when the second probe contributed nothing — reuse it instead of
+        // re-running the most expensive online stage (the mapper is
+        // deterministic over identical inputs).
+        let mapping = if retrieval.stage2.is_empty() && premap.labelings.len() == tables.len() {
+            premap
+        } else {
+            let t0 = Instant::now();
+            let mapper = ColumnMapper {
+                config: cfg.mapper.clone(),
+                algorithm: cfg.algorithm,
+            };
+            let mapping = mapper.map(query, &tables, self.index.stats(), Some(&self.index));
+            timing.column_map += t0.elapsed();
+            mapping
+        };
+
+        let t0 = Instant::now();
+        let inputs: Vec<RelevantInput<'_>> = (0..tables.len())
+            .filter(|&i| mapping.labelings[i].is_relevant())
+            .map(|i| RelevantInput {
+                table: tables[i],
+                labeling: &mapping.labelings[i],
+                relevance: mapping.table_relevance[i],
+            })
+            .collect();
+        let mut table = consolidate(query, &inputs);
+        timing.consolidate = t0.elapsed();
+
+        let rows_before_limit = table.len();
+        if let Some(limit) = max_rows {
+            table.rows.truncate(limit);
+        }
+        let diagnostics = QueryDiagnostics {
+            timing,
+            probe2_used: retrieval.probe2_used,
+            n_candidates: candidates.len(),
+            n_relevant: inputs.len(),
+            rows_before_limit,
+        };
+        QueryResponse {
+            table,
+            mapping,
+            candidates,
+            retrieval,
+            diagnostics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::QueryOptions;
+    use wwt_core::InferenceAlgorithm;
+
+    fn currency_page(i: usize, countries: &[(&str, &str)]) -> String {
+        let mut rows = String::new();
+        for (c, m) in countries {
+            rows.push_str(&format!("<tr><td>{c}</td><td>{m}</td></tr>"));
+        }
+        format!(
+            "<html><head><title>currencies {i}</title></head><body>\
+             <p>List of countries and their currency</p>\
+             <table><tr><th>Country</th><th>Currency</th></tr>{rows}</table>\
+             </body></html>"
+        )
+    }
+
+    fn junk_page() -> String {
+        "<html><body><p>nothing here about forests</p>\
+         <table><tr><th>ID</th><th>Area</th></tr>\
+         <tr><td>7</td><td>2236</td></tr><tr><td>9</td><td>880</td></tr></table>\
+         </body></html>"
+            .to_string()
+    }
+
+    fn build_engine() -> Engine {
+        let docs = [
+            currency_page(
+                0,
+                &[("India", "Rupee"), ("Japan", "Yen"), ("France", "Euro")],
+            ),
+            currency_page(
+                1,
+                &[("India", "Rupee"), ("Brazil", "Real"), ("Japan", "Yen")],
+            ),
+            junk_page(),
+        ];
+        let mut b = Engine::builder();
+        b.add_documents(docs.iter().map(String::as_str));
+        b.build()
+    }
+
+    #[test]
+    fn offline_build_extracts_and_indexes() {
+        let engine = build_engine();
+        assert_eq!(engine.store().len(), 3);
+        assert_eq!(engine.index().n_docs(), 3);
+    }
+
+    #[test]
+    fn answer_consolidates_currency_tables() {
+        let engine = build_engine();
+        let q = Query::parse("country | currency").unwrap();
+        let out = engine.answer_query(&q);
+        assert!(!out.table.is_empty(), "no answer rows");
+        // India appears in both tables: must be merged with support 2.
+        let india = out
+            .table
+            .rows
+            .iter()
+            .find(|r| r.cells[0] == "India")
+            .expect("India row");
+        assert_eq!(india.support, 2);
+        assert_eq!(india.cells[1], "Rupee");
+        // Four distinct countries in total.
+        assert_eq!(out.table.len(), 4);
+        // Junk table must not contribute.
+        assert!(out
+            .table
+            .rows
+            .iter()
+            .all(|r| r.cells[0] != "7" && r.cells[1] != "2236"));
+    }
+
+    #[test]
+    fn timings_and_diagnostics_populated() {
+        let engine = build_engine();
+        let q = Query::parse("country | currency").unwrap();
+        let out = engine.answer_query(&q);
+        assert!(out.diagnostics.timing.column_map > std::time::Duration::ZERO);
+        assert!(out.diagnostics.timing.total() >= out.diagnostics.timing.column_map);
+        assert_eq!(out.diagnostics.n_candidates, out.candidates.len());
+        assert!(out.diagnostics.n_relevant >= 2);
+        assert_eq!(out.diagnostics.rows_before_limit, out.table.len());
+    }
+
+    #[test]
+    fn retrieval_finds_stage1_candidates() {
+        let engine = build_engine();
+        let q = Query::parse("country | currency").unwrap();
+        let r = engine.retrieve(&q);
+        assert!(r.stage1.len() >= 2, "stage1 {:?}", r.stage1);
+        assert_eq!(r.len(), r.stage1.len() + r.stage2.len());
+    }
+
+    #[test]
+    fn unanswerable_query_yields_empty_table() {
+        let engine = build_engine();
+        let q = Query::parse("zebra migrations | season").unwrap();
+        let out = engine.answer_query(&q);
+        assert!(out.table.is_empty());
+    }
+
+    #[test]
+    fn empty_engine_is_safe() {
+        let engine = Engine::from_tables(vec![], WwtConfig::default());
+        let q = Query::parse("anything | at all").unwrap();
+        let out = engine.answer_query(&q);
+        assert!(out.table.is_empty());
+        assert!(out.candidates.is_empty());
+    }
+
+    #[test]
+    fn request_overrides_change_behavior() {
+        let engine = build_engine();
+        let req = QueryRequest::parse("country | currency").unwrap();
+        let full = engine.answer(&req).unwrap();
+        assert_eq!(full.table.len(), 4);
+
+        // Row limit truncates, keeping rank order, and diagnostics keep
+        // the pre-limit count.
+        let limited = engine.answer(&req.clone().max_rows(2)).unwrap();
+        assert_eq!(limited.table.len(), 2);
+        assert_eq!(limited.diagnostics.rows_before_limit, 4);
+        assert_eq!(limited.table.rows[0].cells, full.table.rows[0].cells);
+
+        // Algorithm override is honored.
+        let indep = engine
+            .answer(&req.clone().algorithm(InferenceAlgorithm::Independent))
+            .unwrap();
+        assert!(!indep.table.is_empty());
+
+        // Invalid overrides surface as typed errors.
+        assert!(matches!(
+            engine.answer(&req.clone().probe1_k(0)),
+            Err(WwtError::Invalid(_))
+        ));
+        assert!(matches!(
+            engine.answer(&req.clone().high_relevance(2.0)),
+            Err(WwtError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn engine_answers_identically_across_threads() {
+        let engine = Arc::new(build_engine());
+        let q = Query::parse("country | currency").unwrap();
+        let serial = engine.answer_query(&q);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let engine = Arc::clone(&engine);
+                let q = q.clone();
+                let serial_table = serial.table.clone();
+                scope.spawn(move || {
+                    for _ in 0..3 {
+                        let out = engine.answer_query(&q);
+                        assert_eq!(out.table, serial_table);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn builder_counts_and_config_roundtrip() {
+        let mut b = EngineBuilder::with_config(WwtConfig {
+            probe1_k: 17,
+            ..WwtConfig::default()
+        });
+        assert_eq!(b.n_tables(), 0);
+        b.add_html(&currency_page(0, &[("India", "Rupee")]));
+        assert_eq!(b.n_tables(), 1);
+        let engine = b.build();
+        assert_eq!(engine.config().probe1_k, 17);
+        assert_eq!(engine.store().len(), 1);
+    }
+
+    #[test]
+    fn default_options_resolve_to_engine_config() {
+        let engine = build_engine();
+        let cfg = QueryOptions::default().resolve(engine.config()).unwrap();
+        assert_eq!(cfg.probe1_k, engine.config().probe1_k);
+        assert_eq!(cfg.algorithm, engine.config().algorithm);
+    }
+}

@@ -2,7 +2,8 @@
 //! scoring every method with the F1 error of §5.
 
 use crate::baselines::{baseline_map, BaselineConfig, BaselineMethod};
-use crate::pipeline::{Wwt, WwtConfig};
+use crate::engine::Engine;
+use crate::pipeline::WwtConfig;
 use wwt_core::{f1_error, ColumnMapper, InferenceAlgorithm, SimilarityMode};
 use wwt_corpus::{GeneratedCorpus, QuerySpec};
 use wwt_html::extract_tables;
@@ -10,8 +11,9 @@ use wwt_model::{Label, Labeling, TableId, WebTable};
 
 /// A corpus extracted, indexed and bound to ground truth.
 pub struct BoundCorpus {
-    /// The assembled engine (index + store).
-    pub wwt: Wwt,
+    /// The assembled immutable engine (index + store), shareable across
+    /// evaluation threads.
+    pub engine: Engine,
     /// For each table id: `(home query index, reference labels)`.
     /// Tables without an entry (distractors) are all-`nr` for every query.
     truth: std::collections::HashMap<TableId, (usize, Vec<Label>)>,
@@ -72,7 +74,7 @@ pub fn bind_corpus(corpus: &GeneratedCorpus, config: WwtConfig) -> BoundCorpus {
         }
     }
     BoundCorpus {
-        wwt: Wwt::from_tables(tables, config),
+        engine: Engine::from_tables(tables, config),
         truth,
         extraction_failures: failures,
     }
@@ -148,14 +150,13 @@ pub fn evaluate_query_with(
     mapper_override: Option<&wwt_core::MapperConfig>,
 ) -> QueryEvaluation {
     let query = &spec.query;
-    let (stage1, stage2, _, _) = bound.wwt.retrieve(query);
-    let candidate_ids: Vec<TableId> = stage1.into_iter().chain(stage2).collect();
+    let candidate_ids: Vec<TableId> = bound.engine.retrieve(query).candidates();
     let tables: Vec<&WebTable> = candidate_ids
         .iter()
-        .filter_map(|&id| bound.wwt.store().get(id))
+        .filter_map(|&id| bound.engine.store().get(id))
         .collect();
-    let stats = bound.wwt.index().stats();
-    let index = bound.wwt.index();
+    let stats = bound.engine.index().stats();
+    let index = bound.engine.index();
 
     let labelings: Vec<Labeling> = match method {
         Method::Basic => baseline_map(
@@ -186,17 +187,17 @@ pub fn evaluate_query_with(
             let mapper = ColumnMapper {
                 config: mapper_override
                     .cloned()
-                    .unwrap_or_else(|| bound.wwt.config().mapper.clone()),
+                    .unwrap_or_else(|| bound.engine.config().mapper.clone()),
                 algorithm: alg,
             };
             mapper.map(query, &tables, stats, Some(index)).labelings
         }
         Method::WwtUnsegmented => {
-            let mut cfg = bound.wwt.config().mapper.clone();
+            let mut cfg = bound.engine.config().mapper.clone();
             cfg.similarity = SimilarityMode::Unsegmented;
             let mapper = ColumnMapper {
                 config: cfg,
-                algorithm: bound.wwt.config().algorithm,
+                algorithm: bound.engine.config().algorithm,
             };
             mapper.map(query, &tables, stats, Some(index)).labelings
         }
@@ -227,9 +228,8 @@ pub fn evaluate_query_with(
     }
 }
 
-/// Evaluates `method` on many queries in parallel (one crossbeam worker
-/// per thread, work-stealing over a shared cursor). Results come back in
-/// workload order.
+/// Evaluates `method` on many queries in parallel (via
+/// [`crate::pool::fan_out`]). Results come back in workload order.
 pub fn evaluate_workload(
     bound: &BoundCorpus,
     specs: &[QuerySpec],
@@ -248,33 +248,9 @@ pub fn evaluate_workload_with(
     threads: usize,
     mapper_override: Option<&wwt_core::MapperConfig>,
 ) -> Vec<QueryEvaluation> {
-    let threads = threads.max(1).min(specs.len().max(1));
-    if threads == 1 {
-        return specs
-            .iter()
-            .map(|s| evaluate_query_with(bound, s, method, mapper_override))
-            .collect();
-    }
-    let cursor = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<std::sync::Mutex<Option<QueryEvaluation>>> =
-        specs.iter().map(|_| std::sync::Mutex::new(None)).collect();
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= specs.len() {
-                    break;
-                }
-                let eval = evaluate_query_with(bound, &specs[i], method, mapper_override);
-                *results[i].lock().unwrap() = Some(eval);
-            });
-        }
+    crate::pool::fan_out(specs.len(), threads, |i| {
+        evaluate_query_with(bound, &specs[i], method, mapper_override)
     })
-    .expect("evaluation worker panicked");
-    results
-        .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("slot filled"))
-        .collect()
 }
 
 #[cfg(test)]
@@ -287,7 +263,8 @@ mod tests {
             .into_iter()
             .find(|s| s.query.to_string().starts_with(query_prefix))
             .unwrap();
-        let corpus = CorpusGenerator::new(CorpusConfig::small()).generate_for(&[spec.clone()]);
+        let corpus =
+            CorpusGenerator::new(CorpusConfig::small()).generate_for(std::slice::from_ref(&spec));
         (bind_corpus(&corpus, WwtConfig::default()), spec)
     }
 

@@ -1,24 +1,45 @@
 //! # wwt-engine
 //!
-//! The end-to-end WWT system of paper Figure 2:
+//! The end-to-end WWT system of paper Figure 2, split along the
+//! offline/online service boundary:
 //!
-//! * **offline** ([`Wwt::build`]): crawl documents → table extraction
+//! * **offline** ([`EngineBuilder`]): crawl documents → table extraction
 //!   (`wwt-html`) → table store + fielded index (`wwt-index`);
-//! * **online** ([`Wwt::answer`]): two-stage index probe (§2.2.1), column
-//!   mapping (`wwt-core`), consolidation and ranking (`wwt-consolidate`),
-//!   with per-stage wall-clock timing (the Figure 7 breakdown);
+//! * **online** ([`Engine`]): an immutable, `Send + Sync` snapshot whose
+//!   [`Engine::answer`] runs the two-stage index probe (§2.2.1), column
+//!   mapping (`wwt-core`), consolidation and ranking (`wwt-consolidate`)
+//!   for a typed [`QueryRequest`], returning a [`QueryResponse`] with
+//!   per-stage timing (the Figure 7 breakdown) in [`QueryDiagnostics`];
 //! * **baselines** ([`baselines`]): the Basic / NbrText / PMI2 methods of
 //!   §5 that WWT is compared against;
 //! * **evaluation** ([`evaluate`]): binding generated corpora to ground
 //!   truth and computing the F1 error per method (the machinery behind
 //!   every table and figure reproduction in `wwt-bench`).
+//!
+//! The pre-redesign [`Wwt`] facade remains as a deprecated shim over
+//! [`Engine`]; new code should build with [`EngineBuilder`] and serve
+//! through `wwt-service`'s `TableSearchService`.
 
 pub mod baselines;
+pub mod engine;
 pub mod evaluate;
 pub mod pipeline;
+pub mod pool;
+pub mod request;
+pub mod retrieval;
 pub mod timing;
 
 pub use baselines::{baseline_map, BaselineConfig, BaselineMethod};
-pub use evaluate::{bind_corpus, evaluate_query, evaluate_query_with, evaluate_workload, evaluate_workload_with, BoundCorpus, Method, QueryEvaluation};
-pub use pipeline::{QueryOutcome, Wwt, WwtConfig};
+pub use engine::{Engine, EngineBuilder};
+pub use evaluate::{
+    bind_corpus, evaluate_query, evaluate_query_with, evaluate_workload, evaluate_workload_with,
+    BoundCorpus, Method, QueryEvaluation,
+};
+pub use pipeline::{QueryOutcome, WwtConfig};
+pub use pool::fan_out;
+pub use request::{QueryDiagnostics, QueryOptions, QueryRequest, QueryResponse};
+pub use retrieval::Retrieval;
 pub use timing::StageTimings;
+
+#[allow(deprecated)]
+pub use pipeline::Wwt;

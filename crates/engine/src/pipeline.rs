@@ -1,13 +1,17 @@
-//! The end-to-end query pipeline (paper §2.2).
+//! Engine configuration and the deprecated `Wwt` compatibility shim.
+//!
+//! The end-to-end pipeline logic lives in [`crate::engine`] now; this
+//! module keeps [`WwtConfig`] (the build-time defaults that
+//! [`crate::QueryRequest`] options override per request) and a thin
+//! deprecated [`Wwt`] wrapper so pre-redesign callers keep compiling
+//! while they migrate to [`EngineBuilder`]/[`Engine`].
 
+use crate::engine::{Engine, EngineBuilder};
+use crate::retrieval::Retrieval;
 use crate::timing::StageTimings;
-use std::time::Instant;
-use wwt_consolidate::{consolidate, RelevantInput};
-use wwt_core::{ColumnMapper, InferenceAlgorithm, MapperConfig, MappingResult};
-use wwt_html::extract_tables;
-use wwt_index::{IndexBuilder, TableIndex, TableStore};
+use wwt_core::{InferenceAlgorithm, MapperConfig, MappingResult};
+use wwt_index::{TableIndex, TableStore};
 use wwt_model::{AnswerTable, Query, TableId, WebTable};
-use wwt_text::tokenize;
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -47,7 +51,8 @@ impl Default for WwtConfig {
     }
 }
 
-/// Everything the engine produces for one query.
+/// Everything the engine produces for one query (legacy shape; new code
+/// receives a [`crate::QueryResponse`]).
 #[derive(Debug, Clone)]
 pub struct QueryOutcome {
     /// The consolidated, ranked answer table.
@@ -66,190 +71,74 @@ pub struct QueryOutcome {
     pub timing: StageTimings,
 }
 
-/// The assembled WWT system: index + table store + mapper.
+/// The assembled WWT system (legacy shim over [`Engine`]).
+#[deprecated(
+    since = "0.2.0",
+    note = "use EngineBuilder to build and Engine (+ wwt-service's TableSearchService) to answer"
+)]
 pub struct Wwt {
-    index: TableIndex,
-    store: TableStore,
-    config: WwtConfig,
+    engine: Engine,
 }
 
+#[allow(deprecated)]
 impl Wwt {
     /// Offline pipeline: extract data tables from raw HTML documents,
     /// build the store and the fielded index (paper §2.1).
     pub fn build<'a>(docs: impl IntoIterator<Item = &'a str>, config: WwtConfig) -> Self {
-        let mut tables = Vec::new();
-        let mut next_id = 0u32;
-        for (i, html) in docs.into_iter().enumerate() {
-            let url = format!("doc://{i}");
-            let extracted = extract_tables(html, &url, next_id);
-            next_id += extracted.len() as u32;
-            tables.extend(extracted);
-        }
-        Self::from_tables(tables, config)
+        let mut b = EngineBuilder::with_config(config);
+        b.add_documents(docs);
+        Wwt { engine: b.build() }
     }
 
     /// Builds the system from already extracted tables.
     pub fn from_tables(tables: Vec<WebTable>, config: WwtConfig) -> Self {
-        let mut builder = IndexBuilder::new();
-        for t in &tables {
-            builder.add_table(t);
-        }
         Wwt {
-            index: builder.build(),
-            store: TableStore::from_tables(tables),
-            config,
+            engine: Engine::from_tables(tables, config),
         }
+    }
+
+    /// The underlying immutable engine (migration escape hatch).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
     }
 
     /// The fielded index.
     pub fn index(&self) -> &TableIndex {
-        &self.index
+        self.engine.index()
     }
 
     /// The table store.
     pub fn store(&self) -> &TableStore {
-        &self.store
+        self.engine.store()
     }
 
     /// The engine configuration.
     pub fn config(&self) -> &WwtConfig {
-        &self.config
+        self.engine.config()
     }
 
-    /// Runs the two-stage candidate retrieval (§2.2.1). Returns
-    /// `(stage1_ids, stage2_only_ids, probe2_used, timings-so-far)`.
-    pub fn retrieve(&self, query: &Query) -> (Vec<TableId>, Vec<TableId>, bool, StageTimings) {
-        let mut timing = StageTimings::default();
-        let cfg = &self.config;
-
-        // Probe 1: union of query keywords (hits far below the best match
-        // are dropped — they are single-keyword noise).
-        let t0 = Instant::now();
-        let tokens = tokenize(&query.all_keywords());
-        let mut hits1 = self.index.search(&tokens, cfg.probe1_k);
-        if let Some(best) = hits1.first().map(|h| h.score) {
-            hits1.retain(|h| h.score >= best * cfg.score_cutoff_frac);
-        }
-        timing.index1 = t0.elapsed();
-
-        let t0 = Instant::now();
-        let stage1: Vec<TableId> = hits1.iter().map(|h| h.table).collect();
-        let tables1: Vec<&WebTable> = stage1
-            .iter()
-            .filter_map(|&id| self.store.get(id))
-            .collect();
-        timing.read1 = t0.elapsed();
-
-        // Pre-map stage-1 candidates to find confident seed tables.
-        let t0 = Instant::now();
-        let mapper = ColumnMapper {
-            config: cfg.mapper.clone(),
-            algorithm: cfg.algorithm,
-        };
-        let pre = mapper.map(query, &tables1, self.index.stats(), Some(&self.index));
-        timing.column_map += t0.elapsed();
-
-        let mut seeds: Vec<usize> = (0..tables1.len())
-            .filter(|&i| {
-                pre.table_relevance[i] >= cfg.high_relevance && pre.labelings[i].is_relevant()
-            })
-            .collect();
-        seeds.sort_by(|&a, &b| {
-            pre.table_relevance[b]
-                .partial_cmp(&pre.table_relevance[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        seeds.truncate(2);
-
-        let mut stage2: Vec<TableId> = Vec::new();
-        let probe2_used = !seeds.is_empty();
-        if probe2_used {
-            // Sample rows from the confident tables (deterministic spread).
-            let mut sample_tokens: Vec<String> = tokens.clone();
-            for &s in &seeds {
-                let t = tables1[s];
-                let n = t.n_rows();
-                let step = (n / cfg.sample_rows.max(1)).max(1);
-                for r in (0..n).step_by(step).take(cfg.sample_rows) {
-                    for c in 0..t.n_cols() {
-                        // Purely numeric tokens (years, counts) match
-                        // foreign tables everywhere; the discriminative
-                        // part of a sampled row is its entity text.
-                        sample_tokens.extend(
-                            tokenize(t.cell(r, c))
-                                .into_iter()
-                                .filter(|tok| !tok.chars().all(|c| c.is_ascii_digit())),
-                        );
-                    }
-                }
-            }
-            let t0 = Instant::now();
-            // Stage-1 tables re-match their own sampled rows, so search
-            // wide enough that they cannot crowd out new tables, then keep
-            // the top `probe2_k` *new* content-overlap matches.
-            let mut hits2 = self
-                .index
-                .search(&sample_tokens, cfg.probe2_k + stage1.len());
-            hits2.retain(|h| !stage1.contains(&h.table));
-            hits2.truncate(cfg.probe2_k);
-            timing.index2 = t0.elapsed();
-            let t0 = Instant::now();
-            for h in hits2 {
-                if !stage2.contains(&h.table) {
-                    stage2.push(h.table);
-                }
-            }
-            timing.read2 = t0.elapsed();
-        }
-        (stage1, stage2, probe2_used, timing)
+    /// Runs the two-stage candidate retrieval (§2.2.1).
+    pub fn retrieve(&self, query: &Query) -> Retrieval {
+        self.engine.retrieve(query)
     }
 
     /// Full online pipeline: retrieve → map → consolidate → rank (§2.2).
     pub fn answer(&self, query: &Query) -> QueryOutcome {
-        let cfg = &self.config;
-        let (stage1, stage2, probe2_used, mut timing) = self.retrieve(query);
-        let candidates: Vec<TableId> = stage1.iter().chain(stage2.iter()).copied().collect();
-
-        let t0 = Instant::now();
-        let tables: Vec<&WebTable> = candidates
-            .iter()
-            .filter_map(|&id| self.store.get(id))
-            .collect();
-        timing.read2 += t0.elapsed();
-
-        let t0 = Instant::now();
-        let mapper = ColumnMapper {
-            config: cfg.mapper.clone(),
-            algorithm: cfg.algorithm,
-        };
-        let mapping = mapper.map(query, &tables, self.index.stats(), Some(&self.index));
-        timing.column_map += t0.elapsed();
-
-        let t0 = Instant::now();
-        let inputs: Vec<RelevantInput<'_>> = (0..tables.len())
-            .filter(|&i| mapping.labelings[i].is_relevant())
-            .map(|i| RelevantInput {
-                table: tables[i],
-                labeling: &mapping.labelings[i],
-                relevance: mapping.table_relevance[i],
-            })
-            .collect();
-        let table = consolidate(query, &inputs);
-        timing.consolidate = t0.elapsed();
-
+        let response = self.engine.answer_query(query);
         QueryOutcome {
-            table,
-            mapping,
-            candidates,
-            stage1,
-            stage2,
-            probe2_used,
-            timing,
+            table: response.table,
+            mapping: response.mapping,
+            candidates: response.candidates,
+            stage1: response.retrieval.stage1,
+            stage2: response.retrieval.stage2,
+            probe2_used: response.retrieval.probe2_used,
+            timing: response.diagnostics.timing,
         }
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -266,86 +155,44 @@ mod tests {
         )
     }
 
-    fn junk_page() -> String {
-        "<html><body><p>nothing here about forests</p>\
-         <table><tr><th>ID</th><th>Area</th></tr>\
-         <tr><td>7</td><td>2236</td></tr><tr><td>9</td><td>880</td></tr></table>\
-         </body></html>"
-            .to_string()
-    }
-
-    fn build_engine() -> Wwt {
-        let docs = vec![
-            currency_page(0, &[("India", "Rupee"), ("Japan", "Yen"), ("France", "Euro")]),
-            currency_page(1, &[("India", "Rupee"), ("Brazil", "Real"), ("Japan", "Yen")]),
-            junk_page(),
+    fn build_shim() -> Wwt {
+        let docs = [
+            currency_page(
+                0,
+                &[("India", "Rupee"), ("Japan", "Yen"), ("France", "Euro")],
+            ),
+            currency_page(
+                1,
+                &[("India", "Rupee"), ("Brazil", "Real"), ("Japan", "Yen")],
+            ),
         ];
         Wwt::build(docs.iter().map(String::as_str), WwtConfig::default())
     }
 
     #[test]
-    fn offline_build_extracts_and_indexes() {
-        let wwt = build_engine();
-        assert_eq!(wwt.store().len(), 3);
-        assert_eq!(wwt.index().n_docs(), 3);
-    }
-
-    #[test]
-    fn answer_consolidates_currency_tables() {
-        let wwt = build_engine();
+    fn shim_matches_engine_results() {
+        let wwt = build_shim();
         let q = Query::parse("country | currency").unwrap();
-        let out = wwt.answer(&q);
-        assert!(!out.table.is_empty(), "no answer rows");
-        // India appears in both tables: must be merged with support 2.
-        let india = out
-            .table
-            .rows
-            .iter()
-            .find(|r| r.cells[0] == "India")
-            .expect("India row");
-        assert_eq!(india.support, 2);
-        assert_eq!(india.cells[1], "Rupee");
-        // Four distinct countries in total.
-        assert_eq!(out.table.len(), 4);
-        // Junk table must not contribute.
-        assert!(out
-            .table
-            .rows
-            .iter()
-            .all(|r| r.cells[0] != "7" && r.cells[1] != "2236"));
+        let legacy = wwt.answer(&q);
+        let modern = wwt.engine().answer_query(&q);
+        assert_eq!(legacy.table, modern.table);
+        assert_eq!(legacy.candidates, modern.candidates);
+        assert_eq!(legacy.probe2_used, modern.retrieval.probe2_used);
     }
 
     #[test]
-    fn timings_are_populated() {
-        let wwt = build_engine();
+    fn shim_retrieve_returns_named_struct() {
+        let wwt = build_shim();
         let q = Query::parse("country | currency").unwrap();
-        let out = wwt.answer(&q);
-        assert!(out.timing.column_map > std::time::Duration::ZERO);
-        assert!(out.timing.total() >= out.timing.column_map);
+        let r = wwt.retrieve(&q);
+        assert!(!r.stage1.is_empty());
+        assert_eq!(r.candidates().len(), r.len());
     }
 
     #[test]
-    fn retrieval_finds_stage1_candidates() {
-        let wwt = build_engine();
-        let q = Query::parse("country | currency").unwrap();
-        let (s1, _s2, _used, _t) = wwt.retrieve(&q);
-        assert!(s1.len() >= 2, "stage1 {s1:?}");
-    }
-
-    #[test]
-    fn unanswerable_query_yields_empty_table() {
-        let wwt = build_engine();
-        let q = Query::parse("zebra migrations | season").unwrap();
-        let out = wwt.answer(&q);
-        assert!(out.table.is_empty());
-    }
-
-    #[test]
-    fn empty_engine_is_safe() {
+    fn shim_from_tables_empty_is_safe() {
         let wwt = Wwt::from_tables(vec![], WwtConfig::default());
         let q = Query::parse("anything | at all").unwrap();
-        let out = wwt.answer(&q);
-        assert!(out.table.is_empty());
-        assert!(out.candidates.is_empty());
+        assert!(wwt.answer(&q).table.is_empty());
     }
 }

@@ -1,0 +1,55 @@
+//! Minimal scoped fan-out helper shared by the evaluation harness and
+//! the service layer's `answer_batch`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `f(0..n)` on up to `threads` scoped workers (work-stealing over a
+/// shared cursor) and returns the results in index order. With one
+/// worker (or `n <= 1`) it degenerates to a plain serial map.
+pub fn fan_out<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = threads.max(1).min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                *slots[i].lock().unwrap() = Some(f(i));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("fan_out slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_across_thread_counts() {
+        let expected: Vec<usize> = (0..57).map(|i| i * i).collect();
+        for threads in [1, 2, 4, 16] {
+            assert_eq!(fan_out(57, threads, |i| i * i), expected);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        assert_eq!(fan_out(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(fan_out(1, 4, |i| i + 1), vec![1]);
+    }
+}

@@ -1,0 +1,267 @@
+//! Typed request/response types of the service-grade query API.
+//!
+//! A [`QueryRequest`] carries the parsed [`Query`] plus optional
+//! per-request overrides of the engine defaults ([`QueryOptions`]); the
+//! engine answers it with a [`QueryResponse`] bundling the consolidated
+//! answer, the column mapping, the named [`Retrieval`] and
+//! [`QueryDiagnostics`] (per-stage timings and candidate counts).
+
+use crate::pipeline::WwtConfig;
+use crate::retrieval::Retrieval;
+use crate::timing::StageTimings;
+use wwt_core::{InferenceAlgorithm, MappingResult};
+use wwt_model::{AnswerTable, Query, QueryParseError, TableId, WwtError};
+
+/// Per-request overrides of the engine configuration. `None` means "use
+/// the engine default"; see [`WwtConfig`] for the semantics of each knob.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryOptions {
+    /// Collective inference algorithm override.
+    pub algorithm: Option<InferenceAlgorithm>,
+    /// First-probe candidate count override (must be ≥ 1).
+    pub probe1_k: Option<usize>,
+    /// Second-probe new-candidate cap override (0 disables the second
+    /// probe's contribution).
+    pub probe2_k: Option<usize>,
+    /// Relevance bar for second-probe seed tables (must be in `[0, 1]`).
+    pub high_relevance: Option<f64>,
+    /// Maximum number of answer rows returned (`None` = unlimited).
+    pub max_rows: Option<usize>,
+}
+
+impl QueryOptions {
+    /// True iff every knob is at the engine default.
+    pub fn is_default(&self) -> bool {
+        *self == QueryOptions::default()
+    }
+
+    /// Applies the overrides to a base configuration, validating them.
+    pub(crate) fn resolve(&self, base: &WwtConfig) -> Result<WwtConfig, WwtError> {
+        let mut cfg = base.clone();
+        if let Some(alg) = self.algorithm {
+            cfg.algorithm = alg;
+        }
+        if let Some(k) = self.probe1_k {
+            if k == 0 {
+                return Err(WwtError::Invalid("probe1_k must be >= 1".into()));
+            }
+            cfg.probe1_k = k;
+        }
+        if let Some(k) = self.probe2_k {
+            cfg.probe2_k = k;
+        }
+        if let Some(bar) = self.high_relevance {
+            if !(0.0..=1.0).contains(&bar) {
+                return Err(WwtError::Invalid(format!(
+                    "high_relevance must be in [0, 1], got {bar}"
+                )));
+            }
+            cfg.high_relevance = bar;
+        }
+        Ok(cfg)
+    }
+
+    /// A stable textual fingerprint of the overrides, used in response
+    /// cache keys. Defaults collapse to the empty string so that an
+    /// explicit request and a plain query share cache entries.
+    pub fn fingerprint(&self) -> String {
+        if self.is_default() {
+            return String::new();
+        }
+        let mut s = String::new();
+        if let Some(a) = self.algorithm {
+            s.push_str(&format!("alg={a:?};"));
+        }
+        if let Some(k) = self.probe1_k {
+            s.push_str(&format!("p1={k};"));
+        }
+        if let Some(k) = self.probe2_k {
+            s.push_str(&format!("p2={k};"));
+        }
+        if let Some(b) = self.high_relevance {
+            s.push_str(&format!("hr={};", b.to_bits()));
+        }
+        if let Some(m) = self.max_rows {
+            s.push_str(&format!("rows={m};"));
+        }
+        s
+    }
+}
+
+/// One query plus per-request options — the unit the engine and the
+/// service layer answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// The column-keyword query.
+    pub query: Query,
+    /// Per-request overrides.
+    pub options: QueryOptions,
+}
+
+impl QueryRequest {
+    /// A request with engine-default options.
+    pub fn new(query: Query) -> Self {
+        QueryRequest {
+            query,
+            options: QueryOptions::default(),
+        }
+    }
+
+    /// Parses the `"kw kw | kw kw | ..."` syntax into a request.
+    pub fn parse(s: &str) -> Result<Self, QueryParseError> {
+        Ok(Self::new(Query::parse(s)?))
+    }
+
+    /// Overrides the inference algorithm for this request.
+    pub fn algorithm(mut self, algorithm: InferenceAlgorithm) -> Self {
+        self.options.algorithm = Some(algorithm);
+        self
+    }
+
+    /// Overrides the first-probe candidate count.
+    pub fn probe1_k(mut self, k: usize) -> Self {
+        self.options.probe1_k = Some(k);
+        self
+    }
+
+    /// Overrides the second-probe new-candidate cap.
+    pub fn probe2_k(mut self, k: usize) -> Self {
+        self.options.probe2_k = Some(k);
+        self
+    }
+
+    /// Overrides the high-relevance bar seeding the second probe.
+    pub fn high_relevance(mut self, bar: f64) -> Self {
+        self.options.high_relevance = Some(bar);
+        self
+    }
+
+    /// Limits the number of answer rows returned.
+    pub fn max_rows(mut self, rows: usize) -> Self {
+        self.options.max_rows = Some(rows);
+        self
+    }
+
+    /// The canonical cache key of this request: the normalized query
+    /// (columns joined by `" | "`, as parsed) plus the options
+    /// fingerprint.
+    pub fn cache_key(&self) -> String {
+        format!("{}\u{1f}{}", self.query, self.options.fingerprint())
+    }
+}
+
+impl From<Query> for QueryRequest {
+    fn from(query: Query) -> Self {
+        QueryRequest::new(query)
+    }
+}
+
+/// Measurements and counters describing how a response was produced.
+#[derive(Debug, Clone, Default)]
+pub struct QueryDiagnostics {
+    /// Per-stage wall-clock timing (Figure 7 breakdown).
+    pub timing: StageTimings,
+    /// Whether the second index probe fired.
+    pub probe2_used: bool,
+    /// Candidate tables retrieved across both probes.
+    pub n_candidates: usize,
+    /// Candidates the mapper labeled relevant.
+    pub n_relevant: usize,
+    /// Consolidated rows before the `max_rows` limit was applied.
+    pub rows_before_limit: usize,
+}
+
+/// Everything the engine produces for one request.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The consolidated, ranked answer table (truncated to the request's
+    /// `max_rows`, if set).
+    pub table: AnswerTable,
+    /// The column mapping over all candidates.
+    pub mapping: MappingResult,
+    /// Candidate table ids, aligned with `mapping.labelings`.
+    pub candidates: Vec<TableId>,
+    /// The two-stage retrieval outcome.
+    pub retrieval: Retrieval,
+    /// Timings and counters.
+    pub diagnostics: QueryDiagnostics,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_options() {
+        let req = QueryRequest::parse("country | currency")
+            .unwrap()
+            .algorithm(InferenceAlgorithm::Independent)
+            .probe1_k(10)
+            .probe2_k(3)
+            .high_relevance(0.5)
+            .max_rows(7);
+        assert_eq!(req.query.q(), 2);
+        assert_eq!(req.options.algorithm, Some(InferenceAlgorithm::Independent));
+        assert_eq!(req.options.probe1_k, Some(10));
+        assert_eq!(req.options.probe2_k, Some(3));
+        assert_eq!(req.options.high_relevance, Some(0.5));
+        assert_eq!(req.options.max_rows, Some(7));
+        assert!(!req.options.is_default());
+    }
+
+    #[test]
+    fn parse_propagates_query_errors() {
+        assert!(QueryRequest::parse(" | ").is_err());
+    }
+
+    #[test]
+    fn resolve_applies_and_validates() {
+        let base = WwtConfig::default();
+        let ok = QueryRequest::parse("a | b")
+            .unwrap()
+            .probe1_k(5)
+            .high_relevance(0.9)
+            .options
+            .resolve(&base)
+            .unwrap();
+        assert_eq!(ok.probe1_k, 5);
+        assert_eq!(ok.high_relevance, 0.9);
+        assert_eq!(ok.probe2_k, base.probe2_k);
+
+        let zero_probe = QueryOptions {
+            probe1_k: Some(0),
+            ..Default::default()
+        };
+        assert!(matches!(
+            zero_probe.resolve(&base),
+            Err(WwtError::Invalid(_))
+        ));
+        let bad_bar = QueryOptions {
+            high_relevance: Some(1.5),
+            ..Default::default()
+        };
+        assert!(matches!(bad_bar.resolve(&base), Err(WwtError::Invalid(_))));
+        let nan_bar = QueryOptions {
+            high_relevance: Some(f64::NAN),
+            ..Default::default()
+        };
+        assert!(matches!(nan_bar.resolve(&base), Err(WwtError::Invalid(_))));
+    }
+
+    #[test]
+    fn cache_key_separates_query_and_options() {
+        let plain = QueryRequest::parse("country | currency").unwrap();
+        let tuned = plain.clone().probe1_k(10);
+        let other = QueryRequest::parse("country | gdp").unwrap();
+        assert_ne!(plain.cache_key(), tuned.cache_key());
+        assert_ne!(plain.cache_key(), other.cache_key());
+        // Whitespace-normalized equivalent queries share a key.
+        let spaced = QueryRequest::parse("  country |currency ").unwrap();
+        assert_eq!(plain.cache_key(), spaced.cache_key());
+        // Default options fingerprint matches a bare query.
+        assert_eq!(
+            plain.cache_key(),
+            QueryRequest::new(Query::parse("country | currency").unwrap()).cache_key()
+        );
+    }
+}

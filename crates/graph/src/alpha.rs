@@ -65,12 +65,7 @@ pub fn alpha_expansion(mrf: &PairwiseMrf, init: Vec<usize>, opts: &AlphaOptions)
 }
 
 /// Computes the optimal (or constraint-repaired) α-move from `y`.
-fn expansion_move(
-    mrf: &PairwiseMrf,
-    y: &[usize],
-    alpha: usize,
-    opts: &AlphaOptions,
-) -> Vec<usize> {
+fn expansion_move(mrf: &PairwiseMrf, y: &[usize], alpha: usize, opts: &AlphaOptions) -> Vec<usize> {
     let n = mrf.n_vars();
     // Node layout: 0 = s, 1 = t, variable i -> 2 + i.
     let s = 0;
@@ -186,11 +181,7 @@ mod tests {
     #[test]
     fn attractive_potts_matches_brute_force() {
         // Two strong nodes pull a weak middle node to their label.
-        let mut mrf = PairwiseMrf::new(vec![
-            vec![4.0, 0.0],
-            vec![0.4, 0.5],
-            vec![4.0, 0.0],
-        ]);
+        let mut mrf = PairwiseMrf::new(vec![vec![4.0, 0.0], vec![0.4, 0.5], vec![4.0, 0.0]]);
         mrf.add_potts_edge(0, 1, 1.0, &[]);
         mrf.add_potts_edge(1, 2, 1.0, &[]);
         let out = alpha_expansion(&mrf, vec![1, 1, 1], &opts());
@@ -225,7 +216,11 @@ mod tests {
             assert!(mrf.score(&out) >= init_score - 1e-9);
             // And close to brute force on these tiny attractive models.
             let (_, best) = mrf.brute_force_map();
-            assert!(mrf.score(&out) >= best - 1e-6, "out {} best {best}", mrf.score(&out));
+            assert!(
+                mrf.score(&out) >= best - 1e-6,
+                "out {} best {best}",
+                mrf.score(&out)
+            );
         }
     }
 

@@ -132,7 +132,7 @@ fn read_assignment(g: &MinCostFlow, p: &Assignment, _layout: &Layout) -> Option<
             }
         }
     }
-    if assignment.iter().any(|&b| b == usize::MAX) {
+    if assignment.contains(&usize::MAX) {
         None
     } else {
         Some(assignment)
@@ -394,11 +394,7 @@ mod tests {
     fn max_marginals_match_brute_force() {
         let p = Assignment {
             bin_caps: vec![1, 1, 4],
-            weights: vec![
-                vec![2.0, 1.0, 0.0],
-                vec![1.5, 2.5, 0.0],
-                vec![0.5, NI, 0.0],
-            ],
+            weights: vec![vec![2.0, 1.0, 0.0], vec![1.5, 2.5, 0.0], vec![0.5, NI, 0.0]],
         };
         let fast = max_marginals(&p);
         let slow = brute::max_marginals(&p);
@@ -406,10 +402,7 @@ mod tests {
             for b in 0..p.n_bins() {
                 let (f, s) = (fast[i][b], slow[i][b]);
                 if s.is_finite() {
-                    assert!(
-                        (f - s).abs() < 1e-9,
-                        "mu[{i}][{b}]: fast {f} vs brute {s}"
-                    );
+                    assert!((f - s).abs() < 1e-9, "mu[{i}][{b}]: fast {f} vs brute {s}");
                 } else {
                     assert!(!f.is_finite(), "mu[{i}][{b}] should be -inf, got {f}");
                 }

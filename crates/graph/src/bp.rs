@@ -124,17 +124,16 @@ mod tests {
         mrf.add_potts_edge(1, 2, 0.8, &[]);
         let bp = loopy_bp(&mrf, &BpOptions::default());
         let (brute, best) = mrf.brute_force_map();
-        assert!((mrf.score(&bp) - best).abs() < 1e-9, "bp {bp:?} brute {brute:?}");
+        assert!(
+            (mrf.score(&bp) - best).abs() < 1e-9,
+            "bp {bp:?} brute {brute:?}"
+        );
     }
 
     #[test]
     fn attractive_loop_consensus() {
         // Triangle with attractive edges: all nodes agree with the strong one.
-        let mut mrf = PairwiseMrf::new(vec![
-            vec![2.0, 0.0],
-            vec![0.0, 0.1],
-            vec![0.0, 0.1],
-        ]);
+        let mut mrf = PairwiseMrf::new(vec![vec![2.0, 0.0], vec![0.0, 0.1], vec![0.0, 0.1]]);
         mrf.add_potts_edge(0, 1, 1.0, &[]);
         mrf.add_potts_edge(1, 2, 1.0, &[]);
         mrf.add_potts_edge(0, 2, 1.0, &[]);

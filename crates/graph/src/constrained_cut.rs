@@ -40,7 +40,12 @@ pub struct ConstrainedCutProblem<'a> {
 /// on the **t side** of the final cut. Guarantees at most one vertex per
 /// group on the t side.
 pub fn constrained_min_cut(problem: ConstrainedCutProblem<'_>) -> Vec<bool> {
-    let ConstrainedCutProblem { graph, s, t, groups } = problem;
+    let ConstrainedCutProblem {
+        graph,
+        s,
+        t,
+        groups,
+    } = problem;
     graph.max_flow(s, t);
     loop {
         let s_side = graph.s_side(s);
@@ -54,11 +59,8 @@ pub fn constrained_min_cut(problem: ConstrainedCutProblem<'_>) -> Vec<bool> {
         // Evaluate every candidate "keep v on the t side" choice.
         let mut best: Option<(f64, Vec<usize>)> = None; // (extra flow, edges to raise)
         for group in &violating {
-            let members: Vec<(usize, usize)> = group
-                .iter()
-                .copied()
-                .filter(|&(v, _)| !s_side[v])
-                .collect();
+            let members: Vec<(usize, usize)> =
+                group.iter().copied().filter(|&(v, _)| !s_side[v]).collect();
             for &(keep, _) in &members {
                 let raises: Vec<usize> = members
                     .iter()
@@ -97,9 +99,7 @@ mod tests {
     fn build(to_s: &[f64], to_t: &[f64]) -> (MaxFlowGraph, Vec<usize>) {
         let n = to_s.len();
         let mut g = MaxFlowGraph::new(n + 2);
-        let s_edges: Vec<usize> = (0..n)
-            .map(|i| g.add_edge(0, 2 + i, to_s[i]))
-            .collect();
+        let s_edges: Vec<usize> = (0..n).map(|i| g.add_edge(0, 2 + i, to_s[i])).collect();
         for i in 0..n {
             g.add_edge(2 + i, 1, to_t[i]);
         }

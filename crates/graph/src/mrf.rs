@@ -167,9 +167,10 @@ impl PairwiseMrf {
             .iter()
             .enumerate()
             .all(|(v, &l)| self.node_pot[v][l] > NEG_INF_SCORE / 2.0)
-            && self.edges.iter().all(|e| {
-                e.pot[labeling[e.u] * self.n_labels + labeling[e.v]] > NEG_INF_SCORE / 2.0
-            })
+            && self
+                .edges
+                .iter()
+                .all(|e| e.pot[labeling[e.u] * self.n_labels + labeling[e.v]] > NEG_INF_SCORE / 2.0)
     }
 }
 
@@ -179,11 +180,7 @@ mod tests {
 
     fn chain() -> PairwiseMrf {
         // 3 vars, 2 labels; prefer alternating via dissociative edges.
-        let mut m = PairwiseMrf::new(vec![
-            vec![1.0, 0.0],
-            vec![0.0, 0.0],
-            vec![1.0, 0.0],
-        ]);
+        let mut m = PairwiseMrf::new(vec![vec![1.0, 0.0], vec![0.0, 0.0], vec![1.0, 0.0]]);
         let dissoc = vec![0.0, 2.0, 2.0, 0.0]; // reward different labels
         m.add_edge(0, 1, dissoc.clone());
         m.add_edge(1, 2, dissoc);

@@ -173,11 +173,7 @@ mod tests {
 
     #[test]
     fn attractive_triangle_consensus() {
-        let mut mrf = PairwiseMrf::new(vec![
-            vec![2.0, 0.0],
-            vec![0.0, 0.1],
-            vec![0.0, 0.1],
-        ]);
+        let mut mrf = PairwiseMrf::new(vec![vec![2.0, 0.0], vec![0.0, 0.1], vec![0.0, 0.1]]);
         mrf.add_potts_edge(0, 1, 1.0, &[]);
         mrf.add_potts_edge(1, 2, 1.0, &[]);
         mrf.add_potts_edge(0, 2, 1.0, &[]);

@@ -80,7 +80,11 @@ pub fn extract_context(doc: &Document, table_node: NodeId) -> Vec<ContextSnippet
     }
 
     // Highest scores first; deduplicate identical text, keep the cap.
-    snippets.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    snippets.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut seen: Vec<String> = Vec::new();
     snippets.retain(|s| {
         if seen.contains(&s.text) {
@@ -152,11 +156,9 @@ mod tests {
 
     #[test]
     fn heading_before_table_scores_high() {
-        let snips = ctx(
-            "<html><body><h2>List of explorers</h2>\
+        let snips = ctx("<html><body><h2>List of explorers</h2>\
              <table><tr><td>a</td><td>b</td></tr></table>\
-             <p>unrelated footer text far away</p></body></html>",
-        );
+             <p>unrelated footer text far away</p></body></html>");
         let heading = snips.iter().find(|s| s.text.contains("explorers")).unwrap();
         let footer = snips.iter().find(|s| s.text.contains("footer")).unwrap();
         assert!(
@@ -178,11 +180,9 @@ mod tests {
 
     #[test]
     fn left_siblings_beat_right_at_same_distance() {
-        let snips = ctx(
-            "<body><p>text before the table</p>\
+        let snips = ctx("<body><p>text before the table</p>\
              <table><tr><td>a</td></tr></table>\
-             <p>text after the table</p></body>",
-        );
+             <p>text after the table</p></body>");
         let before = snips.iter().find(|s| s.text.contains("before")).unwrap();
         let after = snips.iter().find(|s| s.text.contains("after")).unwrap();
         assert!(before.score > after.score);
@@ -190,11 +190,9 @@ mod tests {
 
     #[test]
     fn distant_ancestors_score_lower() {
-        let snips = ctx(
-            "<body><p>far away description of page</p>\
+        let snips = ctx("<body><p>far away description of page</p>\
              <div><div><p>immediately near the table</p>\
-             <table><tr><td>a</td></tr></table></div></div></body>",
-        );
+             <table><tr><td>a</td></tr></table></div></div></body>");
         let near = snips.iter().find(|s| s.text.contains("near the")).unwrap();
         let far = snips.iter().find(|s| s.text.contains("far away")).unwrap();
         assert!(near.score > far.score);
@@ -228,10 +226,8 @@ mod tests {
 
     #[test]
     fn scores_within_unit_interval() {
-        let snips = ctx(
-            "<body><h1>Big heading near table</h1>\
-             <table><tr><td>a</td></tr></table></body>",
-        );
+        let snips = ctx("<body><h1>Big heading near table</h1>\
+             <table><tr><td>a</td></tr></table></body>");
         for s in &snips {
             assert!(s.score > 0.0 && s.score <= 1.0, "score {}", s.score);
         }

@@ -51,7 +51,10 @@ fn auto_closes(open: &str, incoming: &str) -> bool {
         "tr" => matches!(incoming, "tr"),
         "td" | "th" => matches!(incoming, "td" | "th" | "tr"),
         "li" => incoming == "li",
-        "p" => matches!(incoming, "p" | "table" | "ul" | "ol" | "div" | "h1" | "h2" | "h3"),
+        "p" => matches!(
+            incoming,
+            "p" | "table" | "ul" | "ol" | "div" | "h1" | "h2" | "h3"
+        ),
         "option" => incoming == "option",
         _ => false,
     }
@@ -61,8 +64,18 @@ fn auto_closes(open: &str, incoming: &str) -> bool {
 fn is_void(tag: &str) -> bool {
     matches!(
         tag,
-        "br" | "hr" | "img" | "input" | "meta" | "link" | "area" | "base" | "col" | "embed"
-            | "source" | "track" | "wbr"
+        "br" | "hr"
+            | "img"
+            | "input"
+            | "meta"
+            | "link"
+            | "area"
+            | "base"
+            | "col"
+            | "embed"
+            | "source"
+            | "track"
+            | "wbr"
     )
 }
 

@@ -70,10 +70,8 @@ pub fn extract_raw_tables(doc: &Document) -> Vec<RawTable> {
             let mut rows = Vec::new();
             let mut caption = None;
             collect_rows(doc, tnode, tnode, &mut rows, &mut caption);
-            let has_form = doc.subtree_contains(
-                tnode,
-                &["form", "input", "select", "textarea", "button"],
-            );
+            let has_form =
+                doc.subtree_contains(tnode, &["form", "input", "select", "textarea", "button"]);
             RawTable {
                 node: tnode,
                 rows,
@@ -172,7 +170,8 @@ mod tests {
 
     #[test]
     fn basic_grid() {
-        let t = parse_one("<table><tr><th>A</th><th>B</th></tr><tr><td>1</td><td>2</td></tr></table>");
+        let t =
+            parse_one("<table><tr><th>A</th><th>B</th></tr><tr><td>1</td><td>2</td></tr></table>");
         assert_eq!(t.n_rows(), 2);
         assert_eq!(t.n_cols(), 2);
         assert!(t.rows[0].cells[0].is_th);
@@ -182,7 +181,9 @@ mod tests {
 
     #[test]
     fn colspan_expanded() {
-        let t = parse_one(r#"<table><tr><td colspan="3">Title</td></tr><tr><td>a</td><td>b</td><td>c</td></tr></table>"#);
+        let t = parse_one(
+            r#"<table><tr><td colspan="3">Title</td></tr><tr><td>a</td><td>b</td><td>c</td></tr></table>"#,
+        );
         assert_eq!(t.rows[0].cells.len(), 3);
         assert_eq!(t.rows[0].cells[0].text, "Title");
         assert_eq!(t.rows[0].cells[1].text, "");
@@ -191,7 +192,8 @@ mod tests {
 
     #[test]
     fn colspan_clamped() {
-        let t = parse_one(r#"<table><tr><td colspan="9999">x</td></tr><tr><td>y</td></tr></table>"#);
+        let t =
+            parse_one(r#"<table><tr><td colspan="9999">x</td></tr><tr><td>y</td></tr></table>"#);
         assert_eq!(t.rows[0].cells.len(), 32);
     }
 
@@ -220,9 +222,8 @@ mod tests {
 
     #[test]
     fn caption_and_form_detected() {
-        let t = parse_one(
-            "<table><caption>Forest reserves</caption><tr><td><input></td></tr></table>",
-        );
+        let t =
+            parse_one("<table><caption>Forest reserves</caption><tr><td><input></td></tr></table>");
         assert_eq!(t.caption.as_deref(), Some("Forest reserves"));
         assert!(t.has_form);
     }

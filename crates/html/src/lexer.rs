@@ -50,7 +50,10 @@ pub fn tokenize(html: &str) -> Vec<Token> {
         // Comment?
         if html[i..].starts_with("<!--") {
             flush_text(&mut tokens, text_start, i);
-            let end = html[i + 4..].find("-->").map(|p| i + 4 + p + 3).unwrap_or(n);
+            let end = html[i + 4..]
+                .find("-->")
+                .map(|p| i + 4 + p + 3)
+                .unwrap_or(n);
             i = end;
             text_start = i;
             continue;
@@ -66,7 +69,8 @@ pub fn tokenize(html: &str) -> Vec<Token> {
         // A real tag must be followed by '/' or an ASCII letter; otherwise
         // the '<' is literal text.
         let next = bytes.get(i + 1).copied();
-        let is_tag = matches!(next, Some(b'/')) || next.map(|b| b.is_ascii_alphabetic()).unwrap_or(false);
+        let is_tag =
+            matches!(next, Some(b'/')) || next.map(|b| b.is_ascii_alphabetic()).unwrap_or(false);
         if !is_tag {
             i += 1;
             continue;
@@ -259,7 +263,11 @@ mod tests {
         let toks = tokenize("<p>Hello</p>");
         assert_eq!(
             toks,
-            vec![start("p"), Token::Text("Hello".into()), Token::End("p".into())]
+            vec![
+                start("p"),
+                Token::Text("Hello".into()),
+                Token::End("p".into())
+            ]
         );
     }
 

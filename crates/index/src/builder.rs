@@ -42,11 +42,8 @@ impl IndexBuilder {
                 *tf.entry(tok.as_str()).or_insert(0) += 1;
             }
             for (tok, count) in tf {
-                self.postings
-                    .entry(tok.to_string())
-                    .or_default()
-                    .per_field[f.dense()]
-                .push((doc, count));
+                self.postings.entry(tok.to_string()).or_default().per_field[f.dense()]
+                    .push((doc, count));
             }
             all_tokens.extend(tokens);
         }
@@ -112,7 +109,8 @@ mod tests {
         );
         // "dutch" in content.
         assert_eq!(
-            idx.docs_with_all(&["dutch".into()], &[Field::Content]).len(),
+            idx.docs_with_all(&["dutch".into()], &[Field::Content])
+                .len(),
             1
         );
     }

@@ -16,12 +16,13 @@
 //! cell's tokens in content).
 //!
 //! The index is immutable after [`IndexBuilder::build`]; a small internal
-//! cache (guarded by a `parking_lot` mutex) memoizes repeated doc-set
-//! probes within a query. [`persist`] provides a compact binary
-//! serialization, and [`store`] a JSON-lines table store standing in for
-//! the paper's on-disk "Table Store".
+//! cache (guarded by a mutex) memoizes repeated doc-set probes within a
+//! query. [`persist`] provides a compact binary serialization, and
+//! [`store`] a JSON-lines table store standing in for the paper's on-disk
+//! "Table Store".
 
 pub mod builder;
+pub(crate) mod codec;
 pub mod field;
 pub mod persist;
 pub mod search;

@@ -93,8 +93,7 @@ pub fn from_bytes(data: &[u8]) -> Result<TableIndex, WwtError> {
         check(buf.remaining() >= len, "term bytes")?;
         let mut tb = vec![0u8; len];
         buf.copy_to_slice(&mut tb);
-        let term = String::from_utf8(tb)
-            .map_err(|_| WwtError::Corrupt("non-utf8 term".into()))?;
+        let term = String::from_utf8(tb).map_err(|_| WwtError::Corrupt("non-utf8 term".into()))?;
         let mut post = Postings::default();
         let mut seen_docs: Vec<u32> = Vec::new();
         for f in Field::ALL {

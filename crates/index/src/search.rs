@@ -1,8 +1,8 @@
 //! The immutable fielded inverted index and its query operations.
 
 use crate::field::Field;
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Mutex;
 use wwt_model::TableId;
 use wwt_text::CorpusStats;
 
@@ -72,6 +72,7 @@ pub struct SearchHit {
 ///
 /// Built with [`crate::IndexBuilder`]; every query-side operation takes
 /// `&self`, so the index can be shared across threads (`Sync`).
+#[derive(Debug)]
 pub struct TableIndex {
     pub(crate) postings: HashMap<String, Postings>,
     /// Internal doc id → table id.
@@ -169,7 +170,7 @@ impl TableIndex {
         key_tokens.dedup();
         let fmask: u8 = fields.iter().fold(0, |m, f| m | (1 << f.dense()));
         let key = (key_tokens.clone(), fmask);
-        if let Some(hit) = self.docset_cache.lock().get(&key) {
+        if let Some(hit) = self.docset_cache.lock().unwrap().get(&key) {
             return hit.clone();
         }
         let mut acc: Option<Vec<u32>> = None;
@@ -187,7 +188,10 @@ impl TableIndex {
             }
         }
         let result = std::sync::Arc::new(acc.unwrap_or_default());
-        self.docset_cache.lock().insert(key, result.clone());
+        self.docset_cache
+            .lock()
+            .unwrap()
+            .insert(key, result.clone());
         result
     }
 
@@ -217,9 +221,24 @@ mod tests {
 
     fn index() -> TableIndex {
         let mut b = IndexBuilder::new();
-        b.add_table(&table(0, "country,currency", "list of currencies", &["india", "rupee"]));
-        b.add_table(&table(1, "country,population", "world population", &["india", "1.2b"]));
-        b.add_table(&table(2, "name,area", "forest reserves", &["hills", "2236"]));
+        b.add_table(&table(
+            0,
+            "country,currency",
+            "list of currencies",
+            &["india", "rupee"],
+        ));
+        b.add_table(&table(
+            1,
+            "country,population",
+            "world population",
+            &["india", "1.2b"],
+        ));
+        b.add_table(&table(
+            2,
+            "name,area",
+            "forest reserves",
+            &["hills", "2236"],
+        ));
         b.build()
     }
 
@@ -275,7 +294,10 @@ mod tests {
         assert_eq!(idx.docs_with_all(&toks("country currency"), &hc).len(), 1);
         // "india" is content-only.
         assert_eq!(idx.docs_with_all(&toks("india"), &hc).len(), 0);
-        assert_eq!(idx.docs_with_all(&toks("india"), &[Field::Content]).len(), 2);
+        assert_eq!(
+            idx.docs_with_all(&toks("india"), &[Field::Content]).len(),
+            2
+        );
         // unknown token kills the intersection.
         assert_eq!(idx.docs_with_all(&toks("country zebra"), &hc).len(), 0);
     }

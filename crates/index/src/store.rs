@@ -2,9 +2,11 @@
 //! (the "Table Store" box of Figure 2; its read time is a component of the
 //! paper's Figure 7 running-time breakdown).
 //!
-//! Tables are stored as JSON lines. An in-memory offset map supports random
+//! Tables are stored as JSON lines (via the crate's own dependency-free
+//! codec, [`crate::codec`]). An in-memory offset map supports random
 //! access by [`TableId`] without parsing the whole file.
 
+use crate::codec::{table_from_json, table_to_json};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
@@ -72,9 +74,7 @@ impl TableStore {
     pub fn save(&self, path: &Path) -> Result<(), WwtError> {
         let mut w = BufWriter::new(std::fs::File::create(path)?);
         for t in &self.tables {
-            let line = serde_json::to_string(t)
-                .map_err(|e| WwtError::Corrupt(format!("serialize table {}: {e}", t.id)))?;
-            writeln!(w, "{line}")?;
+            writeln!(w, "{}", table_to_json(t))?;
         }
         w.flush()?;
         Ok(())
@@ -89,7 +89,7 @@ impl TableStore {
             if line.trim().is_empty() {
                 continue;
             }
-            let t: WebTable = serde_json::from_str(&line)
+            let t: WebTable = table_from_json(&line)
                 .map_err(|e| WwtError::Corrupt(format!("line {}: {e}", no + 1)))?;
             s.insert(t);
         }
@@ -162,10 +162,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bad.jsonl");
         std::fs::write(&path, "{not json}\n").unwrap();
-        assert!(matches!(
-            TableStore::load(&path),
-            Err(WwtError::Corrupt(_))
-        ));
+        assert!(matches!(TableStore::load(&path), Err(WwtError::Corrupt(_))));
         std::fs::remove_file(&path).ok();
     }
 }

@@ -1,10 +1,9 @@
 //! The consolidated answer table returned to the user (paper §2.2.3).
 
 use crate::table::TableId;
-use serde::{Deserialize, Serialize};
 
 /// One row of the consolidated answer, with provenance and support.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AnswerRow {
     /// Cell values, one per query column (empty string = no value found).
     pub cells: Vec<String>,
@@ -31,7 +30,7 @@ impl AnswerRow {
 }
 
 /// The consolidated multi-column answer table.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AnswerTable {
     /// Column headers: the query's keyword strings `Q_1..Q_q`.
     pub columns: Vec<String>,

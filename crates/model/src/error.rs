@@ -1,4 +1,31 @@
-//! Error type shared across the workspace.
+//! Error types shared across the workspace.
+//!
+//! All fallible public APIs return [`WwtError`] (or a more specific error
+//! that converts into it, like [`QueryParseError`]) instead of `Option` /
+//! panics, so service layers can map failures onto protocol responses.
+
+/// Failure to build a [`crate::Query`] from user input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryParseError {
+    /// The input contained no non-empty column keyword segment.
+    NoColumns {
+        /// The offending input, verbatim.
+        input: String,
+    },
+}
+
+impl std::fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryParseError::NoColumns { input } => write!(
+                f,
+                "query {input:?} has no column keywords (expected \"kw kw | kw kw | ...\")"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryParseError {}
 
 /// Errors surfaced by WWT components.
 #[derive(Debug)]
@@ -12,6 +39,8 @@ pub enum WwtError {
     NotFound(String),
     /// Invalid configuration or arguments.
     Invalid(String),
+    /// A query string could not be parsed.
+    Query(QueryParseError),
 }
 
 impl std::fmt::Display for WwtError {
@@ -21,6 +50,7 @@ impl std::fmt::Display for WwtError {
             WwtError::Corrupt(m) => write!(f, "corrupt data: {m}"),
             WwtError::NotFound(m) => write!(f, "not found: {m}"),
             WwtError::Invalid(m) => write!(f, "invalid: {m}"),
+            WwtError::Query(e) => write!(f, "bad query: {e}"),
         }
     }
 }
@@ -29,6 +59,7 @@ impl std::error::Error for WwtError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             WwtError::Io(e) => Some(e),
+            WwtError::Query(e) => Some(e),
             _ => None,
         }
     }
@@ -37,6 +68,12 @@ impl std::error::Error for WwtError {
 impl From<std::io::Error> for WwtError {
     fn from(e: std::io::Error) -> Self {
         WwtError::Io(e)
+    }
+}
+
+impl From<QueryParseError> for WwtError {
+    fn from(e: QueryParseError) -> Self {
+        WwtError::Query(e)
     }
 }
 
@@ -56,8 +93,21 @@ mod tests {
     #[test]
     fn io_error_source_preserved() {
         use std::error::Error;
-        let e: WwtError = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        let e: WwtError = std::io::Error::other("boom").into();
         assert!(e.source().is_some());
         assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn query_parse_error_converts_and_chains() {
+        use std::error::Error;
+        let parse = QueryParseError::NoColumns {
+            input: " | ".into(),
+        };
+        assert!(parse.to_string().contains("no column keywords"));
+        let e: WwtError = parse.clone().into();
+        assert!(matches!(&e, WwtError::Query(p) if *p == parse));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("bad query"));
     }
 }

@@ -1,7 +1,6 @@
 //! The label space of the column mapping task (paper §3.1) and labelings.
 
 use crate::table::TableId;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Label assigned to a web-table column.
@@ -11,7 +10,7 @@ use std::collections::BTreeMap;
 /// * `Na` — the table is relevant but this column matches no query column;
 /// * `Nr` — the column belongs to an irrelevant table (the `all-Irr`
 ///   constraint forces all columns of a table to share this label).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Label {
     /// Maps to query column `l` (0-based).
     Col(usize),
@@ -85,7 +84,7 @@ impl std::fmt::Display for Label {
 }
 
 /// A full labeling of one table: one [`Label`] per column.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Labeling {
     /// The labeled table.
     pub table: TableId,
@@ -158,7 +157,7 @@ impl Labeling {
 /// Ground-truth column labels for a set of candidate tables, as produced by
 /// the corpus generator (standing in for the paper's 1906 manually labeled
 /// tables).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GroundTruth {
     /// Table → reference labels, ordered for reproducibility.
     pub labels: BTreeMap<TableId, Vec<Label>>,
@@ -269,10 +268,7 @@ mod tests {
 
     #[test]
     fn column_for_lookup() {
-        let l = Labeling::new(
-            TableId(0),
-            vec![Label::Na, Label::Col(1), Label::Col(0)],
-        );
+        let l = Labeling::new(TableId(0), vec![Label::Na, Label::Col(1), Label::Col(0)]);
         assert_eq!(l.column_for(0), Some(2));
         assert_eq!(l.column_for(1), Some(1));
         assert_eq!(l.column_for(2), None);

@@ -26,7 +26,7 @@ pub mod query;
 pub mod table;
 
 pub use answer::{AnswerRow, AnswerTable};
-pub use error::WwtError;
+pub use error::{QueryParseError, WwtError};
 pub use label::{GroundTruth, Label, Labeling};
 pub use query::Query;
 pub use table::{ContextSnippet, TableId, WebTable};

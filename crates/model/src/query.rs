@@ -1,12 +1,12 @@
 //! Column-keyword queries (paper §1).
 
-use serde::{Deserialize, Serialize};
+use crate::error::QueryParseError;
 
 /// A table query: `q` sets of keywords, one per desired answer column.
 ///
 /// Example from the paper's Figure 1:
 /// `Query::parse("name of explorers | nationality | areas explored")`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Query {
     /// Keyword string for each query column `Q_1 .. Q_q`, in order. The
     /// first column is special: every relevant table must contain it
@@ -18,26 +18,39 @@ impl Query {
     /// Builds a query from column keyword strings.
     ///
     /// # Panics
-    /// Panics if `columns` is empty.
+    /// Panics if `columns` is empty. Service layers should prefer the
+    /// fallible [`Query::try_new`].
     pub fn new<S: Into<String>>(columns: Vec<S>) -> Self {
+        Self::try_new(columns).expect("a query needs at least one column")
+    }
+
+    /// Builds a query from column keyword strings, rejecting an empty
+    /// column list.
+    pub fn try_new<S: Into<String>>(columns: Vec<S>) -> Result<Self, QueryParseError> {
         let columns: Vec<String> = columns.into_iter().map(Into::into).collect();
-        assert!(!columns.is_empty(), "a query needs at least one column");
-        Query { columns }
+        if columns.is_empty() {
+            Err(QueryParseError::NoColumns {
+                input: String::new(),
+            })
+        } else {
+            Ok(Query { columns })
+        }
     }
 
     /// Parses the `"kw kw | kw kw | ..."` syntax used throughout the paper
-    /// (Table 1). Empty segments are dropped; returns `None` if nothing
-    /// remains.
-    pub fn parse(s: &str) -> Option<Self> {
+    /// (Table 1). Empty segments are dropped; errors if nothing remains.
+    pub fn parse(s: &str) -> Result<Self, QueryParseError> {
         let columns: Vec<String> = s
             .split('|')
             .map(|c| c.trim().to_string())
             .filter(|c| !c.is_empty())
             .collect();
         if columns.is_empty() {
-            None
+            Err(QueryParseError::NoColumns {
+                input: s.to_string(),
+            })
         } else {
-            Some(Query { columns })
+            Ok(Query { columns })
         }
     }
 
@@ -77,6 +90,14 @@ impl std::fmt::Display for Query {
     }
 }
 
+impl std::str::FromStr for Query {
+    type Err = QueryParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Query::parse(s)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,8 +114,24 @@ mod tests {
         let q = Query::parse("  dog breed |  | ").unwrap();
         assert_eq!(q.q(), 1);
         assert_eq!(q.column(0), "dog breed");
-        assert!(Query::parse(" | ").is_none());
-        assert!(Query::parse("").is_none());
+        assert!(matches!(
+            Query::parse(" | "),
+            Err(QueryParseError::NoColumns { .. })
+        ));
+        assert!(Query::parse("").is_err());
+    }
+
+    #[test]
+    fn from_str_matches_parse() {
+        let q: Query = "country | currency".parse().unwrap();
+        assert_eq!(q, Query::parse("country | currency").unwrap());
+        assert!(" | ".parse::<Query>().is_err());
+    }
+
+    #[test]
+    fn try_new_rejects_empty() {
+        assert!(Query::try_new(Vec::<String>::new()).is_err());
+        assert_eq!(Query::try_new(vec!["a"]).unwrap().q(), 1);
     }
 
     #[test]

@@ -4,13 +4,11 @@
 //! title row, zero or more header rows, body rows, and a list of scored
 //! [`ContextSnippet`]s pulled from around the table in the parent document.
 
-use serde::{Deserialize, Serialize};
-
 /// Opaque identifier of a web table within a corpus / table store.
 ///
 /// Identifiers are dense (assigned sequentially at extraction time), so they
 /// can be used to index into `Vec`-backed side tables.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TableId(pub u32);
 
 impl TableId {
@@ -30,7 +28,7 @@ impl std::fmt::Display for TableId {
 /// A text snippet extracted from the parent document of a table, with a
 /// score reflecting how likely the snippet describes the table (paper
 /// §2.1.2: DOM distance and formatting-tag frequency).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ContextSnippet {
     /// The raw snippet text.
     pub text: String,
@@ -39,8 +37,10 @@ pub struct ContextSnippet {
 }
 
 impl ContextSnippet {
-    /// Creates a snippet, clamping the score into `(0, 1]`.
+    /// Creates a snippet, clamping the score into `(0, 1]` (NaN, which
+    /// `clamp` would propagate, bottoms out; ±∞ clamp like any number).
     pub fn new(text: impl Into<String>, score: f64) -> Self {
+        let score = if score.is_nan() { 0.0 } else { score };
         ContextSnippet {
             text: text.into(),
             score: score.clamp(f64::MIN_POSITIVE, 1.0),
@@ -54,7 +54,7 @@ impl ContextSnippet {
 /// * every header row and every body row has exactly `n_cols` cells
 ///   (short rows are padded with empty strings, long rows truncated);
 /// * `n_cols >= 1`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WebTable {
     /// Identifier within the corpus.
     pub id: TableId,
@@ -282,6 +282,10 @@ mod tests {
     fn context_score_clamped() {
         assert_eq!(ContextSnippet::new("x", 7.0).score, 1.0);
         assert!(ContextSnippet::new("x", -1.0).score > 0.0);
+        // Non-finite scores bottom out instead of propagating.
+        assert!(ContextSnippet::new("x", f64::NAN).score > 0.0);
+        assert_eq!(ContextSnippet::new("x", f64::INFINITY).score, 1.0);
+        assert!(ContextSnippet::new("x", f64::NEG_INFINITY).score > 0.0);
     }
 
     #[test]

@@ -1,0 +1,352 @@
+//! # wwt-service
+//!
+//! The concurrent serving layer over an immutable [`Engine`] — the piece
+//! that turns the paper's pipeline into the interactive, many-user system
+//! its introduction describes.
+//!
+//! [`TableSearchService`] wraps an `Arc<Engine>` with:
+//!
+//! * a **sharded LRU response cache** keyed by the normalized query plus
+//!   its per-request option fingerprint ([`QueryRequest::cache_key`]),
+//!   returning `Arc<QueryResponse>` so hits are zero-copy;
+//! * [`TableSearchService::answer_batch`], fanning a slice of requests
+//!   across a scoped worker pool (work-stealing over a shared cursor);
+//! * hit/miss/entry counters ([`CacheStats`]) for capacity planning.
+//!
+//! Everything takes `&self`; one service instance can be shared across
+//! any number of threads.
+
+mod cache;
+
+use cache::ShardedCache;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use wwt_engine::{Engine, QueryRequest, QueryResponse};
+use wwt_model::{Query, WwtError};
+
+/// Serving knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Total response-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Number of independently locked cache shards.
+    pub cache_shards: usize,
+    /// Worker threads used by [`TableSearchService::answer_batch`]
+    /// (capped by the batch size).
+    pub batch_threads: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            cache_capacity: 1024,
+            cache_shards: 8,
+            batch_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        }
+    }
+}
+
+/// Cache effectiveness counters, taken as a consistent-enough snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests served from the cache.
+    pub hits: u64,
+    /// Requests that ran the engine.
+    pub misses: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+    /// Number of cache shards.
+    pub shards: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (0 when nothing was served yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A thread-safe table-search front end over one shared engine snapshot.
+pub struct TableSearchService {
+    engine: Arc<Engine>,
+    cache: Option<ShardedCache<Arc<QueryResponse>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    config: ServiceConfig,
+}
+
+// One service serves many threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<TableSearchService>();
+};
+
+impl TableSearchService {
+    /// A service with default configuration.
+    pub fn new(engine: Arc<Engine>) -> Self {
+        Self::with_config(engine, ServiceConfig::default())
+    }
+
+    /// A service with explicit serving knobs.
+    pub fn with_config(engine: Arc<Engine>, config: ServiceConfig) -> Self {
+        let cache = (config.cache_capacity > 0)
+            .then(|| ShardedCache::new(config.cache_capacity, config.cache_shards));
+        TableSearchService {
+            engine,
+            cache,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            config,
+        }
+    }
+
+    /// The shared engine snapshot.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Answers one request, consulting the response cache first. Errors
+    /// (bad options) are never cached.
+    pub fn answer(&self, request: &QueryRequest) -> Result<Arc<QueryResponse>, WwtError> {
+        let Some(cache) = &self.cache else {
+            let response = Arc::new(self.engine.answer(request)?);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Ok(response);
+        };
+        let key = request.cache_key();
+        if let Some(hit) = cache.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        let response = Arc::new(self.engine.answer(request)?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        cache.insert(key, Arc::clone(&response));
+        Ok(response)
+    }
+
+    /// Parses and answers a raw `"kw kw | kw kw | ..."` query string.
+    pub fn answer_str(&self, query: &str) -> Result<Arc<QueryResponse>, WwtError> {
+        let query = Query::parse(query)?;
+        self.answer(&QueryRequest::new(query))
+    }
+
+    /// Answers a batch of requests concurrently, fanning them over up to
+    /// `batch_threads` scoped workers ([`wwt_engine::fan_out`]). Results
+    /// come back in input order; each slot carries its own request's
+    /// result.
+    pub fn answer_batch(
+        &self,
+        requests: &[QueryRequest],
+    ) -> Vec<Result<Arc<QueryResponse>, WwtError>> {
+        wwt_engine::fan_out(requests.len(), self.config.batch_threads, |i| {
+            self.answer(&requests[i])
+        })
+    }
+
+    /// Current cache counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.cache.as_ref().map(ShardedCache::len).unwrap_or(0),
+            shards: self.cache.as_ref().map(ShardedCache::n_shards).unwrap_or(0),
+        }
+    }
+
+    /// Drops every cached response (counters are kept).
+    pub fn clear_cache(&self) {
+        if let Some(cache) = &self.cache {
+            cache.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wwt_core::InferenceAlgorithm;
+    use wwt_corpus::{workload, CorpusConfig, CorpusGenerator};
+    use wwt_engine::{bind_corpus, EngineBuilder, WwtConfig};
+
+    fn small_engine() -> Arc<Engine> {
+        let specs: Vec<_> = workload()
+            .into_iter()
+            .filter(|s| {
+                let q = s.query.to_string();
+                q.starts_with("country | currency") || q.starts_with("dog breed")
+            })
+            .collect();
+        let corpus = CorpusGenerator::new(CorpusConfig::small()).generate_for(&specs);
+        Arc::new(bind_corpus(&corpus, WwtConfig::default()).engine)
+    }
+
+    fn tiny_engine() -> Arc<Engine> {
+        let page = "<html><body><p>countries and currency</p><table>\
+             <tr><th>Country</th><th>Currency</th></tr>\
+             <tr><td>India</td><td>Rupee</td></tr>\
+             <tr><td>Japan</td><td>Yen</td></tr></table></body></html>";
+        let mut b = EngineBuilder::new();
+        b.add_html(page);
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn concurrent_answers_match_serial() {
+        let engine = small_engine();
+        let requests: Vec<QueryRequest> = [
+            "country | currency",
+            "dog breed",
+            "country | currency | xyz",
+            "currency",
+        ]
+        .iter()
+        .map(|s| QueryRequest::parse(s).unwrap())
+        .collect();
+
+        // Serial reference answers through a cache-less service.
+        let no_cache = ServiceConfig {
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        };
+        let serial_service = TableSearchService::with_config(Arc::clone(&engine), no_cache);
+        let serial: Vec<_> = requests
+            .iter()
+            .map(|r| serial_service.answer(r).unwrap())
+            .collect();
+
+        // ≥ 4 threads hammer one shared (caching) service.
+        let service = Arc::new(TableSearchService::new(engine));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let service = Arc::clone(&service);
+                let requests = &requests;
+                let serial = &serial;
+                scope.spawn(move || {
+                    for _ in 0..3 {
+                        for (req, reference) in requests.iter().zip(serial) {
+                            let out = service.answer(req).unwrap();
+                            assert_eq!(out.table, reference.table);
+                            assert_eq!(out.candidates, reference.candidates);
+                        }
+                    }
+                });
+            }
+        });
+        let stats = service.stats();
+        assert_eq!(stats.hits + stats.misses, 4 * 3 * requests.len() as u64);
+        assert!(stats.hits > 0, "repeats must hit the cache: {stats:?}");
+    }
+
+    #[test]
+    fn repeated_request_hits_cache_and_override_misses() {
+        let service = TableSearchService::new(tiny_engine());
+        let req = QueryRequest::parse("country | currency").unwrap();
+
+        let first = service.answer(&req).unwrap();
+        assert_eq!(service.stats().hits, 0);
+        assert_eq!(service.stats().misses, 1);
+
+        // Identical request: cache hit, same shared response.
+        let second = service.answer(&req).unwrap();
+        assert_eq!(service.stats().hits, 1);
+        assert_eq!(service.stats().misses, 1);
+        assert!(Arc::ptr_eq(&first, &second));
+
+        // An option override changes the key: miss.
+        let tuned = service.answer(&req.clone().max_rows(1)).unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries, 2);
+        assert!(tuned.table.len() <= 1);
+        assert!(stats.hit_rate() > 0.0 && stats.hit_rate() < 1.0);
+    }
+
+    #[test]
+    fn answer_str_parses_and_rejects() {
+        let service = TableSearchService::new(tiny_engine());
+        assert!(service.answer_str("country | currency").is_ok());
+        assert!(matches!(service.answer_str(" | "), Err(WwtError::Query(_))));
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let service = TableSearchService::new(tiny_engine());
+        let bad = QueryRequest::parse("country | currency")
+            .unwrap()
+            .probe1_k(0);
+        assert!(service.answer(&bad).is_err());
+        assert!(service.answer(&bad).is_err());
+        assert_eq!(service.stats().entries, 0);
+    }
+
+    #[test]
+    fn batch_matches_individual_answers_and_preserves_order() {
+        let service = TableSearchService::new(tiny_engine());
+        let requests: Vec<QueryRequest> = vec![
+            QueryRequest::parse("country | currency").unwrap(),
+            QueryRequest::parse("currency").unwrap(),
+            QueryRequest::parse("country | currency")
+                .unwrap()
+                .probe1_k(0), // error slot
+            QueryRequest::parse("country | currency")
+                .unwrap()
+                .algorithm(InferenceAlgorithm::Independent),
+        ];
+        let batch = service.answer_batch(&requests);
+        assert_eq!(batch.len(), requests.len());
+        assert!(batch[2].is_err(), "error requests keep their slot");
+        for (i, req) in requests.iter().enumerate() {
+            if i == 2 {
+                continue;
+            }
+            let individual = service.answer(req).unwrap();
+            let batched = batch[i].as_ref().unwrap();
+            assert_eq!(batched.table, individual.table);
+        }
+    }
+
+    #[test]
+    fn cache_disabled_still_serves() {
+        let service = TableSearchService::with_config(
+            tiny_engine(),
+            ServiceConfig {
+                cache_capacity: 0,
+                cache_shards: 0,
+                batch_threads: 2,
+            },
+        );
+        let req = QueryRequest::parse("country | currency").unwrap();
+        let a = service.answer(&req).unwrap();
+        let b = service.answer(&req).unwrap();
+        assert_eq!(a.table, b.table);
+        let stats = service.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn clear_cache_forces_recompute() {
+        let service = TableSearchService::new(tiny_engine());
+        let req = QueryRequest::parse("country | currency").unwrap();
+        service.answer(&req).unwrap();
+        service.clear_cache();
+        assert_eq!(service.stats().entries, 0);
+        service.answer(&req).unwrap();
+        assert_eq!(service.stats().misses, 2);
+    }
+}

@@ -64,11 +64,7 @@ impl TfIdfVector {
         } else {
             (other, self)
         };
-        small
-            .weights
-            .iter()
-            .map(|(t, w)| w * large.weight(t))
-            .sum()
+        small.weights.iter().map(|(t, w)| w * large.weight(t)).sum()
     }
 
     /// Cosine similarity (0 when either vector is empty). This is the

@@ -8,8 +8,8 @@
 /// as "of" in "country of origin" carry little signal, but domain words must
 /// never be dropped.
 const STOPWORDS: &[&str] = &[
-    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "in", "into", "is", "it",
-    "of", "on", "or", "s", "that", "the", "their", "this", "to", "was", "were", "will", "with",
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "in", "into", "is", "it", "of",
+    "on", "or", "s", "that", "the", "their", "this", "to", "was", "were", "will", "with",
 ];
 
 /// True iff `w` (already lowercased) is a stopword.
@@ -40,17 +40,15 @@ pub fn stem_plural(w: &str) -> String {
         return format!("{}y", &w[..n - 3]);
     }
     if n > 4
-        && (w.ends_with("ches") || w.ends_with("shes") || w.ends_with("xes") || w.ends_with("zes")
+        && (w.ends_with("ches")
+            || w.ends_with("shes")
+            || w.ends_with("xes")
+            || w.ends_with("zes")
             || w.ends_with("ses"))
     {
         return w[..n - 2].to_string();
     }
-    if n > 3
-        && w.ends_with('s')
-        && !w.ends_with("ss")
-        && !w.ends_with("us")
-        && !w.ends_with("is")
-    {
+    if n > 3 && w.ends_with('s') && !w.ends_with("ss") && !w.ends_with("us") && !w.ends_with("is") {
         return w[..n - 1].to_string();
     }
     w.to_string()

@@ -1,0 +1,219 @@
+//! Minimal offline stub of the `criterion` crate.
+//!
+//! Implements the subset of the benchmarking API the workspace benches
+//! use — `Criterion`, benchmark groups, `Bencher::iter`, `BenchmarkId`,
+//! `black_box`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros. Instead of criterion's statistical engine it
+//! runs a fixed warm-up then a timed measurement window and prints
+//! mean-per-iteration, which is enough to anchor relative comparisons in
+//! an offline container.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (subset of `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared throughput of a benchmark, echoed in the report line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name` + parameter display, like criterion's `BenchmarkId::new`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{parameter}", name.into()),
+        }
+    }
+}
+
+/// Per-benchmark timing harness.
+pub struct Bencher {
+    /// Measured mean time per iteration, filled by [`Bencher::iter`].
+    elapsed_per_iter: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`: short warm-up, then as many iterations as fit in
+    /// the measurement window (at least 10).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warmup_end = Instant::now() + Duration::from_millis(300);
+        while Instant::now() < warmup_end {
+            black_box(routine());
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        let measure_end = start + Duration::from_millis(1000);
+        while Instant::now() < measure_end || iters < 10 {
+            black_box(routine());
+            iters += 1;
+        }
+        self.elapsed_per_iter = start.elapsed() / iters.max(1) as u32;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's window is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declares throughput for subsequent benchmarks in the group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: R,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            elapsed_per_iter: Duration::ZERO,
+        };
+        f(&mut b);
+        self.report(&id.into_benchmark_id(), b.elapsed_per_iter);
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: R,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            elapsed_per_iter: Duration::ZERO,
+        };
+        f(&mut b, input);
+        self.report(&id.into_benchmark_id(), b.elapsed_per_iter);
+        self
+    }
+
+    /// Ends the group (printing is per-benchmark; nothing to flush).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &BenchmarkId, per_iter: Duration) {
+        let _ = self.criterion;
+        let thr = match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+                format!("  {:.0} elem/s", n as f64 / per_iter.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+                format!("  {:.0} B/s", n as f64 / per_iter.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!("{}/{}: {:>12.3?}/iter{thr}", self.name, id.name, per_iter);
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, name: &str, f: R) -> &mut Self {
+        self.benchmark_group("bench")
+            .bench_function(name.to_string(), f);
+        self
+    }
+}
+
+/// Conversion into [`BenchmarkId`] for plain strings and prebuilt ids.
+pub trait IntoBenchmarkId {
+    /// The benchmark id to report under.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self }
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            name: self.to_string(),
+        }
+    }
+}
+
+/// Declares a benchmark group function list (subset of criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("test");
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats_parameter() {
+        let id = BenchmarkId::new("probe", 42).into_benchmark_id();
+        assert_eq!(id.name, "probe/42");
+    }
+}

@@ -1,0 +1,136 @@
+//! Minimal offline stub of the `proptest` crate.
+//!
+//! Supports the subset this workspace's tests use: the `proptest!` macro
+//! with `#![proptest_config(ProptestConfig::with_cases(n))]`, integer
+//! range strategies (`lo..hi`), and `prop_assert!`. Instead of shrinking
+//! and persistence, each case draws deterministically from a SplitMix64
+//! stream seeded per test, so failures are reproducible run to run.
+
+/// Configuration (subset of `proptest::prelude::ProptestConfig`).
+pub mod prelude {
+    /// Number-of-cases knob.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// How many random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+/// A value source for one macro argument (subset of `Strategy`).
+pub trait Strategy {
+    /// The produced value type.
+    type Value;
+    /// Draws one value from the deterministic stream.
+    fn draw(&self, state: &mut u64) -> Self::Value;
+}
+
+fn next_u64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn draw(&self, state: &mut u64) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + (next_u64(state) % span) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+/// Draws one value (used by the generated test body).
+pub fn sample<S: Strategy>(state: &mut u64, strategy: S) -> S::Value {
+    strategy.draw(state)
+}
+
+/// Property-test block (subset of `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::prelude::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases: u32 = {
+                    let cfg: $crate::prelude::ProptestConfig = $cfg;
+                    cfg.cases
+                };
+                let mut state: u64 = 0xC0FF_EE00_D15E_A5E5;
+                for _case in 0..cases {
+                    $( let $arg = $crate::sample(&mut state, $strategy); )+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Assertion inside a property (maps to `assert!`; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    crate::proptest! {
+        #![proptest_config(crate::prelude::ProptestConfig::with_cases(32))]
+
+        /// Drawn values stay inside their strategy ranges.
+        #[test]
+        fn draws_respect_ranges(a in 1usize..5, b in 0u64..10) {
+            crate::prop_assert!((1..5).contains(&a), "a out of range: {}", a);
+            crate::prop_assert!(b < 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_stream() {
+        let mut s1 = 7u64;
+        let mut s2 = 7u64;
+        for _ in 0..10 {
+            assert_eq!(
+                super::sample(&mut s1, 0u64..1000),
+                super::sample(&mut s2, 0u64..1000)
+            );
+        }
+    }
+}

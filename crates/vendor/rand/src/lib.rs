@@ -1,0 +1,130 @@
+//! Minimal, deterministic stub of the `rand` crate.
+//!
+//! The build container has no registry access, so this workspace vendors
+//! the small API subset it uses: [`SeedableRng::seed_from_u64`],
+//! [`rngs::StdRng`], and the [`RngExt`] extension trait with
+//! `random_range` / `random_bool`. The generator is SplitMix64 — fast,
+//! full-period, and stable across platforms, which is all the synthetic
+//! corpus generator needs (everything downstream only requires
+//! reproducibility given a seed).
+
+/// Seeding interface (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range abstraction accepted by [`RngExt::random_range`]: half-open
+/// (`a..b`) and inclusive (`a..=b`) integer ranges.
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range using `rng`.
+    fn sample(self, rng: &mut rngs::StdRng) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// Extension methods mirroring the `rand` sampling API used here.
+pub trait RngExt {
+    /// Uniform sample from an integer range.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+    /// Bernoulli draw with probability `p` (clamped to `[0,1]`).
+    fn random_bool(&mut self, p: f64) -> bool;
+}
+
+pub mod rngs {
+    //! Concrete generators (subset of `rand::rngs`).
+    use super::{RngExt, SampleRange, SeedableRng};
+
+    /// The workspace's standard generator: SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl StdRng {
+        /// Next raw 64-bit output.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0,1)` with 53 bits of precision.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngExt for StdRng {
+        fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+            range.sample(self)
+        }
+
+        fn random_bool(&mut self, p: f64) -> bool {
+            self.next_f64() < p.clamp(0.0, 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x = rng.random_range(3..9usize);
+            assert!((3..9).contains(&x));
+            let y = rng.random_range(0..=2u8);
+            assert!(y <= 2);
+        }
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+}

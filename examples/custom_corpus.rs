@@ -7,11 +7,11 @@
 
 use wwt::core::features::{seg_sim, QueryView};
 use wwt::core::{MapperConfig, TableView};
-use wwt::engine::{Wwt, WwtConfig};
+use wwt::engine::EngineBuilder;
 use wwt::model::Query;
 
 fn main() {
-    let pages = vec![
+    let pages = [
         // The paper's example: headers "Band name | Country | Genre", no
         // context; "Black metal" appears only as frequent body content.
         r#"<html><body><table>
@@ -32,14 +32,16 @@ fn main() {
             .to_string(),
     ];
 
-    let wwt = Wwt::build(pages.iter().map(String::as_str), WwtConfig::default());
+    let mut builder = EngineBuilder::new();
+    builder.add_documents(pages.iter().map(String::as_str));
+    let engine = builder.build();
     let query = Query::parse("black metal bands | country").unwrap();
 
     // Peek at the segmented similarity for the headerless-phrase case.
     let cfg = MapperConfig::default();
-    let stats = wwt.index().stats();
+    let stats = engine.index().stats();
     let qv = QueryView::new(&query, stats);
-    let t0 = wwt.store().iter().next().unwrap();
+    let t0 = engine.store().iter().next().unwrap();
     let view = TableView::new(t0, stats, cfg.body_freq_frac);
     println!("SegSim of Q1 = \"black metal bands\" against table 1's columns:");
     for c in 0..t0.n_cols() {
@@ -52,6 +54,6 @@ fn main() {
     println!("(column 0 wins: \"bands\" pins the header, \"black metal\" is");
     println!(" supported by frequent body content in the genre column — §3.2.1)\n");
 
-    let out = wwt.answer(&query);
+    let out = engine.answer_query(&query);
     println!("answer:\n{}", out.table.render(24));
 }

@@ -6,11 +6,11 @@
 //!
 //! Run with: `cargo run --example explorers`
 
-use wwt::engine::{Wwt, WwtConfig};
+use wwt::engine::EngineBuilder;
 use wwt::model::Query;
 
 fn main() {
-    let pages = vec![
+    let pages = [
         // Web Table 1: clean, with a split header in column 3.
         r#"<html><head><title>List of explorers - encyclopedia</title></head><body>
            <p>This article lists the explorations in history.</p>
@@ -47,13 +47,15 @@ fn main() {
             .to_string(),
     ];
 
-    let wwt = Wwt::build(pages.iter().map(String::as_str), WwtConfig::default());
+    let mut builder = EngineBuilder::new();
+    builder.add_documents(pages.iter().map(String::as_str));
+    let engine = builder.build();
     let query = Query::parse("name of explorers | nationality | areas explored").unwrap();
-    let out = wwt.answer(&query);
+    let out = engine.answer_query(&query);
 
     println!("query: {query}\n");
     for (i, lab) in out.mapping.labelings.iter().enumerate() {
-        let t = wwt.store().get(out.candidates[i]).unwrap();
+        let t = engine.store().get(out.candidates[i]).unwrap();
         println!(
             "{} ({}): relevance {:.2}",
             out.candidates[i],

@@ -16,11 +16,12 @@ fn main() {
         .expect("workload query");
     println!("query: {}\n", spec.query);
 
-    let corpus = CorpusGenerator::new(CorpusConfig::small()).generate_for(&[spec.clone()]);
+    let corpus =
+        CorpusGenerator::new(CorpusConfig::small()).generate_for(std::slice::from_ref(&spec));
     let bound = bind_corpus(&corpus, WwtConfig::default());
     println!(
         "corpus: {} tables ({} ground-truth labeled)\n",
-        bound.wwt.store().len(),
+        bound.engine.store().len(),
         bound.n_labeled()
     );
 

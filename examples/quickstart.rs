@@ -1,15 +1,18 @@
-//! Quickstart: build a tiny corpus of HTML pages, index it, and answer a
-//! two-column table query end to end.
+//! Quickstart: build a tiny corpus of HTML pages into an immutable
+//! engine, then answer typed table-query requests through the concurrent
+//! service layer.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use wwt::engine::{Wwt, WwtConfig};
-use wwt::model::Query;
+use std::sync::Arc;
+use wwt::engine::{EngineBuilder, QueryRequest};
+use wwt::model::WwtError;
+use wwt::service::TableSearchService;
 
-fn main() {
+fn main() -> Result<(), WwtError> {
     // Three web pages: two data tables about currencies (one with noisy
     // headers), and a layout page the extractor must reject.
-    let pages = vec![
+    let pages = [
         r#"<html><head><title>World currencies</title></head><body>
            <h2>List of countries and their currency</h2>
            <table>
@@ -31,22 +34,27 @@ fn main() {
             .to_string(),
     ];
 
-    // Offline: extract data tables, build the fielded index (paper §2.1).
-    let wwt = Wwt::build(pages.iter().map(String::as_str), WwtConfig::default());
+    // Offline: extract data tables, build the fielded index (paper §2.1),
+    // freeze everything into an immutable, thread-shareable engine.
+    let mut builder = EngineBuilder::new();
+    builder.add_documents(pages.iter().map(String::as_str));
+    let engine = Arc::new(builder.build());
     println!(
         "indexed {} data tables (layout/form tables rejected)",
-        wwt.store().len()
+        engine.store().len()
     );
 
-    // Online: column-keyword query, one keyword set per answer column.
-    let query = Query::parse("country | currency").expect("valid query");
-    let out = wwt.answer(&query);
+    // Online: one engine, many requests — the service adds a response
+    // cache and batched fan-out on top.
+    let service = TableSearchService::new(Arc::clone(&engine));
+    let request = QueryRequest::parse("country | currency")?;
+    let out = service.answer(&request)?;
 
-    println!("\nquery: {query}");
+    println!("\nquery: {}", request.query);
     println!(
         "candidates: {} (second probe used: {})",
         out.candidates.len(),
-        out.probe2_used
+        out.diagnostics.probe2_used
     );
     for (i, lab) in out.mapping.labelings.iter().enumerate() {
         println!(
@@ -59,7 +67,20 @@ fn main() {
     println!("\nconsolidated answer:\n{}", out.table.render(24));
     println!(
         "\ntimings: column map {:?}, total {:?}",
-        out.timing.column_map,
-        out.timing.total()
+        out.diagnostics.timing.column_map,
+        out.diagnostics.timing.total()
     );
+
+    // Per-request overrides ride on the same engine: cap the answer rows.
+    let top1 = service.answer(&request.clone().max_rows(1))?;
+    println!("\ntop-1 row only:\n{}", top1.table.render(24));
+
+    // A repeated request is served from the response cache.
+    let _ = service.answer(&request)?;
+    let stats = service.stats();
+    println!(
+        "\ncache: {} hits / {} misses over {} entries",
+        stats.hits, stats.misses, stats.entries
+    );
+    Ok(())
 }

@@ -2,7 +2,7 @@
 //!
 //! Umbrella crate for the WWT workspace — a from-scratch Rust reproduction
 //! of **"Answering Table Queries on the Web using Column Keywords"**
-//! (Pimplikar & Sarawagi, VLDB 2012).
+//! (Pimplikar & Sarawagi, VLDB 2012), grown into a service-grade system.
 //!
 //! WWT answers a *table query* — one keyword set per desired answer column,
 //! e.g. `"name of explorers | nationality | areas explored"` — over a corpus
@@ -13,7 +13,7 @@
 //!
 //! | module | contents |
 //! |---|---|
-//! | [`model`] | shared types: [`model::WebTable`], [`model::Query`], [`model::Label`], … |
+//! | [`model`] | shared types: [`model::WebTable`], [`model::Query`], [`model::WwtError`], … |
 //! | [`text`] | tokenizer, IDF statistics, TF-IDF vectors |
 //! | [`html`] | HTML parser, table / header / context extraction |
 //! | [`index`] | fielded inverted index (Lucene substitute) |
@@ -21,14 +21,25 @@
 //! | [`core`] | the column mapper: features, potentials, inference |
 //! | [`corpus`] | synthetic web corpus generator + the 59-query workload |
 //! | [`consolidate`] | answer-table consolidation and ranking |
-//! | [`engine`] | end-to-end pipeline, baselines, metrics, timing |
+//! | [`engine`] | [`engine::EngineBuilder`] (offline), [`engine::Engine`] (online), baselines, metrics |
+//! | [`service`] | [`service::TableSearchService`]: shared engine + response cache + batching |
 //!
 //! ## Quickstart
 //!
+//! The API splits along the service boundary: an [`engine::EngineBuilder`]
+//! runs the offline pipeline (extract → store → index) and freezes an
+//! immutable, `Send + Sync` [`engine::Engine`]; a
+//! [`service::TableSearchService`] shares that engine across threads with
+//! a cached, batched front end. Requests are typed
+//! ([`engine::QueryRequest`]) and carry per-request overrides; answers
+//! come back as [`engine::QueryResponse`] with diagnostics, and every
+//! fallible step returns [`model::WwtError`] instead of `Option`/panics.
+//!
 //! ```
+//! use std::sync::Arc;
 //! use wwt::corpus::{CorpusConfig, CorpusGenerator};
-//! use wwt::engine::{Wwt, WwtConfig};
-//! use wwt::model::Query;
+//! use wwt::engine::{EngineBuilder, QueryRequest};
+//! use wwt::service::TableSearchService;
 //!
 //! // Generate a small synthetic web corpus for one workload query.
 //! let spec = wwt::corpus::workload()
@@ -37,11 +48,36 @@
 //!     .unwrap();
 //! let corpus = CorpusGenerator::new(CorpusConfig::small()).generate_for(&[spec]);
 //!
-//! // Build the engine offline (extract + index) and ask the query online.
-//! let wwt = Wwt::build(corpus.documents.iter().map(|d| d.html.as_str()), WwtConfig::default());
-//! let answer = wwt.answer(&Query::parse("country | currency").unwrap());
+//! // Offline: extract + index into an immutable engine snapshot.
+//! let mut builder = EngineBuilder::new();
+//! builder.add_documents(corpus.documents.iter().map(|d| d.html.as_str()));
+//! let engine = Arc::new(builder.build());
+//!
+//! // Online: serve typed requests through the concurrent service layer.
+//! let service = TableSearchService::new(engine);
+//! let request = QueryRequest::parse("country | currency").unwrap();
+//! let answer = service.answer(&request).unwrap();
 //! assert_eq!(answer.table.columns.len(), 2);
+//!
+//! // Repeats hit the response cache; overrides (here: row limit) miss.
+//! let again = service.answer(&request).unwrap();
+//! assert_eq!(again.table, answer.table);
+//! assert_eq!(service.stats().hits, 1);
+//! let top3 = service.answer(&request.clone().max_rows(3)).unwrap();
+//! assert!(top3.table.len() <= 3);
+//! assert_eq!(service.stats().misses, 2);
 //! ```
+//!
+//! ## Migrating from `Wwt`
+//!
+//! The pre-0.2 façade `engine::Wwt` (`Wwt::build` + `Wwt::answer`)
+//! remains as a deprecated shim over [`engine::Engine`] so existing
+//! binaries keep compiling. Replace `Wwt::build(docs, cfg)` with an
+//! [`engine::EngineBuilder`] (`with_config` + `add_documents` + `build`),
+//! `wwt.answer(&query)` with [`engine::Engine::answer_query`] (or
+//! [`engine::Engine::answer`] for typed requests), and the old 4-tuple of
+//! `wwt.retrieve` with the named [`engine::Retrieval`] struct. `Wwt` will
+//! be removed once the reproduction binaries finish migrating.
 
 pub use wwt_consolidate as consolidate;
 pub use wwt_core as core;
@@ -51,4 +87,5 @@ pub use wwt_graph as graph;
 pub use wwt_html as html;
 pub use wwt_index as index;
 pub use wwt_model as model;
+pub use wwt_service as service;
 pub use wwt_text as text;

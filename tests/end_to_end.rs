@@ -1,8 +1,14 @@
 //! Cross-crate integration tests: raw HTML in → consolidated answer out,
 //! exercising extractor, index, mapper and consolidator together.
 
-use wwt::engine::{Wwt, WwtConfig};
+use wwt::engine::{Engine, EngineBuilder};
 use wwt::model::{Label, Query};
+
+fn build(pages: &[String]) -> Engine {
+    let mut b = EngineBuilder::new();
+    b.add_documents(pages.iter().map(String::as_str));
+    b.build()
+}
 
 fn currency_page(title: &str, rows: &[(&str, &str)], headers: bool) -> String {
     let mut body = String::new();
@@ -37,13 +43,18 @@ fn html_to_answer_pipeline() {
          <tr><td>x</td><td>y</td></tr></table></body></html>"
             .to_string(),
     ];
-    let wwt = Wwt::build(pages.iter().map(String::as_str), WwtConfig::default());
-    assert_eq!(wwt.store().len(), 2, "form table must be rejected");
+    let engine = build(&pages);
+    assert_eq!(engine.store().len(), 2, "form table must be rejected");
 
-    let out = wwt.answer(&Query::parse("country | currency").unwrap());
+    let out = engine.answer_query(&Query::parse("country | currency").unwrap());
     assert_eq!(out.table.q(), 2);
     assert_eq!(out.table.len(), 4, "4 distinct countries");
-    let india = out.table.rows.iter().find(|r| r.cells[0] == "India").unwrap();
+    let india = out
+        .table
+        .rows
+        .iter()
+        .find(|r| r.cells[0] == "India")
+        .unwrap();
     assert_eq!(india.support, 2, "India merged across tables");
     assert_eq!(india.cells[1], "Rupee");
     // Merged rows rank above singletons.
@@ -66,8 +77,8 @@ fn headerless_table_rescued_by_content_overlap() {
          </table></body></html>"
             .to_string(),
     ];
-    let wwt = Wwt::build(pages.iter().map(String::as_str), WwtConfig::default());
-    let out = wwt.answer(&Query::parse("country | currency").unwrap());
+    let engine = build(&pages);
+    let out = engine.answer_query(&Query::parse("country | currency").unwrap());
     // The headerless table's unique row surfaces only if the table was
     // mapped via collective inference.
     assert!(
@@ -86,34 +97,34 @@ fn headerless_table_rescued_by_content_overlap() {
 
 #[test]
 fn swapped_columns_normalized_in_answer() {
-    let pages = vec![
-        "<html><body><p>currency list</p><table>\
+    let pages = vec!["<html><body><p>currency list</p><table>\
          <tr><th>Currency</th><th>Country</th></tr>\
          <tr><td>Rupee</td><td>India</td></tr>\
          <tr><td>Yen</td><td>Japan</td></tr>\
          </table></body></html>"
-            .to_string(),
-    ];
-    let wwt = Wwt::build(pages.iter().map(String::as_str), WwtConfig::default());
-    let out = wwt.answer(&Query::parse("country | currency").unwrap());
+        .to_string()];
+    let engine = build(&pages);
+    let out = engine.answer_query(&Query::parse("country | currency").unwrap());
     let lab = &out.mapping.labelings[0];
     assert_eq!(lab.labels, vec![Label::Col(1), Label::Col(0)]);
     // The answer puts country first regardless of source order.
-    assert!(out.table.rows.iter().any(|r| r.cells == vec!["India", "Rupee"]));
+    assert!(out
+        .table
+        .rows
+        .iter()
+        .any(|r| r.cells == vec!["India", "Rupee"]));
 }
 
 #[test]
 fn single_column_query_returns_entity_list() {
-    let pages = vec![
-        "<html><body><h2>Dog breeds of the world</h2><table>\
+    let pages = vec!["<html><body><h2>Dog breeds of the world</h2><table>\
          <tr><th>Dog breed</th><th>Size</th></tr>\
          <tr><td>Husky</td><td>Large</td></tr>\
          <tr><td>Beagle</td><td>Medium</td></tr>\
          </table></body></html>"
-            .to_string(),
-    ];
-    let wwt = Wwt::build(pages.iter().map(String::as_str), WwtConfig::default());
-    let out = wwt.answer(&Query::parse("dog breed").unwrap());
+        .to_string()];
+    let engine = build(&pages);
+    let out = engine.answer_query(&Query::parse("dog breed").unwrap());
     assert_eq!(out.table.q(), 1);
     assert_eq!(out.table.len(), 2);
     let names: Vec<&str> = out.table.rows.iter().map(|r| r.cells[0].as_str()).collect();

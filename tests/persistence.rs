@@ -1,8 +1,8 @@
 //! Integration tests for on-disk persistence: index and table store
 //! round-trip through files and keep answering queries identically.
 
-use wwt::index::{persist, IndexBuilder, TableStore};
 use wwt::html::extract_tables;
+use wwt::index::{persist, IndexBuilder, TableStore};
 use wwt::text::tokenize;
 
 fn sample_tables() -> Vec<wwt::model::WebTable> {

@@ -96,7 +96,10 @@ fn all_inference_algorithms_satisfy_constraints() {
 fn probe_statistics_reasonable() {
     let (bound, specs) = bound_for(&["country | gdp", "movies | gross"]);
     for spec in &specs {
-        let (s1, _s2, _used, _) = bound.wwt.retrieve(&spec.query);
-        assert!(!s1.is_empty(), "stage-1 probe must find candidates");
+        let retrieval = bound.engine.retrieve(&spec.query);
+        assert!(
+            !retrieval.stage1.is_empty(),
+            "stage-1 probe must find candidates"
+        );
     }
 }
