@@ -1,0 +1,101 @@
+//! Criterion microbench: HTTP serving-layer throughput — the full
+//! socket round trip through `wwt-server`, cached vs uncached, serial vs
+//! a multi-connection load-generator sweep. Compare against
+//! `service_throughput` to see what the network boundary itself costs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::Arc;
+use wwt_corpus::{workload, CorpusConfig, CorpusGenerator};
+use wwt_engine::{bind_corpus, Engine, WwtConfig};
+use wwt_json::Json;
+use wwt_server::{run_load, serve, HttpClient, ServerConfig, ServerHandle};
+use wwt_service::{ServiceConfig, TableSearchService};
+
+const CONNECTIONS: usize = 8;
+const REQUESTS_PER_CONNECTION: usize = 16;
+
+fn start(engine: &Arc<Engine>, cache: bool) -> ServerHandle {
+    let config = ServiceConfig {
+        cache_capacity: if cache { 1024 } else { 0 },
+        ..ServiceConfig::default()
+    };
+    let service = Arc::new(TableSearchService::with_config(Arc::clone(engine), config));
+    serve(service, ServerConfig::default()).expect("bind ephemeral port")
+}
+
+fn bench_server(c: &mut Criterion) {
+    let specs: Vec<_> = workload().into_iter().take(8).collect();
+    let corpus = CorpusGenerator::new(CorpusConfig {
+        seed: 7,
+        scale: 0.15,
+        distractors: 60,
+    })
+    .generate_for(&specs);
+    let engine = Arc::new(bind_corpus(&corpus, WwtConfig::default()).engine);
+    // Bodies go through the shared codec so any query text stays
+    // correctly escaped.
+    let bodies: Vec<String> = specs
+        .iter()
+        .map(|s| Json::obj([("query", Json::from(s.query.to_string()))]).encode())
+        .collect();
+
+    let mut group = c.benchmark_group("server_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(bodies.len() as u64));
+
+    // Hot path: one keep-alive connection sweeping warm queries; steady
+    // state is cache lookup + HTTP framing.
+    let cached = start(&engine, true);
+    let mut client = HttpClient::connect(cached.addr()).unwrap();
+    for body in &bodies {
+        assert_eq!(client.post("/query", body).unwrap().status, 200);
+    }
+    group.bench_function("http_cached_serial", |b| {
+        b.iter(|| {
+            for body in &bodies {
+                client.post("/query", body).unwrap();
+            }
+        })
+    });
+    drop(client);
+    cached.shutdown();
+
+    // Cold path: every request runs the full pipeline behind the socket.
+    let uncached = start(&engine, false);
+    let mut client = HttpClient::connect(uncached.addr()).unwrap();
+    group.bench_function("http_uncached_serial", |b| {
+        b.iter(|| {
+            for body in &bodies {
+                client.post("/query", body).unwrap();
+            }
+        })
+    });
+    drop(client);
+    uncached.shutdown();
+
+    // Load generator: many warm connections at once; reported per sweep
+    // of `bodies`, so elem/s stays comparable to the serial runs.
+    let loaded = start(&engine, true);
+    group.bench_function("http_cached_load_8conn", |b| {
+        b.iter(|| {
+            let report = run_load(loaded.addr(), &bodies, CONNECTIONS, REQUESTS_PER_CONNECTION);
+            assert_eq!(report.errors, 0, "{report:?}");
+            report
+        })
+    });
+    let report = run_load(loaded.addr(), &bodies, CONNECTIONS, REQUESTS_PER_CONNECTION);
+    println!(
+        "load report: {} ok, p50 {:?}, p99 {:?}, max {:?}, {:.0} req/s",
+        report.ok,
+        report.p50,
+        report.p99,
+        report.max,
+        report.throughput()
+    );
+    loaded.shutdown();
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_server);
+criterion_main!(benches);

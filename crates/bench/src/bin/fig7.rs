@@ -3,12 +3,18 @@
 //! table read, column map, consolidate), queries sorted by total time.
 
 use wwt_bench::{print_text_table, setup};
+use wwt_engine::QueryRequest;
 
 fn main() {
     let exp = setup();
     let mut rows: Vec<(f64, Vec<String>)> = Vec::new();
     for spec in &exp.specs {
-        let out = exp.bound.engine.answer_query(&spec.query);
+        let request = QueryRequest::new(spec.query.clone());
+        let out = exp
+            .bound
+            .engine
+            .answer(&request)
+            .expect("default options are always valid");
         let t = out.diagnostics.timing;
         let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
         let total = ms(t.total());

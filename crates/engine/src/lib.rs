@@ -16,9 +16,11 @@
 //!   truth and computing the F1 error per method (the machinery behind
 //!   every table and figure reproduction in `wwt-bench`).
 //!
-//! The pre-redesign [`Wwt`] facade remains as a deprecated shim over
-//! [`Engine`]; new code should build with [`EngineBuilder`] and serve
-//! through `wwt-service`'s `TableSearchService`.
+//! Build with [`EngineBuilder`], serve through `wwt-service`'s
+//! `TableSearchService` (or over HTTP via `wwt-server`). The pre-0.2
+//! `Wwt` facade and its `QueryOutcome` shape are gone: build via
+//! [`EngineBuilder`] and answer via [`Engine::answer`] /
+//! [`Engine::answer_query`] instead.
 
 pub mod baselines;
 pub mod engine;
@@ -35,11 +37,8 @@ pub use evaluate::{
     bind_corpus, evaluate_query, evaluate_query_with, evaluate_workload, evaluate_workload_with,
     BoundCorpus, Method, QueryEvaluation,
 };
-pub use pipeline::{QueryOutcome, WwtConfig};
+pub use pipeline::WwtConfig;
 pub use pool::fan_out;
 pub use request::{QueryDiagnostics, QueryOptions, QueryRequest, QueryResponse};
 pub use retrieval::Retrieval;
 pub use timing::StageTimings;
-
-#[allow(deprecated)]
-pub use pipeline::Wwt;

@@ -1,17 +1,13 @@
-//! Engine configuration and the deprecated `Wwt` compatibility shim.
+//! Engine configuration.
 //!
-//! The end-to-end pipeline logic lives in [`crate::engine`] now; this
-//! module keeps [`WwtConfig`] (the build-time defaults that
-//! [`crate::QueryRequest`] options override per request) and a thin
-//! deprecated [`Wwt`] wrapper so pre-redesign callers keep compiling
-//! while they migrate to [`EngineBuilder`]/[`Engine`].
+//! The end-to-end pipeline logic lives in [`crate::engine`]; this module
+//! keeps [`WwtConfig`] — the build-time defaults that
+//! [`crate::QueryRequest`] options override per request. (The pre-0.2
+//! `Wwt` facade and its `QueryOutcome` shape lived here until every
+//! caller migrated to [`EngineBuilder`](crate::EngineBuilder) /
+//! [`Engine`](crate::Engine).)
 
-use crate::engine::{Engine, EngineBuilder};
-use crate::retrieval::Retrieval;
-use crate::timing::StageTimings;
-use wwt_core::{InferenceAlgorithm, MapperConfig, MappingResult};
-use wwt_index::{TableIndex, TableStore};
-use wwt_model::{AnswerTable, Query, TableId, WebTable};
+use wwt_core::{InferenceAlgorithm, MapperConfig};
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -48,151 +44,5 @@ impl Default for WwtConfig {
             sample_rows: 10,
             score_cutoff_frac: 0.34,
         }
-    }
-}
-
-/// Everything the engine produces for one query (legacy shape; new code
-/// receives a [`crate::QueryResponse`]).
-#[derive(Debug, Clone)]
-pub struct QueryOutcome {
-    /// The consolidated, ranked answer table.
-    pub table: AnswerTable,
-    /// The column mapping over all candidates.
-    pub mapping: MappingResult,
-    /// Candidate table ids, aligned with `mapping.labelings`.
-    pub candidates: Vec<TableId>,
-    /// Ids retrieved by the first probe.
-    pub stage1: Vec<TableId>,
-    /// Ids newly contributed by the second probe.
-    pub stage2: Vec<TableId>,
-    /// Whether the second probe fired.
-    pub probe2_used: bool,
-    /// Per-stage timing.
-    pub timing: StageTimings,
-}
-
-/// The assembled WWT system (legacy shim over [`Engine`]).
-#[deprecated(
-    since = "0.2.0",
-    note = "use EngineBuilder to build and Engine (+ wwt-service's TableSearchService) to answer"
-)]
-pub struct Wwt {
-    engine: Engine,
-}
-
-#[allow(deprecated)]
-impl Wwt {
-    /// Offline pipeline: extract data tables from raw HTML documents,
-    /// build the store and the fielded index (paper §2.1).
-    pub fn build<'a>(docs: impl IntoIterator<Item = &'a str>, config: WwtConfig) -> Self {
-        let mut b = EngineBuilder::with_config(config);
-        b.add_documents(docs);
-        Wwt { engine: b.build() }
-    }
-
-    /// Builds the system from already extracted tables.
-    pub fn from_tables(tables: Vec<WebTable>, config: WwtConfig) -> Self {
-        Wwt {
-            engine: Engine::from_tables(tables, config),
-        }
-    }
-
-    /// The underlying immutable engine (migration escape hatch).
-    pub fn engine(&self) -> &Engine {
-        &self.engine
-    }
-
-    /// The fielded index.
-    pub fn index(&self) -> &TableIndex {
-        self.engine.index()
-    }
-
-    /// The table store.
-    pub fn store(&self) -> &TableStore {
-        self.engine.store()
-    }
-
-    /// The engine configuration.
-    pub fn config(&self) -> &WwtConfig {
-        self.engine.config()
-    }
-
-    /// Runs the two-stage candidate retrieval (§2.2.1).
-    pub fn retrieve(&self, query: &Query) -> Retrieval {
-        self.engine.retrieve(query)
-    }
-
-    /// Full online pipeline: retrieve → map → consolidate → rank (§2.2).
-    pub fn answer(&self, query: &Query) -> QueryOutcome {
-        let response = self.engine.answer_query(query);
-        QueryOutcome {
-            table: response.table,
-            mapping: response.mapping,
-            candidates: response.candidates,
-            stage1: response.retrieval.stage1,
-            stage2: response.retrieval.stage2,
-            probe2_used: response.retrieval.probe2_used,
-            timing: response.diagnostics.timing,
-        }
-    }
-}
-
-#[cfg(test)]
-#[allow(deprecated)]
-mod tests {
-    use super::*;
-
-    fn currency_page(i: usize, countries: &[(&str, &str)]) -> String {
-        let mut rows = String::new();
-        for (c, m) in countries {
-            rows.push_str(&format!("<tr><td>{c}</td><td>{m}</td></tr>"));
-        }
-        format!(
-            "<html><head><title>currencies {i}</title></head><body>\
-             <p>List of countries and their currency</p>\
-             <table><tr><th>Country</th><th>Currency</th></tr>{rows}</table>\
-             </body></html>"
-        )
-    }
-
-    fn build_shim() -> Wwt {
-        let docs = [
-            currency_page(
-                0,
-                &[("India", "Rupee"), ("Japan", "Yen"), ("France", "Euro")],
-            ),
-            currency_page(
-                1,
-                &[("India", "Rupee"), ("Brazil", "Real"), ("Japan", "Yen")],
-            ),
-        ];
-        Wwt::build(docs.iter().map(String::as_str), WwtConfig::default())
-    }
-
-    #[test]
-    fn shim_matches_engine_results() {
-        let wwt = build_shim();
-        let q = Query::parse("country | currency").unwrap();
-        let legacy = wwt.answer(&q);
-        let modern = wwt.engine().answer_query(&q);
-        assert_eq!(legacy.table, modern.table);
-        assert_eq!(legacy.candidates, modern.candidates);
-        assert_eq!(legacy.probe2_used, modern.retrieval.probe2_used);
-    }
-
-    #[test]
-    fn shim_retrieve_returns_named_struct() {
-        let wwt = build_shim();
-        let q = Query::parse("country | currency").unwrap();
-        let r = wwt.retrieve(&q);
-        assert!(!r.stage1.is_empty());
-        assert_eq!(r.candidates().len(), r.len());
-    }
-
-    #[test]
-    fn shim_from_tables_empty_is_safe() {
-        let wwt = Wwt::from_tables(vec![], WwtConfig::default());
-        let q = Query::parse("anything | at all").unwrap();
-        assert!(wwt.answer(&q).table.is_empty());
     }
 }

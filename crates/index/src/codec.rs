@@ -1,117 +1,82 @@
-//! Hand-rolled JSON codec for [`WebTable`] lines in the table store.
+//! JSON codec for [`WebTable`] lines in the table store.
 //!
 //! The container has no registry access, so instead of `serde_json` the
-//! store serializes tables with a small dedicated encoder and a minimal
-//! recursive-descent JSON parser. The format is ordinary JSON — one
-//! object per line — so stores stay greppable and forward-compatible:
+//! store serializes tables through the workspace's shared hand-rolled
+//! codec, [`wwt_json`] — the same value tree `wwt-server` uses for HTTP
+//! bodies. The format is ordinary JSON — one object per line — so stores
+//! stay greppable and forward-compatible:
 //!
 //! ```text
 //! {"id":7,"url":"…","title":"…"|null,"headers":[[…]],"rows":[[…]],
 //!  "context":[{"text":"…","score":0.9}]}
 //! ```
 
+use wwt_json::Json;
 use wwt_model::{ContextSnippet, TableId, WebTable};
 
 /// Serializes one table as a single-line JSON object.
 pub(crate) fn table_to_json(t: &WebTable) -> String {
-    let mut s = String::with_capacity(256);
-    s.push_str("{\"id\":");
-    s.push_str(&t.id.0.to_string());
-    s.push_str(",\"url\":");
-    push_json_str(&mut s, &t.url);
-    s.push_str(",\"title\":");
-    match &t.title {
-        Some(title) => push_json_str(&mut s, title),
-        None => s.push_str("null"),
-    }
-    s.push_str(",\"headers\":");
-    push_rows(&mut s, &t.headers);
-    s.push_str(",\"rows\":");
-    push_rows(&mut s, &t.rows);
-    s.push_str(",\"context\":[");
-    for (i, c) in t.context.iter().enumerate() {
-        if i > 0 {
-            s.push(',');
-        }
-        s.push_str("{\"text\":");
-        push_json_str(&mut s, &c.text);
-        s.push_str(",\"score\":");
-        // A non-finite score would serialize as `NaN`/`inf` — invalid
-        // JSON that poisons the whole store at load time.
-        let score = if c.score.is_finite() { c.score } else { 0.0 };
-        s.push_str(&format!("{score:?}"));
-        s.push('}');
-    }
-    s.push_str("]}");
-    s
+    Json::obj([
+        ("id", Json::from(t.id.0)),
+        ("url", Json::from(t.url.as_str())),
+        (
+            "title",
+            match &t.title {
+                Some(title) => Json::from(title.as_str()),
+                None => Json::Null,
+            },
+        ),
+        ("headers", rows_to_json(&t.headers)),
+        ("rows", rows_to_json(&t.rows)),
+        (
+            "context",
+            Json::Arr(
+                t.context
+                    .iter()
+                    .map(|c| {
+                        Json::obj([
+                            ("text", Json::from(c.text.as_str())),
+                            // A non-finite score would have serialized as
+                            // invalid JSON; the shared encoder clamps it
+                            // to 0 so the store line stays loadable.
+                            ("score", Json::from(c.score)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .encode()
 }
 
-fn push_rows(s: &mut String, rows: &[Vec<String>]) {
-    s.push('[');
-    for (i, row) in rows.iter().enumerate() {
-        if i > 0 {
-            s.push(',');
-        }
-        s.push('[');
-        for (j, cell) in row.iter().enumerate() {
-            if j > 0 {
-                s.push(',');
-            }
-            push_json_str(s, cell);
-        }
-        s.push(']');
-    }
-    s.push(']');
-}
-
-fn push_json_str(s: &mut String, v: &str) {
-    s.push('"');
-    for ch in v.chars() {
-        match ch {
-            '"' => s.push_str("\\\""),
-            '\\' => s.push_str("\\\\"),
-            '\n' => s.push_str("\\n"),
-            '\r' => s.push_str("\\r"),
-            '\t' => s.push_str("\\t"),
-            c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
-            c => s.push(c),
-        }
-    }
-    s.push('"');
+fn rows_to_json(rows: &[Vec<String>]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|row| Json::arr(row.iter().map(String::as_str)))
+            .collect(),
+    )
 }
 
 /// Parses a table serialized by [`table_to_json`]. Errors are plain
 /// strings; the store wraps them in `WwtError::Corrupt`.
 pub(crate) fn table_from_json(line: &str) -> Result<WebTable, String> {
-    let mut p = Parser {
-        bytes: line.as_bytes(),
-        pos: 0,
-    };
-    let value = p.value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err("trailing characters after object".into());
+    let value = Json::parse(line)?;
+    if value.as_obj().is_none() {
+        return Err("top-level value is not an object".into());
     }
-    let obj = match value {
-        Json::Obj(fields) => fields,
-        _ => return Err("top-level value is not an object".into()),
-    };
     let field = |name: &str| -> Result<&Json, String> {
-        obj.iter()
-            .find(|(k, _)| k == name)
-            .map(|(_, v)| v)
+        value
+            .get(name)
             .ok_or_else(|| format!("missing field {name:?}"))
     };
-    let id = match field("id")? {
-        Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u32::MAX as f64 => {
-            TableId(*n as u32)
-        }
+    let id = match field("id")?.as_u64() {
+        Some(n) if n <= u32::MAX as u64 => TableId(n as u32),
         _ => return Err("field \"id\" is not a u32".into()),
     };
-    let url = match field("url")? {
-        Json::Str(s) => s.clone(),
-        _ => return Err("field \"url\" is not a string".into()),
-    };
+    let url = field("url")?
+        .as_str()
+        .ok_or("field \"url\" is not a string")?
+        .to_string();
     let title = match field("title")? {
         Json::Null => None,
         Json::Str(s) => Some(s.clone()),
@@ -119,252 +84,48 @@ pub(crate) fn table_from_json(line: &str) -> Result<WebTable, String> {
     };
     let headers = rows_from(field("headers")?, "headers")?;
     let rows = rows_from(field("rows")?, "rows")?;
-    let context = match field("context")? {
-        Json::Arr(items) => items
-            .iter()
-            .map(|item| match item {
-                Json::Obj(fields) => {
-                    let text = fields
-                        .iter()
-                        .find(|(k, _)| k == "text")
-                        .and_then(|(_, v)| match v {
-                            Json::Str(s) => Some(s.clone()),
-                            _ => None,
-                        })
-                        .ok_or("context item lacks string \"text\"")?;
-                    let score = fields
-                        .iter()
-                        .find(|(k, _)| k == "score")
-                        .and_then(|(_, v)| match v {
-                            Json::Num(n) => Some(*n),
-                            _ => None,
-                        })
-                        .ok_or("context item lacks numeric \"score\"")?;
-                    Ok(ContextSnippet::new(text, score))
-                }
-                _ => Err("context item is not an object".to_string()),
-            })
-            .collect::<Result<Vec<_>, _>>()?,
-        _ => return Err("field \"context\" is not an array".into()),
-    };
+    let context = field("context")?
+        .as_arr()
+        .ok_or("field \"context\" is not an array")?
+        .iter()
+        .map(|item| {
+            if item.as_obj().is_none() {
+                return Err("context item is not an object".to_string());
+            }
+            let text = item
+                .get("text")
+                .and_then(Json::as_str)
+                .ok_or("context item lacks string \"text\"")?;
+            let score = item
+                .get("score")
+                .and_then(Json::as_f64)
+                .ok_or("context item lacks numeric \"score\"")?;
+            Ok(ContextSnippet::new(text, score))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
     WebTable::new(id, url, title, headers, rows, context)
         .ok_or_else(|| "table has no columns".into())
 }
 
 fn rows_from(v: &Json, what: &str) -> Result<Vec<Vec<String>>, String> {
-    let Json::Arr(rows) = v else {
-        return Err(format!("field {what:?} is not an array"));
-    };
+    let rows = v
+        .as_arr()
+        .ok_or_else(|| format!("field {what:?} is not an array"))?;
     rows.iter()
-        .map(|row| match row {
-            Json::Arr(cells) => cells
+        .map(|row| {
+            let cells = row
+                .as_arr()
+                .ok_or_else(|| format!("{what} row is not an array"))?;
+            cells
                 .iter()
-                .map(|c| match c {
-                    Json::Str(s) => Ok(s.clone()),
-                    _ => Err(format!("{what} cell is not a string")),
+                .map(|c| {
+                    c.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("{what} cell is not a string"))
                 })
-                .collect(),
-            _ => Err(format!("{what} row is not an array")),
+                .collect()
         })
         .collect()
-}
-
-/// Minimal JSON value tree.
-enum Json {
-    Null,
-    Bool(#[allow(dead_code)] bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Parser<'_> {
-    fn skip_ws(&mut self) {
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected {:?} at byte {}", b as char, self.pos))
-        }
-    }
-
-    fn eat_literal(&mut self, lit: &str) -> bool {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            true
-        } else {
-            false
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b'n') if self.eat_literal("null") => Ok(Json::Null),
-            Some(b't') if self.eat_literal("true") => Ok(Json::Bool(true)),
-            Some(b'f') if self.eat_literal("false") => Ok(Json::Bool(false)),
-            Some(b'-' | b'0'..=b'9') => self.number(),
-            _ => Err(format!("unexpected input at byte {}", self.pos)),
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            fields.push((key, self.value()?));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek().ok_or("unterminated string")? {
-                b'"' => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                b'\\' => {
-                    self.pos += 1;
-                    match self.peek().ok_or("unterminated escape")? {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'u' => {
-                            self.pos += 1;
-                            let hi = self.hex4()?;
-                            let ch = if (0xD800..0xDC00).contains(&hi) {
-                                // Surrogate pair.
-                                if !self.eat_literal("\\u") {
-                                    return Err("lone high surrogate".into());
-                                }
-                                let lo = self.hex4()?;
-                                if !(0xDC00..0xE000).contains(&lo) {
-                                    return Err("invalid low surrogate".into());
-                                }
-                                let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
-                                char::from_u32(c).ok_or("invalid surrogate pair")?
-                            } else {
-                                char::from_u32(hi).ok_or("invalid \\u escape")?
-                            };
-                            out.push(ch);
-                            // hex4 leaves pos just past the 4 digits.
-                            continue;
-                        }
-                        other => return Err(format!("bad escape \\{}", other as char)),
-                    }
-                    self.pos += 1;
-                }
-                _ => {
-                    // Consume one UTF-8 char (input is a &str, so valid).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| "invalid utf-8")?;
-                    let ch = s.chars().next().ok_or("unterminated string")?;
-                    out.push(ch);
-                    self.pos += ch.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn hex4(&mut self) -> Result<u32, String> {
-        let end = self.pos + 4;
-        if end > self.bytes.len() {
-            return Err("truncated \\u escape".into());
-        }
-        let s =
-            std::str::from_utf8(&self.bytes[self.pos..end]).map_err(|_| "invalid \\u escape")?;
-        let v = u32::from_str_radix(s, 16).map_err(|_| "invalid \\u escape")?;
-        self.pos = end;
-        Ok(v)
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while self
-            .peek()
-            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
-        {
-            self.pos += 1;
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
-            .map(Json::Num)
-            .ok_or_else(|| format!("bad number at byte {start}"))
-    }
 }
 
 #[cfg(test)]
@@ -422,6 +183,15 @@ mod tests {
         let json = r#"{"id":1,"url":"A😀","title":null,"headers":[],"rows":[["x"]],"context":[]}"#;
         let t = table_from_json(json).unwrap();
         assert_eq!(t.url, "A😀");
+    }
+
+    #[test]
+    fn legacy_float_id_lines_still_load() {
+        // Pre-split stores wrote scores with a trailing `.0`; the shared
+        // codec reads either spelling.
+        let json = r#"{"id":3,"url":"u","title":null,"headers":[],"rows":[["x"]],"context":[{"text":"c","score":1.0}]}"#;
+        let t = table_from_json(json).unwrap();
+        assert_eq!(t.context[0].score, 1.0);
     }
 
     #[test]

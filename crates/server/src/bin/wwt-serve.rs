@@ -1,0 +1,101 @@
+//! `wwt-serve`: build an engine over a synthetic web corpus and serve
+//! column-keyword table queries over HTTP.
+//!
+//! ```text
+//! wwt-serve [--addr 127.0.0.1:7070] [--scale 0.1] [--queries 8] [--workers N]
+//! ```
+//!
+//! Every flag also reads an environment fallback (`WWT_ADDR`,
+//! `WWT_SCALE`, `WWT_QUERIES`, `WWT_SERVER_WORKERS`). The process runs
+//! until `POST /admin/shutdown` arrives, then drains in-flight requests
+//! and exits 0.
+
+use std::sync::Arc;
+use wwt_corpus::{workload, CorpusConfig, CorpusGenerator};
+use wwt_engine::{bind_corpus, WwtConfig};
+use wwt_server::{serve, ServerConfig};
+use wwt_service::TableSearchService;
+
+fn flag_or_env(args: &[String], flag: &str, env: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| std::env::var(env).ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: wwt-serve [--addr HOST:PORT] [--scale F] [--queries N] [--workers N]\n\
+             env fallbacks: WWT_ADDR, WWT_SCALE, WWT_QUERIES, WWT_SERVER_WORKERS"
+        );
+        return;
+    }
+    let addr =
+        flag_or_env(&args, "--addr", "WWT_ADDR").unwrap_or_else(|| "127.0.0.1:7070".to_string());
+    let scale: f64 = flag_or_env(&args, "--scale", "WWT_SCALE")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1);
+    let n_queries: usize = flag_or_env(&args, "--queries", "WWT_QUERIES")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let mut server_config = ServerConfig {
+        addr,
+        ..ServerConfig::default()
+    };
+    if let Some(workers) = flag_or_env(&args, "--workers", "WWT_SERVER_WORKERS") {
+        match workers.parse() {
+            Ok(n) => server_config.workers = n,
+            Err(_) => {
+                eprintln!("wwt-serve: --workers must be a number, got {workers:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let specs: Vec<_> = workload().into_iter().take(n_queries.max(1)).collect();
+    eprintln!(
+        "[wwt-serve] generating corpus (scale {scale}, {} workload queries) ...",
+        specs.len()
+    );
+    let corpus = CorpusGenerator::new(CorpusConfig {
+        scale,
+        ..CorpusConfig::default()
+    })
+    .generate_for(&specs);
+    eprintln!(
+        "[wwt-serve] extracting + indexing {} documents ...",
+        corpus.documents.len()
+    );
+    let bound = bind_corpus(&corpus, WwtConfig::default());
+    let service = Arc::new(TableSearchService::new(Arc::new(bound.engine)));
+
+    let handle = match serve(service, server_config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("wwt-serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on http://{}", handle.addr());
+    println!(
+        "try: curl -s -X POST http://{}/query -d '{{\"query\":\"{}\"}}'",
+        handle.addr(),
+        specs[0].query
+    );
+    println!(
+        "stop: curl -s -X POST http://{}/admin/shutdown",
+        handle.addr()
+    );
+
+    handle.wait_shutdown_requested();
+    eprintln!("[wwt-serve] shutdown requested; draining in-flight requests ...");
+    let stats = handle.service().stats();
+    let total = handle.metrics().requests_total();
+    handle.shutdown();
+    eprintln!(
+        "[wwt-serve] served {total} requests (cache: {} hits / {} misses / {} coalesced); bye",
+        stats.hits, stats.misses, stats.coalesced
+    );
+}

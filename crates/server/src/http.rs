@@ -1,0 +1,297 @@
+//! Minimal HTTP/1.1 framing over blocking streams.
+//!
+//! Implements exactly what the serving layer needs: request-line +
+//! header parsing, `Content-Length` bodies with a size cap, keep-alive
+//! semantics, and response writing. No chunked encoding, no TLS — the
+//! server sits behind the loopback interface or a real reverse proxy.
+
+use std::io::{BufRead, Write};
+
+/// Upper bound on header section size (request line + all headers).
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method verb (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path, query string stripped.
+    pub path: String,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed (or timed out) before sending a full request.
+    /// Not answerable — the connection is simply dropped.
+    Disconnected,
+    /// The bytes received do not form a valid HTTP/1.x request.
+    Malformed(String),
+    /// The declared body exceeds the configured limit (HTTP 413).
+    BodyTooLarge {
+        /// Declared `Content-Length`.
+        declared: usize,
+        /// Configured maximum.
+        limit: usize,
+    },
+}
+
+/// Reads one request from the stream. `Err(Disconnected)` covers clean
+/// EOF between requests, peer resets, and read timeouts — all cases
+/// where no response can or should be written.
+pub fn read_request(
+    reader: &mut impl BufRead,
+    max_body_bytes: usize,
+) -> Result<Request, ReadError> {
+    let line = read_crlf_line(reader)?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("empty request line".into()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("request line lacks a path".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("request line lacks a version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed(format!("unsupported {version}")));
+    }
+    let http_11 = version == "HTTP/1.1";
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut headers = Vec::new();
+    let mut header_bytes = line.len();
+    loop {
+        let line = read_crlf_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        header_bytes += line.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(ReadError::Malformed("header section too large".into()));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ReadError::Malformed(format!("malformed header {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    // No chunked support: a Transfer-Encoding body this server ignored
+    // would desync the keep-alive stream (and, behind a proxy honoring
+    // TE over Content-Length, enable request smuggling). Reject it.
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return Err(ReadError::Malformed(
+            "transfer-encoding is not supported; send content-length".into(),
+        ));
+    }
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| ReadError::Malformed(format!("bad content-length {v:?}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > max_body_bytes {
+        return Err(ReadError::BodyTooLarge {
+            declared: content_length,
+            limit: max_body_bytes,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|_| ReadError::Disconnected)?;
+
+    let keep_alive = match headers
+        .iter()
+        .find(|(k, _)| k == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase())
+    {
+        Some(v) if v.contains("close") => false,
+        Some(v) if v.contains("keep-alive") => true,
+        _ => http_11, // HTTP/1.1 defaults to keep-alive
+    };
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+        keep_alive,
+    })
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line, without the ending.
+fn read_crlf_line(reader: &mut impl BufRead) -> Result<String, ReadError> {
+    let mut buf = Vec::with_capacity(64);
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => return Err(ReadError::Disconnected),
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    return String::from_utf8(buf)
+                        .map_err(|_| ReadError::Malformed("non-utf8 header line".into()));
+                }
+                buf.push(byte[0]);
+                if buf.len() > MAX_HEADER_BYTES {
+                    return Err(ReadError::Malformed("header line too long".into()));
+                }
+            }
+            Err(_) => return Err(ReadError::Disconnected),
+        }
+    }
+}
+
+/// Canonical reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one response; `keep_alive` controls the `Connection` header.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+        reason(status),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, ReadError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), 1024)
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let r = parse("GET /healthz?verbose=1 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert_eq!(r.header("host"), Some("x"));
+        assert!(r.body.is_empty());
+        assert!(r.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn parses_post_with_body_and_close() {
+        let r =
+            parse("POST /query HTTP/1.1\r\nContent-Length: 5\r\nConnection: close\r\n\r\nhello")
+                .unwrap();
+        assert_eq!(r.body, b"hello");
+        assert!(!r.keep_alive);
+    }
+
+    #[test]
+    fn http10_defaults_to_close_unless_keep_alive() {
+        assert!(!parse("GET / HTTP/1.0\r\n\r\n").unwrap().keep_alive);
+        let r = parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(r.keep_alive);
+    }
+
+    #[test]
+    fn rejects_oversized_body() {
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n";
+        assert!(matches!(
+            parse(raw),
+            Err(ReadError::BodyTooLarge {
+                declared: 9999,
+                limit: 1024
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(matches!(parse("\r\n\r\n"), Err(ReadError::Malformed(_))));
+        assert!(matches!(parse("GET\r\n\r\n"), Err(ReadError::Malformed(_))));
+        assert!(matches!(
+            parse("GET / SPDY/3\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nbadheader\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: x\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_transfer_encoding() {
+        // Chunked (or any TE) bodies would desync the connection if the
+        // header were ignored.
+        assert!(matches!(
+            parse("POST /query HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n2a\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn eof_is_disconnect() {
+        assert!(matches!(parse(""), Err(ReadError::Disconnected)));
+        // Truncated body: declared 10, only 3 sent.
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(ReadError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "application/json", b"{}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

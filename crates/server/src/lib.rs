@@ -1,0 +1,55 @@
+//! # wwt-server
+//!
+//! The network boundary of the WWT reproduction: a dependency-free
+//! HTTP/1.1 server over `std::net` that exposes a shared
+//! [`TableSearchService`](wwt_service::TableSearchService) — the paper's
+//! structured search engine — as an online serving endpoint.
+//!
+//! * **Routes:** `POST /query` (one request, per-request
+//!   [`QueryOptions`](wwt_engine::QueryOptions) overrides),
+//!   `POST /query/batch`, `GET /healthz`, `GET /stats` (cache counters),
+//!   `GET /metrics` (Prometheus text format), `POST /admin/shutdown`.
+//! * **Concurrency:** one acceptor thread, a fixed worker pool, keep-alive
+//!   connections with read timeouts.
+//! * **Errors:** unparseable queries answer 400, engine failures 500 —
+//!   always as a JSON `{"error":{…}}` body.
+//! * **Shutdown:** [`ServerHandle::shutdown`] stops accepting, completes
+//!   every accepted request, and joins all threads before returning.
+//!
+//! The JSON bodies ride on the workspace's shared [`wwt_json`] codec —
+//! the same hand-rolled value tree the table store persists through.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use wwt_engine::EngineBuilder;
+//! use wwt_server::{serve, HttpClient, ServerConfig};
+//! use wwt_service::TableSearchService;
+//!
+//! let mut builder = EngineBuilder::new();
+//! builder.add_html(
+//!     "<html><body><p>countries and currency</p><table>\
+//!      <tr><th>Country</th><th>Currency</th></tr>\
+//!      <tr><td>India</td><td>Rupee</td></tr></table></body></html>",
+//! );
+//! let service = Arc::new(TableSearchService::new(Arc::new(builder.build())));
+//! let handle = serve(service, ServerConfig::default()).unwrap();
+//!
+//! let mut client = HttpClient::connect(handle.addr()).unwrap();
+//! let response = client
+//!     .post("/query", r#"{"query":"country | currency"}"#)
+//!     .unwrap();
+//! assert_eq!(response.status, 200);
+//! assert!(response.text().contains("\"Rupee\""));
+//! handle.shutdown(); // drains in-flight requests, joins all threads
+//! ```
+
+pub mod client;
+pub mod http;
+pub mod metrics;
+mod server;
+pub mod wire;
+
+pub use client::{run_load, HttpClient, HttpResponse, LoadReport};
+pub use metrics::{Metrics, Route};
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use wire::{encode_response, parse_query_request, ApiError};

@@ -1,0 +1,259 @@
+//! Request counters and a latency histogram, rendered as Prometheus
+//! text exposition format (version 0.0.4) for `GET /metrics`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+use wwt_service::CacheStats;
+
+/// Histogram bucket upper bounds, in seconds. Spans cached hits (tens of
+/// microseconds) through cold large-corpus queries (hundreds of ms).
+pub const LATENCY_BUCKETS_S: [f64; 12] = [
+    0.000_1, 0.000_25, 0.001, 0.002_5, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1.0, 2.5,
+];
+
+/// The route label of a request, for per-route counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Route {
+    /// `POST /query`.
+    Query,
+    /// `POST /query/batch`.
+    QueryBatch,
+    /// `GET /healthz`.
+    Healthz,
+    /// `GET /stats`.
+    Stats,
+    /// `GET /metrics`.
+    Metrics,
+    /// `POST /admin/shutdown`.
+    Shutdown,
+    /// Anything else (404/405/413 traffic).
+    Other,
+}
+
+impl Route {
+    fn label(self) -> &'static str {
+        match self {
+            Route::Query => "query",
+            Route::QueryBatch => "query_batch",
+            Route::Healthz => "healthz",
+            Route::Stats => "stats",
+            Route::Metrics => "metrics",
+            Route::Shutdown => "shutdown",
+            Route::Other => "other",
+        }
+    }
+}
+
+/// Serving-layer counters; one instance shared by every worker.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Total requests answered (any route, any status).
+    requests_total: AtomicU64,
+    /// Requests currently being dispatched.
+    in_flight: AtomicU64,
+    /// Cumulative request-handling time in microseconds.
+    latency_sum_us: AtomicU64,
+    /// Requests per histogram bucket (`LATENCY_BUCKETS_S`, cumulative
+    /// counts are computed at render time; each observation lands in its
+    /// first fitting bucket; overflows only count toward `+Inf`).
+    latency_buckets: [AtomicU64; LATENCY_BUCKETS_S.len()],
+    /// Requests by `(route, status)` label pair.
+    by_route_status: Mutex<BTreeMap<(Route, u16), u64>>,
+}
+
+impl Metrics {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records one handled request.
+    pub fn observe(&self, route: Route, status: u16, elapsed: Duration) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us
+            .fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+        let secs = elapsed.as_secs_f64();
+        if let Some(i) = LATENCY_BUCKETS_S.iter().position(|&le| secs <= le) {
+            self.latency_buckets[i].fetch_add(1, Ordering::Relaxed);
+        }
+        *self
+            .by_route_status
+            .lock()
+            .unwrap()
+            .entry((route, status))
+            .or_insert(0) += 1;
+    }
+
+    /// Marks a request as entering dispatch (pair with
+    /// [`Metrics::request_finished`]).
+    pub fn request_started(&self) {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Marks a dispatched request as finished.
+    pub fn request_finished(&self) {
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Requests currently being dispatched.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Total requests handled so far.
+    pub fn requests_total(&self) -> u64 {
+        self.requests_total.load(Ordering::Relaxed)
+    }
+
+    /// Renders every series in Prometheus text format, folding in the
+    /// service's cache counters.
+    pub fn render_prometheus(&self, cache: &CacheStats) -> String {
+        let mut out = String::with_capacity(2048);
+
+        out.push_str(
+            "# HELP wwt_http_requests_total HTTP requests served, by route and status code.\n",
+        );
+        out.push_str("# TYPE wwt_http_requests_total counter\n");
+        let by_route = self.by_route_status.lock().unwrap().clone();
+        for ((route, status), count) in &by_route {
+            out.push_str(&format!(
+                "wwt_http_requests_total{{route=\"{}\",code=\"{status}\"}} {count}\n",
+                route.label()
+            ));
+        }
+
+        out.push_str("# HELP wwt_http_request_duration_seconds Request handling latency.\n");
+        out.push_str("# TYPE wwt_http_request_duration_seconds histogram\n");
+        let mut cumulative = 0u64;
+        for (i, le) in LATENCY_BUCKETS_S.iter().enumerate() {
+            cumulative += self.latency_buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "wwt_http_request_duration_seconds_bucket{{le=\"{le}\"}} {cumulative}\n"
+            ));
+        }
+        // Read the total *after* the buckets and clamp: a concurrent
+        // observe between the two reads must never make a finite bucket
+        // exceed +Inf (Prometheus treats a non-monotone histogram as
+        // corrupt).
+        let total = self.requests_total().max(cumulative);
+        out.push_str(&format!(
+            "wwt_http_request_duration_seconds_bucket{{le=\"+Inf\"}} {total}\n"
+        ));
+        out.push_str(&format!(
+            "wwt_http_request_duration_seconds_sum {}\n",
+            self.latency_sum_us.load(Ordering::Relaxed) as f64 / 1e6
+        ));
+        out.push_str(&format!(
+            "wwt_http_request_duration_seconds_count {total}\n"
+        ));
+        out.push_str(
+            "# HELP wwt_http_requests_in_flight Requests currently being dispatched.\n\
+             # TYPE wwt_http_requests_in_flight gauge\n",
+        );
+        out.push_str(&format!(
+            "wwt_http_requests_in_flight {}\n",
+            self.in_flight()
+        ));
+
+        for (name, help, kind, value) in [
+            (
+                "wwt_cache_hits_total",
+                "Requests served from the response cache.",
+                "counter",
+                cache.hits,
+            ),
+            (
+                "wwt_cache_misses_total",
+                "Requests that ran the engine.",
+                "counter",
+                cache.misses,
+            ),
+            (
+                "wwt_cache_coalesced_total",
+                "Requests served by joining an identical in-flight computation.",
+                "counter",
+                cache.coalesced,
+            ),
+            (
+                "wwt_cache_entries",
+                "Responses currently cached.",
+                "gauge",
+                cache.entries as u64,
+            ),
+        ] {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache_stats() -> CacheStats {
+        CacheStats {
+            hits: 3,
+            misses: 2,
+            coalesced: 1,
+            entries: 2,
+            shards: 8,
+        }
+    }
+
+    #[test]
+    fn observe_accumulates_and_renders() {
+        let m = Metrics::new();
+        m.observe(Route::Query, 200, Duration::from_micros(800));
+        m.observe(Route::Query, 200, Duration::from_millis(30));
+        m.observe(Route::Query, 400, Duration::from_micros(50));
+        m.observe(Route::Healthz, 200, Duration::from_secs(9));
+        assert_eq!(m.requests_total(), 4);
+
+        let text = m.render_prometheus(&cache_stats());
+        assert!(text.contains("wwt_http_requests_total{route=\"query\",code=\"200\"} 2\n"));
+        assert!(text.contains("wwt_http_requests_total{route=\"query\",code=\"400\"} 1\n"));
+        assert!(text.contains("wwt_http_requests_total{route=\"healthz\",code=\"200\"} 1\n"));
+        // 50us and 800us fall at or below the 1ms bucket.
+        assert!(text.contains("wwt_http_request_duration_seconds_bucket{le=\"0.001\"} 2\n"));
+        // The 9s observation only appears in +Inf: buckets stay cumulative.
+        assert!(text.contains("wwt_http_request_duration_seconds_bucket{le=\"2.5\"} 3\n"));
+        assert!(text.contains("wwt_http_request_duration_seconds_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("wwt_http_request_duration_seconds_count 4\n"));
+        assert!(text.contains("wwt_cache_hits_total 3\n"));
+        assert!(text.contains("wwt_cache_coalesced_total 1\n"));
+        assert!(text.contains("wwt_cache_entries 2\n"));
+    }
+
+    #[test]
+    fn in_flight_gauge_tracks_and_renders() {
+        let m = Metrics::new();
+        m.request_started();
+        m.request_started();
+        m.request_finished();
+        assert_eq!(m.in_flight(), 1);
+        let text = m.render_prometheus(&cache_stats());
+        assert!(text.contains("wwt_http_requests_in_flight 1\n"));
+        m.request_finished();
+        assert_eq!(m.in_flight(), 0);
+    }
+
+    #[test]
+    fn empty_registry_renders_valid_series() {
+        let m = Metrics::new();
+        let text = m.render_prometheus(&CacheStats {
+            hits: 0,
+            misses: 0,
+            coalesced: 0,
+            entries: 0,
+            shards: 0,
+        });
+        assert!(text.contains("wwt_http_request_duration_seconds_count 0\n"));
+        assert!(text.contains("wwt_http_request_duration_seconds_sum 0\n"));
+        assert!(text.contains("wwt_cache_misses_total 0\n"));
+    }
+}

@@ -1,0 +1,381 @@
+//! The accept loop, worker pool and request dispatch.
+//!
+//! One acceptor thread feeds accepted connections into an `mpsc` channel
+//! drained by a fixed pool of worker threads (the channel mutex is the
+//! classic std work queue — workers block in `recv` one at a time).
+//! Shutdown is graceful by construction: the acceptor stops accepting
+//! and drops the channel sender, workers finish every request already
+//! accepted — in-flight and queued — and then exit on channel
+//! disconnect; [`ServerHandle::shutdown`] joins them all before
+//! returning.
+
+use crate::http::{self, ReadError, Request};
+use crate::metrics::{Metrics, Route};
+use crate::wire;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use wwt_service::TableSearchService;
+
+/// Serving knobs for one [`serve`] call.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Per-read socket timeout; an idle keep-alive connection is closed
+    /// after this long.
+    pub read_timeout: Duration,
+    /// Maximum accepted request-body size (413 above it).
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(16))
+                .unwrap_or(4),
+            read_timeout: Duration::from_secs(5),
+            max_body_bytes: 1 << 20,
+        }
+    }
+}
+
+/// State shared by the acceptor, the workers and the handle.
+struct Shared {
+    service: Arc<TableSearchService>,
+    metrics: Metrics,
+    config: ServerConfig,
+    addr: SocketAddr,
+    /// Once true, the acceptor stops and finished responses close their
+    /// connections. Never unset.
+    stopping: AtomicBool,
+    /// Signalled when `POST /admin/shutdown` asks the owner to stop
+    /// (`bool` = a request was seen).
+    shutdown_requested: (Mutex<bool>, Condvar),
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.stopping.load(Ordering::SeqCst)
+    }
+
+    /// Flips the stop flag (the polling acceptor observes it within one
+    /// poll interval) and wakes anyone parked in
+    /// [`ServerHandle::wait_shutdown_requested`].
+    fn begin_stop(&self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        let (lock, cv) = &self.shutdown_requested;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+    }
+}
+
+/// A running server: join handles plus the shared state.
+///
+/// Dropping the handle shuts the server down gracefully; call
+/// [`ServerHandle::shutdown`] to do it explicitly.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The service this server fronts.
+    pub fn service(&self) -> &Arc<TableSearchService> {
+        &self.shared.service
+    }
+
+    /// The serving-layer counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Blocks until a `POST /admin/shutdown` arrives (or shutdown is
+    /// triggered some other way). The binary parks its main thread here.
+    pub fn wait_shutdown_requested(&self) {
+        let (lock, cv) = &self.shared.shutdown_requested;
+        let mut requested = lock.lock().unwrap();
+        while !*requested {
+            requested = cv.wait(requested).unwrap();
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, finish every accepted request
+    /// (in-flight and queued), join all threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.shared.begin_stop();
+        if let Some(acceptor) = self.acceptor.take() {
+            drop(acceptor.join());
+        }
+        for worker in self.workers.drain(..) {
+            drop(worker.join());
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            self.shutdown_impl();
+        }
+    }
+}
+
+/// Binds the address and starts serving `service` on a worker pool.
+pub fn serve(
+    service: Arc<TableSearchService>,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        service,
+        metrics: Metrics::new(),
+        config,
+        addr,
+        stopping: AtomicBool::new(false),
+        shutdown_requested: (Mutex::new(false), Condvar::new()),
+    });
+
+    let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = mpsc::channel();
+    let rx = Arc::new(Mutex::new(rx));
+
+    let workers = (0..shared.config.workers.max(1))
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&rx);
+            std::thread::Builder::new()
+                .name(format!("wwt-http-{i}"))
+                .spawn(move || worker_loop(&shared, &rx))
+                .expect("spawn http worker")
+        })
+        .collect();
+
+    // Non-blocking accept with a short poll: the acceptor re-checks the
+    // stop flag at least every poll interval, so shutdown can never hang
+    // on a blocked `accept` even if the wake-up poke connection fails
+    // (firewalled self-connects, exhausted local ports, …).
+    listener.set_nonblocking(true)?;
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("wwt-http-accept".to_string())
+            .spawn(move || {
+                // `tx` lives in this thread: when the loop breaks, the
+                // sender drops and workers drain out.
+                while !shared.stopping() {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            // The worker side expects blocking reads.
+                            if stream.set_nonblocking(false).is_err() {
+                                continue;
+                            }
+                            if tx.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(1)),
+                    }
+                }
+            })
+            .expect("spawn http acceptor")
+    };
+
+    Ok(ServerHandle {
+        shared,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        // Lock only for the `recv` itself; handling runs unlocked.
+        let stream = match rx.lock().unwrap().recv() {
+            Ok(stream) => stream,
+            Err(_) => break, // acceptor gone and queue drained
+        };
+        handle_connection(shared, stream);
+    }
+}
+
+/// Serves one connection until it closes, errors, times out, or the
+/// server begins stopping (the current request always completes).
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    if stream
+        .set_read_timeout(Some(shared.config.read_timeout))
+        .is_err()
+    {
+        return;
+    }
+    drop(stream.set_nodelay(true));
+    let Ok(clone) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(clone);
+    loop {
+        // Framing errors are observed with the time since the read
+        // started (includes keep-alive idle — still truer than zero).
+        let read_start = Instant::now();
+        let request = match http::read_request(&mut reader, shared.config.max_body_bytes) {
+            Ok(request) => request,
+            Err(ReadError::Disconnected) => return,
+            Err(ReadError::Malformed(message)) => {
+                let err = wire::ApiError {
+                    status: 400,
+                    message,
+                };
+                let body = wire::encode_error(&err);
+                shared
+                    .metrics
+                    .observe(Route::Other, 400, read_start.elapsed());
+                drop(http::write_response(
+                    &mut stream,
+                    400,
+                    "application/json",
+                    body.as_bytes(),
+                    false,
+                ));
+                return;
+            }
+            Err(ReadError::BodyTooLarge { declared, limit }) => {
+                let err = wire::ApiError {
+                    status: 413,
+                    message: format!("body of {declared} bytes exceeds the {limit} byte limit"),
+                };
+                let body = wire::encode_error(&err);
+                shared
+                    .metrics
+                    .observe(Route::Other, 413, read_start.elapsed());
+                drop(http::write_response(
+                    &mut stream,
+                    413,
+                    "application/json",
+                    body.as_bytes(),
+                    false,
+                ));
+                return;
+            }
+        };
+        let start = Instant::now();
+        shared.metrics.request_started();
+        let (route, status, content_type, body) = dispatch(shared, &request);
+        shared.metrics.observe(route, status, start.elapsed());
+        shared.metrics.request_finished();
+        // Finish the in-flight response even while stopping; just do not
+        // keep the connection afterwards.
+        let keep_alive = request.keep_alive && !shared.stopping();
+        if http::write_response(
+            &mut stream,
+            status,
+            content_type,
+            body.as_bytes(),
+            keep_alive,
+        )
+        .is_err()
+            || !keep_alive
+        {
+            return;
+        }
+    }
+}
+
+/// Routes one request; returns `(route label, status, content type,
+/// body)`.
+fn dispatch(shared: &Shared, request: &Request) -> (Route, u16, &'static str, String) {
+    const JSON: &str = "application/json";
+    const PROM: &str = "text/plain; version=0.0.4";
+    let route = match request.path.as_str() {
+        "/query" => Route::Query,
+        "/query/batch" => Route::QueryBatch,
+        "/healthz" => Route::Healthz,
+        "/stats" => Route::Stats,
+        "/metrics" => Route::Metrics,
+        "/admin/shutdown" => Route::Shutdown,
+        _ => {
+            let err = wire::ApiError {
+                status: 404,
+                message: format!("no route {}", request.path),
+            };
+            return (Route::Other, 404, JSON, wire::encode_error(&err));
+        }
+    };
+    let expected = match route {
+        Route::Query | Route::QueryBatch | Route::Shutdown => "POST",
+        _ => "GET",
+    };
+    if request.method != expected {
+        let err = wire::ApiError {
+            status: 405,
+            message: format!("{} requires {expected}", request.path),
+        };
+        return (route, 405, JSON, wire::encode_error(&err));
+    }
+    match route {
+        Route::Query => match wire::parse_query_request(&request.body) {
+            Ok(req) => match shared.service.answer(&req) {
+                Ok(response) => (route, 200, JSON, wire::encode_response(&req, &response)),
+                Err(e) => {
+                    let err = wire::api_error(&e);
+                    (route, err.status, JSON, wire::encode_error(&err))
+                }
+            },
+            Err(err) => (route, err.status, JSON, wire::encode_error(&err)),
+        },
+        Route::QueryBatch => match wire::parse_batch_request(&request.body) {
+            Ok(reqs) => {
+                let results = shared.service.answer_batch(&reqs);
+                (
+                    route,
+                    200,
+                    JSON,
+                    wire::encode_batch_response(&reqs, &results),
+                )
+            }
+            Err(err) => (route, err.status, JSON, wire::encode_error(&err)),
+        },
+        Route::Healthz => (route, 200, JSON, "{\"status\":\"ok\"}".to_string()),
+        Route::Stats => (
+            route,
+            200,
+            JSON,
+            wire::encode_stats(&shared.service.stats()),
+        ),
+        Route::Metrics => (
+            route,
+            200,
+            PROM,
+            shared.metrics.render_prometheus(&shared.service.stats()),
+        ),
+        Route::Shutdown => {
+            shared.begin_stop();
+            (
+                route,
+                200,
+                JSON,
+                "{\"status\":\"shutting down\"}".to_string(),
+            )
+        }
+        Route::Other => unreachable!("handled above"),
+    }
+}

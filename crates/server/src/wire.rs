@@ -1,0 +1,399 @@
+//! The HTTP JSON request/response layer: typed `QueryRequest`s in,
+//! `QueryResponse`s out, over the shared [`wwt_json`] codec.
+//!
+//! Request body:
+//!
+//! ```text
+//! {"query": "country | currency",
+//!  "options": {"algorithm": "table_centric", "probe1_k": 60, "probe2_k": 12,
+//!              "high_relevance": 0.75, "max_rows": 10}}
+//! ```
+//!
+//! `options` and every key inside it are optional; unknown keys are a
+//! 400 (catching typos beats silently ignoring a mistyped `max_rows`).
+//! Batch bodies wrap a list: `{"requests": [<request>, …]}`.
+
+use wwt_core::InferenceAlgorithm;
+use wwt_engine::{QueryOptions, QueryRequest, QueryResponse};
+use wwt_json::Json;
+use wwt_model::{Query, WwtError};
+use wwt_service::CacheStats;
+
+/// A client-visible failure: HTTP status plus a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// HTTP status code to answer with.
+    pub status: u16,
+    /// Human-readable description, returned in the JSON error body.
+    pub message: String,
+}
+
+impl ApiError {
+    /// A 400 with the given message.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        ApiError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+/// Maps an engine/service error onto a status: unparseable queries are
+/// the client's fault (400), everything else is the server's (500).
+pub fn api_error(e: &WwtError) -> ApiError {
+    let status = match e {
+        WwtError::Query(_) => 400,
+        _ => 500,
+    };
+    ApiError {
+        status,
+        message: e.to_string(),
+    }
+}
+
+/// The JSON error body `{"error":{"status":…,"message":…}}`.
+pub fn encode_error(e: &ApiError) -> String {
+    error_json(e).encode()
+}
+
+fn error_json(e: &ApiError) -> Json {
+    Json::obj([(
+        "error",
+        Json::obj([
+            ("status", Json::from(u64::from(e.status))),
+            ("message", Json::from(e.message.as_str())),
+        ]),
+    )])
+}
+
+/// Parses a `POST /query` body into a typed request.
+pub fn parse_query_request(body: &[u8]) -> Result<QueryRequest, ApiError> {
+    request_from_json(&parse_body(body)?)
+}
+
+/// Parses a `POST /query/batch` body (`{"requests":[…]}`).
+pub fn parse_batch_request(body: &[u8]) -> Result<Vec<QueryRequest>, ApiError> {
+    let value = parse_body(body)?;
+    ensure_known_keys(&value, &["requests"])?;
+    let requests = value
+        .get("requests")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ApiError::bad_request("body must be {\"requests\": [...]}"))?;
+    requests.iter().map(request_from_json).collect()
+}
+
+fn parse_body(body: &[u8]) -> Result<Json, ApiError> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| ApiError::bad_request("body is not valid utf-8"))?;
+    Json::parse(text).map_err(|e| ApiError::bad_request(e.to_string()))
+}
+
+fn request_from_json(value: &Json) -> Result<QueryRequest, ApiError> {
+    if value.as_obj().is_none() {
+        return Err(ApiError::bad_request("request must be a JSON object"));
+    }
+    ensure_known_keys(value, &["query", "options"])?;
+    let raw = value
+        .get("query")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ApiError::bad_request("missing string field \"query\""))?;
+    let query = Query::parse(raw).map_err(|e| ApiError::bad_request(e.to_string()))?;
+    let options = match value.get("options") {
+        None => QueryOptions::default(),
+        Some(opts) => options_from_json(opts)?,
+    };
+    Ok(QueryRequest { query, options })
+}
+
+fn options_from_json(value: &Json) -> Result<QueryOptions, ApiError> {
+    if value.as_obj().is_none() {
+        return Err(ApiError::bad_request("\"options\" must be a JSON object"));
+    }
+    ensure_known_keys(
+        value,
+        &[
+            "algorithm",
+            "probe1_k",
+            "probe2_k",
+            "high_relevance",
+            "max_rows",
+        ],
+    )?;
+    let uint = |key: &str| -> Result<Option<usize>, ApiError> {
+        match value.get(key) {
+            None => Ok(None),
+            Some(v) => v.as_u64().map(|n| Some(n as usize)).ok_or_else(|| {
+                ApiError::bad_request(format!("\"{key}\" must be a non-negative integer"))
+            }),
+        }
+    };
+    let algorithm = match value.get("algorithm") {
+        None => None,
+        Some(v) => {
+            let name = v
+                .as_str()
+                .ok_or_else(|| ApiError::bad_request("\"algorithm\" must be a string"))?;
+            Some(algorithm_from_str(name).ok_or_else(|| {
+                ApiError::bad_request(format!(
+                    "unknown algorithm {name:?} (expected one of: independent, \
+                     table_centric, alpha_expansion, belief_propagation, trws)"
+                ))
+            })?)
+        }
+    };
+    let high_relevance = match value.get("high_relevance") {
+        None => None,
+        Some(v) => Some(
+            v.as_f64()
+                .ok_or_else(|| ApiError::bad_request("\"high_relevance\" must be a number"))?,
+        ),
+    };
+    Ok(QueryOptions {
+        algorithm,
+        probe1_k: uint("probe1_k")?,
+        probe2_k: uint("probe2_k")?,
+        high_relevance,
+        max_rows: uint("max_rows")?,
+    })
+}
+
+fn ensure_known_keys(value: &Json, known: &[&str]) -> Result<(), ApiError> {
+    if let Some(fields) = value.as_obj() {
+        for (key, _) in fields {
+            if !known.contains(&key.as_str()) {
+                return Err(ApiError::bad_request(format!(
+                    "unknown field {key:?} (expected one of: {})",
+                    known.join(", ")
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Wire name of an inference algorithm.
+pub fn algorithm_to_str(a: InferenceAlgorithm) -> &'static str {
+    match a {
+        InferenceAlgorithm::Independent => "independent",
+        InferenceAlgorithm::TableCentric => "table_centric",
+        InferenceAlgorithm::AlphaExpansion => "alpha_expansion",
+        InferenceAlgorithm::BeliefPropagation => "belief_propagation",
+        InferenceAlgorithm::Trws => "trws",
+    }
+}
+
+/// Parses a wire algorithm name.
+pub fn algorithm_from_str(s: &str) -> Option<InferenceAlgorithm> {
+    Some(match s {
+        "independent" => InferenceAlgorithm::Independent,
+        "table_centric" => InferenceAlgorithm::TableCentric,
+        "alpha_expansion" => InferenceAlgorithm::AlphaExpansion,
+        "belief_propagation" => InferenceAlgorithm::BeliefPropagation,
+        "trws" => InferenceAlgorithm::Trws,
+        _ => return None,
+    })
+}
+
+/// Encodes one answered query for the wire. Deterministic for a given
+/// response value, so a cached `Arc<QueryResponse>` always serializes to
+/// identical bytes.
+pub fn encode_response(request: &QueryRequest, response: &QueryResponse) -> String {
+    response_json(request, response).encode()
+}
+
+fn response_json(request: &QueryRequest, response: &QueryResponse) -> Json {
+    let rows = response
+        .table
+        .rows
+        .iter()
+        .map(|r| {
+            Json::obj([
+                ("cells", Json::arr(r.cells.iter().map(String::as_str))),
+                ("support", Json::from(u64::from(r.support))),
+                ("score", Json::from(r.score)),
+                ("sources", Json::arr(r.sources.iter().map(|t| t.0))),
+            ])
+        })
+        .collect();
+    let d = &response.diagnostics;
+    let t = &d.timing;
+    let timing_us = Json::obj([
+        ("index1", Json::from(t.index1.as_micros() as u64)),
+        ("read1", Json::from(t.read1.as_micros() as u64)),
+        ("index2", Json::from(t.index2.as_micros() as u64)),
+        ("read2", Json::from(t.read2.as_micros() as u64)),
+        ("column_map", Json::from(t.column_map.as_micros() as u64)),
+        ("consolidate", Json::from(t.consolidate.as_micros() as u64)),
+        ("total", Json::from(t.total().as_micros() as u64)),
+    ]);
+    let diagnostics = Json::obj([
+        ("n_candidates", Json::from(d.n_candidates)),
+        ("n_relevant", Json::from(d.n_relevant)),
+        ("probe2_used", Json::from(d.probe2_used)),
+        ("rows_before_limit", Json::from(d.rows_before_limit)),
+        ("stage1", Json::from(response.retrieval.stage1.len())),
+        ("stage2", Json::from(response.retrieval.stage2.len())),
+        ("timing_us", timing_us),
+    ]);
+    Json::obj([
+        ("query", Json::from(request.query.to_string())),
+        (
+            "columns",
+            Json::arr(response.table.columns.iter().map(String::as_str)),
+        ),
+        ("rows", Json::Arr(rows)),
+        (
+            "candidates",
+            Json::arr(response.candidates.iter().map(|t| t.0)),
+        ),
+        ("diagnostics", diagnostics),
+    ])
+}
+
+/// Encodes a batch of per-slot results (`{"responses":[…]}`); error
+/// slots carry the same shape as a top-level error body.
+pub fn encode_batch_response(
+    requests: &[QueryRequest],
+    results: &[Result<std::sync::Arc<QueryResponse>, WwtError>],
+) -> String {
+    let slots = requests
+        .iter()
+        .zip(results)
+        .map(|(req, res)| match res {
+            Ok(resp) => response_json(req, resp),
+            Err(e) => error_json(&api_error(e)),
+        })
+        .collect();
+    Json::obj([("responses", Json::Arr(slots))]).encode()
+}
+
+/// Encodes `GET /stats`: the cache counters plus the derived hit rate
+/// (0.0 — never NaN — when nothing has been served).
+pub fn encode_stats(stats: &CacheStats) -> String {
+    Json::obj([
+        ("hits", Json::from(stats.hits)),
+        ("misses", Json::from(stats.misses)),
+        ("coalesced", Json::from(stats.coalesced)),
+        ("entries", Json::from(stats.entries)),
+        ("shards", Json::from(stats.shards)),
+        ("hit_rate", Json::from(stats.hit_rate())),
+    ])
+    .encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bare_query() {
+        let req = parse_query_request(br#"{"query":"country | currency"}"#).unwrap();
+        assert_eq!(req.query.to_string(), "country | currency");
+        assert!(req.options.is_default());
+    }
+
+    #[test]
+    fn parses_full_options() {
+        let req = parse_query_request(
+            br#"{"query":"a | b","options":{"algorithm":"independent","probe1_k":10,
+                 "probe2_k":3,"high_relevance":0.5,"max_rows":7}}"#,
+        )
+        .unwrap();
+        assert_eq!(req.options.algorithm, Some(InferenceAlgorithm::Independent));
+        assert_eq!(req.options.probe1_k, Some(10));
+        assert_eq!(req.options.probe2_k, Some(3));
+        assert_eq!(req.options.high_relevance, Some(0.5));
+        assert_eq!(req.options.max_rows, Some(7));
+    }
+
+    #[test]
+    fn rejects_bad_bodies() {
+        for (body, needle) in [
+            (&b"not json"[..], "invalid json"),
+            (br#"{"query":42}"#, "missing string field"),
+            (br#"{"qerry":"a"}"#, "unknown field \"qerry\""),
+            (br#"{"query":" | "}"#, "no column keywords"),
+            (
+                br#"{"query":"a","options":{"max_rows":-1}}"#,
+                "non-negative",
+            ),
+            (
+                br#"{"query":"a","options":{"algorithm":"magic"}}"#,
+                "unknown algorithm",
+            ),
+            (
+                br#"{"query":"a","options":{"high_relevance":"x"}}"#,
+                "must be a number",
+            ),
+            (
+                br#"{"query":"a","options":{"probes":3}}"#,
+                "unknown field \"probes\"",
+            ),
+        ] {
+            let err = parse_query_request(body).unwrap_err();
+            assert_eq!(err.status, 400, "{body:?}");
+            assert!(
+                err.message.contains(needle),
+                "{:?} !~ {needle:?}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn parses_batch_and_rejects_non_list() {
+        let reqs =
+            parse_batch_request(br#"{"requests":[{"query":"a"},{"query":"b | c"}]}"#).unwrap();
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[1].query.q(), 2);
+        assert!(parse_batch_request(br#"{"requests":7}"#).is_err());
+        assert!(parse_batch_request(br#"{"query":"a"}"#).is_err());
+        // One bad slot poisons the whole batch at parse time.
+        assert!(parse_batch_request(br#"{"requests":[{"query":" | "}]}"#).is_err());
+    }
+
+    #[test]
+    fn algorithm_names_roundtrip() {
+        for a in [
+            InferenceAlgorithm::Independent,
+            InferenceAlgorithm::TableCentric,
+            InferenceAlgorithm::AlphaExpansion,
+            InferenceAlgorithm::BeliefPropagation,
+            InferenceAlgorithm::Trws,
+        ] {
+            assert_eq!(algorithm_from_str(algorithm_to_str(a)), Some(a));
+        }
+        assert_eq!(algorithm_from_str("nope"), None);
+    }
+
+    #[test]
+    fn error_mapping_statuses() {
+        let parse_err = Query::parse(" | ").unwrap_err();
+        assert_eq!(api_error(&WwtError::Query(parse_err)).status, 400);
+        assert_eq!(api_error(&WwtError::Invalid("k".into())).status, 500);
+        assert_eq!(api_error(&WwtError::Corrupt("c".into())).status, 500);
+    }
+
+    #[test]
+    fn error_body_shape() {
+        let body = encode_error(&ApiError::bad_request("boom"));
+        let v = Json::parse(&body).unwrap();
+        let e = v.get("error").unwrap();
+        assert_eq!(e.get("status").and_then(Json::as_u64), Some(400));
+        assert_eq!(e.get("message").and_then(Json::as_str), Some("boom"));
+    }
+
+    #[test]
+    fn stats_body_has_zero_hit_rate_when_empty() {
+        let body = encode_stats(&CacheStats {
+            hits: 0,
+            misses: 0,
+            coalesced: 0,
+            entries: 0,
+            shards: 4,
+        });
+        assert!(body.contains("\"hit_rate\":0"), "{body}");
+        let v = Json::parse(&body).unwrap();
+        assert_eq!(v.get("hit_rate").and_then(Json::as_f64), Some(0.0));
+    }
+}

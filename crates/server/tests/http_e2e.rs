@@ -1,0 +1,375 @@
+//! End-to-end tests over real sockets: an ephemeral-port server, the
+//! keep-alive client, byte-identity with in-process answers, metrics
+//! content, and graceful shutdown draining in-flight requests.
+
+use std::sync::Arc;
+use wwt_engine::{bind_corpus, EngineBuilder, QueryRequest, WwtConfig};
+use wwt_json::Json;
+use wwt_server::{run_load, serve, HttpClient, ServerConfig, ServerHandle};
+use wwt_service::{ServiceConfig, TableSearchService};
+
+/// Two-table currency engine: instant to build, answers in microseconds.
+fn tiny_service() -> Arc<TableSearchService> {
+    let mut b = EngineBuilder::new();
+    for i in 0..2 {
+        b.add_html(&format!(
+            "<html><head><title>currencies {i}</title></head><body>\
+             <p>List of countries and their currency</p>\
+             <table><tr><th>Country</th><th>Currency</th></tr>\
+             <tr><td>India</td><td>Rupee</td></tr>\
+             <tr><td>Japan</td><td>Yen</td></tr></table></body></html>"
+        ));
+    }
+    Arc::new(TableSearchService::new(Arc::new(b.build())))
+}
+
+/// A corpus-backed engine whose cold queries take real milliseconds —
+/// slow enough that a shutdown can race an in-flight request. Built once
+/// and shared: the corpus generation dominates the test binary's time.
+fn slow_service(cache: bool) -> Arc<TableSearchService> {
+    static ENGINE: std::sync::OnceLock<Arc<wwt_engine::Engine>> = std::sync::OnceLock::new();
+    let engine = ENGINE.get_or_init(|| {
+        let specs: Vec<_> = wwt_corpus::workload()
+            .into_iter()
+            .filter(|s| s.query.to_string().starts_with("country | currency"))
+            .collect();
+        let corpus = wwt_corpus::CorpusGenerator::new(wwt_corpus::CorpusConfig::small())
+            .generate_for(&specs);
+        Arc::new(bind_corpus(&corpus, WwtConfig::default()).engine)
+    });
+    let config = ServiceConfig {
+        cache_capacity: if cache { 1024 } else { 0 },
+        ..ServiceConfig::default()
+    };
+    Arc::new(TableSearchService::with_config(Arc::clone(engine), config))
+}
+
+fn start(service: Arc<TableSearchService>) -> ServerHandle {
+    serve(service, ServerConfig::default()).expect("bind ephemeral port")
+}
+
+#[test]
+fn healthz_stats_and_unknown_routes() {
+    let handle = start(tiny_service());
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+
+    let health = client.get("/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    assert_eq!(health.text(), "{\"status\":\"ok\"}");
+
+    // Fresh server: stats must report a 0.0 (never NaN) hit rate.
+    let stats = client.get("/stats").unwrap();
+    assert_eq!(stats.status, 200);
+    let v = Json::parse(&stats.text()).unwrap();
+    assert_eq!(v.get("hits").and_then(Json::as_u64), Some(0));
+    assert_eq!(v.get("hit_rate").and_then(Json::as_f64), Some(0.0));
+
+    let missing = client.get("/nope").unwrap();
+    assert_eq!(missing.status, 404);
+    let wrong_method = client.get("/query").unwrap();
+    assert_eq!(wrong_method.status, 405);
+    assert!(wrong_method.text().contains("requires POST"));
+
+    handle.shutdown();
+}
+
+#[test]
+fn parse_errors_answer_400_engine_stays_up() {
+    let handle = start(tiny_service());
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+
+    for (body, needle) in [
+        ("{", "invalid json"),
+        (r#"{"query":" | "}"#, "no column keywords"),
+        (
+            r#"{"query":"a","options":{"algorithm":"magic"}}"#,
+            "unknown algorithm",
+        ),
+        (r#"{"typo":"a"}"#, "unknown field"),
+    ] {
+        let resp = client.post("/query", body).unwrap();
+        assert_eq!(resp.status, 400, "{body}");
+        let v = Json::parse(&resp.text()).unwrap();
+        let msg = v
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .unwrap();
+        assert!(msg.contains(needle), "{msg:?} !~ {needle:?}");
+    }
+
+    // Invalid engine options are mapped to 500 (WwtError::Invalid).
+    let resp = client
+        .post(
+            "/query",
+            r#"{"query":"country | currency","options":{"probe1_k":0}}"#,
+        )
+        .unwrap();
+    assert_eq!(resp.status, 500);
+
+    // The same connection still serves good requests afterwards.
+    let ok = client
+        .post("/query", r#"{"query":"country | currency"}"#)
+        .unwrap();
+    assert_eq!(ok.status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn query_response_is_byte_identical_to_in_process_answer() {
+    let service = tiny_service();
+    let handle = start(Arc::clone(&service));
+
+    // Answer in-process first: the HTTP request then hits the same cache
+    // entry, so the serialized bytes must match exactly (timings and
+    // all).
+    let request = QueryRequest::parse("country | currency").unwrap();
+    let reference = service.answer(&request).unwrap();
+    let expected = wwt_server::encode_response(&request, &reference);
+
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+    let resp = client
+        .post("/query", r#"{"query":"country | currency"}"#)
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.text(), expected, "wire bytes != in-process encoding");
+
+    // Sanity on the payload itself.
+    let v = Json::parse(&resp.text()).unwrap();
+    assert_eq!(
+        v.get("columns").and_then(Json::as_arr).map(<[Json]>::len),
+        Some(2)
+    );
+    let rows = v.get("rows").and_then(Json::as_arr).unwrap();
+    assert!(!rows.is_empty());
+    let india = rows
+        .iter()
+        .find(|r| {
+            r.get("cells")
+                .and_then(Json::as_arr)
+                .is_some_and(|c| c.first().and_then(Json::as_str) == Some("India"))
+        })
+        .expect("India row");
+    assert_eq!(india.get("support").and_then(Json::as_u64), Some(2));
+    assert!(v
+        .get("diagnostics")
+        .and_then(|d| d.get("timing_us"))
+        .is_some());
+    handle.shutdown();
+}
+
+#[test]
+fn options_roundtrip_over_the_wire() {
+    let handle = start(tiny_service());
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+    let resp = client
+        .post(
+            "/query",
+            r#"{"query":"country | currency","options":{"max_rows":1,"algorithm":"independent"}}"#,
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    let v = Json::parse(&resp.text()).unwrap();
+    assert_eq!(
+        v.get("rows").and_then(Json::as_arr).map(<[Json]>::len),
+        Some(1)
+    );
+    let d = v.get("diagnostics").unwrap();
+    assert!(d.get("rows_before_limit").and_then(Json::as_u64).unwrap() >= 1);
+    handle.shutdown();
+}
+
+#[test]
+fn batch_preserves_slots_including_errors() {
+    let handle = start(tiny_service());
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+    let resp = client
+        .post(
+            "/query/batch",
+            r#"{"requests":[
+                {"query":"country | currency"},
+                {"query":"country | currency","options":{"probe1_k":0}},
+                {"query":"currency"}]}"#,
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    let v = Json::parse(&resp.text()).unwrap();
+    let slots = v.get("responses").and_then(Json::as_arr).unwrap();
+    assert_eq!(slots.len(), 3);
+    assert!(slots[0].get("rows").is_some());
+    // The bad-options slot carries an error object without failing the
+    // batch.
+    let err = slots[1].get("error").expect("error slot");
+    assert_eq!(err.get("status").and_then(Json::as_u64), Some(500));
+    assert!(slots[2].get("rows").is_some());
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_requests_are_byte_identical_across_connections() {
+    const CONNECTIONS: usize = 8;
+    const REQUESTS_PER_CONNECTION: usize = 12;
+    let service = tiny_service();
+    let handle = start(Arc::clone(&service));
+
+    let bodies = [
+        (r#"{"query":"country | currency"}"#, "country | currency"),
+        (r#"{"query":"currency"}"#, "currency"),
+    ];
+    // In-process references (shared cache ⇒ identical bytes over HTTP).
+    let expected: Vec<String> = bodies
+        .iter()
+        .map(|(_, q)| {
+            let req = QueryRequest::parse(q).unwrap();
+            let resp = service.answer(&req).unwrap();
+            wwt_server::encode_response(&req, &resp)
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..CONNECTIONS {
+            let addr = handle.addr();
+            let bodies = &bodies;
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut client = HttpClient::connect(addr).unwrap();
+                for i in 0..REQUESTS_PER_CONNECTION {
+                    let (body, _) = bodies[i % bodies.len()];
+                    let resp = client.post("/query", body).unwrap();
+                    assert_eq!(resp.status, 200);
+                    assert_eq!(resp.text(), expected[i % bodies.len()]);
+                }
+            });
+        }
+    });
+
+    let served = handle.metrics().requests_total();
+    assert_eq!(served, (CONNECTIONS * REQUESTS_PER_CONNECTION) as u64);
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_expose_requests_latency_histogram_and_cache_stats() {
+    let handle = start(tiny_service());
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+    client
+        .post("/query", r#"{"query":"country | currency"}"#)
+        .unwrap();
+    client
+        .post("/query", r#"{"query":"country | currency"}"#)
+        .unwrap();
+    client.post("/query", r#"{"query":" | "}"#).unwrap();
+
+    let resp = client.get("/metrics").unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp
+        .header("content-type")
+        .unwrap()
+        .starts_with("text/plain"));
+    let text = resp.text();
+    assert!(text.contains("wwt_http_requests_total{route=\"query\",code=\"200\"} 2\n"));
+    assert!(text.contains("wwt_http_requests_total{route=\"query\",code=\"400\"} 1\n"));
+    assert!(text.contains("# TYPE wwt_http_request_duration_seconds histogram"));
+    assert!(text.contains("wwt_http_request_duration_seconds_bucket{le=\"+Inf\"} 3\n"));
+    assert!(text.contains("wwt_http_request_duration_seconds_count 3\n"));
+    assert!(text.contains("wwt_cache_hits_total 1\n"));
+    assert!(text.contains("wwt_cache_misses_total 1\n"));
+    assert!(text.contains("wwt_cache_coalesced_total 0\n"));
+    assert!(text.contains("wwt_cache_entries 1\n"));
+    // The /metrics request itself is mid-dispatch while rendering.
+    assert!(text.contains("wwt_http_requests_in_flight 1\n"));
+    handle.shutdown();
+}
+
+#[test]
+fn load_generator_drives_the_server() {
+    let handle = start(tiny_service());
+    let report = run_load(
+        handle.addr(),
+        &[
+            r#"{"query":"country | currency"}"#.to_string(),
+            r#"{"query":"currency"}"#.to_string(),
+        ],
+        4,
+        25,
+    );
+    assert_eq!(report.ok, 100, "{report:?}");
+    assert_eq!(report.errors, 0);
+    assert!(report.p50 <= report.p99 && report.p99 <= report.max);
+    assert!(report.throughput() > 0.0);
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    // Cache off so the query actually runs the (slow) engine while the
+    // shutdown races it.
+    let service = slow_service(false);
+    let handle = start(Arc::clone(&service));
+    let addr = handle.addr();
+
+    // Fire the (slow, uncached) request, then shut the server down while
+    // it is being dispatched.
+    let in_flight = std::thread::spawn(move || {
+        let mut client = HttpClient::connect(addr).unwrap();
+        client.post("/query", r#"{"query":"country | currency"}"#)
+    });
+    // Wait until a worker has actually picked the request up (or even
+    // finished it) — no sleep race with the client thread's connect.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while handle.metrics().in_flight() == 0 && handle.metrics().requests_total() == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "request never reached the server"
+        );
+        std::thread::yield_now();
+    }
+    handle.shutdown(); // returns only after every worker exited
+
+    let resp = in_flight
+        .join()
+        .unwrap()
+        .expect("in-flight request must complete during graceful shutdown");
+    assert_eq!(resp.status, 200);
+    let v = Json::parse(&resp.text()).expect("drained response must be complete JSON");
+    assert!(v.get("rows").is_some());
+
+    // After shutdown the port no longer accepts work.
+    assert!(
+        HttpClient::connect(addr)
+            .and_then(|mut c| c.get("/healthz"))
+            .is_err(),
+        "server must be gone after shutdown"
+    );
+}
+
+#[test]
+fn singleflight_coalesces_identical_http_requests() {
+    const CALLERS: usize = 6;
+    let service = slow_service(true);
+    let handle = start(Arc::clone(&service));
+    let addr = handle.addr();
+
+    let barrier = std::sync::Barrier::new(CALLERS);
+    std::thread::scope(|scope| {
+        for _ in 0..CALLERS {
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let mut client = HttpClient::connect(addr).unwrap();
+                barrier.wait();
+                let resp = client
+                    .post("/query", r#"{"query":"country | currency"}"#)
+                    .unwrap();
+                assert_eq!(resp.status, 200);
+            });
+        }
+    });
+
+    let stats = service.stats();
+    assert_eq!(
+        stats.misses, 1,
+        "one engine run for {CALLERS} callers: {stats:?}"
+    );
+    assert_eq!(stats.hits + stats.coalesced, (CALLERS - 1) as u64);
+    handle.shutdown();
+}

@@ -9,16 +9,22 @@
 //! * a **sharded LRU response cache** keyed by the normalized query plus
 //!   its per-request option fingerprint ([`QueryRequest::cache_key`]),
 //!   returning `Arc<QueryResponse>` so hits are zero-copy;
+//! * **singleflight coalescing**: N concurrent identical cold queries
+//!   run the engine once — followers block on the leader's flight and
+//!   share its response;
 //! * [`TableSearchService::answer_batch`], fanning a slice of requests
 //!   across a scoped worker pool (work-stealing over a shared cursor);
-//! * hit/miss/entry counters ([`CacheStats`]) for capacity planning.
+//! * hit/miss/coalesce/entry counters ([`CacheStats`]) for capacity
+//!   planning.
 //!
 //! Everything takes `&self`; one service instance can be shared across
 //! any number of threads.
 
 mod cache;
+mod singleflight;
 
 use cache::ShardedCache;
+use singleflight::{FlightGroup, Role};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use wwt_engine::{Engine, QueryRequest, QueryResponse};
@@ -53,8 +59,11 @@ impl Default for ServiceConfig {
 pub struct CacheStats {
     /// Requests served from the cache.
     pub hits: u64,
-    /// Requests that ran the engine.
+    /// Requests that ran the engine (one per actual engine execution).
     pub misses: u64,
+    /// Requests served by joining an identical in-flight computation
+    /// (singleflight followers).
+    pub coalesced: u64,
     /// Entries currently cached.
     pub entries: usize,
     /// Number of cache shards.
@@ -62,13 +71,15 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Hit fraction in `[0, 1]` (0 when nothing was served yet).
+    /// Fraction of requests in `[0, 1]` that avoided an engine run —
+    /// cache hits plus coalesced followers over everything served.
+    /// Exactly `0.0` (never `NaN`) when nothing was served yet.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.hits + self.misses + self.coalesced;
         if total == 0 {
             0.0
         } else {
-            self.hits as f64 / total as f64
+            (self.hits + self.coalesced) as f64 / total as f64
         }
     }
 }
@@ -77,8 +88,10 @@ impl CacheStats {
 pub struct TableSearchService {
     engine: Arc<Engine>,
     cache: Option<ShardedCache<Arc<QueryResponse>>>,
+    inflight: FlightGroup<Arc<QueryResponse>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    coalesced: AtomicU64,
     config: ServiceConfig,
 }
 
@@ -101,8 +114,10 @@ impl TableSearchService {
         TableSearchService {
             engine,
             cache,
+            inflight: FlightGroup::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
             config,
         }
     }
@@ -117,22 +132,67 @@ impl TableSearchService {
         &self.config
     }
 
-    /// Answers one request, consulting the response cache first. Errors
-    /// (bad options) are never cached.
+    /// Answers one request: response cache first, then singleflight — if
+    /// an identical request is already executing, this caller blocks and
+    /// shares the leader's response instead of re-running the engine.
+    /// Errors (bad options) are never cached and never shared: a failed
+    /// flight makes each caller compute (and fail) for itself.
     pub fn answer(&self, request: &QueryRequest) -> Result<Arc<QueryResponse>, WwtError> {
-        let Some(cache) = &self.cache else {
-            let response = Arc::new(self.engine.answer(request)?);
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            return Ok(response);
-        };
         let key = request.cache_key();
-        if let Some(hit) = cache.get(&key) {
+        if let Some(hit) = self.cache_get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit);
         }
+        match self.inflight.join(&key, || self.cache_get(&key)) {
+            Role::Cached(hit) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Ok(hit)
+            }
+            Role::Shared(Some(shared)) => {
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                Ok(shared)
+            }
+            // The leader failed (or unwound); coalescing is best-effort,
+            // so compute directly — error paths fail fast anyway.
+            Role::Shared(None) => self.run_engine(request, &key),
+            Role::Leader(guard) => match self.engine.answer(request) {
+                Ok(response) => {
+                    let response = Arc::new(response);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    // The cache insert happens while the flight closes, so
+                    // late joiners either share the flight or hit the cache
+                    // in their recheck — never a second engine run.
+                    guard.publish(Some(Arc::clone(&response)), || {
+                        if let Some(cache) = &self.cache {
+                            cache.insert(key.clone(), Arc::clone(&response));
+                        }
+                    });
+                    Ok(response)
+                }
+                Err(e) => {
+                    guard.publish(None, || {});
+                    Err(e)
+                }
+            },
+        }
+    }
+
+    fn cache_get(&self, key: &str) -> Option<Arc<QueryResponse>> {
+        self.cache.as_ref().and_then(|cache| cache.get(key))
+    }
+
+    /// Runs the engine outside any flight (the fallback when a flight
+    /// this caller joined was abandoned by its leader).
+    fn run_engine(
+        &self,
+        request: &QueryRequest,
+        key: &str,
+    ) -> Result<Arc<QueryResponse>, WwtError> {
         let response = Arc::new(self.engine.answer(request)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        cache.insert(key, Arc::clone(&response));
+        if let Some(cache) = &self.cache {
+            cache.insert(key.to_string(), Arc::clone(&response));
+        }
         Ok(response)
     }
 
@@ -160,6 +220,7 @@ impl TableSearchService {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
             entries: self.cache.as_ref().map(ShardedCache::len).unwrap_or(0),
             shards: self.cache.as_ref().map(ShardedCache::n_shards).unwrap_or(0),
         }
@@ -245,7 +306,10 @@ mod tests {
             }
         });
         let stats = service.stats();
-        assert_eq!(stats.hits + stats.misses, 4 * 3 * requests.len() as u64);
+        assert_eq!(
+            stats.hits + stats.misses + stats.coalesced,
+            4 * 3 * requests.len() as u64
+        );
         assert!(stats.hits > 0, "repeats must hit the cache: {stats:?}");
     }
 
@@ -337,6 +401,103 @@ mod tests {
         assert_eq!(stats.misses, 2);
         assert_eq!(stats.entries, 0);
         assert_eq!(stats.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_is_zero_not_nan_before_any_request() {
+        let service = TableSearchService::new(tiny_engine());
+        let stats = service.stats();
+        assert_eq!(stats.hits + stats.misses + stats.coalesced, 0);
+        let rate = stats.hit_rate();
+        assert!(!rate.is_nan(), "hit_rate must never be NaN");
+        assert_eq!(rate, 0.0);
+    }
+
+    #[test]
+    fn singleflight_runs_engine_once_for_concurrent_identical_queries() {
+        const CALLERS: usize = 8;
+        let service = Arc::new(TableSearchService::new(small_engine()));
+        let request = QueryRequest::parse("country | currency").unwrap();
+        let barrier = std::sync::Barrier::new(CALLERS);
+        let answers: Vec<Arc<QueryResponse>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CALLERS)
+                .map(|_| {
+                    let service = Arc::clone(&service);
+                    let request = request.clone();
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        barrier.wait();
+                        service.answer(&request).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for answer in &answers[1..] {
+            assert_eq!(answer.table, answers[0].table);
+        }
+        let stats = service.stats();
+        // Exactly one engine execution: late joiners either shared the
+        // flight (coalesced) or hit the cache the leader filled while
+        // closing it (hits) — the `misses` counter is the engine-run
+        // count.
+        assert_eq!(stats.misses, 1, "{stats:?}");
+        assert_eq!(
+            stats.hits + stats.coalesced,
+            (CALLERS - 1) as u64,
+            "{stats:?}"
+        );
+        assert!(stats.coalesced > 0, "no caller coalesced: {stats:?}");
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn singleflight_coalesces_even_without_a_cache() {
+        const CALLERS: usize = 6;
+        let no_cache = ServiceConfig {
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        };
+        let service = Arc::new(TableSearchService::with_config(small_engine(), no_cache));
+        let request = QueryRequest::parse("country | currency").unwrap();
+        let barrier = std::sync::Barrier::new(CALLERS);
+        std::thread::scope(|scope| {
+            for _ in 0..CALLERS {
+                let service = Arc::clone(&service);
+                let request = request.clone();
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    service.answer(&request).unwrap();
+                });
+            }
+        });
+        let stats = service.stats();
+        assert_eq!(stats.hits, 0, "{stats:?}");
+        assert_eq!(stats.misses + stats.coalesced, CALLERS as u64, "{stats:?}");
+        // Without a cache a caller arriving after the flight closed runs
+        // the engine itself, so allow a straggler — but the barrier makes
+        // genuine concurrency overwhelmingly likely.
+        assert!(stats.coalesced > 0, "no caller coalesced: {stats:?}");
+        assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn singleflight_errors_stay_per_caller() {
+        let service = Arc::new(TableSearchService::new(tiny_engine()));
+        let bad = QueryRequest::parse("country | currency")
+            .unwrap()
+            .probe1_k(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let service = Arc::clone(&service);
+                let bad = bad.clone();
+                scope.spawn(move || {
+                    assert!(matches!(service.answer(&bad), Err(WwtError::Invalid(_))));
+                });
+            }
+        });
+        assert_eq!(service.stats().entries, 0);
     }
 
     #[test]

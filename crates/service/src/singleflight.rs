@@ -1,0 +1,233 @@
+//! Singleflight request coalescing: N concurrent identical cold queries
+//! run the engine once.
+//!
+//! The first caller for a key becomes the *leader* and computes; callers
+//! arriving while the flight is open block on a condvar and receive a
+//! clone of the leader's successful result. Failed flights publish
+//! "no result" and followers retry (typed errors stay per-caller, and
+//! engine errors are cheap option-validation failures).
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One in-flight computation. `state` is `None` while the leader runs,
+/// then `Some(result)`; a `None` result means the leader failed.
+struct Flight<T> {
+    state: Mutex<Option<Option<T>>>,
+    cv: Condvar,
+}
+
+impl<T> Flight<T> {
+    fn new() -> Self {
+        Flight {
+            state: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, result: Option<T>) {
+        *self.state.lock().unwrap() = Some(result);
+        self.cv.notify_all();
+    }
+}
+
+impl<T: Clone> Flight<T> {
+    /// Blocks until the leader publishes, then returns its result.
+    fn wait(&self) -> Option<T> {
+        let mut state = self.state.lock().unwrap();
+        while state.is_none() {
+            state = self.cv.wait(state).unwrap();
+        }
+        state.clone().unwrap()
+    }
+}
+
+/// The caller's role for one key, from [`FlightGroup::join`].
+pub(crate) enum Role<'a, T> {
+    /// This caller must compute and then [`LeaderGuard::publish`].
+    Leader(LeaderGuard<'a, T>),
+    /// The `recheck` closure produced the value (a cache hit that landed
+    /// between the caller's fast-path miss and the flight lock).
+    Cached(T),
+    /// Another caller computed; here is its result (`None` = it failed;
+    /// compute directly, coalescing is best-effort).
+    Shared(Option<T>),
+}
+
+/// Deduplicates concurrent computations by key.
+pub(crate) struct FlightGroup<T> {
+    inflight: Mutex<HashMap<String, Arc<Flight<T>>>>,
+}
+
+impl<T: Clone> FlightGroup<T> {
+    pub(crate) fn new() -> Self {
+        FlightGroup {
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Joins the flight for `key`. `recheck` runs under the group lock
+    /// before a new flight opens — the cache double-check: a leader that
+    /// completed between the caller's cache miss and this call has
+    /// already populated the cache, and without the recheck this caller
+    /// would needlessly recompute.
+    pub(crate) fn join(&self, key: &str, recheck: impl FnOnce() -> Option<T>) -> Role<'_, T> {
+        let flight = {
+            let mut inflight = self.inflight.lock().unwrap();
+            match inflight.entry(key.to_string()) {
+                Entry::Occupied(entry) => Arc::clone(entry.get()),
+                Entry::Vacant(entry) => {
+                    if let Some(hit) = recheck() {
+                        return Role::Cached(hit);
+                    }
+                    let flight = Arc::new(Flight::new());
+                    entry.insert(Arc::clone(&flight));
+                    return Role::Leader(LeaderGuard {
+                        group: self,
+                        key: key.to_string(),
+                        flight,
+                        published: false,
+                    });
+                }
+            }
+        };
+        Role::Shared(flight.wait())
+    }
+}
+
+/// Publishes the leader's result and closes the flight. If the leader
+/// unwinds without publishing (engine panic), `Drop` publishes a failure
+/// so followers never deadlock.
+pub(crate) struct LeaderGuard<'a, T> {
+    group: &'a FlightGroup<T>,
+    key: String,
+    flight: Arc<Flight<T>>,
+    published: bool,
+}
+
+impl<T: Clone> LeaderGuard<'_, T> {
+    /// Publishes the result to followers. `commit` runs under the group
+    /// lock *before* the flight closes — the service inserts into the
+    /// response cache here, so any caller that misses the closed flight
+    /// is guaranteed to hit the cache in its `recheck`.
+    pub(crate) fn publish(mut self, result: Option<T>, commit: impl FnOnce()) {
+        let mut inflight = self.group.inflight.lock().unwrap();
+        commit();
+        inflight.remove(&self.key);
+        drop(inflight);
+        self.flight.publish(result);
+        self.published = true;
+    }
+}
+
+impl<T> Drop for LeaderGuard<'_, T> {
+    fn drop(&mut self) {
+        if !self.published {
+            self.group.inflight.lock().unwrap().remove(&self.key);
+            self.flight.publish(None);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn leader_computes_once_followers_share() {
+        let group: Arc<FlightGroup<u64>> = Arc::new(FlightGroup::new());
+        let computes = AtomicUsize::new(0);
+        let barrier = Barrier::new(8);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..8 {
+                handles.push(scope.spawn(|| {
+                    barrier.wait();
+                    match group.join("k", || None) {
+                        Role::Leader(guard) => {
+                            computes.fetch_add(1, Ordering::SeqCst);
+                            // Hold the flight open long enough that the
+                            // other 7 join as followers.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            guard.publish(Some(42), || {});
+                            42u64
+                        }
+                        Role::Shared(v) => v.expect("leader succeeded"),
+                        Role::Cached(_) => unreachable!("recheck always misses here"),
+                    }
+                }));
+            }
+            for h in handles {
+                assert_eq!(h.join().unwrap(), 42);
+            }
+        });
+        assert_eq!(computes.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn failed_leader_lets_followers_retry() {
+        let group: FlightGroup<u64> = FlightGroup::new();
+        // First caller fails.
+        match group.join("k", || None) {
+            Role::Leader(guard) => guard.publish(None, || {}),
+            _ => panic!("must lead an empty group"),
+        }
+        // The flight is closed; the next caller leads again.
+        assert!(matches!(group.join("k", || None), Role::Leader(_)));
+    }
+
+    #[test]
+    fn dropped_leader_publishes_failure() {
+        let group: Arc<FlightGroup<u64>> = Arc::new(FlightGroup::new());
+        let Role::Leader(guard) = group.join("k", || None) else {
+            panic!("must lead");
+        };
+        let waiter = {
+            let group = Arc::clone(&group);
+            std::thread::spawn(move || match group.join("k", || None) {
+                Role::Shared(v) => v,
+                Role::Cached(v) => Some(v),
+                Role::Leader(guard) => {
+                    // The drop below may close the flight before this
+                    // thread joins; then leading (and succeeding) is the
+                    // correct outcome.
+                    guard.publish(Some(7), || {});
+                    Some(7)
+                }
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(guard); // leader "panicked": unwound without publishing
+        let observed = waiter.join().unwrap();
+        assert!(observed.is_none() || observed == Some(7));
+        // Either way the group is open for a fresh leader afterwards.
+        assert!(matches!(group.join("k", || None), Role::Leader(_)));
+    }
+
+    #[test]
+    fn recheck_short_circuits_new_flight() {
+        let group: FlightGroup<u64> = FlightGroup::new();
+        match group.join("k", || Some(9)) {
+            Role::Cached(9) => {}
+            _ => panic!("recheck hit must be returned without a flight"),
+        }
+        // No flight was left behind.
+        assert!(group.inflight.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn distinct_keys_fly_independently() {
+        let group: FlightGroup<u64> = FlightGroup::new();
+        let Role::Leader(a) = group.join("a", || None) else {
+            panic!()
+        };
+        let Role::Leader(b) = group.join("b", || None) else {
+            panic!()
+        };
+        a.publish(Some(1), || {});
+        b.publish(Some(2), || {});
+    }
+}

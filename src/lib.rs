@@ -14,6 +14,7 @@
 //! | module | contents |
 //! |---|---|
 //! | [`model`] | shared types: [`model::WebTable`], [`model::Query`], [`model::WwtError`], … |
+//! | [`json`] | hand-rolled JSON codec shared by persistence and HTTP bodies |
 //! | [`text`] | tokenizer, IDF statistics, TF-IDF vectors |
 //! | [`html`] | HTML parser, table / header / context extraction |
 //! | [`index`] | fielded inverted index (Lucene substitute) |
@@ -22,7 +23,8 @@
 //! | [`corpus`] | synthetic web corpus generator + the 59-query workload |
 //! | [`consolidate`] | answer-table consolidation and ranking |
 //! | [`engine`] | [`engine::EngineBuilder`] (offline), [`engine::Engine`] (online), baselines, metrics |
-//! | [`service`] | [`service::TableSearchService`]: shared engine + response cache + batching |
+//! | [`service`] | [`service::TableSearchService`]: shared engine + cache + singleflight + batching |
+//! | [`server`] | [`server::serve`]: the HTTP/1.1 endpoint, metrics, graceful shutdown, `wwt-serve` |
 //!
 //! ## Quickstart
 //!
@@ -68,16 +70,51 @@
 //! assert_eq!(service.stats().misses, 2);
 //! ```
 //!
-//! ## Migrating from `Wwt`
+//! ## Serving over HTTP
 //!
-//! The pre-0.2 façade `engine::Wwt` (`Wwt::build` + `Wwt::answer`)
-//! remains as a deprecated shim over [`engine::Engine`] so existing
-//! binaries keep compiling. Replace `Wwt::build(docs, cfg)` with an
-//! [`engine::EngineBuilder`] (`with_config` + `add_documents` + `build`),
-//! `wwt.answer(&query)` with [`engine::Engine::answer_query`] (or
-//! [`engine::Engine::answer`] for typed requests), and the old 4-tuple of
-//! `wwt.retrieve` with the named [`engine::Retrieval`] struct. `Wwt` will
-//! be removed once the reproduction binaries finish migrating.
+//! [`server`] (`wwt-server`) puts that same service behind a network
+//! boundary: a std-only HTTP/1.1 endpoint with a worker pool,
+//! keep-alive, singleflight-coalesced caching underneath, Prometheus
+//! metrics and graceful shutdown. Start the bundled binary against a
+//! generated corpus and query it with `curl`:
+//!
+//! ```text
+//! $ cargo run --release --bin wwt-serve -- --addr 127.0.0.1:7070 --scale 0.1
+//! listening on http://127.0.0.1:7070
+//!
+//! $ curl -s -X POST http://127.0.0.1:7070/query \
+//!        -d '{"query": "country | currency", "options": {"max_rows": 3}}'
+//! {"query":"country | currency","columns":["country","currency"],"rows":[...],...}
+//!
+//! $ curl -s http://127.0.0.1:7070/stats      # cache hit/miss/coalesced counters
+//! $ curl -s http://127.0.0.1:7070/metrics    # Prometheus text format
+//! $ curl -s -X POST http://127.0.0.1:7070/admin/shutdown   # drain + exit 0
+//! ```
+//!
+//! In-process, the same round trip (ephemeral port, typed client):
+//!
+//! ```
+//! use std::sync::Arc;
+//! use wwt::engine::EngineBuilder;
+//! use wwt::server::{serve, HttpClient, ServerConfig};
+//! use wwt::service::TableSearchService;
+//!
+//! let mut builder = EngineBuilder::new();
+//! builder.add_html(
+//!     "<html><body><p>countries and currency</p><table>\
+//!      <tr><th>Country</th><th>Currency</th></tr>\
+//!      <tr><td>India</td><td>Rupee</td></tr></table></body></html>",
+//! );
+//! let service = Arc::new(TableSearchService::new(Arc::new(builder.build())));
+//! let handle = serve(service, ServerConfig::default()).unwrap();
+//!
+//! let mut client = HttpClient::connect(handle.addr()).unwrap();
+//! let ok = client.post("/query", r#"{"query":"country | currency"}"#).unwrap();
+//! assert_eq!(ok.status, 200);
+//! let bad = client.post("/query", r#"{"query":" | "}"#).unwrap();
+//! assert_eq!(bad.status, 400); // parse errors are the client's fault
+//! handle.shutdown();           // drains in-flight requests, then returns
+//! ```
 
 pub use wwt_consolidate as consolidate;
 pub use wwt_core as core;
@@ -86,6 +123,8 @@ pub use wwt_engine as engine;
 pub use wwt_graph as graph;
 pub use wwt_html as html;
 pub use wwt_index as index;
+pub use wwt_json as json;
 pub use wwt_model as model;
+pub use wwt_server as server;
 pub use wwt_service as service;
 pub use wwt_text as text;
