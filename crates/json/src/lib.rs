@@ -195,6 +195,7 @@ impl Json {
         let mut p = Parser {
             bytes: input.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         let value = p.value()?;
         p.skip_ws();
@@ -286,9 +287,16 @@ pub fn write_str(out: &mut String, v: &str) {
     out.push('"');
 }
 
+/// Maximum container nesting the parser accepts. Bodies now arrive from
+/// untrusted network clients, and unbounded recursion over `[[[[…` would
+/// overflow the stack — which aborts the whole process, not just the
+/// request. 128 levels is far beyond any legitimate WWT payload.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -344,12 +352,27 @@ impl Parser<'_> {
         }
     }
 
+    /// Tracks entry into a nested container; errors past [`MAX_DEPTH`].
+    /// An error aborts the whole parse, so only success paths unwind.
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(JsonError::new(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.pos
+            )));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(fields));
         }
         loop {
@@ -363,6 +386,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(fields));
                 }
                 _ => {
@@ -377,10 +401,12 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -390,6 +416,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => {
@@ -575,6 +602,33 @@ mod tests {
         ] {
             assert!(Json::parse(bad).is_err(), "must reject: {bad:?}");
         }
+    }
+
+    #[test]
+    fn nesting_depth_is_capped() {
+        // At the cap: fine.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&ok).is_ok());
+        // One past the cap: a parse error, not a stack overflow.
+        let deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.to_string().contains("nesting"), "{err}");
+        // The attack shape: a huge unclosed prefix must error early
+        // instead of recursing once per byte.
+        for attack in [
+            "[".repeat(500_000),
+            "{\"a\":".repeat(500_000),
+            "[{\"a\":".repeat(250_000),
+        ] {
+            assert!(Json::parse(&attack).is_err());
+        }
+        // Depth resets between siblings: wide-but-shallow stays fine.
+        let wide = format!("[{}1]", "[1],".repeat(10_000));
+        assert!(Json::parse(&wide).is_ok());
     }
 
     #[test]

@@ -3,12 +3,17 @@
 //!
 //! ```text
 //! wwt-serve [--addr 127.0.0.1:7070] [--scale 0.1] [--queries 8] [--workers N]
+//!           [--admin-token SECRET]
 //! ```
 //!
 //! Every flag also reads an environment fallback (`WWT_ADDR`,
-//! `WWT_SCALE`, `WWT_QUERIES`, `WWT_SERVER_WORKERS`). The process runs
-//! until `POST /admin/shutdown` arrives, then drains in-flight requests
-//! and exits 0.
+//! `WWT_SCALE`, `WWT_QUERIES`, `WWT_SERVER_WORKERS`, `WWT_ADMIN_TOKEN`).
+//! The process runs until an authorized `POST /admin/shutdown` arrives
+//! (requests must carry the admin token in an `x-admin-token` header),
+//! then drains in-flight requests and exits 0. When no token is given a
+//! random one is generated and printed at startup, so shutdown stays a
+//! deliberate operator action instead of an unauthenticated route; for
+//! real deployments pass your own secret.
 
 use std::sync::Arc;
 use wwt_corpus::{workload, CorpusConfig, CorpusGenerator};
@@ -23,36 +28,64 @@ fn flag_or_env(args: &[String], flag: &str, env: &str) -> Option<String> {
         .or_else(|| std::env::var(env).ok())
 }
 
+/// Like [`flag_or_env`] but parsed; an unparseable value is a hard exit,
+/// never silently replaced by the default.
+fn parsed_flag_or_env<T: std::str::FromStr>(
+    args: &[String],
+    flag: &str,
+    env: &str,
+    default: T,
+) -> T {
+    match flag_or_env(args, flag, env) {
+        None => default,
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("wwt-serve: {flag} must be a number, got {raw:?}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// A process-unique token for when the operator supplies none: random
+/// enough to stop drive-by shutdowns, printed at startup so the local
+/// operator can still stop the server.
+fn generate_admin_token() -> String {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    std::process::id().hash(&mut h);
+    std::time::SystemTime::now().hash(&mut h);
+    std::time::Instant::now().hash(&mut h);
+    format!("wwt-{:016x}", h.finish())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: wwt-serve [--addr HOST:PORT] [--scale F] [--queries N] [--workers N]\n\
-             env fallbacks: WWT_ADDR, WWT_SCALE, WWT_QUERIES, WWT_SERVER_WORKERS"
+             \x20                [--admin-token SECRET]\n\
+             env fallbacks: WWT_ADDR, WWT_SCALE, WWT_QUERIES, WWT_SERVER_WORKERS,\n\
+             \x20               WWT_ADMIN_TOKEN"
         );
         return;
     }
     let addr =
         flag_or_env(&args, "--addr", "WWT_ADDR").unwrap_or_else(|| "127.0.0.1:7070".to_string());
-    let scale: f64 = flag_or_env(&args, "--scale", "WWT_SCALE")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.1);
-    let n_queries: usize = flag_or_env(&args, "--queries", "WWT_QUERIES")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8);
+    let scale: f64 = parsed_flag_or_env(&args, "--scale", "WWT_SCALE", 0.1);
+    let n_queries: usize = parsed_flag_or_env(&args, "--queries", "WWT_QUERIES", 8);
+    let admin_token = flag_or_env(&args, "--admin-token", "WWT_ADMIN_TOKEN")
+        .filter(|t| !t.is_empty())
+        .unwrap_or_else(generate_admin_token);
     let mut server_config = ServerConfig {
         addr,
+        admin_token: Some(admin_token.clone()),
         ..ServerConfig::default()
     };
-    if let Some(workers) = flag_or_env(&args, "--workers", "WWT_SERVER_WORKERS") {
-        match workers.parse() {
-            Ok(n) => server_config.workers = n,
-            Err(_) => {
-                eprintln!("wwt-serve: --workers must be a number, got {workers:?}");
-                std::process::exit(2);
-            }
-        }
-    }
+    server_config.workers = parsed_flag_or_env(
+        &args,
+        "--workers",
+        "WWT_SERVER_WORKERS",
+        server_config.workers,
+    );
 
     let specs: Vec<_> = workload().into_iter().take(n_queries.max(1)).collect();
     eprintln!(
@@ -85,15 +118,17 @@ fn main() {
         specs[0].query
     );
     println!(
-        "stop: curl -s -X POST http://{}/admin/shutdown",
+        "stop: curl -s -X POST -H 'x-admin-token: {admin_token}' http://{}/admin/shutdown",
         handle.addr()
     );
 
     handle.wait_shutdown_requested();
     eprintln!("[wwt-serve] shutdown requested; draining in-flight requests ...");
-    let stats = handle.service().stats();
-    let total = handle.metrics().requests_total();
-    handle.shutdown();
+    // Snapshot the counters only after the drain so in-flight requests
+    // completed during shutdown are included in the farewell line.
+    let service = Arc::clone(handle.service());
+    let total = handle.shutdown();
+    let stats = service.stats();
     eprintln!(
         "[wwt-serve] served {total} requests (cache: {} hits / {} misses / {} coalesced); bye",
         stats.hits, stats.misses, stats.coalesced

@@ -2,7 +2,8 @@
 //! generator — the measurement side of the serving layer, used by the
 //! `server_throughput` bench and the end-to-end tests.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use crate::http::{self, ReadError};
+use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
@@ -55,12 +56,42 @@ impl HttpClient {
 
     /// Issues a `GET` and reads the response.
     pub fn get(&mut self, path: &str) -> std::io::Result<HttpResponse> {
-        self.request("GET", path, None)
+        self.request("GET", path, None, &[])
     }
 
     /// Issues a `POST` with a JSON body and reads the response.
     pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<HttpResponse> {
-        self.request("POST", path, Some(body.as_bytes()))
+        self.request("POST", path, Some(body.as_bytes()), &[])
+    }
+
+    /// Like [`HttpClient::post`], but when the request fails — typically
+    /// because the server rotated this keep-alive connection at its
+    /// per-connection request cap — reconnects once and retries before
+    /// giving up. The single place encoding the rotation-recovery rule
+    /// for the load generator and the benches.
+    pub fn post_reconnecting(
+        &mut self,
+        addr: SocketAddr,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<HttpResponse> {
+        match self.post(path, body) {
+            Err(_) => {
+                *self = HttpClient::connect(addr)?;
+                self.post(path, body)
+            }
+            ok => ok,
+        }
+    }
+
+    /// Issues a `POST` with extra headers (e.g. `x-admin-token`).
+    pub fn post_with_headers(
+        &mut self,
+        path: &str,
+        body: &str,
+        headers: &[(&str, &str)],
+    ) -> std::io::Result<HttpResponse> {
+        self.request("POST", path, Some(body.as_bytes()), headers)
     }
 
     fn request(
@@ -68,12 +99,17 @@ impl HttpClient {
         method: &str,
         path: &str,
         body: Option<&[u8]>,
+        headers: &[(&str, &str)],
     ) -> std::io::Result<HttpResponse> {
         let body = body.unwrap_or(b"");
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nhost: wwt\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: wwt\r\ncontent-type: application/json\r\ncontent-length: {}\r\n",
             body.len()
         );
+        for (name, value) in headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
         self.stream.write_all(head.as_bytes())?;
         self.stream.write_all(body)?;
         self.stream.flush()?;
@@ -93,10 +129,9 @@ impl HttpClient {
             if line.is_empty() {
                 break;
             }
-            let (name, value) = line
-                .split_once(':')
+            let header = http::split_header(&line)
                 .ok_or_else(|| bad_data(format!("bad header {line:?}")))?;
-            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+            headers.push(header);
         }
         let length = headers
             .iter()
@@ -112,19 +147,16 @@ impl HttpClient {
         })
     }
 
+    /// One response line through the same CRLF framing the server uses.
     fn read_line(&mut self) -> std::io::Result<String> {
-        let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
-        if n == 0 {
-            return Err(std::io::Error::new(
+        http::read_crlf_line(&mut self.reader).map_err(|e| match e {
+            ReadError::Disconnected => std::io::Error::new(
                 std::io::ErrorKind::UnexpectedEof,
                 "server closed the connection",
-            ));
-        }
-        while line.ends_with('\n') || line.ends_with('\r') {
-            line.pop();
-        }
-        Ok(line)
+            ),
+            // Line reading only reports Disconnected or Malformed.
+            other => bad_data(format!("{other:?}")),
+        })
     }
 }
 
@@ -181,7 +213,7 @@ pub fn run_load(
             for i in 0..requests_per_connection {
                 let body = &bodies[(conn + i) % bodies.len()];
                 let t0 = Instant::now();
-                match client.post("/query", body) {
+                match client.post_reconnecting(addr, "/query", body) {
                     Ok(resp) if resp.status == 200 => {
                         ok += 1;
                         latencies.push(t0.elapsed());

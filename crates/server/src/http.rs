@@ -88,10 +88,9 @@ pub fn read_request(
         if header_bytes > MAX_HEADER_BYTES {
             return Err(ReadError::Malformed("header section too large".into()));
         }
-        let (name, value) = line
-            .split_once(':')
+        let header = split_header(&line)
             .ok_or_else(|| ReadError::Malformed(format!("malformed header {line:?}")))?;
-        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        headers.push(header);
     }
 
     // No chunked support: a Transfer-Encoding body this server ignored
@@ -102,15 +101,29 @@ pub fn read_request(
             "transfer-encoding is not supported; send content-length".into(),
         ));
     }
-    let content_length = headers
-        .iter()
-        .find(|(k, _)| k == "content-length")
+    // RFC 9112 §6.3: conflicting Content-Length values must be rejected.
+    // Behind a reverse proxy that honors a different occurrence, a
+    // duplicate is a request-smuggling vector, so any repeat is refused.
+    let mut lengths = headers.iter().filter(|(k, _)| k == "content-length");
+    let content_length = lengths
+        .next()
         .map(|(_, v)| {
+            // RFC 9110 grammar is 1*DIGIT: a leading '+' (which
+            // usize::from_str would accept) must be refused, or a front
+            // proxy re-framing the non-canonical value desyncs from us.
+            if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(ReadError::Malformed(format!("bad content-length {v:?}")));
+            }
             v.parse::<usize>()
                 .map_err(|_| ReadError::Malformed(format!("bad content-length {v:?}")))
         })
         .transpose()?
         .unwrap_or(0);
+    if lengths.next().is_some() {
+        return Err(ReadError::Malformed(
+            "multiple content-length headers".into(),
+        ));
+    }
     if content_length > max_body_bytes {
         return Err(ReadError::BodyTooLarge {
             declared: content_length,
@@ -141,8 +154,16 @@ pub fn read_request(
     })
 }
 
+/// Splits one `Name: value` header line; the name is lowercased, both
+/// sides trimmed. Shared by the server's request parsing and the
+/// client's response parsing so the two cannot drift apart.
+pub(crate) fn split_header(line: &str) -> Option<(String, String)> {
+    let (name, value) = line.split_once(':')?;
+    Some((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+}
+
 /// Reads one CRLF- (or bare-LF-) terminated line, without the ending.
-fn read_crlf_line(reader: &mut impl BufRead) -> Result<String, ReadError> {
+pub(crate) fn read_crlf_line(reader: &mut impl BufRead) -> Result<String, ReadError> {
     let mut buf = Vec::with_capacity(64);
     loop {
         let mut byte = [0u8; 1];
@@ -171,6 +192,7 @@ pub fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
+        403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
@@ -262,6 +284,25 @@ mod tests {
             parse("POST / HTTP/1.1\r\nContent-Length: x\r\n\r\n"),
             Err(ReadError::Malformed(_))
         ));
+        // 1*DIGIT only: '+5' parses as 5 via FromStr but is not valid
+        // HTTP, and proxies may re-frame it differently.
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: +5\r\n\r\nhello"),
+            Err(ReadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_content_length() {
+        // A second Content-Length — even an agreeing one — is a
+        // smuggling vector behind proxies that pick a different
+        // occurrence.
+        for raw in [
+            "POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello",
+            "POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 2\r\n\r\nhello",
+        ] {
+            assert!(matches!(parse(raw), Err(ReadError::Malformed(_))), "{raw}");
+        }
     }
 
     #[test]

@@ -8,11 +8,16 @@
 //! * **Routes:** `POST /query` (one request, per-request
 //!   [`QueryOptions`](wwt_engine::QueryOptions) overrides),
 //!   `POST /query/batch`, `GET /healthz`, `GET /stats` (cache counters),
-//!   `GET /metrics` (Prometheus text format), `POST /admin/shutdown`.
-//! * **Concurrency:** one acceptor thread, a fixed worker pool, keep-alive
-//!   connections with read timeouts.
-//! * **Errors:** unparseable queries answer 400, engine failures 500 —
-//!   always as a JSON `{"error":{…}}` body.
+//!   `GET /metrics` (Prometheus text format), `POST /admin/shutdown`
+//!   (disabled unless [`ServerConfig::admin_token`] is set; requests
+//!   must carry the token in an `x-admin-token` or `Authorization:
+//!   Bearer` header).
+//! * **Concurrency:** one acceptor thread, a fixed worker pool, and a
+//!   bounded accept queue (overflow answers 503); keep-alive connections
+//!   are bounded by read timeouts and a per-connection request cap.
+//! * **Errors:** unparseable queries and invalid option values answer
+//!   400, server-side failures 500 — always as a JSON `{"error":{…}}`
+//!   body.
 //! * **Shutdown:** [`ServerHandle::shutdown`] stops accepting, completes
 //!   every accepted request, and joins all threads before returning.
 //!

@@ -1,21 +1,25 @@
 //! The accept loop, worker pool and request dispatch.
 //!
-//! One acceptor thread feeds accepted connections into an `mpsc` channel
-//! drained by a fixed pool of worker threads (the channel mutex is the
-//! classic std work queue — workers block in `recv` one at a time).
-//! Shutdown is graceful by construction: the acceptor stops accepting
-//! and drops the channel sender, workers finish every request already
-//! accepted — in-flight and queued — and then exit on channel
+//! One acceptor thread feeds accepted connections into a *bounded*
+//! `mpsc` channel drained by a fixed pool of worker threads (the channel
+//! mutex is the classic std work queue — workers block in `recv` one at
+//! a time). When the queue is full the acceptor answers 503 and closes,
+//! so an accept flood cannot grow memory without limit; keep-alive
+//! connections are additionally bounded by a per-connection request cap
+//! and the idle read timeout, so slow clients cannot pin workers
+//! forever. Shutdown is graceful by construction: the acceptor stops
+//! accepting and drops the channel sender, workers finish every request
+//! already accepted — in-flight and queued — and then exit on channel
 //! disconnect; [`ServerHandle::shutdown`] joins them all before
 //! returning.
 
 use crate::http::{self, ReadError, Request};
 use crate::metrics::{Metrics, Route};
 use crate::wire;
-use std::io::BufReader;
+use std::io::{BufReader, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, Sender};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use wwt_service::TableSearchService;
@@ -32,6 +36,19 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     /// Maximum accepted request-body size (413 above it).
     pub max_body_bytes: usize,
+    /// Accepted connections allowed to wait for a free worker. Beyond
+    /// this the acceptor answers 503 and closes instead of queueing
+    /// without bound.
+    pub pending_connections: usize,
+    /// Requests served on one keep-alive connection before the server
+    /// closes it, so a long-lived client cannot pin a worker of the
+    /// fixed pool indefinitely.
+    pub max_requests_per_connection: usize,
+    /// Shared secret required by `POST /admin/shutdown` (via an
+    /// `x-admin-token` or `Authorization: Bearer …` header). `None`
+    /// disables the admin routes entirely (they answer 404) — remote
+    /// shutdown must be opted into, never reachable by default.
+    pub admin_token: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -43,6 +60,9 @@ impl Default for ServerConfig {
                 .unwrap_or(4),
             read_timeout: Duration::from_secs(5),
             max_body_bytes: 1 << 20,
+            pending_connections: 256,
+            max_requests_per_connection: 1024,
+            admin_token: None,
         }
     }
 }
@@ -114,9 +134,12 @@ impl ServerHandle {
     }
 
     /// Graceful shutdown: stop accepting, finish every accepted request
-    /// (in-flight and queued), join all threads.
-    pub fn shutdown(mut self) {
+    /// (in-flight and queued), join all threads. Returns the total
+    /// number of requests served, read *after* the drain so requests
+    /// completed during shutdown are counted.
+    pub fn shutdown(mut self) -> u64 {
         self.shutdown_impl();
+        self.shared.metrics.requests_total()
     }
 
     fn shutdown_impl(&mut self) {
@@ -154,7 +177,10 @@ pub fn serve(
         shutdown_requested: (Mutex::new(false), Condvar::new()),
     });
 
-    let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = mpsc::channel();
+    // Bounded: an accept flood beyond the backlog is answered 503 and
+    // dropped instead of queueing connections without limit.
+    let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) =
+        mpsc::sync_channel(shared.config.pending_connections.max(1));
     let rx = Arc::new(Mutex::new(rx));
 
     let workers = (0..shared.config.workers.max(1))
@@ -187,8 +213,43 @@ pub fn serve(
                             if stream.set_nonblocking(false).is_err() {
                                 continue;
                             }
-                            if tx.send(stream).is_err() {
-                                break;
+                            match tx.try_send(stream) {
+                                Ok(()) => {}
+                                Err(TrySendError::Full(mut stream)) => {
+                                    // Backpressure: tell the client to
+                                    // retry rather than parking its
+                                    // connection in an unbounded queue.
+                                    let err = wire::ApiError {
+                                        status: 503,
+                                        message: "server at capacity; retry later".to_string(),
+                                    };
+                                    shared.metrics.observe(Route::Other, 503, Duration::ZERO);
+                                    drop(http::write_response(
+                                        &mut stream,
+                                        503,
+                                        "application/json",
+                                        wire::encode_error(&err).as_bytes(),
+                                        false,
+                                    ));
+                                    // Best-effort drain of request bytes
+                                    // that already arrived: closing with
+                                    // unread data RSTs the connection,
+                                    // which can discard the buffered 503
+                                    // before the client reads it.
+                                    // Non-blocking and bounded so a
+                                    // streaming client cannot stall the
+                                    // acceptor.
+                                    if stream.set_nonblocking(true).is_ok() {
+                                        let mut sink = [0u8; 4096];
+                                        for _ in 0..16 {
+                                            match stream.read(&mut sink) {
+                                                Ok(n) if n > 0 => {}
+                                                _ => break,
+                                            }
+                                        }
+                                    }
+                                }
+                                Err(TrySendError::Disconnected(_)) => break,
                             }
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -233,6 +294,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
         return;
     };
     let mut reader = BufReader::new(clone);
+    let mut served = 0usize;
     loop {
         // Framing errors are observed with the time since the read
         // started (includes keep-alive idle — still truer than zero).
@@ -282,9 +344,14 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
         let (route, status, content_type, body) = dispatch(shared, &request);
         shared.metrics.observe(route, status, start.elapsed());
         shared.metrics.request_finished();
+        served += 1;
         // Finish the in-flight response even while stopping; just do not
-        // keep the connection afterwards.
-        let keep_alive = request.keep_alive && !shared.stopping();
+        // keep the connection afterwards. The request cap rotates
+        // long-lived clients out so they cannot pin a pooled worker
+        // forever.
+        let keep_alive = request.keep_alive
+            && !shared.stopping()
+            && served < shared.config.max_requests_per_connection.max(1);
         if http::write_response(
             &mut stream,
             status,
@@ -367,15 +434,57 @@ fn dispatch(shared: &Shared, request: &Request) -> (Route, u16, &'static str, St
             PROM,
             shared.metrics.render_prometheus(&shared.service.stats()),
         ),
-        Route::Shutdown => {
-            shared.begin_stop();
-            (
-                route,
-                200,
-                JSON,
-                "{\"status\":\"shutting down\"}".to_string(),
-            )
-        }
+        Route::Shutdown => match shared.config.admin_token.as_deref() {
+            // Not configured: the route does not exist. A reachable
+            // unauthenticated shutdown would let any client that can hit
+            // the socket (e.g. through a reverse proxy) kill the
+            // service.
+            None => {
+                let err = wire::ApiError {
+                    status: 404,
+                    message: "admin routes are disabled (no admin token configured)".to_string(),
+                };
+                (route, 404, JSON, wire::encode_error(&err))
+            }
+            Some(expected) if !admin_authorized(request, expected) => {
+                let err = wire::ApiError {
+                    status: 403,
+                    message: "missing or invalid admin token".to_string(),
+                };
+                (route, 403, JSON, wire::encode_error(&err))
+            }
+            Some(_) => {
+                shared.begin_stop();
+                (
+                    route,
+                    200,
+                    JSON,
+                    "{\"status\":\"shutting down\"}".to_string(),
+                )
+            }
+        },
         Route::Other => unreachable!("handled above"),
     }
+}
+
+/// Whether a request carries the configured admin token, either as
+/// `x-admin-token: <token>` or `Authorization: Bearer <token>`.
+fn admin_authorized(request: &Request, expected: &str) -> bool {
+    let bearer = format!("Bearer {expected}");
+    request
+        .header("x-admin-token")
+        .is_some_and(|t| constant_time_eq(t, expected))
+        || request
+            .header("authorization")
+            .is_some_and(|t| constant_time_eq(t, &bearer))
+}
+
+/// Token comparison that does not short-circuit on the first differing
+/// byte, so response timing leaks nothing about the prefix matched.
+fn constant_time_eq(a: &str, b: &str) -> bool {
+    a.len() == b.len()
+        && a.bytes()
+            .zip(b.bytes())
+            .fold(0u8, |acc, (x, y)| acc | (x ^ y))
+            == 0
 }

@@ -11,7 +11,8 @@
 //!
 //! `options` and every key inside it are optional; unknown keys are a
 //! 400 (catching typos beats silently ignoring a mistyped `max_rows`).
-//! Batch bodies wrap a list: `{"requests": [<request>, …]}`.
+//! Batch bodies wrap a list: `{"requests": [<request>, …]}`, at most
+//! [`MAX_BATCH_REQUESTS`] slots per request.
 
 use wwt_core::InferenceAlgorithm;
 use wwt_engine::{QueryOptions, QueryRequest, QueryResponse};
@@ -38,11 +39,13 @@ impl ApiError {
     }
 }
 
-/// Maps an engine/service error onto a status: unparseable queries are
-/// the client's fault (400), everything else is the server's (500).
+/// Maps an engine/service error onto a status: unparseable queries and
+/// invalid option values are the client's fault (400), everything else
+/// — I/O, corruption — is the server's (500). Keeping bad input out of
+/// the 5xx class keeps server-error alerting meaningful.
 pub fn api_error(e: &WwtError) -> ApiError {
     let status = match e {
-        WwtError::Query(_) => 400,
+        WwtError::Query(_) | WwtError::Invalid(_) => 400,
         _ => 500,
     };
     ApiError {
@@ -71,6 +74,11 @@ pub fn parse_query_request(body: &[u8]) -> Result<QueryRequest, ApiError> {
     request_from_json(&parse_body(body)?)
 }
 
+/// Most requests accepted in one `POST /query/batch` body. `answer_batch`
+/// fans slots across every core, so without a cap a single HTTP request
+/// could pin the whole machine for minutes.
+pub const MAX_BATCH_REQUESTS: usize = 64;
+
 /// Parses a `POST /query/batch` body (`{"requests":[…]}`).
 pub fn parse_batch_request(body: &[u8]) -> Result<Vec<QueryRequest>, ApiError> {
     let value = parse_body(body)?;
@@ -79,6 +87,12 @@ pub fn parse_batch_request(body: &[u8]) -> Result<Vec<QueryRequest>, ApiError> {
         .get("requests")
         .and_then(Json::as_arr)
         .ok_or_else(|| ApiError::bad_request("body must be {\"requests\": [...]}"))?;
+    if requests.len() > MAX_BATCH_REQUESTS {
+        return Err(ApiError::bad_request(format!(
+            "batch of {} requests exceeds the limit of {MAX_BATCH_REQUESTS}",
+            requests.len()
+        )));
+    }
     requests.iter().map(request_from_json).collect()
 }
 
@@ -353,6 +367,22 @@ mod tests {
     }
 
     #[test]
+    fn oversized_batches_rejected() {
+        let slots = vec![r#"{"query":"a"}"#; MAX_BATCH_REQUESTS + 1].join(",");
+        let body = format!("{{\"requests\":[{slots}]}}");
+        let err = parse_batch_request(body.as_bytes()).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("exceeds"), "{}", err.message);
+        // Exactly at the cap is fine.
+        let slots = vec![r#"{"query":"a"}"#; MAX_BATCH_REQUESTS].join(",");
+        let body = format!("{{\"requests\":[{slots}]}}");
+        assert_eq!(
+            parse_batch_request(body.as_bytes()).unwrap().len(),
+            MAX_BATCH_REQUESTS
+        );
+    }
+
+    #[test]
     fn algorithm_names_roundtrip() {
         for a in [
             InferenceAlgorithm::Independent,
@@ -370,7 +400,9 @@ mod tests {
     fn error_mapping_statuses() {
         let parse_err = Query::parse(" | ").unwrap_err();
         assert_eq!(api_error(&WwtError::Query(parse_err)).status, 400);
-        assert_eq!(api_error(&WwtError::Invalid("k".into())).status, 500);
+        // Client-supplied option values that fail validation are client
+        // errors, not 5xx noise.
+        assert_eq!(api_error(&WwtError::Invalid("k".into())).status, 400);
         assert_eq!(api_error(&WwtError::Corrupt("c".into())).status, 500);
     }
 

@@ -98,14 +98,15 @@ fn parse_errors_answer_400_engine_stays_up() {
         assert!(msg.contains(needle), "{msg:?} !~ {needle:?}");
     }
 
-    // Invalid engine options are mapped to 500 (WwtError::Invalid).
+    // Invalid engine options (WwtError::Invalid) are the client's fault:
+    // 400, not 5xx-alert noise.
     let resp = client
         .post(
             "/query",
             r#"{"query":"country | currency","options":{"probe1_k":0}}"#,
         )
         .unwrap();
-    assert_eq!(resp.status, 500);
+    assert_eq!(resp.status, 400);
 
     // The same connection still serves good requests afterwards.
     let ok = client
@@ -200,7 +201,7 @@ fn batch_preserves_slots_including_errors() {
     // The bad-options slot carries an error object without failing the
     // batch.
     let err = slots[1].get("error").expect("error slot");
-    assert_eq!(err.get("status").and_then(Json::as_u64), Some(500));
+    assert_eq!(err.get("status").and_then(Json::as_u64), Some(400));
     assert!(slots[2].get("rows").is_some());
     handle.shutdown();
 }
@@ -297,6 +298,111 @@ fn load_generator_drives_the_server() {
     assert_eq!(report.errors, 0);
     assert!(report.p50 <= report.p99 && report.p99 <= report.max);
     assert!(report.throughput() > 0.0);
+    handle.shutdown();
+}
+
+#[test]
+fn admin_shutdown_requires_a_configured_matching_token() {
+    // No token configured: the route does not exist, the server stays up.
+    let handle = start(tiny_service());
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+    let resp = client.post("/admin/shutdown", "").unwrap();
+    assert_eq!(resp.status, 404);
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+    handle.shutdown();
+
+    // Token configured: wrong/missing tokens are 403 and leave the
+    // server up; the right token (either header form) shuts it down.
+    let config = ServerConfig {
+        admin_token: Some("sesame".to_string()),
+        ..ServerConfig::default()
+    };
+    let handle = serve(tiny_service(), config).unwrap();
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+    assert_eq!(client.post("/admin/shutdown", "").unwrap().status, 403);
+    let wrong = client
+        .post_with_headers("/admin/shutdown", "", &[("x-admin-token", "guess")])
+        .unwrap();
+    assert_eq!(wrong.status, 403);
+    let wrong_bearer = client
+        .post_with_headers("/admin/shutdown", "", &[("authorization", "Bearer guess")])
+        .unwrap();
+    assert_eq!(wrong_bearer.status, 403);
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+
+    let ok = client
+        .post_with_headers("/admin/shutdown", "", &[("x-admin-token", "sesame")])
+        .unwrap();
+    assert_eq!(ok.status, 200);
+    handle.wait_shutdown_requested();
+    handle.shutdown();
+}
+
+#[test]
+fn keep_alive_connections_are_rotated_after_the_request_cap() {
+    let config = ServerConfig {
+        max_requests_per_connection: 2,
+        ..ServerConfig::default()
+    };
+    let handle = serve(tiny_service(), config).unwrap();
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+
+    let first = client.get("/healthz").unwrap();
+    assert_eq!(first.status, 200);
+    assert_eq!(first.header("connection"), Some("keep-alive"));
+    // The capped request still succeeds but closes the connection.
+    let second = client.get("/healthz").unwrap();
+    assert_eq!(second.status, 200);
+    assert_eq!(second.header("connection"), Some("close"));
+    assert!(
+        client.get("/healthz").is_err(),
+        "connection must be closed after the per-connection cap"
+    );
+    // A fresh connection serves again.
+    let mut fresh = HttpClient::connect(handle.addr()).unwrap();
+    assert_eq!(fresh.get("/healthz").unwrap().status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn accept_queue_overflow_answers_503_instead_of_queueing_unbounded() {
+    // One worker and a one-slot queue. Idle keep-alive connections never
+    // send a request, so the worker pins on the first one (until its
+    // read timeout) and the queue fills with the second; every accept
+    // after that must be turned away with 503 instead of queueing
+    // without bound.
+    let config = ServerConfig {
+        workers: 1,
+        pending_connections: 1,
+        ..ServerConfig::default()
+    };
+    let handle = serve(tiny_service(), config).unwrap();
+    let addr = handle.addr();
+
+    let idle: Vec<HttpClient> = (0..4).map(|_| HttpClient::connect(addr).unwrap()).collect();
+    let mut probe = HttpClient::connect(addr).unwrap();
+    let resp = probe.get("/healthz").unwrap();
+    assert_eq!(resp.status, 503, "full accept queue must answer 503");
+    assert_eq!(resp.header("connection"), Some("close"));
+    assert!(resp.text().contains("capacity"), "{}", resp.text());
+
+    // Freeing the idle connections unclogs the pool; a new client is
+    // served again once the worker drains the closed connections.
+    drop(idle);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let ok = HttpClient::connect(addr)
+            .and_then(|mut c| c.get("/healthz"))
+            .is_ok_and(|r| r.status == 200);
+        if ok {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "pool never recovered after idle connections closed"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
     handle.shutdown();
 }
 

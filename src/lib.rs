@@ -79,7 +79,8 @@
 //! generated corpus and query it with `curl`:
 //!
 //! ```text
-//! $ cargo run --release --bin wwt-serve -- --addr 127.0.0.1:7070 --scale 0.1
+//! $ cargo run --release --bin wwt-serve -- --addr 127.0.0.1:7070 --scale 0.1 \
+//!       --admin-token sesame
 //! listening on http://127.0.0.1:7070
 //!
 //! $ curl -s -X POST http://127.0.0.1:7070/query \
@@ -88,8 +89,14 @@
 //!
 //! $ curl -s http://127.0.0.1:7070/stats      # cache hit/miss/coalesced counters
 //! $ curl -s http://127.0.0.1:7070/metrics    # Prometheus text format
-//! $ curl -s -X POST http://127.0.0.1:7070/admin/shutdown   # drain + exit 0
+//! $ curl -s -X POST -H 'x-admin-token: sesame' \
+//!        http://127.0.0.1:7070/admin/shutdown   # drain + exit 0
 //! ```
+//!
+//! The shutdown route only exists when an admin token is configured
+//! (`--admin-token` / `WWT_ADMIN_TOKEN`; `wwt-serve` generates and
+//! prints one if unset), so an exposed port never offers an
+//! unauthenticated kill switch.
 //!
 //! In-process, the same round trip (ephemeral port, typed client):
 //!
