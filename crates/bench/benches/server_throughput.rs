@@ -101,6 +101,58 @@ fn bench_server(c: &mut Criterion) {
     );
     loaded.shutdown();
 
+    // Hot-swap path: the same load while a background thread keeps
+    // swapping engine snapshots in. Every swap bumps the generation, so
+    // cached entries are continually invalidated — this is the worst
+    // case for reload, and the interesting numbers are the error count
+    // (must stay 0: zero-downtime) and how far p99 moves vs the
+    // steady-state run above.
+    let reloading = start(&engine, true);
+    let service = std::sync::Arc::clone(reloading.service());
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let swapper = {
+        let service = Arc::clone(&service);
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                service.reload(Arc::clone(&engine));
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        })
+    };
+    group.bench_function("http_cached_load_8conn_during_reload", |b| {
+        b.iter(|| {
+            let report = run_load(
+                reloading.addr(),
+                &bodies,
+                CONNECTIONS,
+                REQUESTS_PER_CONNECTION,
+            );
+            assert_eq!(report.errors, 0, "5xx under concurrent swaps: {report:?}");
+            report
+        })
+    });
+    let report = run_load(
+        reloading.addr(),
+        &bodies,
+        CONNECTIONS,
+        REQUESTS_PER_CONNECTION,
+    );
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    swapper.join().unwrap();
+    println!(
+        "reload-churn report: {} ok, p50 {:?}, p99 {:?}, max {:?}, {:.0} req/s \
+         ({} swaps during the run)",
+        report.ok,
+        report.p50,
+        report.p99,
+        report.max,
+        report.throughput(),
+        service.stats().swap_count,
+    );
+    reloading.shutdown();
+
     group.finish();
 }
 

@@ -1,0 +1,101 @@
+//! Request deadlines, checked at pipeline stage boundaries.
+//!
+//! A [`Deadline`] is an absolute wall-clock point derived from a
+//! per-request millisecond budget ([`crate::QueryOptions::deadline_ms`]).
+//! The engine calls [`Deadline::check`] between stages (retrieve →
+//! column map → consolidate) and aborts with
+//! [`WwtError::DeadlineExceeded`] instead of finishing late work nobody
+//! will read. A stage already running is never interrupted — checks sit
+//! on the boundaries, so the pipeline overshoots by at most one stage.
+//!
+//! [`Deadline::none`] is a true no-op: no clock is read, so requests
+//! without a deadline behave byte-identically to a build without this
+//! module.
+
+use std::time::{Duration, Instant};
+use wwt_model::WwtError;
+
+/// An absolute point in time a request must not run past.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// No deadline: every [`Deadline::check`] passes without reading the
+    /// clock.
+    pub fn none() -> Self {
+        Deadline { at: None }
+    }
+
+    /// A deadline `budget_ms` milliseconds from now; `None` means no
+    /// deadline. A budget of `0` expires immediately — the first
+    /// checkpoint trips.
+    pub fn starting_now(budget_ms: Option<u64>) -> Self {
+        Deadline {
+            at: budget_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
+        }
+    }
+
+    /// A deadline `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        Deadline {
+            at: Some(Instant::now() + budget),
+        }
+    }
+
+    /// True iff a deadline is set and has passed.
+    pub fn expired(&self) -> bool {
+        self.at.is_some_and(|at| Instant::now() >= at)
+    }
+
+    /// Passes while time remains; once the deadline is behind us, fails
+    /// with [`WwtError::DeadlineExceeded`] naming the stage about to
+    /// start (the work being refused, not the work that consumed the
+    /// budget).
+    pub fn check(&self, stage: &'static str) -> Result<(), WwtError> {
+        if self.expired() {
+            Err(WwtError::DeadlineExceeded(stage.to_string()))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_expires() {
+        let d = Deadline::none();
+        assert!(!d.expired());
+        assert!(d.check("anything").is_ok());
+        assert!(Deadline::starting_now(None).check("x").is_ok());
+    }
+
+    #[test]
+    fn zero_budget_expires_immediately() {
+        let d = Deadline::starting_now(Some(0));
+        assert!(d.expired());
+        match d.check("retrieve") {
+            Err(WwtError::DeadlineExceeded(stage)) => assert_eq!(stage, "retrieve"),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_budget_passes() {
+        let d = Deadline::starting_now(Some(60_000));
+        assert!(!d.expired());
+        assert!(d.check("consolidate").is_ok());
+    }
+
+    #[test]
+    fn after_expires_once_elapsed() {
+        let d = Deadline::after(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(d.expired());
+        assert!(d.check("column_map").is_err());
+    }
+}

@@ -6,11 +6,13 @@
 //! operation takes `&self`, so one build can serve queries from many
 //! threads (`Engine: Send + Sync + Clone`, and cloning is cheap).
 
+use crate::deadline::Deadline;
 use crate::pipeline::WwtConfig;
 use crate::request::{QueryDiagnostics, QueryRequest, QueryResponse};
 use crate::retrieval::Retrieval;
 use crate::timing::StageTimings;
 use std::collections::HashSet;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 use wwt_consolidate::{consolidate, RelevantInput};
@@ -157,13 +159,21 @@ impl Engine {
     /// Runs the two-stage candidate retrieval (§2.2.1) with the engine
     /// configuration.
     pub fn retrieve(&self, query: &Query) -> Retrieval {
-        self.retrieve_with(query, &self.config).0
+        self.retrieve_with(query, &self.config, &Deadline::none())
+            .map(|(retrieval, _)| retrieval)
+            .expect("retrieval without a deadline cannot time out")
     }
 
     /// Retrieval plus the stage-1 pre-mapping it computed along the way
     /// (reusable as the final mapping when the second probe adds
-    /// nothing).
-    fn retrieve_with(&self, query: &Query, cfg: &WwtConfig) -> (Retrieval, MappingResult) {
+    /// nothing). Fails only when `deadline` expires at the boundary
+    /// between the first and second probe.
+    fn retrieve_with(
+        &self,
+        query: &Query,
+        cfg: &WwtConfig,
+        deadline: &Deadline,
+    ) -> Result<(Retrieval, MappingResult), WwtError> {
         let mut timing = StageTimings::default();
 
         // Probe 1: union of query keywords (hits far below the best match
@@ -202,6 +212,10 @@ impl Engine {
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
         seeds.truncate(2);
+
+        // Stage boundary: the second probe (and everything after it) is
+        // refused once the budget is spent.
+        deadline.check("second probe")?;
 
         let mut stage2: Vec<TableId> = Vec::new();
         let probe2_used = !seeds.is_empty();
@@ -244,7 +258,7 @@ impl Engine {
             }
             timing.read2 = t0.elapsed();
         }
-        (
+        Ok((
             Retrieval {
                 stage1,
                 stage2,
@@ -252,20 +266,28 @@ impl Engine {
                 timing,
             },
             pre,
-        )
+        ))
     }
 
     /// Full online pipeline for one typed request: validate options →
-    /// retrieve → map → consolidate → rank → limit (§2.2).
+    /// retrieve → map → consolidate → rank → limit (§2.2). The request's
+    /// `deadline_ms` budget (if any) is checked at every stage boundary;
+    /// once it passes, the pipeline aborts with
+    /// [`WwtError::DeadlineExceeded`] instead of finishing work whose
+    /// reader has already given up.
     pub fn answer(&self, request: &QueryRequest) -> Result<QueryResponse, WwtError> {
         let cfg = request.options.resolve(&self.config)?;
-        Ok(self.answer_with(&request.query, &cfg, request.options.max_rows))
+        let deadline = Deadline::starting_now(request.options.deadline_ms);
+        deadline.check("retrieval")?;
+        self.answer_with(&request.query, &cfg, request.options.max_rows, &deadline)
     }
 
     /// Full online pipeline for a bare query with the engine defaults
-    /// (infallible: there are no per-request options to validate).
+    /// (infallible: there are no per-request options to validate and no
+    /// deadline to expire).
     pub fn answer_query(&self, query: &Query) -> QueryResponse {
-        self.answer_with(query, &self.config, None)
+        self.answer_with(query, &self.config, None, &Deadline::none())
+            .expect("a query without a deadline cannot time out")
     }
 
     fn answer_with(
@@ -273,10 +295,15 @@ impl Engine {
         query: &Query,
         cfg: &WwtConfig,
         max_rows: Option<usize>,
-    ) -> QueryResponse {
-        let (retrieval, premap) = self.retrieve_with(query, cfg);
+        deadline: &Deadline,
+    ) -> Result<QueryResponse, WwtError> {
+        let (retrieval, premap) = self.retrieve_with(query, cfg, deadline)?;
         let mut timing = retrieval.timing;
         let candidates = retrieval.candidates();
+
+        // Stage boundary: candidate tables are in hand; mapping is the
+        // most expensive online stage, so refuse it on a spent budget.
+        deadline.check("column mapping")?;
 
         let t0 = Instant::now();
         let tables: Vec<&WebTable> = candidates
@@ -302,6 +329,10 @@ impl Engine {
             mapping
         };
 
+        // Stage boundary: mapping is done; consolidation is refused on a
+        // spent budget.
+        deadline.check("consolidation")?;
+
         let t0 = Instant::now();
         let inputs: Vec<RelevantInput<'_>> = (0..tables.len())
             .filter(|&i| mapping.labelings[i].is_relevant())
@@ -325,13 +356,55 @@ impl Engine {
             n_relevant: inputs.len(),
             rows_before_limit,
         };
-        QueryResponse {
+        Ok(QueryResponse {
             table,
             mapping,
             candidates,
             retrieval,
             diagnostics,
+        })
+    }
+
+    /// Assembles an engine from already-built parts (typically read back
+    /// through [`Engine::load_from_dir`]). Every table the index knows
+    /// must be present in the store — a missing table would silently
+    /// vanish from answers, so the mismatch is rejected up front.
+    pub fn from_parts(
+        index: TableIndex,
+        store: TableStore,
+        config: WwtConfig,
+    ) -> Result<Self, WwtError> {
+        for &id in index.table_ids() {
+            if store.get(id).is_none() {
+                return Err(WwtError::Corrupt(format!(
+                    "index references table {id} missing from the store"
+                )));
+            }
         }
+        Ok(Engine {
+            index: Arc::new(index),
+            store: Arc::new(store),
+            config,
+        })
+    }
+
+    /// Persists the engine into `dir` (created if needed) as two files:
+    /// `index.idx` (the fielded index, [`wwt_index::persist`]) and
+    /// `tables.jsonl` (the table store). [`Engine::load_from_dir`] reads
+    /// them back into an identical-answering engine.
+    pub fn save_to_dir(&self, dir: &Path) -> Result<(), WwtError> {
+        std::fs::create_dir_all(dir)?;
+        wwt_index::persist::save(&self.index, &dir.join("index.idx"))?;
+        self.store.save(&dir.join("tables.jsonl"))?;
+        Ok(())
+    }
+
+    /// Loads an engine persisted by [`Engine::save_to_dir`], with the
+    /// given online configuration (the persisted files carry no config).
+    pub fn load_from_dir(dir: &Path, config: WwtConfig) -> Result<Self, WwtError> {
+        let index = wwt_index::persist::load(&dir.join("index.idx"))?;
+        let store = TableStore::load(&dir.join("tables.jsonl"))?;
+        Self::from_parts(index, store, config)
     }
 }
 
@@ -512,6 +585,59 @@ mod tests {
         let engine = b.build();
         assert_eq!(engine.config().probe1_k, 17);
         assert_eq!(engine.store().len(), 1);
+    }
+
+    #[test]
+    fn zero_deadline_trips_before_any_work() {
+        let engine = build_engine();
+        let req = QueryRequest::parse("country | currency")
+            .unwrap()
+            .deadline_ms(0);
+        match engine.answer(&req) {
+            Err(WwtError::DeadlineExceeded(stage)) => assert_eq!(stage, "retrieval"),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_deadline_answers_identically() {
+        let engine = build_engine();
+        let plain = QueryRequest::parse("country | currency").unwrap();
+        let reference = engine.answer(&plain).unwrap();
+        let budgeted = engine.answer(&plain.clone().deadline_ms(60_000)).unwrap();
+        assert_eq!(budgeted.table, reference.table);
+        assert_eq!(budgeted.candidates, reference.candidates);
+        assert_eq!(
+            budgeted.retrieval.stage1, reference.retrieval.stage1,
+            "a deadline that never trips must not change retrieval"
+        );
+    }
+
+    #[test]
+    fn dir_persistence_roundtrip_answers_identically() {
+        let engine = build_engine();
+        let dir = std::env::temp_dir().join(format!("wwt_engine_dir_{}", std::process::id()));
+        engine.save_to_dir(&dir).unwrap();
+        let restored = Engine::load_from_dir(&dir, engine.config().clone()).unwrap();
+        assert_eq!(restored.store().len(), engine.store().len());
+        let q = Query::parse("country | currency").unwrap();
+        let a = engine.answer_query(&q);
+        let b = restored.answer_query(&q);
+        assert_eq!(a.table, b.table);
+        assert_eq!(a.candidates, b.candidates);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn from_parts_rejects_index_store_mismatch() {
+        let engine = build_engine();
+        let dir = std::env::temp_dir().join(format!("wwt_engine_mismatch_{}", std::process::id()));
+        engine.save_to_dir(&dir).unwrap();
+        let index = wwt_index::persist::load(&dir.join("index.idx")).unwrap();
+        // An empty store cannot back a populated index.
+        let r = Engine::from_parts(index, TableStore::new(), WwtConfig::default());
+        assert!(matches!(r, Err(WwtError::Corrupt(_))), "{r:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! [`Engine::answer_query`] instead.
 
 pub mod baselines;
+pub mod deadline;
 pub mod engine;
 pub mod evaluate;
 pub mod pipeline;
@@ -32,6 +33,7 @@ pub mod retrieval;
 pub mod timing;
 
 pub use baselines::{baseline_map, BaselineConfig, BaselineMethod};
+pub use deadline::Deadline;
 pub use engine::{Engine, EngineBuilder};
 pub use evaluate::{
     bind_corpus, evaluate_query, evaluate_query_with, evaluate_workload, evaluate_workload_with,

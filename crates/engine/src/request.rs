@@ -27,6 +27,11 @@ pub struct QueryOptions {
     pub high_relevance: Option<f64>,
     /// Maximum number of answer rows returned (`None` = unlimited).
     pub max_rows: Option<usize>,
+    /// Wall-clock budget for this request in milliseconds. The engine
+    /// checks it at pipeline stage boundaries and aborts with
+    /// [`WwtError::DeadlineExceeded`] once it passes; `0` trips at the
+    /// first checkpoint. `None` (the default) never reads the clock.
+    pub deadline_ms: Option<u64>,
 }
 
 impl QueryOptions {
@@ -64,10 +69,12 @@ impl QueryOptions {
     /// A stable textual fingerprint of the overrides, used in response
     /// cache keys. Defaults collapse to the empty string so that an
     /// explicit request and a plain query share cache entries.
+    ///
+    /// `deadline_ms` is deliberately excluded: a deadline bounds *when*
+    /// a response may be computed, never *what* it contains, so requests
+    /// differing only in their budget share one cache entry (and a
+    /// deadline-carrying repeat of a cached query is a free hit).
     pub fn fingerprint(&self) -> String {
-        if self.is_default() {
-            return String::new();
-        }
         let mut s = String::new();
         if let Some(a) = self.algorithm {
             s.push_str(&format!("alg={a:?};"));
@@ -139,6 +146,12 @@ impl QueryRequest {
     /// Limits the number of answer rows returned.
     pub fn max_rows(mut self, rows: usize) -> Self {
         self.options.max_rows = Some(rows);
+        self
+    }
+
+    /// Bounds this request's wall-clock budget in milliseconds.
+    pub fn deadline_ms(mut self, ms: u64) -> Self {
+        self.options.deadline_ms = Some(ms);
         self
     }
 
@@ -263,5 +276,19 @@ mod tests {
             plain.cache_key(),
             QueryRequest::new(Query::parse("country | currency").unwrap()).cache_key()
         );
+    }
+
+    #[test]
+    fn deadline_does_not_change_the_cache_key() {
+        // A deadline bounds when a response may be computed, not what it
+        // contains: budgeted and unbudgeted requests share a cache entry.
+        let plain = QueryRequest::parse("country | currency").unwrap();
+        let hurried = plain.clone().deadline_ms(5);
+        assert_eq!(hurried.options.deadline_ms, Some(5));
+        assert!(!hurried.options.is_default());
+        assert_eq!(plain.cache_key(), hurried.cache_key());
+        // But combined with a result-shaping override the key still moves.
+        let tuned = plain.clone().deadline_ms(5).max_rows(1);
+        assert_ne!(plain.cache_key(), tuned.cache_key());
     }
 }

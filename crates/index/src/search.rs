@@ -106,6 +106,12 @@ impl TableIndex {
         self.doc_tables.len()
     }
 
+    /// The table id of every indexed document, in internal doc order —
+    /// the set a backing table store must be able to resolve.
+    pub fn table_ids(&self) -> &[TableId] {
+        &self.doc_tables
+    }
+
     /// Corpus statistics (shared IDF source for all features).
     pub fn stats(&self) -> &CorpusStats {
         &self.stats

@@ -41,6 +41,9 @@ pub enum WwtError {
     Invalid(String),
     /// A query string could not be parsed.
     Query(QueryParseError),
+    /// The request's deadline expired before the pipeline finished; the
+    /// payload names the stage boundary where the budget ran out.
+    DeadlineExceeded(String),
 }
 
 impl std::fmt::Display for WwtError {
@@ -51,6 +54,9 @@ impl std::fmt::Display for WwtError {
             WwtError::NotFound(m) => write!(f, "not found: {m}"),
             WwtError::Invalid(m) => write!(f, "invalid: {m}"),
             WwtError::Query(e) => write!(f, "bad query: {e}"),
+            WwtError::DeadlineExceeded(stage) => {
+                write!(f, "deadline exceeded at {stage}")
+            }
         }
     }
 }
@@ -88,6 +94,10 @@ mod tests {
             .contains("bad magic"));
         assert!(WwtError::NotFound("T9".into()).to_string().contains("T9"));
         assert!(WwtError::Invalid("q=0".into()).to_string().contains("q=0"));
+        assert_eq!(
+            WwtError::DeadlineExceeded("consolidate".into()).to_string(),
+            "deadline exceeded at consolidate"
+        );
     }
 
     #[test]

@@ -1,24 +1,38 @@
-//! `wwt-serve`: build an engine over a synthetic web corpus and serve
-//! column-keyword table queries over HTTP.
+//! `wwt-serve`: build (or load) an engine and serve column-keyword table
+//! queries over HTTP, with zero-downtime reloads.
 //!
 //! ```text
 //! wwt-serve [--addr 127.0.0.1:7070] [--scale 0.1] [--queries 8] [--workers N]
-//!           [--admin-token SECRET]
+//!           [--admin-token SECRET] [--corpus-dir DIR | --index-path DIR]
+//!           [--save-index DIR] [--build-only]
 //! ```
 //!
+//! The engine comes from the first of: `--index-path DIR` (a directory
+//! persisted by `Engine::save_to_dir` — `index.idx` + `tables.jsonl`),
+//! `--corpus-dir DIR` (raw `.html` documents, offline pipeline from
+//! scratch), or the built-in synthetic corpus (`--scale`/`--queries`).
+//! `--save-index DIR` persists whatever engine was built; `--build-only`
+//! exits right after (build an index in CI, then boot from it).
+//!
+//! When `--corpus-dir` or `--index-path` is given, an authorized
+//! `POST /admin/reload` re-reads that source on a background thread and
+//! hot-swaps the rebuilt engine while queries keep being answered; the
+//! bumped generation shows in `GET /healthz` and `GET /version`.
+//!
 //! Every flag also reads an environment fallback (`WWT_ADDR`,
-//! `WWT_SCALE`, `WWT_QUERIES`, `WWT_SERVER_WORKERS`, `WWT_ADMIN_TOKEN`).
-//! The process runs until an authorized `POST /admin/shutdown` arrives
-//! (requests must carry the admin token in an `x-admin-token` header),
-//! then drains in-flight requests and exits 0. When no token is given a
-//! random one is generated and printed at startup, so shutdown stays a
-//! deliberate operator action instead of an unauthenticated route; for
+//! `WWT_SCALE`, `WWT_QUERIES`, `WWT_SERVER_WORKERS`, `WWT_ADMIN_TOKEN`,
+//! `WWT_CORPUS_DIR`, `WWT_INDEX_PATH`, `WWT_SAVE_INDEX`). The process
+//! runs until an authorized `POST /admin/shutdown` arrives, then drains
+//! in-flight requests and exits 0. When no token is given a random one
+//! is generated and printed at startup, so shutdown/reload stay
+//! deliberate operator actions instead of unauthenticated routes; for
 //! real deployments pass your own secret.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use wwt_corpus::{workload, CorpusConfig, CorpusGenerator};
-use wwt_engine::{bind_corpus, WwtConfig};
-use wwt_server::{serve, ServerConfig};
+use wwt_engine::{bind_corpus, Engine, WwtConfig};
+use wwt_server::{serve, EngineSource, ServerConfig};
 use wwt_service::TableSearchService;
 
 fn flag_or_env(args: &[String], flag: &str, env: &str) -> Option<String> {
@@ -62,9 +76,10 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: wwt-serve [--addr HOST:PORT] [--scale F] [--queries N] [--workers N]\n\
-             \x20                [--admin-token SECRET]\n\
+             \x20                [--admin-token SECRET] [--corpus-dir DIR | --index-path DIR]\n\
+             \x20                [--save-index DIR] [--build-only]\n\
              env fallbacks: WWT_ADDR, WWT_SCALE, WWT_QUERIES, WWT_SERVER_WORKERS,\n\
-             \x20               WWT_ADMIN_TOKEN"
+             \x20               WWT_ADMIN_TOKEN, WWT_CORPUS_DIR, WWT_INDEX_PATH, WWT_SAVE_INDEX"
         );
         return;
     }
@@ -75,9 +90,84 @@ fn main() {
     let admin_token = flag_or_env(&args, "--admin-token", "WWT_ADMIN_TOKEN")
         .filter(|t| !t.is_empty())
         .unwrap_or_else(generate_admin_token);
+    let corpus_dir = flag_or_env(&args, "--corpus-dir", "WWT_CORPUS_DIR").map(PathBuf::from);
+    let index_path = flag_or_env(&args, "--index-path", "WWT_INDEX_PATH").map(PathBuf::from);
+    let save_index = flag_or_env(&args, "--save-index", "WWT_SAVE_INDEX").map(PathBuf::from);
+    // Env truthiness: "0"/"false"/"" mean off, like an absent variable —
+    // an env file disabling the flag must not silently enable it.
+    let build_only = args.iter().any(|a| a == "--build-only")
+        || std::env::var("WWT_BUILD_ONLY")
+            .is_ok_and(|v| !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false"));
+
+    // The reload source mirrors the boot source: what built the engine
+    // is what /admin/reload re-reads. The two flavors are alternatives —
+    // refusing the ambiguous combination beats silently preferring one.
+    let engine_source = match (&index_path, &corpus_dir) {
+        (Some(_), Some(_)) => {
+            eprintln!(
+                "wwt-serve: --index-path and --corpus-dir are mutually exclusive; \
+                 pass the one the server should (re)build from"
+            );
+            std::process::exit(2);
+        }
+        (Some(dir), None) => Some(EngineSource::IndexDir(dir.clone())),
+        (None, Some(dir)) => Some(EngineSource::CorpusDir(dir.clone())),
+        (None, None) => None,
+    };
+
+    let engine = match &engine_source {
+        Some(source) => {
+            eprintln!("[wwt-serve] building engine from {:?} ...", source.path());
+            match source.build(WwtConfig::default()) {
+                Ok(engine) => engine,
+                Err(e) => {
+                    eprintln!(
+                        "wwt-serve: engine build from {:?} failed: {e}",
+                        source.path()
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => {
+            let specs: Vec<_> = workload().into_iter().take(n_queries.max(1)).collect();
+            eprintln!(
+                "[wwt-serve] generating corpus (scale {scale}, {} workload queries) ...",
+                specs.len()
+            );
+            let corpus = CorpusGenerator::new(CorpusConfig {
+                scale,
+                ..CorpusConfig::default()
+            })
+            .generate_for(&specs);
+            eprintln!(
+                "[wwt-serve] extracting + indexing {} documents ...",
+                corpus.documents.len()
+            );
+            bind_corpus(&corpus, WwtConfig::default()).engine
+        }
+    };
+    eprintln!("[wwt-serve] engine ready: {} tables", engine.store().len());
+
+    if let Some(dir) = &save_index {
+        if let Err(e) = engine.save_to_dir(dir) {
+            eprintln!(
+                "wwt-serve: saving the index to {} failed: {e}",
+                dir.display()
+            );
+            std::process::exit(1);
+        }
+        eprintln!("[wwt-serve] index persisted to {}", dir.display());
+    }
+    if build_only {
+        eprintln!("[wwt-serve] --build-only: exiting without serving");
+        return;
+    }
+
     let mut server_config = ServerConfig {
         addr,
         admin_token: Some(admin_token.clone()),
+        engine_source,
         ..ServerConfig::default()
     };
     server_config.workers = parsed_flag_or_env(
@@ -87,23 +177,8 @@ fn main() {
         server_config.workers,
     );
 
-    let specs: Vec<_> = workload().into_iter().take(n_queries.max(1)).collect();
-    eprintln!(
-        "[wwt-serve] generating corpus (scale {scale}, {} workload queries) ...",
-        specs.len()
-    );
-    let corpus = CorpusGenerator::new(CorpusConfig {
-        scale,
-        ..CorpusConfig::default()
-    })
-    .generate_for(&specs);
-    eprintln!(
-        "[wwt-serve] extracting + indexing {} documents ...",
-        corpus.documents.len()
-    );
-    let bound = bind_corpus(&corpus, WwtConfig::default());
-    let service = Arc::new(TableSearchService::new(Arc::new(bound.engine)));
-
+    let sample_query = sample_query(&engine);
+    let service = Arc::new(TableSearchService::new(Arc::new(engine)));
     let handle = match serve(service, server_config) {
         Ok(handle) => handle,
         Err(e) => {
@@ -113,9 +188,12 @@ fn main() {
     };
     println!("listening on http://{}", handle.addr());
     println!(
-        "try: curl -s -X POST http://{}/query -d '{{\"query\":\"{}\"}}'",
+        "try: curl -s -X POST http://{}/query -d '{{\"query\":\"{sample_query}\"}}'",
         handle.addr(),
-        specs[0].query
+    );
+    println!(
+        "reload: curl -s -X POST -H 'x-admin-token: {admin_token}' http://{}/admin/reload",
+        handle.addr()
     );
     println!(
         "stop: curl -s -X POST -H 'x-admin-token: {admin_token}' http://{}/admin/shutdown",
@@ -130,7 +208,31 @@ fn main() {
     let total = handle.shutdown();
     let stats = service.stats();
     eprintln!(
-        "[wwt-serve] served {total} requests (cache: {} hits / {} misses / {} coalesced); bye",
-        stats.hits, stats.misses, stats.coalesced
+        "[wwt-serve] served {total} requests over {} generation(s) \
+         (cache: {} hits / {} misses / {} coalesced); bye",
+        stats.generation + 1,
+        stats.hits,
+        stats.misses,
+        stats.coalesced
     );
+}
+
+/// A query hint for the startup banner: the first workload query when
+/// serving the synthetic corpus, or one built from the first indexed
+/// table's headers otherwise.
+fn sample_query(engine: &Engine) -> String {
+    engine
+        .store()
+        .iter()
+        .next()
+        .filter(|t| t.n_header_rows() > 0)
+        .map(|t| {
+            let headers: Vec<&str> = (0..t.n_cols().min(2))
+                .map(|c| t.header(0, c))
+                .filter(|h| !h.is_empty())
+                .collect();
+            headers.join(" | ").to_lowercase()
+        })
+        .filter(|q| !q.is_empty())
+        .unwrap_or_else(|| "country | currency".to_string())
 }

@@ -191,13 +191,16 @@ pub(crate) fn read_crlf_line(reader: &mut impl BufRead) -> Result<String, ReadEr
 pub fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        202 => "Accepted",
         400 => "Bad Request",
         403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
@@ -210,12 +213,29 @@ pub fn write_response(
     body: &[u8],
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    write_response_with(stream, status, content_type, body, keep_alive, &[])
+}
+
+/// Like [`write_response`], with extra `(name, value)` headers appended
+/// after the framing headers (e.g. `Retry-After` on a 503).
+pub fn write_response_with(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n",
         reason(status),
         body.len(),
     );
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()
@@ -334,5 +354,33 @@ mod tests {
         assert!(text.contains("content-length: 2\r\n"));
         assert!(text.contains("connection: keep-alive\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn extra_headers_ride_before_the_body() {
+        let mut out = Vec::new();
+        write_response_with(
+            &mut out,
+            503,
+            "application/json",
+            b"{}",
+            false,
+            &[("retry-after", "1")],
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+        // The extra header sits inside the header section, not after it.
+        let header_end = text.find("\r\n\r\n").unwrap();
+        assert!(text.find("retry-after").unwrap() < header_end);
+    }
+
+    #[test]
+    fn new_status_codes_have_reasons() {
+        assert_eq!(reason(202), "Accepted");
+        assert_eq!(reason(409), "Conflict");
+        assert_eq!(reason(504), "Gateway Timeout");
     }
 }

@@ -6,18 +6,26 @@
 //! structured search engine — as an online serving endpoint.
 //!
 //! * **Routes:** `POST /query` (one request, per-request
-//!   [`QueryOptions`](wwt_engine::QueryOptions) overrides),
-//!   `POST /query/batch`, `GET /healthz`, `GET /stats` (cache counters),
-//!   `GET /metrics` (Prometheus text format), `POST /admin/shutdown`
-//!   (disabled unless [`ServerConfig::admin_token`] is set; requests
-//!   must carry the token in an `x-admin-token` or `Authorization:
-//!   Bearer` header).
+//!   [`QueryOptions`](wwt_engine::QueryOptions) overrides including a
+//!   `deadline_ms` budget), `POST /query/batch`, `GET /healthz` (status
+//!   plus engine generation), `GET /version`, `GET /stats` (serving
+//!   counters), `GET /metrics` (Prometheus text format),
+//!   `POST /admin/shutdown` and `POST /admin/reload` (both disabled
+//!   unless [`ServerConfig::admin_token`] is set; requests must carry
+//!   the token in an `x-admin-token` or `Authorization: Bearer`
+//!   header).
+//! * **Hot reload:** with an [`EngineSource`] configured,
+//!   `POST /admin/reload` rebuilds the engine on a background thread
+//!   and swaps it into the serving slot atomically — queries keep being
+//!   answered throughout, and the bumped generation (visible in
+//!   `/healthz`) logically invalidates stale cache entries.
 //! * **Concurrency:** one acceptor thread, a fixed worker pool, and a
-//!   bounded accept queue (overflow answers 503); keep-alive connections
-//!   are bounded by read timeouts and a per-connection request cap.
+//!   bounded accept queue (overflow answers 503 with `Retry-After`);
+//!   keep-alive connections are bounded by read timeouts and a
+//!   per-connection request cap.
 //! * **Errors:** unparseable queries and invalid option values answer
-//!   400, server-side failures 500 — always as a JSON `{"error":{…}}`
-//!   body.
+//!   400, expired deadlines 504, server-side failures 500 — always as a
+//!   JSON `{"error":{…}}` body.
 //! * **Shutdown:** [`ServerHandle::shutdown`] stops accepting, completes
 //!   every accepted request, and joins all threads before returning.
 //!
@@ -52,9 +60,11 @@ pub mod client;
 pub mod http;
 pub mod metrics;
 mod server;
+pub mod source;
 pub mod wire;
 
 pub use client::{run_load, HttpClient, HttpResponse, LoadReport};
 pub use metrics::{Metrics, Route};
 pub use server::{serve, ServerConfig, ServerHandle};
+pub use source::EngineSource;
 pub use wire::{encode_response, parse_query_request, ApiError};

@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
-use wwt_service::CacheStats;
+use wwt_service::ServiceStats;
 
 /// Histogram bucket upper bounds, in seconds. Spans cached hits (tens of
 /// microseconds) through cold large-corpus queries (hundreds of ms).
@@ -26,8 +26,12 @@ pub enum Route {
     Stats,
     /// `GET /metrics`.
     Metrics,
+    /// `GET /version`.
+    Version,
     /// `POST /admin/shutdown`.
     Shutdown,
+    /// `POST /admin/reload`.
+    Reload,
     /// Anything else (404/405/413 traffic).
     Other,
 }
@@ -40,7 +44,9 @@ impl Route {
             Route::Healthz => "healthz",
             Route::Stats => "stats",
             Route::Metrics => "metrics",
+            Route::Version => "version",
             Route::Shutdown => "shutdown",
+            Route::Reload => "reload",
             Route::Other => "other",
         }
     }
@@ -61,6 +67,12 @@ pub struct Metrics {
     latency_buckets: [AtomicU64; LATENCY_BUCKETS_S.len()],
     /// Requests by `(route, status)` label pair.
     by_route_status: Mutex<BTreeMap<(Route, u16), u64>>,
+    /// Requests (or batch slots) refused because their `deadline_ms`
+    /// budget expired — the 504 mapping's dedicated counter.
+    deadline_exceeded: AtomicU64,
+    /// Engine reloads that failed to build/swap (successful swaps show
+    /// up as the service's `swap_count`).
+    reload_failures: AtomicU64,
 }
 
 impl Metrics {
@@ -107,9 +119,29 @@ impl Metrics {
         self.requests_total.load(Ordering::Relaxed)
     }
 
+    /// Records one deadline-expired request or batch slot.
+    pub fn note_deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Deadline-expired requests so far.
+    pub fn deadline_exceeded(&self) -> u64 {
+        self.deadline_exceeded.load(Ordering::Relaxed)
+    }
+
+    /// Records one failed engine reload.
+    pub fn note_reload_failure(&self) {
+        self.reload_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Failed engine reloads so far.
+    pub fn reload_failures(&self) -> u64 {
+        self.reload_failures.load(Ordering::Relaxed)
+    }
+
     /// Renders every series in Prometheus text format, folding in the
     /// service's cache counters.
-    pub fn render_prometheus(&self, cache: &CacheStats) -> String {
+    pub fn render_prometheus(&self, cache: &ServiceStats) -> String {
         let mut out = String::with_capacity(2048);
 
         out.push_str(
@@ -182,6 +214,30 @@ impl Metrics {
                 "gauge",
                 cache.entries as u64,
             ),
+            (
+                "wwt_http_deadline_exceeded_total",
+                "Requests refused with 504 because their deadline_ms budget expired.",
+                "counter",
+                self.deadline_exceeded(),
+            ),
+            (
+                "wwt_engine_generation",
+                "Generation of the engine snapshot currently serving.",
+                "gauge",
+                cache.generation,
+            ),
+            (
+                "wwt_engine_swaps_total",
+                "Engine snapshots hot-swapped in since boot.",
+                "counter",
+                cache.swap_count,
+            ),
+            (
+                "wwt_engine_reload_failures_total",
+                "Engine reloads that failed to build or swap.",
+                "counter",
+                self.reload_failures(),
+            ),
         ] {
             out.push_str(&format!(
                 "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
@@ -195,13 +251,16 @@ impl Metrics {
 mod tests {
     use super::*;
 
-    fn cache_stats() -> CacheStats {
-        CacheStats {
+    fn cache_stats() -> ServiceStats {
+        ServiceStats {
             hits: 3,
             misses: 2,
             coalesced: 1,
             entries: 2,
             shards: 8,
+            generation: 4,
+            swap_count: 4,
+            deadline_exceeded: 0,
         }
     }
 
@@ -227,6 +286,21 @@ mod tests {
         assert!(text.contains("wwt_cache_hits_total 3\n"));
         assert!(text.contains("wwt_cache_coalesced_total 1\n"));
         assert!(text.contains("wwt_cache_entries 2\n"));
+        assert!(text.contains("wwt_engine_generation 4\n"));
+        assert!(text.contains("wwt_engine_swaps_total 4\n"));
+    }
+
+    #[test]
+    fn deadline_and_reload_counters_render() {
+        let m = Metrics::new();
+        m.note_deadline_exceeded();
+        m.note_deadline_exceeded();
+        m.note_reload_failure();
+        assert_eq!(m.deadline_exceeded(), 2);
+        assert_eq!(m.reload_failures(), 1);
+        let text = m.render_prometheus(&cache_stats());
+        assert!(text.contains("wwt_http_deadline_exceeded_total 2\n"));
+        assert!(text.contains("wwt_engine_reload_failures_total 1\n"));
     }
 
     #[test]
@@ -245,12 +319,15 @@ mod tests {
     #[test]
     fn empty_registry_renders_valid_series() {
         let m = Metrics::new();
-        let text = m.render_prometheus(&CacheStats {
+        let text = m.render_prometheus(&ServiceStats {
             hits: 0,
             misses: 0,
             coalesced: 0,
             entries: 0,
             shards: 0,
+            generation: 0,
+            swap_count: 0,
+            deadline_exceeded: 0,
         });
         assert!(text.contains("wwt_http_request_duration_seconds_count 0\n"));
         assert!(text.contains("wwt_http_request_duration_seconds_sum 0\n"));

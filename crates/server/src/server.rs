@@ -15,6 +15,7 @@
 
 use crate::http::{self, ReadError, Request};
 use crate::metrics::{Metrics, Route};
+use crate::source::EngineSource;
 use crate::wire;
 use std::io::{BufReader, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -22,6 +23,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+use wwt_model::WwtError;
 use wwt_service::TableSearchService;
 
 /// Serving knobs for one [`serve`] call.
@@ -44,11 +46,16 @@ pub struct ServerConfig {
     /// closes it, so a long-lived client cannot pin a worker of the
     /// fixed pool indefinitely.
     pub max_requests_per_connection: usize,
-    /// Shared secret required by `POST /admin/shutdown` (via an
-    /// `x-admin-token` or `Authorization: Bearer …` header). `None`
-    /// disables the admin routes entirely (they answer 404) — remote
-    /// shutdown must be opted into, never reachable by default.
+    /// Shared secret required by the admin routes (`POST
+    /// /admin/shutdown`, `POST /admin/reload`), via an `x-admin-token`
+    /// or `Authorization: Bearer …` header. `None` disables the admin
+    /// routes entirely (they answer 404) — remote shutdown/reload must
+    /// be opted into, never reachable by default.
     pub admin_token: Option<String>,
+    /// Where `POST /admin/reload` rebuilds the engine from. `None`
+    /// leaves the route answering 409: the server then has no way to
+    /// reconstruct its index.
+    pub engine_source: Option<EngineSource>,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +70,7 @@ impl Default for ServerConfig {
             pending_connections: 256,
             max_requests_per_connection: 1024,
             admin_token: None,
+            engine_source: None,
         }
     }
 }
@@ -79,6 +87,12 @@ struct Shared {
     /// Signalled when `POST /admin/shutdown` asks the owner to stop
     /// (`bool` = a request was seen).
     shutdown_requested: (Mutex<bool>, Condvar),
+    /// True while a background engine rebuild is running; a second
+    /// `POST /admin/reload` is refused (409) instead of racing it.
+    reloading: AtomicBool,
+    /// The most recent reload failure, surfaced by the next `/admin/reload`
+    /// response so operators see why the generation never bumped.
+    last_reload_error: Mutex<Option<String>>,
 }
 
 impl Shared {
@@ -175,6 +189,8 @@ pub fn serve(
         addr,
         stopping: AtomicBool::new(false),
         shutdown_requested: (Mutex::new(false), Condvar::new()),
+        reloading: AtomicBool::new(false),
+        last_reload_error: Mutex::new(None),
     });
 
     // Bounded: an accept flood beyond the backlog is answered 503 and
@@ -224,12 +240,17 @@ pub fn serve(
                                         message: "server at capacity; retry later".to_string(),
                                     };
                                     shared.metrics.observe(Route::Other, 503, Duration::ZERO);
-                                    drop(http::write_response(
+                                    // Retry-After tells well-behaved
+                                    // clients when backing off is enough
+                                    // (the queue drains in well under a
+                                    // second unless the pool is wedged).
+                                    drop(http::write_response_with(
                                         &mut stream,
                                         503,
                                         "application/json",
                                         wire::encode_error(&err).as_bytes(),
                                         false,
+                                        &[("retry-after", "1")],
                                     ));
                                     // Best-effort drain of request bytes
                                     // that already arrived: closing with
@@ -269,7 +290,7 @@ pub fn serve(
     })
 }
 
-fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
+fn worker_loop(shared: &Arc<Shared>, rx: &Mutex<Receiver<TcpStream>>) {
     loop {
         // Lock only for the `recv` itself; handling runs unlocked.
         let stream = match rx.lock().unwrap().recv() {
@@ -282,7 +303,7 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
 
 /// Serves one connection until it closes, errors, times out, or the
 /// server begins stopping (the current request always completes).
-fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
     if stream
         .set_read_timeout(Some(shared.config.read_timeout))
         .is_err()
@@ -369,7 +390,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
 
 /// Routes one request; returns `(route label, status, content type,
 /// body)`.
-fn dispatch(shared: &Shared, request: &Request) -> (Route, u16, &'static str, String) {
+fn dispatch(shared: &Arc<Shared>, request: &Request) -> (Route, u16, &'static str, String) {
     const JSON: &str = "application/json";
     const PROM: &str = "text/plain; version=0.0.4";
     let route = match request.path.as_str() {
@@ -378,7 +399,9 @@ fn dispatch(shared: &Shared, request: &Request) -> (Route, u16, &'static str, St
         "/healthz" => Route::Healthz,
         "/stats" => Route::Stats,
         "/metrics" => Route::Metrics,
+        "/version" => Route::Version,
         "/admin/shutdown" => Route::Shutdown,
+        "/admin/reload" => Route::Reload,
         _ => {
             let err = wire::ApiError {
                 status: 404,
@@ -388,7 +411,7 @@ fn dispatch(shared: &Shared, request: &Request) -> (Route, u16, &'static str, St
         }
     };
     let expected = match route {
-        Route::Query | Route::QueryBatch | Route::Shutdown => "POST",
+        Route::Query | Route::QueryBatch | Route::Shutdown | Route::Reload => "POST",
         _ => "GET",
     };
     if request.method != expected {
@@ -398,12 +421,38 @@ fn dispatch(shared: &Shared, request: &Request) -> (Route, u16, &'static str, St
         };
         return (route, 405, JSON, wire::encode_error(&err));
     }
+    // The admin routes share one gate: unconfigured ⇒ the routes do not
+    // exist (a reachable unauthenticated shutdown/reload would let any
+    // client that can hit the socket kill or churn the service); a bad
+    // token ⇒ 403.
+    if matches!(route, Route::Shutdown | Route::Reload) {
+        match shared.config.admin_token.as_deref() {
+            None => {
+                let err = wire::ApiError {
+                    status: 404,
+                    message: "admin routes are disabled (no admin token configured)".to_string(),
+                };
+                return (route, 404, JSON, wire::encode_error(&err));
+            }
+            Some(expected) if !admin_authorized(request, expected) => {
+                let err = wire::ApiError {
+                    status: 403,
+                    message: "missing or invalid admin token".to_string(),
+                };
+                return (route, 403, JSON, wire::encode_error(&err));
+            }
+            Some(_) => {}
+        }
+    }
     match route {
         Route::Query => match wire::parse_query_request(&request.body) {
             Ok(req) => match shared.service.answer(&req) {
                 Ok(response) => (route, 200, JSON, wire::encode_response(&req, &response)),
                 Err(e) => {
                     let err = wire::api_error(&e);
+                    if err.status == 504 {
+                        shared.metrics.note_deadline_exceeded();
+                    }
                     (route, err.status, JSON, wire::encode_error(&err))
                 }
             },
@@ -412,6 +461,11 @@ fn dispatch(shared: &Shared, request: &Request) -> (Route, u16, &'static str, St
         Route::QueryBatch => match wire::parse_batch_request(&request.body) {
             Ok(reqs) => {
                 let results = shared.service.answer_batch(&reqs);
+                for slot in &results {
+                    if matches!(slot, Err(WwtError::DeadlineExceeded(_))) {
+                        shared.metrics.note_deadline_exceeded();
+                    }
+                }
                 (
                     route,
                     200,
@@ -421,12 +475,25 @@ fn dispatch(shared: &Shared, request: &Request) -> (Route, u16, &'static str, St
             }
             Err(err) => (route, err.status, JSON, wire::encode_error(&err)),
         },
-        Route::Healthz => (route, 200, JSON, "{\"status\":\"ok\"}".to_string()),
+        Route::Healthz => (
+            route,
+            200,
+            JSON,
+            // Generation in the health body lets a load balancer (or the
+            // CI smoke script) detect a completed reload by polling.
+            format!(
+                "{{\"status\":\"ok\",\"generation\":{}}}",
+                shared.service.generation()
+            ),
+        ),
         Route::Stats => (
             route,
             200,
             JSON,
-            wire::encode_stats(&shared.service.stats()),
+            wire::encode_stats_with(
+                &shared.service.stats(),
+                shared.last_reload_error.lock().unwrap().as_deref(),
+            ),
         ),
         Route::Metrics => (
             route,
@@ -434,37 +501,112 @@ fn dispatch(shared: &Shared, request: &Request) -> (Route, u16, &'static str, St
             PROM,
             shared.metrics.render_prometheus(&shared.service.stats()),
         ),
-        Route::Shutdown => match shared.config.admin_token.as_deref() {
-            // Not configured: the route does not exist. A reachable
-            // unauthenticated shutdown would let any client that can hit
-            // the socket (e.g. through a reverse proxy) kill the
-            // service.
-            None => {
-                let err = wire::ApiError {
-                    status: 404,
-                    message: "admin routes are disabled (no admin token configured)".to_string(),
-                };
-                (route, 404, JSON, wire::encode_error(&err))
-            }
-            Some(expected) if !admin_authorized(request, expected) => {
-                let err = wire::ApiError {
-                    status: 403,
-                    message: "missing or invalid admin token".to_string(),
-                };
-                (route, 403, JSON, wire::encode_error(&err))
-            }
-            Some(_) => {
-                shared.begin_stop();
-                (
-                    route,
-                    200,
-                    JSON,
-                    "{\"status\":\"shutting down\"}".to_string(),
-                )
-            }
-        },
+        Route::Version => (
+            route,
+            200,
+            JSON,
+            format!(
+                "{{\"version\":\"{}\",\"profile\":\"{}\",\"generation\":{}}}",
+                env!("CARGO_PKG_VERSION"),
+                if cfg!(debug_assertions) {
+                    "debug"
+                } else {
+                    "release"
+                },
+                shared.service.generation()
+            ),
+        ),
+        Route::Shutdown => {
+            shared.begin_stop();
+            (
+                route,
+                200,
+                JSON,
+                "{\"status\":\"shutting down\"}".to_string(),
+            )
+        }
+        Route::Reload => start_reload(shared),
         Route::Other => unreachable!("handled above"),
     }
+}
+
+/// Kicks off a background engine rebuild + swap. Answers 202 with the
+/// generation being replaced; the caller polls `/healthz` (or
+/// `/version`) until the generation bumps. Refused with 409 when no
+/// engine source is configured or a rebuild is already running.
+fn start_reload(shared: &Arc<Shared>) -> (Route, u16, &'static str, String) {
+    const JSON: &str = "application/json";
+    let Some(source) = shared.config.engine_source.clone() else {
+        let err = wire::ApiError {
+            status: 409,
+            message: "reload unavailable: no --corpus-dir/--index-path engine source configured"
+                .to_string(),
+        };
+        return (Route::Reload, 409, JSON, wire::encode_error(&err));
+    };
+    if shared
+        .reloading
+        .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+        .is_err()
+    {
+        let err = wire::ApiError {
+            status: 409,
+            message: "a reload is already in progress".to_string(),
+        };
+        return (Route::Reload, 409, JSON, wire::encode_error(&err));
+    }
+    let generation = shared.service.generation();
+    // Peek, never consume: the pending failure stays readable (here and
+    // in `GET /stats`) until a reload succeeds and clears it.
+    let last_error = shared
+        .last_reload_error
+        .lock()
+        .unwrap()
+        .clone()
+        .map(|e| {
+            format!(
+                ",\"last_error\":{}",
+                wwt_json::Json::from(e.as_str()).encode()
+            )
+        })
+        .unwrap_or_default();
+    let worker = Arc::clone(shared);
+    let spawned = std::thread::Builder::new()
+        .name("wwt-reload".to_string())
+        .spawn(move || {
+            // Rebuild with the *current* engine's online config so tuned
+            // deployments keep their knobs across generations.
+            let config = worker.service.engine().config().clone();
+            let result = source.build(config);
+            let mut last_error = worker.last_reload_error.lock().unwrap();
+            match result {
+                Ok(engine) => {
+                    let generation = worker.service.reload(Arc::new(engine));
+                    *last_error = None;
+                    eprintln!("[wwt-server] engine reloaded: generation {generation}");
+                }
+                Err(e) => {
+                    worker.metrics.note_reload_failure();
+                    *last_error = Some(e.to_string());
+                    eprintln!("[wwt-server] engine reload failed: {e}");
+                }
+            }
+            worker.reloading.store(false, Ordering::SeqCst);
+        });
+    if spawned.is_err() {
+        shared.reloading.store(false, Ordering::SeqCst);
+        let err = wire::ApiError {
+            status: 500,
+            message: "could not spawn the reload thread".to_string(),
+        };
+        return (Route::Reload, 500, JSON, wire::encode_error(&err));
+    }
+    (
+        Route::Reload,
+        202,
+        JSON,
+        format!("{{\"status\":\"reloading\",\"generation\":{generation}{last_error}}}"),
+    )
 }
 
 /// Whether a request carries the configured admin token, either as

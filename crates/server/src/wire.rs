@@ -18,7 +18,7 @@ use wwt_core::InferenceAlgorithm;
 use wwt_engine::{QueryOptions, QueryRequest, QueryResponse};
 use wwt_json::Json;
 use wwt_model::{Query, WwtError};
-use wwt_service::CacheStats;
+use wwt_service::ServiceStats;
 
 /// A client-visible failure: HTTP status plus a message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,12 +40,15 @@ impl ApiError {
 }
 
 /// Maps an engine/service error onto a status: unparseable queries and
-/// invalid option values are the client's fault (400), everything else
-/// — I/O, corruption — is the server's (500). Keeping bad input out of
-/// the 5xx class keeps server-error alerting meaningful.
+/// invalid option values are the client's fault (400), an expired
+/// request deadline is 504 (the upstream engine ran out of time, not
+/// crashed), everything else — I/O, corruption — is the server's (500).
+/// Keeping bad input and timeouts out of the plain-5xx class keeps
+/// server-error alerting meaningful.
 pub fn api_error(e: &WwtError) -> ApiError {
     let status = match e {
         WwtError::Query(_) | WwtError::Invalid(_) => 400,
+        WwtError::DeadlineExceeded(_) => 504,
         _ => 500,
     };
     ApiError {
@@ -131,6 +134,7 @@ fn options_from_json(value: &Json) -> Result<QueryOptions, ApiError> {
             "probe2_k",
             "high_relevance",
             "max_rows",
+            "deadline_ms",
         ],
     )?;
     let uint = |key: &str| -> Result<Option<usize>, ApiError> {
@@ -162,12 +166,19 @@ fn options_from_json(value: &Json) -> Result<QueryOptions, ApiError> {
                 .ok_or_else(|| ApiError::bad_request("\"high_relevance\" must be a number"))?,
         ),
     };
+    let deadline_ms = match value.get("deadline_ms") {
+        None => None,
+        Some(v) => Some(v.as_u64().ok_or_else(|| {
+            ApiError::bad_request("\"deadline_ms\" must be a non-negative integer")
+        })?),
+    };
     Ok(QueryOptions {
         algorithm,
         probe1_k: uint("probe1_k")?,
         probe2_k: uint("probe2_k")?,
         high_relevance,
         max_rows: uint("max_rows")?,
+        deadline_ms,
     })
 }
 
@@ -281,18 +292,33 @@ pub fn encode_batch_response(
     Json::obj([("responses", Json::Arr(slots))]).encode()
 }
 
-/// Encodes `GET /stats`: the cache counters plus the derived hit rate
-/// (0.0 — never NaN — when nothing has been served).
-pub fn encode_stats(stats: &CacheStats) -> String {
-    Json::obj([
+/// Encodes `GET /stats`: the serving counters plus the derived hit rate
+/// (0.0 — never NaN — when nothing has been served). New counters are
+/// only ever appended — existing field names are load-bearing for
+/// dashboards.
+pub fn encode_stats(stats: &ServiceStats) -> String {
+    encode_stats_with(stats, None)
+}
+
+/// [`encode_stats`] plus the most recent reload failure, when one is
+/// pending — the read-only way to see why the generation never bumped
+/// (the field is absent while reloads are healthy).
+pub fn encode_stats_with(stats: &ServiceStats, last_reload_error: Option<&str>) -> String {
+    let mut fields = vec![
         ("hits", Json::from(stats.hits)),
         ("misses", Json::from(stats.misses)),
         ("coalesced", Json::from(stats.coalesced)),
         ("entries", Json::from(stats.entries)),
         ("shards", Json::from(stats.shards)),
         ("hit_rate", Json::from(stats.hit_rate())),
-    ])
-    .encode()
+        ("generation", Json::from(stats.generation)),
+        ("swap_count", Json::from(stats.swap_count)),
+        ("deadline_exceeded", Json::from(stats.deadline_exceeded)),
+    ];
+    if let Some(error) = last_reload_error {
+        fields.push(("last_reload_error", Json::from(error)));
+    }
+    Json::obj(fields).encode()
 }
 
 #[cfg(test)]
@@ -310,7 +336,7 @@ mod tests {
     fn parses_full_options() {
         let req = parse_query_request(
             br#"{"query":"a | b","options":{"algorithm":"independent","probe1_k":10,
-                 "probe2_k":3,"high_relevance":0.5,"max_rows":7}}"#,
+                 "probe2_k":3,"high_relevance":0.5,"max_rows":7,"deadline_ms":250}}"#,
         )
         .unwrap();
         assert_eq!(req.options.algorithm, Some(InferenceAlgorithm::Independent));
@@ -318,6 +344,20 @@ mod tests {
         assert_eq!(req.options.probe2_k, Some(3));
         assert_eq!(req.options.high_relevance, Some(0.5));
         assert_eq!(req.options.max_rows, Some(7));
+        assert_eq!(req.options.deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn deadline_parses_and_rejects_bad_values() {
+        let req = parse_query_request(br#"{"query":"a","options":{"deadline_ms":0}}"#).unwrap();
+        assert_eq!(req.options.deadline_ms, Some(0));
+        let err =
+            parse_query_request(br#"{"query":"a","options":{"deadline_ms":-5}}"#).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("deadline_ms"), "{}", err.message);
+        let err =
+            parse_query_request(br#"{"query":"a","options":{"deadline_ms":"soon"}}"#).unwrap_err();
+        assert_eq!(err.status, 400);
     }
 
     #[test]
@@ -404,6 +444,11 @@ mod tests {
         // errors, not 5xx noise.
         assert_eq!(api_error(&WwtError::Invalid("k".into())).status, 400);
         assert_eq!(api_error(&WwtError::Corrupt("c".into())).status, 500);
+        // Deadlines are timeouts, not crashes: 504, not 500.
+        assert_eq!(
+            api_error(&WwtError::DeadlineExceeded("map".into())).status,
+            504
+        );
     }
 
     #[test]
@@ -417,15 +462,47 @@ mod tests {
 
     #[test]
     fn stats_body_has_zero_hit_rate_when_empty() {
-        let body = encode_stats(&CacheStats {
+        let body = encode_stats(&ServiceStats {
             hits: 0,
             misses: 0,
             coalesced: 0,
             entries: 0,
             shards: 4,
+            generation: 0,
+            swap_count: 0,
+            deadline_exceeded: 0,
         });
         assert!(body.contains("\"hit_rate\":0"), "{body}");
         let v = Json::parse(&body).unwrap();
         assert_eq!(v.get("hit_rate").and_then(Json::as_f64), Some(0.0));
+    }
+
+    #[test]
+    fn stats_body_keeps_old_names_and_adds_swap_and_deadline_counters() {
+        let body = encode_stats(&ServiceStats {
+            hits: 5,
+            misses: 2,
+            coalesced: 1,
+            entries: 3,
+            shards: 4,
+            generation: 7,
+            swap_count: 7,
+            deadline_exceeded: 2,
+        });
+        let v = Json::parse(&body).unwrap();
+        // Pre-existing field names stay untouched (additive evolution).
+        for field in [
+            "hits",
+            "misses",
+            "coalesced",
+            "entries",
+            "shards",
+            "hit_rate",
+        ] {
+            assert!(v.get(field).is_some(), "missing {field} in {body}");
+        }
+        assert_eq!(v.get("generation").and_then(Json::as_u64), Some(7));
+        assert_eq!(v.get("swap_count").and_then(Json::as_u64), Some(7));
+        assert_eq!(v.get("deadline_exceeded").and_then(Json::as_u64), Some(2));
     }
 }

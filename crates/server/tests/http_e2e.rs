@@ -55,7 +55,20 @@ fn healthz_stats_and_unknown_routes() {
 
     let health = client.get("/healthz").unwrap();
     assert_eq!(health.status, 200);
-    assert_eq!(health.text(), "{\"status\":\"ok\"}");
+    assert_eq!(health.text(), "{\"status\":\"ok\",\"generation\":0}");
+
+    let version = client.get("/version").unwrap();
+    assert_eq!(version.status, 200);
+    let v = Json::parse(&version.text()).unwrap();
+    assert_eq!(
+        v.get("version").and_then(Json::as_str),
+        Some(env!("CARGO_PKG_VERSION"))
+    );
+    assert!(matches!(
+        v.get("profile").and_then(Json::as_str),
+        Some("debug") | Some("release")
+    ));
+    assert_eq!(v.get("generation").and_then(Json::as_u64), Some(0));
 
     // Fresh server: stats must report a 0.0 (never NaN) hit rate.
     let stats = client.get("/stats").unwrap();
@@ -302,6 +315,83 @@ fn load_generator_drives_the_server() {
 }
 
 #[test]
+fn deadlines_map_to_504_with_their_own_counter_and_change_nothing_when_generous() {
+    let service = slow_service(true);
+    let handle = start(Arc::clone(&service));
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+
+    // A zero budget on a cold query trips the first pipeline checkpoint:
+    // 504, with the engine untouched and nothing cached.
+    let resp = client
+        .post(
+            "/query",
+            r#"{"query":"country | currency | deadline probe","options":{"deadline_ms":0}}"#,
+        )
+        .unwrap();
+    assert_eq!(resp.status, 504, "{}", resp.text());
+    let v = Json::parse(&resp.text()).unwrap();
+    let msg = v
+        .get("error")
+        .and_then(|e| e.get("message"))
+        .and_then(Json::as_str)
+        .unwrap();
+    assert!(msg.contains("deadline exceeded"), "{msg:?}");
+
+    // The dedicated counters tick — in Prometheus and in /stats.
+    let metrics = client.get("/metrics").unwrap().text();
+    assert!(
+        metrics.contains("wwt_http_deadline_exceeded_total 1\n"),
+        "{metrics}"
+    );
+    let stats = Json::parse(&client.get("/stats").unwrap().text()).unwrap();
+    assert_eq!(
+        stats.get("deadline_exceeded").and_then(Json::as_u64),
+        Some(1)
+    );
+
+    // No deadline, then a generous deadline: byte-identical responses
+    // (the deadline is excluded from the cache key, so the second is the
+    // same cached entry).
+    let body = r#"{"query":"country | currency"}"#;
+    let plain = client.post("/query", body).unwrap();
+    assert_eq!(plain.status, 200);
+    let generous = client
+        .post(
+            "/query",
+            r#"{"query":"country | currency","options":{"deadline_ms":60000}}"#,
+        )
+        .unwrap();
+    assert_eq!(generous.status, 200);
+    assert_eq!(
+        generous.text(),
+        plain.text(),
+        "a deadline that never trips must not change the response bytes"
+    );
+
+    // Batch slots carry per-slot 504 errors without failing the batch.
+    let resp = client
+        .post(
+            "/query/batch",
+            r#"{"requests":[
+                {"query":"country | currency"},
+                {"query":"country | currency | other probe","options":{"deadline_ms":0}}]}"#,
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    let v = Json::parse(&resp.text()).unwrap();
+    let slots = v.get("responses").and_then(Json::as_arr).unwrap();
+    assert!(slots[0].get("rows").is_some());
+    assert_eq!(
+        slots[1]
+            .get("error")
+            .and_then(|e| e.get("status"))
+            .and_then(Json::as_u64),
+        Some(504)
+    );
+    handle.shutdown();
+}
+
+#[test]
 fn admin_shutdown_requires_a_configured_matching_token() {
     // No token configured: the route does not exist, the server stays up.
     let handle = start(tiny_service());
@@ -384,6 +474,11 @@ fn accept_queue_overflow_answers_503_instead_of_queueing_unbounded() {
     let resp = probe.get("/healthz").unwrap();
     assert_eq!(resp.status, 503, "full accept queue must answer 503");
     assert_eq!(resp.header("connection"), Some("close"));
+    assert_eq!(
+        resp.header("retry-after"),
+        Some("1"),
+        "503 must tell clients when to retry"
+    );
     assert!(resp.text().contains("capacity"), "{}", resp.text());
 
     // Freeing the idle connections unclogs the pool; a new client is

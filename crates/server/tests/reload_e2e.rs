@@ -1,0 +1,375 @@
+//! End-to-end tests for hot engine snapshot swap: a server reloading its
+//! index under live query traffic must never drop or corrupt a request,
+//! post-swap answers must reflect the new corpus, and pre-swap cache
+//! entries must never be served across generations.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use wwt_engine::{EngineBuilder, WwtConfig};
+use wwt_json::Json;
+use wwt_server::{serve, EngineSource, HttpClient, ServerConfig, ServerHandle};
+use wwt_service::TableSearchService;
+
+const TOKEN: &str = "reload-sesame";
+
+fn currency_doc(rows: &[(&str, &str)]) -> String {
+    let body: String = rows
+        .iter()
+        .map(|(c, m)| format!("<tr><td>{c}</td><td>{m}</td></tr>"))
+        .collect();
+    format!(
+        "<html><body><p>List of countries and their currency</p>\
+         <table><tr><th>Country</th><th>Currency</th></tr>{body}</table></body></html>"
+    )
+}
+
+fn dog_doc() -> String {
+    "<html><body><p>dog breeds and their origin</p>\
+     <table><tr><th>Breed</th><th>Origin</th></tr>\
+     <tr><td>Beagle</td><td>England</td></tr>\
+     <tr><td>Akita</td><td>Japan</td></tr></table></body></html>"
+        .to_string()
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wwt_reload_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn serve_from(source: EngineSource) -> ServerHandle {
+    let engine = source.build(WwtConfig::default()).expect("boot engine");
+    let service = Arc::new(TableSearchService::new(Arc::new(engine)));
+    let config = ServerConfig {
+        admin_token: Some(TOKEN.to_string()),
+        engine_source: Some(source),
+        // An explicit pool: on a single-core runner the default collapses
+        // to one worker, where an idle keep-alive connection pins the
+        // whole server until its read timeout.
+        workers: 4,
+        ..ServerConfig::default()
+    };
+    serve(service, config).expect("bind ephemeral port")
+}
+
+fn trigger_reload(addr: std::net::SocketAddr) {
+    let mut client = HttpClient::connect(addr).unwrap();
+    let resp = client
+        .post_with_headers("/admin/reload", "", &[("x-admin-token", TOKEN)])
+        .unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.text());
+    assert!(
+        resp.text().contains("\"status\":\"reloading\""),
+        "{}",
+        resp.text()
+    );
+}
+
+/// Polls `/healthz` until it reports `generation` (the reload runs on a
+/// background thread; completion is observed, not assumed).
+fn wait_for_generation(addr: std::net::SocketAddr, generation: u64) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let text = HttpClient::connect(addr)
+            .and_then(|mut c| c.get("/healthz"))
+            .map(|r| r.text())
+            .unwrap_or_default();
+        if text.contains(&format!("\"generation\":{generation}")) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "generation never reached {generation}; last /healthz: {text}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// The acceptance test for the tentpole: clients hammering `POST /query`
+/// observe only 200s — no 5xx, no connection errors — while
+/// `/admin/reload` rebuilds the engine from a grown corpus and swaps it
+/// in; afterwards answers reflect the new corpus.
+#[test]
+fn zero_downtime_swap_under_live_traffic() {
+    const HAMMERS: usize = 4;
+    let corpus = fresh_dir("swap");
+    std::fs::write(
+        corpus.join("a.html"),
+        currency_doc(&[("India", "Rupee"), ("Japan", "Yen")]),
+    )
+    .unwrap();
+    std::fs::write(corpus.join("b.html"), currency_doc(&[("India", "Rupee")])).unwrap();
+    let handle = serve_from(EngineSource::CorpusDir(corpus.clone()));
+    let addr = handle.addr();
+    let service = Arc::clone(handle.service());
+
+    // Pre-swap: warm the cache; Brazil is not in the corpus yet.
+    let body = r#"{"query":"country | currency"}"#;
+    let mut client = HttpClient::connect(addr).unwrap();
+    let before = client.post("/query", body).unwrap();
+    assert_eq!(before.status, 200);
+    assert!(!before.text().contains("Brazil"));
+    assert!(before.text().contains("India"));
+
+    let stop = AtomicBool::new(false);
+    let served = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..HAMMERS {
+            let stop = &stop;
+            let served = &served;
+            scope.spawn(move || {
+                let mut client = HttpClient::connect(addr).unwrap();
+                while !stop.load(Ordering::Relaxed) {
+                    let resp = client
+                        .post_reconnecting(addr, "/query", body)
+                        .expect("no connection errors during a hot swap");
+                    assert_eq!(resp.status, 200, "5xx under reload: {}", resp.text());
+                    assert!(resp.text().contains("India"), "torn response");
+                    served.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+
+        // Grow the corpus and hot-swap while the hammers run.
+        std::fs::write(corpus.join("c.html"), currency_doc(&[("Brazil", "Real")])).unwrap();
+        trigger_reload(addr);
+        wait_for_generation(addr, 1);
+
+        // Post-swap answers reflect the new corpus: the gen-0 cache
+        // entry (no Brazil) is never served for gen-1 queries.
+        let mut client = HttpClient::connect(addr).unwrap();
+        let after = client.post("/query", body).unwrap();
+        assert_eq!(after.status, 200);
+        assert!(
+            after.text().contains("Brazil"),
+            "post-swap answer still the old corpus: {}",
+            after.text()
+        );
+
+        // Let the hammers observe the post-swap world for a moment too.
+        std::thread::sleep(Duration::from_millis(50));
+        stop.store(true, Ordering::Relaxed);
+    });
+    assert!(
+        served.load(Ordering::Relaxed) > 0,
+        "hammer threads never got through"
+    );
+    let stats = service.stats();
+    assert_eq!(stats.generation, 1, "{stats:?}");
+    assert_eq!(stats.swap_count, 1, "{stats:?}");
+
+    handle.shutdown();
+    std::fs::remove_dir_all(&corpus).ok();
+}
+
+/// Satellite: index persistence round-trip under swap. Build →
+/// `save_to_dir` → boot from the persisted index → reload (same bytes)
+/// must answer identically; then persist a grown corpus into the same
+/// directory → reload must pick up the new tables while unchanged
+/// tables keep their answers.
+#[test]
+fn persisted_index_boot_and_reload_roundtrip() {
+    let dir = fresh_dir("persist");
+    let index_dir = dir.join("index");
+
+    let build = |with_brazil: bool| {
+        let mut b = EngineBuilder::new();
+        b.add_html(&currency_doc(&[("India", "Rupee"), ("Japan", "Yen")]));
+        b.add_html(&dog_doc());
+        if with_brazil {
+            b.add_html(&currency_doc(&[("Brazil", "Real")]));
+        }
+        b.build()
+    };
+    build(false).save_to_dir(&index_dir).unwrap();
+
+    let handle = serve_from(EngineSource::IndexDir(index_dir.clone()));
+    let addr = handle.addr();
+    let mut client = HttpClient::connect(addr).unwrap();
+
+    // The answer-shaping parts of a response (everything except
+    // wall-clock timings, which vary per execution).
+    let answer_parts = |text: &str| -> (String, String, String) {
+        let v = Json::parse(text).unwrap();
+        (
+            v.get("columns").unwrap().encode(),
+            v.get("rows").unwrap().encode(),
+            v.get("candidates").unwrap().encode(),
+        )
+    };
+
+    let currency = r#"{"query":"country | currency"}"#;
+    let dogs = r#"{"query":"breed | origin"}"#;
+    let base_currency = client.post("/query", currency).unwrap();
+    assert_eq!(base_currency.status, 200);
+    assert!(base_currency.text().contains("India"));
+    let base_dogs = client.post("/query", dogs).unwrap();
+    assert_eq!(base_dogs.status, 200);
+    assert!(base_dogs.text().contains("Beagle"));
+
+    // Reload the *unchanged* persisted index: the generation bumps, the
+    // gen-0 cache is logically invalidated, and the recomputed answers
+    // are byte-identical in every answer-shaping field.
+    trigger_reload(addr);
+    wait_for_generation(addr, 1);
+    let again = client.post_reconnecting(addr, "/query", currency).unwrap();
+    assert_eq!(again.status, 200);
+    assert_eq!(
+        answer_parts(&again.text()),
+        answer_parts(&base_currency.text()),
+        "identical persisted bytes must answer identically across a swap"
+    );
+    let stats = Json::parse(&client.get("/stats").unwrap().text()).unwrap();
+    assert_eq!(stats.get("swap_count").and_then(Json::as_u64), Some(1));
+    // The recompute proves the gen-0 entry was not reused.
+    assert!(stats.get("misses").and_then(Json::as_u64).unwrap() >= 3);
+
+    // Persist a grown corpus over the same directory and swap it in.
+    build(true).save_to_dir(&index_dir).unwrap();
+    trigger_reload(addr);
+    wait_for_generation(addr, 2);
+    let grown = client.post_reconnecting(addr, "/query", currency).unwrap();
+    assert_eq!(grown.status, 200);
+    assert!(
+        grown.text().contains("Brazil"),
+        "added tables must show up after the swap: {}",
+        grown.text()
+    );
+    // Tables untouched by the growth keep their answers (cells and
+    // support; scores may shift with corpus-wide IDF).
+    let dogs_after = client.post("/query", dogs).unwrap();
+    assert_eq!(dogs_after.status, 200);
+    let row_facts = |text: &str| -> Vec<(Vec<String>, u64)> {
+        let v = Json::parse(text).unwrap();
+        v.get("rows")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|r| {
+                (
+                    r.get("cells")
+                        .and_then(Json::as_arr)
+                        .unwrap()
+                        .iter()
+                        .map(|c| c.as_str().unwrap().to_string())
+                        .collect(),
+                    r.get("support").and_then(Json::as_u64).unwrap(),
+                )
+            })
+            .collect()
+    };
+    assert_eq!(
+        row_facts(&dogs_after.text()),
+        row_facts(&base_dogs.text()),
+        "unchanged tables must keep their answers across the swap"
+    );
+
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Reload is admin-gated exactly like shutdown, and refused (409) when
+/// the server has no engine source to rebuild from.
+#[test]
+fn reload_is_gated_and_needs_a_source() {
+    // No admin token: the route does not exist.
+    let mut b = EngineBuilder::new();
+    b.add_html(&currency_doc(&[("India", "Rupee")]));
+    let service = Arc::new(TableSearchService::new(Arc::new(b.build())));
+    let handle = serve(Arc::clone(&service), ServerConfig::default()).unwrap();
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+    assert_eq!(client.post("/admin/reload", "").unwrap().status, 404);
+    handle.shutdown();
+
+    // Token configured but no engine source: authorized reloads answer
+    // 409 (nothing to rebuild from), unauthorized ones 403.
+    let config = ServerConfig {
+        admin_token: Some(TOKEN.to_string()),
+        ..ServerConfig::default()
+    };
+    let handle = serve(service, config).unwrap();
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+    assert_eq!(client.post("/admin/reload", "").unwrap().status, 403);
+    let wrong = client
+        .post_with_headers("/admin/reload", "", &[("x-admin-token", "guess")])
+        .unwrap();
+    assert_eq!(wrong.status, 403);
+    let no_source = client
+        .post_with_headers("/admin/reload", "", &[("x-admin-token", TOKEN)])
+        .unwrap();
+    assert_eq!(no_source.status, 409, "{}", no_source.text());
+    assert!(
+        no_source.text().contains("no --corpus-dir"),
+        "{}",
+        no_source.text()
+    );
+    // The server keeps serving regardless.
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+    handle.shutdown();
+}
+
+/// A reload whose source went bad leaves the old generation serving and
+/// surfaces the failure on the next reload response.
+#[test]
+fn failed_reload_keeps_serving_the_old_generation() {
+    let corpus = fresh_dir("badsrc");
+    std::fs::write(corpus.join("a.html"), currency_doc(&[("India", "Rupee")])).unwrap();
+    let handle = serve_from(EngineSource::CorpusDir(corpus.clone()));
+    let addr = handle.addr();
+
+    // Break the source, then ask for a reload.
+    std::fs::remove_dir_all(&corpus).unwrap();
+    trigger_reload(addr);
+
+    // The failure is asynchronous; wait until the reload thread parked
+    // its error (the next reload response carries it).
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let last_error = loop {
+        std::thread::sleep(Duration::from_millis(10));
+        let mut client = HttpClient::connect(addr).unwrap();
+        let resp = client
+            .post_with_headers("/admin/reload", "", &[("x-admin-token", TOKEN)])
+            .unwrap();
+        // 409 = previous reload still running; 202 = accepted again.
+        if resp.status == 202 && resp.text().contains("last_error") {
+            break resp.text();
+        }
+        assert!(
+            Instant::now() < deadline,
+            "reload failure never surfaced; last: {}",
+            resp.text()
+        );
+    };
+    assert!(last_error.contains("\"generation\":0"), "{last_error}");
+
+    // Still generation 0, still answering; /stats surfaces the pending
+    // failure read-only (no take, no side effects).
+    let mut client = HttpClient::connect(addr).unwrap();
+    let resp = client
+        .post("/query", r#"{"query":"country | currency"}"#)
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.text().contains("India"));
+    let stats = Json::parse(&client.get("/stats").unwrap().text()).unwrap();
+    assert_eq!(stats.get("generation").and_then(Json::as_u64), Some(0));
+    assert!(
+        stats
+            .get("last_reload_error")
+            .and_then(Json::as_str)
+            .is_some(),
+        "pending reload failure must be visible in /stats"
+    );
+    let metrics = client.get("/metrics").unwrap().text();
+    let failures: u64 = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("wwt_engine_reload_failures_total "))
+        .expect("failure counter series")
+        .trim()
+        .parse()
+        .unwrap();
+    assert!(failures >= 1, "{metrics}");
+    handle.shutdown();
+}

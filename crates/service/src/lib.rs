@@ -4,27 +4,37 @@
 //! that turns the paper's pipeline into the interactive, many-user system
 //! its introduction describes.
 //!
-//! [`TableSearchService`] wraps an `Arc<Engine>` with:
+//! [`TableSearchService`] holds the current engine behind an
+//! [`EngineSlot`] — a hot-swappable, generation-tagged snapshot holder —
+//! and adds:
 //!
-//! * a **sharded LRU response cache** keyed by the normalized query plus
-//!   its per-request option fingerprint ([`QueryRequest::cache_key`]),
-//!   returning `Arc<QueryResponse>` so hits are zero-copy;
+//! * a **sharded LRU response cache** keyed by the snapshot generation
+//!   plus the normalized query and its per-request option fingerprint
+//!   ([`QueryRequest::cache_key`]), returning `Arc<QueryResponse>` so
+//!   hits are zero-copy;
 //! * **singleflight coalescing**: N concurrent identical cold queries
 //!   run the engine once — followers block on the leader's flight and
-//!   share its response;
+//!   share its response, always one computed against the same generation
+//!   they observed;
+//! * **zero-downtime reloads**: [`TableSearchService::reload`] swaps in
+//!   a rebuilt engine while queries keep being answered; the generation
+//!   bump logically invalidates stale cache entries and in-flight
+//!   coalescing without a stop-the-world clear;
 //! * [`TableSearchService::answer_batch`], fanning a slice of requests
 //!   across a scoped worker pool (work-stealing over a shared cursor);
-//! * hit/miss/coalesce/entry counters ([`CacheStats`]) for capacity
-//!   planning.
+//! * hit/miss/coalesce/entry/generation/deadline counters
+//!   ([`ServiceStats`]) for capacity planning.
 //!
 //! Everything takes `&self`; one service instance can be shared across
 //! any number of threads.
 
 mod cache;
 mod singleflight;
+mod slot;
 
 use cache::ShardedCache;
 use singleflight::{FlightGroup, Role};
+pub use slot::{EngineSlot, EngineSnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use wwt_engine::{Engine, QueryRequest, QueryResponse};
@@ -54,9 +64,9 @@ impl Default for ServiceConfig {
     }
 }
 
-/// Cache effectiveness counters, taken as a consistent-enough snapshot.
+/// Serving counters, taken as a consistent-enough snapshot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CacheStats {
+pub struct ServiceStats {
     /// Requests served from the cache.
     pub hits: u64,
     /// Requests that ran the engine (one per actual engine execution).
@@ -64,13 +74,21 @@ pub struct CacheStats {
     /// Requests served by joining an identical in-flight computation
     /// (singleflight followers).
     pub coalesced: u64,
-    /// Entries currently cached.
+    /// Entries currently cached (stale generations included until the
+    /// LRU ages them out).
     pub entries: usize,
     /// Number of cache shards.
     pub shards: usize,
+    /// Generation of the engine snapshot currently serving (0 until the
+    /// first reload).
+    pub generation: u64,
+    /// Engine swaps performed by [`TableSearchService::reload`].
+    pub swap_count: u64,
+    /// Requests aborted because their `deadline_ms` budget expired.
+    pub deadline_exceeded: u64,
 }
 
-impl CacheStats {
+impl ServiceStats {
     /// Fraction of requests in `[0, 1]` that avoided an engine run —
     /// cache hits plus coalesced followers over everything served.
     /// Exactly `0.0` (never `NaN`) when nothing was served yet.
@@ -84,14 +102,17 @@ impl CacheStats {
     }
 }
 
-/// A thread-safe table-search front end over one shared engine snapshot.
+/// A thread-safe table-search front end over a hot-swappable engine
+/// snapshot.
 pub struct TableSearchService {
-    engine: Arc<Engine>,
+    slot: EngineSlot,
     cache: Option<ShardedCache<Arc<QueryResponse>>>,
     inflight: FlightGroup<Arc<QueryResponse>>,
     hits: AtomicU64,
     misses: AtomicU64,
     coalesced: AtomicU64,
+    swap_count: AtomicU64,
+    deadline_exceeded: AtomicU64,
     config: ServiceConfig,
 }
 
@@ -112,19 +133,47 @@ impl TableSearchService {
         let cache = (config.cache_capacity > 0)
             .then(|| ShardedCache::new(config.cache_capacity, config.cache_shards));
         TableSearchService {
-            engine,
+            slot: EngineSlot::new(engine),
             cache,
             inflight: FlightGroup::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            swap_count: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
             config,
         }
     }
 
-    /// The shared engine snapshot.
-    pub fn engine(&self) -> &Arc<Engine> {
-        &self.engine
+    /// The engine currently serving. A concurrent [`reload`] may replace
+    /// it the moment this returns; one *request* always runs against a
+    /// single coherent snapshot internally.
+    ///
+    /// [`reload`]: TableSearchService::reload
+    pub fn engine(&self) -> Arc<Engine> {
+        Arc::clone(&self.slot.load().engine)
+    }
+
+    /// The current generation-tagged engine snapshot.
+    pub fn snapshot(&self) -> Arc<EngineSnapshot> {
+        self.slot.load()
+    }
+
+    /// The current engine generation (0 until the first reload).
+    pub fn generation(&self) -> u64 {
+        self.slot.generation()
+    }
+
+    /// Swaps in a rebuilt engine and returns its generation. Queries in
+    /// flight finish against the snapshot they observed; new queries see
+    /// the new engine immediately. Cached responses of earlier
+    /// generations are logically invalidated by the generation-qualified
+    /// cache key and age out of the LRU — there is no stop-the-world
+    /// clear, so the hit rate of unrelated traffic is undisturbed.
+    pub fn reload(&self, engine: Arc<Engine>) -> u64 {
+        let generation = self.slot.swap(engine);
+        self.swap_count.fetch_add(1, Ordering::Relaxed);
+        generation
     }
 
     /// The serving configuration.
@@ -135,10 +184,18 @@ impl TableSearchService {
     /// Answers one request: response cache first, then singleflight — if
     /// an identical request is already executing, this caller blocks and
     /// shares the leader's response instead of re-running the engine.
-    /// Errors (bad options) are never cached and never shared: a failed
-    /// flight makes each caller compute (and fail) for itself.
+    /// Errors (bad options, expired deadlines) are never cached and
+    /// never shared: a failed flight makes each caller compute (and
+    /// fail) for itself.
+    ///
+    /// The snapshot is loaded once up front and the cache/singleflight
+    /// key is qualified by its generation, so everything this request
+    /// touches — cache hits, shared flights, the engine run itself —
+    /// belongs to the one generation the caller observed, even while a
+    /// concurrent [`TableSearchService::reload`] swaps the slot.
     pub fn answer(&self, request: &QueryRequest) -> Result<Arc<QueryResponse>, WwtError> {
-        let key = request.cache_key();
+        let snapshot = self.slot.load();
+        let key = format!("g{}\u{1f}{}", snapshot.generation, request.cache_key());
         if let Some(hit) = self.cache_get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit);
@@ -154,8 +211,8 @@ impl TableSearchService {
             }
             // The leader failed (or unwound); coalescing is best-effort,
             // so compute directly — error paths fail fast anyway.
-            Role::Shared(None) => self.run_engine(request, &key),
-            Role::Leader(guard) => match self.engine.answer(request) {
+            Role::Shared(None) => self.run_engine(&snapshot, request, &key),
+            Role::Leader(guard) => match self.execute(&snapshot, request) {
                 Ok(response) => {
                     let response = Arc::new(response);
                     self.misses.fetch_add(1, Ordering::Relaxed);
@@ -181,14 +238,29 @@ impl TableSearchService {
         self.cache.as_ref().and_then(|cache| cache.get(key))
     }
 
+    /// One engine execution against a pinned snapshot, with the
+    /// deadline-abort counter maintained.
+    fn execute(
+        &self,
+        snapshot: &EngineSnapshot,
+        request: &QueryRequest,
+    ) -> Result<QueryResponse, WwtError> {
+        let result = snapshot.engine.answer(request);
+        if matches!(result, Err(WwtError::DeadlineExceeded(_))) {
+            self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
     /// Runs the engine outside any flight (the fallback when a flight
     /// this caller joined was abandoned by its leader).
     fn run_engine(
         &self,
+        snapshot: &EngineSnapshot,
         request: &QueryRequest,
         key: &str,
     ) -> Result<Arc<QueryResponse>, WwtError> {
-        let response = Arc::new(self.engine.answer(request)?);
+        let response = Arc::new(self.execute(snapshot, request)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
         if let Some(cache) = &self.cache {
             cache.insert(key.to_string(), Arc::clone(&response));
@@ -215,14 +287,17 @@ impl TableSearchService {
         })
     }
 
-    /// Current cache counters.
-    pub fn stats(&self) -> CacheStats {
-        CacheStats {
+    /// Current serving counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             entries: self.cache.as_ref().map(ShardedCache::len).unwrap_or(0),
             shards: self.cache.as_ref().map(ShardedCache::n_shards).unwrap_or(0),
+            generation: self.slot.generation(),
+            swap_count: self.swap_count.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
         }
     }
 
@@ -509,5 +584,120 @@ mod tests {
         assert_eq!(service.stats().entries, 0);
         service.answer(&req).unwrap();
         assert_eq!(service.stats().misses, 2);
+    }
+
+    /// A second tiny engine over a different corpus, to make swaps
+    /// observable in answers.
+    fn brazil_engine() -> Arc<Engine> {
+        let page = "<html><body><p>countries and currency</p><table>\
+             <tr><th>Country</th><th>Currency</th></tr>\
+             <tr><td>Brazil</td><td>Real</td></tr>\
+             <tr><td>India</td><td>Rupee</td></tr></table></body></html>";
+        let mut b = EngineBuilder::new();
+        b.add_html(page);
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn reload_swaps_the_engine_and_bumps_generation() {
+        let service = TableSearchService::new(tiny_engine());
+        assert_eq!(service.generation(), 0);
+        let req = QueryRequest::parse("country | currency").unwrap();
+        let before = service.answer(&req).unwrap();
+        assert!(before.table.rows.iter().all(|r| r.cells[0] != "Brazil"));
+
+        assert_eq!(service.reload(brazil_engine()), 1);
+        let stats = service.stats();
+        assert_eq!(stats.generation, 1);
+        assert_eq!(stats.swap_count, 1);
+
+        let after = service.answer(&req).unwrap();
+        assert!(
+            after.table.rows.iter().any(|r| r.cells[0] == "Brazil"),
+            "post-swap answers must reflect the new corpus: {:?}",
+            after.table
+        );
+    }
+
+    #[test]
+    fn cache_entries_never_cross_generations() {
+        let service = TableSearchService::new(tiny_engine());
+        let req = QueryRequest::parse("country | currency").unwrap();
+        service.answer(&req).unwrap();
+        assert_eq!(service.stats().misses, 1);
+        assert_eq!(service.stats().entries, 1);
+
+        // Swapping in *the same* engine must still miss: the key carries
+        // the generation, so the gen-0 entry is logically invalidated.
+        service.reload(service.engine());
+        service.answer(&req).unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.hits, 0, "{stats:?}");
+        assert_eq!(stats.misses, 2, "gen-0 cache entry served across a swap");
+        // The stale entry lingers in the LRU until evicted — by design.
+        assert_eq!(stats.entries, 2);
+
+        // Within the new generation, repeats hit again.
+        service.answer(&req).unwrap();
+        assert_eq!(service.stats().hits, 1);
+    }
+
+    #[test]
+    fn answers_stay_clean_while_reloads_hammer_the_slot() {
+        const WORKERS: usize = 4;
+        const SWAPS: usize = 30;
+        let service = Arc::new(TableSearchService::new(tiny_engine()));
+        let req = QueryRequest::parse("country | currency").unwrap();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for _ in 0..WORKERS {
+                let service = Arc::clone(&service);
+                let req = req.clone();
+                let stop = &stop;
+                scope.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let out = service.answer(&req).unwrap();
+                        // Every answer is complete and from one coherent
+                        // snapshot — never empty, never torn.
+                        assert_eq!(out.table.columns.len(), 2);
+                        assert!(!out.table.is_empty());
+                    }
+                });
+            }
+            let tiny = tiny_engine();
+            let brazil = brazil_engine();
+            for i in 0..SWAPS {
+                let next = if i % 2 == 0 { &brazil } else { &tiny };
+                service.reload(Arc::clone(next));
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        let stats = service.stats();
+        assert_eq!(stats.swap_count, SWAPS as u64);
+        assert_eq!(stats.generation, SWAPS as u64);
+    }
+
+    #[test]
+    fn expired_deadlines_surface_and_are_counted_not_cached() {
+        let service = TableSearchService::new(tiny_engine());
+        let req = QueryRequest::parse("country | currency").unwrap();
+        let hurried = req.clone().deadline_ms(0);
+        assert!(matches!(
+            service.answer(&hurried),
+            Err(WwtError::DeadlineExceeded(_))
+        ));
+        let stats = service.stats();
+        assert_eq!(stats.deadline_exceeded, 1);
+        assert_eq!(stats.entries, 0, "failed requests must not be cached");
+
+        // A generous budget answers normally and shares the cache entry
+        // with the unbudgeted form of the query.
+        let relaxed = service.answer(&req.clone().deadline_ms(60_000)).unwrap();
+        let plain = service.answer(&req).unwrap();
+        assert!(Arc::ptr_eq(&relaxed, &plain));
+        let stats = service.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.deadline_exceeded, 1);
     }
 }

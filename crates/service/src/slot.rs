@@ -1,0 +1,254 @@
+//! A hot-swappable, generation-tagged engine snapshot holder.
+//!
+//! [`EngineSlot`] is the std-only primitive behind zero-downtime index
+//! rebuilds: readers [`EngineSlot::load`] the current
+//! [`EngineSnapshot`] lock-free (two atomic RMWs plus an `Arc` clone —
+//! no mutex on the read path), while an admin path
+//! [`EngineSlot::swap`]s in a freshly built engine. Each swap bumps a
+//! monotonically increasing *generation*, which the service layer folds
+//! into cache and singleflight keys so a swap logically invalidates
+//! every stale entry without a stop-the-world clear.
+//!
+//! ## How the lock-free read works
+//!
+//! The slot owns one strong reference to the current snapshot, stored as
+//! a raw pointer ([`Arc::into_raw`]). A reader *pins* itself in one of
+//! two epoch-parity reader counters, loads the pointer, clones the `Arc`
+//! (bumping the strong count), and unpins. A swapper publishes the new
+//! pointer first, *then* flips the epoch, and only drops the old
+//! snapshot's reference after the **old** parity's counter drains to
+//! zero — readers pinned after the flip land on the new parity, so the
+//! wait cannot be starved by fresh load traffic. A reader that pinned
+//! before the flip either sees the new pointer (fine: it clones the new
+//! snapshot) or the old one, and in the latter case the swapper is still
+//! waiting on its pin, so the old snapshot cannot be freed under it.
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use wwt_engine::Engine;
+
+/// One immutable engine generation: the engine plus the tag that names
+/// it. Everything computed against this snapshot (cache entries,
+/// singleflight flights) is keyed by `generation`, so responses never
+/// cross from one index build into the next.
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot {
+    /// The immutable engine of this generation.
+    pub engine: Arc<Engine>,
+    /// Monotonically increasing swap counter; the boot engine is
+    /// generation 0.
+    pub generation: u64,
+}
+
+/// An atomic holder of the current [`EngineSnapshot`]. Reads are
+/// lock-free; swaps are serialized and briefly wait for in-progress
+/// reads of the previous snapshot before releasing it.
+pub struct EngineSlot {
+    /// Raw pointer from `Arc::into_raw`; the slot owns one strong
+    /// reference to the pointee until `swap`/`drop` releases it.
+    current: AtomicPtr<EngineSnapshot>,
+    /// Swap counter; its low bit selects which `readers` slot new
+    /// readers pin.
+    epoch: AtomicUsize,
+    /// In-progress reads pinned per epoch parity.
+    readers: [AtomicUsize; 2],
+    /// Serializes swappers (readers never take it).
+    swap_lock: Mutex<()>,
+    /// Cached copy of the current generation for cheap stats reads.
+    generation: AtomicU64,
+}
+
+// One slot serves many threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<EngineSlot>();
+};
+
+impl EngineSlot {
+    /// A slot holding `engine` as generation 0.
+    pub fn new(engine: Arc<Engine>) -> Self {
+        let snapshot = Arc::new(EngineSnapshot {
+            engine,
+            generation: 0,
+        });
+        EngineSlot {
+            current: AtomicPtr::new(Arc::into_raw(snapshot).cast_mut()),
+            epoch: AtomicUsize::new(0),
+            readers: [AtomicUsize::new(0), AtomicUsize::new(0)],
+            swap_lock: Mutex::new(()),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// The current snapshot. Lock-free: pins an epoch counter, clones
+    /// the `Arc`, unpins. The returned snapshot stays valid for as long
+    /// as the caller holds it, across any number of concurrent swaps.
+    pub fn load(&self) -> Arc<EngineSnapshot> {
+        let parity = self.pin();
+        let ptr = self.current.load(Ordering::SeqCst);
+        // SAFETY: `ptr` came from `Arc::into_raw` and the slot holds one
+        // strong reference to it. A swapper that published a different
+        // pointer cannot release this one until the epoch parity we are
+        // pinned in drains, so the pointee is alive for the whole clone.
+        // The temporary `Arc` is forgotten to leave the slot's own
+        // reference count untouched.
+        let loaded = unsafe {
+            let current = Arc::from_raw(ptr.cast_const());
+            let clone = Arc::clone(&current);
+            std::mem::forget(current);
+            clone
+        };
+        self.readers[parity].fetch_sub(1, Ordering::SeqCst);
+        loaded
+    }
+
+    /// Pins the calling reader in the current epoch's counter and
+    /// returns the parity it pinned. The recheck loop closes the race
+    /// where a swap flips the epoch between the parity read and the
+    /// increment: pinning the *old* parity after its drain began could
+    /// otherwise let the swapper miss this reader.
+    fn pin(&self) -> usize {
+        loop {
+            let parity = self.epoch.load(Ordering::SeqCst) & 1;
+            self.readers[parity].fetch_add(1, Ordering::SeqCst);
+            if self.epoch.load(Ordering::SeqCst) & 1 == parity {
+                return parity;
+            }
+            self.readers[parity].fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Publishes `engine` as the next generation and returns that
+    /// generation. Readers that already loaded the previous snapshot
+    /// keep using it (their `Arc` keeps it alive); new loads observe the
+    /// new one immediately. Blocks only until reads in progress at the
+    /// moment of the swap finish their clone — typically nanoseconds.
+    pub fn swap(&self, engine: Arc<Engine>) -> u64 {
+        let _serialize = self.swap_lock.lock().unwrap();
+        let generation = self.generation.load(Ordering::SeqCst) + 1;
+        let snapshot = Arc::new(EngineSnapshot { engine, generation });
+        let old = self
+            .current
+            .swap(Arc::into_raw(snapshot).cast_mut(), Ordering::SeqCst);
+        self.generation.store(generation, Ordering::SeqCst);
+        // Flip the epoch *after* publishing: readers pinned on the old
+        // parity may hold the old pointer; wait them out. Readers that
+        // pin from here on land on the new parity and cannot delay the
+        // drain.
+        let old_parity = self.epoch.fetch_add(1, Ordering::SeqCst) & 1;
+        while self.readers[old_parity].load(Ordering::SeqCst) != 0 {
+            std::thread::yield_now();
+        }
+        // SAFETY: `old` is the pointer this slot previously owned one
+        // strong reference to; no pinned reader of the old parity
+        // remains, and any reader that cloned it already bumped the
+        // strong count, so reconstructing and dropping our reference is
+        // balanced.
+        unsafe { drop(Arc::from_raw(old.cast_const())) };
+        generation
+    }
+
+    /// The current generation (0 until the first swap). May trail a
+    /// concurrent [`EngineSlot::swap`] by an instant; use
+    /// [`EngineSlot::load`] when the generation must match an engine.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for EngineSlot {
+    fn drop(&mut self) {
+        // SAFETY: `&mut self` proves no reader or swapper is active; the
+        // slot still owns exactly one strong reference to `current`.
+        unsafe {
+            drop(Arc::from_raw(
+                self.current.load(Ordering::SeqCst).cast_const(),
+            ))
+        };
+    }
+}
+
+impl std::fmt::Debug for EngineSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineSlot")
+            .field("generation", &self.generation())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wwt_engine::EngineBuilder;
+
+    fn engine(marker: &str) -> Arc<Engine> {
+        let mut b = EngineBuilder::new();
+        b.add_html(&format!(
+            "<html><body><p>{marker} currency</p><table>\
+             <tr><th>Country</th><th>Currency</th></tr>\
+             <tr><td>{marker}</td><td>Rupee</td></tr></table></body></html>"
+        ));
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn boot_snapshot_is_generation_zero() {
+        let slot = EngineSlot::new(engine("India"));
+        let snap = slot.load();
+        assert_eq!(snap.generation, 0);
+        assert_eq!(slot.generation(), 0);
+        assert_eq!(snap.engine.store().len(), 1);
+    }
+
+    #[test]
+    fn swap_bumps_generation_and_replaces_engine() {
+        let slot = EngineSlot::new(engine("India"));
+        let before = slot.load();
+        assert_eq!(slot.swap(engine("Japan")), 1);
+        assert_eq!(slot.swap(engine("Brazil")), 2);
+        let after = slot.load();
+        assert_eq!(after.generation, 2);
+        assert_eq!(slot.generation(), 2);
+        assert!(!Arc::ptr_eq(&before.engine, &after.engine));
+        // The pre-swap snapshot the reader held stays alive and intact.
+        assert_eq!(before.generation, 0);
+        assert_eq!(before.engine.store().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_loads_and_swaps_stay_coherent() {
+        const READERS: usize = 4;
+        const SWAPS: usize = 100;
+        let slot = Arc::new(EngineSlot::new(engine("g0")));
+        let stop = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..READERS {
+                let slot = Arc::clone(&slot);
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut last = 0u64;
+                    while stop.load(Ordering::SeqCst) == 0 {
+                        let snap = slot.load();
+                        // Generations observed by one reader never go
+                        // backwards, and every snapshot is a usable
+                        // engine.
+                        assert!(snap.generation >= last, "{} < {last}", snap.generation);
+                        last = snap.generation;
+                        assert_eq!(snap.engine.store().len(), 1);
+                    }
+                });
+            }
+            let swapper = {
+                let slot = Arc::clone(&slot);
+                scope.spawn(move || {
+                    for i in 1..=SWAPS {
+                        assert_eq!(slot.swap(engine(&format!("g{i}"))), i as u64);
+                    }
+                })
+            };
+            swapper.join().unwrap();
+            stop.store(1, Ordering::SeqCst);
+        });
+        assert_eq!(slot.load().generation, SWAPS as u64);
+    }
+}

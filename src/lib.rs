@@ -93,10 +93,42 @@
 //!        http://127.0.0.1:7070/admin/shutdown   # drain + exit 0
 //! ```
 //!
-//! The shutdown route only exists when an admin token is configured
+//! The admin routes only exist when an admin token is configured
 //! (`--admin-token` / `WWT_ADMIN_TOKEN`; `wwt-serve` generates and
 //! prints one if unset), so an exposed port never offers an
 //! unauthenticated kill switch.
+//!
+//! ## Zero-downtime reload
+//!
+//! The service holds its engine behind a generation-tagged
+//! [`service::EngineSlot`], so a crawler or indexer can refresh the
+//! corpus behind a running server. Boot `wwt-serve` from an on-disk
+//! source (`--corpus-dir DIR` of raw HTML, or `--index-path DIR`
+//! persisted via [`engine::Engine::save_to_dir`] / `--save-index`), then
+//! ask it to re-read that source:
+//!
+//! ```text
+//! $ cargo run --release --bin wwt-serve -- --addr 127.0.0.1:7070 \
+//!       --corpus-dir /srv/crawl --admin-token sesame
+//!
+//! # ... drop freshly crawled pages into /srv/crawl, then:
+//! $ curl -s -X POST -H 'x-admin-token: sesame' \
+//!        http://127.0.0.1:7070/admin/reload
+//! {"status":"reloading","generation":0}
+//!
+//! $ curl -s http://127.0.0.1:7070/healthz     # poll until the bump
+//! {"status":"ok","generation":1}
+//! ```
+//!
+//! The rebuild runs on a background thread and is swapped in atomically
+//! — queries keep being answered throughout, in-flight requests finish
+//! against the snapshot they started on, and the generation-qualified
+//! cache key guarantees no response computed against the old index is
+//! ever served for the new one (stale entries simply age out of the
+//! LRU). `GET /version` reports the crate version, build profile and
+//! current generation; per-request `deadline_ms` budgets (HTTP 504 when
+//! exceeded) keep slow cold queries from outliving their callers while
+//! all this happens.
 //!
 //! In-process, the same round trip (ephemeral port, typed client):
 //!

@@ -1,8 +1,9 @@
 //! Cross-crate integration tests: raw HTML in → consolidated answer out,
-//! exercising extractor, index, mapper and consolidator together.
+//! exercising extractor, index, mapper and consolidator together — plus
+//! the umbrella-level surface of deadlines and hot engine reloads.
 
-use wwt::engine::{Engine, EngineBuilder};
-use wwt::model::{Label, Query};
+use wwt::engine::{Engine, EngineBuilder, QueryRequest};
+use wwt::model::{Label, Query, WwtError};
 
 fn build(pages: &[String]) -> Engine {
     let mut b = EngineBuilder::new();
@@ -113,6 +114,39 @@ fn swapped_columns_normalized_in_answer() {
         .rows
         .iter()
         .any(|r| r.cells == vec!["India", "Rupee"]));
+}
+
+#[test]
+fn deadlines_and_reloads_compose_through_the_umbrella() {
+    use std::sync::Arc;
+    use wwt::service::TableSearchService;
+
+    let first = build(&[currency_page("A", &[("India", "Rupee")], true)]);
+    let service = TableSearchService::new(Arc::new(first));
+
+    // In-process deadline surface: a zero budget fails typed, a generous
+    // one answers like no deadline at all.
+    let req = QueryRequest::parse("country | currency").unwrap();
+    assert!(matches!(
+        service.answer(&req.clone().deadline_ms(0)),
+        Err(WwtError::DeadlineExceeded(_))
+    ));
+    let plain = service.answer(&req).unwrap();
+    let budgeted = service.answer(&req.clone().deadline_ms(60_000)).unwrap();
+    assert_eq!(plain.table, budgeted.table);
+
+    // Hot swap: the next answer reflects the rebuilt corpus.
+    let second = build(&[currency_page(
+        "B",
+        &[("India", "Rupee"), ("Brazil", "Real")],
+        true,
+    )]);
+    assert_eq!(service.reload(Arc::new(second)), 1);
+    let swapped = service.answer(&req).unwrap();
+    assert!(swapped.table.rows.iter().any(|r| r.cells[0] == "Brazil"));
+    let stats = service.stats();
+    assert_eq!(stats.generation, 1);
+    assert_eq!(stats.deadline_exceeded, 1);
 }
 
 #[test]
