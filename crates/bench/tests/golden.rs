@@ -1,0 +1,158 @@
+//! Golden snapshot tests for the reproduction binaries: `fig7` and
+//! `table2` run on the seed corpus (fixed scale, fixed seed) and their
+//! stdout is compared against checked-in snapshots under
+//! `tests/golden/`. Any drift — a changed F1 number, a lost query, a
+//! reshaped table — fails loudly with a diff-ready message.
+//!
+//! Wall-clock numbers are *normalized away* before comparison (they are
+//! the one legitimately volatile part of the output; in `fig7` they also
+//! drive row order, so its data rows are sorted after normalization).
+//! Everything else is load-bearing.
+//!
+//! To accept an intentional change, rerun with `WWT_UPDATE_GOLDEN=1` and
+//! commit the rewritten snapshots.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// The corpus scale the snapshots were recorded at. Small enough to run
+/// in test time, large enough that every workload query participates.
+const GOLDEN_SCALE: &str = "0.05";
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn run_binary(exe: &str) -> String {
+    let output = Command::new(exe)
+        .env("WWT_SCALE", GOLDEN_SCALE)
+        .env("WWT_THREADS", "2")
+        .output()
+        .unwrap_or_else(|e| panic!("running {exe}: {e}"));
+    assert!(
+        output.status.success(),
+        "{exe} exited with {:?}\nstderr:\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("binary output is utf-8")
+}
+
+/// Collapses every digit run to `#` and every whitespace run to one
+/// space: numbers and number-width-driven column padding disappear,
+/// names and structure stay.
+fn strip_numbers(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut in_digits = false;
+    let mut in_space = false;
+    for c in line.trim_end().chars() {
+        if c.is_ascii_digit() {
+            if !in_digits {
+                out.push('#');
+            }
+            in_digits = true;
+            in_space = false;
+        } else if c.is_whitespace() {
+            if !in_space {
+                out.push(' ');
+            }
+            in_space = true;
+            in_digits = false;
+        } else {
+            out.push(c);
+            in_digits = false;
+            in_space = false;
+        }
+    }
+    out.trim_end().to_string()
+}
+
+/// `fig7` normalization: all numbers are timings, and total time drives
+/// row order — so strip numbers everywhere and sort the lines. What
+/// survives is the exact set of queries and the table structure.
+fn normalize_fig7(raw: &str) -> String {
+    let mut lines: Vec<String> = raw.lines().map(strip_numbers).collect();
+    lines.sort();
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+/// `table2` normalization: the F1-error table is deterministic and kept
+/// verbatim (modulo number-width padding); only the wall-clock section
+/// at the bottom is volatile, so numbers are stripped there.
+fn normalize_table2(raw: &str) -> String {
+    let mut out = String::new();
+    let mut in_timing_section = false;
+    for line in raw.lines() {
+        if line.starts_with("Wall-clock per full workload pass") {
+            in_timing_section = true;
+        }
+        let collapsed: String = line.split_whitespace().collect::<Vec<_>>().join(" ");
+        if in_timing_section {
+            out.push_str(&strip_numbers(&collapsed));
+        } else {
+            out.push_str(&collapsed);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn check_golden(name: &str, normalized: &str) {
+    let path = golden_dir().join(format!("{name}.txt"));
+    if std::env::var("WWT_UPDATE_GOLDEN").is_ok_and(|v| !v.is_empty() && v != "0") {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(&path, normalized).unwrap();
+        eprintln!("[golden] updated {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); record it with WWT_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    if expected != normalized {
+        let diff: Vec<String> = expected
+            .lines()
+            .zip(normalized.lines())
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .take(12)
+            .map(|(i, (a, b))| format!("line {}:\n  golden: {a}\n  actual: {b}", i + 1))
+            .collect();
+        panic!(
+            "{name} drifted from its golden snapshot ({} lines golden vs {} actual).\n{}\n\
+             If this change is intentional, rerun with WWT_UPDATE_GOLDEN=1 and commit \
+             tests/golden/{name}.txt.",
+            expected.lines().count(),
+            normalized.lines().count(),
+            diff.join("\n")
+        );
+    }
+}
+
+#[test]
+fn fig7_output_matches_golden_snapshot() {
+    let raw = run_binary(env!("CARGO_BIN_EXE_fig7"));
+    check_golden("fig7", &normalize_fig7(&raw));
+}
+
+#[test]
+fn table2_output_matches_golden_snapshot() {
+    let raw = run_binary(env!("CARGO_BIN_EXE_table2"));
+    check_golden("table2", &normalize_table2(&raw));
+}
+
+#[test]
+fn normalizers_strip_volatility_but_keep_structure() {
+    assert_eq!(strip_numbers("total 12.7 ms  (3x)"), "total #.# ms (#x)");
+    assert_eq!(strip_numbers("  spaced   out  "), " spaced out");
+    let fig = normalize_fig7("b 2.0\na 10.5\n");
+    assert_eq!(fig, "a #.#\nb #.#\n");
+    let t2 =
+        normalize_table2("Group  None\n1  33.1\nWall-clock per full workload pass:\n  x 1.23s\n");
+    assert!(t2.contains("1 33.1"), "{t2:?}");
+    assert!(t2.contains("x #.#s"), "{t2:?}");
+}

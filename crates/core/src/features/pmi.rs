@@ -13,11 +13,11 @@
 
 use crate::features::QueryColumn;
 use crate::view::TableView;
-use wwt_index::{Field, TableIndex};
+use wwt_index::{DocSets, Field};
 use wwt_text::tokenize;
 
 /// Computes `PMI²(Qℓ, tc)` against the corpus `index`.
-pub fn pmi2(q: &QueryColumn, view: &TableView<'_>, c: usize, index: &TableIndex) -> f64 {
+pub fn pmi2(q: &QueryColumn, view: &TableView<'_>, c: usize, index: &dyn DocSets) -> f64 {
     if q.tokens.is_empty() {
         return 0.0;
     }
@@ -66,7 +66,7 @@ fn intersection_count(a: &[u32], b: &[u32]) -> usize {
 mod tests {
     use super::*;
     use crate::features::QueryView;
-    use wwt_index::IndexBuilder;
+    use wwt_index::{IndexBuilder, TableIndex};
     use wwt_model::{ContextSnippet, Query, TableId, WebTable};
     use wwt_text::CorpusStats;
 

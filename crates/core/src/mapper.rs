@@ -9,7 +9,7 @@ use crate::inference::{
 };
 use crate::potentials::{node_potentials, NodePotentials};
 use crate::view::TableView;
-use wwt_index::TableIndex;
+use wwt_index::DocSets;
 use wwt_model::{Label, Labeling, Query, WebTable};
 use wwt_text::CorpusStats;
 
@@ -88,13 +88,15 @@ impl ColumnMapper {
     /// Maps every candidate table's columns to the query columns.
     ///
     /// `stats` supplies corpus IDF; `index` additionally enables the PMI²
-    /// feature when `config.use_pmi` is set.
+    /// feature when `config.use_pmi` is set. Any [`DocSets`]
+    /// implementation works — a plain [`wwt_index::TableIndex`] or a
+    /// [`wwt_index::ShardedIndex`] answer identically.
     pub fn map(
         &self,
         query: &Query,
         tables: &[&WebTable],
         stats: &CorpusStats,
-        index: Option<&TableIndex>,
+        index: Option<&dyn DocSets>,
     ) -> MappingResult {
         let cfg = &self.config;
         let qv = QueryView::new(query, stats);

@@ -13,7 +13,7 @@
 use crate::config::MapperConfig;
 use crate::features::{cover, pmi2, seg_sim, table_relevance, QueryView};
 use crate::view::TableView;
-use wwt_index::TableIndex;
+use wwt_index::DocSets;
 use wwt_model::Label;
 
 /// Dense node-potential table for one candidate web table:
@@ -62,7 +62,7 @@ pub fn node_potentials(
     qv: &QueryView,
     view: &TableView<'_>,
     cfg: &MapperConfig,
-    index: Option<&TableIndex>,
+    index: Option<&dyn DocSets>,
 ) -> NodePotentials {
     let q = qv.q();
     let nt = view.n_cols();

@@ -10,7 +10,7 @@
 use wwt_core::colsim::column_similarity;
 use wwt_core::features::{pmi2, QueryView};
 use wwt_core::TableView;
-use wwt_index::TableIndex;
+use wwt_index::DocSets;
 use wwt_model::{Label, Labeling, Query, WebTable};
 use wwt_text::{tokenize, CorpusStats, TfIdfVector};
 
@@ -56,7 +56,7 @@ pub fn baseline_map(
     query: &Query,
     tables: &[&WebTable],
     stats: &CorpusStats,
-    index: Option<&TableIndex>,
+    index: Option<&dyn DocSets>,
     cfg: &BaselineConfig,
 ) -> Vec<Labeling> {
     let qv = QueryView::new(query, stats);

@@ -8,6 +8,7 @@
 
 use crate::deadline::Deadline;
 use crate::pipeline::WwtConfig;
+use crate::pool::fan_out;
 use crate::request::{QueryDiagnostics, QueryRequest, QueryResponse};
 use crate::retrieval::Retrieval;
 use crate::timing::StageTimings;
@@ -18,9 +19,28 @@ use std::time::Instant;
 use wwt_consolidate::{consolidate, RelevantInput};
 use wwt_core::{ColumnMapper, MappingResult};
 use wwt_html::extract_tables;
-use wwt_index::{IndexBuilder, TableIndex, TableStore};
+use wwt_index::{DocSets, SearchHit, ShardedIndex, ShardedIndexBuilder, TableIndex, TableStore};
 use wwt_model::{Query, TableId, WebTable, WwtError};
 use wwt_text::tokenize;
+
+/// Default shard count: one shard per core, capped — beyond a handful of
+/// shards the per-probe fan-out overhead outgrows the win.
+pub fn default_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(1)
+}
+
+/// Below this corpus size the scatter-gather runs the shards serially on
+/// the calling thread: spawning workers costs more than probing a tiny
+/// index, and the merged result is identical either way.
+const PARALLEL_PROBE_MIN_DOCS: usize = 4096;
+
+/// How many merge-loop iterations run between deadline checks. Checking
+/// reads the clock, so the loop amortizes it over a batch of cheap
+/// iterations while still bounding how far a giant candidate set can
+/// blow past the budget *inside* a stage.
+const MERGE_DEADLINE_STRIDE: usize = 1024;
 
 /// Offline builder: accumulates documents/tables, then freezes them into
 /// an [`Engine`] (extract → store → index, paper §2.1).
@@ -30,6 +50,8 @@ pub struct EngineBuilder {
     tables: Vec<WebTable>,
     next_table_id: u32,
     n_docs: usize,
+    /// Requested shard count; 0 means "auto" ([`default_shards`]).
+    shards: usize,
 }
 
 impl EngineBuilder {
@@ -96,29 +118,49 @@ impl EngineBuilder {
         self.tables.len()
     }
 
+    /// Sets the number of index shards the build hash-partitions tables
+    /// into (0 restores the auto default, [`default_shards`]). Sharding
+    /// never changes answers — [`ShardedIndex`] is byte-identical to the
+    /// single index — only how retrieval parallelizes.
+    pub fn shards(&mut self, n: usize) -> &mut Self {
+        self.shards = n;
+        self
+    }
+
     /// Freezes the accumulated tables into an immutable [`Engine`],
     /// consuming the builder (reuse after `build` is a compile error).
     pub fn build(self) -> Engine {
-        let mut builder = IndexBuilder::new();
+        let n_shards = if self.shards == 0 {
+            default_shards()
+        } else {
+            self.shards
+        };
+        let mut builder = ShardedIndexBuilder::new(n_shards);
         for t in &self.tables {
             builder.add_table(t);
         }
-        Engine {
-            index: Arc::new(builder.build()),
-            store: Arc::new(TableStore::from_tables(self.tables)),
-            config: self.config,
-        }
+        Engine::assemble(
+            builder.build(),
+            TableStore::from_tables(self.tables),
+            self.config,
+        )
     }
 }
 
-/// The immutable, thread-shareable WWT engine: index + table store +
-/// configuration. All query-side methods take `&self`; share one engine
-/// across threads with [`Clone`] or `Arc`.
+/// The immutable, thread-shareable WWT engine: sharded index + table
+/// store + configuration. All query-side methods take `&self`; share one
+/// engine across threads with [`Clone`] or `Arc`.
 #[derive(Debug, Clone)]
 pub struct Engine {
-    index: Arc<TableIndex>,
+    index: Arc<ShardedIndex>,
     store: Arc<TableStore>,
     config: WwtConfig,
+    /// Worker threads used to scatter an index probe across shards
+    /// (computed once at build; the workers themselves are scoped
+    /// threads spawned per probe by [`fan_out`], which only engages
+    /// above [`PARALLEL_PROBE_MIN_DOCS`] where probe time dwarfs spawn
+    /// cost).
+    probe_threads: usize,
 }
 
 // Compile-time proof that one engine can serve many threads.
@@ -140,9 +182,15 @@ impl Engine {
         b.build()
     }
 
-    /// The fielded index.
-    pub fn index(&self) -> &TableIndex {
+    /// The (sharded) fielded index. A single-shard engine behaves — and
+    /// answers — exactly like the pre-sharding `TableIndex`.
+    pub fn index(&self) -> &ShardedIndex {
         &self.index
+    }
+
+    /// Number of index shards this engine scatter-gathers over.
+    pub fn n_shards(&self) -> usize {
+        self.index.n_shards()
     }
 
     /// The table store.
@@ -164,6 +212,59 @@ impl Engine {
             .expect("retrieval without a deadline cannot time out")
     }
 
+    /// [`Engine::retrieve`] under a deadline: the budget is re-checked
+    /// inside the probes — per shard worker and per merge stride — not
+    /// just at stage boundaries, so an expired request fails at the next
+    /// shard/merge checkpoint instead of completing the whole stage.
+    /// (In keeping with [`Deadline`]'s contract, a shard search already
+    /// running is never interrupted mid-flight; the overshoot bound is
+    /// one shard's probe, not one stage.)
+    pub fn retrieve_within(
+        &self,
+        query: &Query,
+        deadline: &Deadline,
+    ) -> Result<Retrieval, WwtError> {
+        self.retrieve_with(query, &self.config, deadline)
+            .map(|(retrieval, _)| retrieval)
+    }
+
+    /// One ranked index probe, scattered across the shards on the engine
+    /// pool and gathered with the equivalence-preserving merge. Every
+    /// shard worker re-checks `deadline` before probing its shard, so an
+    /// expired budget abandons the not-yet-probed shards instead of
+    /// finishing work nobody will read (a shard search already underway
+    /// runs to completion — checks sit on shard boundaries, bounding the
+    /// overshoot at one shard's probe).
+    fn probe(
+        &self,
+        tokens: &[String],
+        k: usize,
+        deadline: &Deadline,
+        stage: &'static str,
+    ) -> Result<Vec<SearchHit>, WwtError> {
+        let n = self.index.n_shards();
+        if n == 1 {
+            deadline.check(stage)?;
+            return Ok(self.index.shard(0).search(tokens, k));
+        }
+        // Tiny corpora probe serially (threads = 1): same scatter order,
+        // same merged bytes, none of the spawn cost.
+        let threads = if self.index.n_docs() >= PARALLEL_PROBE_MIN_DOCS {
+            self.probe_threads
+        } else {
+            1
+        };
+        let per_shard: Vec<Result<Vec<SearchHit>, WwtError>> = fan_out(n, threads, |s| {
+            deadline.check(stage)?;
+            Ok(self.index.shard(s).search(tokens, k))
+        });
+        let mut lists = Vec::with_capacity(n);
+        for r in per_shard {
+            lists.push(r?);
+        }
+        merge_shard_hits(lists, k, deadline)
+    }
+
     /// Retrieval plus the stage-1 pre-mapping it computed along the way
     /// (reusable as the final mapping when the second probe adds
     /// nothing). Fails only when `deadline` expires at the boundary
@@ -177,10 +278,11 @@ impl Engine {
         let mut timing = StageTimings::default();
 
         // Probe 1: union of query keywords (hits far below the best match
-        // are dropped — they are single-keyword noise).
+        // are dropped — they are single-keyword noise), scattered across
+        // the index shards.
         let t0 = Instant::now();
         let tokens = tokenize(&query.all_keywords());
-        let mut hits1 = self.index.search(&tokens, cfg.probe1_k);
+        let mut hits1 = self.probe(&tokens, cfg.probe1_k, deadline, "first probe")?;
         if let Some(best) = hits1.first().map(|h| h.score) {
             hits1.retain(|h| h.score >= best * cfg.score_cutoff_frac);
         }
@@ -198,7 +300,12 @@ impl Engine {
             config: cfg.mapper.clone(),
             algorithm: cfg.algorithm,
         };
-        let pre = mapper.map(query, &tables1, self.index.stats(), Some(&self.index));
+        let pre = mapper.map(
+            query,
+            &tables1,
+            self.index.stats(),
+            Some(self.index.as_ref() as &dyn DocSets),
+        );
         timing.column_map += t0.elapsed();
 
         let mut seeds: Vec<usize> = (0..tables1.len())
@@ -243,15 +350,24 @@ impl Engine {
             // Stage-1 tables re-match their own sampled rows, so search
             // wide enough that they cannot crowd out new tables, then keep
             // the top `probe2_k` *new* content-overlap matches.
-            let mut hits2 = self
-                .index
-                .search(&sample_tokens, cfg.probe2_k + stage1.len());
+            let mut hits2 = self.probe(
+                &sample_tokens,
+                cfg.probe2_k + stage1.len(),
+                deadline,
+                "second probe",
+            )?;
             hits2.retain(|h| !stage1_set.contains(&h.table));
             hits2.truncate(cfg.probe2_k);
             timing.index2 = t0.elapsed();
             let t0 = Instant::now();
             let mut seen2: HashSet<TableId> = HashSet::with_capacity(hits2.len());
-            for h in hits2 {
+            for (i, h) in hits2.into_iter().enumerate() {
+                // The in-stage check: a giant second-probe candidate set
+                // must not carry the request past its budget between the
+                // stage boundaries.
+                if i % MERGE_DEADLINE_STRIDE == 0 {
+                    deadline.check("retrieval merge")?;
+                }
                 if seen2.insert(h.table) {
                     stage2.push(h.table);
                 }
@@ -324,7 +440,12 @@ impl Engine {
                 config: cfg.mapper.clone(),
                 algorithm: cfg.algorithm,
             };
-            let mapping = mapper.map(query, &tables, self.index.stats(), Some(&self.index));
+            let mapping = mapper.map(
+                query,
+                &tables,
+                self.index.stats(),
+                Some(self.index.as_ref() as &dyn DocSets),
+            );
             timing.column_map += t0.elapsed();
             mapping
         };
@@ -365,47 +486,94 @@ impl Engine {
         })
     }
 
-    /// Assembles an engine from already-built parts (typically read back
-    /// through [`Engine::load_from_dir`]). Every table the index knows
-    /// must be present in the store — a missing table would silently
-    /// vanish from answers, so the mismatch is rejected up front.
+    /// Assembles an engine from a built sharded index and store without
+    /// validation (internal: the builder feeds the store and index from
+    /// the same table list, so they cannot disagree).
+    fn assemble(index: ShardedIndex, store: TableStore, config: WwtConfig) -> Self {
+        Engine {
+            probe_threads: index.n_shards().min(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+            ),
+            index: Arc::new(index),
+            store: Arc::new(store),
+            config,
+        }
+    }
+
+    /// Assembles an engine from already-built single-index parts (e.g. a
+    /// legacy persisted layout). Every table the index knows must be
+    /// present in the store — a missing table would silently vanish from
+    /// answers, so the mismatch is rejected up front.
     pub fn from_parts(
         index: TableIndex,
         store: TableStore,
         config: WwtConfig,
     ) -> Result<Self, WwtError> {
-        for &id in index.table_ids() {
+        Self::from_sharded_parts(ShardedIndex::single(index), store, config)
+    }
+
+    /// [`Engine::from_parts`] for a sharded index.
+    pub fn from_sharded_parts(
+        index: ShardedIndex,
+        store: TableStore,
+        config: WwtConfig,
+    ) -> Result<Self, WwtError> {
+        for id in index.table_ids() {
             if store.get(id).is_none() {
                 return Err(WwtError::Corrupt(format!(
                     "index references table {id} missing from the store"
                 )));
             }
         }
-        Ok(Engine {
-            index: Arc::new(index),
-            store: Arc::new(store),
-            config,
-        })
+        Ok(Self::assemble(index, store, config))
     }
 
-    /// Persists the engine into `dir` (created if needed) as two files:
-    /// `index.idx` (the fielded index, [`wwt_index::persist`]) and
+    /// Persists the engine into `dir` (created if needed): the sharded
+    /// index layout (versioned `manifest.json` + one `shard-NNNN.idx`
+    /// per shard, [`wwt_index::persist::save_sharded`]) and
     /// `tables.jsonl` (the table store). [`Engine::load_from_dir`] reads
-    /// them back into an identical-answering engine.
+    /// it back into an identical-answering engine with the same shard
+    /// count.
     pub fn save_to_dir(&self, dir: &Path) -> Result<(), WwtError> {
         std::fs::create_dir_all(dir)?;
-        wwt_index::persist::save(&self.index, &dir.join("index.idx"))?;
+        wwt_index::persist::save_sharded(&self.index, dir)?;
         self.store.save(&dir.join("tables.jsonl"))?;
         Ok(())
     }
 
     /// Loads an engine persisted by [`Engine::save_to_dir`], with the
     /// given online configuration (the persisted files carry no config).
+    /// Directories written before the sharded layout existed — a bare
+    /// `index.idx` with no manifest — still load, as a single shard.
     pub fn load_from_dir(dir: &Path, config: WwtConfig) -> Result<Self, WwtError> {
-        let index = wwt_index::persist::load(&dir.join("index.idx"))?;
         let store = TableStore::load(&dir.join("tables.jsonl"))?;
-        Self::from_parts(index, store, config)
+        let index = if dir.join(wwt_index::persist::MANIFEST_FILE).exists() {
+            wwt_index::persist::load_sharded(dir)?
+        } else {
+            // Pre-manifest layout: one unsharded index file.
+            ShardedIndex::single(wwt_index::persist::load(&dir.join("index.idx"))?)
+        };
+        Self::from_sharded_parts(index, store, config)
     }
+}
+
+/// Merges per-shard top-k hit lists under the request deadline: the
+/// equivalence-preserving total-order merge of
+/// [`ShardedIndex::merge_hits`], with the budget re-checked every
+/// [`MERGE_DEADLINE_STRIDE`] candidates so an enormous gathered set
+/// cannot stall the request between stage boundaries.
+fn merge_shard_hits(
+    lists: Vec<Vec<SearchHit>>,
+    k: usize,
+    deadline: &Deadline,
+) -> Result<Vec<SearchHit>, WwtError> {
+    // One check guards the whole merge (the sort is its only expensive
+    // block); the merge itself is exactly the facade's, so the ranking
+    // can never drift from what `ShardedIndex::search` produces.
+    deadline.check("retrieval merge")?;
+    Ok(ShardedIndex::merge_hits(lists, k))
 }
 
 #[cfg(test)]
@@ -633,11 +801,114 @@ mod tests {
         let engine = build_engine();
         let dir = std::env::temp_dir().join(format!("wwt_engine_mismatch_{}", std::process::id()));
         engine.save_to_dir(&dir).unwrap();
-        let index = wwt_index::persist::load(&dir.join("index.idx")).unwrap();
+        let index = wwt_index::persist::load_sharded(&dir).unwrap();
         // An empty store cannot back a populated index.
-        let r = Engine::from_parts(index, TableStore::new(), WwtConfig::default());
+        let r = Engine::from_sharded_parts(index, TableStore::new(), WwtConfig::default());
         assert!(matches!(r, Err(WwtError::Corrupt(_))), "{r:?}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_single_index_layout_still_loads() {
+        // A pre-manifest directory: bare `index.idx` + `tables.jsonl`.
+        let engine = {
+            let docs = [currency_page(0, &[("India", "Rupee"), ("Japan", "Yen")])];
+            let mut b = Engine::builder();
+            b.shards(1);
+            b.add_documents(docs.iter().map(String::as_str));
+            b.build()
+        };
+        let dir = std::env::temp_dir().join(format!("wwt_engine_legacy_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        wwt_index::persist::save(engine.index().shard(0), &dir.join("index.idx")).unwrap();
+        engine.store().save(&dir.join("tables.jsonl")).unwrap();
+        let restored = Engine::load_from_dir(&dir, engine.config().clone()).unwrap();
+        assert_eq!(restored.n_shards(), 1);
+        let q = Query::parse("country | currency").unwrap();
+        assert_eq!(
+            restored.answer_query(&q).table,
+            engine.answer_query(&q).table
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_persistence_roundtrip_keeps_shard_count_and_answers() {
+        let docs: Vec<String> = (0..6)
+            .map(|i| currency_page(i, &[("India", "Rupee"), ("Japan", "Yen")]))
+            .collect();
+        let mut b = Engine::builder();
+        b.shards(4);
+        b.add_documents(docs.iter().map(String::as_str));
+        let engine = b.build();
+        assert_eq!(engine.n_shards(), 4);
+        let dir = std::env::temp_dir().join(format!("wwt_engine_shards_{}", std::process::id()));
+        engine.save_to_dir(&dir).unwrap();
+        let restored = Engine::load_from_dir(&dir, engine.config().clone()).unwrap();
+        assert_eq!(restored.n_shards(), 4);
+        let q = Query::parse("country | currency").unwrap();
+        let a = engine.answer_query(&q);
+        let b = restored.answer_query(&q);
+        assert_eq!(a.table, b.table);
+        assert_eq!(a.candidates, b.candidates);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_engine_answers_identically_to_single_shard() {
+        let docs = [
+            currency_page(
+                0,
+                &[("India", "Rupee"), ("Japan", "Yen"), ("France", "Euro")],
+            ),
+            currency_page(
+                1,
+                &[("India", "Rupee"), ("Brazil", "Real"), ("Japan", "Yen")],
+            ),
+            junk_page(),
+        ];
+        let build = |n: usize| {
+            let mut b = Engine::builder();
+            b.shards(n);
+            b.add_documents(docs.iter().map(String::as_str));
+            b.build()
+        };
+        let reference = build(1);
+        let q = Query::parse("country | currency").unwrap();
+        let expected = reference.answer_query(&q);
+        for n in [2usize, 3, 8] {
+            let sharded = build(n);
+            assert_eq!(sharded.n_shards(), n);
+            let out = sharded.answer_query(&q);
+            assert_eq!(out.table, expected.table, "answer drift at {n} shards");
+            assert_eq!(
+                out.candidates, expected.candidates,
+                "candidate drift at {n} shards"
+            );
+            assert_eq!(out.retrieval.stage1, expected.retrieval.stage1);
+            assert_eq!(out.retrieval.stage2, expected.retrieval.stage2);
+        }
+    }
+
+    #[test]
+    fn merge_loop_respects_an_expired_deadline() {
+        let hits: Vec<SearchHit> = (0..10)
+            .map(|i| SearchHit {
+                table: TableId(i),
+                score: 1.0 / (i + 1) as f64,
+            })
+            .collect();
+        // A generous deadline merges normally...
+        let merged =
+            merge_shard_hits(vec![hits.clone(), hits.clone()], 5, &Deadline::none()).unwrap();
+        assert_eq!(merged.len(), 5);
+        // ...an expired one is refused inside the merge itself, naming
+        // the in-stage checkpoint.
+        let expired = Deadline::starting_now(Some(0));
+        match merge_shard_hits(vec![hits.clone(), hits], 5, &expired) {
+            Err(WwtError::DeadlineExceeded(stage)) => assert_eq!(stage, "retrieval merge"),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
     }
 
     #[test]

@@ -41,6 +41,17 @@ impl BoundCorpus {
 /// Extracts every document of `corpus`, builds the engine, and binds each
 /// candidate table to its reference labeling.
 pub fn bind_corpus(corpus: &GeneratedCorpus, config: WwtConfig) -> BoundCorpus {
+    bind_corpus_sharded(corpus, config, None)
+}
+
+/// [`bind_corpus`] with an explicit index shard count (`None` = the
+/// builder default). Sharding never changes evaluation results — it only
+/// changes how retrieval parallelizes.
+pub fn bind_corpus_sharded(
+    corpus: &GeneratedCorpus,
+    config: WwtConfig,
+    shards: Option<usize>,
+) -> BoundCorpus {
     let mut tables: Vec<WebTable> = Vec::new();
     let mut truth = std::collections::HashMap::new();
     let mut failures = 0usize;
@@ -73,8 +84,13 @@ pub fn bind_corpus(corpus: &GeneratedCorpus, config: WwtConfig) -> BoundCorpus {
             }
         }
     }
+    let mut builder = crate::EngineBuilder::with_config(config);
+    if let Some(n) = shards {
+        builder.shards(n);
+    }
+    builder.add_tables(tables);
     BoundCorpus {
-        engine: Engine::from_tables(tables, config),
+        engine: builder.build(),
         truth,
         extraction_failures: failures,
     }
@@ -156,7 +172,7 @@ pub fn evaluate_query_with(
         .filter_map(|&id| bound.engine.store().get(id))
         .collect();
     let stats = bound.engine.index().stats();
-    let index = bound.engine.index();
+    let index = bound.engine.index() as &dyn wwt_index::DocSets;
 
     let labelings: Vec<Labeling> = match method {
         Method::Basic => baseline_map(

@@ -34,10 +34,10 @@ pub mod timing;
 
 pub use baselines::{baseline_map, BaselineConfig, BaselineMethod};
 pub use deadline::Deadline;
-pub use engine::{Engine, EngineBuilder};
+pub use engine::{default_shards, Engine, EngineBuilder};
 pub use evaluate::{
-    bind_corpus, evaluate_query, evaluate_query_with, evaluate_workload, evaluate_workload_with,
-    BoundCorpus, Method, QueryEvaluation,
+    bind_corpus, bind_corpus_sharded, evaluate_query, evaluate_query_with, evaluate_workload,
+    evaluate_workload_with, BoundCorpus, Method, QueryEvaluation,
 };
 pub use pipeline::WwtConfig;
 pub use pool::fan_out;

@@ -56,15 +56,29 @@ impl IndexBuilder {
         self.doc_tables.len()
     }
 
+    /// The document-frequency statistics accumulated so far (the sharded
+    /// builder merges these into one global table before freezing).
+    pub(crate) fn stats(&self) -> &CorpusStats {
+        &self.stats
+    }
+
     /// Freezes the builder into an immutable, searchable index.
     pub fn build(mut self) -> TableIndex {
+        let stats = std::sync::Arc::new(std::mem::take(&mut self.stats));
+        self.build_with_stats(stats)
+    }
+
+    /// Freezes the builder against externally supplied statistics —
+    /// typically the *global* statistics of a sharded corpus, so every
+    /// shard scores with the same IDF table the unsharded index would.
+    pub(crate) fn build_with_stats(mut self, stats: std::sync::Arc<CorpusStats>) -> TableIndex {
         // Postings must be doc-ordered for the sorted-set operations.
         for p in self.postings.values_mut() {
             for list in &mut p.per_field {
                 list.sort_unstable_by_key(|&(d, _)| d);
             }
         }
-        TableIndex::from_parts(self.postings, self.doc_tables, self.field_lens, self.stats)
+        TableIndex::from_shared_parts(self.postings, self.doc_tables, self.field_lens, stats)
     }
 }
 

@@ -20,15 +20,24 @@
 //! query. [`persist`] provides a compact binary serialization, and
 //! [`store`] a JSON-lines table store standing in for the paper's on-disk
 //! "Table Store".
+//!
+//! For multicore retrieval, [`shard`] hash-partitions the corpus into N
+//! independent [`TableIndex`] shards behind a [`ShardedIndex`] facade
+//! whose probes are **byte-identical** to the unsharded index (global
+//! merged statistics, total-order hit merging, consistent doc-id
+//! relabeling); [`persist::save_sharded`]/[`persist::load_sharded`]
+//! round-trip the partitioned layout through a versioned manifest.
 
 pub mod builder;
 pub(crate) mod codec;
 pub mod field;
 pub mod persist;
 pub mod search;
+pub mod shard;
 pub mod store;
 
 pub use builder::IndexBuilder;
 pub use field::Field;
-pub use search::{SearchHit, TableIndex};
+pub use search::{DocSets, SearchHit, TableIndex};
+pub use shard::{shard_of, ShardedIndex, ShardedIndexBuilder};
 pub use store::TableStore;

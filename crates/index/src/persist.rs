@@ -128,6 +128,72 @@ pub fn from_bytes(data: &[u8]) -> Result<TableIndex, WwtError> {
     ))
 }
 
+/// File name of the sharded-layout manifest inside an index directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// Version tag written into the manifest; bumped on incompatible layout
+/// changes so an old binary fails loudly instead of misreading.
+pub const MANIFEST_VERSION: u64 = 1;
+
+/// File name of shard `s`'s index inside an index directory.
+pub fn shard_file(s: usize) -> String {
+    format!("shard-{s:04}.idx")
+}
+
+/// Persists a sharded index into `dir` (created if needed): a versioned
+/// `manifest.json` naming the layout plus one [`save`]-format `.idx`
+/// file per shard. [`load_sharded`] reads it back.
+pub fn save_sharded(index: &crate::ShardedIndex, dir: &Path) -> Result<(), WwtError> {
+    std::fs::create_dir_all(dir)?;
+    for s in 0..index.n_shards() {
+        save(index.shard(s), &dir.join(shard_file(s)))?;
+    }
+    let manifest = wwt_json::Json::obj([
+        ("version", wwt_json::Json::from(MANIFEST_VERSION)),
+        ("shards", wwt_json::Json::from(index.n_shards())),
+    ]);
+    std::fs::write(dir.join(MANIFEST_FILE), manifest.encode())?;
+    Ok(())
+}
+
+/// Loads a sharded index persisted by [`save_sharded`]. Per-shard
+/// statistics (rebuilt from the postings, as in [`load`]) are merged
+/// into one global table shared by every shard, so the reloaded index
+/// scores bit-identically to the one that was saved.
+pub fn load_sharded(dir: &Path) -> Result<crate::ShardedIndex, WwtError> {
+    let manifest_raw = std::fs::read_to_string(dir.join(MANIFEST_FILE))?;
+    let manifest = wwt_json::Json::parse(&manifest_raw)
+        .map_err(|e| WwtError::Corrupt(format!("bad index manifest: {e}")))?;
+    let version = manifest
+        .get("version")
+        .and_then(wwt_json::Json::as_u64)
+        .ok_or_else(|| WwtError::Corrupt("index manifest missing \"version\"".into()))?;
+    if version != MANIFEST_VERSION {
+        return Err(WwtError::Corrupt(format!(
+            "index manifest version {version} unsupported (expected {MANIFEST_VERSION})"
+        )));
+    }
+    let n_shards = manifest
+        .get("shards")
+        .and_then(wwt_json::Json::as_u64)
+        .filter(|&n| n >= 1)
+        .ok_or_else(|| WwtError::Corrupt("index manifest missing \"shards\" >= 1".into()))?
+        as usize;
+    let shards: Vec<TableIndex> = (0..n_shards)
+        .map(|s| load(&dir.join(shard_file(s))))
+        .collect::<Result<_, _>>()?;
+    let mut global = CorpusStats::new();
+    for shard in &shards {
+        global.merge(shard.stats());
+    }
+    let stats = std::sync::Arc::new(global);
+    let shards = shards
+        .into_iter()
+        .map(|s| s.with_stats(std::sync::Arc::clone(&stats)))
+        .collect();
+    Ok(crate::ShardedIndex::from_loaded_shards(shards, stats))
+}
+
 /// Writes the index to a file.
 pub fn save(index: &TableIndex, path: &Path) -> Result<(), WwtError> {
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
@@ -221,6 +287,64 @@ mod tests {
         let restored = load(&path).unwrap();
         assert_eq!(restored.n_docs(), idx.n_docs());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sharded_roundtrip_preserves_search_and_stats() {
+        let mut b = crate::ShardedIndexBuilder::new(3);
+        for i in 0..12u32 {
+            let t = WebTable::new(
+                TableId(i * 3 + 1),
+                "u",
+                None,
+                vec![vec![format!("header{}", i % 4), "common".into()]],
+                vec![vec![format!("val{i}"), "shared".into()]],
+                vec![ContextSnippet::new(format!("context {} words", i % 3), 0.5)],
+            )
+            .unwrap();
+            b.add_table(&t);
+        }
+        let idx = b.build();
+        let dir = std::env::temp_dir().join(format!("wwt_sharded_idx_{}", std::process::id()));
+        save_sharded(&idx, &dir).unwrap();
+        let restored = load_sharded(&dir).unwrap();
+        assert_eq!(restored.n_shards(), idx.n_shards());
+        assert_eq!(restored.n_docs(), idx.n_docs());
+        assert_eq!(restored.stats().n_docs(), idx.stats().n_docs());
+        for probe in ["common", "header3", "val1 shared", "context"] {
+            let toks = wwt_text::tokenize(probe);
+            let a = idx.search(&toks, 10);
+            let b = restored.search(&toks, 10);
+            assert_eq!(a.len(), b.len(), "probe {probe}");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.table, y.table);
+                assert_eq!(
+                    x.score.to_bits(),
+                    y.score.to_bits(),
+                    "score drift after reload, probe {probe}"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_load_rejects_bad_manifests() {
+        let dir = std::env::temp_dir().join(format!("wwt_sharded_bad_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Missing manifest: an io error, not a panic.
+        assert!(load_sharded(&dir).is_err());
+        // Unsupported version.
+        std::fs::write(dir.join(MANIFEST_FILE), r#"{"version":999,"shards":1}"#).unwrap();
+        assert!(matches!(load_sharded(&dir), Err(WwtError::Corrupt(_))));
+        // Zero shards.
+        std::fs::write(dir.join(MANIFEST_FILE), r#"{"version":1,"shards":0}"#).unwrap();
+        assert!(matches!(load_sharded(&dir), Err(WwtError::Corrupt(_))));
+        // Manifest promising more shards than exist on disk.
+        std::fs::write(dir.join(MANIFEST_FILE), r#"{"version":1,"shards":2}"#).unwrap();
+        save(&sample_index(), &dir.join(shard_file(0))).unwrap();
+        assert!(load_sharded(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

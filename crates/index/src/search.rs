@@ -2,9 +2,24 @@
 
 use crate::field::Field;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use wwt_model::TableId;
 use wwt_text::CorpusStats;
+
+/// Conjunctive doc-set probes over a table corpus — the index operations
+/// the PMI² feature (§3.2.3) consumes. Implemented by [`TableIndex`]
+/// (single partition) and [`crate::ShardedIndex`] (hash-partitioned); the
+/// column mapper takes `&dyn DocSets` so it works against either without
+/// knowing the partitioning.
+///
+/// Implementations must return *mutually consistent* doc ids: the ids of
+/// two probe results intersect correctly. Ids from different
+/// implementations (or differently sharded indexes) are not comparable.
+pub trait DocSets: Send + Sync {
+    /// Sorted ids of documents containing **all** of `tokens` in the
+    /// union of `fields`.
+    fn docs_with_all(&self, tokens: &[String], fields: &[Field]) -> Arc<Vec<u32>>;
+}
 
 /// Per-term postings: for each field, a doc-ordered list of
 /// `(doc, term_frequency)` pairs. Docs are internal dense ids.
@@ -68,6 +83,21 @@ pub struct SearchHit {
     pub score: f64,
 }
 
+impl SearchHit {
+    /// **The** ranking order of every probe: score descending, ties
+    /// broken by ascending [`TableId`]. A total order over distinct
+    /// tables — which is exactly what makes per-shard top-k lists merge
+    /// back into the unsharded ranking byte-for-byte, so every sorter
+    /// (single-index search, facade merge, engine scatter-gather) must
+    /// call this one comparator rather than respell it.
+    pub fn rank_order(a: &SearchHit, b: &SearchHit) -> std::cmp::Ordering {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.table.cmp(&b.table))
+    }
+}
+
 /// The immutable fielded index over a table corpus.
 ///
 /// Built with [`crate::IndexBuilder`]; every query-side operation takes
@@ -80,9 +110,11 @@ pub struct TableIndex {
     /// Per doc, per field: number of tokens (for length normalization).
     pub(crate) field_lens: Vec<[u32; 3]>,
     /// Corpus document-frequency statistics over all fields combined.
-    pub(crate) stats: CorpusStats,
+    /// `Arc`-shared so the shards of a [`crate::ShardedIndex`] can score
+    /// against one *global* statistics table without N copies of it.
+    pub(crate) stats: Arc<CorpusStats>,
     /// Memo for `docs_with_all` (PMI² issues many repeated probes).
-    docset_cache: Mutex<HashMap<(Vec<String>, u8), std::sync::Arc<Vec<u32>>>>,
+    docset_cache: Mutex<HashMap<(Vec<String>, u8), Arc<Vec<u32>>>>,
 }
 
 impl TableIndex {
@@ -92,6 +124,15 @@ impl TableIndex {
         field_lens: Vec<[u32; 3]>,
         stats: CorpusStats,
     ) -> Self {
+        Self::from_shared_parts(postings, doc_tables, field_lens, Arc::new(stats))
+    }
+
+    pub(crate) fn from_shared_parts(
+        postings: HashMap<String, Postings>,
+        doc_tables: Vec<TableId>,
+        field_lens: Vec<[u32; 3]>,
+        stats: Arc<CorpusStats>,
+    ) -> Self {
         TableIndex {
             postings,
             doc_tables,
@@ -99,6 +140,19 @@ impl TableIndex {
             stats,
             docset_cache: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Replaces the statistics this index scores with (used by the
+    /// sharded builder/loader to swap per-shard statistics for the merged
+    /// global ones).
+    pub(crate) fn with_stats(mut self, stats: Arc<CorpusStats>) -> Self {
+        self.stats = stats;
+        self
+    }
+
+    /// The shared statistics handle.
+    pub(crate) fn stats_arc(&self) -> Arc<CorpusStats> {
+        Arc::clone(&self.stats)
     }
 
     /// Number of indexed tables.
@@ -154,12 +208,7 @@ impl TableIndex {
                 score,
             })
             .collect();
-        hits.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.table.cmp(&b.table))
-        });
+        hits.sort_by(SearchHit::rank_order);
         hits.truncate(k);
         hits
     }
@@ -179,8 +228,26 @@ impl TableIndex {
         if let Some(hit) = self.docset_cache.lock().unwrap().get(&key) {
             return hit.clone();
         }
+        let result = std::sync::Arc::new(self.docs_with_all_uncached(&key_tokens, fields));
+        self.docset_cache
+            .lock()
+            .unwrap()
+            .insert(key, result.clone());
+        result
+    }
+
+    /// The probe behind [`TableIndex::docs_with_all`], skipping the memo
+    /// entirely. A multi-shard [`crate::ShardedIndex`] memoizes at the
+    /// facade (where results are relabeled), so caching here too would
+    /// only double the resident memory of every distinct PMI probe.
+    /// `key_tokens` must already be sorted and deduped.
+    pub(crate) fn docs_with_all_uncached(
+        &self,
+        key_tokens: &[String],
+        fields: &[Field],
+    ) -> Vec<u32> {
         let mut acc: Option<Vec<u32>> = None;
-        for t in &key_tokens {
+        for t in key_tokens {
             let docs = match self.postings.get(t) {
                 Some(p) => p.docs_in_fields(fields),
                 None => Vec::new(),
@@ -193,17 +260,18 @@ impl TableIndex {
                 break;
             }
         }
-        let result = std::sync::Arc::new(acc.unwrap_or_default());
-        self.docset_cache
-            .lock()
-            .unwrap()
-            .insert(key, result.clone());
-        result
+        acc.unwrap_or_default()
     }
 
     /// The table id of an internal doc id (used by persistence tests).
     pub fn table_of_doc(&self, doc: u32) -> TableId {
         self.doc_tables[doc as usize]
+    }
+}
+
+impl DocSets for TableIndex {
+    fn docs_with_all(&self, tokens: &[String], fields: &[Field]) -> Arc<Vec<u32>> {
+        TableIndex::docs_with_all(self, tokens, fields)
     }
 }
 

@@ -31,7 +31,7 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 use wwt_corpus::{workload, CorpusConfig, CorpusGenerator};
-use wwt_engine::{bind_corpus, Engine, WwtConfig};
+use wwt_engine::{bind_corpus_sharded, Engine, WwtConfig};
 use wwt_server::{serve, EngineSource, ServerConfig};
 use wwt_service::TableSearchService;
 
@@ -76,10 +76,12 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: wwt-serve [--addr HOST:PORT] [--scale F] [--queries N] [--workers N]\n\
+             \x20                [--shards N] [--max-concurrent-queries N]\n\
              \x20                [--admin-token SECRET] [--corpus-dir DIR | --index-path DIR]\n\
              \x20                [--save-index DIR] [--build-only]\n\
              env fallbacks: WWT_ADDR, WWT_SCALE, WWT_QUERIES, WWT_SERVER_WORKERS,\n\
-             \x20               WWT_ADMIN_TOKEN, WWT_CORPUS_DIR, WWT_INDEX_PATH, WWT_SAVE_INDEX"
+             \x20               WWT_SHARDS, WWT_MAX_CONCURRENT_QUERIES, WWT_ADMIN_TOKEN,\n\
+             \x20               WWT_CORPUS_DIR, WWT_INDEX_PATH, WWT_SAVE_INDEX"
         );
         return;
     }
@@ -87,6 +89,9 @@ fn main() {
         flag_or_env(&args, "--addr", "WWT_ADDR").unwrap_or_else(|| "127.0.0.1:7070".to_string());
     let scale: f64 = parsed_flag_or_env(&args, "--scale", "WWT_SCALE", 0.1);
     let n_queries: usize = parsed_flag_or_env(&args, "--queries", "WWT_QUERIES", 8);
+    // 0 = the builder's auto default (one shard per core, capped at 8).
+    let shards: usize = parsed_flag_or_env(&args, "--shards", "WWT_SHARDS", 0);
+    let shards = (shards > 0).then_some(shards);
     let admin_token = flag_or_env(&args, "--admin-token", "WWT_ADMIN_TOKEN")
         .filter(|t| !t.is_empty())
         .unwrap_or_else(generate_admin_token);
@@ -118,7 +123,13 @@ fn main() {
     let engine = match &engine_source {
         Some(source) => {
             eprintln!("[wwt-serve] building engine from {:?} ...", source.path());
-            match source.build(WwtConfig::default()) {
+            if shards.is_some() && matches!(source, EngineSource::IndexDir(_)) {
+                eprintln!(
+                    "[wwt-serve] note: --shards is ignored for --index-path boots; \
+                     the persisted manifest owns the shard count"
+                );
+            }
+            match source.build_sharded(WwtConfig::default(), shards) {
                 Ok(engine) => engine,
                 Err(e) => {
                     eprintln!(
@@ -144,10 +155,14 @@ fn main() {
                 "[wwt-serve] extracting + indexing {} documents ...",
                 corpus.documents.len()
             );
-            bind_corpus(&corpus, WwtConfig::default()).engine
+            bind_corpus_sharded(&corpus, WwtConfig::default(), shards).engine
         }
     };
-    eprintln!("[wwt-serve] engine ready: {} tables", engine.store().len());
+    eprintln!(
+        "[wwt-serve] engine ready: {} tables over {} index shard(s)",
+        engine.store().len(),
+        engine.n_shards()
+    );
 
     if let Some(dir) = &save_index {
         if let Err(e) = engine.save_to_dir(dir) {
@@ -175,6 +190,12 @@ fn main() {
         "--workers",
         "WWT_SERVER_WORKERS",
         server_config.workers,
+    );
+    server_config.max_concurrent_queries = parsed_flag_or_env(
+        &args,
+        "--max-concurrent-queries",
+        "WWT_MAX_CONCURRENT_QUERIES",
+        server_config.max_concurrent_queries,
     );
 
     let sample_query = sample_query(&engine);

@@ -73,6 +73,9 @@ pub struct Metrics {
     /// Engine reloads that failed to build/swap (successful swaps show
     /// up as the service's `swap_count`).
     reload_failures: AtomicU64,
+    /// Query/batch requests answered 429 because the per-route
+    /// concurrency limit was saturated.
+    queries_rejected: AtomicU64,
 }
 
 impl Metrics {
@@ -137,6 +140,16 @@ impl Metrics {
     /// Failed engine reloads so far.
     pub fn reload_failures(&self) -> u64 {
         self.reload_failures.load(Ordering::Relaxed)
+    }
+
+    /// Records one query rejected at the concurrency limit (429).
+    pub fn note_query_rejected(&self) {
+        self.queries_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Concurrency-limit rejections so far.
+    pub fn queries_rejected(&self) -> u64 {
+        self.queries_rejected.load(Ordering::Relaxed)
     }
 
     /// Renders every series in Prometheus text format, folding in the
@@ -238,6 +251,18 @@ impl Metrics {
                 "counter",
                 self.reload_failures(),
             ),
+            (
+                "wwt_http_concurrency_rejected_total",
+                "Query requests answered 429 at the per-route concurrency limit.",
+                "counter",
+                self.queries_rejected(),
+            ),
+            (
+                "wwt_index_shards",
+                "Index shards the serving engine scatter-gathers over.",
+                "gauge",
+                cache.index_shards as u64,
+            ),
         ] {
             out.push_str(&format!(
                 "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
@@ -258,6 +283,7 @@ mod tests {
             coalesced: 1,
             entries: 2,
             shards: 8,
+            index_shards: 4,
             generation: 4,
             swap_count: 4,
             deadline_exceeded: 0,
@@ -325,6 +351,7 @@ mod tests {
             coalesced: 0,
             entries: 0,
             shards: 0,
+            index_shards: 1,
             generation: 0,
             swap_count: 0,
             deadline_exceeded: 0,

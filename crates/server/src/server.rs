@@ -56,6 +56,20 @@ pub struct ServerConfig {
     /// leaves the route answering 409: the server then has no way to
     /// reconstruct its index.
     pub engine_source: Option<EngineSource>,
+    /// Per-route concurrency limit on the expensive routes (`POST
+    /// /query` + `POST /query/batch` share one budget, each batch
+    /// weighing its slot count): once this many queries are in flight,
+    /// further query requests answer 429 with `Retry-After` instead of
+    /// queueing behind a saturated engine. Cheap routes (health, stats,
+    /// metrics, admin) are never limited, so the server stays observable
+    /// under load. `0` disables the limit.
+    ///
+    /// Sizing note: single-query traffic is also bounded by the worker
+    /// pool (at most `workers` requests are ever in dispatch), so for
+    /// `/query` alone the gate only engages when set *below* `workers`.
+    /// The default of 256 exists for batch traffic, where a handful of
+    /// admitted requests can represent hundreds of engine-bound queries.
+    pub max_concurrent_queries: usize,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +85,7 @@ impl Default for ServerConfig {
             max_requests_per_connection: 1024,
             admin_token: None,
             engine_source: None,
+            max_concurrent_queries: 256,
         }
     }
 }
@@ -93,11 +108,66 @@ struct Shared {
     /// The most recent reload failure, surfaced by the next `/admin/reload`
     /// response so operators see why the generation never bumped.
     last_reload_error: Mutex<Option<String>>,
+    /// Query/batch requests currently being dispatched, gated by
+    /// `config.max_concurrent_queries`.
+    queries_in_flight: std::sync::atomic::AtomicUsize,
+}
+
+/// Acquired slots of the query-concurrency budget; released on drop
+/// (including on a panicking dispatch, so a crash never leaks capacity).
+struct QueryPermit<'a> {
+    shared: &'a Shared,
+    weight: usize,
+}
+
+impl Drop for QueryPermit<'_> {
+    fn drop(&mut self) {
+        self.shared
+            .queries_in_flight
+            .fetch_sub(self.weight, Ordering::SeqCst);
+    }
+}
+
+/// The shared 429 answer for a saturated query budget.
+fn reject_at_capacity(shared: &Shared, route: Route) -> (Route, u16, &'static str, String) {
+    shared.metrics.note_query_rejected();
+    let err = wire::ApiError {
+        status: 429,
+        message: format!(
+            "query concurrency limit ({}) reached; retry later",
+            shared.config.max_concurrent_queries
+        ),
+    };
+    (route, 429, "application/json", wire::encode_error(&err))
 }
 
 impl Shared {
     fn stopping(&self) -> bool {
         self.stopping.load(Ordering::SeqCst)
+    }
+
+    /// Tries to take `weight` slots of the query-concurrency budget
+    /// (one per query, so a 64-slot batch weighs 64). Admission is
+    /// saturation-based: a request is admitted while the budget is not
+    /// yet full and may overshoot it by its own weight — otherwise a
+    /// batch heavier than the whole cap could never run — but once
+    /// saturated, everything is refused until slots free up. `None`
+    /// means answer 429.
+    fn try_acquire_query_slots(&self, weight: usize) -> Option<Option<QueryPermit<'_>>> {
+        let cap = self.config.max_concurrent_queries;
+        if cap == 0 {
+            return Some(None); // unlimited: nothing to hold or release
+        }
+        let prev = self.queries_in_flight.fetch_add(weight, Ordering::SeqCst);
+        if prev >= cap {
+            self.queries_in_flight.fetch_sub(weight, Ordering::SeqCst);
+            None
+        } else {
+            Some(Some(QueryPermit {
+                shared: self,
+                weight,
+            }))
+        }
     }
 
     /// Flips the stop flag (the polling acceptor observes it within one
@@ -191,6 +261,7 @@ pub fn serve(
         shutdown_requested: (Mutex::new(false), Condvar::new()),
         reloading: AtomicBool::new(false),
         last_reload_error: Mutex::new(None),
+        queries_in_flight: std::sync::atomic::AtomicUsize::new(0),
     });
 
     // Bounded: an accept flood beyond the backlog is answered 503 and
@@ -373,12 +444,21 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
         let keep_alive = request.keep_alive
             && !shared.stopping()
             && served < shared.config.max_requests_per_connection.max(1);
-        if http::write_response(
+        // Backpressure statuses carry Retry-After: the concurrency
+        // budget frees up as soon as an in-flight query finishes, so a
+        // one-second backoff is enough for well-behaved clients.
+        let extra_headers: &[(&str, &str)] = if status == 429 {
+            &[("retry-after", "1")]
+        } else {
+            &[]
+        };
+        if http::write_response_with(
             &mut stream,
             status,
             content_type,
             body.as_bytes(),
             keep_alive,
+            extra_headers,
         )
         .is_err()
             || !keep_alive
@@ -445,21 +525,38 @@ fn dispatch(shared: &Arc<Shared>, request: &Request) -> (Route, u16, &'static st
         }
     }
     match route {
-        Route::Query => match wire::parse_query_request(&request.body) {
-            Ok(req) => match shared.service.answer(&req) {
-                Ok(response) => (route, 200, JSON, wire::encode_response(&req, &response)),
-                Err(e) => {
-                    let err = wire::api_error(&e);
-                    if err.status == 504 {
-                        shared.metrics.note_deadline_exceeded();
+        Route::Query => {
+            // One query = one slot of the shared budget, taken *before*
+            // parsing (rejection must stay cheap under exactly the load
+            // that triggers it); the permit is dropped with the arm.
+            let Some(_permit) = shared.try_acquire_query_slots(1) else {
+                return reject_at_capacity(shared, route);
+            };
+            match wire::parse_query_request(&request.body) {
+                Ok(req) => match shared.service.answer(&req) {
+                    Ok(response) => (route, 200, JSON, wire::encode_response(&req, &response)),
+                    Err(e) => {
+                        let err = wire::api_error(&e);
+                        if err.status == 504 {
+                            shared.metrics.note_deadline_exceeded();
+                        }
+                        (route, err.status, JSON, wire::encode_error(&err))
                     }
-                    (route, err.status, JSON, wire::encode_error(&err))
-                }
-            },
-            Err(err) => (route, err.status, JSON, wire::encode_error(&err)),
-        },
+                },
+                Err(err) => (route, err.status, JSON, wire::encode_error(&err)),
+            }
+        }
         Route::QueryBatch => match wire::parse_batch_request(&request.body) {
             Ok(reqs) => {
+                // A batch fans its slots across every core, so it weighs
+                // its slot count against the budget — one 64-slot batch
+                // loads the engine like 64 queries, and the limiter must
+                // count it that way. (Parsing happens first to learn the
+                // weight; batch parse cost is bounded by MAX_BATCH_REQUESTS
+                // and the body-size cap.)
+                let Some(_permit) = shared.try_acquire_query_slots(reqs.len().max(1)) else {
+                    return reject_at_capacity(shared, route);
+                };
                 let results = shared.service.answer_batch(&reqs);
                 for slot in &results {
                     if matches!(slot, Err(WwtError::DeadlineExceeded(_))) {
@@ -506,14 +603,15 @@ fn dispatch(shared: &Arc<Shared>, request: &Request) -> (Route, u16, &'static st
             200,
             JSON,
             format!(
-                "{{\"version\":\"{}\",\"profile\":\"{}\",\"generation\":{}}}",
+                "{{\"version\":\"{}\",\"profile\":\"{}\",\"generation\":{},\"shards\":{}}}",
                 env!("CARGO_PKG_VERSION"),
                 if cfg!(debug_assertions) {
                     "debug"
                 } else {
                     "release"
                 },
-                shared.service.generation()
+                shared.service.generation(),
+                shared.service.engine().n_shards()
             ),
         ),
         Route::Shutdown => {
@@ -574,10 +672,14 @@ fn start_reload(shared: &Arc<Shared>) -> (Route, u16, &'static str, String) {
     let spawned = std::thread::Builder::new()
         .name("wwt-reload".to_string())
         .spawn(move || {
-            // Rebuild with the *current* engine's online config so tuned
-            // deployments keep their knobs across generations.
-            let config = worker.service.engine().config().clone();
-            let result = source.build(config);
+            // Rebuild with the *current* engine's online config and
+            // shard count, so tuned deployments keep their knobs — and
+            // their scatter-gather layout — across generations.
+            let engine = worker.service.engine();
+            let config = engine.config().clone();
+            let shards = engine.n_shards();
+            drop(engine);
+            let result = source.build_sharded(config, Some(shards));
             let mut last_error = worker.last_reload_error.lock().unwrap();
             match result {
                 Ok(engine) => {

@@ -26,10 +26,22 @@ pub enum EngineSource {
 
 impl EngineSource {
     /// Builds a fresh engine from this source with the given online
-    /// configuration.
+    /// configuration and the builder's default shard count.
     pub fn build(&self, config: WwtConfig) -> Result<Engine, WwtError> {
+        self.build_sharded(config, None)
+    }
+
+    /// [`EngineSource::build`] with an explicit index shard count
+    /// (`None` = the builder default). A corpus build partitions into
+    /// `shards`; a persisted-index load always uses the shard count of
+    /// the on-disk layout — its manifest, not the caller, owns that.
+    pub fn build_sharded(
+        &self,
+        config: WwtConfig,
+        shards: Option<usize>,
+    ) -> Result<Engine, WwtError> {
         match self {
-            EngineSource::CorpusDir(dir) => build_from_corpus_dir(dir, config),
+            EngineSource::CorpusDir(dir) => build_from_corpus_dir(dir, config, shards),
             EngineSource::IndexDir(dir) => Engine::load_from_dir(dir, config),
         }
     }
@@ -42,7 +54,11 @@ impl EngineSource {
     }
 }
 
-fn build_from_corpus_dir(dir: &Path, config: WwtConfig) -> Result<Engine, WwtError> {
+fn build_from_corpus_dir(
+    dir: &Path,
+    config: WwtConfig,
+    shards: Option<usize>,
+) -> Result<Engine, WwtError> {
     let mut pages: Vec<PathBuf> = std::fs::read_dir(dir)?
         .filter_map(|entry| entry.ok().map(|e| e.path()))
         .filter(|p| {
@@ -59,6 +75,9 @@ fn build_from_corpus_dir(dir: &Path, config: WwtConfig) -> Result<Engine, WwtErr
     }
     pages.sort();
     let mut builder = EngineBuilder::with_config(config);
+    if let Some(n) = shards {
+        builder.shards(n);
+    }
     for page in &pages {
         let html = std::fs::read_to_string(page)?;
         builder.add_document(&html, &format!("file://{}", page.display()));

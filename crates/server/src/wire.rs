@@ -314,6 +314,7 @@ pub fn encode_stats_with(stats: &ServiceStats, last_reload_error: Option<&str>) 
         ("generation", Json::from(stats.generation)),
         ("swap_count", Json::from(stats.swap_count)),
         ("deadline_exceeded", Json::from(stats.deadline_exceeded)),
+        ("index_shards", Json::from(stats.index_shards)),
     ];
     if let Some(error) = last_reload_error {
         fields.push(("last_reload_error", Json::from(error)));
@@ -468,6 +469,7 @@ mod tests {
             coalesced: 0,
             entries: 0,
             shards: 4,
+            index_shards: 2,
             generation: 0,
             swap_count: 0,
             deadline_exceeded: 0,
@@ -485,6 +487,7 @@ mod tests {
             coalesced: 1,
             entries: 3,
             shards: 4,
+            index_shards: 2,
             generation: 7,
             swap_count: 7,
             deadline_exceeded: 2,
@@ -504,5 +507,6 @@ mod tests {
         assert_eq!(v.get("generation").and_then(Json::as_u64), Some(7));
         assert_eq!(v.get("swap_count").and_then(Json::as_u64), Some(7));
         assert_eq!(v.get("deadline_exceeded").and_then(Json::as_u64), Some(2));
+        assert_eq!(v.get("index_shards").and_then(Json::as_u64), Some(2));
     }
 }

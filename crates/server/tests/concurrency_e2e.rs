@@ -1,0 +1,194 @@
+//! End-to-end test of the per-route query concurrency limit: saturating
+//! `POST /query`/`/query/batch` answers 429 + `Retry-After` while cheap
+//! routes stay reachable, and the route recovers as soon as the budget
+//! frees up.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use wwt_engine::{bind_corpus, WwtConfig};
+use wwt_json::Json;
+use wwt_server::{serve, HttpClient, ServerConfig};
+use wwt_service::{ServiceConfig, TableSearchService};
+
+/// A corpus-backed engine whose cold queries take real milliseconds, and
+/// a cache-less service so every request genuinely occupies the
+/// concurrency budget for that long.
+fn slow_uncached_service() -> Arc<TableSearchService> {
+    let specs: Vec<_> = wwt_corpus::workload()
+        .into_iter()
+        .filter(|s| s.query.to_string().starts_with("country | currency"))
+        .collect();
+    let corpus =
+        wwt_corpus::CorpusGenerator::new(wwt_corpus::CorpusConfig::small()).generate_for(&specs);
+    let engine = Arc::new(bind_corpus(&corpus, WwtConfig::default()).engine);
+    let config = ServiceConfig {
+        cache_capacity: 0,
+        ..ServiceConfig::default()
+    };
+    Arc::new(TableSearchService::with_config(engine, config))
+}
+
+/// A query body whose `probe1_k` varies per call: never coalesced, never
+/// cached, so each one runs the engine cold.
+fn cold_body(i: u64) -> String {
+    format!(
+        "{{\"query\":\"country | currency\",\"options\":{{\"probe1_k\":{}}}}}",
+        10 + (i % 50)
+    )
+}
+
+#[test]
+fn saturated_query_routes_answer_429_and_recover() {
+    const HAMMERS: usize = 3;
+    let handle = serve(
+        slow_uncached_service(),
+        ServerConfig {
+            workers: 4,
+            max_concurrent_queries: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = handle.addr();
+
+    let saw_429 = AtomicBool::new(false);
+    let retry_after_missing = AtomicBool::new(false);
+    let bad_status = AtomicU64::new(0);
+    let counter = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for h in 0..HAMMERS {
+            let saw_429 = &saw_429;
+            let retry_after_missing = &retry_after_missing;
+            let bad_status = &bad_status;
+            let counter = &counter;
+            scope.spawn(move || {
+                let mut client = HttpClient::connect(addr).unwrap();
+                for _ in 0..200 {
+                    if saw_429.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let i = counter.fetch_add(1, Ordering::Relaxed);
+                    // One hammer exercises the batch route: the two
+                    // query routes share a single budget.
+                    let response = if h == 0 {
+                        let slots: Vec<String> = (0..8).map(|j| cold_body(i * 8 + j)).collect();
+                        client.post_reconnecting(
+                            addr,
+                            "/query/batch",
+                            &format!("{{\"requests\":[{}]}}", slots.join(",")),
+                        )
+                    } else {
+                        client.post_reconnecting(addr, "/query", &cold_body(i))
+                    }
+                    .unwrap();
+                    match response.status {
+                        200 => {}
+                        429 => {
+                            if response.header("retry-after") != Some("1") {
+                                retry_after_missing.store(true, Ordering::SeqCst);
+                            }
+                            saw_429.store(true, Ordering::SeqCst);
+                        }
+                        other => {
+                            bad_status.store(u64::from(other), Ordering::SeqCst);
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+        // Cheap routes are never limited: health stays green while the
+        // query budget is (likely) saturated.
+        let mut probe = HttpClient::connect(addr).unwrap();
+        for _ in 0..20 {
+            let health = probe.get("/healthz").unwrap();
+            assert_eq!(health.status, 200, "cheap routes must never be limited");
+        }
+    });
+
+    assert_eq!(
+        bad_status.load(Ordering::SeqCst),
+        0,
+        "saturation must only ever produce 200s and 429s"
+    );
+    assert!(
+        saw_429.load(Ordering::SeqCst),
+        "three hammers against a budget of one query never saw a 429"
+    );
+    assert!(
+        !retry_after_missing.load(Ordering::SeqCst),
+        "429 responses must carry Retry-After: 1"
+    );
+
+    // Recovery: with the hammers gone the budget is free again, so a
+    // fresh cold query answers 200 immediately.
+    let mut client = HttpClient::connect(addr).unwrap();
+    let recovered = client.post("/query", &cold_body(9999)).unwrap();
+    assert_eq!(recovered.status, 200, "route must recover after saturation");
+
+    // The rejection is observable: the dedicated counter and the
+    // per-route 429 series both moved.
+    let metrics = client.get("/metrics").unwrap().text();
+    let rejected = metrics
+        .lines()
+        .find(|l| l.starts_with("wwt_http_concurrency_rejected_total"))
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|v| v.parse::<u64>().ok())
+        .expect("rejection counter rendered");
+    assert!(rejected >= 1, "{metrics}");
+    assert!(
+        metrics.contains("code=\"429\"}"),
+        "per-route 429 series missing:\n{metrics}"
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn zero_limit_disables_the_gate() {
+    let handle = serve(
+        slow_uncached_service(),
+        ServerConfig {
+            workers: 4,
+            max_concurrent_queries: 0,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = handle.addr();
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            scope.spawn(move || {
+                let mut client = HttpClient::connect(addr).unwrap();
+                for i in 0..5u64 {
+                    let response = client
+                        .post_reconnecting(addr, "/query", &cold_body(t * 100 + i))
+                        .unwrap();
+                    assert_eq!(response.status, 200, "unlimited gate must never 429");
+                }
+            });
+        }
+    });
+    handle.shutdown();
+}
+
+#[test]
+fn stats_and_version_report_index_shards() {
+    let handle = serve(slow_uncached_service(), ServerConfig::default()).unwrap();
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+    let stats = Json::parse(&client.get("/stats").unwrap().text()).unwrap();
+    let from_stats = stats.get("index_shards").and_then(Json::as_u64).unwrap();
+    assert!(from_stats >= 1);
+    let version = Json::parse(&client.get("/version").unwrap().text()).unwrap();
+    assert_eq!(
+        version.get("shards").and_then(Json::as_u64),
+        Some(from_stats)
+    );
+    let metrics = client.get("/metrics").unwrap().text();
+    assert!(
+        metrics.contains(&format!("wwt_index_shards {from_stats}\n")),
+        "{metrics}"
+    );
+    handle.shutdown();
+}

@@ -79,6 +79,9 @@ pub struct ServiceStats {
     pub entries: usize,
     /// Number of cache shards.
     pub shards: usize,
+    /// Number of *index* shards the serving engine scatter-gathers over
+    /// (1 = unsharded; sharding never changes answers, only parallelism).
+    pub index_shards: usize,
     /// Generation of the engine snapshot currently serving (0 until the
     /// first reload).
     pub generation: u64,
@@ -295,6 +298,7 @@ impl TableSearchService {
             coalesced: self.coalesced.load(Ordering::Relaxed),
             entries: self.cache.as_ref().map(ShardedCache::len).unwrap_or(0),
             shards: self.cache.as_ref().map(ShardedCache::n_shards).unwrap_or(0),
+            index_shards: self.slot.load().engine.n_shards(),
             generation: self.slot.generation(),
             swap_count: self.swap_count.load(Ordering::Relaxed),
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),

@@ -81,6 +81,18 @@ impl CorpusStats {
         1.0 + ((1.0 + self.n_docs as f64) / (1.0 + df)).ln()
     }
 
+    /// Folds another corpus's statistics into this one. Document
+    /// frequencies are additive across disjoint document sets, so merging
+    /// the per-shard statistics of a partitioned corpus reproduces the
+    /// unpartitioned statistics exactly (same `df`, same `n_docs`, and
+    /// therefore bit-identical `idf`).
+    pub fn merge(&mut self, other: &CorpusStats) {
+        self.n_docs += other.n_docs;
+        for (term, df) in &other.df {
+            *self.df.entry(term.clone()).or_insert(0) += df;
+        }
+    }
+
     /// Number of distinct terms seen.
     pub fn vocab_size(&self) -> usize {
         self.df.len()
@@ -135,6 +147,34 @@ mod tests {
         assert_eq!(s.vocab_size(), 5);
         let total: u32 = s.iter().map(|(_, d)| d).sum();
         assert_eq!(total, 2 + 1 + 1 + 1 + 1);
+    }
+
+    #[test]
+    fn merge_reproduces_unpartitioned_stats() {
+        let docs = [
+            vec!["country", "currency"],
+            vec!["country", "population"],
+            vec!["dog", "breed"],
+            vec!["dog", "currency"],
+            vec!["area"],
+        ];
+        let whole = CorpusStats::from_token_docs(docs.iter().cloned());
+        // Partition the docs 2/1/2 and merge the parts back together.
+        let mut merged = CorpusStats::new();
+        for part in [&docs[..2], &docs[2..3], &docs[3..]] {
+            merged.merge(&CorpusStats::from_token_docs(part.iter().cloned()));
+        }
+        assert_eq!(merged.n_docs(), whole.n_docs());
+        assert_eq!(merged.vocab_size(), whole.vocab_size());
+        for (term, df) in whole.iter() {
+            assert_eq!(merged.df(term), df, "df({term})");
+            // Bit-identical IDF, not just approximately equal.
+            assert_eq!(merged.idf(term).to_bits(), whole.idf(term).to_bits());
+        }
+        // Merging an empty side is a no-op.
+        let before = merged.n_docs();
+        merged.merge(&CorpusStats::new());
+        assert_eq!(merged.n_docs(), before);
     }
 
     #[test]

@@ -130,6 +130,55 @@
 //! exceeded) keep slow cold queries from outliving their callers while
 //! all this happens.
 //!
+//! ## Sharding
+//!
+//! The engine's index is hash-partitioned into N independent shards
+//! ([`index::ShardedIndex`]; default: one per core, capped at 8) and the
+//! two retrieval probes scatter-gather across them on the engine pool —
+//! cold-query latency drops on multicore hardware while answers stay
+//! **byte-identical** to the unsharded engine. That equivalence is a
+//! hard guarantee, not an aspiration: shards score against the merged
+//! *global* corpus statistics, per-shard top-k lists merge under the
+//! same `(score, TableId)` total order the single index sorts by, and
+//! the differential harness (`tests/shard_equivalence.rs`) asserts
+//! byte-identical wire responses across shard counts, corpus sizes and
+//! every inference algorithm.
+//!
+//! ```
+//! use wwt::engine::{EngineBuilder, QueryRequest};
+//!
+//! let page = "<html><body><p>countries and currency</p><table>\
+//!             <tr><th>Country</th><th>Currency</th></tr>\
+//!             <tr><td>India</td><td>Rupee</td></tr></table></body></html>";
+//! let mut sharded = EngineBuilder::new();
+//! sharded.shards(4).add_html(page);
+//! let mut single = EngineBuilder::new();
+//! single.shards(1).add_html(page);
+//! let request = QueryRequest::parse("country | currency").unwrap();
+//! let a = sharded.build().answer(&request).unwrap();
+//! let b = single.build().answer(&request).unwrap();
+//! assert_eq!(a.table, b.table); // sharding never changes answers
+//! ```
+//!
+//! Persistence keeps the layout: [`engine::Engine::save_to_dir`] writes
+//! a versioned `manifest.json` plus one `shard-NNNN.idx` per shard
+//! (plus `tables.jsonl`), [`engine::Engine::load_from_dir`] restores the
+//! same shard count — and still reads pre-sharding directories (a bare
+//! `index.idx`) as a single shard. Serving: `wwt-serve --shards N`
+//! partitions the boot build, `POST /admin/reload` rebuilds with the
+//! serving engine's shard count, and the count is reported by
+//! `GET /version` (`"shards"`), `GET /stats` (`"index_shards"`) and the
+//! `wwt_index_shards` Prometheus gauge.
+//!
+//! ## Per-route concurrency limits
+//!
+//! `POST /query` and `POST /query/batch` share a concurrency budget
+//! ([`server::ServerConfig::max_concurrent_queries`], default 256;
+//! `wwt-serve --max-concurrent-queries N`): beyond it, query requests
+//! answer **429** with `Retry-After: 1` instead of queueing behind a
+//! saturated engine, while health/stats/metrics/admin stay reachable.
+//! Rejections are counted in `wwt_http_concurrency_rejected_total`.
+//!
 //! In-process, the same round trip (ephemeral port, typed client):
 //!
 //! ```
