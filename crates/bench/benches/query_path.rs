@@ -1,0 +1,68 @@
+//! Criterion microbench for the interned query path: index build time,
+//! ranked top-k probe latency, and cold end-to-end query latency — the
+//! three quantities `wwt-bench perf` tracks in `BENCH_query_path.json`.
+//! The regression contract: probe/cold latency rides the interning win;
+//! index build stays within noise of the pre-interning builder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wwt_corpus::{workload, CorpusConfig, CorpusGenerator};
+use wwt_engine::{bind_corpus, WwtConfig};
+use wwt_html::extract_tables;
+use wwt_index::IndexBuilder;
+use wwt_model::WebTable;
+use wwt_text::tokenize;
+
+fn bench_query_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_path");
+    group.sample_size(10);
+    let scale = 0.15f64;
+    let specs = workload();
+    let corpus = CorpusGenerator::new(CorpusConfig {
+        seed: 7,
+        scale,
+        ..CorpusConfig::default()
+    })
+    .generate_for(&specs);
+
+    // Extraction is not under test: materialize the tables once.
+    let mut tables: Vec<WebTable> = Vec::new();
+    let mut next_id = 0u32;
+    for doc in &corpus.documents {
+        let extracted = extract_tables(&doc.html, &doc.url, next_id);
+        next_id += extracted.len() as u32;
+        tables.extend(extracted);
+    }
+
+    group.bench_with_input(
+        BenchmarkId::new("index_build", format!("scale_{scale}")),
+        &tables,
+        |b, tables| {
+            b.iter(|| {
+                let mut builder = IndexBuilder::new();
+                for t in tables {
+                    builder.add_table(t);
+                }
+                builder.build()
+            })
+        },
+    );
+
+    let bound = bind_corpus(&corpus, WwtConfig::default());
+    let tokens = tokenize("country currency exchange rate");
+    group.bench_with_input(
+        BenchmarkId::new("probe_top60", format!("scale_{scale}")),
+        &bound,
+        |b, bound| b.iter(|| bound.engine.index().search(&tokens, 60)),
+    );
+
+    let query = specs[14].query.clone(); // country | currency
+    group.bench_with_input(
+        BenchmarkId::new("cold_answer", format!("scale_{scale}")),
+        &bound,
+        |b, bound| b.iter(|| bound.engine.answer_query(&query)),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_path);
+criterion_main!(benches);

@@ -1,0 +1,235 @@
+//! `perf` — the query-path performance benchmark behind the repo's
+//! `BENCH_query_path.json` trajectory.
+//!
+//! Measures, at a fixed seed and scale:
+//!
+//! * **index build time** — freezing the extracted tables into the
+//!   fielded inverted index (the offline path a reload pays);
+//! * **engine bind time** — the full [`EngineBuilder::build`] cost
+//!   (index + table store + per-table feature precompute);
+//! * **top-k probe latency** — one ranked OR-keyword probe
+//!   (`search(tokens, 60)`), the unit of both retrieval stages;
+//! * **cold query latency** — the first uncached `answer_query` per
+//!   workload query, end to end (probes + mapping + consolidation);
+//! * **warm query latency** — repeat runs of the same queries (CPU
+//!   caches warm, response cache *not* involved).
+//!
+//! Results are written as JSON to `BENCH_query_path.json` at the repo
+//! root (override with `WWT_BENCH_OUT`). `WWT_BENCH_SMOKE=1` (or a
+//! `smoke` argument) shrinks the corpus and repetitions so CI can run it
+//! in seconds; smoke numbers are for plumbing checks, not comparisons.
+//!
+//! Environment: `WWT_SCALE` (default 0.15) sizes the corpus like every
+//! other wwt-bench binary.
+
+use std::time::{Duration, Instant};
+use wwt_corpus::{workload, CorpusConfig, CorpusGenerator};
+use wwt_engine::{Engine, EngineBuilder, WwtConfig};
+use wwt_html::extract_tables;
+use wwt_index::IndexBuilder;
+use wwt_json::Json;
+use wwt_model::WebTable;
+
+/// Fixed corpus seed: the trajectory only means something if every point
+/// measures the same corpus.
+const SEED: u64 = 7;
+
+fn micros(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mid = sorted.len() / 2;
+    if sorted.len().is_multiple_of(2) {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    } else {
+        sorted[mid]
+    }
+}
+
+fn stats_json(xs: &[f64]) -> Json {
+    Json::obj([
+        ("mean_us", Json::from(mean(xs))),
+        ("median_us", Json::from(median(xs))),
+        (
+            "min_us",
+            Json::from(if xs.is_empty() {
+                0.0
+            } else {
+                xs.iter().cloned().fold(f64::INFINITY, f64::min)
+            }),
+        ),
+        (
+            "max_us",
+            Json::from(xs.iter().cloned().fold(0.0f64, f64::max)),
+        ),
+        ("n", Json::from(xs.len())),
+    ])
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "smoke")
+        || std::env::var("WWT_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let scale: f64 = std::env::var("WWT_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if smoke { 0.03 } else { 0.15 });
+    let build_reps = if smoke { 1 } else { 3 };
+    let probe_reps = if smoke { 20 } else { 200 };
+    let warm_reps = if smoke { 1 } else { 3 };
+
+    let specs = workload();
+    eprintln!("[perf] generating corpus (seed {SEED}, scale {scale}, smoke={smoke}) ...");
+    let corpus = CorpusGenerator::new(CorpusConfig {
+        seed: SEED,
+        scale,
+        ..CorpusConfig::default()
+    })
+    .generate_for(&specs);
+
+    // Extraction is not under test: do it once, up front.
+    let mut tables: Vec<WebTable> = Vec::new();
+    let mut next_id = 0u32;
+    for doc in &corpus.documents {
+        let extracted = extract_tables(&doc.html, &doc.url, next_id);
+        next_id += extracted.len() as u32;
+        tables.extend(extracted);
+    }
+    eprintln!(
+        "[perf] {} documents -> {} tables",
+        corpus.documents.len(),
+        tables.len()
+    );
+
+    // Index build: freezing the postings (the structure every probe
+    // hits). One untimed warm-up first — the initial build pays page
+    // faults and allocator growth the steady state never sees.
+    let mut index_build_ms = Vec::new();
+    let mut vocab = 0usize;
+    for rep in 0..=build_reps {
+        let t0 = Instant::now();
+        let mut b = IndexBuilder::new();
+        for t in &tables {
+            b.add_table(t);
+        }
+        let idx = b.build();
+        if rep > 0 {
+            index_build_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        vocab = idx.vocab_size();
+    }
+
+    // Engine bind: everything `EngineBuilder::build` pays beyond the raw
+    // index (store assembly, feature precompute).
+    let t0 = Instant::now();
+    let engine: Engine = {
+        let mut b = EngineBuilder::with_config(WwtConfig::default());
+        b.add_tables(tables.iter().cloned());
+        b.build()
+    };
+    let engine_bind_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Top-k probe latency: a representative OR-keyword probe.
+    let probes = [
+        "country currency exchange rate",
+        "name of explorers nationality",
+        "dog breed origin size",
+    ];
+    let mut probe_us = Vec::new();
+    for probe in probes {
+        let tokens = wwt_text::tokenize(probe);
+        // One warm-up probe, then timed repetitions.
+        let _ = engine.index().search(&tokens, 60);
+        for _ in 0..probe_reps {
+            let t0 = Instant::now();
+            let hits = engine.index().search(&tokens, 60);
+            probe_us.push(micros(t0.elapsed()));
+            std::hint::black_box(hits);
+        }
+    }
+
+    // Cold query latency: the first end-to-end run of each workload
+    // query against a fresh engine (no response cache in the loop).
+    let n_queries = if smoke { 4 } else { specs.len().min(16) };
+    let mut cold_us = Vec::new();
+    let mut per_query = Vec::new();
+    for spec in specs.iter().take(n_queries) {
+        let t0 = Instant::now();
+        let out = engine.answer_query(&spec.query);
+        let us = micros(t0.elapsed());
+        cold_us.push(us);
+        let t = &out.diagnostics.timing;
+        per_query.push(Json::obj([
+            ("query", Json::from(spec.query.to_string())),
+            ("cold_us", Json::from(us)),
+            ("rows", Json::from(out.table.len())),
+            (
+                "index_us",
+                Json::from((t.index1 + t.index2).as_micros() as u64),
+            ),
+            (
+                "read_us",
+                Json::from((t.read1 + t.read2).as_micros() as u64),
+            ),
+            ("column_map_us", Json::from(t.column_map.as_micros() as u64)),
+            (
+                "consolidate_us",
+                Json::from(t.consolidate.as_micros() as u64),
+            ),
+        ]));
+    }
+
+    // Warm repeats of the same queries (engine state warm, still no
+    // response cache).
+    let mut warm_us = Vec::new();
+    for _ in 0..warm_reps {
+        for spec in specs.iter().take(n_queries) {
+            let t0 = Instant::now();
+            std::hint::black_box(engine.answer_query(&spec.query));
+            warm_us.push(micros(t0.elapsed()));
+        }
+    }
+
+    let out = Json::obj([
+        ("bench", Json::from("query_path")),
+        ("seed", Json::from(SEED)),
+        ("scale", Json::from(scale)),
+        ("smoke", Json::from(smoke)),
+        ("n_tables", Json::from(engine.store().len())),
+        ("index_shards", Json::from(engine.n_shards())),
+        ("vocab", Json::from(vocab)),
+        ("index_build_ms", Json::from(mean(&index_build_ms))),
+        ("engine_bind_ms", Json::from(engine_bind_ms)),
+        ("probe_topk", stats_json(&probe_us)),
+        ("cold_query", stats_json(&cold_us)),
+        ("warm_query", stats_json(&warm_us)),
+        ("per_query", Json::Arr(per_query)),
+    ]);
+    let path = std::env::var("WWT_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query_path.json").to_string()
+    });
+    std::fs::write(&path, format!("{}\n", out.encode())).expect("write bench artifact");
+    eprintln!("[perf] wrote {path}");
+    println!(
+        "index_build {:.1} ms | engine_bind {:.1} ms | probe_topk {:.1} us (median) | \
+         cold_query {:.0} us (median) / {:.0} us (mean) | warm_query {:.0} us (median)",
+        mean(&index_build_ms),
+        engine_bind_ms,
+        median(&probe_us),
+        median(&cold_us),
+        mean(&cold_us),
+        median(&warm_us),
+    );
+}

@@ -48,11 +48,29 @@ pub fn column_similarity(
     let overlap = if a_vals.is_empty() || b_vals.is_empty() {
         0.0
     } else {
-        let inter = a_vals.intersection(b_vals).count() as f64;
+        let inter = sorted_intersection_count(a_vals, b_vals) as f64;
         inter / a_vals.len().min(b_vals.len()) as f64
     };
     let header_cos = va.column_header_vecs[ca].cosine(&vb.column_header_vecs[cb]);
     mix * overlap + (1.0 - mix) * header_cos
+}
+
+/// `|A ∩ B|` of two sorted, deduplicated value lists — the same count a
+/// set intersection produces, via a linear merge.
+fn sorted_intersection_count(a: &[String], b: &[String]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
 }
 
 /// Builds the cross-table edge set: for every pair of tables, the one-one

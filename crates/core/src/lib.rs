@@ -41,4 +41,4 @@ pub mod view;
 pub use config::{MapperConfig, SimilarityMode, Weights};
 pub use mapper::{ColumnMapper, InferenceAlgorithm, MappingResult};
 pub use metrics::f1_error;
-pub use view::TableView;
+pub use view::{TableFeatures, TableView};

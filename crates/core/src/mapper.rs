@@ -98,13 +98,29 @@ impl ColumnMapper {
         stats: &CorpusStats,
         index: Option<&dyn DocSets>,
     ) -> MappingResult {
+        let views: Vec<TableView<'_>> = tables
+            .iter()
+            .map(|t| TableView::new(t, stats, self.config.body_freq_frac))
+            .collect();
+        self.map_views(query, &views, stats, index)
+    }
+
+    /// [`ColumnMapper::map`] over already-built views — the entry point
+    /// for callers holding **precomputed** per-table features (the engine
+    /// computes them once at bind time). Views must have been built with
+    /// the same statistics and `body_freq_frac` this mapper runs with;
+    /// the output is then byte-identical to [`ColumnMapper::map`] on the
+    /// same tables.
+    pub fn map_views(
+        &self,
+        query: &Query,
+        views: &[TableView<'_>],
+        stats: &CorpusStats,
+        index: Option<&dyn DocSets>,
+    ) -> MappingResult {
         let cfg = &self.config;
         let qv = QueryView::new(query, stats);
         let q = qv.q();
-        let views: Vec<TableView<'_>> = tables
-            .iter()
-            .map(|t| TableView::new(t, stats, cfg.body_freq_frac))
-            .collect();
         let pots: Vec<NodePotentials> = views
             .iter()
             .map(|v| node_potentials(&qv, v, cfg, index))
@@ -116,7 +132,7 @@ impl ColumnMapper {
 
         let needs_edges = !matches!(self.algorithm, InferenceAlgorithm::Independent);
         let edges = if needs_edges {
-            build_edges(&views, cfg)
+            build_edges(views, cfg)
         } else {
             Vec::new()
         };
@@ -162,10 +178,10 @@ impl ColumnMapper {
         };
 
         MappingResult {
-            labelings: tables
+            labelings: views
                 .iter()
                 .zip(&labels)
-                .map(|(t, l)| Labeling::new(t.id, l.clone()))
+                .map(|(v, l)| Labeling::new(v.table.id, l.clone()))
                 .collect(),
             column_probs: marginals.iter().map(|m| m.probs.clone()).collect(),
             table_relevance: marginals.iter().map(|m| m.relevance_prob).collect(),

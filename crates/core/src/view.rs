@@ -1,15 +1,25 @@
 //! Preprocessed per-table view: everything the features need, computed once
 //! per candidate table (tokenized headers, part token sets, TF-IDF vectors,
 //! frequent-body tokens, normalized cell-value sets).
+//!
+//! The expensive part — [`TableFeatures`] — is a pure function of the
+//! table, the corpus statistics and `body_freq_frac`, so an engine can
+//! compute it **once per table at bind time** and share it (`Arc`) across
+//! every query instead of re-tokenizing the same tables per request.
+//! [`TableView`] pairs those features with the borrowed table; it derefs
+//! to the features, so feature code reads `view.header_vecs[r][c]`
+//! without caring whether the features were precomputed or built on the
+//! spot.
 
 use std::collections::HashSet;
+use std::ops::Deref;
+use std::sync::Arc;
 use wwt_model::WebTable;
 use wwt_text::{normalize_cell, tokenize, CorpusStats, TfIdfVector};
 
-/// Feature-ready view over one [`WebTable`].
-pub struct TableView<'t> {
-    /// The underlying table.
-    pub table: &'t WebTable,
+/// The precomputable, table-owned half of a [`TableView`].
+#[derive(Debug)]
+pub struct TableFeatures {
     /// Tokenized header cell `H_rc` per header row r, column c.
     pub header_tokens: Vec<Vec<Vec<String>>>,
     /// TF-IDF vector of each header cell.
@@ -24,14 +34,19 @@ pub struct TableView<'t> {
     /// Frequent body tokens (part `B`): tokens appearing in at least
     /// `body_freq_frac` of some single column's cells.
     pub body_frequent: HashSet<String>,
-    /// Normalized distinct cell values per column (content overlap).
-    pub column_values: Vec<HashSet<String>>,
+    /// Normalized distinct cell values per column, **sorted** — content
+    /// overlap is a sorted-merge intersection count (no per-value string
+    /// hashing in the O(tables²) edge-construction loop).
+    pub column_values: Vec<Vec<String>>,
 }
 
-impl<'t> TableView<'t> {
-    /// Builds the view. `stats` supplies IDF; `body_freq_frac` is
-    /// [`crate::MapperConfig::body_freq_frac`].
-    pub fn new(table: &'t WebTable, stats: &CorpusStats, body_freq_frac: f64) -> Self {
+impl TableFeatures {
+    /// Computes the features. `stats` supplies IDF; `body_freq_frac` is
+    /// [`crate::MapperConfig::body_freq_frac`]. Deterministic: the same
+    /// inputs always produce identical features, which is what lets a
+    /// bind-time precompute stand in for the per-query computation
+    /// byte-for-byte.
+    pub fn compute(table: &WebTable, stats: &CorpusStats, body_freq_frac: f64) -> Self {
         let h = table.n_header_rows();
         let nc = table.n_cols();
 
@@ -90,18 +105,20 @@ impl<'t> TableView<'t> {
             }
         }
 
-        let column_values: Vec<HashSet<String>> = (0..nc)
+        let column_values: Vec<Vec<String>> = (0..nc)
             .map(|c| {
-                table
+                let mut vals: Vec<String> = table
                     .column(c)
                     .map(normalize_cell)
                     .filter(|v| !v.is_empty())
-                    .collect()
+                    .collect();
+                vals.sort_unstable();
+                vals.dedup();
+                vals
             })
             .collect();
 
-        TableView {
-            table,
+        TableFeatures {
             header_tokens,
             header_vecs,
             column_header_vecs,
@@ -109,6 +126,55 @@ impl<'t> TableView<'t> {
             context_set,
             body_frequent,
             column_values,
+        }
+    }
+}
+
+/// Owned-or-shared features behind a view (boxed either way, so the
+/// view stays one pointer wide per arm).
+enum Feats {
+    Owned(Box<TableFeatures>),
+    Shared(Arc<TableFeatures>),
+}
+
+/// Feature-ready view over one [`WebTable`].
+pub struct TableView<'t> {
+    /// The underlying table.
+    pub table: &'t WebTable,
+    feats: Feats,
+}
+
+impl Deref for TableView<'_> {
+    type Target = TableFeatures;
+
+    fn deref(&self) -> &TableFeatures {
+        match &self.feats {
+            Feats::Owned(f) => f,
+            Feats::Shared(f) => f,
+        }
+    }
+}
+
+impl<'t> TableView<'t> {
+    /// Builds the view, computing features on the spot.
+    pub fn new(table: &'t WebTable, stats: &CorpusStats, body_freq_frac: f64) -> Self {
+        TableView {
+            table,
+            feats: Feats::Owned(Box::new(TableFeatures::compute(
+                table,
+                stats,
+                body_freq_frac,
+            ))),
+        }
+    }
+
+    /// A view over precomputed features ([`TableFeatures::compute`] run
+    /// earlier for this exact table with the same statistics and
+    /// configuration — the caller's contract).
+    pub fn with_features(table: &'t WebTable, features: Arc<TableFeatures>) -> Self {
+        TableView {
+            table,
+            feats: Feats::Shared(features),
         }
     }
 
@@ -181,8 +247,10 @@ mod tests {
     fn column_values_normalized() {
         let t = bands_table();
         let v = view(&t);
-        assert!(v.column_values[2].contains("black metal"));
+        assert!(v.column_values[2].iter().any(|s| s == "black metal"));
         assert_eq!(v.column_values[1].len(), 2); // norway, sweden
+                                                 // Sorted + deduplicated: the contract the merge-count relies on.
+        assert!(v.column_values[2].windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]
@@ -191,6 +259,27 @@ mod tests {
         let v = view(&t);
         assert_eq!(v.header_tokens[0][0], vec!["band", "name"]);
         assert!(v.column_header_vecs[0].weight("band") > 0.0);
+    }
+
+    #[test]
+    fn shared_features_behave_like_owned() {
+        let t = bands_table();
+        let stats = CorpusStats::new();
+        let owned = TableView::new(&t, &stats, 0.3);
+        let shared =
+            TableView::with_features(&t, Arc::new(TableFeatures::compute(&t, &stats, 0.3)));
+        assert_eq!(owned.header_tokens, shared.header_tokens);
+        assert_eq!(owned.body_frequent, shared.body_frequent);
+        assert_eq!(owned.column_values, shared.column_values);
+        for (a, b) in owned
+            .column_header_vecs
+            .iter()
+            .zip(&shared.column_header_vecs)
+        {
+            let (av, bv): (Vec<_>, Vec<_>) = (a.iter().collect(), b.iter().collect());
+            assert_eq!(av, bv);
+        }
+        assert_eq!(owned.n_cols(), shared.n_cols());
     }
 
     #[test]

@@ -12,16 +12,16 @@ use crate::pool::fan_out;
 use crate::request::{QueryDiagnostics, QueryRequest, QueryResponse};
 use crate::retrieval::Retrieval;
 use crate::timing::StageTimings;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::path::Path;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use wwt_consolidate::{consolidate, RelevantInput};
-use wwt_core::{ColumnMapper, MappingResult};
+use wwt_core::{ColumnMapper, MappingResult, TableFeatures, TableView};
 use wwt_html::extract_tables;
 use wwt_index::{DocSets, SearchHit, ShardedIndex, ShardedIndexBuilder, TableIndex, TableStore};
 use wwt_model::{Query, TableId, WebTable, WwtError};
-use wwt_text::tokenize;
+use wwt_text::{tokenize, TermId};
 
 /// Default shard count: one shard per core, capped — beyond a handful of
 /// shards the per-probe fan-out overhead outgrows the win.
@@ -155,6 +155,12 @@ pub struct Engine {
     index: Arc<ShardedIndex>,
     store: Arc<TableStore>,
     config: WwtConfig,
+    /// Per-table feature views (tokenized headers, TF-IDF vectors, value
+    /// sets), computed **once at bind time** against the engine's
+    /// statistics and mapper configuration, then shared by every query —
+    /// the per-query mapper used to rebuild all of this per request.
+    /// Empty when `config.precompute_views` is off (the oracle path).
+    features: Arc<HashMap<TableId, Arc<TableFeatures>>>,
     /// Worker threads used to scatter an index probe across shards
     /// (computed once at build; the workers themselves are scoped
     /// threads spawned per probe by [`fan_out`], which only engages
@@ -229,23 +235,32 @@ impl Engine {
     }
 
     /// One ranked index probe, scattered across the shards on the engine
-    /// pool and gathered with the equivalence-preserving merge. Every
-    /// shard worker re-checks `deadline` before probing its shard, so an
-    /// expired budget abandons the not-yet-probed shards instead of
+    /// pool and gathered with the equivalence-preserving merge. Query
+    /// tokens are resolved against the global term dictionary **once**
+    /// (one string hash per token); every shard worker then scores pure
+    /// ids. Every worker re-checks `deadline` before probing its shard,
+    /// so an expired budget abandons the not-yet-probed shards instead of
     /// finishing work nobody will read (a shard search already underway
     /// runs to completion — checks sit on shard boundaries, bounding the
     /// overshoot at one shard's probe).
+    ///
+    /// Alongside the merged hits, returns each shard's probe wall-clock
+    /// (scatter order) — the per-shard view `QueryDiagnostics` surfaces
+    /// so scatter-gather stragglers are visible.
     fn probe(
         &self,
         tokens: &[String],
         k: usize,
         deadline: &Deadline,
         stage: &'static str,
-    ) -> Result<Vec<SearchHit>, WwtError> {
+    ) -> Result<(Vec<SearchHit>, Vec<Duration>), WwtError> {
+        let ids: Vec<TermId> = self.index.resolve_query(tokens);
         let n = self.index.n_shards();
         if n == 1 {
             deadline.check(stage)?;
-            return Ok(self.index.shard(0).search(tokens, k));
+            let t0 = Instant::now();
+            let hits = self.index.shard(0).search_ids(&ids, k);
+            return Ok((hits, vec![t0.elapsed()]));
         }
         // Tiny corpora probe serially (threads = 1): same scatter order,
         // same merged bytes, none of the spawn cost.
@@ -254,15 +269,21 @@ impl Engine {
         } else {
             1
         };
-        let per_shard: Vec<Result<Vec<SearchHit>, WwtError>> = fan_out(n, threads, |s| {
-            deadline.check(stage)?;
-            Ok(self.index.shard(s).search(tokens, k))
-        });
+        let per_shard: Vec<Result<(Vec<SearchHit>, Duration), WwtError>> =
+            fan_out(n, threads, |s| {
+                deadline.check(stage)?;
+                let t0 = Instant::now();
+                let hits = self.index.shard(s).search_ids(&ids, k);
+                Ok((hits, t0.elapsed()))
+            });
         let mut lists = Vec::with_capacity(n);
+        let mut shard_times = Vec::with_capacity(n);
         for r in per_shard {
-            lists.push(r?);
+            let (hits, elapsed) = r?;
+            lists.push(hits);
+            shard_times.push(elapsed);
         }
-        merge_shard_hits(lists, k, deadline)
+        Ok((merge_shard_hits(lists, k, deadline)?, shard_times))
     }
 
     /// Retrieval plus the stage-1 pre-mapping it computed along the way
@@ -282,11 +303,13 @@ impl Engine {
         // the index shards.
         let t0 = Instant::now();
         let tokens = tokenize(&query.all_keywords());
-        let mut hits1 = self.probe(&tokens, cfg.probe1_k, deadline, "first probe")?;
+        let (mut hits1, shard_times1) =
+            self.probe(&tokens, cfg.probe1_k, deadline, "first probe")?;
         if let Some(best) = hits1.first().map(|h| h.score) {
             hits1.retain(|h| h.score >= best * cfg.score_cutoff_frac);
         }
         timing.index1 = t0.elapsed();
+        timing.probe1_shards = shard_times1;
 
         let t0 = Instant::now();
         let stage1: Vec<TableId> = hits1.iter().map(|h| h.table).collect();
@@ -300,9 +323,9 @@ impl Engine {
             config: cfg.mapper.clone(),
             algorithm: cfg.algorithm,
         };
-        let pre = mapper.map(
+        let pre = mapper.map_views(
             query,
-            &tables1,
+            &self.views_for(&tables1),
             self.index.stats(),
             Some(self.index.as_ref() as &dyn DocSets),
         );
@@ -350,7 +373,7 @@ impl Engine {
             // Stage-1 tables re-match their own sampled rows, so search
             // wide enough that they cannot crowd out new tables, then keep
             // the top `probe2_k` *new* content-overlap matches.
-            let mut hits2 = self.probe(
+            let (mut hits2, shard_times2) = self.probe(
                 &sample_tokens,
                 cfg.probe2_k + stage1.len(),
                 deadline,
@@ -359,6 +382,7 @@ impl Engine {
             hits2.retain(|h| !stage1_set.contains(&h.table));
             hits2.truncate(cfg.probe2_k);
             timing.index2 = t0.elapsed();
+            timing.probe2_shards = shard_times2;
             let t0 = Instant::now();
             let mut seen2: HashSet<TableId> = HashSet::with_capacity(hits2.len());
             for (i, h) in hits2.into_iter().enumerate() {
@@ -414,7 +438,7 @@ impl Engine {
         deadline: &Deadline,
     ) -> Result<QueryResponse, WwtError> {
         let (retrieval, premap) = self.retrieve_with(query, cfg, deadline)?;
-        let mut timing = retrieval.timing;
+        let mut timing = retrieval.timing.clone();
         let candidates = retrieval.candidates();
 
         // Stage boundary: candidate tables are in hand; mapping is the
@@ -440,9 +464,9 @@ impl Engine {
                 config: cfg.mapper.clone(),
                 algorithm: cfg.algorithm,
             };
-            let mapping = mapper.map(
+            let mapping = mapper.map_views(
                 query,
-                &tables,
+                &self.views_for(&tables),
                 self.index.stats(),
                 Some(self.index.as_ref() as &dyn DocSets),
             );
@@ -486,10 +510,52 @@ impl Engine {
         })
     }
 
+    /// Views over `tables`, reusing bind-time precomputed features when
+    /// available (the common path) and computing on the spot otherwise
+    /// (`precompute_views` off, or a table unknown at bind). Both paths
+    /// produce identical features — the computation is deterministic —
+    /// so answers never depend on which one ran.
+    fn views_for<'t>(&self, tables: &[&'t WebTable]) -> Vec<TableView<'t>> {
+        tables
+            .iter()
+            .map(|t| match self.features.get(&t.id) {
+                Some(f) => TableView::with_features(t, Arc::clone(f)),
+                None => TableView::new(t, self.index.stats(), self.config.mapper.body_freq_frac),
+            })
+            .collect()
+    }
+
+    /// Entries resident in the index's doc-set probe memo (facade +
+    /// shards) — the `wwt_docset_cache_entries` gauge.
+    pub fn docset_cache_entries(&self) -> usize {
+        self.index.docset_cache_entries()
+    }
+
     /// Assembles an engine from a built sharded index and store without
     /// validation (internal: the builder feeds the store and index from
-    /// the same table list, so they cannot disagree).
+    /// the same table list, so they cannot disagree). When
+    /// `config.precompute_views` is on (the default), every stored
+    /// table's feature view is computed here, once, against the final
+    /// global statistics — the per-query mapper then reuses them instead
+    /// of re-tokenizing candidates on every request.
     fn assemble(index: ShardedIndex, store: TableStore, config: WwtConfig) -> Self {
+        let features: HashMap<TableId, Arc<TableFeatures>> = if config.precompute_views {
+            store
+                .iter()
+                .map(|t| {
+                    (
+                        t.id,
+                        Arc::new(TableFeatures::compute(
+                            t,
+                            index.stats(),
+                            config.mapper.body_freq_frac,
+                        )),
+                    )
+                })
+                .collect()
+        } else {
+            HashMap::new()
+        };
         Engine {
             probe_threads: index.n_shards().min(
                 std::thread::available_parallelism()
@@ -498,6 +564,7 @@ impl Engine {
             ),
             index: Arc::new(index),
             store: Arc::new(store),
+            features: Arc::new(features),
             config,
         }
     }
@@ -908,6 +975,63 @@ mod tests {
         match merge_shard_hits(vec![hits.clone(), hits], 5, &expired) {
             Err(WwtError::DeadlineExceeded(stage)) => assert_eq!(stage, "retrieval merge"),
             other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precomputed_views_answer_identically_to_per_query_views() {
+        let docs = [
+            currency_page(
+                0,
+                &[("India", "Rupee"), ("Japan", "Yen"), ("France", "Euro")],
+            ),
+            currency_page(1, &[("India", "Rupee"), ("Brazil", "Real")]),
+            junk_page(),
+        ];
+        let build = |precompute: bool| {
+            let mut b = EngineBuilder::with_config(WwtConfig {
+                precompute_views: precompute,
+                ..WwtConfig::default()
+            });
+            b.add_documents(docs.iter().map(String::as_str));
+            b.build()
+        };
+        let fast = build(true);
+        let oracle = build(false);
+        for query in ["country | currency", "forest | area", "zebra | stripes"] {
+            let q = Query::parse(query).unwrap();
+            let a = fast.answer_query(&q);
+            let b = oracle.answer_query(&q);
+            assert_eq!(a.table, b.table, "{query}");
+            assert_eq!(a.candidates, b.candidates, "{query}");
+            for (x, y) in a
+                .mapping
+                .table_relevance
+                .iter()
+                .zip(&b.mapping.table_relevance)
+            {
+                assert_eq!(x.to_bits(), y.to_bits(), "relevance drift for {query}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_shard_probe_timings_reported() {
+        let engine = build_engine();
+        let q = Query::parse("country | currency").unwrap();
+        let out = engine.answer_query(&q);
+        assert_eq!(
+            out.diagnostics.timing.probe1_shards.len(),
+            engine.n_shards(),
+            "one probe-1 entry per shard"
+        );
+        if out.diagnostics.probe2_used {
+            assert_eq!(
+                out.diagnostics.timing.probe2_shards.len(),
+                engine.n_shards()
+            );
+        } else {
+            assert!(out.diagnostics.timing.probe2_shards.is_empty());
         }
     }
 

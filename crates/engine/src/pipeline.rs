@@ -31,6 +31,13 @@ pub struct WwtConfig {
     /// dropped (keeps weak single-keyword matches from flooding the
     /// candidate set).
     pub score_cutoff_frac: f64,
+    /// Precompute every table's feature view (tokenized headers, TF-IDF
+    /// vectors, value sets) once at engine bind instead of per query —
+    /// the answers are byte-identical either way (the computation is
+    /// deterministic), only *when* it runs changes. On by default; the
+    /// differential tests switch it off to drive the per-query oracle
+    /// path.
+    pub precompute_views: bool,
 }
 
 impl Default for WwtConfig {
@@ -43,6 +50,7 @@ impl Default for WwtConfig {
             high_relevance: 0.75,
             sample_rows: 10,
             score_cutoff_frac: 0.34,
+            precompute_views: true,
         }
     }
 }

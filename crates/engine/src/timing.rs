@@ -5,7 +5,7 @@
 use std::time::Duration;
 
 /// Wall-clock time spent in each online stage.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StageTimings {
     /// First index probe.
     pub index1: Duration,
@@ -19,6 +19,12 @@ pub struct StageTimings {
     pub column_map: Duration,
     /// Consolidation + ranking.
     pub consolidate: Duration,
+    /// First probe, per index shard, in scatter order — the straggler
+    /// view of the scatter-gather (one entry per shard; a single-shard
+    /// engine reports one entry).
+    pub probe1_shards: Vec<Duration>,
+    /// Second probe, per index shard (empty when the probe did not fire).
+    pub probe2_shards: Vec<Duration>,
 }
 
 impl StageTimings {
@@ -53,6 +59,7 @@ mod tests {
             read2: Duration::from_millis(7),
             column_map: Duration::from_millis(20),
             consolidate: Duration::from_millis(5),
+            ..Default::default()
         };
         assert_eq!(t.total(), Duration::from_millis(50));
         let stacked = t.stacked();

@@ -1,0 +1,129 @@
+//! The memo behind repeated conjunctive doc-set probes (PMI² §3.2.3
+//! re-probes the same cell values constantly), rebuilt for production
+//! traffic:
+//!
+//! * **Keyed by term ids.** Keys are sorted `TermId` lists plus a field
+//!   mask — a handful of `u32`s instead of a `Vec<String>` clone per
+//!   probe.
+//! * **Striped.** N independently locked shards instead of one global
+//!   `Mutex`, so concurrent PMI-heavy queries stop serializing on a
+//!   single lock.
+//! * **Bounded.** Each stripe holds at most `capacity / stripes`
+//!   entries; at the cap an arbitrary entry is evicted. Eviction is
+//!   always safe — a doc-set probe is a pure function of the immutable
+//!   index, so a miss merely recomputes.
+
+use crate::shard::splitmix64;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// A memo key: sorted, deduplicated term ids plus the field bitmask.
+pub(crate) type DocsetKey = (Box<[u32]>, u8);
+
+/// Total entries a [`DocsetCache`] holds by default, across stripes.
+pub(crate) const DEFAULT_DOCSET_CACHE_CAPACITY: usize = 8192;
+
+/// Lock stripes per cache. 16 is plenty: stripes only need to out-number
+/// the threads that can concurrently sit in a PMI probe.
+pub(crate) const DOCSET_CACHE_STRIPES: usize = 16;
+
+/// A striped, size-capped memo from probe keys to shared doc-id sets.
+#[derive(Debug)]
+pub(crate) struct DocsetCache {
+    stripes: Vec<Mutex<HashMap<DocsetKey, Arc<Vec<u32>>>>>,
+    cap_per_stripe: usize,
+}
+
+impl Default for DocsetCache {
+    fn default() -> Self {
+        Self::new(DOCSET_CACHE_STRIPES, DEFAULT_DOCSET_CACHE_CAPACITY)
+    }
+}
+
+impl DocsetCache {
+    /// A cache with `stripes` locks and roughly `capacity` entries in
+    /// total (rounded up to a multiple of the stripe count).
+    pub(crate) fn new(stripes: usize, capacity: usize) -> Self {
+        let stripes = stripes.max(1);
+        DocsetCache {
+            stripes: (0..stripes).map(|_| Mutex::new(HashMap::new())).collect(),
+            cap_per_stripe: capacity.div_ceil(stripes).max(1),
+        }
+    }
+
+    fn stripe(&self, key: &DocsetKey) -> &Mutex<HashMap<DocsetKey, Arc<Vec<u32>>>> {
+        // SplitMix64 over the ids + mask: cheap, well distributed, and
+        // stable (no dependence on the process hash seed).
+        let mut h = 0x9E37_79B9_7F4A_7C15u64 ^ key.1 as u64;
+        for &id in key.0.iter() {
+            h = splitmix64(h ^ u64::from(id));
+        }
+        &self.stripes[(h % self.stripes.len() as u64) as usize]
+    }
+
+    /// The memoized set for `key`, if present.
+    pub(crate) fn get(&self, key: &DocsetKey) -> Option<Arc<Vec<u32>>> {
+        self.stripe(key).lock().unwrap().get(key).cloned()
+    }
+
+    /// Memoizes `value` under `key`, evicting an arbitrary resident entry
+    /// if the stripe is at capacity.
+    pub(crate) fn insert(&self, key: DocsetKey, value: Arc<Vec<u32>>) {
+        let mut map = self.stripe(&key).lock().unwrap();
+        if map.len() >= self.cap_per_stripe && !map.contains_key(&key) {
+            if let Some(evict) = map.keys().next().cloned() {
+                map.remove(&evict);
+            }
+        }
+        map.insert(key, value);
+    }
+
+    /// Entries currently resident, across all stripes (the
+    /// `wwt_docset_cache_entries` gauge).
+    pub(crate) fn entries(&self) -> usize {
+        self.stripes.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(ids: &[u32], mask: u8) -> DocsetKey {
+        (ids.to_vec().into_boxed_slice(), mask)
+    }
+
+    #[test]
+    fn get_insert_roundtrip() {
+        let c = DocsetCache::default();
+        assert!(c.get(&key(&[1, 2], 3)).is_none());
+        c.insert(key(&[1, 2], 3), Arc::new(vec![7]));
+        assert_eq!(*c.get(&key(&[1, 2], 3)).unwrap(), vec![7]);
+        // Same ids, different field mask: a distinct entry.
+        assert!(c.get(&key(&[1, 2], 1)).is_none());
+        assert_eq!(c.entries(), 1);
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let c = DocsetCache::new(4, 64);
+        for i in 0..10_000u32 {
+            c.insert(key(&[i], 7), Arc::new(vec![i]));
+        }
+        // ceil(64/4) = 16 per stripe, 4 stripes.
+        assert!(c.entries() <= 64, "entries {}", c.entries());
+        assert!(c.entries() > 0);
+    }
+
+    #[test]
+    fn eviction_keeps_reinserted_key() {
+        let c = DocsetCache::new(1, 1);
+        c.insert(key(&[1], 0), Arc::new(vec![1]));
+        c.insert(key(&[2], 0), Arc::new(vec![2]));
+        assert_eq!(c.entries(), 1);
+        assert!(c.get(&key(&[2], 0)).is_some());
+        // Overwriting the resident key does not evict it.
+        c.insert(key(&[2], 0), Arc::new(vec![9]));
+        assert_eq!(*c.get(&key(&[2], 0)).unwrap(), vec![9]);
+    }
+}

@@ -30,6 +30,7 @@
 
 pub mod builder;
 pub(crate) mod codec;
+pub(crate) mod docset_cache;
 pub mod field;
 pub mod persist;
 pub mod search;

@@ -1,6 +1,7 @@
 //! Binary persistence of the index ("stored on disk" — paper §2.1).
 //!
-//! Format (little-endian, via the `bytes` crate):
+//! Shard-file format (little-endian, via the `bytes` crate) — unchanged
+//! since v1, so files written before term interning still load:
 //!
 //! ```text
 //! magic  u64  = 0x5757_5449_4458_0001            ("WWTIDX" v1)
@@ -11,22 +12,31 @@
 //!           per field: n_postings u32, then (doc u32, tf u32)*
 //! ```
 //!
+//! Terms are written in sorted order (the dictionary's id order), and the
+//! sharded layout's `manifest.json` (version 2) additionally persists the
+//! **global term dictionary** — the id space every shard's postings are
+//! keyed by. A version-1 manifest (pre-interning) still loads: its
+//! dictionary is rebuilt as the sorted union of the shard vocabularies,
+//! which is exactly what the freeze would have produced.
+//!
 //! Corpus statistics are rebuilt from the postings at load time (df of a
 //! term = number of distinct docs across fields), so they are not stored.
 
+use crate::builder::FrozenShard;
 use crate::field::Field;
-use crate::search::{Postings, TableIndex};
+use crate::search::{Posting, Postings, TableIndex};
 use bytes::{Buf, BufMut, BytesMut};
-use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::path::Path;
 use wwt_model::{TableId, WwtError};
-use wwt_text::CorpusStats;
 
 const MAGIC: u64 = 0x5757_5449_4458_0001;
 
-/// Serializes the index into a byte buffer.
-pub fn to_bytes(index: &TableIndex) -> Vec<u8> {
+/// Serializes the index into a byte buffer. Fails loudly on a term
+/// whose UTF-8 form exceeds the format's `u16` length field — silently
+/// truncating one would desynchronize the reader mid-stream and corrupt
+/// the whole file.
+pub fn to_bytes(index: &TableIndex) -> Result<Vec<u8>, WwtError> {
     let mut buf = BytesMut::new();
     buf.put_u64_le(MAGIC);
     buf.put_u32_le(index.doc_tables.len() as u32);
@@ -36,29 +46,33 @@ pub fn to_bytes(index: &TableIndex) -> Vec<u8> {
             buf.put_u32_le(index.field_lens[i][f.dense()]);
         }
     }
-    // Deterministic term order.
-    let mut terms: Vec<&String> = index.postings.keys().collect();
-    terms.sort();
-    buf.put_u32_le(terms.len() as u32);
-    for term in terms {
-        let bytes = term.as_bytes();
-        buf.put_u16_le(bytes.len() as u16);
+    // Ascending id = sorted term order (the dictionary is frozen sorted),
+    // reproducing the deterministic layout of the pre-interning format.
+    buf.put_u32_le(index.vocab_size() as u32);
+    for (id, post) in index.postings.iter().enumerate() {
+        let Some(post) = post else { continue };
+        let bytes = index.dict.term(wwt_text::TermId(id as u32)).as_bytes();
+        let len = u16::try_from(bytes.len()).map_err(|_| {
+            WwtError::Invalid(format!(
+                "term of {} bytes exceeds the index format's 64 KiB term limit",
+                bytes.len()
+            ))
+        })?;
+        buf.put_u16_le(len);
         buf.put_slice(bytes);
-        let post = &index.postings[term];
         for f in Field::ALL {
             let list = &post.per_field[f.dense()];
             buf.put_u32_le(list.len() as u32);
-            for &(d, tf) in list {
-                buf.put_u32_le(d);
-                buf.put_u32_le(tf);
+            for p in list {
+                buf.put_u32_le(p.doc);
+                buf.put_u32_le(p.tf);
             }
         }
     }
-    buf.to_vec()
+    Ok(buf.to_vec())
 }
 
-/// Deserializes an index produced by [`to_bytes`].
-pub fn from_bytes(data: &[u8]) -> Result<TableIndex, WwtError> {
+fn parse_bytes(data: &[u8]) -> Result<FrozenShard, WwtError> {
     let mut buf = data;
     let check = |ok: bool, what: &str| -> Result<(), WwtError> {
         if ok {
@@ -85,8 +99,7 @@ pub fn from_bytes(data: &[u8]) -> Result<TableIndex, WwtError> {
     }
     check(buf.remaining() >= 4, "term count")?;
     let n_terms = buf.get_u32_le() as usize;
-    let mut postings: HashMap<String, Postings> = HashMap::with_capacity(n_terms);
-    let mut doc_terms: Vec<Vec<String>> = vec![Vec::new(); n_docs];
+    let mut entries: Vec<(String, Postings)> = Vec::with_capacity(n_terms.min(1 << 20));
     for _ in 0..n_terms {
         check(buf.remaining() >= 2, "term len")?;
         let len = buf.get_u16_le() as usize;
@@ -95,7 +108,6 @@ pub fn from_bytes(data: &[u8]) -> Result<TableIndex, WwtError> {
         buf.copy_to_slice(&mut tb);
         let term = String::from_utf8(tb).map_err(|_| WwtError::Corrupt("non-utf8 term".into()))?;
         let mut post = Postings::default();
-        let mut seen_docs: Vec<u32> = Vec::new();
         for f in Field::ALL {
             check(buf.remaining() >= 4, "posting len")?;
             let n = buf.get_u32_le() as usize;
@@ -108,32 +120,58 @@ pub fn from_bytes(data: &[u8]) -> Result<TableIndex, WwtError> {
                 if d as usize >= n_docs {
                     return Err(WwtError::Corrupt("doc id out of range".into()));
                 }
-                list.push((d, tf));
-                if !seen_docs.contains(&d) {
-                    seen_docs.push(d);
-                }
+                list.push(Posting {
+                    doc: d,
+                    tf,
+                    sqrt_tf: (tf as f64).sqrt(),
+                });
             }
         }
-        for d in seen_docs {
-            doc_terms[d as usize].push(term.clone());
+        entries.push((term, post));
+    }
+    // Files are written in sorted term order; tolerate (and canonicalize)
+    // anything else rather than corrupting the positional dictionary.
+    if entries.windows(2).any(|w| w[0].0 >= w[1].0) {
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        entries.dedup_by(|a, b| a.0 == b.0);
+    }
+    let mut terms = Vec::with_capacity(entries.len());
+    let mut dfs = Vec::with_capacity(entries.len());
+    let mut postings = Vec::with_capacity(entries.len());
+    for (term, mut post) in entries {
+        for list in &mut post.per_field {
+            list.sort_unstable_by_key(|p| p.doc);
         }
-        postings.insert(term, post);
+        terms.push(term);
+        dfs.push(crate::builder::distinct_docs(&post));
+        postings.push(post);
     }
-    let mut stats = CorpusStats::new();
-    for terms in &doc_terms {
-        stats.add_doc(terms.iter().map(String::as_str));
-    }
-    Ok(TableIndex::from_parts(
-        postings, doc_tables, field_lens, stats,
-    ))
+    Ok(FrozenShard {
+        terms,
+        dfs,
+        postings,
+        doc_tables,
+        field_lens,
+    })
+}
+
+/// Deserializes an index produced by [`to_bytes`], rebuilding its
+/// vocabulary (sorted term order) and statistics from the postings.
+pub fn from_bytes(data: &[u8]) -> Result<TableIndex, WwtError> {
+    Ok(parse_bytes(data)?.into_index())
 }
 
 /// File name of the sharded-layout manifest inside an index directory.
 pub const MANIFEST_FILE: &str = "manifest.json";
 
 /// Version tag written into the manifest; bumped on incompatible layout
-/// changes so an old binary fails loudly instead of misreading.
-pub const MANIFEST_VERSION: u64 = 1;
+/// changes so an old binary fails loudly instead of misreading. Version 2
+/// added the persisted term dictionary; version-1 directories still load
+/// (the dictionary is rebuilt from the shard vocabularies).
+pub const MANIFEST_VERSION: u64 = 2;
+
+/// Oldest manifest version this build can still read.
+pub const MANIFEST_MIN_VERSION: u64 = 1;
 
 /// File name of shard `s`'s index inside an index directory.
 pub fn shard_file(s: usize) -> String {
@@ -141,8 +179,9 @@ pub fn shard_file(s: usize) -> String {
 }
 
 /// Persists a sharded index into `dir` (created if needed): a versioned
-/// `manifest.json` naming the layout plus one [`save`]-format `.idx`
-/// file per shard. [`load_sharded`] reads it back.
+/// `manifest.json` naming the layout and carrying the global term
+/// dictionary, plus one [`save`]-format `.idx` file per shard.
+/// [`load_sharded`] reads it back.
 pub fn save_sharded(index: &crate::ShardedIndex, dir: &Path) -> Result<(), WwtError> {
     std::fs::create_dir_all(dir)?;
     for s in 0..index.n_shards() {
@@ -151,6 +190,10 @@ pub fn save_sharded(index: &crate::ShardedIndex, dir: &Path) -> Result<(), WwtEr
     let manifest = wwt_json::Json::obj([
         ("version", wwt_json::Json::from(MANIFEST_VERSION)),
         ("shards", wwt_json::Json::from(index.n_shards())),
+        (
+            "terms",
+            wwt_json::Json::arr(index.dict().terms().iter().map(String::as_str)),
+        ),
     ]);
     std::fs::write(dir.join(MANIFEST_FILE), manifest.encode())?;
     Ok(())
@@ -159,7 +202,10 @@ pub fn save_sharded(index: &crate::ShardedIndex, dir: &Path) -> Result<(), WwtEr
 /// Loads a sharded index persisted by [`save_sharded`]. Per-shard
 /// statistics (rebuilt from the postings, as in [`load`]) are merged
 /// into one global table shared by every shard, so the reloaded index
-/// scores bit-identically to the one that was saved.
+/// scores bit-identically to the one that was saved. The term dictionary
+/// comes from a version-2 manifest, or is rebuilt as the sorted union of
+/// shard vocabularies for version-1 directories — the same ids either
+/// way.
 pub fn load_sharded(dir: &Path) -> Result<crate::ShardedIndex, WwtError> {
     let manifest_raw = std::fs::read_to_string(dir.join(MANIFEST_FILE))?;
     let manifest = wwt_json::Json::parse(&manifest_raw)
@@ -168,9 +214,10 @@ pub fn load_sharded(dir: &Path) -> Result<crate::ShardedIndex, WwtError> {
         .get("version")
         .and_then(wwt_json::Json::as_u64)
         .ok_or_else(|| WwtError::Corrupt("index manifest missing \"version\"".into()))?;
-    if version != MANIFEST_VERSION {
+    if !(MANIFEST_MIN_VERSION..=MANIFEST_VERSION).contains(&version) {
         return Err(WwtError::Corrupt(format!(
-            "index manifest version {version} unsupported (expected {MANIFEST_VERSION})"
+            "index manifest version {version} unsupported \
+             (expected {MANIFEST_MIN_VERSION}..={MANIFEST_VERSION})"
         )));
     }
     let n_shards = manifest
@@ -179,25 +226,43 @@ pub fn load_sharded(dir: &Path) -> Result<crate::ShardedIndex, WwtError> {
         .filter(|&n| n >= 1)
         .ok_or_else(|| WwtError::Corrupt("index manifest missing \"shards\" >= 1".into()))?
         as usize;
-    let shards: Vec<TableIndex> = (0..n_shards)
-        .map(|s| load(&dir.join(shard_file(s))))
+    let frozen: Vec<FrozenShard> = (0..n_shards)
+        .map(|s| {
+            let mut data = Vec::new();
+            std::fs::File::open(dir.join(shard_file(s)))?.read_to_end(&mut data)?;
+            parse_bytes(&data)
+        })
         .collect::<Result<_, _>>()?;
-    let mut global = CorpusStats::new();
-    for shard in &shards {
-        global.merge(shard.stats());
+    let index = crate::builder::assemble_sharded(frozen);
+    if version >= 2 {
+        // The persisted dictionary is the layout's id-space contract:
+        // the rebuilt (sorted-union) dictionary must reproduce it
+        // exactly, or the directory is inconsistent.
+        let terms = manifest
+            .get("terms")
+            .and_then(wwt_json::Json::as_arr)
+            .ok_or_else(|| WwtError::Corrupt("v2 index manifest missing \"terms\"".into()))?;
+        let terms: Vec<&str> = terms
+            .iter()
+            .map(|t| {
+                t.as_str()
+                    .ok_or_else(|| WwtError::Corrupt("non-string term in manifest".into()))
+            })
+            .collect::<Result<_, _>>()?;
+        let rebuilt = index.dict().terms();
+        if terms.len() != rebuilt.len() || terms.iter().zip(rebuilt).any(|(a, b)| *a != b) {
+            return Err(WwtError::Corrupt(
+                "manifest term dictionary disagrees with the shard vocabularies".into(),
+            ));
+        }
     }
-    let stats = std::sync::Arc::new(global);
-    let shards = shards
-        .into_iter()
-        .map(|s| s.with_stats(std::sync::Arc::clone(&stats)))
-        .collect();
-    Ok(crate::ShardedIndex::from_loaded_shards(shards, stats))
+    Ok(index)
 }
 
 /// Writes the index to a file.
 pub fn save(index: &TableIndex, path: &Path) -> Result<(), WwtError> {
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-    f.write_all(&to_bytes(index))?;
+    f.write_all(&to_bytes(index)?)?;
     f.flush()?;
     Ok(())
 }
@@ -235,7 +300,7 @@ mod tests {
     #[test]
     fn roundtrip_preserves_search() {
         let idx = sample_index();
-        let restored = from_bytes(&to_bytes(&idx)).unwrap();
+        let restored = from_bytes(&to_bytes(&idx).unwrap()).unwrap();
         assert_eq!(restored.n_docs(), idx.n_docs());
         assert_eq!(restored.vocab_size(), idx.vocab_size());
         for probe in ["common", "header3", "val1 shared", "context"] {
@@ -245,15 +310,30 @@ mod tests {
             assert_eq!(a.len(), b.len(), "probe {probe}");
             for (x, y) in a.iter().zip(&b) {
                 assert_eq!(x.table, y.table);
-                assert!((x.score - y.score).abs() < 1e-9);
+                assert_eq!(
+                    x.score.to_bits(),
+                    y.score.to_bits(),
+                    "score drift, probe {probe}"
+                );
             }
         }
     }
 
     #[test]
+    fn roundtrip_bytes_are_stable() {
+        // Freezing, serializing and re-serializing must be a fixpoint —
+        // the guarantee that re-saving a loaded index never rewrites
+        // files.
+        let idx = sample_index();
+        let bytes = to_bytes(&idx).unwrap();
+        let restored = from_bytes(&bytes).unwrap();
+        assert_eq!(bytes, to_bytes(&restored).unwrap());
+    }
+
+    #[test]
     fn roundtrip_preserves_docsets() {
         let idx = sample_index();
-        let restored = from_bytes(&to_bytes(&idx)).unwrap();
+        let restored = from_bytes(&to_bytes(&idx).unwrap()).unwrap();
         let toks = vec!["shared".to_string()];
         assert_eq!(
             *idx.docs_with_all(&toks, &[Field::Content]),
@@ -263,14 +343,14 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        let mut data = to_bytes(&sample_index());
+        let mut data = to_bytes(&sample_index()).unwrap();
         data[0] ^= 0xff;
         assert!(matches!(from_bytes(&data), Err(WwtError::Corrupt(_))));
     }
 
     #[test]
     fn truncation_rejected_not_panic() {
-        let data = to_bytes(&sample_index());
+        let data = to_bytes(&sample_index()).unwrap();
         for cut in [0, 4, 11, data.len() / 2, data.len() - 1] {
             let r = from_bytes(&data[..cut]);
             assert!(r.is_err(), "cut at {cut} must error");
@@ -289,8 +369,7 @@ mod tests {
         std::fs::remove_file(&path).ok();
     }
 
-    #[test]
-    fn sharded_roundtrip_preserves_search_and_stats() {
+    fn sample_sharded() -> crate::ShardedIndex {
         let mut b = crate::ShardedIndexBuilder::new(3);
         for i in 0..12u32 {
             let t = WebTable::new(
@@ -304,13 +383,19 @@ mod tests {
             .unwrap();
             b.add_table(&t);
         }
-        let idx = b.build();
+        b.build()
+    }
+
+    #[test]
+    fn sharded_roundtrip_preserves_search_and_stats() {
+        let idx = sample_sharded();
         let dir = std::env::temp_dir().join(format!("wwt_sharded_idx_{}", std::process::id()));
         save_sharded(&idx, &dir).unwrap();
         let restored = load_sharded(&dir).unwrap();
         assert_eq!(restored.n_shards(), idx.n_shards());
         assert_eq!(restored.n_docs(), idx.n_docs());
         assert_eq!(restored.stats().n_docs(), idx.stats().n_docs());
+        assert_eq!(restored.dict().terms(), idx.dict().terms());
         for probe in ["common", "header3", "val1 shared", "context"] {
             let toks = wwt_text::tokenize(probe);
             let a = idx.search(&toks, 10);
@@ -329,6 +414,34 @@ mod tests {
     }
 
     #[test]
+    fn v1_manifest_without_terms_still_loads_identically() {
+        // A PR-4 era directory: same shard files, but a version-1
+        // manifest with no "terms". The dictionary must be rebuilt to the
+        // same ids and answer the same bytes.
+        let idx = sample_sharded();
+        let dir = std::env::temp_dir().join(format!("wwt_sharded_v1_{}", std::process::id()));
+        save_sharded(&idx, &dir).unwrap();
+        std::fs::write(
+            dir.join(MANIFEST_FILE),
+            format!(r#"{{"version":1,"shards":{}}}"#, idx.n_shards()),
+        )
+        .unwrap();
+        let restored = load_sharded(&dir).unwrap();
+        assert_eq!(restored.dict().terms(), idx.dict().terms());
+        for probe in ["common", "header2", "context words"] {
+            let toks = wwt_text::tokenize(probe);
+            let a = idx.search(&toks, 10);
+            let b = restored.search(&toks, 10);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.table, y.table);
+                assert_eq!(x.score.to_bits(), y.score.to_bits());
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn sharded_load_rejects_bad_manifests() {
         let dir = std::env::temp_dir().join(format!("wwt_sharded_bad_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -338,11 +451,28 @@ mod tests {
         std::fs::write(dir.join(MANIFEST_FILE), r#"{"version":999,"shards":1}"#).unwrap();
         assert!(matches!(load_sharded(&dir), Err(WwtError::Corrupt(_))));
         // Zero shards.
-        std::fs::write(dir.join(MANIFEST_FILE), r#"{"version":1,"shards":0}"#).unwrap();
+        std::fs::write(dir.join(MANIFEST_FILE), r#"{"version":2,"shards":0}"#).unwrap();
+        assert!(matches!(load_sharded(&dir), Err(WwtError::Corrupt(_))));
+        // A v2 manifest must carry its dictionary.
+        std::fs::write(dir.join(MANIFEST_FILE), r#"{"version":2,"shards":1}"#).unwrap();
+        save(&sample_index(), &dir.join(shard_file(0))).unwrap();
+        assert!(matches!(load_sharded(&dir), Err(WwtError::Corrupt(_))));
+        // An unsorted dictionary is corrupt.
+        std::fs::write(
+            dir.join(MANIFEST_FILE),
+            r#"{"version":2,"shards":1,"terms":["b","a"]}"#,
+        )
+        .unwrap();
+        assert!(matches!(load_sharded(&dir), Err(WwtError::Corrupt(_))));
+        // A dictionary missing a shard's term is corrupt.
+        std::fs::write(
+            dir.join(MANIFEST_FILE),
+            r#"{"version":2,"shards":1,"terms":["common"]}"#,
+        )
+        .unwrap();
         assert!(matches!(load_sharded(&dir), Err(WwtError::Corrupt(_))));
         // Manifest promising more shards than exist on disk.
         std::fs::write(dir.join(MANIFEST_FILE), r#"{"version":1,"shards":2}"#).unwrap();
-        save(&sample_index(), &dir.join(shard_file(0))).unwrap();
         assert!(load_sharded(&dir).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -350,7 +480,7 @@ mod tests {
     #[test]
     fn empty_index_roundtrip() {
         let idx = IndexBuilder::new().build();
-        let restored = from_bytes(&to_bytes(&idx)).unwrap();
+        let restored = from_bytes(&to_bytes(&idx).unwrap()).unwrap();
         assert_eq!(restored.n_docs(), 0);
     }
 }

@@ -4,11 +4,13 @@
 //! Partitioning is the classic source of silent result drift, so every
 //! design choice here serves the equivalence guarantee:
 //!
-//! * **Global statistics.** Each shard scores against the *merged*
-//!   document-frequency table of the whole corpus (shared via `Arc`), so
-//!   per-shard TF-IDF contributions are bit-identical to the unsharded
-//!   index — a document's score is accumulated in the same token × field
-//!   order either way ([`wwt_text::CorpusStats::merge`]).
+//! * **Global vocabulary and statistics.** The freeze builds one term
+//!   dictionary and one merged document-frequency table over the whole
+//!   corpus (shared via `Arc`), so a [`wwt_text::TermId`] means the same
+//!   thing in every shard and per-shard TF-IDF contributions are
+//!   bit-identical to the unsharded index — a document's score is
+//!   accumulated in the same token × field order either way
+//!   ([`wwt_text::CorpusStats::merge`]).
 //! * **Total-order merging.** Each shard returns its own top-k under the
 //!   full `(score desc, TableId asc)` comparator; the union of per-shard
 //!   top-ks is a superset of the global top-k, and re-sorting it with the
@@ -24,13 +26,15 @@
 //! processes), so a persisted sharded layout reloads into the same
 //! partitioning that built it.
 
-use crate::builder::IndexBuilder;
+use crate::builder::{assemble_sharded, IndexBuilder};
+use crate::docset_cache::DocsetCache;
 use crate::field::Field;
-use crate::search::{DocSets, SearchHit, TableIndex};
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use crate::search::{
+    field_mask, resolve_conjunction_ids, resolve_query_ids, DocSets, SearchHit, TableIndex,
+};
+use std::sync::Arc;
 use wwt_model::{TableId, WebTable};
-use wwt_text::CorpusStats;
+use wwt_text::{CorpusStats, TermDict, TermId};
 
 /// The shard a table id lands in, out of `n_shards`. Deterministic:
 /// depends only on the id value, never on process state.
@@ -40,8 +44,9 @@ pub fn shard_of(id: TableId, n_shards: usize) -> usize {
 }
 
 /// SplitMix64 finalizer: cheap, well-mixed, and stable across platforms
-/// (unlike `DefaultHasher`, whose algorithm is unspecified).
-fn splitmix64(v: u64) -> u64 {
+/// (unlike `DefaultHasher`, whose algorithm is unspecified). Shared with
+/// the doc-set memo's stripe selector.
+pub(crate) fn splitmix64(v: u64) -> u64 {
     let mut z = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -49,8 +54,8 @@ fn splitmix64(v: u64) -> u64 {
 }
 
 /// Accumulates tables into N hash-partitioned [`IndexBuilder`]s and
-/// freezes them into a [`ShardedIndex`] scoring against merged global
-/// statistics.
+/// freezes them into a [`ShardedIndex`] scoring against one merged global
+/// vocabulary + statistics.
 pub struct ShardedIndexBuilder {
     builders: Vec<IndexBuilder>,
 }
@@ -80,20 +85,22 @@ impl ShardedIndexBuilder {
     }
 
     /// Freezes every shard. Per-shard statistics are merged into one
-    /// global table first, so each shard's scoring sees the IDF of the
-    /// *whole* corpus — the linchpin of the equivalence guarantee.
-    pub fn build(self) -> ShardedIndex {
-        let mut global = CorpusStats::new();
-        for b in &self.builders {
-            global.merge(b.stats());
+    /// global table first and the vocabulary is interned over it (sorted
+    /// term order), so each shard indexes in the *whole corpus's* id
+    /// space and scores with its IDF — the linchpin of the equivalence
+    /// guarantee.
+    pub fn build(mut self) -> ShardedIndex {
+        if self.builders.len() == 1 {
+            // One shard: its vocabulary *is* the global vocabulary —
+            // skip the merge machinery.
+            return ShardedIndex::single(self.builders.pop().expect("one builder").build());
         }
-        let stats = Arc::new(global);
-        let shards: Vec<TableIndex> = self
-            .builders
-            .into_iter()
-            .map(|b| b.build_with_stats(Arc::clone(&stats)))
-            .collect();
-        ShardedIndex::from_shards(shards, stats)
+        assemble_sharded(
+            self.builders
+                .into_iter()
+                .map(IndexBuilder::freeze)
+                .collect(),
+        )
     }
 }
 
@@ -110,15 +117,24 @@ pub struct ShardedIndex {
     /// `bases[s]` = number of docs in shards `0..s`: the offset turning a
     /// shard-local doc id into a global one.
     bases: Vec<u32>,
+    dict: Arc<TermDict>,
     stats: Arc<CorpusStats>,
     /// Facade-level memo for relabeled doc sets, mirroring the per-shard
     /// memo (PMI² re-probes the same cell values often).
-    docset_cache: Mutex<HashMap<(Vec<String>, u8), Arc<Vec<u32>>>>,
+    docset_cache: DocsetCache,
 }
 
 impl ShardedIndex {
-    pub(crate) fn from_shards(shards: Vec<TableIndex>, stats: Arc<CorpusStats>) -> Self {
+    pub(crate) fn from_shards(
+        shards: Vec<TableIndex>,
+        dict: Arc<TermDict>,
+        stats: Arc<CorpusStats>,
+    ) -> Self {
         assert!(!shards.is_empty(), "a sharded index needs >= 1 shard");
+        debug_assert!(
+            shards.iter().all(|s| Arc::ptr_eq(&s.dict_arc(), &dict)),
+            "every shard must share the facade's dictionary"
+        );
         let mut bases = Vec::with_capacity(shards.len());
         let mut base = 0u32;
         for s in &shards {
@@ -128,24 +144,19 @@ impl ShardedIndex {
         ShardedIndex {
             shards,
             bases,
+            dict,
             stats,
-            docset_cache: Mutex::new(HashMap::new()),
+            docset_cache: DocsetCache::default(),
         }
     }
 
     /// Wraps one existing index as a single-shard facade (sharing its
-    /// statistics — no copies). The facade answers identically to the
-    /// wrapped index by construction.
+    /// vocabulary and statistics — no copies). The facade answers
+    /// identically to the wrapped index by construction.
     pub fn single(index: TableIndex) -> Self {
+        let dict = index.dict_arc();
         let stats = index.stats_arc();
-        Self::from_shards(vec![index], stats)
-    }
-
-    /// Reassembles a facade from previously built shards (the persistence
-    /// loader's entry point). `stats` must be the merged global
-    /// statistics every shard already scores with.
-    pub fn from_loaded_shards(shards: Vec<TableIndex>, stats: Arc<CorpusStats>) -> Self {
-        Self::from_shards(shards, stats)
+        Self::from_shards(vec![index], dict, stats)
     }
 
     /// Number of shards.
@@ -173,9 +184,14 @@ impl ShardedIndex {
         Arc::clone(&self.stats)
     }
 
+    /// The global interned vocabulary.
+    pub fn dict(&self) -> &TermDict {
+        &self.dict
+    }
+
     /// Distinct terms across the whole corpus.
     pub fn vocab_size(&self) -> usize {
-        self.stats.vocab_size()
+        self.dict.len()
     }
 
     /// The table id of every indexed document, shard by shard (the set a
@@ -186,16 +202,24 @@ impl ShardedIndex {
             .flat_map(|s| s.table_ids().iter().copied())
     }
 
+    /// Resolves ranked-probe tokens against the global dictionary once —
+    /// the ids every shard's [`TableIndex::search_ids`] accepts.
+    pub fn resolve_query(&self, tokens: &[String]) -> Vec<TermId> {
+        resolve_query_ids(&self.dict, tokens)
+    }
+
     /// OR-keyword probe over every shard, merged: identical output to
     /// [`TableIndex::search`] on the unsharded corpus. Callers wanting
-    /// parallelism probe [`ShardedIndex::shard`]s on their own pool and
-    /// combine with [`ShardedIndex::merge_hits`]; this convenience form
-    /// runs the shards serially.
+    /// parallelism resolve once ([`ShardedIndex::resolve_query`]), probe
+    /// [`ShardedIndex::shard`]s on their own pool and combine with
+    /// [`ShardedIndex::merge_hits`]; this convenience form runs the
+    /// shards serially.
     pub fn search(&self, tokens: &[String], k: usize) -> Vec<SearchHit> {
+        let ids = self.resolve_query(tokens);
         if self.shards.len() == 1 {
-            return self.shards[0].search(tokens, k);
+            return self.shards[0].search_ids(&ids, k);
         }
-        Self::merge_hits(self.shards.iter().map(|s| s.search(tokens, k)), k)
+        Self::merge_hits(self.shards.iter().map(|s| s.search_ids(&ids, k)), k)
     }
 
     /// Merges per-shard top-k hit lists into the global top-k with the
@@ -219,29 +243,38 @@ impl ShardedIndex {
         if self.shards.len() == 1 {
             return self.shards[0].docs_with_all(tokens, fields);
         }
-        let mut key_tokens: Vec<String> = tokens.to_vec();
-        key_tokens.sort();
-        key_tokens.dedup();
-        let fmask: u8 = fields.iter().fold(0, |m, f| m | (1 << f.dense()));
-        let key = (key_tokens, fmask);
-        if let Some(hit) = self.docset_cache.lock().unwrap().get(&key) {
-            return hit.clone();
+        let Some(ids) = resolve_conjunction_ids(&self.dict, tokens) else {
+            // An out-of-vocabulary token empties the conjunction in every
+            // shard; nothing worth memoizing.
+            return Arc::new(Vec::new());
+        };
+        let key = (ids.into_boxed_slice(), field_mask(fields));
+        if let Some(hit) = self.docset_cache.get(&key) {
+            return hit;
         }
         let mut out: Vec<u32> = Vec::new();
         for (s, shard) in self.shards.iter().enumerate() {
             // The uncached per-shard probe: memoizing both here *and* per
             // shard would double the resident memory of every distinct
             // PMI probe for zero extra hits.
-            let local = shard.docs_with_all_uncached(&key.0, fields);
+            let local = shard.docs_with_all_ids(&key.0, fields);
             let base = self.bases[s];
             out.extend(local.iter().map(|&d| base + d));
         }
         let result = Arc::new(out);
-        self.docset_cache
-            .lock()
-            .unwrap()
-            .insert(key, result.clone());
+        self.docset_cache.insert(key, Arc::clone(&result));
         result
+    }
+
+    /// Entries resident across the facade's and every shard's doc-set
+    /// memo (the `wwt_docset_cache_entries` gauge).
+    pub fn docset_cache_entries(&self) -> usize {
+        self.docset_cache.entries()
+            + self
+                .shards
+                .iter()
+                .map(TableIndex::docset_cache_entries)
+                .sum::<usize>()
     }
 
     /// The table id behind a *global* doc id handed out by
@@ -352,6 +385,21 @@ mod tests {
     }
 
     #[test]
+    fn global_dict_is_shared_and_matches_unsharded() {
+        let tables = corpus(30);
+        let single = single_index(&tables);
+        let sharded = sharded_index(&tables, 3);
+        // Same sorted vocabulary → same ids as the unsharded freeze.
+        assert_eq!(single.dict.terms(), sharded.dict().terms());
+        for s in 0..sharded.n_shards() {
+            assert!(Arc::ptr_eq(
+                &sharded.shard(s).dict_arc(),
+                &sharded.dict_arc_for_test()
+            ));
+        }
+    }
+
+    #[test]
     fn search_is_bit_identical_to_unsharded() {
         let tables = corpus(40);
         let single = single_index(&tables);
@@ -425,6 +473,7 @@ mod tests {
         let a = ShardedIndex::docs_with_all(&sharded, &toks, &[Field::Header]);
         let b = ShardedIndex::docs_with_all(&sharded, &toks, &[Field::Header]);
         assert!(Arc::ptr_eq(&a, &b));
+        assert!(sharded.docset_cache_entries() >= 1);
     }
 
     #[test]
@@ -475,5 +524,11 @@ mod tests {
             one.search(&wwt_text::tokenize("country currency"), 5).len(),
             1
         );
+    }
+
+    impl ShardedIndex {
+        fn dict_arc_for_test(&self) -> Arc<TermDict> {
+            Arc::clone(&self.dict)
+        }
     }
 }

@@ -263,6 +263,12 @@ impl Metrics {
                 "gauge",
                 cache.index_shards as u64,
             ),
+            (
+                "wwt_docset_cache_entries",
+                "Entries resident in the bounded doc-set probe memo.",
+                "gauge",
+                cache.docset_cache_entries as u64,
+            ),
         ] {
             out.push_str(&format!(
                 "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
@@ -287,6 +293,7 @@ mod tests {
             generation: 4,
             swap_count: 4,
             deadline_exceeded: 0,
+            docset_cache_entries: 5,
         }
     }
 
@@ -314,6 +321,7 @@ mod tests {
         assert!(text.contains("wwt_cache_entries 2\n"));
         assert!(text.contains("wwt_engine_generation 4\n"));
         assert!(text.contains("wwt_engine_swaps_total 4\n"));
+        assert!(text.contains("wwt_docset_cache_entries 5\n"));
     }
 
     #[test]
@@ -355,6 +363,7 @@ mod tests {
             generation: 0,
             swap_count: 0,
             deadline_exceeded: 0,
+            docset_cache_entries: 0,
         });
         assert!(text.contains("wwt_http_request_duration_seconds_count 0\n"));
         assert!(text.contains("wwt_http_request_duration_seconds_sum 0\n"));

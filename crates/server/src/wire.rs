@@ -242,6 +242,8 @@ fn response_json(request: &QueryRequest, response: &QueryResponse) -> Json {
         .collect();
     let d = &response.diagnostics;
     let t = &d.timing;
+    let shard_us =
+        |shards: &[std::time::Duration]| Json::arr(shards.iter().map(|d| d.as_micros() as u64));
     let timing_us = Json::obj([
         ("index1", Json::from(t.index1.as_micros() as u64)),
         ("read1", Json::from(t.read1.as_micros() as u64)),
@@ -250,6 +252,10 @@ fn response_json(request: &QueryRequest, response: &QueryResponse) -> Json {
         ("column_map", Json::from(t.column_map.as_micros() as u64)),
         ("consolidate", Json::from(t.consolidate.as_micros() as u64)),
         ("total", Json::from(t.total().as_micros() as u64)),
+        // Per-shard probe wall-clocks (scatter order): the straggler
+        // view of the scatter-gather.
+        ("probe1_shards", shard_us(&t.probe1_shards)),
+        ("probe2_shards", shard_us(&t.probe2_shards)),
     ]);
     let diagnostics = Json::obj([
         ("n_candidates", Json::from(d.n_candidates)),
@@ -315,6 +321,10 @@ pub fn encode_stats_with(stats: &ServiceStats, last_reload_error: Option<&str>) 
         ("swap_count", Json::from(stats.swap_count)),
         ("deadline_exceeded", Json::from(stats.deadline_exceeded)),
         ("index_shards", Json::from(stats.index_shards)),
+        (
+            "docset_cache_entries",
+            Json::from(stats.docset_cache_entries),
+        ),
     ];
     if let Some(error) = last_reload_error {
         fields.push(("last_reload_error", Json::from(error)));
@@ -473,6 +483,7 @@ mod tests {
             generation: 0,
             swap_count: 0,
             deadline_exceeded: 0,
+            docset_cache_entries: 0,
         });
         assert!(body.contains("\"hit_rate\":0"), "{body}");
         let v = Json::parse(&body).unwrap();
@@ -491,6 +502,7 @@ mod tests {
             generation: 7,
             swap_count: 7,
             deadline_exceeded: 2,
+            docset_cache_entries: 11,
         });
         let v = Json::parse(&body).unwrap();
         // Pre-existing field names stay untouched (additive evolution).
@@ -508,5 +520,9 @@ mod tests {
         assert_eq!(v.get("swap_count").and_then(Json::as_u64), Some(7));
         assert_eq!(v.get("deadline_exceeded").and_then(Json::as_u64), Some(2));
         assert_eq!(v.get("index_shards").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            v.get("docset_cache_entries").and_then(Json::as_u64),
+            Some(11)
+        );
     }
 }

@@ -1,0 +1,189 @@
+//! The interned vocabulary: `String ↔ TermId`.
+//!
+//! Classic inverted-index engineering (the Lucene-style term dictionary
+//! the paper's index assumes): every distinct token gets a dense `u32`
+//! id, so the query path compares and indexes integers instead of
+//! hashing strings. The index freezes its dictionary in **lexicographic
+//! term order**, which makes id assignment deterministic across runs,
+//! platforms and processes — a persisted index reloads into the same
+//! ids that built it.
+
+use std::collections::HashMap;
+
+/// Dense id of an interned term. Ids are only meaningful relative to the
+/// [`TermDict`] that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// The id as a dense `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An append-only term interner: `String ↔ TermId`.
+///
+/// Two storage modes behind one API: while *accumulating* (ids in
+/// arrival order), a hash map backs `lookup`/`intern`; once *frozen
+/// sorted* ([`TermDict::from_sorted_terms`], how every index
+/// dictionary is built), the map is dropped entirely and `lookup`
+/// binary-searches the sorted term list — the vocabulary's string
+/// bytes stay resident **once**, not once in a `Vec` plus once as map
+/// keys.
+#[derive(Debug, Clone, Default)]
+pub struct TermDict {
+    terms: Vec<String>,
+    /// `None` for a frozen sorted dictionary (lookups binary-search
+    /// `terms`); built lazily if such a dictionary is interned into
+    /// again.
+    ids: Option<HashMap<String, u32>>,
+}
+
+impl TermDict {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a dictionary assigning ids `0..n` in the order given.
+    /// Callers wanting deterministic ids pass a sorted, deduplicated
+    /// term list (the index freeze does); duplicates keep the first id.
+    pub fn from_terms<I, S>(terms: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let terms = terms.into_iter();
+        let mut dict = TermDict {
+            terms: Vec::with_capacity(terms.size_hint().0),
+            ids: Some(HashMap::with_capacity(terms.size_hint().0)),
+        };
+        for t in terms {
+            let t: String = t.into();
+            dict.intern(&t);
+        }
+        dict
+    }
+
+    /// [`TermDict::from_terms`] taking ownership of an already sorted,
+    /// deduplicated term list — the freeze-time fast path: no map is
+    /// built (ids are positions, lookups binary-search), so the terms
+    /// are stored exactly once.
+    pub fn from_sorted_terms(terms: Vec<String>) -> Self {
+        debug_assert!(terms.windows(2).all(|w| w[0] < w[1]), "unsorted terms");
+        TermDict { terms, ids: None }
+    }
+
+    /// The id of `term`, interning it if unseen.
+    pub fn intern(&mut self, term: &str) -> TermId {
+        let terms = &self.terms;
+        let map = self.ids.get_or_insert_with(|| {
+            terms
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (t.clone(), i as u32))
+                .collect()
+        });
+        if let Some(&id) = map.get(term) {
+            return TermId(id);
+        }
+        let id = self.terms.len() as u32;
+        self.terms.push(term.to_string());
+        if let Some(map) = &mut self.ids {
+            map.insert(term.to_string(), id);
+        }
+        TermId(id)
+    }
+
+    /// The id of `term`, if interned.
+    #[inline]
+    pub fn lookup(&self, term: &str) -> Option<TermId> {
+        match &self.ids {
+            Some(map) => map.get(term).copied().map(TermId),
+            None => self
+                .terms
+                .binary_search_by(|t| t.as_str().cmp(term))
+                .ok()
+                .map(|i| TermId(i as u32)),
+        }
+    }
+
+    /// The term behind an id issued by this dictionary.
+    #[inline]
+    pub fn term(&self, id: TermId) -> &str {
+        &self.terms[id.index()]
+    }
+
+    /// Number of interned terms (`== 1 + max id`).
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True iff nothing is interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Every interned term, in id order.
+    pub fn terms(&self) -> &[String] {
+        &self.terms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = TermDict::new();
+        let a = d.intern("country");
+        let b = d.intern("currency");
+        assert_ne!(a, b);
+        assert_eq!(d.intern("country"), a);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.term(a), "country");
+        assert_eq!(d.lookup("currency"), Some(b));
+        assert_eq!(d.lookup("unseen"), None);
+    }
+
+    #[test]
+    fn from_terms_assigns_dense_ids_in_order() {
+        let d = TermDict::from_terms(["alpha", "beta", "gamma"]);
+        assert_eq!(d.lookup("alpha"), Some(TermId(0)));
+        assert_eq!(d.lookup("beta"), Some(TermId(1)));
+        assert_eq!(d.lookup("gamma"), Some(TermId(2)));
+        assert_eq!(d.terms(), &["alpha", "beta", "gamma"]);
+    }
+
+    #[test]
+    fn duplicates_keep_first_id() {
+        let d = TermDict::from_terms(["a", "b", "a"]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.lookup("a"), Some(TermId(0)));
+    }
+
+    #[test]
+    fn empty_dict() {
+        let d = TermDict::new();
+        assert!(d.is_empty());
+        assert_eq!(d.lookup("x"), None);
+    }
+
+    #[test]
+    fn frozen_sorted_dict_looks_up_without_a_map_and_can_resume_interning() {
+        let mut d = TermDict::from_sorted_terms(vec!["ant".into(), "bee".into(), "cow".into()]);
+        assert_eq!(d.lookup("ant"), Some(TermId(0)));
+        assert_eq!(d.lookup("cow"), Some(TermId(2)));
+        assert_eq!(d.lookup("aardvark"), None);
+        assert_eq!(d.lookup("zebra"), None);
+        // Interning into a frozen dictionary lazily rebuilds the map and
+        // keeps every existing id.
+        assert_eq!(d.intern("bee"), TermId(1));
+        assert_eq!(d.intern("dog"), TermId(3));
+        assert_eq!(d.lookup("dog"), Some(TermId(3)));
+        assert_eq!(d.lookup("ant"), Some(TermId(0)));
+    }
+}

@@ -14,10 +14,14 @@
 //! whitespace/punctuation splitting plus lowercasing, with a small English
 //! stopword list applied where the caller asks for it.
 
+pub mod dict;
 pub mod stats;
 pub mod tfidf;
 pub mod tokenize;
 
+pub use dict::{TermDict, TermId};
 pub use stats::CorpusStats;
 pub use tfidf::TfIdfVector;
-pub use tokenize::{is_stopword, normalize_cell, stem_plural, tokenize, tokenize_keep_stopwords};
+pub use tokenize::{
+    is_stopword, normalize_cell, stem_plural, tokenize, tokenize_each, tokenize_keep_stopwords,
+};

@@ -5,20 +5,91 @@
 //! `w`. [`CorpusStats`] is built once over the whole table corpus (each
 //! table = one document, all three fields concatenated) and shared by the
 //! index, the features and the consolidator.
+//!
+//! Terms are interned through a private [`TermDict`], so the statistics
+//! are keyed by dense [`TermId`]s internally; the string API stays for
+//! callers holding raw tokens, and the id API ([`CorpusStats::idf_id`])
+//! lets the index skip the string hash entirely once a token is resolved.
 
-use std::collections::HashMap;
+use crate::dict::{TermDict, TermId};
+use std::sync::Arc;
+
+/// The dictionary behind a [`CorpusStats`]: owned while accumulating,
+/// or shared with the index that froze it (one resident copy of the
+/// vocabulary instead of two).
+#[derive(Debug, Clone)]
+enum Dict {
+    Owned(TermDict),
+    Shared(Arc<TermDict>),
+}
+
+impl Default for Dict {
+    fn default() -> Self {
+        Dict::Owned(TermDict::new())
+    }
+}
 
 /// Document-frequency table over a corpus of `n_docs` documents.
 #[derive(Debug, Clone, Default)]
 pub struct CorpusStats {
     n_docs: u64,
-    df: HashMap<String, u32>,
+    dict: Dict,
+    /// `df[id]` = documents containing the term, aligned with `dict`.
+    df: Vec<u32>,
 }
 
 impl CorpusStats {
     /// Empty statistics (IDF falls back to a constant 1.0).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Builds statistics directly from already-counted document
+    /// frequencies: `terms` sorted and deduplicated, `df[i]` the document
+    /// frequency of `terms[i]` — the freeze-time fast path (an index
+    /// builder derives df from its posting lists, so no per-document
+    /// accumulation or hashing happens here). Equivalent to feeding
+    /// [`CorpusStats::add_doc`] the same corpus: `df`/`n_docs` are the
+    /// same integers, so IDF is bit-identical.
+    pub fn from_sorted_df(n_docs: u64, terms: Vec<String>, df: Vec<u32>) -> Self {
+        Self::from_shared_dict(n_docs, Arc::new(TermDict::from_sorted_terms(terms)), df)
+    }
+
+    /// [`CorpusStats::from_sorted_df`] over an existing shared
+    /// dictionary — the index freeze hands its own `Arc<TermDict>` in,
+    /// so the vocabulary stays resident **once**, not once per holder.
+    /// `df[i]` must be the document frequency of the dictionary's term
+    /// `i`.
+    pub fn from_shared_dict(n_docs: u64, dict: Arc<TermDict>, df: Vec<u32>) -> Self {
+        debug_assert_eq!(dict.len(), df.len());
+        CorpusStats {
+            n_docs,
+            dict: Dict::Shared(dict),
+            df,
+        }
+    }
+
+    /// The dictionary, read-only.
+    fn dict(&self) -> &TermDict {
+        match &self.dict {
+            Dict::Owned(d) => d,
+            Dict::Shared(d) => d,
+        }
+    }
+
+    /// The dictionary for mutation: a shared dictionary is detached
+    /// (cloned) first — accumulation (`add_doc`/`merge`) onto frozen,
+    /// index-shared statistics is a test-only path, and silently
+    /// mutating a dictionary an index also reads would corrupt the
+    /// index's id space.
+    fn dict_mut(&mut self) -> &mut TermDict {
+        if let Dict::Shared(d) = &self.dict {
+            self.dict = Dict::Owned((**d).clone());
+        }
+        match &mut self.dict {
+            Dict::Owned(d) => d,
+            Dict::Shared(_) => unreachable!("just detached"),
+        }
     }
 
     /// Builds statistics from an iterator of documents, each given as its
@@ -44,17 +115,23 @@ impl CorpusStats {
         S: AsRef<str>,
     {
         self.n_docs += 1;
-        let mut seen: Vec<&str> = Vec::new();
-        let tokens: Vec<S> = tokens.into_iter().collect();
-        for t in &tokens {
-            let t = t.as_ref();
-            if !seen.contains(&t) {
-                seen.push(t);
-            }
+        let mut ids: Vec<u32> = tokens
+            .into_iter()
+            .map(|t| self.intern(t.as_ref()).0)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        for id in ids {
+            self.df[id as usize] += 1;
         }
-        for t in seen {
-            *self.df.entry(t.to_string()).or_insert(0) += 1;
+    }
+
+    fn intern(&mut self, term: &str) -> TermId {
+        let id = self.dict_mut().intern(term);
+        if id.index() == self.df.len() {
+            self.df.push(0);
         }
+        id
     }
 
     /// Number of documents seen.
@@ -62,9 +139,21 @@ impl CorpusStats {
         self.n_docs
     }
 
+    /// The id of `term` in this statistics table's dictionary, if seen.
+    #[inline]
+    pub fn lookup(&self, term: &str) -> Option<TermId> {
+        self.dict().lookup(term)
+    }
+
     /// Document frequency of `term` (0 if unseen).
     pub fn df(&self, term: &str) -> u32 {
-        self.df.get(term).copied().unwrap_or(0)
+        self.lookup(term).map_or(0, |id| self.df_id(id))
+    }
+
+    /// Document frequency by interned id.
+    #[inline]
+    pub fn df_id(&self, id: TermId) -> u32 {
+        self.df[id.index()]
     }
 
     /// Smoothed inverse document frequency:
@@ -74,10 +163,22 @@ impl CorpusStats {
     /// weight (mirrors Lucene's classic similarity). On an empty corpus the
     /// IDF is a constant 1.0, which degrades TF-IDF cosine to plain cosine.
     pub fn idf(&self, term: &str) -> f64 {
+        self.idf_of_df(self.df(term))
+    }
+
+    /// [`CorpusStats::idf`] by interned id — no string hash on the hot
+    /// path. Bit-identical to the string form for the same term.
+    #[inline]
+    pub fn idf_id(&self, id: TermId) -> f64 {
+        self.idf_of_df(self.df_id(id))
+    }
+
+    #[inline]
+    fn idf_of_df(&self, df: u32) -> f64 {
         if self.n_docs == 0 {
             return 1.0;
         }
-        let df = self.df(term) as f64;
+        let df = df as f64;
         1.0 + ((1.0 + self.n_docs as f64) / (1.0 + df)).ln()
     }
 
@@ -88,19 +189,25 @@ impl CorpusStats {
     /// therefore bit-identical `idf`).
     pub fn merge(&mut self, other: &CorpusStats) {
         self.n_docs += other.n_docs;
-        for (term, df) in &other.df {
-            *self.df.entry(term.clone()).or_insert(0) += df;
+        for (term, df) in other.iter() {
+            let id = self.intern(term);
+            self.df[id.index()] += df;
         }
     }
 
     /// Number of distinct terms seen.
     pub fn vocab_size(&self) -> usize {
-        self.df.len()
+        self.dict().len()
     }
 
-    /// Iterates over `(term, df)` pairs (arbitrary order).
+    /// Iterates over `(term, df)` pairs in interning (id) order —
+    /// deterministic for a fixed build sequence.
     pub fn iter(&self) -> impl Iterator<Item = (&str, u32)> + '_ {
-        self.df.iter().map(|(t, &d)| (t.as_str(), d))
+        self.dict()
+            .terms()
+            .iter()
+            .zip(&self.df)
+            .map(|(t, &d)| (t.as_str(), d))
     }
 }
 
@@ -132,6 +239,17 @@ mod tests {
         assert!(s.idf("unseen") > s.idf("dog"));
         assert!(s.idf("dog") > s.idf("country"));
         assert!(s.idf("country") >= 1.0);
+    }
+
+    #[test]
+    fn id_api_matches_string_api() {
+        let s = stats();
+        for term in ["country", "currency", "dog", "breed", "population"] {
+            let id = s.lookup(term).expect(term);
+            assert_eq!(s.df_id(id), s.df(term));
+            assert_eq!(s.idf_id(id).to_bits(), s.idf(term).to_bits());
+        }
+        assert_eq!(s.lookup("unseen"), None);
     }
 
     #[test]
@@ -175,6 +293,30 @@ mod tests {
         let before = merged.n_docs();
         merged.merge(&CorpusStats::new());
         assert_eq!(merged.n_docs(), before);
+    }
+
+    #[test]
+    fn from_sorted_df_matches_accumulated_stats() {
+        let docs = [
+            vec!["country", "currency"],
+            vec!["country", "population"],
+            vec!["dog", "breed", "dog"],
+        ];
+        let accumulated = CorpusStats::from_token_docs(docs.iter().cloned());
+        let terms = vec![
+            "breed".to_string(),
+            "country".to_string(),
+            "currency".to_string(),
+            "dog".to_string(),
+            "population".to_string(),
+        ];
+        let direct = CorpusStats::from_sorted_df(3, terms, vec![1, 2, 1, 1, 1]);
+        assert_eq!(direct.n_docs(), accumulated.n_docs());
+        assert_eq!(direct.vocab_size(), accumulated.vocab_size());
+        for (term, df) in accumulated.iter() {
+            assert_eq!(direct.df(term), df, "df({term})");
+            assert_eq!(direct.idf(term).to_bits(), accumulated.idf(term).to_bits());
+        }
     }
 
     #[test]

@@ -1,39 +1,54 @@
 //! TF-IDF vectors and the similarity primitives of paper §3.2.1–3.2.2.
 
 use crate::stats::CorpusStats;
-use std::collections::HashMap;
 
-/// A sparse TF-IDF vector over tokens.
+/// A sparse TF-IDF vector over tokens, stored as a token-sorted weight
+/// list.
 ///
 /// Weight of term `w` = `tf(w) · idf(w)`. The squared L2 norm `‖·‖²` is the
 /// quantity the paper's Eq. 1 uses to weight the prefix/suffix parts of a
 /// segmented query.
+///
+/// The sorted representation makes every accumulation (norms, dot
+/// products, coverage) run in **lexicographic token order** — fully
+/// deterministic across processes and platforms, unlike a hash map whose
+/// iteration order follows the process's random hash seed. Lookups are
+/// binary searches; dot products are linear sorted merges.
 #[derive(Debug, Clone, Default)]
 pub struct TfIdfVector {
-    weights: HashMap<String, f64>,
+    /// `(token, weight)` sorted by token, one entry per distinct token.
+    weights: Vec<(String, f64)>,
     norm_sq: f64,
 }
 
 impl TfIdfVector {
     /// Builds a vector from raw tokens using `stats` for IDF.
     pub fn from_tokens<S: AsRef<str>>(tokens: &[S], stats: &CorpusStats) -> Self {
-        let mut tf: HashMap<&str, f64> = HashMap::new();
-        for t in tokens {
-            *tf.entry(t.as_ref()).or_insert(0.0) += 1.0;
-        }
-        let mut weights = HashMap::with_capacity(tf.len());
+        let mut sorted: Vec<&str> = tokens.iter().map(AsRef::as_ref).collect();
+        sorted.sort_unstable();
+        let mut weights: Vec<(String, f64)> = Vec::new();
         let mut norm_sq = 0.0;
-        for (t, f) in tf {
-            let w = f * stats.idf(t);
+        let mut i = 0;
+        while i < sorted.len() {
+            let t = sorted[i];
+            let mut tf = 0.0f64;
+            while i < sorted.len() && sorted[i] == t {
+                tf += 1.0;
+                i += 1;
+            }
+            let w = tf * stats.idf(t);
             norm_sq += w * w;
-            weights.insert(t.to_string(), w);
+            weights.push((t.to_string(), w));
         }
         TfIdfVector { weights, norm_sq }
     }
 
     /// Weight of `term` (0 if absent).
     pub fn weight(&self, term: &str) -> f64 {
-        self.weights.get(term).copied().unwrap_or(0.0)
+        self.weights
+            .binary_search_by(|(t, _)| t.as_str().cmp(term))
+            .map(|i| self.weights[i].1)
+            .unwrap_or(0.0)
     }
 
     /// Squared L2 norm `‖v‖²`.
@@ -56,15 +71,24 @@ impl TfIdfVector {
         self.weights.len()
     }
 
-    /// Dot product with another vector.
+    /// Dot product with another vector: a linear merge of the two sorted
+    /// weight lists, accumulated in lexicographic token order.
     pub fn dot(&self, other: &TfIdfVector) -> f64 {
-        // Iterate over the smaller map.
-        let (small, large) = if self.weights.len() <= other.weights.len() {
-            (self, other)
-        } else {
-            (other, self)
-        };
-        small.weights.iter().map(|(t, w)| w * large.weight(t)).sum()
+        let (a, b) = (&self.weights, &other.weights);
+        let (mut i, mut j) = (0, 0);
+        let mut sum = 0.0;
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    sum += a[i].1 * b[j].1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        sum
     }
 
     /// Cosine similarity (0 when either vector is empty). This is the
@@ -94,9 +118,9 @@ impl TfIdfVector {
         (covered / self.norm_sq).clamp(0.0, 1.0)
     }
 
-    /// Iterates over `(term, weight)` pairs (arbitrary order).
+    /// Iterates over `(term, weight)` pairs in lexicographic term order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
-        self.weights.iter().map(|(t, &w)| (t.as_str(), w))
+        self.weights.iter().map(|(t, w)| (t.as_str(), *w))
     }
 }
 
@@ -178,5 +202,14 @@ mod tests {
         let a = v("a b c d", &s);
         let b = v("c d e", &s);
         assert!((a.dot(&b) - b.dot(&a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let s = CorpusStats::new();
+        let a = TfIdfVector::from_tokens(&["zebra", "ant", "mule", "ant"], &s);
+        let terms: Vec<&str> = a.iter().map(|(t, _)| t).collect();
+        assert_eq!(terms, vec!["ant", "mule", "zebra"]);
+        assert_eq!(a.weight("ant"), 2.0);
     }
 }

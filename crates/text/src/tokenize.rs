@@ -25,19 +25,52 @@ pub fn is_stopword(w: &str) -> bool {
 /// `'`/`’` (apostrophes are removed rather than splitting, so `"world's"`
 /// tokenizes to `worlds` and then stems to `world`).
 pub fn tokenize(text: &str) -> Vec<String> {
-    raw_tokens(text)
-        .filter(|t| !is_stopword(t))
-        .map(|t| stem_plural(&t))
-        .collect()
+    let mut out = Vec::new();
+    tokenize_each(text, |t| out.push(t.to_string()));
+    out
+}
+
+/// The allocation-light sibling of [`tokenize`]: streams each normalized
+/// token through `f` as a borrowed slice of one reused buffer, instead
+/// of materializing a `Vec<String>`. Token stream and normalization are
+/// identical to [`tokenize`] — the index builder and the intern-resolving
+/// query path use this to tokenize without one heap `String` per token.
+pub fn tokenize_each(text: &str, mut f: impl FnMut(&str)) {
+    let mut buf = String::new();
+    for raw in text.split(|ch: char| !(ch.is_alphanumeric() || ch == '\'' || ch == '’')) {
+        if raw.is_empty() {
+            continue;
+        }
+        buf.clear();
+        for c in raw.chars() {
+            if c != '\'' && c != '’' {
+                buf.extend(c.to_lowercase());
+            }
+        }
+        if buf.is_empty() || is_stopword(&buf) {
+            continue;
+        }
+        stem_plural_in_place(&mut buf);
+        f(&buf);
+    }
 }
 
 /// Light plural stemmer: strips common English plural suffixes without a
 /// full Porter stemmer. Conservative on short words and `-ss`/`-us`/`-is`
 /// endings ("glass", "status", "thesis" are left alone).
 pub fn stem_plural(w: &str) -> String {
+    let mut s = w.to_string();
+    stem_plural_in_place(&mut s);
+    s
+}
+
+/// [`stem_plural`] on an owned buffer — truncation instead of allocation.
+fn stem_plural_in_place(w: &mut String) {
     let n = w.len();
     if n > 4 && w.ends_with("ies") {
-        return format!("{}y", &w[..n - 3]);
+        w.truncate(n - 3);
+        w.push('y');
+        return;
     }
     if n > 4
         && (w.ends_with("ches")
@@ -46,12 +79,12 @@ pub fn stem_plural(w: &str) -> String {
             || w.ends_with("zes")
             || w.ends_with("ses"))
     {
-        return w[..n - 2].to_string();
+        w.truncate(n - 2);
+        return;
     }
     if n > 3 && w.ends_with('s') && !w.ends_with("ss") && !w.ends_with("us") && !w.ends_with("is") {
-        return w[..n - 1].to_string();
+        w.truncate(n - 1);
     }
-    w.to_string()
 }
 
 /// Like [`tokenize`] but keeps stopwords. Used where exact phrase coverage

@@ -170,6 +170,53 @@
 //! `GET /version` (`"shards"`), `GET /stats` (`"index_shards"`) and the
 //! `wwt_index_shards` Prometheus gauge.
 //!
+//! ## Performance
+//!
+//! The online query path is fully **interned**: the index freeze builds
+//! a term dictionary ([`text::TermDict`], ids assigned in sorted term
+//! order, persisted in the index manifest), and everything after the
+//! one-hash-per-token resolution step runs on dense `u32` ids — postings
+//! are a vector indexed by term id, per-term IDF and per-posting `√tf` /
+//! per-doc `√(len+1)` are precomputed at freeze, ranked probes score
+//! into a reusable dense accumulator and select top-k with a bounded
+//! heap, and every table's feature view (tokenized headers, TF-IDF
+//! vectors, value sets) is computed **once at engine bind** and shared
+//! by all queries instead of being rebuilt per request. The doc-set
+//! probe memo behind PMI² is striped and size-capped (reported as
+//! `"docset_cache_entries"` in `GET /stats` and the
+//! `wwt_docset_cache_entries` gauge), and `QueryDiagnostics` reports
+//! per-shard probe wall-clocks (`timing_us.probe1_shards` /
+//! `probe2_shards` on the wire) so scatter-gather stragglers are
+//! visible.
+//!
+//! None of this changes a single answer byte: operand values and
+//! accumulation order are preserved exactly, and the differential
+//! harnesses (`tests/shard_equivalence.rs`,
+//! `tests/interned_equivalence.rs`) plus the golden snapshots hold the
+//! optimized path to bit-identical output against its string-keyed /
+//! per-query oracles.
+//!
+//! Measure it with the perf benchmark, which writes the machine-readable
+//! trajectory point `BENCH_query_path.json` at the repo root (fixed
+//! seed; `WWT_SCALE` sizes the corpus, default 0.15):
+//!
+//! ```text
+//! cargo run --release -p wwt-bench --bin perf
+//! cat BENCH_query_path.json   # index_build_ms, engine_bind_ms,
+//!                             # probe_topk / cold_query / warm_query µs
+//! ```
+//!
+//! `cold_query` is the first uncached end-to-end run per workload query
+//! (the number the interning + precompute work targets — ≥ 2× down vs.
+//! the string-keyed path on the bench corpus); `index_build_ms` tracks
+//! the offline freeze, which the hash-free positional freeze keeps at or
+//! below its pre-interning cost. `engine_bind_ms` additionally includes
+//! the bind-time feature precompute — deliberately spent offline so no
+//! query ever pays it. CI runs the same binary in smoke mode
+//! (`WWT_BENCH_SMOKE=1`) and uploads the artifact; `benches/
+//! query_path.rs` carries the criterion version of the same three
+//! measurements.
+//!
 //! ## Per-route concurrency limits
 //!
 //! `POST /query` and `POST /query/batch` share a concurrency budget
