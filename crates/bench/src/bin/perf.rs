@@ -132,7 +132,22 @@ fn main() {
     }
 
     // Engine bind: everything `EngineBuilder::build` pays beyond the raw
-    // index (store assembly, feature precompute).
+    // index (store assembly, feature precompute). Serial first — one
+    // bind thread — then the pooled default, so the artifact records how
+    // much the worker-pool fan-out (per-shard freeze + per-table feature
+    // precompute) buys on this machine.
+    let t0 = Instant::now();
+    let serial: Engine = {
+        let mut b = EngineBuilder::with_config(WwtConfig::default());
+        b.add_tables(tables.iter().cloned());
+        b.bind_threads(1);
+        b.build()
+    };
+    let engine_bind_serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+    drop(serial);
+    let bind_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let t0 = Instant::now();
     let engine: Engine = {
         let mut b = EngineBuilder::with_config(WwtConfig::default());
@@ -212,6 +227,8 @@ fn main() {
         ("vocab", Json::from(vocab)),
         ("index_build_ms", Json::from(mean(&index_build_ms))),
         ("engine_bind_ms", Json::from(engine_bind_ms)),
+        ("engine_bind_serial_ms", Json::from(engine_bind_serial_ms)),
+        ("bind_threads", Json::from(bind_threads)),
         ("probe_topk", stats_json(&probe_us)),
         ("cold_query", stats_json(&cold_us)),
         ("warm_query", stats_json(&warm_us)),
@@ -223,7 +240,8 @@ fn main() {
     std::fs::write(&path, format!("{}\n", out.encode())).expect("write bench artifact");
     eprintln!("[perf] wrote {path}");
     println!(
-        "index_build {:.1} ms | engine_bind {:.1} ms | probe_topk {:.1} us (median) | \
+        "index_build {:.1} ms | engine_bind {:.1} ms ({bind_threads} threads; \
+         {engine_bind_serial_ms:.1} ms serial) | probe_topk {:.1} us (median) | \
          cold_query {:.0} us (median) / {:.0} us (mean) | warm_query {:.0} us (median)",
         mean(&index_build_ms),
         engine_bind_ms,

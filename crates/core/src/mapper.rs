@@ -118,13 +118,36 @@ impl ColumnMapper {
         stats: &CorpusStats,
         index: Option<&dyn DocSets>,
     ) -> MappingResult {
+        self.map_views_with_threads(query, views, stats, index, 1)
+    }
+
+    /// [`ColumnMapper::map_views`] with the per-table node-potential
+    /// batch fanned out over the persistent worker pool. Each candidate's
+    /// potentials depend only on its own view (and the shared read-only
+    /// query view / doc-set index), and the fan-out returns results in
+    /// input order, so the output is **identical** to the serial form for
+    /// every thread count — `threads <= 1` short-circuits to it.
+    pub fn map_views_with_threads(
+        &self,
+        query: &Query,
+        views: &[TableView<'_>],
+        stats: &CorpusStats,
+        index: Option<&dyn DocSets>,
+        threads: usize,
+    ) -> MappingResult {
         let cfg = &self.config;
         let qv = QueryView::new(query, stats);
         let q = qv.q();
-        let pots: Vec<NodePotentials> = views
-            .iter()
-            .map(|v| node_potentials(&qv, v, cfg, index))
-            .collect();
+        let pots: Vec<NodePotentials> = if threads <= 1 || views.len() <= 1 {
+            views
+                .iter()
+                .map(|v| node_potentials(&qv, v, cfg, index))
+                .collect()
+        } else {
+            wwt_pool::fan_out(views.len(), threads, |i| {
+                node_potentials(&qv, &views[i], cfg, index)
+            })
+        };
         let m_eff: Vec<usize> = views
             .iter()
             .map(|v| cfg.effective_min_match(q, v.n_cols()))
@@ -342,6 +365,35 @@ mod tests {
         let r = ColumnMapper::default().map(&q, &[], &stats, None);
         assert!(r.labelings.is_empty());
         assert!(r.relevant_tables().is_empty());
+    }
+
+    #[test]
+    fn pooled_mapping_is_identical_to_serial() {
+        let q = Query::parse("country | currency").unwrap();
+        let tables = [
+            currency_table(0),
+            forest_table(1),
+            headerless_currency(2),
+            currency_table(3),
+        ];
+        let refs: Vec<&WebTable> = tables.iter().collect();
+        let stats = CorpusStats::new();
+        for alg in all_algorithms() {
+            let mapper = ColumnMapper::default().with_algorithm(alg);
+            let views: Vec<crate::view::TableView<'_>> = refs
+                .iter()
+                .map(|t| crate::view::TableView::new(t, &stats, mapper.config.body_freq_frac))
+                .collect();
+            let serial = mapper.map_views(&q, &views, &stats, None);
+            for threads in [2usize, 4, 8] {
+                let pooled = mapper.map_views_with_threads(&q, &views, &stats, None, threads);
+                assert_eq!(serial.labelings, pooled.labelings, "{alg:?} t={threads}");
+                for (a, b) in serial.table_relevance.iter().zip(&pooled.table_relevance) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{alg:?} t={threads}");
+                }
+                assert_eq!(serial.confident, pooled.confident, "{alg:?} t={threads}");
+            }
+        }
     }
 
     #[test]

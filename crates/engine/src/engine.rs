@@ -19,7 +19,9 @@ use std::time::{Duration, Instant};
 use wwt_consolidate::{consolidate, RelevantInput};
 use wwt_core::{ColumnMapper, MappingResult, TableFeatures, TableView};
 use wwt_html::extract_tables;
-use wwt_index::{DocSets, SearchHit, ShardedIndex, ShardedIndexBuilder, TableIndex, TableStore};
+use wwt_index::{
+    DocSets, LiveIndex, SearchHit, ShardedIndex, ShardedIndexBuilder, TableIndex, TableStore,
+};
 use wwt_model::{Query, TableId, WebTable, WwtError};
 use wwt_text::{tokenize, TermId};
 
@@ -52,6 +54,10 @@ pub struct EngineBuilder {
     n_docs: usize,
     /// Requested shard count; 0 means "auto" ([`default_shards`]).
     shards: usize,
+    /// Worker threads for the bind itself (per-shard freeze fan-out and
+    /// the per-table feature precompute); 0 means "auto" (one per core).
+    /// Never changes the built engine — only how fast it binds.
+    bind_threads: usize,
 }
 
 impl EngineBuilder {
@@ -127,6 +133,15 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets how many worker threads the bind fans out over — the
+    /// per-shard index freeze and the per-table feature precompute (0
+    /// restores the auto default, one per core). The built engine is
+    /// identical for every value; only bind wall-clock changes.
+    pub fn bind_threads(&mut self, n: usize) -> &mut Self {
+        self.bind_threads = n;
+        self
+    }
+
     /// Freezes the accumulated tables into an immutable [`Engine`],
     /// consuming the builder (reuse after `build` is a compile error).
     pub fn build(self) -> Engine {
@@ -135,14 +150,22 @@ impl EngineBuilder {
         } else {
             self.shards
         };
+        let threads = if self.bind_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.bind_threads
+        };
         let mut builder = ShardedIndexBuilder::new(n_shards);
         for t in &self.tables {
             builder.add_table(t);
         }
-        Engine::assemble(
-            builder.build(),
+        Engine::assemble_with_threads(
+            builder.build_with_threads(threads),
             TableStore::from_tables(self.tables),
             self.config,
+            threads,
         )
     }
 }
@@ -162,11 +185,29 @@ pub struct Engine {
     /// Empty when `config.precompute_views` is off (the oracle path).
     features: Arc<HashMap<TableId, Arc<TableFeatures>>>,
     /// Worker threads used to scatter an index probe across shards
-    /// (computed once at build; the workers themselves are scoped
-    /// threads spawned per probe by [`fan_out`], which only engages
-    /// above [`PARALLEL_PROBE_MIN_DOCS`] where probe time dwarfs spawn
+    /// (computed once at build; the workers come from the persistent
+    /// [`fan_out`] pool, which only engages above
+    /// [`PARALLEL_PROBE_MIN_DOCS`] where probe time dwarfs handoff
     /// cost).
     probe_threads: usize,
+    /// Worker threads for the per-candidate column-mapping batch (one
+    /// per core — unlike `probe_threads` it is not capped by the shard
+    /// count, since candidates outnumber shards).
+    map_threads: usize,
+    /// Live-ingest overlay: the delta segment plus features for its
+    /// tables. `None` on a purely frozen engine, which then takes
+    /// exactly the pre-live code paths.
+    live: Option<Arc<LiveOverlay>>,
+}
+
+/// The delta segment and the bind-time state riding with it: feature
+/// views for delta tables, computed against the **frozen** statistics
+/// (same IDF source every other view uses, so `map_views` sees one
+/// consistent scale).
+#[derive(Debug)]
+struct LiveOverlay {
+    live: Arc<LiveIndex>,
+    features: HashMap<TableId, Arc<TableFeatures>>,
 }
 
 // Compile-time proof that one engine can serve many threads.
@@ -254,6 +295,31 @@ impl Engine {
         deadline: &Deadline,
         stage: &'static str,
     ) -> Result<(Vec<SearchHit>, Vec<Duration>), WwtError> {
+        let Some(overlay) = &self.live else {
+            return self.probe_frozen(tokens, k, deadline, stage);
+        };
+        // Live path: over-fetch the frozen shards by the number of
+        // shadowed tables (so filtering tombstoned/overridden hits can
+        // never starve the top-k), drop shadowed hits, then fold in the
+        // delta segment's hits under the same global total order the
+        // shard merge uses.
+        let shadowed = overlay.live.shadowed_len();
+        let (mut hits, shard_times) = self.probe_frozen(tokens, k + shadowed, deadline, stage)?;
+        hits.retain(|h| !overlay.live.is_shadowed(h.table));
+        hits.extend(overlay.live.delta_search(tokens, k));
+        hits.sort_by(SearchHit::rank_order);
+        hits.truncate(k);
+        Ok((hits, shard_times))
+    }
+
+    /// The frozen-only scatter-gather behind [`Engine::probe`].
+    fn probe_frozen(
+        &self,
+        tokens: &[String],
+        k: usize,
+        deadline: &Deadline,
+        stage: &'static str,
+    ) -> Result<(Vec<SearchHit>, Vec<Duration>), WwtError> {
         let ids: Vec<TermId> = self.index.resolve_query(tokens);
         let n = self.index.n_shards();
         if n == 1 {
@@ -314,7 +380,7 @@ impl Engine {
         let t0 = Instant::now();
         let stage1: Vec<TableId> = hits1.iter().map(|h| h.table).collect();
         let stage1_set: HashSet<TableId> = stage1.iter().copied().collect();
-        let tables1: Vec<&WebTable> = stage1.iter().filter_map(|&id| self.store.get(id)).collect();
+        let tables1: Vec<&WebTable> = stage1.iter().filter_map(|&id| self.table(id)).collect();
         timing.read1 = t0.elapsed();
 
         // Pre-map stage-1 candidates to find confident seed tables.
@@ -323,11 +389,12 @@ impl Engine {
             config: cfg.mapper.clone(),
             algorithm: cfg.algorithm,
         };
-        let pre = mapper.map_views(
+        let pre = mapper.map_views_with_threads(
             query,
             &self.views_for(&tables1),
             self.index.stats(),
-            Some(self.index.as_ref() as &dyn DocSets),
+            Some(self.docsets()),
+            self.map_threads,
         );
         timing.column_map += t0.elapsed();
 
@@ -446,10 +513,7 @@ impl Engine {
         deadline.check("column mapping")?;
 
         let t0 = Instant::now();
-        let tables: Vec<&WebTable> = candidates
-            .iter()
-            .filter_map(|&id| self.store.get(id))
-            .collect();
+        let tables: Vec<&WebTable> = candidates.iter().filter_map(|&id| self.table(id)).collect();
         timing.read2 += t0.elapsed();
 
         // The stage-1 pre-map already labeled exactly this candidate set
@@ -464,11 +528,12 @@ impl Engine {
                 config: cfg.mapper.clone(),
                 algorithm: cfg.algorithm,
             };
-            let mapping = mapper.map_views(
+            let mapping = mapper.map_views_with_threads(
                 query,
                 &self.views_for(&tables),
                 self.index.stats(),
-                Some(self.index.as_ref() as &dyn DocSets),
+                Some(self.docsets()),
+                self.map_threads,
             );
             timing.column_map += t0.elapsed();
             mapping
@@ -518,11 +583,54 @@ impl Engine {
     fn views_for<'t>(&self, tables: &[&'t WebTable]) -> Vec<TableView<'t>> {
         tables
             .iter()
-            .map(|t| match self.features.get(&t.id) {
-                Some(f) => TableView::with_features(t, Arc::clone(f)),
-                None => TableView::new(t, self.index.stats(), self.config.mapper.body_freq_frac),
+            .map(|t| {
+                // Delta tables (and delta overrides of frozen ids) carry
+                // their own bind-time features; they are checked first so
+                // a re-ingested id never reuses the stale frozen view.
+                if let Some(overlay) = &self.live {
+                    if let Some(f) = overlay.features.get(&t.id) {
+                        return TableView::with_features(t, Arc::clone(f));
+                    }
+                    if overlay.live.delta_table(t.id).is_some() {
+                        return TableView::new(
+                            t,
+                            self.index.stats(),
+                            self.config.mapper.body_freq_frac,
+                        );
+                    }
+                }
+                match self.features.get(&t.id) {
+                    Some(f) => TableView::with_features(t, Arc::clone(f)),
+                    None => {
+                        TableView::new(t, self.index.stats(), self.config.mapper.body_freq_frac)
+                    }
+                }
             })
             .collect()
+    }
+
+    /// One table of the live view: the delta's copy wins, tombstoned
+    /// frozen tables are gone, everything else reads the frozen store.
+    fn table(&self, id: TableId) -> Option<&WebTable> {
+        if let Some(overlay) = &self.live {
+            if let Some(t) = overlay.live.delta_table(id) {
+                return Some(t);
+            }
+            if overlay.live.is_tombstoned(id) {
+                return None;
+            }
+        }
+        self.store.get(id)
+    }
+
+    /// The doc-set probe surface the column mapper consumes: the live
+    /// overlay when one exists (shadow-filtered + delta-extended ids),
+    /// the frozen facade otherwise.
+    fn docsets(&self) -> &dyn DocSets {
+        match &self.live {
+            Some(overlay) => overlay.live.as_ref() as &dyn DocSets,
+            None => self.index.as_ref() as &dyn DocSets,
+        }
     }
 
     /// Entries resident in the index's doc-set probe memo (facade +
@@ -539,20 +647,39 @@ impl Engine {
     /// global statistics — the per-query mapper then reuses them instead
     /// of re-tokenizing candidates on every request.
     fn assemble(index: ShardedIndex, store: TableStore, config: WwtConfig) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::assemble_with_threads(index, store, config, threads)
+    }
+
+    /// [`Engine::assemble`] with an explicit bind concurrency: the
+    /// per-table feature precompute — the dominant bind-time cost after
+    /// the freeze — fans out over the persistent worker pool. Each
+    /// table's features depend only on that table and the shared frozen
+    /// statistics, so the resulting engine is identical for every thread
+    /// count.
+    fn assemble_with_threads(
+        index: ShardedIndex,
+        store: TableStore,
+        config: WwtConfig,
+        threads: usize,
+    ) -> Self {
         let features: HashMap<TableId, Arc<TableFeatures>> = if config.precompute_views {
-            store
-                .iter()
-                .map(|t| {
-                    (
-                        t.id,
-                        Arc::new(TableFeatures::compute(
-                            t,
-                            index.stats(),
-                            config.mapper.body_freq_frac,
-                        )),
-                    )
-                })
-                .collect()
+            let tables: Vec<&WebTable> = store.iter().collect();
+            fan_out(tables.len(), threads, |i| {
+                let t = tables[i];
+                (
+                    t.id,
+                    Arc::new(TableFeatures::compute(
+                        t,
+                        index.stats(),
+                        config.mapper.body_freq_frac,
+                    )),
+                )
+            })
+            .into_iter()
+            .collect()
         } else {
             HashMap::new()
         };
@@ -562,10 +689,14 @@ impl Engine {
                     .map(|n| n.get())
                     .unwrap_or(1),
             ),
+            map_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             index: Arc::new(index),
             store: Arc::new(store),
             features: Arc::new(features),
             config,
+            live: None,
         }
     }
 
@@ -597,13 +728,152 @@ impl Engine {
         Ok(Self::assemble(index, store, config))
     }
 
+    /// True when this engine carries uncompacted live mutations.
+    pub fn is_live(&self) -> bool {
+        self.live.is_some()
+    }
+
+    /// Tables in the live delta segment (0 on a frozen engine).
+    pub fn delta_len(&self) -> usize {
+        self.live.as_ref().map_or(0, |o| o.live.delta_len())
+    }
+
+    /// Tombstoned frozen tables (0 on a frozen engine).
+    pub fn tombstone_len(&self) -> usize {
+        self.live.as_ref().map_or(0, |o| o.live.tombstone_len())
+    }
+
+    /// Logical table count: frozen minus deleted/overridden, plus delta.
+    pub fn n_tables(&self) -> usize {
+        match &self.live {
+            Some(overlay) => overlay.live.n_tables(),
+            None => self.store.len(),
+        }
+    }
+
+    /// A new engine with `table` added to (or replacing the same id in)
+    /// the live delta segment. The frozen shards are untouched — sharing
+    /// stays `Arc`-cheap — and the returned engine answers queries over
+    /// the updated corpus immediately. Cost is O(delta): the delta index
+    /// is rebuilt from its (threshold-bounded) tables plus one feature
+    /// computation for the new table.
+    pub fn with_table_added(&self, table: WebTable) -> Engine {
+        let id = table.id;
+        let overrides_frozen = self.store.get(id).is_some();
+        let (base_live, mut features) = match &self.live {
+            Some(o) => (
+                o.live.with_table_added(table, overrides_frozen),
+                o.features.clone(),
+            ),
+            None => (
+                LiveIndex::empty(Arc::clone(&self.index)).with_table_added(table, overrides_frozen),
+                HashMap::new(),
+            ),
+        };
+        features.remove(&id);
+        if self.config.precompute_views {
+            let t = base_live
+                .delta_table(id)
+                .expect("the table just added is in the delta");
+            features.insert(
+                id,
+                Arc::new(TableFeatures::compute(
+                    t,
+                    self.index.stats(),
+                    self.config.mapper.body_freq_frac,
+                )),
+            );
+        }
+        self.with_overlay(base_live, features)
+    }
+
+    /// A new engine with table `id` removed from the live view: dropped
+    /// from the delta if it lives there, tombstoned if it is a frozen
+    /// table. Returns `None` when the id exists nowhere (already
+    /// deleted, or never ingested).
+    pub fn with_table_removed(&self, id: TableId) -> Option<Engine> {
+        let in_frozen = self.store.get(id).is_some();
+        let (in_delta, already_gone) = match &self.live {
+            Some(o) => (o.live.delta_table(id).is_some(), o.live.is_tombstoned(id)),
+            None => (false, false),
+        };
+        if !in_delta && (!in_frozen || already_gone) {
+            return None;
+        }
+        let live = match &self.live {
+            Some(o) => o.live.with_table_removed(id, in_frozen),
+            None => LiveIndex::empty(Arc::clone(&self.index)).with_table_removed(id, in_frozen),
+        };
+        let mut features = self
+            .live
+            .as_ref()
+            .map(|o| o.features.clone())
+            .unwrap_or_default();
+        features.remove(&id);
+        Some(self.with_overlay(live, features))
+    }
+
+    /// Freezes the live delta into the main shards: rebuilds the engine
+    /// canonically over its logical tables (frozen minus deleted and
+    /// overridden, plus delta, ascending by id). The result is
+    /// **byte-identical** to a from-scratch build over the same tables
+    /// with the same configuration and shard count — compaction erases
+    /// the delta approximation entirely. A frozen engine compacts to a
+    /// cheap clone of itself.
+    pub fn compacted(&self) -> Engine {
+        let Some(overlay) = &self.live else {
+            return self.clone();
+        };
+        let mut tables: Vec<WebTable> = self
+            .store
+            .iter()
+            .filter(|t| !overlay.live.is_shadowed(t.id))
+            .cloned()
+            .collect();
+        tables.extend(overlay.live.delta_tables().iter().cloned());
+        tables.sort_by_key(|t| t.id);
+        let mut b = EngineBuilder::with_config(self.config.clone());
+        b.shards(self.n_shards());
+        b.add_tables(tables);
+        b.build()
+    }
+
+    /// Wraps live state into a new engine sharing every frozen part.
+    fn with_overlay(
+        &self,
+        live: LiveIndex,
+        features: HashMap<TableId, Arc<TableFeatures>>,
+    ) -> Engine {
+        let mut next = self.clone();
+        next.live = if live.is_empty() && features.is_empty() {
+            // An overlay that cancelled itself out (add then remove):
+            // drop it so the engine takes the frozen-only paths again.
+            None
+        } else {
+            Some(Arc::new(LiveOverlay {
+                live: Arc::new(live),
+                features,
+            }))
+        };
+        next
+    }
+
     /// Persists the engine into `dir` (created if needed): the sharded
     /// index layout (versioned `manifest.json` + one `shard-NNNN.idx`
     /// per shard, [`wwt_index::persist::save_sharded`]) and
     /// `tables.jsonl` (the table store). [`Engine::load_from_dir`] reads
     /// it back into an identical-answering engine with the same shard
     /// count.
+    ///
+    /// An engine carrying uncompacted live mutations refuses to save —
+    /// the persisted layout has no delta section, so saving would
+    /// silently drop the mutations. Compact first ([`Engine::compacted`]).
     pub fn save_to_dir(&self, dir: &Path) -> Result<(), WwtError> {
+        if self.is_live() {
+            return Err(WwtError::Invalid(
+                "engine has uncompacted live mutations; call compacted() before saving".into(),
+            ));
+        }
         std::fs::create_dir_all(dir)?;
         wwt_index::persist::save_sharded(&self.index, dir)?;
         self.store.save(&dir.join("tables.jsonl"))?;
@@ -648,6 +918,7 @@ mod tests {
     use super::*;
     use crate::request::QueryOptions;
     use wwt_core::InferenceAlgorithm;
+    use wwt_model::ContextSnippet;
 
     fn currency_page(i: usize, countries: &[(&str, &str)]) -> String {
         let mut rows = String::new();
@@ -1032,6 +1303,202 @@ mod tests {
             );
         } else {
             assert!(out.diagnostics.timing.probe2_shards.is_empty());
+        }
+    }
+
+    #[test]
+    fn live_ingest_makes_a_table_queryable_without_rebuild() {
+        let engine = build_engine();
+        let volcano = WebTable::new(
+            TableId(900),
+            "u",
+            Some("Volcano heights".into()),
+            vec![vec!["Volcano".into(), "Elevation".into()]],
+            vec![
+                vec!["Etna".into(), "3329".into()],
+                vec!["Fuji".into(), "3776".into()],
+            ],
+            vec![],
+        )
+        .unwrap();
+        let live = engine.with_table_added(volcano);
+        assert!(live.is_live());
+        assert_eq!(live.delta_len(), 1);
+        assert_eq!(live.n_tables(), engine.n_tables() + 1);
+        let q = Query::parse("volcano | elevation").unwrap();
+        let out = live.answer_query(&q);
+        assert!(
+            out.table.rows.iter().any(|r| r.cells[0] == "Etna"),
+            "ingested table must answer: {:?}",
+            out.table
+        );
+        // The original engine is untouched (immutable snapshots).
+        assert!(engine.answer_query(&q).table.is_empty());
+        // Existing queries still answer over the frozen corpus.
+        let cq = Query::parse("country | currency").unwrap();
+        assert_eq!(live.answer_query(&cq).table, engine.answer_query(&cq).table);
+    }
+
+    #[test]
+    fn live_removal_tombstones_and_double_delete_is_none() {
+        let engine = build_engine();
+        let victim = engine
+            .retrieve(&Query::parse("country | currency").unwrap())
+            .stage1[0];
+        let live = engine.with_table_removed(victim).expect("known table");
+        assert_eq!(live.tombstone_len(), 1);
+        let q = Query::parse("country | currency").unwrap();
+        let out = live.answer_query(&q);
+        assert!(out.candidates.iter().all(|&id| id != victim));
+        // Deleting again, or deleting an unknown id, reports not-found.
+        assert!(live.with_table_removed(victim).is_none());
+        assert!(engine.with_table_removed(TableId(12345)).is_none());
+    }
+
+    #[test]
+    fn compaction_is_byte_identical_to_a_fresh_build() {
+        let engine = build_engine();
+        let extra = WebTable::new(
+            TableId(50),
+            "u",
+            None,
+            vec![vec!["Country".into(), "Capital".into()]],
+            vec![vec!["India".into(), "Delhi".into()]],
+            vec![ContextSnippet::new("capitals of countries", 0.7)],
+        )
+        .unwrap();
+        let victim = engine.store().iter().next().unwrap().id;
+        let live = engine
+            .with_table_added(extra.clone())
+            .with_table_removed(victim)
+            .unwrap();
+        let compacted = live.compacted();
+        assert!(!compacted.is_live());
+
+        // The oracle: build from scratch over the same logical tables.
+        let mut tables: Vec<WebTable> = engine
+            .store()
+            .iter()
+            .filter(|t| t.id != victim)
+            .cloned()
+            .collect();
+        tables.push(extra);
+        tables.sort_by_key(|t| t.id);
+        let mut b = EngineBuilder::with_config(engine.config().clone());
+        b.shards(engine.n_shards());
+        b.add_tables(tables);
+        let oracle = b.build();
+
+        for probe in ["country | currency", "country | capital"] {
+            let q = Query::parse(probe).unwrap();
+            let a = compacted.answer_query(&q);
+            let o = oracle.answer_query(&q);
+            assert_eq!(a.table, o.table, "{probe}");
+            assert_eq!(a.candidates, o.candidates, "{probe}");
+            for (x, y) in a
+                .mapping
+                .table_relevance
+                .iter()
+                .zip(&o.mapping.table_relevance)
+            {
+                assert_eq!(x.to_bits(), y.to_bits(), "relevance drift for {probe}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_then_remove_cancels_back_to_frozen() {
+        let engine = build_engine();
+        let t = WebTable::new(
+            TableId(700),
+            "u",
+            None,
+            vec![vec!["A".into(), "B".into()]],
+            vec![vec!["x".into(), "y".into()]],
+            vec![],
+        )
+        .unwrap();
+        let live = engine.with_table_added(t);
+        assert!(live.is_live());
+        let back = live.with_table_removed(TableId(700)).unwrap();
+        assert!(!back.is_live(), "cancelled overlay must be dropped");
+    }
+
+    #[test]
+    fn live_engine_refuses_to_save_until_compacted() {
+        let engine = build_engine();
+        let t = WebTable::new(
+            TableId(800),
+            "u",
+            None,
+            vec![vec!["A".into(), "B".into()]],
+            vec![vec!["x".into(), "y".into()]],
+            vec![],
+        )
+        .unwrap();
+        let live = engine.with_table_added(t);
+        let dir = std::env::temp_dir().join(format!("wwt_live_save_{}", std::process::id()));
+        assert!(matches!(live.save_to_dir(&dir), Err(WwtError::Invalid(_))));
+        live.compacted().save_to_dir(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reingest_overrides_the_frozen_copy_end_to_end() {
+        let engine = build_engine();
+        let victim = engine
+            .retrieve(&Query::parse("country | currency").unwrap())
+            .stage1[0];
+        let replacement = WebTable::new(
+            victim,
+            "u",
+            Some("Volcano heights".into()),
+            vec![vec!["Volcano".into(), "Elevation".into()]],
+            vec![vec!["Etna".into(), "3329".into()]],
+            vec![],
+        )
+        .unwrap();
+        let live = engine.with_table_added(replacement);
+        assert_eq!(live.n_tables(), engine.n_tables());
+        let vq = Query::parse("volcano | elevation").unwrap();
+        assert!(live.answer_query(&vq).candidates.contains(&victim));
+        let cq = Query::parse("country | currency").unwrap();
+        let out = live.answer_query(&cq);
+        assert!(
+            out.candidates.iter().all(|&id| id != victim),
+            "stale frozen copy must not answer: {:?}",
+            out.candidates
+        );
+    }
+
+    #[test]
+    fn bind_threads_produce_identical_engines() {
+        let docs: Vec<String> = (0..10)
+            .map(|i| currency_page(i, &[("India", "Rupee"), ("Japan", "Yen")]))
+            .collect();
+        let build = |threads: usize| {
+            let mut b = Engine::builder();
+            b.shards(4);
+            b.bind_threads(threads);
+            b.add_documents(docs.iter().map(String::as_str));
+            b.build()
+        };
+        let serial = build(1);
+        let q = Query::parse("country | currency").unwrap();
+        let expected = serial.answer_query(&q);
+        for threads in [2usize, 8] {
+            let parallel = build(threads);
+            let out = parallel.answer_query(&q);
+            assert_eq!(out.table, expected.table, "threads={threads}");
+            assert_eq!(out.candidates, expected.candidates);
+            for (x, y) in out
+                .mapping
+                .table_relevance
+                .iter()
+                .zip(&expected.mapping.table_relevance)
+            {
+                assert_eq!(x.to_bits(), y.to_bits(), "threads={threads}");
+            }
         }
     }
 

@@ -1,39 +1,14 @@
-//! Minimal scoped fan-out helper shared by the evaluation harness and
-//! the service layer's `answer_batch`.
+//! Indexed fan-out shared by the probe scatter, the evaluation harness
+//! and the service layer's `answer_batch`.
+//!
+//! Since the live-ingest work this is a re-export of [`wwt_pool`]'s
+//! persistent-pool `fan_out`: same signature, same index-ordered
+//! results, same serial degeneration for `threads <= 1` — but the
+//! workers live for the process instead of being spawned per call, so
+//! `thread_local!` scratch in pooled code (the index's epoch-tagged
+//! score accumulator) is actually reused across probes.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Runs `f(0..n)` on up to `threads` scoped workers (work-stealing over a
-/// shared cursor) and returns the results in index order. With one
-/// worker (or `n <= 1`) it degenerates to a plain serial map.
-pub fn fan_out<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
-where
-    R: Send,
-    F: Fn(usize) -> R + Sync,
-{
-    let threads = threads.max(1).min(n);
-    if threads <= 1 {
-        return (0..n).map(f).collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                *slots[i].lock().unwrap() = Some(f(i));
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| slot.into_inner().unwrap().expect("fan_out slot filled"))
-        .collect()
-}
+pub use wwt_pool::fan_out;
 
 #[cfg(test)]
 mod tests {

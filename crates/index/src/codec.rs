@@ -15,7 +15,7 @@ use wwt_json::Json;
 use wwt_model::{ContextSnippet, TableId, WebTable};
 
 /// Serializes one table as a single-line JSON object.
-pub(crate) fn table_to_json(t: &WebTable) -> String {
+pub fn table_to_json(t: &WebTable) -> String {
     Json::obj([
         ("id", Json::from(t.id.0)),
         ("url", Json::from(t.url.as_str())),
@@ -59,7 +59,7 @@ fn rows_to_json(rows: &[Vec<String>]) -> Json {
 
 /// Parses a table serialized by [`table_to_json`]. Errors are plain
 /// strings; the store wraps them in `WwtError::Corrupt`.
-pub(crate) fn table_from_json(line: &str) -> Result<WebTable, String> {
+pub fn table_from_json(line: &str) -> Result<WebTable, String> {
     let value = Json::parse(line)?;
     if value.as_obj().is_none() {
         return Err("top-level value is not an object".into());

@@ -29,16 +29,19 @@
 //! round-trip the partitioned layout through a versioned manifest.
 
 pub mod builder;
-pub(crate) mod codec;
+pub mod codec;
 pub(crate) mod docset_cache;
 pub mod field;
+pub mod live;
 pub mod persist;
 pub mod search;
 pub mod shard;
 pub mod store;
 
 pub use builder::IndexBuilder;
+pub use codec::{table_from_json, table_to_json};
 pub use field::Field;
+pub use live::LiveIndex;
 pub use search::{DocSets, SearchHit, TableIndex};
 pub use shard::{shard_of, ShardedIndex, ShardedIndexBuilder};
 pub use store::TableStore;

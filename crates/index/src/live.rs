@@ -1,0 +1,458 @@
+//! Mutable overlay over a frozen [`ShardedIndex`]: the **delta segment**.
+//!
+//! The frozen index is immutable by design — that is what makes its
+//! probes lock-free and its persistence byte-stable. Live ingest
+//! therefore never touches it: a [`LiveIndex`] pairs the frozen shards
+//! with a small mutable picture of everything that changed since the
+//! last compaction:
+//!
+//! * **delta tables** — newly ingested (or re-ingested) tables, indexed
+//!   in their own small [`TableIndex`] rebuilt per mutation (the delta
+//!   is bounded by the compaction threshold, so a rebuild is
+//!   milliseconds, not a full corpus build);
+//! * **tombstones** — frozen tables deleted since the last compaction;
+//! * **overridden** — frozen table ids shadowed by a delta re-ingest
+//!   (the delta copy wins).
+//!
+//! Ranked probes merge frozen and delta hits under the one total order
+//! every sorter in the repo uses ([`SearchHit::rank_order`]), after
+//! over-fetching the frozen side by the number of shadowed tables so
+//! filtering tombstoned hits can never starve the top-k.
+//!
+//! ## Scoring statistics: the documented approximation
+//!
+//! Delta hits are scored against the **merged** document frequencies
+//! (frozen df + delta df, N = frozen N + delta N), so a delta table
+//! competes on the same IDF scale as the corpus it joins. Frozen hits
+//! keep their freeze-time statistics — rescoring billions of postings
+//! per ingest would defeat the point of a delta segment. The two scales
+//! differ by at most the delta's contribution to df/N, which the
+//! compaction threshold keeps small; **compaction erases the
+//! approximation entirely** (a compacted engine is byte-identical to a
+//! from-scratch build over the same logical tables, which
+//! `tests/live_equivalence.rs` asserts).
+//!
+//! A `LiveIndex` is itself immutable: mutations return a new value
+//! (sharing the frozen `Arc`), so a server can publish each one through
+//! its generation-tagged engine slot without locking readers.
+
+use crate::field::Field;
+use crate::search::{DocSets, SearchHit, TableIndex};
+use crate::shard::ShardedIndex;
+use crate::IndexBuilder;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use wwt_model::{TableId, WebTable};
+use wwt_text::{CorpusStats, TermDict, TermId};
+
+/// A frozen [`ShardedIndex`] plus the mutable delta riding on top of it.
+#[derive(Debug)]
+pub struct LiveIndex {
+    frozen: Arc<ShardedIndex>,
+    /// Delta tables sorted ascending by id (deterministic rebuild order).
+    delta_tables: Vec<WebTable>,
+    /// Index over exactly `delta_tables`, scored with merged statistics.
+    delta: TableIndex,
+    /// Frozen tables deleted since the last compaction.
+    tombstones: BTreeSet<TableId>,
+    /// Frozen tables shadowed by a delta re-ingest of the same id.
+    overridden: BTreeSet<TableId>,
+}
+
+impl LiveIndex {
+    /// An overlay with an empty delta: answers exactly like `frozen`.
+    pub fn empty(frozen: Arc<ShardedIndex>) -> Self {
+        let delta = build_delta_index(&frozen, &[]);
+        LiveIndex {
+            frozen,
+            delta_tables: Vec::new(),
+            delta,
+            tombstones: BTreeSet::new(),
+            overridden: BTreeSet::new(),
+        }
+    }
+
+    /// The frozen side of the overlay.
+    pub fn frozen(&self) -> &ShardedIndex {
+        &self.frozen
+    }
+
+    /// The shared handle to the frozen side.
+    pub fn frozen_arc(&self) -> Arc<ShardedIndex> {
+        Arc::clone(&self.frozen)
+    }
+
+    /// Adds (or replaces) one table in the delta. `overrides_frozen`
+    /// says whether the frozen corpus also contains this id — the caller
+    /// owns the table store, so it makes that call — in which case the
+    /// frozen copy is shadowed until compaction.
+    pub fn with_table_added(&self, table: WebTable, overrides_frozen: bool) -> Self {
+        let id = table.id;
+        let mut delta_tables: Vec<WebTable> = self
+            .delta_tables
+            .iter()
+            .filter(|t| t.id != id)
+            .cloned()
+            .collect();
+        delta_tables.push(table);
+        delta_tables.sort_by_key(|t| t.id);
+        let mut tombstones = self.tombstones.clone();
+        tombstones.remove(&id); // a re-add revives a deleted id
+        let mut overridden = self.overridden.clone();
+        if overrides_frozen {
+            overridden.insert(id);
+        }
+        let refs: Vec<&WebTable> = delta_tables.iter().collect();
+        let delta = build_delta_index(&self.frozen, &refs);
+        LiveIndex {
+            frozen: Arc::clone(&self.frozen),
+            delta_tables,
+            delta,
+            tombstones,
+            overridden,
+        }
+    }
+
+    /// Removes one table: drops it from the delta if present, and
+    /// tombstones the frozen copy when `tombstone_frozen` (the caller
+    /// checked the frozen store). The caller is responsible for not
+    /// removing ids that exist nowhere.
+    pub fn with_table_removed(&self, id: TableId, tombstone_frozen: bool) -> Self {
+        let delta_tables: Vec<WebTable> = self
+            .delta_tables
+            .iter()
+            .filter(|t| t.id != id)
+            .cloned()
+            .collect();
+        let mut tombstones = self.tombstones.clone();
+        let mut overridden = self.overridden.clone();
+        overridden.remove(&id);
+        if tombstone_frozen {
+            tombstones.insert(id);
+        }
+        let refs: Vec<&WebTable> = delta_tables.iter().collect();
+        let delta = build_delta_index(&self.frozen, &refs);
+        LiveIndex {
+            frozen: Arc::clone(&self.frozen),
+            delta_tables,
+            delta,
+            tombstones,
+            overridden,
+        }
+    }
+
+    /// Number of tables in the delta segment.
+    pub fn delta_len(&self) -> usize {
+        self.delta_tables.len()
+    }
+
+    /// Number of tombstoned frozen tables.
+    pub fn tombstone_len(&self) -> usize {
+        self.tombstones.len()
+    }
+
+    /// Frozen tables a probe must skip: tombstoned or delta-overridden.
+    pub fn shadowed_len(&self) -> usize {
+        self.tombstones.len() + self.overridden.len()
+    }
+
+    /// True when the delta carries no mutations at all.
+    pub fn is_empty(&self) -> bool {
+        self.delta_tables.is_empty() && self.tombstones.is_empty() && self.overridden.is_empty()
+    }
+
+    /// True when frozen hits for this table must be dropped.
+    pub fn is_shadowed(&self, id: TableId) -> bool {
+        self.tombstones.contains(&id) || self.overridden.contains(&id)
+    }
+
+    /// True when this frozen table is deleted (not merely overridden).
+    pub fn is_tombstoned(&self, id: TableId) -> bool {
+        self.tombstones.contains(&id)
+    }
+
+    /// The delta's copy of a table, if it has one.
+    pub fn delta_table(&self, id: TableId) -> Option<&WebTable> {
+        self.delta_tables.iter().find(|t| t.id == id)
+    }
+
+    /// The delta tables, ascending by id.
+    pub fn delta_tables(&self) -> &[WebTable] {
+        &self.delta_tables
+    }
+
+    /// Logical table count: frozen minus shadowed, plus delta.
+    pub fn n_tables(&self) -> usize {
+        self.frozen.n_docs() - self.shadowed_len() + self.delta_tables.len()
+    }
+
+    /// Ranked probe over the delta segment only (the engine merges these
+    /// with its scatter-gathered frozen hits under
+    /// [`SearchHit::rank_order`]).
+    pub fn delta_search(&self, tokens: &[String], k: usize) -> Vec<SearchHit> {
+        self.delta.search(tokens, k)
+    }
+
+    /// Ranked probe over the whole live view: frozen hits (over-fetched
+    /// by the shadow count, then filtered) merged with delta hits under
+    /// the global total order.
+    pub fn search(&self, tokens: &[String], k: usize) -> Vec<SearchHit> {
+        let mut hits = self.frozen.search(tokens, k + self.shadowed_len());
+        hits.retain(|h| !self.is_shadowed(h.table));
+        hits.extend(self.delta.search(tokens, k));
+        hits.sort_by(SearchHit::rank_order);
+        hits.truncate(k);
+        hits
+    }
+
+    /// The table id behind a doc id handed out by this overlay's
+    /// [`DocSets`] impl: frozen ids keep their global ids, delta ids sit
+    /// above them (offset by the frozen doc count).
+    pub fn table_of_doc(&self, doc: u32) -> TableId {
+        let n_frozen = self.frozen.n_docs() as u32;
+        if doc < n_frozen {
+            self.frozen.table_of_doc(doc)
+        } else {
+            self.delta.table_of_doc(doc - n_frozen)
+        }
+    }
+}
+
+impl DocSets for LiveIndex {
+    /// Conjunctive probe over the live view: the frozen result with
+    /// shadowed tables filtered out, then the delta result relabeled
+    /// above the frozen id space — sorted overall, and mutually
+    /// consistent across probes of the same overlay (all PMI² needs).
+    /// The expensive sub-probes are memoized inside the frozen facade
+    /// and the delta index; the filter-and-offset pass here is linear in
+    /// the result and cheap enough to redo per call.
+    fn docs_with_all(&self, tokens: &[String], fields: &[Field]) -> Arc<Vec<u32>> {
+        let frozen = self.frozen.docs_with_all(tokens, fields);
+        let delta = self.delta.docs_with_all(tokens, fields);
+        if self.shadowed_len() == 0 && delta.is_empty() {
+            return frozen;
+        }
+        let n_frozen = self.frozen.n_docs() as u32;
+        let mut out: Vec<u32> = frozen
+            .iter()
+            .copied()
+            .filter(|&d| !self.is_shadowed(self.frozen.table_of_doc(d)))
+            .collect();
+        out.extend(delta.iter().map(|&d| n_frozen + d));
+        Arc::new(out)
+    }
+}
+
+/// Builds the delta's index: the delta tables frozen into a standalone
+/// [`TableIndex`] whose statistics are the **merged** corpus — each
+/// delta term's df is its delta df plus the frozen df, and N is the sum
+/// of both doc counts — so delta scores live on the corpus's IDF scale.
+fn build_delta_index(frozen: &ShardedIndex, tables: &[&WebTable]) -> TableIndex {
+    let mut b = IndexBuilder::new();
+    for t in tables {
+        b.add_table(t);
+    }
+    let shard = b.freeze();
+    let merged_n = frozen.stats().n_docs() + shard.doc_tables.len() as u64;
+    let merged_dfs: Vec<u32> = shard
+        .terms
+        .iter()
+        .zip(&shard.dfs)
+        .map(|(term, &df)| df + frozen.stats().df(term))
+        .collect();
+    let dict = Arc::new(TermDict::from_sorted_terms(shard.terms));
+    let stats = Arc::new(CorpusStats::from_shared_dict(
+        merged_n,
+        Arc::clone(&dict),
+        merged_dfs,
+    ));
+    let idf = Arc::new(
+        (0..dict.len() as u32)
+            .map(|i| stats.idf_id(TermId(i)))
+            .collect::<Vec<f64>>(),
+    );
+    let postings = shard
+        .postings
+        .into_iter()
+        .map(|p| Some(Box::new(p)))
+        .collect();
+    TableIndex::from_interned_parts(
+        dict,
+        postings,
+        shard.doc_tables,
+        shard.field_lens,
+        stats,
+        idf,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ShardedIndexBuilder;
+    use wwt_model::ContextSnippet;
+
+    fn table(id: u32, header: &str, context: &str, cells: &[&str]) -> WebTable {
+        WebTable::new(
+            TableId(id),
+            "u",
+            None,
+            vec![header.split(',').map(str::to_string).collect()],
+            vec![cells.iter().map(|s| s.to_string()).collect()],
+            vec![ContextSnippet::new(context, 0.8)],
+        )
+        .unwrap()
+    }
+
+    fn frozen(n: u32, shards: usize) -> Arc<ShardedIndex> {
+        let mut b = ShardedIndexBuilder::new(shards);
+        for i in 0..n {
+            let a = format!("entity{}", i % 5);
+            b.add_table(&table(
+                i,
+                "country,currency",
+                "list of currencies",
+                &[&a, "rupee"],
+            ));
+        }
+        Arc::new(b.build())
+    }
+
+    fn toks(s: &str) -> Vec<String> {
+        wwt_text::tokenize(s)
+    }
+
+    #[test]
+    fn empty_delta_answers_like_frozen() {
+        let f = frozen(10, 3);
+        let live = LiveIndex::empty(Arc::clone(&f));
+        assert!(live.is_empty());
+        assert_eq!(live.n_tables(), 10);
+        let a = f.search(&toks("country currency"), 5);
+        let b = live.search(&toks("country currency"), 5);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.table, y.table);
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn added_table_becomes_searchable() {
+        let live = LiveIndex::empty(frozen(6, 2));
+        let t = table(
+            100,
+            "volcano,elevation",
+            "volcano heights",
+            &["etna", "3329"],
+        );
+        let live = live.with_table_added(t, false);
+        assert_eq!(live.delta_len(), 1);
+        assert_eq!(live.n_tables(), 7);
+        let hits = live.search(&toks("volcano elevation"), 5);
+        assert_eq!(hits.first().map(|h| h.table), Some(TableId(100)));
+        // The frozen corpus is untouched.
+        assert!(live.frozen().search(&toks("volcano"), 5).is_empty());
+    }
+
+    #[test]
+    fn removal_tombstones_frozen_tables() {
+        let live = LiveIndex::empty(frozen(6, 2));
+        let victim = live.frozen().search(&toks("country currency"), 1)[0].table;
+        let live = live.with_table_removed(victim, true);
+        assert_eq!(live.tombstone_len(), 1);
+        assert_eq!(live.n_tables(), 5);
+        let hits = live.search(&toks("country currency"), 10);
+        assert!(hits.iter().all(|h| h.table != victim));
+        // Over-fetch keeps the top-k full despite the filtered hit.
+        assert_eq!(hits.len(), 5);
+    }
+
+    #[test]
+    fn reingest_overrides_frozen_copy() {
+        let live = LiveIndex::empty(frozen(6, 2));
+        let id = TableId(0);
+        let replacement = table(0, "volcano,elevation", "volcanoes", &["etna", "3329"]);
+        let live = live.with_table_added(replacement, true);
+        assert!(live.is_shadowed(id));
+        assert!(!live.is_tombstoned(id));
+        let hits = live.search(&toks("volcano"), 5);
+        assert_eq!(hits.first().map(|h| h.table), Some(id));
+        // The old copy no longer matches its frozen vocabulary.
+        let country = live.search(&toks("country currency"), 10);
+        assert!(country.iter().all(|h| h.table != id));
+    }
+
+    #[test]
+    fn removing_a_delta_table_then_reviving_a_tombstone() {
+        let live = LiveIndex::empty(frozen(4, 2));
+        let t = table(50, "volcano,height", "volcanoes", &["etna", "3329"]);
+        let live = live.with_table_added(t.clone(), false);
+        let live = live.with_table_removed(TableId(50), false);
+        assert!(live.is_empty(), "delta add+remove cancels out");
+        // Tombstone a frozen table, then re-add under the same id.
+        let live = live.with_table_removed(TableId(1), true);
+        assert!(live.is_tombstoned(TableId(1)));
+        let live = live.with_table_added(table(1, "volcano,height", "v", &["x", "y"]), true);
+        assert!(!live.is_tombstoned(TableId(1)));
+        assert!(live.is_shadowed(TableId(1)), "override, not tombstone");
+    }
+
+    #[test]
+    fn delta_scores_use_merged_statistics() {
+        // "rupee" saturates the frozen corpus; a brand-new term does not.
+        // With merged stats the delta index must score the common term
+        // lower than the rare one, even though *within the delta alone*
+        // both appear once.
+        let f = frozen(20, 2);
+        let live = LiveIndex::empty(f)
+            .with_table_added(table(200, "rupee,xylophone", "mixed", &["a", "b"]), false);
+        let rupee = live.delta_search(&toks("rupee"), 1)[0].score;
+        let xylo = live.delta_search(&toks("xylophone"), 1)[0].score;
+        assert!(
+            xylo > rupee,
+            "merged idf must rank the corpus-rare term higher: {xylo} vs {rupee}"
+        );
+    }
+
+    #[test]
+    fn docsets_filter_shadowed_and_relabel_delta() {
+        let f = frozen(6, 2);
+        let n_frozen = f.n_docs() as u32;
+        let live = LiveIndex::empty(f)
+            .with_table_added(
+                table(80, "country,mountain", "peaks", &["k2", "8611"]),
+                false,
+            )
+            .with_table_removed(TableId(2), true);
+        let docs = DocSets::docs_with_all(&live, &toks("country"), &[Field::Header]);
+        assert!(docs.windows(2).all(|w| w[0] < w[1]), "sorted: {docs:?}");
+        let tables: Vec<TableId> = docs.iter().map(|&d| live.table_of_doc(d)).collect();
+        assert!(tables.contains(&TableId(80)), "delta doc present");
+        assert!(!tables.contains(&TableId(2)), "tombstoned doc filtered");
+        // The delta doc sits above the frozen id space.
+        assert!(docs.iter().any(|&d| d >= n_frozen));
+    }
+
+    #[test]
+    fn merge_respects_the_global_total_order() {
+        // Hits from frozen and delta interleave by (score desc, id asc).
+        let live = LiveIndex::empty(frozen(8, 2)).with_table_added(
+            table(
+                300,
+                "country,currency",
+                "list of currencies",
+                &["entity0", "rupee"],
+            ),
+            false,
+        );
+        let hits = live.search(&toks("country currency"), 9);
+        for w in hits.windows(2) {
+            assert!(
+                SearchHit::rank_order(&w[0], &w[1]) != std::cmp::Ordering::Greater,
+                "out of order: {w:?}"
+            );
+        }
+        assert!(hits.iter().any(|h| h.table == TableId(300)));
+    }
+}

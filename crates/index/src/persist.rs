@@ -342,6 +342,29 @@ mod tests {
     }
 
     #[test]
+    fn giant_token_no_longer_blocks_save() {
+        // A 100 KiB "word" used to reach the dictionary intact and trip
+        // to_bytes' u16 term-length guard; the tokenizer now caps tokens,
+        // so indexing and serializing such a table must succeed.
+        let giant = "x".repeat(100 * 1024);
+        let t = WebTable::new(
+            TableId(1),
+            "u",
+            None,
+            vec![vec![giant.clone(), "header".into()]],
+            vec![vec!["val".into(), giant]],
+            vec![],
+        )
+        .unwrap();
+        let mut b = IndexBuilder::new();
+        b.add_table(&t);
+        let idx = b.build();
+        let bytes = to_bytes(&idx).expect("capped tokens fit the u16 term-length field");
+        let restored = from_bytes(&bytes).unwrap();
+        assert_eq!(restored.n_docs(), idx.n_docs());
+    }
+
+    #[test]
     fn bad_magic_rejected() {
         let mut data = to_bytes(&sample_index()).unwrap();
         data[0] ^= 0xff;

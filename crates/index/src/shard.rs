@@ -88,19 +88,46 @@ impl ShardedIndexBuilder {
     /// global table first and the vocabulary is interned over it (sorted
     /// term order), so each shard indexes in the *whole corpus's* id
     /// space and scores with its IDF — the linchpin of the equivalence
-    /// guarantee.
-    pub fn build(mut self) -> ShardedIndex {
+    /// guarantee. Per-shard freezes fan out over the persistent worker
+    /// pool (they are independent and hash-free).
+    pub fn build(self) -> ShardedIndex {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.build_with_threads(threads)
+    }
+
+    /// [`ShardedIndexBuilder::build`] with an explicit freeze
+    /// concurrency (`<= 1` freezes serially). The frozen shards are
+    /// assembled in shard order either way, so the resulting index is
+    /// identical for every thread count.
+    pub fn build_with_threads(mut self, threads: usize) -> ShardedIndex {
         if self.builders.len() == 1 {
             // One shard: its vocabulary *is* the global vocabulary —
             // skip the merge machinery.
             return ShardedIndex::single(self.builders.pop().expect("one builder").build());
         }
-        assemble_sharded(
+        let frozen = if threads <= 1 {
             self.builders
                 .into_iter()
                 .map(IndexBuilder::freeze)
-                .collect(),
-        )
+                .collect()
+        } else {
+            let slots: Vec<std::sync::Mutex<Option<IndexBuilder>>> = self
+                .builders
+                .into_iter()
+                .map(|b| std::sync::Mutex::new(Some(b)))
+                .collect();
+            wwt_pool::fan_out(slots.len(), threads, |s| {
+                slots[s]
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("each shard frozen once")
+                    .freeze()
+            })
+        };
+        assemble_sharded(frozen)
     }
 }
 

@@ -1,0 +1,358 @@
+//! # wwt-pool
+//!
+//! A **persistent** worker pool behind the workspace's `fan_out`
+//! primitive.
+//!
+//! The original `fan_out` spawned scoped threads per call, which made
+//! every probe pay thread start-up and — worse — gave each probe fresh
+//! threads, so `thread_local!` scratch (the index's epoch-tagged score
+//! accumulator) was never actually reused on the parallel path. This
+//! crate keeps one process-wide set of workers alive
+//! ([`WorkerPool::global`]) and hands them batches of indexed units:
+//!
+//! * results come back **in input order** (`Vec<R>` with `result[i] =
+//!   f(i)`), exactly like the scoped version, so every byte-identity
+//!   guarantee built on deterministic fan-out order carries over;
+//! * the **caller participates**: the submitting thread drains the same
+//!   shared cursor as the workers, so a batch always makes progress even
+//!   when every worker is busy — nested `run` calls (a pooled unit that
+//!   itself fans out) cannot deadlock;
+//! * unit panics are caught per-unit and the first one is re-raised on
+//!   the caller **after** the batch fully settles, so a panicking unit
+//!   can never leave a worker touching freed caller state.
+//!
+//! ## Soundness of the borrowed closure
+//!
+//! `run` executes a caller-stack closure on pool threads without scoped
+//! threads. The lifetime erasure is sound because `run` does not return
+//! (or unwind) until every helper job it enqueued is **provably done
+//! with the closure**: jobs still queued are removed under the queue
+//! lock (workers bump a per-batch `started` counter under that same lock
+//! when they claim a job, so after removal the started count is final),
+//! and the caller then blocks until `exited == started` — every started
+//! helper's last touch of caller state happens before its `exited`
+//! increment.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// One queued helper slot of a [`WorkerPool::run`] batch. The closure
+/// reference is lifetime-erased; see the module docs for why that is
+/// sound.
+struct Batch {
+    /// Drains the batch's shared cursor until empty. Points into the
+    /// submitting caller's stack frame.
+    work: &'static (dyn Fn() + Sync),
+    /// Helper jobs claimed by a worker, bumped under the pool's queue
+    /// lock at claim time — final once the caller has purged the queue.
+    started: AtomicUsize,
+    /// Helper jobs that finished draining (their last touch of caller
+    /// state is before this increment).
+    exited: Mutex<usize>,
+    /// Signalled on every `exited` increment.
+    settled: Condvar,
+}
+
+struct PoolState {
+    queue: Mutex<VecDeque<Arc<Batch>>>,
+    task_ready: Condvar,
+    stop: AtomicBool,
+}
+
+/// A fixed set of persistent worker threads executing indexed fan-out
+/// batches. One instance serves any number of threads; batches from
+/// concurrent callers interleave in the shared queue.
+pub struct WorkerPool {
+    state: Arc<PoolState>,
+    threads: usize,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// A pool with `threads` persistent workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let state = Arc::new(PoolState {
+            queue: Mutex::new(VecDeque::new()),
+            task_ready: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+        let handles = (0..threads)
+            .map(|i| {
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("wwt-pool-{i}"))
+                    .spawn(move || worker_loop(&state))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            state,
+            threads,
+            handles,
+        }
+    }
+
+    /// The process-wide pool, sized to the machine (one worker per
+    /// core). Created on first use and kept alive for the process — its
+    /// threads are what make `thread_local!` scratch in pooled code
+    /// actually persistent.
+    pub fn global() -> &'static WorkerPool {
+        static POOL: OnceLock<WorkerPool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            WorkerPool::new(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4),
+            )
+        })
+    }
+
+    /// Number of persistent workers.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(0..n)` across at most `max_threads` concurrent executors
+    /// (the caller plus pool workers) and returns the results in input
+    /// order. `max_threads <= 1` runs serially on the caller with no
+    /// queue traffic. If any unit panics, the first panic is re-raised
+    /// on the caller after the whole batch settles.
+    pub fn run<R, F>(&self, n: usize, max_threads: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        if max_threads <= 1 || n == 1 {
+            return (0..n).map(f).collect();
+        }
+
+        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+        let drain = || loop {
+            let i = cursor.fetch_add(1, Ordering::SeqCst);
+            if i >= n {
+                return;
+            }
+            match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                Ok(r) => *results[i].lock().unwrap() = Some(r),
+                Err(payload) => {
+                    let mut slot = first_panic.lock().unwrap();
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                }
+            }
+        };
+
+        // The caller is one executor; enqueue the rest as helper jobs.
+        // Helpers beyond the worker count would only ever be cancelled,
+        // so don't bother queueing them.
+        let helpers = (max_threads.min(n) - 1).min(self.threads);
+        let work: &(dyn Fn() + Sync) = &drain;
+        // SAFETY: the settle protocol below guarantees no pool thread
+        // holds (or will ever again call) this reference once `run`
+        // returns or unwinds; see the module docs.
+        let work =
+            unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(work) };
+        let batch = Arc::new(Batch {
+            work,
+            started: AtomicUsize::new(0),
+            exited: Mutex::new(0),
+            settled: Condvar::new(),
+        });
+        {
+            let mut queue = self.state.queue.lock().unwrap();
+            for _ in 0..helpers {
+                queue.push_back(Arc::clone(&batch));
+            }
+        }
+        // notify_all: `helpers` may exceed the waiters; surplus wakes
+        // re-park harmlessly.
+        self.state.task_ready.notify_all();
+
+        // Participate until the cursor is exhausted.
+        drain();
+
+        // Settle: purge still-queued helper jobs (claims bump `started`
+        // under this same lock, so after the purge `started` is final),
+        // then wait out every claimed helper.
+        {
+            let mut queue = self.state.queue.lock().unwrap();
+            queue.retain(|queued| !Arc::ptr_eq(queued, &batch));
+        }
+        let started = batch.started.load(Ordering::SeqCst);
+        let mut exited = batch.exited.lock().unwrap();
+        while *exited < started {
+            exited = batch.settled.wait(exited).unwrap();
+        }
+        drop(exited);
+
+        if let Some(payload) = first_panic.lock().unwrap().take() {
+            resume_unwind(payload);
+        }
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("every unit index is claimed exactly once")
+            })
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.state.stop.store(true, Ordering::SeqCst);
+        self.state.task_ready.notify_all();
+        for handle in self.handles.drain(..) {
+            drop(handle.join());
+        }
+    }
+}
+
+fn worker_loop(state: &PoolState) {
+    loop {
+        let batch = {
+            let mut queue = state.queue.lock().unwrap();
+            loop {
+                if let Some(batch) = queue.pop_front() {
+                    // Claimed: the submitting caller now waits for this
+                    // helper instead of cancelling it. Must happen under
+                    // the queue lock (see `Batch::started`).
+                    batch.started.fetch_add(1, Ordering::SeqCst);
+                    break batch;
+                }
+                if state.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = state.task_ready.wait(queue).unwrap();
+            }
+        };
+        (batch.work)();
+        let mut exited = batch.exited.lock().unwrap();
+        *exited += 1;
+        batch.settled.notify_all();
+    }
+}
+
+/// Runs `f(i)` for `i in 0..n` across up to `threads` concurrent
+/// executors of the [`WorkerPool::global`] pool (the calling thread
+/// included) and returns the results in input order. `threads <= 1`
+/// runs serially on the caller. Drop-in for the old scoped-thread
+/// `fan_out`: same signature, same ordering, same panic behavior — but
+/// the workers (and their `thread_local!` state) persist across calls.
+pub fn fan_out<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    WorkerPool::global().run(n, threads, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_keep_input_order() {
+        for threads in [1, 2, 3, 8, 64] {
+            let out = fan_out(17, threads, |i| i * 10);
+            assert_eq!(out, (0..17).map(|i| i * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(fan_out(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(fan_out(1, 4, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn every_unit_runs_exactly_once() {
+        let hits: Vec<AtomicU64> = (0..200).map(|_| AtomicU64::new(0)).collect();
+        let out = fan_out(200, 7, |i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+            i
+        });
+        assert_eq!(out.len(), 200);
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::SeqCst), 1, "unit {i}");
+        }
+    }
+
+    #[test]
+    fn nested_runs_do_not_deadlock() {
+        // Outer batch saturates the pool; each unit fans out again.
+        // Caller participation guarantees progress regardless of how
+        // many workers exist.
+        let out = fan_out(6, 8, |i| fan_out(5, 8, move |j| i * 100 + j));
+        for (i, inner) in out.iter().enumerate() {
+            assert_eq!(*inner, (0..5).map(|j| i * 100 + j).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn concurrent_callers_share_the_pool() {
+        let totals: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|c| {
+                    scope.spawn(move || fan_out(50, 4, |i| (c * 1000 + i) as u64).iter().sum())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (c, total) in totals.iter().enumerate() {
+            let want: u64 = (0..50).map(|i| (c * 1000 + i) as u64).sum();
+            assert_eq!(*total, want);
+        }
+    }
+
+    #[test]
+    fn panics_propagate_after_the_batch_settles() {
+        let ran = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            fan_out(12, 4, |i| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                if i == 5 {
+                    panic!("unit 5 exploded");
+                }
+                i
+            })
+        }));
+        assert!(result.is_err(), "panic must surface to the caller");
+        // Every unit was claimed (the cursor never skips), and the pool
+        // stays usable afterwards.
+        assert_eq!(ran.load(Ordering::SeqCst), 12);
+        assert_eq!(fan_out(3, 4, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn private_pool_drops_cleanly() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.threads(), 3);
+        assert_eq!(
+            pool.run(9, 3, |i| i * i),
+            (0..9).map(|i| i * i).collect::<Vec<_>>()
+        );
+        drop(pool); // joins its workers
+    }
+
+    #[test]
+    fn borrowed_state_survives_the_batch() {
+        // Results may borrow from the caller's stack (R: Send, not
+        // 'static-bounded in spirit): stress with owned Strings built
+        // from borrowed input.
+        let words = ["alpha", "beta", "gamma", "delta"];
+        let out = fan_out(words.len(), 4, |i| format!("{}-{}", words[i], i));
+        assert_eq!(out, vec!["alpha-0", "beta-1", "gamma-2", "delta-3"]);
+    }
+}

@@ -77,11 +77,16 @@ fn main() {
         eprintln!(
             "usage: wwt-serve [--addr HOST:PORT] [--scale F] [--queries N] [--workers N]\n\
              \x20                [--shards N] [--max-concurrent-queries N]\n\
+             \x20                [--max-delta-tables N]\n\
              \x20                [--admin-token SECRET] [--corpus-dir DIR | --index-path DIR]\n\
              \x20                [--save-index DIR] [--build-only]\n\
              env fallbacks: WWT_ADDR, WWT_SCALE, WWT_QUERIES, WWT_SERVER_WORKERS,\n\
-             \x20               WWT_SHARDS, WWT_MAX_CONCURRENT_QUERIES, WWT_ADMIN_TOKEN,\n\
-             \x20               WWT_CORPUS_DIR, WWT_INDEX_PATH, WWT_SAVE_INDEX"
+             \x20               WWT_SHARDS, WWT_MAX_CONCURRENT_QUERIES, WWT_MAX_DELTA_TABLES,\n\
+             \x20               WWT_ADMIN_TOKEN, WWT_CORPUS_DIR, WWT_INDEX_PATH, WWT_SAVE_INDEX\n\
+             live ingest: POST /admin/tables (one table-store JSON line per request),\n\
+             \x20            DELETE /admin/tables/ID, POST /admin/compact — all admin-gated;\n\
+             \x20            --max-delta-tables N auto-compacts once the delta holds N tables\n\
+             \x20            (0 = manual compaction only)"
         );
         return;
     }
@@ -197,6 +202,12 @@ fn main() {
         "WWT_MAX_CONCURRENT_QUERIES",
         server_config.max_concurrent_queries,
     );
+    server_config.max_delta_tables = parsed_flag_or_env(
+        &args,
+        "--max-delta-tables",
+        "WWT_MAX_DELTA_TABLES",
+        server_config.max_delta_tables,
+    );
 
     let sample_query = sample_query(&engine);
     let service = Arc::new(TableSearchService::new(Arc::new(engine)));
@@ -214,6 +225,11 @@ fn main() {
     );
     println!(
         "reload: curl -s -X POST -H 'x-admin-token: {admin_token}' http://{}/admin/reload",
+        handle.addr()
+    );
+    println!(
+        "ingest: curl -s -X POST -H 'x-admin-token: {admin_token}' http://{}/admin/tables \
+         --data-binary @table.json",
         handle.addr()
     );
     println!(

@@ -84,6 +84,15 @@ impl HttpClient {
         }
     }
 
+    /// Issues a `DELETE` with extra headers (e.g. `x-admin-token`).
+    pub fn delete_with_headers(
+        &mut self,
+        path: &str,
+        headers: &[(&str, &str)],
+    ) -> std::io::Result<HttpResponse> {
+        self.request("DELETE", path, None, headers)
+    }
+
     /// Issues a `POST` with extra headers (e.g. `x-admin-token`).
     pub fn post_with_headers(
         &mut self,

@@ -32,6 +32,12 @@ pub enum Route {
     Shutdown,
     /// `POST /admin/reload`.
     Reload,
+    /// `POST /admin/tables` (live ingest).
+    TablesIngest,
+    /// `DELETE /admin/tables/{id}`.
+    TableDelete,
+    /// `POST /admin/compact`.
+    Compact,
     /// Anything else (404/405/413 traffic).
     Other,
 }
@@ -47,6 +53,9 @@ impl Route {
             Route::Version => "version",
             Route::Shutdown => "shutdown",
             Route::Reload => "reload",
+            Route::TablesIngest => "tables_ingest",
+            Route::TableDelete => "table_delete",
+            Route::Compact => "compact",
             Route::Other => "other",
         }
     }
@@ -269,6 +278,36 @@ impl Metrics {
                 "gauge",
                 cache.docset_cache_entries as u64,
             ),
+            (
+                "wwt_delta_tables",
+                "Tables in the serving engine's mutable delta segment.",
+                "gauge",
+                cache.delta_tables as u64,
+            ),
+            (
+                "wwt_delta_tombstones",
+                "Frozen tables shadowed by a tombstone or re-ingested copy.",
+                "gauge",
+                cache.delta_tombstones as u64,
+            ),
+            (
+                "wwt_tables_ingested_total",
+                "Tables accepted by live ingest since boot.",
+                "counter",
+                cache.tables_ingested,
+            ),
+            (
+                "wwt_tables_deleted_total",
+                "Tables removed by live delete since boot.",
+                "counter",
+                cache.tables_deleted,
+            ),
+            (
+                "wwt_compactions_total",
+                "Delta-into-frozen compactions performed since boot.",
+                "counter",
+                cache.compactions,
+            ),
         ] {
             out.push_str(&format!(
                 "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
@@ -294,6 +333,11 @@ mod tests {
             swap_count: 4,
             deadline_exceeded: 0,
             docset_cache_entries: 5,
+            delta_tables: 2,
+            delta_tombstones: 1,
+            tables_ingested: 6,
+            tables_deleted: 1,
+            compactions: 3,
         }
     }
 
@@ -338,6 +382,23 @@ mod tests {
     }
 
     #[test]
+    fn live_ingest_series_render() {
+        let m = Metrics::new();
+        m.observe(Route::TablesIngest, 202, Duration::from_micros(900));
+        m.observe(Route::TableDelete, 404, Duration::from_micros(100));
+        m.observe(Route::Compact, 202, Duration::from_micros(400));
+        let text = m.render_prometheus(&cache_stats());
+        assert!(text.contains("wwt_http_requests_total{route=\"tables_ingest\",code=\"202\"} 1\n"));
+        assert!(text.contains("wwt_http_requests_total{route=\"table_delete\",code=\"404\"} 1\n"));
+        assert!(text.contains("wwt_http_requests_total{route=\"compact\",code=\"202\"} 1\n"));
+        assert!(text.contains("wwt_delta_tables 2\n"));
+        assert!(text.contains("wwt_delta_tombstones 1\n"));
+        assert!(text.contains("wwt_tables_ingested_total 6\n"));
+        assert!(text.contains("wwt_tables_deleted_total 1\n"));
+        assert!(text.contains("wwt_compactions_total 3\n"));
+    }
+
+    #[test]
     fn in_flight_gauge_tracks_and_renders() {
         let m = Metrics::new();
         m.request_started();
@@ -364,6 +425,11 @@ mod tests {
             swap_count: 0,
             deadline_exceeded: 0,
             docset_cache_entries: 0,
+            delta_tables: 0,
+            delta_tombstones: 0,
+            tables_ingested: 0,
+            tables_deleted: 0,
+            compactions: 0,
         });
         assert!(text.contains("wwt_http_request_duration_seconds_count 0\n"));
         assert!(text.contains("wwt_http_request_duration_seconds_sum 0\n"));

@@ -70,6 +70,12 @@ pub struct ServerConfig {
     /// The default of 256 exists for batch traffic, where a handful of
     /// admitted requests can represent hundreds of engine-bound queries.
     pub max_concurrent_queries: usize,
+    /// Delta-segment size that triggers a background compaction after a
+    /// live ingest (`POST /admin/tables`): once the delta holds this
+    /// many tables, the server folds it into a freshly built frozen
+    /// engine off the request path. `0` disables auto-compaction —
+    /// operators then compact explicitly via `POST /admin/compact`.
+    pub max_delta_tables: usize,
 }
 
 impl Default for ServerConfig {
@@ -86,6 +92,7 @@ impl Default for ServerConfig {
             admin_token: None,
             engine_source: None,
             max_concurrent_queries: 256,
+            max_delta_tables: 0,
         }
     }
 }
@@ -108,6 +115,11 @@ struct Shared {
     /// The most recent reload failure, surfaced by the next `/admin/reload`
     /// response so operators see why the generation never bumped.
     last_reload_error: Mutex<Option<String>>,
+    /// True while a background delta compaction is running; further
+    /// triggers (auto or explicit) are skipped/refused instead of piling
+    /// up rebuild threads. The service's own mutation lock keeps the
+    /// data safe either way — this flag only bounds thread count.
+    compacting: AtomicBool,
     /// Query/batch requests currently being dispatched, gated by
     /// `config.max_concurrent_queries`.
     queries_in_flight: std::sync::atomic::AtomicUsize,
@@ -261,6 +273,7 @@ pub fn serve(
         shutdown_requested: (Mutex::new(false), Condvar::new()),
         reloading: AtomicBool::new(false),
         last_reload_error: Mutex::new(None),
+        compacting: AtomicBool::new(false),
         queries_in_flight: std::sync::atomic::AtomicUsize::new(0),
     });
 
@@ -482,6 +495,9 @@ fn dispatch(shared: &Arc<Shared>, request: &Request) -> (Route, u16, &'static st
         "/version" => Route::Version,
         "/admin/shutdown" => Route::Shutdown,
         "/admin/reload" => Route::Reload,
+        "/admin/tables" => Route::TablesIngest,
+        "/admin/compact" => Route::Compact,
+        path if path.starts_with("/admin/tables/") => Route::TableDelete,
         _ => {
             let err = wire::ApiError {
                 status: 404,
@@ -491,7 +507,13 @@ fn dispatch(shared: &Arc<Shared>, request: &Request) -> (Route, u16, &'static st
         }
     };
     let expected = match route {
-        Route::Query | Route::QueryBatch | Route::Shutdown | Route::Reload => "POST",
+        Route::Query
+        | Route::QueryBatch
+        | Route::Shutdown
+        | Route::Reload
+        | Route::TablesIngest
+        | Route::Compact => "POST",
+        Route::TableDelete => "DELETE",
         _ => "GET",
     };
     if request.method != expected {
@@ -505,7 +527,10 @@ fn dispatch(shared: &Arc<Shared>, request: &Request) -> (Route, u16, &'static st
     // exist (a reachable unauthenticated shutdown/reload would let any
     // client that can hit the socket kill or churn the service); a bad
     // token ⇒ 403.
-    if matches!(route, Route::Shutdown | Route::Reload) {
+    if matches!(
+        route,
+        Route::Shutdown | Route::Reload | Route::TablesIngest | Route::TableDelete | Route::Compact
+    ) {
         match shared.config.admin_token.as_deref() {
             None => {
                 let err = wire::ApiError {
@@ -624,8 +649,131 @@ fn dispatch(shared: &Arc<Shared>, request: &Request) -> (Route, u16, &'static st
             )
         }
         Route::Reload => start_reload(shared),
+        Route::TablesIngest => ingest_table(shared, request),
+        Route::TableDelete => delete_table(shared, request),
+        Route::Compact => start_compaction(shared, true),
         Route::Other => unreachable!("handled above"),
     }
+}
+
+/// `POST /admin/tables`: parses the body as one table-store JSON line
+/// and publishes it into the serving engine's delta segment — queryable
+/// on the very next request, no rebuild. Answers 202 with the new
+/// generation. When the delta reaches `max_delta_tables`, a background
+/// compaction is kicked off (best-effort — a compaction already running
+/// just keeps running).
+fn ingest_table(shared: &Arc<Shared>, request: &Request) -> (Route, u16, &'static str, String) {
+    const JSON: &str = "application/json";
+    let table = match std::str::from_utf8(&request.body)
+        .map_err(|_| "body is not valid utf-8".to_string())
+        .and_then(|text| wwt_index::table_from_json(text.trim()))
+    {
+        Ok(table) => table,
+        Err(message) => {
+            let err = wire::ApiError {
+                status: 400,
+                message,
+            };
+            return (Route::TablesIngest, 400, JSON, wire::encode_error(&err));
+        }
+    };
+    let id = table.id.0;
+    let generation = shared.service.ingest_table(table);
+    let threshold = shared.config.max_delta_tables;
+    if threshold > 0 && shared.service.delta_len() >= threshold {
+        drop(start_compaction(shared, false));
+    }
+    (
+        Route::TablesIngest,
+        202,
+        JSON,
+        format!("{{\"status\":\"ingested\",\"table_id\":{id},\"generation\":{generation}}}"),
+    )
+}
+
+/// `DELETE /admin/tables/{id}`: evicts a delta table or tombstones a
+/// frozen one; 404 when the id is unknown (or already gone).
+fn delete_table(shared: &Arc<Shared>, request: &Request) -> (Route, u16, &'static str, String) {
+    const JSON: &str = "application/json";
+    let raw = request.path.trim_start_matches("/admin/tables/");
+    let Ok(id) = raw.parse::<u32>() else {
+        let err = wire::ApiError {
+            status: 400,
+            message: format!("table id {raw:?} is not a non-negative integer"),
+        };
+        return (Route::TableDelete, 400, JSON, wire::encode_error(&err));
+    };
+    match shared.service.remove_table(wwt_model::TableId(id)) {
+        Some(generation) => (
+            Route::TableDelete,
+            202,
+            JSON,
+            format!("{{\"status\":\"deleted\",\"table_id\":{id},\"generation\":{generation}}}"),
+        ),
+        None => {
+            let err = wire::ApiError {
+                status: 404,
+                message: format!("no live table with id {id}"),
+            };
+            (Route::TableDelete, 404, JSON, wire::encode_error(&err))
+        }
+    }
+}
+
+/// Kicks off a background delta compaction. `explicit` routes (`POST
+/// /admin/compact`) answer 202/409; the auto-trigger after an ingest
+/// reuses the same guard but its response is discarded. The compaction
+/// thread rebuilds the frozen engine from the live logical corpus —
+/// byte-identical to a from-scratch build — and swaps it in; queries
+/// keep flowing against the live snapshot meanwhile.
+fn start_compaction(shared: &Arc<Shared>, explicit: bool) -> (Route, u16, &'static str, String) {
+    const JSON: &str = "application/json";
+    if shared
+        .compacting
+        .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+        .is_err()
+    {
+        let err = wire::ApiError {
+            status: 409,
+            message: "a compaction is already in progress".to_string(),
+        };
+        return (Route::Compact, 409, JSON, wire::encode_error(&err));
+    }
+    if explicit && !shared.service.engine().is_live() {
+        shared.compacting.store(false, Ordering::SeqCst);
+        return (
+            Route::Compact,
+            200,
+            JSON,
+            format!(
+                "{{\"status\":\"clean\",\"generation\":{}}}",
+                shared.service.generation()
+            ),
+        );
+    }
+    let generation = shared.service.generation();
+    let worker = Arc::clone(shared);
+    let spawned = std::thread::Builder::new()
+        .name("wwt-compact".to_string())
+        .spawn(move || {
+            let generation = worker.service.compact();
+            eprintln!("[wwt-server] delta compacted: generation {generation}");
+            worker.compacting.store(false, Ordering::SeqCst);
+        });
+    if spawned.is_err() {
+        shared.compacting.store(false, Ordering::SeqCst);
+        let err = wire::ApiError {
+            status: 500,
+            message: "could not spawn the compaction thread".to_string(),
+        };
+        return (Route::Compact, 500, JSON, wire::encode_error(&err));
+    }
+    (
+        Route::Compact,
+        202,
+        JSON,
+        format!("{{\"status\":\"compacting\",\"generation\":{generation}}}"),
+    )
 }
 
 /// Kicks off a background engine rebuild + swap. Answers 202 with the

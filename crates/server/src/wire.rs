@@ -325,6 +325,11 @@ pub fn encode_stats_with(stats: &ServiceStats, last_reload_error: Option<&str>) 
             "docset_cache_entries",
             Json::from(stats.docset_cache_entries),
         ),
+        ("delta_tables", Json::from(stats.delta_tables)),
+        ("delta_tombstones", Json::from(stats.delta_tombstones)),
+        ("tables_ingested", Json::from(stats.tables_ingested)),
+        ("tables_deleted", Json::from(stats.tables_deleted)),
+        ("compactions", Json::from(stats.compactions)),
     ];
     if let Some(error) = last_reload_error {
         fields.push(("last_reload_error", Json::from(error)));
@@ -484,6 +489,11 @@ mod tests {
             swap_count: 0,
             deadline_exceeded: 0,
             docset_cache_entries: 0,
+            delta_tables: 0,
+            delta_tombstones: 0,
+            tables_ingested: 0,
+            tables_deleted: 0,
+            compactions: 0,
         });
         assert!(body.contains("\"hit_rate\":0"), "{body}");
         let v = Json::parse(&body).unwrap();
@@ -503,6 +513,11 @@ mod tests {
             swap_count: 7,
             deadline_exceeded: 2,
             docset_cache_entries: 11,
+            delta_tables: 3,
+            delta_tombstones: 1,
+            tables_ingested: 9,
+            tables_deleted: 2,
+            compactions: 4,
         });
         let v = Json::parse(&body).unwrap();
         // Pre-existing field names stay untouched (additive evolution).
@@ -524,5 +539,10 @@ mod tests {
             v.get("docset_cache_entries").and_then(Json::as_u64),
             Some(11)
         );
+        assert_eq!(v.get("delta_tables").and_then(Json::as_u64), Some(3));
+        assert_eq!(v.get("delta_tombstones").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("tables_ingested").and_then(Json::as_u64), Some(9));
+        assert_eq!(v.get("tables_deleted").and_then(Json::as_u64), Some(2));
+        assert_eq!(v.get("compactions").and_then(Json::as_u64), Some(4));
     }
 }

@@ -1,0 +1,226 @@
+//! End-to-end tests for live table ingest over HTTP: `POST
+//! /admin/tables` makes a table queryable without a rebuild, `DELETE
+//! /admin/tables/{id}` tombstones it, `POST /admin/compact` (and the
+//! `max_delta_tables` auto-trigger) folds the delta into a fresh frozen
+//! engine — all while the admin gate keeps the routes locked down.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use wwt_engine::EngineBuilder;
+use wwt_index::table_to_json;
+use wwt_model::{TableId, WebTable};
+use wwt_server::{serve, HttpClient, ServerConfig, ServerHandle};
+use wwt_service::TableSearchService;
+
+const TOKEN: &str = "ingest-sesame";
+
+fn boot(max_delta_tables: usize) -> ServerHandle {
+    let page = "<html><body><p>countries and currency</p><table>\
+         <tr><th>Country</th><th>Currency</th></tr>\
+         <tr><td>India</td><td>Rupee</td></tr>\
+         <tr><td>Japan</td><td>Yen</td></tr></table></body></html>";
+    let mut b = EngineBuilder::new();
+    b.add_html(page);
+    let service = Arc::new(TableSearchService::new(Arc::new(b.build())));
+    let config = ServerConfig {
+        admin_token: Some(TOKEN.to_string()),
+        // Explicit pool: a single default worker on a 1-core runner lets
+        // one idle keep-alive connection pin the server.
+        workers: 4,
+        max_delta_tables,
+        ..ServerConfig::default()
+    };
+    serve(service, config).expect("bind ephemeral port")
+}
+
+fn volcano_table(id: u32, peak: &str) -> WebTable {
+    WebTable::new(
+        TableId(id),
+        "live://volcano",
+        Some("Volcano heights".into()),
+        vec![vec!["Volcano".into(), "Elevation".into()]],
+        vec![
+            vec![peak.into(), "3329".into()],
+            vec!["Fuji".into(), "3776".into()],
+        ],
+        vec![],
+    )
+    .unwrap()
+}
+
+/// Polls `GET /stats` until `predicate` accepts the body (background
+/// compactions finish on their own thread; completion is observed).
+fn wait_for_stats(addr: std::net::SocketAddr, predicate: impl Fn(&str) -> bool) -> String {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let text = HttpClient::connect(addr)
+            .and_then(|mut c| c.get("/stats"))
+            .map(|r| r.text())
+            .unwrap_or_default();
+        if predicate(&text) {
+            return text;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "stats never converged; last /stats: {text}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn ingest_query_delete_roundtrip() {
+    let handle = boot(0);
+    let addr = handle.addr();
+    let mut client = HttpClient::connect(addr).unwrap();
+    let query = r#"{"query":"volcano | elevation"}"#;
+
+    // Nothing about volcanoes in the boot corpus.
+    let before = client.post("/query", query).unwrap();
+    assert_eq!(before.status, 200);
+    assert!(!before.text().contains("Etna"));
+
+    // The gate: no token 403, wrong token 403.
+    let body = table_to_json(&volcano_table(700, "Etna"));
+    assert_eq!(client.post("/admin/tables", &body).unwrap().status, 403);
+    assert_eq!(
+        client
+            .post_with_headers("/admin/tables", &body, &[("x-admin-token", "wrong")])
+            .unwrap()
+            .status,
+        403
+    );
+
+    // Ingest: 202, generation bump, queryable on the next request.
+    let resp = client
+        .post_with_headers("/admin/tables", &body, &[("x-admin-token", TOKEN)])
+        .unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.text());
+    assert!(resp.text().contains("\"table_id\":700"), "{}", resp.text());
+    assert!(resp.text().contains("\"generation\":1"), "{}", resp.text());
+    let after = client.post("/query", query).unwrap();
+    assert_eq!(after.status, 200);
+    assert!(after.text().contains("Etna"), "{}", after.text());
+
+    // Observability: /stats and /metrics both expose the delta gauges.
+    let stats = client.get("/stats").unwrap().text();
+    assert!(stats.contains("\"delta_tables\":1"), "{stats}");
+    assert!(stats.contains("\"tables_ingested\":1"), "{stats}");
+    let metrics = client.get("/metrics").unwrap().text();
+    assert!(metrics.contains("wwt_delta_tables 1\n"), "{metrics}");
+    assert!(
+        metrics.contains("wwt_tables_ingested_total 1\n"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("wwt_compactions_total 0\n"), "{metrics}");
+
+    // Garbage bodies and ids are client errors, not crashes.
+    assert_eq!(
+        client
+            .post_with_headers("/admin/tables", "not json", &[("x-admin-token", TOKEN)])
+            .unwrap()
+            .status,
+        400
+    );
+    assert_eq!(
+        client
+            .delete_with_headers("/admin/tables/xyz", &[("x-admin-token", TOKEN)])
+            .unwrap()
+            .status,
+        400
+    );
+
+    // Delete: 202 once, 404 for the already-gone id, answers revert.
+    let resp = client
+        .delete_with_headers("/admin/tables/700", &[("x-admin-token", TOKEN)])
+        .unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.text());
+    assert_eq!(
+        client
+            .delete_with_headers("/admin/tables/700", &[("x-admin-token", TOKEN)])
+            .unwrap()
+            .status,
+        404
+    );
+    let reverted = client.post("/query", query).unwrap();
+    assert!(!reverted.text().contains("Etna"), "{}", reverted.text());
+    let stats = client.get("/stats").unwrap().text();
+    assert!(stats.contains("\"tables_deleted\":1"), "{stats}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn explicit_compaction_folds_the_delta_and_keeps_answers() {
+    let handle = boot(0);
+    let addr = handle.addr();
+    let mut client = HttpClient::connect(addr).unwrap();
+    let query = r#"{"query":"volcano | elevation"}"#;
+
+    // A clean engine answers "clean" without burning a generation.
+    let resp = client
+        .post_with_headers("/admin/compact", "", &[("x-admin-token", TOKEN)])
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert!(
+        resp.text().contains("\"status\":\"clean\""),
+        "{}",
+        resp.text()
+    );
+
+    let body = table_to_json(&volcano_table(710, "Etna"));
+    let resp = client
+        .post_with_headers("/admin/tables", &body, &[("x-admin-token", TOKEN)])
+        .unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.text());
+    let live_answer = client.post("/query", query).unwrap().text();
+    assert!(live_answer.contains("Etna"), "{live_answer}");
+
+    let resp = client
+        .post_with_headers("/admin/compact", "", &[("x-admin-token", TOKEN)])
+        .unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.text());
+    assert!(
+        resp.text().contains("\"status\":\"compacting\""),
+        "{}",
+        resp.text()
+    );
+    wait_for_stats(addr, |s| {
+        s.contains("\"delta_tables\":0") && s.contains("\"compactions\":1")
+    });
+
+    // Post-compaction the table still answers, now from the frozen index.
+    let frozen_answer = client.post("/query", query).unwrap().text();
+    assert!(frozen_answer.contains("Etna"), "{frozen_answer}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn auto_compaction_triggers_at_the_delta_threshold() {
+    let handle = boot(2);
+    let addr = handle.addr();
+    let mut client = HttpClient::connect(addr).unwrap();
+
+    for (id, peak) in [(720u32, "Etna"), (721, "Vesuvius")] {
+        let body = table_to_json(&volcano_table(id, peak));
+        let resp = client
+            .post_with_headers("/admin/tables", &body, &[("x-admin-token", TOKEN)])
+            .unwrap();
+        assert_eq!(resp.status, 202, "{}", resp.text());
+    }
+    // The second ingest crossed the threshold; the background compaction
+    // drains the delta without any further request.
+    let stats = wait_for_stats(addr, |s| {
+        s.contains("\"delta_tables\":0") && s.contains("\"compactions\":1")
+    });
+    assert!(stats.contains("\"tables_ingested\":2"), "{stats}");
+
+    let answer = client
+        .post("/query", r#"{"query":"volcano | elevation"}"#)
+        .unwrap()
+        .text();
+    assert!(answer.contains("Vesuvius"), "{answer}");
+
+    handle.shutdown();
+}

@@ -36,9 +36,9 @@ use cache::ShardedCache;
 use singleflight::{FlightGroup, Role};
 pub use slot::{EngineSlot, EngineSnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use wwt_engine::{Engine, QueryRequest, QueryResponse};
-use wwt_model::{Query, WwtError};
+use wwt_model::{Query, TableId, WebTable, WwtError};
 
 /// Serving knobs.
 #[derive(Debug, Clone)]
@@ -94,6 +94,21 @@ pub struct ServiceStats {
     /// cache capacity instead of growing forever under PMI-heavy
     /// traffic.
     pub docset_cache_entries: usize,
+    /// Tables currently living in the serving engine's mutable delta
+    /// segment (0 when the engine is fully compacted).
+    pub delta_tables: usize,
+    /// Frozen tables currently shadowed by a tombstone or a re-ingested
+    /// delta copy (0 when the engine is fully compacted).
+    pub delta_tombstones: usize,
+    /// Tables accepted by [`TableSearchService::ingest_table`] since
+    /// startup.
+    pub tables_ingested: u64,
+    /// Tables removed by [`TableSearchService::remove_table`] since
+    /// startup.
+    pub tables_deleted: u64,
+    /// Delta-into-frozen compactions performed by
+    /// [`TableSearchService::compact`] since startup.
+    pub compactions: u64,
 }
 
 impl ServiceStats {
@@ -121,6 +136,13 @@ pub struct TableSearchService {
     coalesced: AtomicU64,
     swap_count: AtomicU64,
     deadline_exceeded: AtomicU64,
+    /// Serializes live mutations (ingest / remove / compact) so each one
+    /// applies to the engine the previous one published. Queries never
+    /// take this lock.
+    live_lock: Mutex<()>,
+    tables_ingested: AtomicU64,
+    tables_deleted: AtomicU64,
+    compactions: AtomicU64,
     config: ServiceConfig,
 }
 
@@ -149,6 +171,10 @@ impl TableSearchService {
             coalesced: AtomicU64::new(0),
             swap_count: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
+            live_lock: Mutex::new(()),
+            tables_ingested: AtomicU64::new(0),
+            tables_deleted: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
             config,
         }
     }
@@ -187,6 +213,57 @@ impl TableSearchService {
     /// The serving configuration.
     pub fn config(&self) -> &ServiceConfig {
         &self.config
+    }
+
+    /// Ingests one table into the serving engine's mutable delta segment
+    /// and publishes the result as a new generation — no full rebuild.
+    /// A table whose id already exists (frozen or delta) is replaced.
+    /// Returns the generation now serving the table.
+    ///
+    /// Mutations are serialized by an internal lock so concurrent
+    /// ingests/removals/compactions compose instead of clobbering each
+    /// other; queries keep flowing against whichever snapshot they
+    /// observed.
+    pub fn ingest_table(&self, table: WebTable) -> u64 {
+        let _guard = self.live_lock.lock().unwrap();
+        let next = self.engine().with_table_added(table);
+        let generation = self.reload(Arc::new(next));
+        self.tables_ingested.fetch_add(1, Ordering::Relaxed);
+        generation
+    }
+
+    /// Removes one table (delta eviction or frozen tombstone) and
+    /// publishes the result as a new generation. Returns `None` when the
+    /// id is unknown (or already tombstoned) — nothing is swapped and no
+    /// generation is burned.
+    pub fn remove_table(&self, id: TableId) -> Option<u64> {
+        let _guard = self.live_lock.lock().unwrap();
+        let next = self.engine().with_table_removed(id)?;
+        let generation = self.reload(Arc::new(next));
+        self.tables_deleted.fetch_add(1, Ordering::Relaxed);
+        Some(generation)
+    }
+
+    /// Folds the delta segment and tombstones into a freshly built frozen
+    /// engine — byte-identical to building from scratch over the live
+    /// logical corpus — and publishes it. A no-op (returning the current
+    /// generation, swapping nothing) when the engine has no live
+    /// mutations. Returns the generation now serving.
+    pub fn compact(&self) -> u64 {
+        let _guard = self.live_lock.lock().unwrap();
+        let engine = self.engine();
+        if !engine.is_live() {
+            return self.generation();
+        }
+        let next = engine.compacted();
+        let generation = self.reload(Arc::new(next));
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        generation
+    }
+
+    /// Tables currently in the serving engine's delta segment.
+    pub fn delta_len(&self) -> usize {
+        self.engine().delta_len()
     }
 
     /// Answers one request: response cache first, then singleflight — if
@@ -309,6 +386,11 @@ impl TableSearchService {
             swap_count: self.swap_count.load(Ordering::Relaxed),
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             docset_cache_entries: snapshot.engine.docset_cache_entries(),
+            delta_tables: snapshot.engine.delta_len(),
+            delta_tombstones: snapshot.engine.tombstone_len(),
+            tables_ingested: self.tables_ingested.load(Ordering::Relaxed),
+            tables_deleted: self.tables_deleted.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
         }
     }
 
@@ -691,6 +773,114 @@ mod tests {
         let stats = service.stats();
         assert_eq!(stats.swap_count, SWAPS as u64);
         assert_eq!(stats.generation, SWAPS as u64);
+    }
+
+    fn volcano_table() -> WebTable {
+        WebTable::new(
+            TableId(9_000),
+            "live://volcano",
+            Some("Volcano heights".into()),
+            vec![vec!["Volcano".into(), "Elevation".into()]],
+            vec![
+                vec!["Etna".into(), "3329".into()],
+                vec!["Fuji".into(), "3776".into()],
+            ],
+            vec![],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ingest_makes_a_table_queryable_and_bumps_generation() {
+        let service = TableSearchService::new(tiny_engine());
+        let req = QueryRequest::parse("volcano | elevation").unwrap();
+        assert!(service.answer(&req).unwrap().table.is_empty());
+
+        let generation = service.ingest_table(volcano_table());
+        assert_eq!(generation, 1);
+        let out = service.answer(&req).unwrap();
+        assert!(
+            out.table.rows.iter().any(|r| r.cells[0] == "Etna"),
+            "ingested table must answer: {:?}",
+            out.table
+        );
+
+        let stats = service.stats();
+        assert_eq!(stats.generation, 1);
+        assert_eq!(stats.swap_count, 1);
+        assert_eq!(stats.delta_tables, 1);
+        assert_eq!(stats.tables_ingested, 1);
+        assert_eq!(stats.tables_deleted, 0);
+        assert_eq!(stats.compactions, 0);
+    }
+
+    #[test]
+    fn remove_unknown_table_is_none_and_swaps_nothing() {
+        let service = TableSearchService::new(tiny_engine());
+        assert_eq!(service.remove_table(TableId(123_456)), None);
+        let stats = service.stats();
+        assert_eq!(stats.generation, 0);
+        assert_eq!(stats.swap_count, 0);
+        assert_eq!(stats.tables_deleted, 0);
+    }
+
+    #[test]
+    fn compact_folds_the_delta_and_keeps_answers() {
+        let service = TableSearchService::new(tiny_engine());
+        // Compacting a fully frozen engine is a free no-op.
+        assert_eq!(service.compact(), 0);
+        assert_eq!(service.stats().compactions, 0);
+
+        service.ingest_table(volcano_table());
+        assert_eq!(service.delta_len(), 1);
+        let req = QueryRequest::parse("volcano | elevation").unwrap();
+        let before = service.answer(&req).unwrap();
+
+        let generation = service.compact();
+        assert_eq!(generation, 2);
+        let stats = service.stats();
+        assert_eq!(stats.compactions, 1);
+        assert_eq!(stats.delta_tables, 0);
+        assert_eq!(stats.delta_tombstones, 0);
+        assert!(!service.engine().is_live());
+
+        let after = service.answer(&req).unwrap();
+        assert_eq!(after.table, before.table);
+
+        // Removing the now-frozen table tombstones it.
+        assert_eq!(service.remove_table(TableId(9_000)), Some(3));
+        assert!(service.answer(&req).unwrap().table.is_empty());
+        let stats = service.stats();
+        assert_eq!(stats.tables_deleted, 1);
+        assert_eq!(stats.delta_tombstones, 1);
+    }
+
+    #[test]
+    fn concurrent_ingests_all_land() {
+        const WRITERS: usize = 4;
+        let service = Arc::new(TableSearchService::new(tiny_engine()));
+        std::thread::scope(|scope| {
+            for w in 0..WRITERS {
+                let service = Arc::clone(&service);
+                scope.spawn(move || {
+                    let t = WebTable::new(
+                        TableId(9_100 + w as u32),
+                        "live://w",
+                        None,
+                        vec![vec!["Volcano".into(), "Elevation".into()]],
+                        vec![vec![format!("Peak{w}"), "1000".into()]],
+                        vec![],
+                    )
+                    .unwrap();
+                    service.ingest_table(t);
+                });
+            }
+        });
+        let stats = service.stats();
+        assert_eq!(stats.delta_tables, WRITERS);
+        assert_eq!(stats.tables_ingested, WRITERS as u64);
+        assert_eq!(stats.swap_count, WRITERS as u64);
+        assert_eq!(service.engine().n_tables(), 1 + WRITERS);
     }
 
     #[test]

@@ -24,4 +24,5 @@ pub use stats::CorpusStats;
 pub use tfidf::TfIdfVector;
 pub use tokenize::{
     is_stopword, normalize_cell, stem_plural, tokenize, tokenize_each, tokenize_keep_stopwords,
+    MAX_TOKEN_BYTES,
 };

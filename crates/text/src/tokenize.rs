@@ -17,6 +17,27 @@ pub fn is_stopword(w: &str) -> bool {
     STOPWORDS.binary_search(&w).is_ok()
 }
 
+/// Longest token emitted, in UTF-8 bytes. Real words are far shorter;
+/// the cap exists for adversarial or machine-generated "words" (base64
+/// blobs, concatenated URLs) — an uncapped token above 64 KiB would make
+/// the index's binary persistence refuse to save (its term-length field
+/// is a `u16`). 256 bytes keeps every natural-language token intact
+/// while bounding the dictionary far below that limit.
+pub const MAX_TOKEN_BYTES: usize = 256;
+
+/// Truncates `w` to [`MAX_TOKEN_BYTES`], backing up to the nearest
+/// UTF-8 character boundary so the token stays valid.
+fn cap_token_in_place(w: &mut String) {
+    if w.len() <= MAX_TOKEN_BYTES {
+        return;
+    }
+    let mut cut = MAX_TOKEN_BYTES;
+    while !w.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    w.truncate(cut);
+}
+
 /// Splits `text` into lowercase alphanumeric tokens, dropping stopwords and
 /// applying light plural stemming (`bands` → `band`, `currencies` →
 /// `currency`), so query keywords match singular/plural header variants.
@@ -51,6 +72,7 @@ pub fn tokenize_each(text: &str, mut f: impl FnMut(&str)) {
             continue;
         }
         stem_plural_in_place(&mut buf);
+        cap_token_in_place(&mut buf);
         f(&buf);
     }
 }
@@ -191,6 +213,27 @@ mod tests {
     #[test]
     fn numbers_survive() {
         assert_eq!(tokenize("2236 km"), vec!["2236", "km"]);
+    }
+
+    #[test]
+    fn oversized_token_is_capped_at_a_char_boundary() {
+        // A single 100 KiB "word" — longer than the index format's 64 KiB
+        // u16 term-length limit — must come out bounded by MAX_TOKEN_BYTES.
+        let giant = "x".repeat(100 * 1024);
+        let toks = tokenize(&giant);
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].len(), MAX_TOKEN_BYTES);
+
+        // Multi-byte characters: the cut must land on a char boundary, so
+        // the capped token is valid UTF-8 and at most MAX_TOKEN_BYTES long.
+        let giant_umlaut = "ö".repeat(80 * 1024);
+        let toks = tokenize(&giant_umlaut);
+        assert_eq!(toks.len(), 1);
+        assert!(toks[0].len() <= MAX_TOKEN_BYTES);
+        assert!(toks[0].chars().all(|c| c == 'ö'));
+
+        // Normal-length tokens are untouched.
+        assert_eq!(tokenize("ordinary words"), vec!["ordinary", "word"]);
     }
 
     #[test]

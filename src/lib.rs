@@ -130,6 +130,82 @@
 //! exceeded) keep slow cold queries from outliving their callers while
 //! all this happens.
 //!
+//! ## Live ingest
+//!
+//! The frozen engine also takes **live mutations**: a mutable delta
+//! segment ([`index::LiveIndex`]) fronts the frozen shards, so single
+//! tables can be added or removed in milliseconds — no rebuild — and a
+//! background **compaction** later folds the delta into a freshly built
+//! frozen engine that is *byte-identical* to building from scratch over
+//! the same logical corpus (`tests/live_equivalence.rs` is the
+//! differential proof, across all five inference algorithms, random
+//! option draws, removals and a persistence round-trip).
+//!
+//! Over HTTP the surface is three admin-gated routes; bodies are the
+//! same one-line JSON the table store uses (`{"id":…,"url":…,"title":…,
+//! "headers":[[…]],"rows":[[…]],"context":[…]}`):
+//!
+//! ```text
+//! $ curl -s -X POST -H 'x-admin-token: sesame' http://127.0.0.1:7070/admin/tables \
+//!        -d '{"id":9001,"url":"live://v","title":"Volcano heights",
+//!             "headers":[["Volcano","Elevation"]],
+//!             "rows":[["Etna","3329"],["Fuji","3776"]],"context":[]}'
+//! {"status":"ingested","table_id":9001,"generation":1}
+//!
+//! $ curl -s -X POST http://127.0.0.1:7070/query -d '{"query":"volcano | elevation"}'
+//! # ... answers immediately, served from the delta segment
+//!
+//! $ curl -s -X DELETE -H 'x-admin-token: sesame' \
+//!        http://127.0.0.1:7070/admin/tables/9001      # tombstone / evict
+//! $ curl -s -X POST -H 'x-admin-token: sesame' \
+//!        http://127.0.0.1:7070/admin/compact          # fold delta -> frozen
+//! {"status":"compacting","generation":2}
+//! ```
+//!
+//! Each mutation publishes a new generation through the same
+//! [`service::EngineSlot`] swap a reload uses, so caches never serve
+//! stale answers. `wwt-serve --max-delta-tables N` (env
+//! `WWT_MAX_DELTA_TABLES`) auto-compacts in the background once the
+//! delta holds N tables; `0` (the default) leaves compaction to the
+//! explicit route. Delta scoring uses merged corpus statistics (frozen
+//! hits keep their freeze-time statistics — an approximation compaction
+//! erases), and a live engine refuses [`engine::Engine::save_to_dir`]
+//! until compacted so the on-disk layout never silently drops
+//! mutations. Observability: `"delta_tables"`, `"delta_tombstones"`,
+//! `"tables_ingested"`, `"tables_deleted"` and `"compactions"` on
+//! `GET /stats`, plus the `wwt_delta_tables` / `wwt_delta_tombstones`
+//! gauges and `wwt_tables_ingested_total` / `wwt_tables_deleted_total` /
+//! `wwt_compactions_total` counters on `GET /metrics`.
+//!
+//! The same API in-process:
+//!
+//! ```
+//! use wwt::engine::{EngineBuilder, QueryRequest};
+//! use wwt::model::{TableId, WebTable};
+//!
+//! let mut builder = EngineBuilder::new();
+//! builder.add_html(
+//!     "<html><body><p>countries and currency</p><table>\
+//!      <tr><th>Country</th><th>Currency</th></tr>\
+//!      <tr><td>India</td><td>Rupee</td></tr></table></body></html>",
+//! );
+//! let frozen = builder.build();
+//! let volcano = WebTable::new(
+//!     TableId(9001),
+//!     "live://v",
+//!     Some("Volcano heights".into()),
+//!     vec![vec!["Volcano".into(), "Elevation".into()]],
+//!     vec![vec!["Etna".into(), "3329".into()]],
+//!     vec![],
+//! )
+//! .unwrap();
+//! let live = frozen.with_table_added(volcano); // O(delta), no rebuild
+//! let request = QueryRequest::parse("volcano | elevation").unwrap();
+//! assert!(!live.answer(&request).unwrap().table.is_empty());
+//! let compacted = live.compacted(); // byte-identical to a fresh build
+//! assert!(!compacted.is_live());
+//! ```
+//!
 //! ## Sharding
 //!
 //! The engine's index is hash-partitioned into N independent shards
@@ -212,7 +288,15 @@
 //! the offline freeze, which the hash-free positional freeze keeps at or
 //! below its pre-interning cost. `engine_bind_ms` additionally includes
 //! the bind-time feature precompute — deliberately spent offline so no
-//! query ever pays it. CI runs the same binary in smoke mode
+//! query ever pays it. The bind itself fans out over a persistent worker
+//! pool (`wwt-pool`): per-shard index freezes and per-table feature
+//! computations run in parallel (`EngineBuilder::bind_threads`, 0 =
+//! auto), and the artifact records both `engine_bind_ms` (pooled) and
+//! `engine_bind_serial_ms` so the multicore win is measured, not
+//! assumed — the built engine is identical for every thread count. The
+//! same pool batches the per-view potential computations inside the
+//! column mapper and the scatter-gather probe fan-out at query time.
+//! CI runs the same binary in smoke mode
 //! (`WWT_BENCH_SMOKE=1`) and uploads the artifact; `benches/
 //! query_path.rs` carries the criterion version of the same three
 //! measurements.
