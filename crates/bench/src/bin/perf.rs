@@ -12,7 +12,17 @@
 //! * **cold query latency** — the first uncached `answer_query` per
 //!   workload query, end to end (probes + mapping + consolidation);
 //! * **warm query latency** — repeat runs of the same queries (CPU
-//!   caches warm, response cache *not* involved).
+//!   caches warm, response cache *not* involved — see the
+//!   `warm_query_note` field in the artifact);
+//! * **cached query latency** — the same repeats through a
+//!   [`TableSearchService`] with its response cache, what a repeat
+//!   HTTP request actually costs;
+//! * **column-map latency** — the per-query `column_map` stage time
+//!   (median/p95), the inference-heavy slice of the pipeline;
+//! * **trace overhead** — interleaved repeats of the untraced entry
+//!   point, the disabled-trace production path, and a fully *enabled*
+//!   recording trace; `disabled_delta_pct` proves the always-present
+//!   hooks are free when off, `enabled_delta_pct` prices `explain`.
 //!
 //! Results are written as JSON to `BENCH_query_path.json` at the repo
 //! root (override with `WWT_BENCH_OUT`). `WWT_BENCH_SMOKE=1` (or a
@@ -22,13 +32,15 @@
 //! Environment: `WWT_SCALE` (default 0.15) sizes the corpus like every
 //! other wwt-bench binary.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wwt_corpus::{workload, CorpusConfig, CorpusGenerator};
-use wwt_engine::{Engine, EngineBuilder, WwtConfig};
+use wwt_engine::{Engine, EngineBuilder, QueryRequest, Trace, WwtConfig};
 use wwt_html::extract_tables;
 use wwt_index::IndexBuilder;
 use wwt_json::Json;
 use wwt_model::WebTable;
+use wwt_service::TableSearchService;
 
 /// Fixed corpus seed: the trajectory only means something if every point
 /// measures the same corpus.
@@ -59,10 +71,21 @@ fn median(xs: &[f64]) -> f64 {
     }
 }
 
+fn p95(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let idx = ((sorted.len() as f64) * 0.95).ceil() as usize;
+    sorted[idx.saturating_sub(1).min(sorted.len() - 1)]
+}
+
 fn stats_json(xs: &[f64]) -> Json {
     Json::obj([
         ("mean_us", Json::from(mean(xs))),
         ("median_us", Json::from(median(xs))),
+        ("p95_us", Json::from(p95(xs))),
         (
             "min_us",
             Json::from(if xs.is_empty() {
@@ -155,6 +178,9 @@ fn main() {
         b.build()
     };
     let engine_bind_ms = t0.elapsed().as_secs_f64() * 1e3;
+    // Shared from here on: the cached-query series routes through a
+    // TableSearchService over the same engine.
+    let engine = Arc::new(engine);
 
     // Top-k probe latency: a representative OR-keyword probe.
     let probes = [
@@ -179,6 +205,7 @@ fn main() {
     // query against a fresh engine (no response cache in the loop).
     let n_queries = if smoke { 4 } else { specs.len().min(16) };
     let mut cold_us = Vec::new();
+    let mut column_map_us = Vec::new();
     let mut per_query = Vec::new();
     for spec in specs.iter().take(n_queries) {
         let t0 = Instant::now();
@@ -186,6 +213,7 @@ fn main() {
         let us = micros(t0.elapsed());
         cold_us.push(us);
         let t = &out.diagnostics.timing;
+        column_map_us.push(t.column_map.as_secs_f64() * 1e6);
         per_query.push(Json::obj([
             ("query", Json::from(spec.query.to_string())),
             ("cold_us", Json::from(us)),
@@ -206,14 +234,83 @@ fn main() {
         ]));
     }
 
-    // Warm repeats of the same queries (engine state warm, still no
-    // response cache).
+    // Warm repeats of the same queries. NOTE: this is the *uncached*
+    // engine path rerun with warm CPU caches — the response cache is
+    // deliberately not in the loop — so warm_query tracks cold_query
+    // rather than beating it; with cold at n = n_queries and warm at
+    // n_queries * warm_reps samples, scheduler outliers can even invert
+    // the two medians. The response-cache win is measured separately as
+    // `cached_query` below.
     let mut warm_us = Vec::new();
     for _ in 0..warm_reps {
         for spec in specs.iter().take(n_queries) {
             let t0 = Instant::now();
-            std::hint::black_box(engine.answer_query(&spec.query));
+            let out = engine.answer_query(&spec.query);
             warm_us.push(micros(t0.elapsed()));
+            column_map_us.push(out.diagnostics.timing.column_map.as_secs_f64() * 1e6);
+            std::hint::black_box(out);
+        }
+    }
+
+    // Trace overhead, measured interleaved (each query runs the three
+    // variants back to back, so clock drift and cache state cancel):
+    //
+    // * `untraced` — `answer_query`, the pre-tracing entry point;
+    // * `disabled` — `answer_traced` with a disabled trace, the path
+    //   every non-explain production query takes. Its hooks are a
+    //   branch on `Option::None`, and `disabled_delta_pct` vs untraced
+    //   is the proof the instrumentation is free when off (< 2%);
+    // * `enabled` — a full recording trace (spans, notes, per-shard
+    //   children), what an `explain:true` request opts into.
+    let trace_reps = if smoke { 1 } else { 5 };
+    let mut untraced_us = Vec::new();
+    let mut disabled_us = Vec::new();
+    let mut traced_us = Vec::new();
+    for _ in 0..trace_reps {
+        for spec in specs.iter().take(n_queries) {
+            let request = QueryRequest::new(spec.query.clone());
+            // Untimed warm-up: without it the first timed variant pays
+            // the switch from the previous query's working set and the
+            // comparison is biased against whichever runs first.
+            std::hint::black_box(engine.answer_query(&spec.query));
+            let t0 = Instant::now();
+            std::hint::black_box(engine.answer_query(&spec.query));
+            untraced_us.push(micros(t0.elapsed()));
+            let t0 = Instant::now();
+            std::hint::black_box(
+                engine
+                    .answer_traced(&request, &Trace::disabled())
+                    .expect("no deadline"),
+            );
+            disabled_us.push(micros(t0.elapsed()));
+            let trace = Trace::enabled("perf");
+            let t0 = Instant::now();
+            std::hint::black_box(engine.answer_traced(&request, &trace).expect("no deadline"));
+            traced_us.push(micros(t0.elapsed()));
+        }
+    }
+    let delta_pct = |xs: &[f64]| {
+        if median(&untraced_us) > 0.0 {
+            (median(xs) - median(&untraced_us)) / median(&untraced_us) * 100.0
+        } else {
+            0.0
+        }
+    };
+    let disabled_delta_pct = delta_pct(&disabled_us);
+    let enabled_delta_pct = delta_pct(&traced_us);
+
+    // Cached-query latency: the service path with its response cache —
+    // what a repeat HTTP request actually costs.
+    let cached_reps = if smoke { 2 } else { 10 };
+    let service = TableSearchService::new(Arc::clone(&engine));
+    let mut cached_us = Vec::new();
+    for spec in specs.iter().take(n_queries) {
+        let request = QueryRequest::new(spec.query.clone());
+        drop(service.answer(&request)); // populate the cache entry
+        for _ in 0..cached_reps {
+            let t0 = Instant::now();
+            std::hint::black_box(service.answer(&request).expect("cached repeat"));
+            cached_us.push(micros(t0.elapsed()));
         }
     }
 
@@ -232,6 +329,27 @@ fn main() {
         ("probe_topk", stats_json(&probe_us)),
         ("cold_query", stats_json(&cold_us)),
         ("warm_query", stats_json(&warm_us)),
+        (
+            "warm_query_note",
+            Json::from(
+                "warm_query reruns the uncached engine path with warm CPU caches; it tracks \
+                 cold_query instead of beating it, and the sample-size mismatch (cold n = \
+                 n_queries, warm n = n_queries * warm_reps) plus scheduler outliers can invert \
+                 the medians. Response-cache wins are the cached_query series.",
+            ),
+        ),
+        ("cached_query", stats_json(&cached_us)),
+        ("column_map", stats_json(&column_map_us)),
+        (
+            "trace_overhead",
+            Json::obj([
+                ("untraced_median_us", Json::from(median(&untraced_us))),
+                ("disabled_median_us", Json::from(median(&disabled_us))),
+                ("disabled_delta_pct", Json::from(disabled_delta_pct)),
+                ("enabled_median_us", Json::from(median(&traced_us))),
+                ("enabled_delta_pct", Json::from(enabled_delta_pct)),
+            ]),
+        ),
         ("per_query", Json::Arr(per_query)),
     ]);
     let path = std::env::var("WWT_BENCH_OUT").unwrap_or_else(|_| {
@@ -242,12 +360,17 @@ fn main() {
     println!(
         "index_build {:.1} ms | engine_bind {:.1} ms ({bind_threads} threads; \
          {engine_bind_serial_ms:.1} ms serial) | probe_topk {:.1} us (median) | \
-         cold_query {:.0} us (median) / {:.0} us (mean) | warm_query {:.0} us (median)",
+         cold_query {:.0} us (median) / {:.0} us (mean) | warm_query {:.0} us (median) | \
+         cached_query {:.0} us (median) | column_map {:.0} us (median) / {:.0} us (p95) | \
+         trace_overhead {disabled_delta_pct:+.2}% disabled / {enabled_delta_pct:+.2}% enabled",
         mean(&index_build_ms),
         engine_bind_ms,
         median(&probe_us),
         median(&cold_us),
         mean(&cold_us),
         median(&warm_us),
+        median(&cached_us),
+        median(&column_map_us),
+        p95(&column_map_us),
     );
 }

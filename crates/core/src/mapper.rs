@@ -135,19 +135,66 @@ impl ColumnMapper {
         index: Option<&dyn DocSets>,
         threads: usize,
     ) -> MappingResult {
+        self.map_views_inner(query, views, stats, index, threads, false)
+            .0
+    }
+
+    /// [`ColumnMapper::map_views_with_threads`], additionally returning
+    /// each view's node-potential wall-clock duration (input order, one
+    /// per view) so tracing callers can attach per-batch child spans.
+    /// The mapping result is identical to the untimed form — the timing
+    /// wrapper observes the same computation.
+    pub fn map_views_with_threads_timed(
+        &self,
+        query: &Query,
+        views: &[TableView<'_>],
+        stats: &CorpusStats,
+        index: Option<&dyn DocSets>,
+        threads: usize,
+    ) -> (MappingResult, Vec<std::time::Duration>) {
+        self.map_views_inner(query, views, stats, index, threads, true)
+    }
+
+    fn map_views_inner(
+        &self,
+        query: &Query,
+        views: &[TableView<'_>],
+        stats: &CorpusStats,
+        index: Option<&dyn DocSets>,
+        threads: usize,
+        timed: bool,
+    ) -> (MappingResult, Vec<std::time::Duration>) {
         let cfg = &self.config;
         let qv = QueryView::new(query, stats);
         let q = qv.q();
-        let pots: Vec<NodePotentials> = if threads <= 1 || views.len() <= 1 {
-            views
-                .iter()
-                .map(|v| node_potentials(&qv, v, cfg, index))
-                .collect()
-        } else {
-            wwt_pool::fan_out(views.len(), threads, |i| {
-                node_potentials(&qv, &views[i], cfg, index)
-            })
-        };
+        let (pots, view_times): (Vec<NodePotentials>, Vec<std::time::Duration>) =
+            if threads <= 1 || views.len() <= 1 {
+                if timed {
+                    views
+                        .iter()
+                        .map(|v| {
+                            let t0 = std::time::Instant::now();
+                            let p = node_potentials(&qv, v, cfg, index);
+                            (p, t0.elapsed())
+                        })
+                        .unzip()
+                } else {
+                    let pots = views
+                        .iter()
+                        .map(|v| node_potentials(&qv, v, cfg, index))
+                        .collect();
+                    (pots, Vec::new())
+                }
+            } else if timed {
+                wwt_pool::fan_out_timed(views.len(), threads, |i| {
+                    node_potentials(&qv, &views[i], cfg, index)
+                })
+            } else {
+                let pots = wwt_pool::fan_out(views.len(), threads, |i| {
+                    node_potentials(&qv, &views[i], cfg, index)
+                });
+                (pots, Vec::new())
+            };
         let m_eff: Vec<usize> = views
             .iter()
             .map(|v| cfg.effective_min_match(q, v.n_cols()))
@@ -200,7 +247,7 @@ impl ColumnMapper {
             }
         };
 
-        MappingResult {
+        let result = MappingResult {
             labelings: views
                 .iter()
                 .zip(&labels)
@@ -209,7 +256,8 @@ impl ColumnMapper {
             column_probs: marginals.iter().map(|m| m.probs.clone()).collect(),
             table_relevance: marginals.iter().map(|m| m.relevance_prob).collect(),
             confident: marginals.iter().map(|m| m.confident.clone()).collect(),
-        }
+        };
+        (result, view_times)
     }
 }
 
@@ -392,6 +440,29 @@ mod tests {
                     assert_eq!(a.to_bits(), b.to_bits(), "{alg:?} t={threads}");
                 }
                 assert_eq!(serial.confident, pooled.confident, "{alg:?} t={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn timed_mapping_is_identical_and_times_every_view() {
+        let q = Query::parse("country | currency").unwrap();
+        let tables = [currency_table(0), forest_table(1), currency_table(2)];
+        let refs: Vec<&WebTable> = tables.iter().collect();
+        let stats = CorpusStats::new();
+        let mapper = ColumnMapper::default();
+        let views: Vec<crate::view::TableView<'_>> = refs
+            .iter()
+            .map(|t| crate::view::TableView::new(t, &stats, mapper.config.body_freq_frac))
+            .collect();
+        let plain = mapper.map_views(&q, &views, &stats, None);
+        for threads in [1usize, 4] {
+            let (timed, times) =
+                mapper.map_views_with_threads_timed(&q, &views, &stats, None, threads);
+            assert_eq!(plain.labelings, timed.labelings, "t={threads}");
+            assert_eq!(times.len(), views.len(), "t={threads}");
+            for (a, b) in plain.table_relevance.iter().zip(&timed.table_relevance) {
+                assert_eq!(a.to_bits(), b.to_bits(), "t={threads}");
             }
         }
     }

@@ -23,6 +23,7 @@ use wwt_index::{
     DocSets, LiveIndex, SearchHit, ShardedIndex, ShardedIndexBuilder, TableIndex, TableStore,
 };
 use wwt_model::{Query, TableId, WebTable, WwtError};
+use wwt_obs::{SpanRecord, Trace};
 use wwt_text::{tokenize, TermId};
 
 /// Default shard count: one shard per core, capped — beyond a handful of
@@ -254,7 +255,7 @@ impl Engine {
     /// Runs the two-stage candidate retrieval (§2.2.1) with the engine
     /// configuration.
     pub fn retrieve(&self, query: &Query) -> Retrieval {
-        self.retrieve_with(query, &self.config, &Deadline::none())
+        self.retrieve_with(query, &self.config, &Deadline::none(), &Trace::disabled())
             .map(|(retrieval, _)| retrieval)
             .expect("retrieval without a deadline cannot time out")
     }
@@ -271,7 +272,7 @@ impl Engine {
         query: &Query,
         deadline: &Deadline,
     ) -> Result<Retrieval, WwtError> {
-        self.retrieve_with(query, &self.config, deadline)
+        self.retrieve_with(query, &self.config, deadline, &Trace::disabled())
             .map(|(retrieval, _)| retrieval)
     }
 
@@ -294,9 +295,11 @@ impl Engine {
         k: usize,
         deadline: &Deadline,
         stage: &'static str,
+        trace: &Trace,
+        label: &'static str,
     ) -> Result<(Vec<SearchHit>, Vec<Duration>), WwtError> {
         let Some(overlay) = &self.live else {
-            return self.probe_frozen(tokens, k, deadline, stage);
+            return self.probe_frozen(tokens, k, deadline, stage, trace, label);
         };
         // Live path: over-fetch the frozen shards by the number of
         // shadowed tables (so filtering tombstoned/overridden hits can
@@ -304,9 +307,14 @@ impl Engine {
         // delta segment's hits under the same global total order the
         // shard merge uses.
         let shadowed = overlay.live.shadowed_len();
-        let (mut hits, shard_times) = self.probe_frozen(tokens, k + shadowed, deadline, stage)?;
+        let (mut hits, shard_times) =
+            self.probe_frozen(tokens, k + shadowed, deadline, stage, trace, label)?;
         hits.retain(|h| !overlay.live.is_shadowed(h.table));
-        hits.extend(overlay.live.delta_search(tokens, k));
+        let delta_hits = overlay.live.delta_search(tokens, k);
+        if trace.is_enabled() {
+            trace.note(&format!("{label}_delta_hits"), delta_hits.len().to_string());
+        }
+        hits.extend(delta_hits);
         hits.sort_by(SearchHit::rank_order);
         hits.truncate(k);
         Ok((hits, shard_times))
@@ -319,6 +327,8 @@ impl Engine {
         k: usize,
         deadline: &Deadline,
         stage: &'static str,
+        trace: &Trace,
+        label: &'static str,
     ) -> Result<(Vec<SearchHit>, Vec<Duration>), WwtError> {
         let ids: Vec<TermId> = self.index.resolve_query(tokens);
         let n = self.index.n_shards();
@@ -326,6 +336,9 @@ impl Engine {
             deadline.check(stage)?;
             let t0 = Instant::now();
             let hits = self.index.shard(0).search_ids(&ids, k);
+            if trace.is_enabled() {
+                trace.note(&format!("{label}_shard_hits"), hits.len().to_string());
+            }
             return Ok((hits, vec![t0.elapsed()]));
         }
         // Tiny corpora probe serially (threads = 1): same scatter order,
@@ -349,6 +362,10 @@ impl Engine {
             lists.push(hits);
             shard_times.push(elapsed);
         }
+        if trace.is_enabled() {
+            let per_shard_hits: Vec<String> = lists.iter().map(|l| l.len().to_string()).collect();
+            trace.note(&format!("{label}_shard_hits"), per_shard_hits.join(","));
+        }
         Ok((merge_shard_hits(lists, k, deadline)?, shard_times))
     }
 
@@ -361,6 +378,7 @@ impl Engine {
         query: &Query,
         cfg: &WwtConfig,
         deadline: &Deadline,
+        trace: &Trace,
     ) -> Result<(Retrieval, MappingResult), WwtError> {
         let mut timing = StageTimings::default();
 
@@ -369,19 +387,40 @@ impl Engine {
         // the index shards.
         let t0 = Instant::now();
         let tokens = tokenize(&query.all_keywords());
-        let (mut hits1, shard_times1) =
-            self.probe(&tokens, cfg.probe1_k, deadline, "first probe")?;
+        let (mut hits1, shard_times1) = self.probe(
+            &tokens,
+            cfg.probe1_k,
+            deadline,
+            "first probe",
+            trace,
+            "probe1",
+        )?;
         if let Some(best) = hits1.first().map(|h| h.score) {
             hits1.retain(|h| h.score >= best * cfg.score_cutoff_frac);
         }
         timing.index1 = t0.elapsed();
         timing.probe1_shards = shard_times1;
+        if trace.is_enabled() {
+            trace.push_span(probe_span(
+                "probe1",
+                timing.index1,
+                &timing.probe1_shards,
+                hits1.len(),
+                cfg.probe1_k,
+            ));
+        }
 
         let t0 = Instant::now();
         let stage1: Vec<TableId> = hits1.iter().map(|h| h.table).collect();
         let stage1_set: HashSet<TableId> = stage1.iter().copied().collect();
         let tables1: Vec<&WebTable> = stage1.iter().filter_map(|&id| self.table(id)).collect();
         timing.read1 = t0.elapsed();
+        if trace.is_enabled() {
+            trace.push_span(
+                SpanRecord::new("read1", timing.read1)
+                    .with_detail("tables", tables1.len().to_string()),
+            );
+        }
 
         // Pre-map stage-1 candidates to find confident seed tables.
         let t0 = Instant::now();
@@ -389,13 +428,7 @@ impl Engine {
             config: cfg.mapper.clone(),
             algorithm: cfg.algorithm,
         };
-        let pre = mapper.map_views_with_threads(
-            query,
-            &self.views_for(&tables1),
-            self.index.stats(),
-            Some(self.docsets()),
-            self.map_threads,
-        );
+        let pre = self.map_traced(&mapper, query, &tables1, trace, "column_map:premap");
         timing.column_map += t0.elapsed();
 
         let mut seeds: Vec<usize> = (0..tables1.len())
@@ -409,6 +442,9 @@ impl Engine {
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
         seeds.truncate(2);
+        if trace.is_enabled() {
+            trace.note("probe2_seeds", seeds.len().to_string());
+        }
 
         // Stage boundary: the second probe (and everything after it) is
         // refused once the budget is spent.
@@ -445,11 +481,22 @@ impl Engine {
                 cfg.probe2_k + stage1.len(),
                 deadline,
                 "second probe",
+                trace,
+                "probe2",
             )?;
             hits2.retain(|h| !stage1_set.contains(&h.table));
             hits2.truncate(cfg.probe2_k);
             timing.index2 = t0.elapsed();
             timing.probe2_shards = shard_times2;
+            if trace.is_enabled() {
+                trace.push_span(probe_span(
+                    "probe2",
+                    timing.index2,
+                    &timing.probe2_shards,
+                    hits2.len(),
+                    cfg.probe2_k,
+                ));
+            }
             let t0 = Instant::now();
             let mut seen2: HashSet<TableId> = HashSet::with_capacity(hits2.len());
             for (i, h) in hits2.into_iter().enumerate() {
@@ -483,18 +530,71 @@ impl Engine {
     /// [`WwtError::DeadlineExceeded`] instead of finishing work whose
     /// reader has already given up.
     pub fn answer(&self, request: &QueryRequest) -> Result<QueryResponse, WwtError> {
+        self.answer_traced(request, &Trace::disabled())
+    }
+
+    /// [`Engine::answer`] recording into a caller-supplied [`Trace`].
+    ///
+    /// A disabled trace makes this exactly `answer` — no clock reads, no
+    /// allocations beyond the untraced path. When the request sets
+    /// `explain` and the caller passed a disabled handle, a local trace
+    /// is enabled so in-process callers get diagnostics too. The
+    /// finished report lands in [`QueryDiagnostics::trace`].
+    pub fn answer_traced(
+        &self,
+        request: &QueryRequest,
+        trace: &Trace,
+    ) -> Result<QueryResponse, WwtError> {
         let cfg = request.options.resolve(&self.config)?;
         let deadline = Deadline::starting_now(request.options.deadline_ms);
         deadline.check("retrieval")?;
-        self.answer_with(&request.query, &cfg, request.options.max_rows, &deadline)
+        let local;
+        let trace = if request.options.explain && !trace.is_enabled() {
+            local = Trace::enabled("");
+            &local
+        } else {
+            trace
+        };
+        if !trace.is_enabled() {
+            return self.answer_with(
+                &request.query,
+                &cfg,
+                request.options.max_rows,
+                trace,
+                &deadline,
+            );
+        }
+        let t0 = Instant::now();
+        if let Some(ms) = request.options.deadline_ms {
+            trace.note("deadline_ms", ms.to_string());
+        }
+        let mut response = self.answer_with(
+            &request.query,
+            &cfg,
+            request.options.max_rows,
+            trace,
+            &deadline,
+        )?;
+        trace.note(
+            "docset_cache_entries",
+            self.docset_cache_entries().to_string(),
+        );
+        response.diagnostics.trace = trace.finish(t0.elapsed());
+        Ok(response)
     }
 
     /// Full online pipeline for a bare query with the engine defaults
     /// (infallible: there are no per-request options to validate and no
     /// deadline to expire).
     pub fn answer_query(&self, query: &Query) -> QueryResponse {
-        self.answer_with(query, &self.config, None, &Deadline::none())
-            .expect("a query without a deadline cannot time out")
+        self.answer_with(
+            query,
+            &self.config,
+            None,
+            &Trace::disabled(),
+            &Deadline::none(),
+        )
+        .expect("a query without a deadline cannot time out")
     }
 
     fn answer_with(
@@ -502,9 +602,10 @@ impl Engine {
         query: &Query,
         cfg: &WwtConfig,
         max_rows: Option<usize>,
+        trace: &Trace,
         deadline: &Deadline,
     ) -> Result<QueryResponse, WwtError> {
-        let (retrieval, premap) = self.retrieve_with(query, cfg, deadline)?;
+        let (retrieval, premap) = self.retrieve_with(query, cfg, deadline, trace)?;
         let mut timing = retrieval.timing.clone();
         let candidates = retrieval.candidates();
 
@@ -521,6 +622,9 @@ impl Engine {
         // re-running the most expensive online stage (the mapper is
         // deterministic over identical inputs).
         let mapping = if retrieval.stage2.is_empty() && premap.labelings.len() == tables.len() {
+            if trace.is_enabled() {
+                trace.note("column_map", "reused premap");
+            }
             premap
         } else {
             let t0 = Instant::now();
@@ -528,13 +632,7 @@ impl Engine {
                 config: cfg.mapper.clone(),
                 algorithm: cfg.algorithm,
             };
-            let mapping = mapper.map_views_with_threads(
-                query,
-                &self.views_for(&tables),
-                self.index.stats(),
-                Some(self.docsets()),
-                self.map_threads,
-            );
+            let mapping = self.map_traced(&mapper, query, &tables, trace, "column_map");
             timing.column_map += t0.elapsed();
             mapping
         };
@@ -554,6 +652,13 @@ impl Engine {
             .collect();
         let mut table = consolidate(query, &inputs);
         timing.consolidate = t0.elapsed();
+        if trace.is_enabled() {
+            trace.push_span(
+                SpanRecord::new("consolidate", timing.consolidate)
+                    .with_detail("relevant_tables", inputs.len().to_string()),
+            );
+            trace.note("candidates", candidates.len().to_string());
+        }
 
         let rows_before_limit = table.len();
         if let Some(limit) = max_rows {
@@ -565,6 +670,7 @@ impl Engine {
             n_candidates: candidates.len(),
             n_relevant: inputs.len(),
             rows_before_limit,
+            trace: None,
         };
         Ok(QueryResponse {
             table,
@@ -573,6 +679,51 @@ impl Engine {
             retrieval,
             diagnostics,
         })
+    }
+
+    /// The column-map batch with optional per-view tracing: disabled
+    /// traces take the untimed pooled path unchanged; enabled traces run
+    /// the timed variant (identical output) and record a span carrying
+    /// one child per view — a deterministic prefix in candidate order,
+    /// so traces of the same request are structurally stable run to run.
+    fn map_traced(
+        &self,
+        mapper: &ColumnMapper,
+        query: &Query,
+        tables: &[&WebTable],
+        trace: &Trace,
+        span_name: &'static str,
+    ) -> MappingResult {
+        let views = self.views_for(tables);
+        if !trace.is_enabled() {
+            return mapper.map_views_with_threads(
+                query,
+                &views,
+                self.index.stats(),
+                Some(self.docsets()),
+                self.map_threads,
+            );
+        }
+        let t0 = Instant::now();
+        let (mapping, view_times) = mapper.map_views_with_threads_timed(
+            query,
+            &views,
+            self.index.stats(),
+            Some(self.docsets()),
+            self.map_threads,
+        );
+        let mut span = SpanRecord::new(span_name, t0.elapsed())
+            .with_detail("views", tables.len().to_string())
+            .with_detail("threads", self.map_threads.to_string());
+        const MAX_VIEW_CHILDREN: usize = 8;
+        for (i, elapsed) in view_times.iter().take(MAX_VIEW_CHILDREN).enumerate() {
+            span = span.with_child(SpanRecord::new(
+                format!("view:{}", tables[i].id.0),
+                *elapsed,
+            ));
+        }
+        trace.push_span(span);
+        mapping
     }
 
     /// Views over `tables`, reusing bind-time precomputed features when
@@ -896,6 +1047,25 @@ impl Engine {
     }
 }
 
+/// Builds the trace span for one scatter-gather probe: stage duration,
+/// one child span per shard (scatter order, matching the
+/// `probe*_shards` diagnostics), and the hit/k accounting.
+fn probe_span(
+    name: &'static str,
+    elapsed: Duration,
+    shard_times: &[Duration],
+    hits: usize,
+    k: usize,
+) -> SpanRecord {
+    let mut span = SpanRecord::new(name, elapsed)
+        .with_detail("hits", hits.to_string())
+        .with_detail("k", k.to_string());
+    for (s, t) in shard_times.iter().enumerate() {
+        span = span.with_child(SpanRecord::new(format!("shard{s}"), *t));
+    }
+    span
+}
+
 /// Merges per-shard top-k hit lists under the request deadline: the
 /// equivalence-preserving total-order merge of
 /// [`ShardedIndex::merge_hits`], with the budget re-checked every
@@ -1000,6 +1170,37 @@ mod tests {
         assert_eq!(out.diagnostics.n_candidates, out.candidates.len());
         assert!(out.diagnostics.n_relevant >= 2);
         assert_eq!(out.diagnostics.rows_before_limit, out.table.len());
+    }
+
+    #[test]
+    fn explain_attaches_a_trace_and_plain_requests_stay_trace_free() {
+        let engine = build_engine();
+        let request = QueryRequest::parse("country | currency").unwrap();
+
+        let plain = engine.answer(&request).unwrap();
+        assert!(plain.diagnostics.trace.is_none());
+
+        let traced = engine.answer(&request.clone().explain(true)).unwrap();
+        let trace = traced.diagnostics.trace.expect("explain must trace");
+        // Everything except the trace is identical to the plain answer.
+        assert_eq!(plain.table, traced.table);
+        let names: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"probe1"), "spans: {names:?}");
+        assert!(names.contains(&"read1"), "spans: {names:?}");
+        assert!(
+            names.iter().any(|n| n.starts_with("column_map")),
+            "spans: {names:?}"
+        );
+        assert!(names.contains(&"consolidate"), "spans: {names:?}");
+        // Per-shard hit counts and candidate accounting rode along.
+        assert!(trace.notes.iter().any(|(k, _)| k == "probe1_shard_hits"));
+        assert!(trace.notes.iter().any(|(k, _)| k == "candidates"));
+        // A service-supplied trace carries its request id into the report.
+        let external = wwt_obs::Trace::enabled("req-42");
+        let out = engine.answer_traced(&request, &external).unwrap();
+        let report = out.diagnostics.trace.expect("enabled trace is attached");
+        assert_eq!(report.request_id, "req-42");
+        assert!(!report.spans.is_empty());
     }
 
     #[test]

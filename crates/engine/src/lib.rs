@@ -44,3 +44,5 @@ pub use pool::fan_out;
 pub use request::{QueryDiagnostics, QueryOptions, QueryRequest, QueryResponse};
 pub use retrieval::Retrieval;
 pub use timing::StageTimings;
+// Re-exported so `answer_traced` callers need no direct wwt-obs dep.
+pub use wwt_obs::{Trace, TraceReport};

@@ -11,6 +11,7 @@ use crate::retrieval::Retrieval;
 use crate::timing::StageTimings;
 use wwt_core::{InferenceAlgorithm, MappingResult};
 use wwt_model::{AnswerTable, Query, QueryParseError, TableId, WwtError};
+use wwt_obs::TraceReport;
 
 /// Per-request overrides of the engine configuration. `None` means "use
 /// the engine default"; see [`WwtConfig`] for the semantics of each knob.
@@ -32,6 +33,12 @@ pub struct QueryOptions {
     /// [`WwtError::DeadlineExceeded`] once it passes; `0` trips at the
     /// first checkpoint. `None` (the default) never reads the clock.
     pub deadline_ms: Option<u64>,
+    /// Return a request-scoped execution trace in
+    /// [`QueryDiagnostics::trace`]: one span per pipeline stage, child
+    /// spans per shard probe / column-map batch, plus cache-path notes.
+    /// Off by default — a disabled trace is a no-op handle, so plain
+    /// requests pay nothing.
+    pub explain: bool,
 }
 
 impl QueryOptions {
@@ -90,6 +97,14 @@ impl QueryOptions {
         }
         if let Some(m) = self.max_rows {
             s.push_str(&format!("rows={m};"));
+        }
+        if self.explain {
+            // Defensive: the service layer bypasses the response cache
+            // entirely for explain requests (each one gets a fresh
+            // trace), but should one ever be cached, it must never
+            // collide with the plain entry clients expect to be
+            // trace-free.
+            s.push_str("explain;");
         }
         s
     }
@@ -155,6 +170,12 @@ impl QueryRequest {
         self
     }
 
+    /// Requests an execution trace in [`QueryDiagnostics::trace`].
+    pub fn explain(mut self, on: bool) -> Self {
+        self.options.explain = on;
+        self
+    }
+
     /// The canonical cache key of this request: the normalized query
     /// (columns joined by `" | "`, as parsed) plus the options
     /// fingerprint.
@@ -182,6 +203,10 @@ pub struct QueryDiagnostics {
     pub n_relevant: usize,
     /// Consolidated rows before the `max_rows` limit was applied.
     pub rows_before_limit: usize,
+    /// The execution trace, present iff the request ran with tracing
+    /// enabled ([`QueryOptions::explain`] or a service-supplied
+    /// [`wwt_obs::Trace`]). `None` costs nothing on the wire.
+    pub trace: Option<TraceReport>,
 }
 
 /// Everything the engine produces for one request.
@@ -276,6 +301,16 @@ mod tests {
             plain.cache_key(),
             QueryRequest::new(Query::parse("country | currency").unwrap()).cache_key()
         );
+    }
+
+    #[test]
+    fn explain_changes_the_fingerprint_but_not_plain_keys() {
+        let plain = QueryRequest::parse("country | currency").unwrap();
+        let traced = plain.clone().explain(true);
+        assert!(traced.options.explain);
+        assert!(!traced.options.is_default());
+        assert_ne!(plain.cache_key(), traced.cache_key());
+        assert_eq!(plain.clone().explain(false).cache_key(), plain.cache_key());
     }
 
     #[test]

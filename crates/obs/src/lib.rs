@@ -1,0 +1,26 @@
+//! # wwt-obs
+//!
+//! std-only observability primitives shared by the engine, service and
+//! server layers. Four pieces, none of which costs anything on the hot
+//! path when it is switched off:
+//!
+//! | piece | what it does |
+//! |---|---|
+//! | [`Trace`] | request-scoped span tree + notes; a **disabled** handle is a no-op that never reads the clock or allocates |
+//! | [`StageHistograms`] | fixed-stage 12-bucket latency histograms (`wwt_stage_duration_us{stage=...}`), atomic increments only |
+//! | [`FlightRecorder`] | lock-striped ring buffers keeping the N slowest + N most recent query traces, plus anomaly capture |
+//! | [`log!`] | leveled, optionally-JSON, request-id-stamped one-line logging to stderr |
+//!
+//! The crate depends only on `std` and the workspace's hand-rolled JSON
+//! codec (`wwt-json`), so every layer — including the engine — can take
+//! it without pulling in serving concerns.
+
+mod histogram;
+mod log;
+mod recorder;
+mod trace;
+
+pub use histogram::{Stage, StageHistograms, STAGE_BUCKET_BOUNDS_US};
+pub use log::{log_enabled, log_event, log_json, log_level, set_log_json, set_log_level, LogLevel};
+pub use recorder::{FlightRecord, FlightRecorder, QueryOutcome, RecorderConfig, RecorderCounters};
+pub use trace::{SpanRecord, Trace, TraceReport};

@@ -1,0 +1,97 @@
+//! Property test: the flight recorder's strict-slowest invariant holds
+//! under concurrent writers. Each case draws a random duration stream,
+//! splits it across four threads recording simultaneously, then checks
+//! that `slowest()` is exactly the top-N durations of the whole stream
+//! — no record lost to striping or interleaving.
+
+use proptest::prelude::ProptestConfig;
+use std::sync::Arc;
+use std::thread;
+use wwt_obs::{FlightRecord, FlightRecorder, QueryOutcome, RecorderConfig, TraceReport};
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn record(id: String, us: u64, outcome: QueryOutcome) -> FlightRecord {
+    FlightRecord {
+        seq: 0,
+        request_id: id,
+        query: "q".to_string(),
+        duration_us: us,
+        outcome,
+        generation: 1,
+        rows: 1,
+        trace: TraceReport::default(),
+    }
+}
+
+proptest::proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn concurrent_writers_never_lose_the_strict_slowest_invariant(
+        n in 1usize..160,
+        slowest in 1usize..9,
+        stripes in 1usize..6,
+        salt in 0u64..1_000_000,
+    ) {
+        let mut state = salt ^ 0xA5A5_5A5A_DEAD_BEEF;
+        // Low modulus forces duplicate durations, exercising tie-breaks.
+        let durations: Vec<u64> = (0..n).map(|_| splitmix(&mut state) % 97).collect();
+
+        let recorder = Arc::new(FlightRecorder::new(RecorderConfig {
+            slowest,
+            recent: 8,
+            stripes,
+        }));
+        let writers = 4usize;
+        thread::scope(|scope| {
+            for w in 0..writers {
+                let recorder = Arc::clone(&recorder);
+                let chunk: Vec<(usize, u64)> = durations
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .skip(w)
+                    .step_by(writers)
+                    .collect();
+                scope.spawn(move || {
+                    for (i, us) in chunk {
+                        let outcome = if us == 0 {
+                            QueryOutcome::ZeroResults
+                        } else {
+                            QueryOutcome::Ok
+                        };
+                        recorder.record(record(format!("r{i}"), us, outcome));
+                    }
+                });
+            }
+        });
+
+        let mut expected = durations.clone();
+        expected.sort_unstable_by(|a, b| b.cmp(a));
+        expected.truncate(slowest);
+        let got: Vec<u64> = recorder.slowest().iter().map(|r| r.duration_us).collect();
+        proptest::prop_assert!(
+            got == expected,
+            "slowest mismatch: got {:?} want {:?} (n={}, stripes={})",
+            got, expected, n, stripes
+        );
+
+        // Accounting survives the interleaving too.
+        let counters = recorder.counters();
+        proptest::prop_assert!(counters.recorded == n as u64);
+        let zero = durations.iter().filter(|&&d| d == 0).count() as u64;
+        proptest::prop_assert!(counters.zero_results == zero);
+
+        // `recent` holds the highest sequence numbers, newest first.
+        let recent = recorder.recent();
+        proptest::prop_assert!(recent.len() == n.min(8));
+        proptest::prop_assert!(recent.windows(2).all(|w| w[0].seq > w[1].seq));
+    }
+}

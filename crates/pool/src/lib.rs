@@ -257,6 +257,25 @@ where
     WorkerPool::global().run(n, threads, f)
 }
 
+/// [`fan_out`], but each unit's wall-clock duration is measured on the
+/// executor that ran it and returned alongside the results (both in
+/// input order). This is the span-aware building block behind trace
+/// child spans for scatter-gather probes and pooled column-map batches
+/// — callers that don't need per-unit timings should keep using
+/// [`fan_out`], which reads no clocks.
+pub fn fan_out_timed<R, F>(n: usize, threads: usize, f: F) -> (Vec<R>, Vec<std::time::Duration>)
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let timed = WorkerPool::global().run(n, threads, |i| {
+        let t0 = std::time::Instant::now();
+        let r = f(i);
+        (r, t0.elapsed())
+    });
+    timed.into_iter().unzip()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -344,6 +363,21 @@ mod tests {
             (0..9).map(|i| i * i).collect::<Vec<_>>()
         );
         drop(pool); // joins its workers
+    }
+
+    #[test]
+    fn timed_fan_out_matches_and_measures_every_unit() {
+        for threads in [1, 4] {
+            let (out, times) = fan_out_timed(9, threads, |i| {
+                if i == 3 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                i * 2
+            });
+            assert_eq!(out, (0..9).map(|i| i * 2).collect::<Vec<_>>());
+            assert_eq!(times.len(), 9);
+            assert!(times[3] >= std::time::Duration::from_millis(2));
+        }
     }
 
     #[test]

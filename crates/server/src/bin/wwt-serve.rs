@@ -32,6 +32,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use wwt_corpus::{workload, CorpusConfig, CorpusGenerator};
 use wwt_engine::{bind_corpus_sharded, Engine, WwtConfig};
+use wwt_obs::{log, set_log_json, set_log_level, LogLevel};
 use wwt_server::{serve, EngineSource, ServerConfig};
 use wwt_service::TableSearchService;
 
@@ -80,16 +81,35 @@ fn main() {
              \x20                [--max-delta-tables N]\n\
              \x20                [--admin-token SECRET] [--corpus-dir DIR | --index-path DIR]\n\
              \x20                [--save-index DIR] [--build-only]\n\
+             \x20                [--log-level error|warn|info|debug] [--log-json]\n\
              env fallbacks: WWT_ADDR, WWT_SCALE, WWT_QUERIES, WWT_SERVER_WORKERS,\n\
              \x20               WWT_SHARDS, WWT_MAX_CONCURRENT_QUERIES, WWT_MAX_DELTA_TABLES,\n\
-             \x20               WWT_ADMIN_TOKEN, WWT_CORPUS_DIR, WWT_INDEX_PATH, WWT_SAVE_INDEX\n\
+             \x20               WWT_ADMIN_TOKEN, WWT_CORPUS_DIR, WWT_INDEX_PATH, WWT_SAVE_INDEX,\n\
+             \x20               WWT_LOG_LEVEL, WWT_LOG_JSON\n\
              live ingest: POST /admin/tables (one table-store JSON line per request),\n\
              \x20            DELETE /admin/tables/ID, POST /admin/compact — all admin-gated;\n\
              \x20            --max-delta-tables N auto-compacts once the delta holds N tables\n\
-             \x20            (0 = manual compaction only)"
+             \x20            (0 = manual compaction only)\n\
+             observability: GET /metrics (per-stage histograms), POST /query with\n\
+             \x20              \"options\":{{\"explain\":true}} for an inline trace, and the\n\
+             \x20              admin-gated GET /debug/slow_queries, GET /debug/trace/ID"
         );
         return;
     }
+    // Configure logging before anything can emit a line.
+    if let Some(raw) = flag_or_env(&args, "--log-level", "WWT_LOG_LEVEL") {
+        match LogLevel::parse(&raw) {
+            Some(level) => set_log_level(level),
+            None => {
+                eprintln!("wwt-serve: --log-level must be error|warn|info|debug, got {raw:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let log_json = args.iter().any(|a| a == "--log-json")
+        || std::env::var("WWT_LOG_JSON")
+            .is_ok_and(|v| !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false"));
+    set_log_json(log_json);
     let addr =
         flag_or_env(&args, "--addr", "WWT_ADDR").unwrap_or_else(|| "127.0.0.1:7070".to_string());
     let scale: f64 = parsed_flag_or_env(&args, "--scale", "WWT_SCALE", 0.1);
@@ -127,18 +147,27 @@ fn main() {
 
     let engine = match &engine_source {
         Some(source) => {
-            eprintln!("[wwt-serve] building engine from {:?} ...", source.path());
+            log!(
+                LogLevel::Info,
+                "wwt-serve",
+                "building engine from {:?} ...",
+                source.path()
+            );
             if shards.is_some() && matches!(source, EngineSource::IndexDir(_)) {
-                eprintln!(
-                    "[wwt-serve] note: --shards is ignored for --index-path boots; \
+                log!(
+                    LogLevel::Warn,
+                    "wwt-serve",
+                    "--shards is ignored for --index-path boots; \
                      the persisted manifest owns the shard count"
                 );
             }
             match source.build_sharded(WwtConfig::default(), shards) {
                 Ok(engine) => engine,
                 Err(e) => {
-                    eprintln!(
-                        "wwt-serve: engine build from {:?} failed: {e}",
+                    log!(
+                        LogLevel::Error,
+                        "wwt-serve",
+                        "engine build from {:?} failed: {e}",
                         source.path()
                     );
                     std::process::exit(1);
@@ -147,8 +176,10 @@ fn main() {
         }
         None => {
             let specs: Vec<_> = workload().into_iter().take(n_queries.max(1)).collect();
-            eprintln!(
-                "[wwt-serve] generating corpus (scale {scale}, {} workload queries) ...",
+            log!(
+                LogLevel::Info,
+                "wwt-serve",
+                "generating corpus (scale {scale}, {} workload queries) ...",
                 specs.len()
             );
             let corpus = CorpusGenerator::new(CorpusConfig {
@@ -156,31 +187,46 @@ fn main() {
                 ..CorpusConfig::default()
             })
             .generate_for(&specs);
-            eprintln!(
-                "[wwt-serve] extracting + indexing {} documents ...",
+            log!(
+                LogLevel::Info,
+                "wwt-serve",
+                "extracting + indexing {} documents ...",
                 corpus.documents.len()
             );
             bind_corpus_sharded(&corpus, WwtConfig::default(), shards).engine
         }
     };
-    eprintln!(
-        "[wwt-serve] engine ready: {} tables over {} index shard(s)",
+    log!(
+        LogLevel::Info,
+        "wwt-serve",
+        "engine ready: {} tables over {} index shard(s)",
         engine.store().len(),
         engine.n_shards()
     );
 
     if let Some(dir) = &save_index {
         if let Err(e) = engine.save_to_dir(dir) {
-            eprintln!(
-                "wwt-serve: saving the index to {} failed: {e}",
+            log!(
+                LogLevel::Error,
+                "wwt-serve",
+                "saving the index to {} failed: {e}",
                 dir.display()
             );
             std::process::exit(1);
         }
-        eprintln!("[wwt-serve] index persisted to {}", dir.display());
+        log!(
+            LogLevel::Info,
+            "wwt-serve",
+            "index persisted to {}",
+            dir.display()
+        );
     }
     if build_only {
-        eprintln!("[wwt-serve] --build-only: exiting without serving");
+        log!(
+            LogLevel::Info,
+            "wwt-serve",
+            "--build-only: exiting without serving"
+        );
         return;
     }
 
@@ -214,7 +260,7 @@ fn main() {
     let handle = match serve(service, server_config) {
         Ok(handle) => handle,
         Err(e) => {
-            eprintln!("wwt-serve: bind failed: {e}");
+            log!(LogLevel::Error, "wwt-serve", "bind failed: {e}");
             std::process::exit(1);
         }
     };
@@ -238,14 +284,20 @@ fn main() {
     );
 
     handle.wait_shutdown_requested();
-    eprintln!("[wwt-serve] shutdown requested; draining in-flight requests ...");
+    log!(
+        LogLevel::Info,
+        "wwt-serve",
+        "shutdown requested; draining in-flight requests ..."
+    );
     // Snapshot the counters only after the drain so in-flight requests
     // completed during shutdown are included in the farewell line.
     let service = Arc::clone(handle.service());
     let total = handle.shutdown();
     let stats = service.stats();
-    eprintln!(
-        "[wwt-serve] served {total} requests over {} generation(s) \
+    log!(
+        LogLevel::Info,
+        "wwt-serve",
+        "served {total} requests over {} generation(s) \
          (cache: {} hits / {} misses / {} coalesced); bye",
         stats.generation + 1,
         stats.hits,

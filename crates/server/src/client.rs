@@ -64,6 +64,16 @@ impl HttpClient {
         self.request("POST", path, Some(body.as_bytes()), &[])
     }
 
+    /// Issues a `GET` with extra headers (e.g. `x-admin-token` for the
+    /// debug routes, or a caller-chosen `x-request-id`).
+    pub fn get_with_headers(
+        &mut self,
+        path: &str,
+        headers: &[(&str, &str)],
+    ) -> std::io::Result<HttpResponse> {
+        self.request("GET", path, None, headers)
+    }
+
     /// Like [`HttpClient::post`], but when the request fails — typically
     /// because the server rotated this keep-alive connection at its
     /// per-connection request cap — reconnects once and retries before

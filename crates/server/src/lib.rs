@@ -9,11 +9,19 @@
 //!   [`QueryOptions`](wwt_engine::QueryOptions) overrides including a
 //!   `deadline_ms` budget), `POST /query/batch`, `GET /healthz` (status
 //!   plus engine generation), `GET /version`, `GET /stats` (serving
-//!   counters), `GET /metrics` (Prometheus text format),
+//!   counters), `GET /metrics` (Prometheus text format, including
+//!   per-stage `wwt_stage_duration_us` histograms),
 //!   `POST /admin/shutdown` and `POST /admin/reload` (both disabled
 //!   unless [`ServerConfig::admin_token`] is set; requests must carry
 //!   the token in an `x-admin-token` or `Authorization: Bearer`
-//!   header).
+//!   header), and the equally admin-gated `GET /debug/slow_queries`
+//!   and `GET /debug/trace/{request_id}` flight-recorder views.
+//! * **Observability:** every response echoes the request's
+//!   `x-request-id` header (or a server-minted id) on success *and*
+//!   error paths; `"options":{"explain":true}` attaches a full span
+//!   tree to the response under `diagnostics.trace`; the service's
+//!   flight recorder retains the slowest / most recent / anomalous
+//!   queries with stage-level traces for the debug routes.
 //! * **Hot reload:** with an [`EngineSource`] configured,
 //!   `POST /admin/reload` rebuilds the engine on a background thread
 //!   and swaps it into the serving slot atomically — queries keep being

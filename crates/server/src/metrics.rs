@@ -1,10 +1,40 @@
-//! Request counters and a latency histogram, rendered as Prometheus
-//! text exposition format (version 0.0.4) for `GET /metrics`.
+//! Request counters, a latency histogram and per-stage pipeline
+//! histograms, rendered as Prometheus text exposition format (version
+//! 0.0.4) for `GET /metrics`.
+//!
+//! Every exported series:
+//!
+//! | Series | Kind | Meaning |
+//! |---|---|---|
+//! | `wwt_http_requests_total{route,code}` | counter | Requests served, by route label and status code. |
+//! | `wwt_http_request_duration_seconds` | histogram | End-to-end request handling latency (12 buckets, 100 µs – 2.5 s). |
+//! | `wwt_http_requests_in_flight` | gauge | Requests currently being dispatched. |
+//! | `wwt_stage_duration_us{stage}` | histogram | Query pipeline stage wall-clock in microseconds (12 buckets, 50 µs – 250 ms) for `probe1`, `read1`, `probe2`, `read2`, `column_map`, `consolidate`, plus the serving-layer `cache_lookup` and `serialize` stages. |
+//! | `wwt_cache_hits_total` | counter | Requests served from the response cache. |
+//! | `wwt_cache_misses_total` | counter | Requests that ran the engine. |
+//! | `wwt_cache_coalesced_total` | counter | Requests that joined an identical in-flight computation. |
+//! | `wwt_cache_entries` | gauge | Responses currently cached. |
+//! | `wwt_http_deadline_exceeded_total` | counter | Requests refused with 504 (expired `deadline_ms`). |
+//! | `wwt_engine_generation` | gauge | Generation of the engine snapshot currently serving. |
+//! | `wwt_engine_swaps_total` | counter | Engine snapshots hot-swapped in since boot. |
+//! | `wwt_engine_reload_failures_total` | counter | Engine reloads that failed to build or swap. |
+//! | `wwt_http_concurrency_rejected_total` | counter | Query requests answered 429 at the concurrency limit. |
+//! | `wwt_index_shards` | gauge | Index shards the engine scatter-gathers over. |
+//! | `wwt_docset_cache_entries` | gauge | Entries in the bounded doc-set probe memo. |
+//! | `wwt_delta_tables` | gauge | Tables in the mutable delta segment. |
+//! | `wwt_delta_tombstones` | gauge | Frozen tables shadowed by a tombstone or re-ingested copy. |
+//! | `wwt_tables_ingested_total` | counter | Tables accepted by live ingest since boot. |
+//! | `wwt_tables_deleted_total` | counter | Tables removed by live delete since boot. |
+//! | `wwt_compactions_total` | counter | Delta-into-frozen compactions since boot. |
+//! | `wwt_flight_records_total` | counter | Queries captured by the slow-query flight recorder. |
+//! | `wwt_flight_deadline_exceeded_total` | counter | Recorded queries that tripped their deadline. |
+//! | `wwt_flight_zero_results_total` | counter | Recorded queries that answered an empty table. |
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
+use wwt_obs::{Stage, StageHistograms};
 use wwt_service::ServiceStats;
 
 /// Histogram bucket upper bounds, in seconds. Spans cached hits (tens of
@@ -38,6 +68,10 @@ pub enum Route {
     TableDelete,
     /// `POST /admin/compact`.
     Compact,
+    /// `GET /debug/slow_queries`.
+    DebugSlowQueries,
+    /// `GET /debug/trace/{request_id}`.
+    DebugTrace,
     /// Anything else (404/405/413 traffic).
     Other,
 }
@@ -56,6 +90,8 @@ impl Route {
             Route::TablesIngest => "tables_ingest",
             Route::TableDelete => "table_delete",
             Route::Compact => "compact",
+            Route::DebugSlowQueries => "debug_slow_queries",
+            Route::DebugTrace => "debug_trace",
             Route::Other => "other",
         }
     }
@@ -85,6 +121,12 @@ pub struct Metrics {
     /// Query/batch requests answered 429 because the per-route
     /// concurrency limit was saturated.
     queries_rejected: AtomicU64,
+    /// Per-pipeline-stage duration histograms
+    /// (`wwt_stage_duration_us{stage=…}`), fed from each answered
+    /// query's [`StageTimings`](wwt_engine::StageTimings) plus the
+    /// serving-layer cache-lookup and serialization measurements — the
+    /// hot path pays only relaxed atomic bucket increments.
+    stage: StageHistograms,
 }
 
 impl Metrics {
@@ -151,6 +193,17 @@ impl Metrics {
         self.reload_failures.load(Ordering::Relaxed)
     }
 
+    /// Records one pipeline-stage duration in the
+    /// `wwt_stage_duration_us` histogram family.
+    pub fn observe_stage(&self, stage: Stage, elapsed: Duration) {
+        self.stage.observe(stage, elapsed.as_micros() as u64);
+    }
+
+    /// The per-stage histogram registry.
+    pub fn stage_histograms(&self) -> &StageHistograms {
+        &self.stage
+    }
+
     /// Records one query rejected at the concurrency limit (429).
     pub fn note_query_rejected(&self) {
         self.queries_rejected.fetch_add(1, Ordering::Relaxed);
@@ -210,6 +263,8 @@ impl Metrics {
             "wwt_http_requests_in_flight {}\n",
             self.in_flight()
         ));
+
+        self.stage.render_prometheus(&mut out);
 
         for (name, help, kind, value) in [
             (
@@ -308,6 +363,24 @@ impl Metrics {
                 "counter",
                 cache.compactions,
             ),
+            (
+                "wwt_flight_records_total",
+                "Queries captured by the slow-query flight recorder.",
+                "counter",
+                cache.recorder.recorded,
+            ),
+            (
+                "wwt_flight_deadline_exceeded_total",
+                "Recorded queries that tripped their deadline budget.",
+                "counter",
+                cache.recorder.deadline_exceeded,
+            ),
+            (
+                "wwt_flight_zero_results_total",
+                "Recorded queries that answered an empty table.",
+                "counter",
+                cache.recorder.zero_results,
+            ),
         ] {
             out.push_str(&format!(
                 "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
@@ -338,6 +411,11 @@ mod tests {
             tables_ingested: 6,
             tables_deleted: 1,
             compactions: 3,
+            recorder: wwt_service::RecorderCounters {
+                recorded: 10,
+                deadline_exceeded: 1,
+                zero_results: 2,
+            },
         }
     }
 
@@ -399,6 +477,26 @@ mod tests {
     }
 
     #[test]
+    fn stage_histograms_and_flight_counters_render() {
+        let m = Metrics::new();
+        m.observe_stage(Stage::Probe1, Duration::from_micros(40));
+        m.observe_stage(Stage::Probe1, Duration::from_micros(900));
+        m.observe_stage(Stage::ColumnMap, Duration::from_millis(3));
+        m.observe_stage(Stage::Serialize, Duration::from_micros(10));
+        assert_eq!(m.stage_histograms().count(Stage::Probe1), 2);
+        let text = m.render_prometheus(&cache_stats());
+        assert!(text.contains("# TYPE wwt_stage_duration_us histogram"));
+        assert!(text.contains("wwt_stage_duration_us_bucket{stage=\"probe1\",le=\"50\"} 1\n"));
+        assert!(text.contains("wwt_stage_duration_us_bucket{stage=\"probe1\",le=\"+Inf\"} 2\n"));
+        assert!(text.contains("wwt_stage_duration_us_count{stage=\"probe1\"} 2\n"));
+        assert!(text.contains("wwt_stage_duration_us_count{stage=\"column_map\"} 1\n"));
+        assert!(text.contains("wwt_stage_duration_us_count{stage=\"serialize\"} 1\n"));
+        assert!(text.contains("wwt_flight_records_total 10\n"));
+        assert!(text.contains("wwt_flight_deadline_exceeded_total 1\n"));
+        assert!(text.contains("wwt_flight_zero_results_total 2\n"));
+    }
+
+    #[test]
     fn in_flight_gauge_tracks_and_renders() {
         let m = Metrics::new();
         m.request_started();
@@ -430,6 +528,7 @@ mod tests {
             tables_ingested: 0,
             tables_deleted: 0,
             compactions: 0,
+            recorder: wwt_service::RecorderCounters::default(),
         });
         assert!(text.contains("wwt_http_request_duration_seconds_count 0\n"));
         assert!(text.contains("wwt_http_request_duration_seconds_sum 0\n"));

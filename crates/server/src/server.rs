@@ -19,12 +19,40 @@ use crate::source::EngineSource;
 use crate::wire;
 use std::io::{BufReader, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+use wwt_json::Json;
 use wwt_model::WwtError;
+use wwt_obs::{log, LogLevel, Stage};
 use wwt_service::TableSearchService;
+
+/// Process-wide sequence for generated request ids (clients that send no
+/// `x-request-id` still get a correlatable one back).
+static REQUEST_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// The request's `x-request-id`, or a generated `wwt-{pid}-{seq}` one.
+/// Echoed on every response and stamped on the query's flight record.
+fn request_id_of(request: &Request) -> String {
+    match request.header("x-request-id") {
+        // Bound and sanitize: the id is echoed into a response header,
+        // so strip anything that could split a header line.
+        Some(id) if !id.is_empty() && id.len() <= 128 => id
+            .chars()
+            .filter(|c| c.is_ascii_graphic())
+            .collect::<String>(),
+        _ => generated_request_id(),
+    }
+}
+
+fn generated_request_id() -> String {
+    format!(
+        "wwt-{}-{}",
+        std::process::id(),
+        REQUEST_SEQ.fetch_add(1, Ordering::Relaxed) + 1
+    )
+}
 
 /// Serving knobs for one [`serve`] call.
 #[derive(Debug, Clone)]
@@ -328,13 +356,16 @@ pub fn serve(
                                     // clients when backing off is enough
                                     // (the queue drains in well under a
                                     // second unless the pool is wedged).
+                                    // The request was never read, so the
+                                    // echoed id is a generated one.
+                                    let request_id = generated_request_id();
                                     drop(http::write_response_with(
                                         &mut stream,
                                         503,
                                         "application/json",
                                         wire::encode_error(&err).as_bytes(),
                                         false,
-                                        &[("retry-after", "1")],
+                                        &[("retry-after", "1"), ("x-request-id", &request_id)],
                                     ));
                                     // Best-effort drain of request bytes
                                     // that already arrived: closing with
@@ -416,12 +447,22 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                 shared
                     .metrics
                     .observe(Route::Other, 400, read_start.elapsed());
-                drop(http::write_response(
+                // The request never parsed, so no client id was read:
+                // a generated one still gives the error a handle in logs.
+                let request_id = generated_request_id();
+                log!(
+                    LogLevel::Warn,
+                    "wwt-server",
+                    id = request_id;
+                    "malformed request: {}", err.message
+                );
+                drop(http::write_response_with(
                     &mut stream,
                     400,
                     "application/json",
                     body.as_bytes(),
                     false,
+                    &[("x-request-id", &request_id)],
                 ));
                 return;
             }
@@ -434,19 +475,28 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                 shared
                     .metrics
                     .observe(Route::Other, 413, read_start.elapsed());
-                drop(http::write_response(
+                let request_id = generated_request_id();
+                log!(
+                    LogLevel::Warn,
+                    "wwt-server",
+                    id = request_id;
+                    "rejected oversized body: {}", err.message
+                );
+                drop(http::write_response_with(
                     &mut stream,
                     413,
                     "application/json",
                     body.as_bytes(),
                     false,
+                    &[("x-request-id", &request_id)],
                 ));
                 return;
             }
         };
+        let request_id = request_id_of(&request);
         let start = Instant::now();
         shared.metrics.request_started();
-        let (route, status, content_type, body) = dispatch(shared, &request);
+        let (route, status, content_type, body) = dispatch(shared, &request, &request_id);
         shared.metrics.observe(route, status, start.elapsed());
         shared.metrics.request_finished();
         served += 1;
@@ -461,9 +511,9 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
         // budget frees up as soon as an in-flight query finishes, so a
         // one-second backoff is enough for well-behaved clients.
         let extra_headers: &[(&str, &str)] = if status == 429 {
-            &[("retry-after", "1")]
+            &[("retry-after", "1"), ("x-request-id", &request_id)]
         } else {
-            &[]
+            &[("x-request-id", &request_id)]
         };
         if http::write_response_with(
             &mut stream,
@@ -483,7 +533,11 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
 
 /// Routes one request; returns `(route label, status, content type,
 /// body)`.
-fn dispatch(shared: &Arc<Shared>, request: &Request) -> (Route, u16, &'static str, String) {
+fn dispatch(
+    shared: &Arc<Shared>,
+    request: &Request,
+    request_id: &str,
+) -> (Route, u16, &'static str, String) {
     const JSON: &str = "application/json";
     const PROM: &str = "text/plain; version=0.0.4";
     let route = match request.path.as_str() {
@@ -497,7 +551,9 @@ fn dispatch(shared: &Arc<Shared>, request: &Request) -> (Route, u16, &'static st
         "/admin/reload" => Route::Reload,
         "/admin/tables" => Route::TablesIngest,
         "/admin/compact" => Route::Compact,
+        "/debug/slow_queries" => Route::DebugSlowQueries,
         path if path.starts_with("/admin/tables/") => Route::TableDelete,
+        path if path.starts_with("/debug/trace/") => Route::DebugTrace,
         _ => {
             let err = wire::ApiError {
                 status: 404,
@@ -526,10 +582,17 @@ fn dispatch(shared: &Arc<Shared>, request: &Request) -> (Route, u16, &'static st
     // The admin routes share one gate: unconfigured ⇒ the routes do not
     // exist (a reachable unauthenticated shutdown/reload would let any
     // client that can hit the socket kill or churn the service); a bad
-    // token ⇒ 403.
+    // token ⇒ 403. The debug routes sit behind the same gate: flight
+    // records replay full query text, which is operator data.
     if matches!(
         route,
-        Route::Shutdown | Route::Reload | Route::TablesIngest | Route::TableDelete | Route::Compact
+        Route::Shutdown
+            | Route::Reload
+            | Route::TablesIngest
+            | Route::TableDelete
+            | Route::Compact
+            | Route::DebugSlowQueries
+            | Route::DebugTrace
     ) {
         match shared.config.admin_token.as_deref() {
             None => {
@@ -558,16 +621,66 @@ fn dispatch(shared: &Arc<Shared>, request: &Request) -> (Route, u16, &'static st
                 return reject_at_capacity(shared, route);
             };
             match wire::parse_query_request(&request.body) {
-                Ok(req) => match shared.service.answer(&req) {
-                    Ok(response) => (route, 200, JSON, wire::encode_response(&req, &response)),
-                    Err(e) => {
-                        let err = wire::api_error(&e);
-                        if err.status == 504 {
-                            shared.metrics.note_deadline_exceeded();
+                Ok(req) => {
+                    let answer_start = Instant::now();
+                    match shared.service.answer_observed(&req, request_id) {
+                        Ok(observed) => {
+                            let answer_elapsed = answer_start.elapsed();
+                            let response = &observed.response;
+                            if observed.engine_ran {
+                                // Feed the per-stage histograms from the
+                                // timings the engine already measured —
+                                // only for runs this request performed,
+                                // so cached bytes never re-observe the
+                                // pipeline that originally built them.
+                                let t = &response.diagnostics.timing;
+                                for (stage, elapsed) in [
+                                    (Stage::Probe1, t.index1),
+                                    (Stage::Read1, t.read1),
+                                    (Stage::Probe2, t.index2),
+                                    (Stage::Read2, t.read2),
+                                    (Stage::ColumnMap, t.column_map),
+                                    (Stage::Consolidate, t.consolidate),
+                                ] {
+                                    shared.metrics.observe_stage(stage, elapsed);
+                                }
+                            } else {
+                                // Cache/coalesced path: the end-to-end
+                                // service time *is* the lookup cost.
+                                shared
+                                    .metrics
+                                    .observe_stage(Stage::CacheLookup, answer_elapsed);
+                            }
+                            let serialize_start = Instant::now();
+                            let body = wire::encode_response(&req, response);
+                            shared
+                                .metrics
+                                .observe_stage(Stage::Serialize, serialize_start.elapsed());
+                            log!(
+                                LogLevel::Debug,
+                                "wwt-server",
+                                id = request_id;
+                                "query answered: {} rows in {} us",
+                                response.table.len(),
+                                answer_elapsed.as_micros()
+                            );
+                            (route, 200, JSON, body)
                         }
-                        (route, err.status, JSON, wire::encode_error(&err))
+                        Err(e) => {
+                            let err = wire::api_error(&e);
+                            if err.status == 504 {
+                                shared.metrics.note_deadline_exceeded();
+                            }
+                            log!(
+                                LogLevel::Debug,
+                                "wwt-server",
+                                id = request_id;
+                                "query failed ({}): {}", err.status, err.message
+                            );
+                            (route, err.status, JSON, wire::encode_error(&err))
+                        }
                     }
-                },
+                }
                 Err(err) => (route, err.status, JSON, wire::encode_error(&err)),
             }
         }
@@ -652,7 +765,51 @@ fn dispatch(shared: &Arc<Shared>, request: &Request) -> (Route, u16, &'static st
         Route::TablesIngest => ingest_table(shared, request),
         Route::TableDelete => delete_table(shared, request),
         Route::Compact => start_compaction(shared, true),
+        Route::DebugSlowQueries => slow_queries(shared),
+        Route::DebugTrace => find_trace(shared, request),
         Route::Other => unreachable!("handled above"),
+    }
+}
+
+/// `GET /debug/slow_queries`: the flight recorder's retained buffers —
+/// slowest first, then newest first, then the anomaly ring — plus its
+/// monotone counters. Admin-gated: records replay full query text.
+fn slow_queries(shared: &Arc<Shared>) -> (Route, u16, &'static str, String) {
+    let records = |list: Vec<wwt_service::FlightRecord>| {
+        Json::Arr(list.iter().map(|r| r.to_json()).collect())
+    };
+    let counters = shared.service.stats().recorder;
+    let body = Json::obj([
+        ("slowest", records(shared.service.slow_queries())),
+        ("recent", records(shared.service.recent_queries())),
+        ("anomalies", records(shared.service.anomalous_queries())),
+        (
+            "counters",
+            Json::obj([
+                ("recorded", Json::from(counters.recorded)),
+                ("deadline_exceeded", Json::from(counters.deadline_exceeded)),
+                ("zero_results", Json::from(counters.zero_results)),
+            ]),
+        ),
+    ])
+    .encode();
+    (Route::DebugSlowQueries, 200, "application/json", body)
+}
+
+/// `GET /debug/trace/{request_id}`: the retained flight record for one
+/// request id; 404 once it ages out of every buffer.
+fn find_trace(shared: &Arc<Shared>, request: &Request) -> (Route, u16, &'static str, String) {
+    const JSON: &str = "application/json";
+    let id = request.path.trim_start_matches("/debug/trace/");
+    match shared.service.find_trace(id) {
+        Some(record) => (Route::DebugTrace, 200, JSON, record.to_json().encode()),
+        None => {
+            let err = wire::ApiError {
+                status: 404,
+                message: format!("no retained trace for request id {id:?}"),
+            };
+            (Route::DebugTrace, 404, JSON, wire::encode_error(&err))
+        }
     }
 }
 
@@ -757,7 +914,11 @@ fn start_compaction(shared: &Arc<Shared>, explicit: bool) -> (Route, u16, &'stat
         .name("wwt-compact".to_string())
         .spawn(move || {
             let generation = worker.service.compact();
-            eprintln!("[wwt-server] delta compacted: generation {generation}");
+            log!(
+                LogLevel::Info,
+                "wwt-server",
+                "delta compacted: generation {generation}"
+            );
             worker.compacting.store(false, Ordering::SeqCst);
         });
     if spawned.is_err() {
@@ -833,12 +994,16 @@ fn start_reload(shared: &Arc<Shared>) -> (Route, u16, &'static str, String) {
                 Ok(engine) => {
                     let generation = worker.service.reload(Arc::new(engine));
                     *last_error = None;
-                    eprintln!("[wwt-server] engine reloaded: generation {generation}");
+                    log!(
+                        LogLevel::Info,
+                        "wwt-server",
+                        "engine reloaded: generation {generation}"
+                    );
                 }
                 Err(e) => {
                     worker.metrics.note_reload_failure();
                     *last_error = Some(e.to_string());
-                    eprintln!("[wwt-server] engine reload failed: {e}");
+                    log!(LogLevel::Error, "wwt-server", "engine reload failed: {e}");
                 }
             }
             worker.reloading.store(false, Ordering::SeqCst);

@@ -135,6 +135,7 @@ fn options_from_json(value: &Json) -> Result<QueryOptions, ApiError> {
             "high_relevance",
             "max_rows",
             "deadline_ms",
+            "explain",
         ],
     )?;
     let uint = |key: &str| -> Result<Option<usize>, ApiError> {
@@ -172,6 +173,12 @@ fn options_from_json(value: &Json) -> Result<QueryOptions, ApiError> {
             ApiError::bad_request("\"deadline_ms\" must be a non-negative integer")
         })?),
     };
+    let explain = match value.get("explain") {
+        None => false,
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| ApiError::bad_request("\"explain\" must be a boolean"))?,
+    };
     Ok(QueryOptions {
         algorithm,
         probe1_k: uint("probe1_k")?,
@@ -179,6 +186,7 @@ fn options_from_json(value: &Json) -> Result<QueryOptions, ApiError> {
         high_relevance,
         max_rows: uint("max_rows")?,
         deadline_ms,
+        explain,
     })
 }
 
@@ -257,7 +265,7 @@ fn response_json(request: &QueryRequest, response: &QueryResponse) -> Json {
         ("probe1_shards", shard_us(&t.probe1_shards)),
         ("probe2_shards", shard_us(&t.probe2_shards)),
     ]);
-    let diagnostics = Json::obj([
+    let mut diagnostic_fields = vec![
         ("n_candidates", Json::from(d.n_candidates)),
         ("n_relevant", Json::from(d.n_relevant)),
         ("probe2_used", Json::from(d.probe2_used)),
@@ -265,7 +273,13 @@ fn response_json(request: &QueryRequest, response: &QueryResponse) -> Json {
         ("stage1", Json::from(response.retrieval.stage1.len())),
         ("stage2", Json::from(response.retrieval.stage2.len())),
         ("timing_us", timing_us),
-    ]);
+    ];
+    // Present only on explain runs: plain responses stay byte-identical
+    // to the pre-trace wire format.
+    if let Some(trace) = &d.trace {
+        diagnostic_fields.push(("trace", trace.to_json()));
+    }
+    let diagnostics = Json::obj(diagnostic_fields);
     Json::obj([
         ("query", Json::from(request.query.to_string())),
         (
@@ -330,6 +344,15 @@ pub fn encode_stats_with(stats: &ServiceStats, last_reload_error: Option<&str>) 
         ("tables_ingested", Json::from(stats.tables_ingested)),
         ("tables_deleted", Json::from(stats.tables_deleted)),
         ("compactions", Json::from(stats.compactions)),
+        ("flight_records", Json::from(stats.recorder.recorded)),
+        (
+            "flight_deadline_exceeded",
+            Json::from(stats.recorder.deadline_exceeded),
+        ),
+        (
+            "flight_zero_results",
+            Json::from(stats.recorder.zero_results),
+        ),
     ];
     if let Some(error) = last_reload_error {
         fields.push(("last_reload_error", Json::from(error)));
@@ -340,6 +363,7 @@ pub fn encode_stats_with(stats: &ServiceStats, last_reload_error: Option<&str>) 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wwt_service::RecorderCounters;
 
     #[test]
     fn parses_bare_query() {
@@ -494,6 +518,7 @@ mod tests {
             tables_ingested: 0,
             tables_deleted: 0,
             compactions: 0,
+            recorder: RecorderCounters::default(),
         });
         assert!(body.contains("\"hit_rate\":0"), "{body}");
         let v = Json::parse(&body).unwrap();
@@ -518,6 +543,11 @@ mod tests {
             tables_ingested: 9,
             tables_deleted: 2,
             compactions: 4,
+            recorder: RecorderCounters {
+                recorded: 12,
+                deadline_exceeded: 2,
+                zero_results: 3,
+            },
         });
         let v = Json::parse(&body).unwrap();
         // Pre-existing field names stay untouched (additive evolution).
@@ -544,5 +574,23 @@ mod tests {
         assert_eq!(v.get("tables_ingested").and_then(Json::as_u64), Some(9));
         assert_eq!(v.get("tables_deleted").and_then(Json::as_u64), Some(2));
         assert_eq!(v.get("compactions").and_then(Json::as_u64), Some(4));
+        assert_eq!(v.get("flight_records").and_then(Json::as_u64), Some(12));
+        assert_eq!(
+            v.get("flight_deadline_exceeded").and_then(Json::as_u64),
+            Some(2)
+        );
+        assert_eq!(v.get("flight_zero_results").and_then(Json::as_u64), Some(3));
+    }
+
+    #[test]
+    fn explain_parses_and_rejects_non_bool() {
+        let req = parse_query_request(br#"{"query":"a","options":{"explain":true}}"#).unwrap();
+        assert!(req.options.explain);
+        let req = parse_query_request(br#"{"query":"a","options":{"explain":false}}"#).unwrap();
+        assert!(!req.options.explain);
+        assert!(req.options.is_default());
+        let err = parse_query_request(br#"{"query":"a","options":{"explain":1}}"#).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("explain"), "{}", err.message);
     }
 }

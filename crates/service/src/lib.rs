@@ -37,8 +37,11 @@ use singleflight::{FlightGroup, Role};
 pub use slot::{EngineSlot, EngineSnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 use wwt_engine::{Engine, QueryRequest, QueryResponse};
 use wwt_model::{Query, TableId, WebTable, WwtError};
+pub use wwt_obs::{FlightRecord, QueryOutcome, RecorderConfig, RecorderCounters};
+use wwt_obs::{FlightRecorder, SpanRecord, Trace, TraceReport};
 
 /// Serving knobs.
 #[derive(Debug, Clone)]
@@ -50,6 +53,9 @@ pub struct ServiceConfig {
     /// Worker threads used by [`TableSearchService::answer_batch`]
     /// (capped by the batch size).
     pub batch_threads: usize,
+    /// Slow-query flight recorder retention
+    /// ([`TableSearchService::answer_observed`] feeds it).
+    pub recorder: RecorderConfig,
 }
 
 impl Default for ServiceConfig {
@@ -60,6 +66,7 @@ impl Default for ServiceConfig {
             batch_threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
+            recorder: RecorderConfig::default(),
         }
     }
 }
@@ -109,6 +116,10 @@ pub struct ServiceStats {
     /// Delta-into-frozen compactions performed by
     /// [`TableSearchService::compact`] since startup.
     pub compactions: u64,
+    /// Flight-recorder totals over every query that went through
+    /// [`TableSearchService::answer_observed`] (queries answered via the
+    /// plain [`TableSearchService::answer`] path are not recorded).
+    pub recorder: RecorderCounters,
 }
 
 impl ServiceStats {
@@ -143,7 +154,47 @@ pub struct TableSearchService {
     tables_ingested: AtomicU64,
     tables_deleted: AtomicU64,
     compactions: AtomicU64,
+    recorder: FlightRecorder,
     config: ServiceConfig,
+}
+
+/// Which serving path produced a response — the flight recorder's
+/// `cache` note.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CachePath {
+    /// Served straight from the response cache.
+    Hit,
+    /// Joined an identical in-flight computation.
+    Shared,
+    /// Ran the engine as the singleflight leader.
+    Leader,
+    /// Ran the engine after an abandoned flight (no coalescing).
+    Fallback,
+}
+
+impl CachePath {
+    fn label(self) -> &'static str {
+        match self {
+            CachePath::Hit => "hit",
+            CachePath::Shared => "shared",
+            CachePath::Leader => "miss (leader)",
+            CachePath::Fallback => "miss (fallback)",
+        }
+    }
+}
+
+/// What [`TableSearchService::answer_observed`] returns: the response
+/// plus whether *this* call executed the engine (as opposed to serving
+/// cached or coalesced bytes) — so callers feeding per-stage histograms
+/// never re-observe a pipeline run that already happened.
+#[derive(Debug, Clone)]
+pub struct ObservedAnswer {
+    /// The answer, shared exactly as [`TableSearchService::answer`]
+    /// would return it.
+    pub response: Arc<QueryResponse>,
+    /// True when this call ran the pipeline (singleflight leader,
+    /// post-flight fallback, or an explain bypass).
+    pub engine_ran: bool,
 }
 
 // One service serves many threads.
@@ -175,6 +226,7 @@ impl TableSearchService {
             tables_ingested: AtomicU64::new(0),
             tables_deleted: AtomicU64::new(0),
             compactions: AtomicU64::new(0),
+            recorder: FlightRecorder::new(config.recorder),
             config,
         }
     }
@@ -279,24 +331,35 @@ impl TableSearchService {
     /// belongs to the one generation the caller observed, even while a
     /// concurrent [`TableSearchService::reload`] swaps the slot.
     pub fn answer(&self, request: &QueryRequest) -> Result<Arc<QueryResponse>, WwtError> {
+        self.answer_path(request).map(|(response, _)| response)
+    }
+
+    /// [`answer`](TableSearchService::answer) plus which serving path
+    /// produced the response, for the flight recorder.
+    fn answer_path(
+        &self,
+        request: &QueryRequest,
+    ) -> Result<(Arc<QueryResponse>, CachePath), WwtError> {
         let snapshot = self.slot.load();
         let key = format!("g{}\u{1f}{}", snapshot.generation, request.cache_key());
         if let Some(hit) = self.cache_get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(hit);
+            return Ok((hit, CachePath::Hit));
         }
         match self.inflight.join(&key, || self.cache_get(&key)) {
             Role::Cached(hit) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Ok(hit)
+                Ok((hit, CachePath::Hit))
             }
             Role::Shared(Some(shared)) => {
                 self.coalesced.fetch_add(1, Ordering::Relaxed);
-                Ok(shared)
+                Ok((shared, CachePath::Shared))
             }
             // The leader failed (or unwound); coalescing is best-effort,
             // so compute directly — error paths fail fast anyway.
-            Role::Shared(None) => self.run_engine(&snapshot, request, &key),
+            Role::Shared(None) => self
+                .run_engine(&snapshot, request, &key)
+                .map(|response| (response, CachePath::Fallback)),
             Role::Leader(guard) => match self.execute(&snapshot, request) {
                 Ok(response) => {
                     let response = Arc::new(response);
@@ -309,7 +372,7 @@ impl TableSearchService {
                             cache.insert(key.clone(), Arc::clone(&response));
                         }
                     });
-                    Ok(response)
+                    Ok((response, CachePath::Leader))
                 }
                 Err(e) => {
                     guard.publish(None, || {});
@@ -317,6 +380,128 @@ impl TableSearchService {
                 }
             },
         }
+    }
+
+    /// Answers one request under the flight recorder's watch, stamping it
+    /// with the caller-supplied `request_id` (the `x-request-id` of the
+    /// HTTP layer).
+    ///
+    /// * `explain` requests bypass the response cache and singleflight
+    ///   entirely: each one runs the engine with a fresh enabled
+    ///   [`Trace`], so the returned
+    ///   [`trace`](wwt_engine::QueryDiagnostics::trace) is this
+    ///   execution's, never a cached stranger's — and no trace-carrying
+    ///   response is ever cached where a plain request could share it.
+    /// * Plain requests take the exact
+    ///   [`answer`](TableSearchService::answer) path (byte-identical
+    ///   responses, zero tracing overhead in the engine); afterwards a
+    ///   stage-level trace is synthesized from the response's
+    ///   [`StageTimings`](wwt_engine::StageTimings) for the recorder.
+    ///
+    /// Every query lands in the flight recorder: the N slowest and N most
+    /// recent are retained, and deadline-exceeded / zero-result queries
+    /// are additionally kept in the anomaly buffer.
+    pub fn answer_observed(
+        &self,
+        request: &QueryRequest,
+        request_id: &str,
+    ) -> Result<ObservedAnswer, WwtError> {
+        let t0 = Instant::now();
+        if request.options.explain {
+            let snapshot = self.slot.load();
+            let trace = Trace::enabled(request_id);
+            trace.note("cache", "bypass (explain)");
+            trace.note("generation", snapshot.generation.to_string());
+            let result = snapshot.engine.answer_traced(request, &trace);
+            if matches!(result, Err(WwtError::DeadlineExceeded(_))) {
+                self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            }
+            return match result {
+                Ok(response) => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    let response = Arc::new(response);
+                    self.record_flight(request, request_id, t0.elapsed(), Ok(&response), None);
+                    Ok(ObservedAnswer {
+                        response,
+                        engine_ran: true,
+                    })
+                }
+                Err(e) => {
+                    self.record_flight(request, request_id, t0.elapsed(), Err(&e), None);
+                    Err(e)
+                }
+            };
+        }
+        match self.answer_path(request) {
+            Ok((response, path)) => {
+                self.record_flight(request, request_id, t0.elapsed(), Ok(&response), Some(path));
+                Ok(ObservedAnswer {
+                    response,
+                    engine_ran: matches!(path, CachePath::Leader | CachePath::Fallback),
+                })
+            }
+            Err(e) => {
+                self.record_flight(request, request_id, t0.elapsed(), Err(&e), None);
+                Err(e)
+            }
+        }
+    }
+
+    /// Captures one finished query in the flight recorder.
+    fn record_flight(
+        &self,
+        request: &QueryRequest,
+        request_id: &str,
+        elapsed: Duration,
+        result: Result<&Arc<QueryResponse>, &WwtError>,
+        path: Option<CachePath>,
+    ) {
+        let (outcome, rows) = match result {
+            Ok(response) if response.table.is_empty() => (QueryOutcome::ZeroResults, 0),
+            Ok(response) => (QueryOutcome::Ok, response.table.len()),
+            Err(WwtError::DeadlineExceeded(_)) => (QueryOutcome::DeadlineExceeded, 0),
+            Err(_) => (QueryOutcome::Error, 0),
+        };
+        let trace = match result {
+            // An explain run already carries its own full trace.
+            Ok(response) => match &response.diagnostics.trace {
+                Some(report) => report.clone(),
+                None => synthetic_trace(request_id, response, path, elapsed),
+            },
+            Err(e) => error_trace(request_id, e, elapsed),
+        };
+        self.recorder.record(FlightRecord {
+            seq: 0, // assigned by the recorder
+            request_id: request_id.to_string(),
+            query: request.query.to_string(),
+            duration_us: elapsed.as_micros() as u64,
+            outcome,
+            generation: self.slot.generation(),
+            rows,
+            trace,
+        });
+    }
+
+    /// The N slowest recorded queries, slowest first.
+    pub fn slow_queries(&self) -> Vec<FlightRecord> {
+        self.recorder.slowest()
+    }
+
+    /// The N most recently recorded queries, newest first.
+    pub fn recent_queries(&self) -> Vec<FlightRecord> {
+        self.recorder.recent()
+    }
+
+    /// Recently recorded deadline-exceeded / zero-result / failed
+    /// queries, newest first.
+    pub fn anomalous_queries(&self) -> Vec<FlightRecord> {
+        self.recorder.anomalies()
+    }
+
+    /// The most recent retained record for `request_id`, if any buffer
+    /// still holds one.
+    pub fn find_trace(&self, request_id: &str) -> Option<FlightRecord> {
+        self.recorder.find(request_id)
     }
 
     fn cache_get(&self, key: &str) -> Option<Arc<QueryResponse>> {
@@ -391,6 +576,7 @@ impl TableSearchService {
             tables_ingested: self.tables_ingested.load(Ordering::Relaxed),
             tables_deleted: self.tables_deleted.load(Ordering::Relaxed),
             compactions: self.compactions.load(Ordering::Relaxed),
+            recorder: self.recorder.counters(),
         }
     }
 
@@ -400,6 +586,56 @@ impl TableSearchService {
             cache.clear();
         }
     }
+}
+
+/// A stage-level trace reconstructed from a finished response's
+/// [`StageTimings`] — what the flight recorder stores for plain
+/// (non-explain) queries, whose hot path records no spans of its own.
+/// For cached/coalesced responses the stage spans describe the engine run
+/// that originally produced the shared bytes, flagged by the `cache`
+/// note.
+///
+/// [`StageTimings`]: wwt_engine::StageTimings
+fn synthetic_trace(
+    request_id: &str,
+    response: &QueryResponse,
+    path: Option<CachePath>,
+    elapsed: Duration,
+) -> TraceReport {
+    let trace = Trace::enabled(request_id);
+    if let Some(path) = path {
+        trace.note("cache", path.label());
+    }
+    let timing = &response.diagnostics.timing;
+    trace.push_span(stage_span("probe1", timing.index1, &timing.probe1_shards));
+    trace.span("read1", timing.read1);
+    trace.push_span(stage_span("probe2", timing.index2, &timing.probe2_shards));
+    trace.span("read2", timing.read2);
+    trace.span("column_map", timing.column_map);
+    trace.span("consolidate", timing.consolidate);
+    trace.note("candidates", response.diagnostics.n_candidates.to_string());
+    trace.note("rows", response.table.len().to_string());
+    trace
+        .finish(elapsed)
+        .expect("an enabled trace always yields a report")
+}
+
+/// The minimal trace recorded for a failed query.
+fn error_trace(request_id: &str, error: &WwtError, elapsed: Duration) -> TraceReport {
+    let trace = Trace::enabled(request_id);
+    trace.note("error", error.to_string());
+    trace
+        .finish(elapsed)
+        .expect("an enabled trace always yields a report")
+}
+
+/// One pipeline-stage span with its per-shard scatter-gather children.
+fn stage_span(name: &'static str, elapsed: Duration, shards: &[Duration]) -> SpanRecord {
+    let mut span = SpanRecord::new(name, elapsed);
+    for (i, d) in shards.iter().enumerate() {
+        span = span.with_child(SpanRecord::new(format!("shard{i}"), *d));
+    }
+    span
 }
 
 #[cfg(test)]
@@ -558,6 +794,7 @@ mod tests {
                 cache_capacity: 0,
                 cache_shards: 0,
                 batch_threads: 2,
+                recorder: RecorderConfig::default(),
             },
         );
         let req = QueryRequest::parse("country | currency").unwrap();
@@ -881,6 +1118,116 @@ mod tests {
         assert_eq!(stats.tables_ingested, WRITERS as u64);
         assert_eq!(stats.swap_count, WRITERS as u64);
         assert_eq!(service.engine().n_tables(), 1 + WRITERS);
+    }
+
+    #[test]
+    fn explain_bypasses_the_cache_and_attaches_a_fresh_trace() {
+        let service = TableSearchService::new(tiny_engine());
+        let req = QueryRequest::parse("country | currency").unwrap();
+
+        // Warm the plain entry first; explain must not hit it.
+        service.answer(&req).unwrap();
+        assert_eq!(service.stats().entries, 1);
+
+        let traced = req.clone().explain(true);
+        let first = service.answer_observed(&traced, "rid-1").unwrap();
+        assert!(first.engine_ran, "explain always runs the engine");
+        let first = first.response;
+        let second = service.answer_observed(&traced, "rid-2").unwrap().response;
+
+        // Each explain run executed the engine itself and cached nothing.
+        let stats = service.stats();
+        assert_eq!(stats.hits, 0, "{stats:?}");
+        assert_eq!(stats.misses, 3, "{stats:?}");
+        assert_eq!(stats.entries, 1, "explain responses must never be cached");
+
+        // Each response carries its own trace, stamped with its own id.
+        let report1 = first.diagnostics.trace.as_ref().unwrap();
+        let report2 = second.diagnostics.trace.as_ref().unwrap();
+        assert_eq!(report1.request_id, "rid-1");
+        assert_eq!(report2.request_id, "rid-2");
+        assert!(report1.spans.iter().any(|s| s.name == "probe1"));
+        assert!(report1.spans.iter().any(|s| s.name == "consolidate"));
+        assert_eq!(
+            report1.notes.iter().find(|(k, _)| k == "cache").unwrap().1,
+            "bypass (explain)"
+        );
+
+        // And the answer itself matches the plain path.
+        let plain = service.answer(&req).unwrap();
+        assert_eq!(first.table, plain.table);
+        assert_eq!(first.candidates, plain.candidates);
+    }
+
+    #[test]
+    fn flight_recorder_captures_outcomes_paths_and_finds_traces() {
+        let service = TableSearchService::new(tiny_engine());
+        let req = QueryRequest::parse("country | currency").unwrap();
+
+        // Engine run (leader), then a cache hit of the same query.
+        assert!(
+            service
+                .answer_observed(&req, "rid-cold")
+                .unwrap()
+                .engine_ran
+        );
+        assert!(
+            !service
+                .answer_observed(&req, "rid-warm")
+                .unwrap()
+                .engine_ran
+        );
+        // A zero-result query and a deadline-exceeded one.
+        let empty = QueryRequest::parse("xylophone | zzzz").unwrap();
+        service.answer_observed(&empty, "rid-empty").unwrap();
+        // An uncached query: deadlines share cache keys with plain
+        // requests, so a cached one would be a (successful) free hit.
+        let hurried = QueryRequest::parse("currency").unwrap().deadline_ms(0);
+        assert!(service.answer_observed(&hurried, "rid-late").is_err());
+
+        let stats = service.stats();
+        assert_eq!(stats.recorder.recorded, 4, "{stats:?}");
+        assert_eq!(stats.recorder.zero_results, 1, "{stats:?}");
+        assert_eq!(stats.recorder.deadline_exceeded, 1, "{stats:?}");
+
+        let cold = service.find_trace("rid-cold").unwrap();
+        assert_eq!(cold.outcome, QueryOutcome::Ok);
+        assert!(cold.rows > 0);
+        assert!(cold.trace.spans.iter().any(|s| s.name == "column_map"));
+        assert_eq!(
+            cold.trace
+                .notes
+                .iter()
+                .find(|(k, _)| k == "cache")
+                .unwrap()
+                .1,
+            "miss (leader)"
+        );
+        let warm = service.find_trace("rid-warm").unwrap();
+        assert_eq!(
+            warm.trace
+                .notes
+                .iter()
+                .find(|(k, _)| k == "cache")
+                .unwrap()
+                .1,
+            "hit"
+        );
+        let late = service.find_trace("rid-late").unwrap();
+        assert_eq!(late.outcome, QueryOutcome::DeadlineExceeded);
+        assert!(late.trace.notes.iter().any(|(k, _)| k == "error"));
+        assert_eq!(
+            service.find_trace("rid-empty").unwrap().outcome,
+            QueryOutcome::ZeroResults
+        );
+        assert!(service.find_trace("rid-unknown").is_none());
+
+        // Anomalies retain exactly the empty and late queries.
+        let anomalies = service.anomalous_queries();
+        assert_eq!(anomalies.len(), 2);
+        // Slowest + recent both see all four.
+        assert_eq!(service.recent_queries().len(), 4);
+        assert_eq!(service.slow_queries().len(), 4);
     }
 
     #[test]

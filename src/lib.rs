@@ -25,6 +25,7 @@
 //! | [`engine`] | [`engine::EngineBuilder`] (offline), [`engine::Engine`] (online), baselines, metrics |
 //! | [`service`] | [`service::TableSearchService`]: shared engine + cache + singleflight + batching |
 //! | [`server`] | [`server::serve`]: the HTTP/1.1 endpoint, metrics, graceful shutdown, `wwt-serve` |
+//! | [`obs`] | request-scoped tracing, per-stage histograms, flight recorder, leveled logging |
 //!
 //! ## Quickstart
 //!
@@ -334,6 +335,51 @@
 //! assert_eq!(bad.status, 400); // parse errors are the client's fault
 //! handle.shutdown();           // drains in-flight requests, then returns
 //! ```
+//!
+//! ## Observability
+//!
+//! The [`obs`] crate threads end-to-end visibility through the whole
+//! stack with zero hot-path cost when unused:
+//!
+//! * **Request ids** — every HTTP response (success *and* error,
+//!   including 429/503 backpressure) echoes the client's `x-request-id`
+//!   header, or a server-minted `wwt-{pid}-{seq}` id, so one id follows
+//!   a query through logs, traces and the flight recorder.
+//! * **Inline traces** — `"options":{"explain":true}` bypasses the
+//!   response cache and attaches a full span tree under
+//!   `diagnostics.trace`: one span per pipeline stage (`probe1`,
+//!   `read1`, `probe2`, `read2`, `column_map`, `consolidate`) with
+//!   per-shard child spans, plus notes (candidate counts, cache path,
+//!   engine generation, deadline budget). Plain requests are
+//!   byte-identical to a build without tracing — the disabled
+//!   [`obs::Trace`] is an `Option::None` check
+//!   (`tests/interned_equivalence.rs` proves explain reruns and the
+//!   fast/oracle pair byte-stable).
+//! * **Per-stage histograms** — `GET /metrics` exports
+//!   `wwt_stage_duration_us{stage=…}` Prometheus histograms for every
+//!   stage plus `cache_lookup` and `serialize`, fed from the stage
+//!   timings the engine already measures (cache hits tick only
+//!   `cache_lookup`, never re-observe the run that built the entry).
+//! * **Flight recorder** — the service retains the N slowest, N most
+//!   recent, and every deadline-exceeded / zero-result query with full
+//!   stage-level traces in lock-striped rings; the admin-gated
+//!   `GET /debug/slow_queries` and `GET /debug/trace/{request_id}`
+//!   routes serve them, and `flight_*` counters ride on `GET /stats`.
+//! * **Structured logs** — `wwt-serve --log-level error|warn|info|debug`
+//!   and `--log-json` (env `WWT_LOG_LEVEL` / `WWT_LOG_JSON`) drive the
+//!   std-only leveled logger ([`obs::log!`]) used by the server, the
+//!   reload thread and background compaction; lines carry the request
+//!   id where one exists.
+//!
+//! ```text
+//! $ curl -s -X POST http://127.0.0.1:7070/query \
+//!        -H 'x-request-id: demo-1' \
+//!        -d '{"query":"country | currency","options":{"explain":true}}' \
+//!   | python3 -m json.tool | grep -A4 '"trace"'
+//! $ curl -s -H 'x-admin-token: sesame' \
+//!        http://127.0.0.1:7070/debug/trace/demo-1   # retained flight record
+//! $ curl -s http://127.0.0.1:7070/metrics | grep wwt_stage_duration_us
+//! ```
 
 pub use wwt_consolidate as consolidate;
 pub use wwt_core as core;
@@ -344,6 +390,7 @@ pub use wwt_html as html;
 pub use wwt_index as index;
 pub use wwt_json as json;
 pub use wwt_model as model;
+pub use wwt_obs as obs;
 pub use wwt_server as server;
 pub use wwt_service as service;
 pub use wwt_text as text;

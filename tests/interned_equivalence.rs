@@ -54,6 +54,9 @@ fn canonical_bytes(request: &QueryRequest, engine: &Engine) -> String {
         .expect("equivalence requests carry no deadline and valid options");
     response.diagnostics.timing = Default::default();
     response.retrieval.timing = Default::default();
+    if let Some(trace) = response.diagnostics.trace.as_mut() {
+        trace.zero_timings();
+    }
     encode_response(request, &response)
 }
 
@@ -133,6 +136,7 @@ fn random_option_draws_match_the_oracle() {
                 .is_multiple_of(2)
                 .then(|| (splitmix(&mut state) as usize) % 12),
             deadline_ms: None,
+            explain: false,
         };
         let request = QueryRequest {
             query: queries[qi].clone(),
@@ -143,6 +147,41 @@ fn random_option_draws_match_the_oracle() {
             canonical_bytes(&request, &fast),
             "case {case}: option-draw drift"
         );
+    }
+}
+
+#[test]
+fn explain_traces_are_byte_stable_and_oracle_equivalent() {
+    // Explain mode attaches a trace whose `*_us` fields are the only
+    // nondeterminism; after `zero_timings` the whole wire body — spans,
+    // per-shard children, notes, and the table itself — must be stable
+    // across reruns and identical between the fast and oracle paths.
+    let (generated, queries) = corpus(2, 0.04);
+    for shards in [1usize, 2] {
+        let (fast, oracle) = engine_pair(&generated, WwtConfig::default(), shards);
+        for query in &queries {
+            let request = QueryRequest::new(query.clone()).explain(true);
+            let first = canonical_bytes(&request, &fast);
+            assert!(
+                first.contains("\"trace\""),
+                "explain responses must embed a trace"
+            );
+            assert_eq!(
+                first,
+                canonical_bytes(&request, &fast),
+                "explain rerun drift at {shards} shard(s) for {request:?}"
+            );
+            assert_eq!(
+                canonical_bytes(&request, &oracle),
+                first,
+                "explain oracle drift at {shards} shard(s) for {request:?}"
+            );
+            let plain = canonical_bytes(&QueryRequest::new(query.clone()), &fast);
+            assert!(
+                !plain.contains("\"trace\""),
+                "plain responses must stay trace-free"
+            );
+        }
     }
 }
 

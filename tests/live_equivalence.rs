@@ -157,6 +157,7 @@ fn random_option_draws_match_after_compaction() {
                 .is_multiple_of(2)
                 .then(|| (splitmix(&mut state) as usize) % 12),
             deadline_ms: None,
+            explain: false,
         };
         let request = QueryRequest {
             query: queries[qi].clone(),

@@ -126,6 +126,7 @@ fn property_loop_random_option_draws_stay_byte_identical() {
                 .is_multiple_of(2)
                 .then(|| (splitmix(&mut state) as usize) % 12),
             deadline_ms: None,
+            explain: false,
         };
         let request = QueryRequest {
             query: queries[qi].clone(),
