@@ -12,13 +12,16 @@
 //! * **cold query latency** — the first uncached `answer_query` per
 //!   workload query, end to end (probes + mapping + consolidation);
 //! * **warm query latency** — repeat runs of the same queries (CPU
-//!   caches warm, response cache *not* involved — see the
-//!   `warm_query_note` field in the artifact);
+//!   caches warm, response cache *not* involved); each query's repeats
+//!   collapse to their median so the warm series has the same sample
+//!   size as the cold one and the two medians compare like for like;
 //! * **cached query latency** — the same repeats through a
 //!   [`TableSearchService`] with its response cache, what a repeat
 //!   HTTP request actually costs;
 //! * **column-map latency** — the per-query `column_map` stage time
-//!   (median/p95), the inference-heavy slice of the pipeline;
+//!   (median/p95), the inference-heavy slice of the pipeline, plus a
+//!   `column_map_by_algorithm` breakdown (one warm pass of the workload
+//!   per inference algorithm via the per-request override);
 //! * **trace overhead** — interleaved repeats of the untraced entry
 //!   point, the disabled-trace production path, and a fully *enabled*
 //!   recording trace; `disabled_delta_pct` proves the always-present
@@ -34,6 +37,7 @@
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use wwt_core::InferenceAlgorithm;
 use wwt_corpus::{workload, CorpusConfig, CorpusGenerator};
 use wwt_engine::{Engine, EngineBuilder, QueryRequest, Trace, WwtConfig};
 use wwt_html::extract_tables;
@@ -234,22 +238,47 @@ fn main() {
         ]));
     }
 
-    // Warm repeats of the same queries. NOTE: this is the *uncached*
-    // engine path rerun with warm CPU caches — the response cache is
+    // Warm repeats of the same queries. This is the *uncached* engine
+    // path rerun with warm CPU caches — the response cache is
     // deliberately not in the loop — so warm_query tracks cold_query
-    // rather than beating it; with cold at n = n_queries and warm at
-    // n_queries * warm_reps samples, scheduler outliers can even invert
-    // the two medians. The response-cache win is measured separately as
-    // `cached_query` below.
+    // rather than beating it; the response-cache win is measured
+    // separately as `cached_query` below. Each query's repeats collapse
+    // to their median, so the warm series has n = n_queries like the
+    // cold one and scheduler outliers in any single rep can't skew the
+    // series-level comparison.
     let mut warm_us = Vec::new();
-    for _ in 0..warm_reps {
-        for spec in specs.iter().take(n_queries) {
+    for spec in specs.iter().take(n_queries) {
+        let mut reps_us = Vec::new();
+        for _ in 0..warm_reps {
             let t0 = Instant::now();
             let out = engine.answer_query(&spec.query);
-            warm_us.push(micros(t0.elapsed()));
+            reps_us.push(micros(t0.elapsed()));
             column_map_us.push(out.diagnostics.timing.column_map.as_secs_f64() * 1e6);
             std::hint::black_box(out);
         }
+        warm_us.push(median(&reps_us));
+    }
+
+    // Column-map cost per inference algorithm: one warm pass of the
+    // workload per algorithm through the per-request override, isolating
+    // what each solver adds to the stage the tentpole optimises.
+    let algorithms = [
+        InferenceAlgorithm::Independent,
+        InferenceAlgorithm::TableCentric,
+        InferenceAlgorithm::AlphaExpansion,
+        InferenceAlgorithm::BeliefPropagation,
+        InferenceAlgorithm::Trws,
+    ];
+    let mut column_map_by_algorithm = Vec::new();
+    for algorithm in algorithms {
+        let mut alg_us = Vec::new();
+        for spec in specs.iter().take(n_queries) {
+            let request = QueryRequest::new(spec.query.clone()).algorithm(algorithm);
+            let out = engine.answer(&request).expect("no deadline");
+            alg_us.push(out.diagnostics.timing.column_map.as_secs_f64() * 1e6);
+            std::hint::black_box(out);
+        }
+        column_map_by_algorithm.push((format!("{algorithm:?}"), stats_json(&alg_us)));
     }
 
     // Trace overhead, measured interleaved (each query runs the three
@@ -329,17 +358,12 @@ fn main() {
         ("probe_topk", stats_json(&probe_us)),
         ("cold_query", stats_json(&cold_us)),
         ("warm_query", stats_json(&warm_us)),
-        (
-            "warm_query_note",
-            Json::from(
-                "warm_query reruns the uncached engine path with warm CPU caches; it tracks \
-                 cold_query instead of beating it, and the sample-size mismatch (cold n = \
-                 n_queries, warm n = n_queries * warm_reps) plus scheduler outliers can invert \
-                 the medians. Response-cache wins are the cached_query series.",
-            ),
-        ),
         ("cached_query", stats_json(&cached_us)),
         ("column_map", stats_json(&column_map_us)),
+        (
+            "column_map_by_algorithm",
+            Json::obj(column_map_by_algorithm),
+        ),
         (
             "trace_overhead",
             Json::obj([

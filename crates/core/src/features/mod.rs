@@ -13,6 +13,7 @@ mod segsim;
 
 pub use pmi::pmi2;
 pub use relevance::table_relevance;
+pub(crate) use segsim::{bind_query_column, seg_and_cover_interned};
 pub use segsim::{cover, seg_sim};
 
 use wwt_model::Query;

@@ -13,7 +13,7 @@
 
 use crate::config::{MapperConfig, PartReliability, SimilarityMode};
 use crate::features::QueryColumn;
-use crate::view::TableView;
+use crate::view::{InternedFeatures, TableView};
 use wwt_text::TfIdfVector;
 
 /// Which `inSim` the segmentation uses.
@@ -126,6 +126,149 @@ fn score_split(
     let out_total: f64 = out_range.map(|i| out_score[i]).sum();
     // Eq. 1 with ‖S‖² cancelled into the out-part sum.
     Some((in_norm_sq * in_sim.clamp(0.0, 1.0) + out_total) / q.norm_sq)
+}
+
+/// A query column resolved against one table's interned vocabulary: per
+/// token, the local term id (if the table contains the token at all) plus
+/// the table-level (r,c)-independent prefix of the `outSim` soft-max.
+///
+/// `soft_max_reliability` multiplies its five miss factors in the fixed
+/// order title, context, `Hc`, `Hr`, body. The first two depend only on
+/// the (token, table) pair, so their left-to-right prefix product
+/// `((1·a)·b)` is hoisted here — the remaining factors are applied per
+/// `(r, c)` in the same order, reproducing the string path's rounding
+/// exactly.
+pub(crate) struct BoundQueryColumn {
+    /// Local term id per token position (`None` = token absent from the
+    /// table: every membership probe is false).
+    ids: Vec<Option<u32>>,
+    /// Hoisted title·context miss-product per token position.
+    tc_miss: Vec<f64>,
+    /// Frequent-body membership per token position.
+    in_body: Vec<bool>,
+}
+
+/// Resolves `q`'s tokens against `f` once per (query column, table).
+pub(crate) fn bind_query_column(
+    q: &QueryColumn,
+    f: &InternedFeatures,
+    rel: &PartReliability,
+) -> BoundQueryColumn {
+    let mut ids = Vec::with_capacity(q.tokens.len());
+    let mut tc_miss = Vec::with_capacity(q.tokens.len());
+    let mut in_body = Vec::with_capacity(q.tokens.len());
+    for tok in &q.tokens {
+        let id = f.resolve(tok);
+        let mut miss = 1.0f64;
+        let mut body = false;
+        if let Some(id) = id {
+            if f.in_title(id) {
+                miss *= 1.0 - rel.title;
+            }
+            if f.in_context(id) {
+                miss *= 1.0 - rel.context;
+            }
+            body = f.in_body(id);
+        }
+        ids.push(id);
+        tc_miss.push(miss);
+        in_body.push(body);
+    }
+    BoundQueryColumn {
+        ids,
+        tc_miss,
+        in_body,
+    }
+}
+
+/// `SegSim` and `Cover` of one (query column, table column) pair in a
+/// single fused pass over the interned features — bit-identical to
+/// calling [`seg_sim`] and [`cover`] on the string path.
+///
+/// Fusing is exact because every quantity the two scores share —
+/// out-part token scores, split enumeration and skip conditions, in-part
+/// norm, out-part sums — is kind-independent; only the in-similarity
+/// differs, and each kind's candidate-score sequence (and therefore its
+/// left-to-right `max` fold) is unchanged from the dedicated functions.
+pub(crate) fn seg_and_cover_interned(
+    q: &QueryColumn,
+    b: &BoundQueryColumn,
+    view: &TableView<'_>,
+    f: &InternedFeatures,
+    c: usize,
+    rel: &PartReliability,
+) -> (f64, f64) {
+    let m = q.tokens.len();
+    if m == 0 || q.norm_sq == 0.0 || view.n_header_rows() == 0 {
+        return (0.0, 0.0);
+    }
+    let mut best_cos: f64 = 0.0;
+    let mut best_cov: f64 = 0.0;
+    let mut out_score = vec![0.0f64; m];
+    for r in 0..view.n_header_rows() {
+        let cell = f.cell(r, c);
+        if cell.is_empty() {
+            continue;
+        }
+        for i in 0..m {
+            out_score[i] = match b.ids[i] {
+                // Absent token: the string path computes
+                // `ti·ti·(1 − 1.0)` = +0.0 exactly (ti ≥ 0).
+                None => 0.0,
+                Some(id) => {
+                    let mut miss = b.tc_miss[i];
+                    if f.in_other_header_rows(id, r, c) {
+                        miss *= 1.0 - rel.other_header_rows;
+                    }
+                    if f.in_other_columns(id, r, c) {
+                        miss *= 1.0 - rel.other_columns;
+                    }
+                    if b.in_body[i] {
+                        miss *= 1.0 - rel.body;
+                    }
+                    q.ti[i] * q.ti[i] * (1.0 - miss)
+                }
+            };
+        }
+        let mut split = |in_range: std::ops::Range<usize>, out_range: std::ops::Range<usize>| {
+            let wt = |i: usize| -> f64 {
+                match b.ids[i] {
+                    Some(id) => cell.weight(id),
+                    None => 0.0,
+                }
+            };
+            if !in_range.clone().any(|i| wt(i) != 0.0) {
+                return;
+            }
+            let in_norm_sq: f64 = q.ti[in_range.clone()].iter().map(|w| w * w).sum();
+            if in_norm_sq == 0.0 {
+                return;
+            }
+            let mut dot = 0.0;
+            for i in in_range.clone() {
+                dot += q.ti[i] * wt(i);
+            }
+            let in_cos = dot / (in_norm_sq.sqrt() * cell.norm());
+            let covered: f64 = in_range
+                .clone()
+                .filter(|&i| wt(i) != 0.0)
+                .map(|i| q.ti[i] * q.ti[i])
+                .sum();
+            let in_cov = covered / in_norm_sq;
+            let out_total: f64 = out_range.map(|i| out_score[i]).sum();
+            best_cos = best_cos.max((in_norm_sq * in_cos.clamp(0.0, 1.0) + out_total) / q.norm_sq);
+            best_cov = best_cov.max((in_norm_sq * in_cov.clamp(0.0, 1.0) + out_total) / q.norm_sq);
+        };
+        for k in 0..=m {
+            if k >= 1 {
+                split(0..k, k..m);
+            }
+            if k < m {
+                split(k..m, 0..k);
+            }
+        }
+    }
+    (best_cos, best_cov)
 }
 
 /// `1 − Π_{i: w ∈ part(i)} (1 − p_i)` over the five out-of-header parts.

@@ -24,6 +24,14 @@ pub fn solve_table(pots: &NodePotentials, m_eff: usize) -> (Vec<Label>, f64) {
     let nt = pots.n_cols();
     let q = pots.q;
     let all_nr = (vec![Label::Nr; nt], pots.all_nr_score());
+    // Exact early exit: when even the per-column upper bound on relevant
+    // labelings cannot strictly beat all-`nr`, skip the min-cost-flow
+    // solve entirely. [`NodePotentials::relevant_upper_bound`] proves the
+    // bound dominates every relevant labeling's (identically ordered)
+    // float sum, so this returns exactly what the full solve would.
+    if pots.relevant_upper_bound() <= all_nr.1 {
+        return all_nr.tap_assert(q);
+    }
     match best_relevant_labeling(pots, m_eff) {
         Some((labels, score)) if score > all_nr.1 => (labels, score),
         _ => all_nr,
@@ -181,6 +189,55 @@ mod tests {
         let p = pots(3, vec![vec![1.0, 0.0, 0.0, 0.0, 0.05]]);
         let (labels, _) = solve_table(&p, 1);
         assert_eq!(labels, vec![Label::Col(0)]);
+    }
+
+    /// The pre-early-exit reference: always runs the full solve. The
+    /// early exit must never change the answer — only skip work.
+    fn solve_table_reference(p: &NodePotentials, m_eff: usize) -> (Vec<Label>, f64) {
+        let all_nr = (vec![Label::Nr; p.n_cols()], p.all_nr_score());
+        match best_relevant_labeling(p, m_eff) {
+            Some((labels, score)) if score > all_nr.1 => (labels, score),
+            _ => all_nr,
+        }
+    }
+
+    #[test]
+    fn early_exit_is_exact_against_full_solve() {
+        // Deterministic pseudo-random instances spanning both sides of
+        // the bound, including exact-tie and NEG_INFINITY rows.
+        let mut state = 0x243f_6a88_85a3_08d3u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        for case in 0..200 {
+            let q = 1 + case % 3;
+            let nt = 1 + (case / 3) % 4;
+            let theta: Vec<Vec<f64>> = (0..nt)
+                .map(|c| {
+                    let mut row: Vec<f64> = (0..q).map(|_| next()).collect();
+                    if case % 17 == 0 && c == 0 {
+                        row[0] = f64::NEG_INFINITY;
+                    }
+                    row.push(0.0);
+                    row.push(next().abs() * 0.5);
+                    row
+                })
+                .collect();
+            let p = pots(q, theta);
+            for m_eff in 1..=q.min(nt) {
+                let fast = solve_table(&p, m_eff);
+                let reference = solve_table_reference(&p, m_eff);
+                assert_eq!(fast.0, reference.0, "case {case} m={m_eff}");
+                assert_eq!(
+                    fast.1.to_bits(),
+                    reference.1.to_bits(),
+                    "case {case} m={m_eff}"
+                );
+            }
+        }
     }
 
     #[test]

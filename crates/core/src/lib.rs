@@ -38,7 +38,8 @@ pub mod potentials;
 pub mod training;
 pub mod view;
 
+pub use colsim::{EdgeStats, PairMemo};
 pub use config::{MapperConfig, SimilarityMode, Weights};
-pub use mapper::{ColumnMapper, InferenceAlgorithm, MappingResult};
+pub use mapper::{ColumnMapper, InferenceAlgorithm, MapStats, MappingResult};
 pub use metrics::f1_error;
 pub use view::{TableFeatures, TableView};

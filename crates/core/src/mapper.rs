@@ -1,7 +1,7 @@
 //! The top-level column mapper: feature extraction → graphical model →
 //! inference → labeled tables with calibrated scores (paper §2.2.2, §3, §4).
 
-use crate::colsim::build_edges;
+use crate::colsim::{build_edges_pruned, PairMemo};
 use crate::config::MapperConfig;
 use crate::features::QueryView;
 use crate::inference::{
@@ -10,8 +10,50 @@ use crate::inference::{
 use crate::potentials::{node_potentials, NodePotentials};
 use crate::view::TableView;
 use wwt_index::DocSets;
-use wwt_model::{Label, Labeling, Query, WebTable};
+use wwt_model::{Label, Labeling, Query, WebTable, WwtError};
 use wwt_text::CorpusStats;
+
+/// Finite stand-in for `−∞` when the `early_exit` knob collapses a dead
+/// column's query labels: low enough that no solver ever picks the label
+/// (it drowns the `1e6` must-match bonus), finite so flow reductions and
+/// marginal softmaxes never see `∞ − ∞`.
+pub(crate) const COLLAPSE: f64 = -1.0e9;
+
+/// Counters from one mapping run, for perf observability (surfaced through
+/// diagnostics and the service stats endpoint; never wire-encoded in query
+/// responses).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MapStats {
+    /// Column pairs whose exact similarity was computed during edge
+    /// construction.
+    pub edge_pairs_scored: u64,
+    /// Column pairs skipped by the content-signature index (similarity
+    /// provably zero).
+    pub edge_pairs_skipped: u64,
+    /// Column pairs replayed from the engine's cross-query pair memo.
+    pub edge_pairs_memoized: u64,
+    /// Tables whose relevant upper bound could not beat all-`nr` (the
+    /// always-on exact solver early exit fires for these under
+    /// independent inference).
+    pub early_exit_tables: u64,
+    /// Tables excluded from edge construction by the `early_exit` knob.
+    pub pruned_tables: u64,
+    /// Zero-similarity columns whose query labels the `early_exit` knob
+    /// collapsed.
+    pub collapsed_columns: u64,
+}
+
+impl MapStats {
+    /// Accumulates another run's counters (for premap + final map totals).
+    pub fn merge(&mut self, other: &MapStats) {
+        self.edge_pairs_scored += other.edge_pairs_scored;
+        self.edge_pairs_skipped += other.edge_pairs_skipped;
+        self.edge_pairs_memoized += other.edge_pairs_memoized;
+        self.early_exit_tables += other.early_exit_tables;
+        self.pruned_tables += other.pruned_tables;
+        self.collapsed_columns += other.collapsed_columns;
+    }
+}
 
 /// Inference algorithm selection (paper Table 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -43,6 +85,8 @@ pub struct MappingResult {
     pub table_relevance: Vec<f64>,
     /// Per-column confidence flags (gate of Eq. 4).
     pub confident: Vec<Vec<bool>>,
+    /// Fast-path counters for this run.
+    pub stats: MapStats,
 }
 
 impl MappingResult {
@@ -67,6 +111,11 @@ pub struct ColumnMapper {
     pub config: MapperConfig,
     /// Inference algorithm to run.
     pub algorithm: InferenceAlgorithm,
+    /// Optional cross-query memo of per-table-pair column matchings
+    /// (see [`PairMemo`]); typically the owning engine's, shared by all
+    /// of its queries. A memo fingerprinted for different similarity
+    /// parameters is ignored.
+    pub pair_memo: Option<std::sync::Arc<PairMemo>>,
 }
 
 impl ColumnMapper {
@@ -76,6 +125,7 @@ impl ColumnMapper {
         ColumnMapper {
             config,
             algorithm: InferenceAlgorithm::default(),
+            pair_memo: None,
         }
     }
 
@@ -135,7 +185,8 @@ impl ColumnMapper {
         index: Option<&dyn DocSets>,
         threads: usize,
     ) -> MappingResult {
-        self.map_views_inner(query, views, stats, index, threads, false)
+        self.map_views_inner(query, views, stats, index, threads, false, None)
+            .expect("infallible without a cancel hook")
             .0
     }
 
@@ -152,9 +203,43 @@ impl ColumnMapper {
         index: Option<&dyn DocSets>,
         threads: usize,
     ) -> (MappingResult, Vec<std::time::Duration>) {
-        self.map_views_inner(query, views, stats, index, threads, true)
+        self.map_views_inner(query, views, stats, index, threads, true, None)
+            .expect("infallible without a cancel hook")
     }
 
+    /// [`ColumnMapper::map_views_with_threads`] with an in-stage
+    /// cancellation hook (typically a deadline check), consulted once per
+    /// view inside the node-potential batch and once per table during
+    /// edge construction. A hook that never fires is the identity: the
+    /// result is byte-identical to the uncancellable form.
+    pub fn map_views_cancellable(
+        &self,
+        query: &Query,
+        views: &[TableView<'_>],
+        stats: &CorpusStats,
+        index: Option<&dyn DocSets>,
+        threads: usize,
+        cancel: Option<&(dyn Fn() -> Result<(), WwtError> + Sync)>,
+    ) -> Result<MappingResult, WwtError> {
+        Ok(self
+            .map_views_inner(query, views, stats, index, threads, false, cancel)?
+            .0)
+    }
+
+    /// [`ColumnMapper::map_views_cancellable`] with per-view timings.
+    pub fn map_views_cancellable_timed(
+        &self,
+        query: &Query,
+        views: &[TableView<'_>],
+        stats: &CorpusStats,
+        index: Option<&dyn DocSets>,
+        threads: usize,
+        cancel: Option<&(dyn Fn() -> Result<(), WwtError> + Sync)>,
+    ) -> Result<(MappingResult, Vec<std::time::Duration>), WwtError> {
+        self.map_views_inner(query, views, stats, index, threads, true, cancel)
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn map_views_inner(
         &self,
         query: &Query,
@@ -163,46 +248,91 @@ impl ColumnMapper {
         index: Option<&dyn DocSets>,
         threads: usize,
         timed: bool,
-    ) -> (MappingResult, Vec<std::time::Duration>) {
+        cancel: Option<&(dyn Fn() -> Result<(), WwtError> + Sync)>,
+    ) -> Result<(MappingResult, Vec<std::time::Duration>), WwtError> {
         let cfg = &self.config;
         let qv = QueryView::new(query, stats);
         let q = qv.q();
-        let (pots, view_times): (Vec<NodePotentials>, Vec<std::time::Duration>) =
+        let (mut pots, view_times): (Vec<NodePotentials>, Vec<std::time::Duration>) =
             if threads <= 1 || views.len() <= 1 {
-                if timed {
-                    views
-                        .iter()
-                        .map(|v| {
-                            let t0 = std::time::Instant::now();
-                            let p = node_potentials(&qv, v, cfg, index);
-                            (p, t0.elapsed())
-                        })
-                        .unzip()
-                } else {
-                    let pots = views
-                        .iter()
-                        .map(|v| node_potentials(&qv, v, cfg, index))
-                        .collect();
-                    (pots, Vec::new())
+                let mut pots = Vec::with_capacity(views.len());
+                let mut times = Vec::new();
+                for v in views {
+                    if let Some(check) = cancel {
+                        check()?;
+                    }
+                    if timed {
+                        let t0 = std::time::Instant::now();
+                        pots.push(node_potentials(&qv, v, cfg, index));
+                        times.push(t0.elapsed());
+                    } else {
+                        pots.push(node_potentials(&qv, v, cfg, index));
+                    }
                 }
+                (pots, times)
             } else if timed {
-                wwt_pool::fan_out_timed(views.len(), threads, |i| {
-                    node_potentials(&qv, &views[i], cfg, index)
-                })
-            } else {
-                let pots = wwt_pool::fan_out(views.len(), threads, |i| {
-                    node_potentials(&qv, &views[i], cfg, index)
+                let (res, times) = wwt_pool::fan_out_timed(views.len(), threads, |i| {
+                    if let Some(check) = cancel {
+                        check()?;
+                    }
+                    Ok::<_, WwtError>(node_potentials(&qv, &views[i], cfg, index))
                 });
-                (pots, Vec::new())
+                (res.into_iter().collect::<Result<_, _>>()?, times)
+            } else {
+                let res = wwt_pool::fan_out(views.len(), threads, |i| {
+                    if let Some(check) = cancel {
+                        check()?;
+                    }
+                    Ok::<_, WwtError>(node_potentials(&qv, &views[i], cfg, index))
+                });
+                (res.into_iter().collect::<Result<_, _>>()?, Vec::new())
             };
         let m_eff: Vec<usize> = views
             .iter()
             .map(|v| cfg.effective_min_match(q, v.n_cols()))
             .collect();
 
+        let mut map_stats = MapStats {
+            early_exit_tables: pots
+                .iter()
+                .filter(|p| p.relevant_upper_bound() <= p.all_nr_score())
+                .count() as u64,
+            ..MapStats::default()
+        };
+
+        // The `early_exit` knob: collapse dead columns' query labels and
+        // drop hopeless tables from edge construction. Collapsing a row
+        // that is exactly the bias `w5` on every query label (zero
+        // similarity everywhere) leaves the relevant upper bound intact
+        // (both `w5 < 0` and `COLLAPSE` fold to the same `0.0`), so the
+        // prune decision is unaffected by collapse order.
+        let mut keep = vec![true; views.len()];
+        if cfg.early_exit {
+            for (t, p) in pots.iter_mut().enumerate() {
+                for c in 0..p.n_cols() {
+                    if p.theta[c][..q].iter().all(|&v| v == cfg.weights.w5) {
+                        for l in 0..q {
+                            p.theta[c][l] = COLLAPSE;
+                        }
+                        map_stats.collapsed_columns += 1;
+                    }
+                }
+                if p.relevant_upper_bound() <= p.all_nr_score() {
+                    keep[t] = false;
+                    map_stats.pruned_tables += 1;
+                }
+            }
+        }
+
         let needs_edges = !matches!(self.algorithm, InferenceAlgorithm::Independent);
         let edges = if needs_edges {
-            build_edges(views, cfg)
+            let mask = cfg.early_exit.then_some(keep.as_slice());
+            let (edges, estats) =
+                build_edges_pruned(views, cfg, mask, cancel, self.pair_memo.as_deref())?;
+            map_stats.edge_pairs_scored = estats.pairs_scored;
+            map_stats.edge_pairs_skipped = estats.pairs_skipped;
+            map_stats.edge_pairs_memoized = estats.pairs_memoized;
+            edges
         } else {
             Vec::new()
         };
@@ -256,8 +386,9 @@ impl ColumnMapper {
             column_probs: marginals.iter().map(|m| m.probs.clone()).collect(),
             table_relevance: marginals.iter().map(|m| m.relevance_prob).collect(),
             confident: marginals.iter().map(|m| m.confident.clone()).collect(),
+            stats: map_stats,
         };
-        (result, view_times)
+        Ok((result, view_times))
     }
 }
 
@@ -464,6 +595,111 @@ mod tests {
             for (a, b) in plain.table_relevance.iter().zip(&timed.table_relevance) {
                 assert_eq!(a.to_bits(), b.to_bits(), "t={threads}");
             }
+        }
+    }
+
+    #[test]
+    fn collapsed_label_space_reproduces_dense_solve() {
+        // The knob's collapse must be invisible whenever the dense solve
+        // would not map the dead column anyway: a row that is exactly
+        // `w5` on every query label scores worse than `na` (θ = 0), so
+        // the optimum never uses it and forcing it to COLLAPSE changes
+        // neither labels nor score bits.
+        let cfg = MapperConfig::default();
+        let w5 = cfg.weights.w5;
+        let theta = vec![
+            vec![1.0, -0.3, 0.0, 0.1],
+            vec![w5, w5, 0.0, 0.05], // dead column: zero similarity
+            vec![-0.3, 1.0, 0.0, 0.1],
+        ];
+        let dense = NodePotentials {
+            q: 2,
+            theta: theta.clone(),
+            relevance: 0.5,
+        };
+        let mut collapsed_theta = theta;
+        for l in 0..2 {
+            collapsed_theta[1][l] = COLLAPSE;
+        }
+        let collapsed = NodePotentials {
+            q: 2,
+            theta: collapsed_theta,
+            relevance: 0.5,
+        };
+        for m_eff in 1..=2 {
+            let a = solve_table(&dense, m_eff);
+            let b = solve_table(&collapsed, m_eff);
+            assert_eq!(a.0, b.0, "m={m_eff}");
+            assert_eq!(a.1.to_bits(), b.1.to_bits(), "m={m_eff}");
+        }
+    }
+
+    #[test]
+    fn early_exit_knob_preserves_labelings_on_separable_corpus() {
+        // The currency table maps; the forest table shares nothing with
+        // the query (all-dead columns, prunable). The knob must not
+        // disturb the labelings of either under any algorithm.
+        let q = Query::parse("country | currency").unwrap();
+        let good = currency_table(0);
+        let bad = forest_table(1);
+        let stats = CorpusStats::new();
+        for alg in all_algorithms() {
+            let off = ColumnMapper::default().with_algorithm(alg);
+            let on = ColumnMapper::new(MapperConfig {
+                early_exit: true,
+                ..MapperConfig::default()
+            })
+            .with_algorithm(alg);
+            let r_off = off.map(&q, &[&good, &bad], &stats, None);
+            let r_on = on.map(&q, &[&good, &bad], &stats, None);
+            assert_eq!(r_off.labelings, r_on.labelings, "{alg:?}");
+            assert_eq!(r_off.stats.pruned_tables, 0, "{alg:?}");
+            assert!(r_on.stats.pruned_tables >= 1, "{alg:?} {:?}", r_on.stats);
+            assert!(
+                r_on.stats.collapsed_columns >= 3,
+                "{alg:?} {:?}",
+                r_on.stats
+            );
+            assert!(r_on.table_relevance[0] > r_on.table_relevance[1], "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn cancellation_propagates_from_potentials_batch() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let q = Query::parse("country | currency").unwrap();
+        let tables = [currency_table(0), forest_table(1), currency_table(2)];
+        let refs: Vec<&WebTable> = tables.iter().collect();
+        let stats = CorpusStats::new();
+        let mapper = ColumnMapper::default();
+        let views: Vec<crate::view::TableView<'_>> = refs
+            .iter()
+            .map(|t| crate::view::TableView::new(t, &stats, mapper.config.body_freq_frac))
+            .collect();
+        let calls = AtomicUsize::new(0);
+        let cancel = || {
+            if calls.fetch_add(1, Ordering::SeqCst) >= 1 {
+                Err(WwtError::DeadlineExceeded("column mapping".into()))
+            } else {
+                Ok(())
+            }
+        };
+        for threads in [1usize, 4] {
+            calls.store(0, Ordering::SeqCst);
+            let r = mapper.map_views_cancellable(&q, &views, &stats, None, threads, Some(&cancel));
+            assert!(
+                matches!(r, Err(WwtError::DeadlineExceeded(_))),
+                "t={threads}"
+            );
+        }
+        // A hook that never fires is the identity.
+        let ok = mapper
+            .map_views_cancellable(&q, &views, &stats, None, 1, Some(&|| Ok(())))
+            .unwrap();
+        let plain = mapper.map_views(&q, &views, &stats, None);
+        assert_eq!(ok.labelings, plain.labelings);
+        for (a, b) in ok.table_relevance.iter().zip(&plain.table_relevance) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

@@ -9,9 +9,34 @@
 //! The negative bias `w5` disallows query-column maps justified only by
 //! tiny similarities; the `nr` potential rewards marking a table irrelevant
 //! when little of the query is covered (`R` low).
+//!
+//! # The bind-time fast path
+//!
+//! Evaluated naively, Eq. 3 runs the segmented similarity **three times**
+//! per (query column, table column) pair: once inside `table_relevance`
+//! (which needs `Cover` of every pair), and once each for the `SegSim`
+//! and `Cover` terms of the θ row. When the view carries bind-time
+//! [`crate::view::InternedFeatures`], [`node_potentials`] instead
+//!
+//! 1. resolves each query token to the table-local term id once,
+//! 2. computes `SegSim` and `Cover` of every pair in **one fused pass**
+//!    (they share the split enumeration, skip conditions, and out-part
+//!    sums; only the in-similarity differs), and
+//! 3. reuses that `Cover` matrix for `R(Q,t)` with the same fold order.
+//!
+//! One pass instead of three, and every membership/weight probe inside it
+//! is an integer lookup — zero string hashing per query. The arithmetic
+//! sequence per score is unchanged, so the result is **bit-identical** to
+//! the string oracle (views built by [`TableFeatures::compute_oracle`]);
+//! `tests/interned_equivalence.rs` pins this end to end and
+//! [`tests::fast_path_matches_oracle_bitwise`] pins it per matrix entry.
+//!
+//! [`TableFeatures::compute_oracle`]: crate::view::TableFeatures::compute_oracle
 
-use crate::config::MapperConfig;
-use crate::features::{cover, pmi2, seg_sim, table_relevance, QueryView};
+use crate::config::{MapperConfig, SimilarityMode};
+use crate::features::{
+    bind_query_column, cover, pmi2, seg_and_cover_interned, seg_sim, table_relevance, QueryView,
+};
 use crate::view::TableView;
 use wwt_index::DocSets;
 use wwt_model::Label;
@@ -54,11 +79,55 @@ impl NodePotentials {
             .map(|(c, &l)| self.get(c, l))
             .sum()
     }
+
+    /// An upper bound on the score of **any relevant labeling**: per
+    /// column the best of `0` (na) and the best query-label θ, summed in
+    /// column order. Relevant labelings never use `nr`, so each column
+    /// contributes at most its bound, and because IEEE addition is
+    /// monotone the left-to-right sum of the bounds dominates the
+    /// left-to-right sum of any labeling. Hence if
+    /// `relevant_upper_bound() <= all_nr_score()`, no relevant labeling
+    /// can beat all-`nr` under the strict `>` the relevance decision
+    /// uses — [`crate::inference::solve_table`] exploits this as an
+    /// always-on, provably exact early exit.
+    pub fn relevant_upper_bound(&self) -> f64 {
+        (0..self.n_cols())
+            .map(|c| {
+                self.theta[c][..self.q]
+                    .iter()
+                    .copied()
+                    .fold(0.0f64, f64::max)
+            })
+            .sum()
+    }
 }
 
 /// Computes Eq. 3 for every column of `view`. `index` enables the PMI²
 /// term when [`MapperConfig::use_pmi`] is set.
+///
+/// Views carrying interned bind-time features take the fused fast path;
+/// all others run the original string oracle. Both produce bit-identical
+/// potentials (see the module docs).
 pub fn node_potentials(
+    qv: &QueryView,
+    view: &TableView<'_>,
+    cfg: &MapperConfig,
+    index: Option<&dyn DocSets>,
+) -> NodePotentials {
+    if cfg.similarity == SimilarityMode::Segmented {
+        if let Some(f) = view.interned() {
+            if f.supports_potentials() {
+                return node_potentials_fast(qv, view, cfg, index);
+            }
+        }
+    }
+    node_potentials_oracle(qv, view, cfg, index)
+}
+
+/// The original string-path implementation — the oracle the fast path is
+/// pinned against (kept verbatim; also serves `SimilarityMode::Unsegmented`
+/// and views without interned features).
+pub fn node_potentials_oracle(
     qv: &QueryView,
     view: &TableView<'_>,
     cfg: &MapperConfig,
@@ -74,6 +143,77 @@ pub fn node_potentials(
             let mut row = Vec::with_capacity(q + 2);
             for qc in &qv.columns {
                 let mut score = w.w1 * seg_sim(qc, view, c, cfg) + w.w2 * cover(qc, view, c, cfg);
+                if cfg.use_pmi {
+                    if let Some(idx) = index {
+                        score += w.w3 * pmi2(qc, view, c, idx);
+                    }
+                }
+                row.push(score + w.w5);
+            }
+            row.push(0.0); // na
+            row.push(nr_pot); // nr
+            row
+        })
+        .collect();
+    NodePotentials {
+        q,
+        theta,
+        relevance,
+    }
+}
+
+/// The fused interned fast path: one `SegSim`+`Cover` pass per pair, the
+/// `Cover` matrix shared with `R(Q,t)`. Requires
+/// `view.interned().is_some_and(|f| f.supports_potentials())` and
+/// segmented similarity (the caller dispatches).
+fn node_potentials_fast(
+    qv: &QueryView,
+    view: &TableView<'_>,
+    cfg: &MapperConfig,
+    index: Option<&dyn DocSets>,
+) -> NodePotentials {
+    let f = view
+        .interned()
+        .expect("fast path requires interned features");
+    let q = qv.q();
+    let nt = view.n_cols();
+    let rel = &cfg.reliability;
+    let bound: Vec<_> = qv
+        .columns
+        .iter()
+        .map(|qc| bind_query_column(qc, f, rel))
+        .collect();
+    // seg[qc][c] / cov[qc][c] in one fused pass per pair.
+    let mut seg = vec![vec![0.0f64; nt]; q];
+    let mut cov = vec![vec![0.0f64; nt]; q];
+    for (i, qc) in qv.columns.iter().enumerate() {
+        for c in 0..nt {
+            let (s, v) = seg_and_cover_interned(qc, &bound[i], view, f, c, rel);
+            seg[i][c] = s;
+            cov[i][c] = v;
+        }
+    }
+    // R(Q,t) from the shared Cover matrix — fold order identical to
+    // `table_relevance` (per query column: max over table columns in
+    // column order; then summed in query-column order).
+    let relevance = if q == 0 {
+        0.0
+    } else {
+        let total: f64 = cov
+            .iter()
+            .map(|row| row.iter().copied().fold(0.0, f64::max))
+            .sum();
+        let bar = (q as f64).min(1.5);
+        let clipped = if total < bar { 0.0 } else { total };
+        clipped / q as f64
+    };
+    let w = &cfg.weights;
+    let nr_pot = w.w4 * ((q.min(nt)) as f64 / nt as f64) * (1.0 - relevance);
+    let theta = (0..nt)
+        .map(|c| {
+            let mut row = Vec::with_capacity(q + 2);
+            for (i, qc) in qv.columns.iter().enumerate() {
+                let mut score = w.w1 * seg[i][c] + w.w2 * cov[i][c];
                 if cfg.use_pmi {
                     if let Some(idx) = index {
                         score += w.w3 * pmi2(qc, view, c, idx);
@@ -170,6 +310,75 @@ mod tests {
         let p_wide = pots("x | y", &wide);
         // Same R (= 0); ratio 2/3 vs 2/6.
         assert!(p_narrow.get(0, Label::Nr) > p_wide.get(0, Label::Nr));
+    }
+
+    #[test]
+    fn fast_path_matches_oracle_bitwise() {
+        // Rich table: multi-row headers, title, context, frequent body
+        // tokens — exercises every outSim part and the split loop.
+        let t = WebTable::new(
+            TableId(7),
+            "u",
+            Some("Currencies of the world".into()),
+            vec![
+                vec!["Country".into(), "Currency name".into(), "ISO".into()],
+                vec!["".into(), "official".into(), "code".into()],
+            ],
+            vec![
+                vec!["India".into(), "Indian Rupee".into(), "INR".into()],
+                vec!["Japan".into(), "Japanese Yen".into(), "JPY".into()],
+                vec!["France".into(), "Euro".into(), "EUR".into()],
+            ],
+            vec![wwt_model::ContextSnippet::new(
+                "list of official currencies by country",
+                0.9,
+            )],
+        )
+        .unwrap();
+        let cfg = MapperConfig::default();
+        let stats = CorpusStats::new();
+        for query in [
+            "country | currency",
+            "official currency name | iso code",
+            "currencies of the world",
+            "unrelated query words",
+        ] {
+            let qv = QueryView::new(&Query::parse(query).unwrap(), &stats);
+            let fast_view = TableView::new(&t, &stats, cfg.body_freq_frac);
+            let oracle_view = TableView::new_oracle(&t, &stats, cfg.body_freq_frac);
+            assert!(fast_view.interned().is_some());
+            assert!(oracle_view.interned().is_none());
+            let fast = node_potentials(&qv, &fast_view, &cfg, None);
+            let oracle = node_potentials(&qv, &oracle_view, &cfg, None);
+            assert_eq!(
+                fast.relevance.to_bits(),
+                oracle.relevance.to_bits(),
+                "{query}: relevance"
+            );
+            for (c, (fr, or)) in fast.theta.iter().zip(&oracle.theta).enumerate() {
+                for (l, (a, b)) in fr.iter().zip(or).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{query}: theta[{c}][{l}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relevant_upper_bound_dominates_labelings() {
+        let t = currency_table();
+        let p = pots("country | currency", &t);
+        let ub = p.relevant_upper_bound();
+        // Exhaustive over all labelings of 3 columns with labels
+        // {Col0, Col1, Na} (relevant labelings never use Nr).
+        let labels = [Label::Col(0), Label::Col(1), Label::Na];
+        for a in labels {
+            for b in labels {
+                for c in labels {
+                    let score = p.labeling_score(&[a, b, c]);
+                    assert!(score <= ub, "{a:?}{b:?}{c:?}: {score} > {ub}");
+                }
+            }
+        }
     }
 
     #[test]

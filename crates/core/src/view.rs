@@ -11,11 +11,173 @@
 //! without caring whether the features were precomputed or built on the
 //! spot.
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 use std::ops::Deref;
 use std::sync::Arc;
 use wwt_model::WebTable;
 use wwt_text::{normalize_cell, tokenize, CorpusStats, TfIdfVector};
+
+/// FNV-1a over the bytes of `s` — the deterministic content signature used
+/// by the edge-construction index. Equal strings always collide (that is
+/// the point); unequal strings colliding is harmless because admitted
+/// column pairs still get their exact similarity computed.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Domain tag separating header-term signatures from cell-value
+/// signatures in the shared bucket space.
+const HEADER_SIG_TAG: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// One header cell's TF-IDF vector re-keyed by table-local term ids, with
+/// the weights (and norm) **copied** from the string vector so lookups
+/// return bit-identical values.
+#[derive(Debug)]
+pub struct InternedCell {
+    /// `(term_id, weight)` sorted by id.
+    ids: Vec<(u32, f64)>,
+    /// `‖·‖` copied from [`TfIdfVector::norm`].
+    norm: f64,
+}
+
+impl InternedCell {
+    /// Weight of term `id` (0.0 when absent) — mirrors
+    /// [`TfIdfVector::weight`].
+    #[inline]
+    pub fn weight(&self, id: u32) -> f64 {
+        match self.ids.binary_search_by_key(&id, |&(i, _)| i) {
+            Ok(pos) => self.ids[pos].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Mirrors [`TfIdfVector::is_empty`].
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Mirrors [`TfIdfVector::norm`] (the value was copied at build).
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.norm
+    }
+}
+
+/// Integer mirror of the query-independent halves of `SegSim`/`Cover`,
+/// built once per table (at engine bind or live ingest) so per-query
+/// feature evaluation does **zero string hashing**.
+///
+/// Terms are interned into a *table-local* sorted vocabulary; a query
+/// token is resolved once per (query column, table) by binary search and
+/// every subsequent membership or weight probe is an integer lookup:
+///
+/// * `title`/`context`/`body` — per-term part-membership flags;
+/// * `row_cols[r]` — per term, the bitmask of columns whose row-`r`
+///   header contains it (part `Hr`: "other columns, same row");
+/// * `col_rows[c]` — per term, the bitmask of header rows of column `c`
+///   containing it (part `Hc`: "other rows, same column");
+/// * `header_cells[r][c]` — the cell's TF-IDF vector keyed by term id
+///   with weights copied verbatim from the string vector.
+///
+/// The bitmask layout requires `n_cols ≤ 64` and `n_header_rows ≤ 64`;
+/// wider tables keep `supports_potentials() == false` and take the
+/// string path (the two paths are bit-identical by construction, and the
+/// differential harness pins it).
+///
+/// Independent of the masks, `value_sigs`/`header_sigs` carry sorted
+/// FNV-1a signatures of each column's normalized cell values and header
+/// terms — the posting keys of the per-query edge-construction index
+/// ([`crate::colsim::build_edges`]).
+#[derive(Debug)]
+pub struct InternedFeatures {
+    /// Sorted distinct tokens of the table (headers ∪ title ∪ context ∪
+    /// frequent body tokens).
+    vocab: Vec<String>,
+    /// Per-term membership in the title part `T`.
+    title: Vec<bool>,
+    /// Per-term membership in the context part `C`.
+    context: Vec<bool>,
+    /// Per-term membership in the frequent-body part `B`.
+    body: Vec<bool>,
+    /// Per header row: sorted `(term_id, column bitmask)`.
+    row_cols: Vec<Vec<(u32, u64)>>,
+    /// Per column: sorted `(term_id, header-row bitmask)`.
+    col_rows: Vec<Vec<(u32, u64)>>,
+    /// Interned mirror of `header_vecs`.
+    header_cells: Vec<Vec<InternedCell>>,
+    /// True when the bitmask tables above are populated (`n_cols ≤ 64`
+    /// and `n_header_rows ≤ 64`).
+    masks_valid: bool,
+    /// Sorted FNV-1a signatures of each column's normalized cell values.
+    pub value_sigs: Vec<Vec<u64>>,
+    /// Sorted FNV-1a signatures (tagged) of each column's header terms.
+    pub header_sigs: Vec<Vec<u64>>,
+}
+
+impl InternedFeatures {
+    /// Resolves a query token to this table's local term id.
+    #[inline]
+    pub fn resolve(&self, token: &str) -> Option<u32> {
+        self.vocab
+            .binary_search_by(|v| v.as_str().cmp(token))
+            .ok()
+            .map(|i| i as u32)
+    }
+
+    /// True when the interned potential fast path may run for this table.
+    #[inline]
+    pub fn supports_potentials(&self) -> bool {
+        self.masks_valid
+    }
+
+    /// Term membership in the title part.
+    #[inline]
+    pub fn in_title(&self, id: u32) -> bool {
+        self.title[id as usize]
+    }
+
+    /// Term membership in the context part.
+    #[inline]
+    pub fn in_context(&self, id: u32) -> bool {
+        self.context[id as usize]
+    }
+
+    /// Term membership in the frequent-body part.
+    #[inline]
+    pub fn in_body(&self, id: u32) -> bool {
+        self.body[id as usize]
+    }
+
+    /// Mirrors [`TableView::in_other_header_rows`] on term ids.
+    #[inline]
+    pub fn in_other_header_rows(&self, id: u32, r: usize, c: usize) -> bool {
+        match self.col_rows[c].binary_search_by_key(&id, |&(i, _)| i) {
+            Ok(pos) => self.col_rows[c][pos].1 & !(1u64 << r) != 0,
+            Err(_) => false,
+        }
+    }
+
+    /// Mirrors [`TableView::in_other_columns`] on term ids.
+    #[inline]
+    pub fn in_other_columns(&self, id: u32, r: usize, c: usize) -> bool {
+        match self.row_cols[r].binary_search_by_key(&id, |&(i, _)| i) {
+            Ok(pos) => self.row_cols[r][pos].1 & !(1u64 << c) != 0,
+            Err(_) => false,
+        }
+    }
+
+    /// The interned header cell `(r, c)`.
+    #[inline]
+    pub fn cell(&self, r: usize, c: usize) -> &InternedCell {
+        &self.header_cells[r][c]
+    }
+}
 
 /// The precomputable, table-owned half of a [`TableView`].
 #[derive(Debug)]
@@ -38,6 +200,10 @@ pub struct TableFeatures {
     /// overlap is a sorted-merge intersection count (no per-value string
     /// hashing in the O(tables²) edge-construction loop).
     pub column_values: Vec<Vec<String>>,
+    /// The integer mirror of the fields above, present on the fast path
+    /// ([`TableFeatures::compute`]) and absent on the string-only oracle
+    /// path ([`TableFeatures::compute_oracle`]).
+    pub interned: Option<InternedFeatures>,
 }
 
 impl TableFeatures {
@@ -47,6 +213,16 @@ impl TableFeatures {
     /// bind-time precompute stand in for the per-query computation
     /// byte-for-byte.
     pub fn compute(table: &WebTable, stats: &CorpusStats, body_freq_frac: f64) -> Self {
+        let mut f = Self::compute_oracle(table, stats, body_freq_frac);
+        f.interned = Some(f.intern(table));
+        f
+    }
+
+    /// [`TableFeatures::compute`] without the interned mirror — the
+    /// string-only oracle the differential harness compares the fast
+    /// path against. Both produce identical feature values; only the
+    /// lookup machinery differs.
+    pub fn compute_oracle(table: &WebTable, stats: &CorpusStats, body_freq_frac: f64) -> Self {
         let h = table.n_header_rows();
         let nc = table.n_cols();
 
@@ -126,6 +302,116 @@ impl TableFeatures {
             context_set,
             body_frequent,
             column_values,
+            interned: None,
+        }
+    }
+
+    /// Builds the integer mirror of the already-computed string features.
+    /// Pure re-keying: every weight, norm and membership bit is derived
+    /// from (or copied out of) the string structures, never recomputed,
+    /// so integer lookups return bit-identical values.
+    fn intern(&self, table: &WebTable) -> InternedFeatures {
+        let h = table.n_header_rows();
+        let nc = table.n_cols();
+
+        let mut vocab: Vec<String> = self
+            .title_set
+            .iter()
+            .chain(self.context_set.iter())
+            .chain(self.body_frequent.iter())
+            .cloned()
+            .collect();
+        for row in &self.header_tokens {
+            for cell in row {
+                vocab.extend(cell.iter().cloned());
+            }
+        }
+        vocab.sort_unstable();
+        vocab.dedup();
+
+        let id_of = |tok: &str| -> u32 {
+            vocab
+                .binary_search_by(|v| v.as_str().cmp(tok))
+                .expect("vocab contains every table token") as u32
+        };
+        let flags = |set: &HashSet<String>| -> Vec<bool> {
+            vocab.iter().map(|t| set.contains(t)).collect()
+        };
+
+        let masks_valid = nc <= 64 && h <= 64;
+        let (mut row_cols, mut col_rows) = (Vec::new(), Vec::new());
+        if masks_valid {
+            let mut by_row: Vec<BTreeMap<u32, u64>> = vec![BTreeMap::new(); h];
+            let mut by_col: Vec<BTreeMap<u32, u64>> = vec![BTreeMap::new(); nc];
+            for r in 0..h {
+                for c in 0..nc {
+                    for tok in &self.header_tokens[r][c] {
+                        let id = id_of(tok);
+                        *by_row[r].entry(id).or_insert(0) |= 1u64 << c;
+                        *by_col[c].entry(id).or_insert(0) |= 1u64 << r;
+                    }
+                }
+            }
+            row_cols = by_row
+                .into_iter()
+                .map(|m| m.into_iter().collect())
+                .collect();
+            col_rows = by_col
+                .into_iter()
+                .map(|m| m.into_iter().collect())
+                .collect();
+        }
+
+        let header_cells: Vec<Vec<InternedCell>> = self
+            .header_vecs
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|v| {
+                        let mut ids: Vec<(u32, f64)> =
+                            v.iter().map(|(t, w)| (id_of(t), w)).collect();
+                        ids.sort_unstable_by_key(|&(i, _)| i);
+                        InternedCell {
+                            ids,
+                            norm: v.norm(),
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let value_sigs: Vec<Vec<u64>> = self
+            .column_values
+            .iter()
+            .map(|vals| {
+                let mut sigs: Vec<u64> = vals.iter().map(|v| fnv1a(v)).collect();
+                sigs.sort_unstable();
+                sigs.dedup();
+                sigs
+            })
+            .collect();
+        let header_sigs: Vec<Vec<u64>> = self
+            .column_header_vecs
+            .iter()
+            .map(|v| {
+                let mut sigs: Vec<u64> = v.iter().map(|(t, _)| fnv1a(t) ^ HEADER_SIG_TAG).collect();
+                sigs.sort_unstable();
+                sigs.dedup();
+                sigs
+            })
+            .collect();
+
+        InternedFeatures {
+            title: flags(&self.title_set),
+            context: flags(&self.context_set),
+            body: flags(&self.body_frequent),
+            vocab,
+            row_cols,
+            col_rows,
+            header_cells,
+            masks_valid,
+            value_sigs,
+            header_sigs,
         }
     }
 }
@@ -168,6 +454,21 @@ impl<'t> TableView<'t> {
         }
     }
 
+    /// Builds the view on the string-only oracle path (no interned
+    /// mirror): every feature evaluates through the original string
+    /// lookups. Used by the differential harness (and engines bound with
+    /// `precompute_views` off) to pin the fast path bit-for-bit.
+    pub fn new_oracle(table: &'t WebTable, stats: &CorpusStats, body_freq_frac: f64) -> Self {
+        TableView {
+            table,
+            feats: Feats::Owned(Box::new(TableFeatures::compute_oracle(
+                table,
+                stats,
+                body_freq_frac,
+            ))),
+        }
+    }
+
     /// A view over precomputed features ([`TableFeatures::compute`] run
     /// earlier for this exact table with the same statistics and
     /// configuration — the caller's contract).
@@ -176,6 +477,12 @@ impl<'t> TableView<'t> {
             table,
             feats: Feats::Shared(features),
         }
+    }
+
+    /// The interned fast-path mirror, when this view carries one.
+    #[inline]
+    pub fn interned(&self) -> Option<&InternedFeatures> {
+        self.deref().interned.as_ref()
     }
 
     /// Number of columns.

@@ -199,6 +199,12 @@ pub struct Engine {
     /// tables. `None` on a purely frozen engine, which then takes
     /// exactly the pre-live code paths.
     live: Option<Arc<LiveOverlay>>,
+    /// Cross-query memo of per-table-pair column matchings (edge
+    /// construction §3.3): a pair's matching is query-independent, so
+    /// every query on this engine shares one memo. Replaced — not
+    /// carried over — on live mutations, since an ingest can rebind a
+    /// table id to new content.
+    pair_memo: Arc<wwt_core::PairMemo>,
 }
 
 /// The delta segment and the bind-time state riding with it: feature
@@ -427,8 +433,16 @@ impl Engine {
         let mapper = ColumnMapper {
             config: cfg.mapper.clone(),
             algorithm: cfg.algorithm,
+            pair_memo: Some(Arc::clone(&self.pair_memo)),
         };
-        let pre = self.map_traced(&mapper, query, &tables1, trace, "column_map:premap");
+        let pre = self.map_traced(
+            &mapper,
+            query,
+            &tables1,
+            trace,
+            deadline,
+            "column_map:premap",
+        )?;
         timing.column_map += t0.elapsed();
 
         let mut seeds: Vec<usize> = (0..tables1.len())
@@ -621,7 +635,9 @@ impl Engine {
         // when the second probe contributed nothing — reuse it instead of
         // re-running the most expensive online stage (the mapper is
         // deterministic over identical inputs).
-        let mapping = if retrieval.stage2.is_empty() && premap.labelings.len() == tables.len() {
+        let premap_stats = premap.stats;
+        let reused_premap = retrieval.stage2.is_empty() && premap.labelings.len() == tables.len();
+        let mapping = if reused_premap {
             if trace.is_enabled() {
                 trace.note("column_map", "reused premap");
             }
@@ -631,11 +647,20 @@ impl Engine {
             let mapper = ColumnMapper {
                 config: cfg.mapper.clone(),
                 algorithm: cfg.algorithm,
+                pair_memo: Some(Arc::clone(&self.pair_memo)),
             };
-            let mapping = self.map_traced(&mapper, query, &tables, trace, "column_map");
+            let mapping =
+                self.map_traced(&mapper, query, &tables, trace, deadline, "column_map")?;
             timing.column_map += t0.elapsed();
             mapping
         };
+        // Diagnostics counters cover every mapper run this request made:
+        // the final map plus the premap when the latter wasn't reused
+        // (reuse would double-count the same run).
+        let mut map_stats = mapping.stats;
+        if !reused_premap {
+            map_stats.merge(&premap_stats);
+        }
 
         // Stage boundary: mapping is done; consolidation is refused on a
         // spent budget.
@@ -671,6 +696,7 @@ impl Engine {
             n_relevant: inputs.len(),
             rows_before_limit,
             trace: None,
+            map_stats,
         };
         Ok(QueryResponse {
             table,
@@ -686,32 +712,44 @@ impl Engine {
     /// the timed variant (identical output) and record a span carrying
     /// one child per view — a deterministic prefix in candidate order,
     /// so traces of the same request are structurally stable run to run.
+    ///
+    /// The batch runs under `deadline` with in-stage granularity: the
+    /// cancel hook is consulted once per view inside the node-potential
+    /// loop and once per table during edge construction, so a giant
+    /// candidate set cannot carry the request far past its budget
+    /// between stage boundaries (the same contract as
+    /// [`MERGE_DEADLINE_STRIDE`] in retrieval merging).
     fn map_traced(
         &self,
         mapper: &ColumnMapper,
         query: &Query,
         tables: &[&WebTable],
         trace: &Trace,
+        deadline: &Deadline,
         span_name: &'static str,
-    ) -> MappingResult {
+    ) -> Result<MappingResult, WwtError> {
         let views = self.views_for(tables);
+        let check = || deadline.check("column mapping");
+        let cancel: Option<&(dyn Fn() -> Result<(), WwtError> + Sync)> = Some(&check);
         if !trace.is_enabled() {
-            return mapper.map_views_with_threads(
+            return mapper.map_views_cancellable(
                 query,
                 &views,
                 self.index.stats(),
                 Some(self.docsets()),
                 self.map_threads,
+                cancel,
             );
         }
         let t0 = Instant::now();
-        let (mapping, view_times) = mapper.map_views_with_threads_timed(
+        let (mapping, view_times) = mapper.map_views_cancellable_timed(
             query,
             &views,
             self.index.stats(),
             Some(self.docsets()),
             self.map_threads,
-        );
+            cancel,
+        )?;
         let mut span = SpanRecord::new(span_name, t0.elapsed())
             .with_detail("views", tables.len().to_string())
             .with_detail("threads", self.map_threads.to_string());
@@ -723,14 +761,17 @@ impl Engine {
             ));
         }
         trace.push_span(span);
-        mapping
+        Ok(mapping)
     }
 
     /// Views over `tables`, reusing bind-time precomputed features when
     /// available (the common path) and computing on the spot otherwise
     /// (`precompute_views` off, or a table unknown at bind). Both paths
-    /// produce identical features — the computation is deterministic —
-    /// so answers never depend on which one ran.
+    /// produce identical answers — with `precompute_views` on, spot
+    /// views carry the same interned fast-path layout bind-time views
+    /// do; with it off, the engine stays entirely on the string oracle
+    /// path (the reference implementation equivalence tests diff
+    /// against).
     fn views_for<'t>(&self, tables: &[&'t WebTable]) -> Vec<TableView<'t>> {
         tables
             .iter()
@@ -743,21 +784,25 @@ impl Engine {
                         return TableView::with_features(t, Arc::clone(f));
                     }
                     if overlay.live.delta_table(t.id).is_some() {
-                        return TableView::new(
-                            t,
-                            self.index.stats(),
-                            self.config.mapper.body_freq_frac,
-                        );
+                        return self.spot_view(t);
                     }
                 }
                 match self.features.get(&t.id) {
                     Some(f) => TableView::with_features(t, Arc::clone(f)),
-                    None => {
-                        TableView::new(t, self.index.stats(), self.config.mapper.body_freq_frac)
-                    }
+                    None => self.spot_view(t),
                 }
             })
             .collect()
+    }
+
+    /// A view computed at query time for a table with no bind-time
+    /// features, matching the engine's configured feature flavor.
+    fn spot_view<'t>(&self, t: &'t WebTable) -> TableView<'t> {
+        if self.config.precompute_views {
+            TableView::new(t, self.index.stats(), self.config.mapper.body_freq_frac)
+        } else {
+            TableView::new_oracle(t, self.index.stats(), self.config.mapper.body_freq_frac)
+        }
     }
 
     /// One table of the live view: the delta's copy wins, tombstoned
@@ -846,6 +891,7 @@ impl Engine {
             index: Arc::new(index),
             store: Arc::new(store),
             features: Arc::new(features),
+            pair_memo: Arc::new(wwt_core::PairMemo::for_config(&config.mapper)),
             config,
             live: None,
         }
@@ -996,6 +1042,9 @@ impl Engine {
         features: HashMap<TableId, Arc<TableFeatures>>,
     ) -> Engine {
         let mut next = self.clone();
+        // A mutation can rebind a table id to different content, which
+        // would poison memoized pair matchings keyed by id: start fresh.
+        next.pair_memo = Arc::new(wwt_core::PairMemo::for_config(&self.config.mapper));
         next.live = if live.is_empty() && features.is_empty() {
             // An overlay that cancelled itself out (add then remove):
             // drop it so the engine takes the frozen-only paths again.

@@ -205,6 +205,7 @@ pub fn evaluate_query_with(
                     .cloned()
                     .unwrap_or_else(|| bound.engine.config().mapper.clone()),
                 algorithm: alg,
+                pair_memo: None,
             };
             mapper.map(query, &tables, stats, Some(index)).labelings
         }
@@ -214,6 +215,7 @@ pub fn evaluate_query_with(
             let mapper = ColumnMapper {
                 config: cfg,
                 algorithm: bound.engine.config().algorithm,
+                pair_memo: None,
             };
             mapper.map(query, &tables, stats, Some(index)).labelings
         }

@@ -39,6 +39,14 @@ pub struct QueryOptions {
     /// Off by default — a disabled trace is a no-op handle, so plain
     /// requests pay nothing.
     pub explain: bool,
+    /// Aggressive candidate pruning in the column mapper
+    /// ([`wwt_core::MapperConfig::early_exit`]): hopeless tables are
+    /// dropped from edge construction and zero-similarity columns'
+    /// query labels collapsed before message passing. **May change
+    /// results** (a pruned table can no longer be rescued by its
+    /// neighbors), so it participates in the cache fingerprint and is
+    /// excluded from the default path's byte-identity guarantee.
+    pub early_exit: bool,
 }
 
 impl QueryOptions {
@@ -69,6 +77,9 @@ impl QueryOptions {
                 )));
             }
             cfg.high_relevance = bar;
+        }
+        if self.early_exit {
+            cfg.mapper.early_exit = true;
         }
         Ok(cfg)
     }
@@ -105,6 +116,11 @@ impl QueryOptions {
             // collide with the plain entry clients expect to be
             // trace-free.
             s.push_str("explain;");
+        }
+        if self.early_exit {
+            // Pruning may change the answer, so pruned and exact
+            // responses must never share a cache entry.
+            s.push_str("ee;");
         }
         s
     }
@@ -176,6 +192,12 @@ impl QueryRequest {
         self
     }
 
+    /// Enables aggressive candidate pruning ([`QueryOptions::early_exit`]).
+    pub fn early_exit(mut self, on: bool) -> Self {
+        self.options.early_exit = on;
+        self
+    }
+
     /// The canonical cache key of this request: the normalized query
     /// (columns joined by `" | "`, as parsed) plus the options
     /// fingerprint.
@@ -207,6 +229,11 @@ pub struct QueryDiagnostics {
     /// enabled ([`QueryOptions::explain`] or a service-supplied
     /// [`wwt_obs::Trace`]). `None` costs nothing on the wire.
     pub trace: Option<TraceReport>,
+    /// Column-mapper fast-path counters (premap + final map combined).
+    /// Diagnostics-only: deliberately **not** wire-encoded in query
+    /// responses, so the default path stays byte-identical; the service
+    /// aggregates it into its stats surface instead.
+    pub map_stats: wwt_core::MapStats,
 }
 
 /// Everything the engine produces for one request.
@@ -311,6 +338,26 @@ mod tests {
         assert!(!traced.options.is_default());
         assert_ne!(plain.cache_key(), traced.cache_key());
         assert_eq!(plain.clone().explain(false).cache_key(), plain.cache_key());
+    }
+
+    #[test]
+    fn early_exit_changes_the_fingerprint_and_resolves() {
+        let plain = QueryRequest::parse("country | currency").unwrap();
+        let pruned = plain.clone().early_exit(true);
+        assert!(pruned.options.early_exit);
+        assert!(!pruned.options.is_default());
+        // Pruning may change results, so keys must not collide.
+        assert_ne!(plain.cache_key(), pruned.cache_key());
+        assert_eq!(
+            plain.clone().early_exit(false).cache_key(),
+            plain.cache_key()
+        );
+        let base = WwtConfig::default();
+        assert!(!base.mapper.early_exit);
+        let cfg = pruned.options.resolve(&base).unwrap();
+        assert!(cfg.mapper.early_exit);
+        let cfg = plain.options.resolve(&base).unwrap();
+        assert!(!cfg.mapper.early_exit);
     }
 
     #[test]

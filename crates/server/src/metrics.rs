@@ -29,6 +29,11 @@
 //! | `wwt_flight_records_total` | counter | Queries captured by the slow-query flight recorder. |
 //! | `wwt_flight_deadline_exceeded_total` | counter | Recorded queries that tripped their deadline. |
 //! | `wwt_flight_zero_results_total` | counter | Recorded queries that answered an empty table. |
+//! | `wwt_map_edge_pairs_scored_total` | counter | Column pairs exactly scored during edge construction. |
+//! | `wwt_map_edge_pairs_skipped_total` | counter | Column pairs skipped by the content-signature edge index. |
+//! | `wwt_map_edge_pairs_memoized_total` | counter | Column pairs replayed from the cross-query pair memo. |
+//! | `wwt_map_early_exit_tables_total` | counter | Tables whose relevant upper bound could not beat all-`nr`. |
+//! | `wwt_map_pruned_tables_total` | counter | Tables the `early_exit` knob excluded from edge construction. |
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -381,6 +386,36 @@ impl Metrics {
                 "counter",
                 cache.recorder.zero_results,
             ),
+            (
+                "wwt_map_edge_pairs_scored_total",
+                "Column pairs exactly scored during edge construction.",
+                "counter",
+                cache.map_edge_pairs_scored,
+            ),
+            (
+                "wwt_map_edge_pairs_skipped_total",
+                "Column pairs skipped by the content-signature edge index.",
+                "counter",
+                cache.map_edge_pairs_skipped,
+            ),
+            (
+                "wwt_map_edge_pairs_memoized_total",
+                "Column pairs replayed from the cross-query pair memo.",
+                "counter",
+                cache.map_edge_pairs_memoized,
+            ),
+            (
+                "wwt_map_early_exit_tables_total",
+                "Tables whose relevant upper bound could not beat all-nr.",
+                "counter",
+                cache.map_early_exit_tables,
+            ),
+            (
+                "wwt_map_pruned_tables_total",
+                "Tables the early_exit knob excluded from edge construction.",
+                "counter",
+                cache.map_pruned_tables,
+            ),
         ] {
             out.push_str(&format!(
                 "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
@@ -416,6 +451,11 @@ mod tests {
                 deadline_exceeded: 1,
                 zero_results: 2,
             },
+            map_edge_pairs_scored: 128,
+            map_edge_pairs_skipped: 512,
+            map_edge_pairs_memoized: 96,
+            map_early_exit_tables: 9,
+            map_pruned_tables: 4,
         }
     }
 
@@ -497,6 +537,17 @@ mod tests {
     }
 
     #[test]
+    fn mapper_fast_path_counters_render() {
+        let m = Metrics::new();
+        let text = m.render_prometheus(&cache_stats());
+        assert!(text.contains("wwt_map_edge_pairs_scored_total 128\n"));
+        assert!(text.contains("wwt_map_edge_pairs_skipped_total 512\n"));
+        assert!(text.contains("wwt_map_edge_pairs_memoized_total 96\n"));
+        assert!(text.contains("wwt_map_early_exit_tables_total 9\n"));
+        assert!(text.contains("wwt_map_pruned_tables_total 4\n"));
+    }
+
+    #[test]
     fn in_flight_gauge_tracks_and_renders() {
         let m = Metrics::new();
         m.request_started();
@@ -529,6 +580,11 @@ mod tests {
             tables_deleted: 0,
             compactions: 0,
             recorder: wwt_service::RecorderCounters::default(),
+            map_edge_pairs_scored: 0,
+            map_edge_pairs_skipped: 0,
+            map_edge_pairs_memoized: 0,
+            map_early_exit_tables: 0,
+            map_pruned_tables: 0,
         });
         assert!(text.contains("wwt_http_request_duration_seconds_count 0\n"));
         assert!(text.contains("wwt_http_request_duration_seconds_sum 0\n"));

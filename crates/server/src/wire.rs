@@ -136,6 +136,7 @@ fn options_from_json(value: &Json) -> Result<QueryOptions, ApiError> {
             "max_rows",
             "deadline_ms",
             "explain",
+            "early_exit",
         ],
     )?;
     let uint = |key: &str| -> Result<Option<usize>, ApiError> {
@@ -173,11 +174,13 @@ fn options_from_json(value: &Json) -> Result<QueryOptions, ApiError> {
             ApiError::bad_request("\"deadline_ms\" must be a non-negative integer")
         })?),
     };
-    let explain = match value.get("explain") {
-        None => false,
-        Some(v) => v
-            .as_bool()
-            .ok_or_else(|| ApiError::bad_request("\"explain\" must be a boolean"))?,
+    let flag = |key: &str| -> Result<bool, ApiError> {
+        match value.get(key) {
+            None => Ok(false),
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| ApiError::bad_request(format!("\"{key}\" must be a boolean"))),
+        }
     };
     Ok(QueryOptions {
         algorithm,
@@ -186,7 +189,8 @@ fn options_from_json(value: &Json) -> Result<QueryOptions, ApiError> {
         high_relevance,
         max_rows: uint("max_rows")?,
         deadline_ms,
-        explain,
+        explain: flag("explain")?,
+        early_exit: flag("early_exit")?,
     })
 }
 
@@ -353,6 +357,23 @@ pub fn encode_stats_with(stats: &ServiceStats, last_reload_error: Option<&str>) 
             "flight_zero_results",
             Json::from(stats.recorder.zero_results),
         ),
+        (
+            "map_edge_pairs_scored",
+            Json::from(stats.map_edge_pairs_scored),
+        ),
+        (
+            "map_edge_pairs_skipped",
+            Json::from(stats.map_edge_pairs_skipped),
+        ),
+        (
+            "map_edge_pairs_memoized",
+            Json::from(stats.map_edge_pairs_memoized),
+        ),
+        (
+            "map_early_exit_tables",
+            Json::from(stats.map_early_exit_tables),
+        ),
+        ("map_pruned_tables", Json::from(stats.map_pruned_tables)),
     ];
     if let Some(error) = last_reload_error {
         fields.push(("last_reload_error", Json::from(error)));
@@ -519,6 +540,11 @@ mod tests {
             tables_deleted: 0,
             compactions: 0,
             recorder: RecorderCounters::default(),
+            map_edge_pairs_scored: 0,
+            map_edge_pairs_skipped: 0,
+            map_edge_pairs_memoized: 0,
+            map_early_exit_tables: 0,
+            map_pruned_tables: 0,
         });
         assert!(body.contains("\"hit_rate\":0"), "{body}");
         let v = Json::parse(&body).unwrap();
@@ -548,6 +574,11 @@ mod tests {
                 deadline_exceeded: 2,
                 zero_results: 3,
             },
+            map_edge_pairs_scored: 640,
+            map_edge_pairs_skipped: 1360,
+            map_edge_pairs_memoized: 480,
+            map_early_exit_tables: 21,
+            map_pruned_tables: 8,
         });
         let v = Json::parse(&body).unwrap();
         // Pre-existing field names stay untouched (additive evolution).
@@ -580,6 +611,35 @@ mod tests {
             Some(2)
         );
         assert_eq!(v.get("flight_zero_results").and_then(Json::as_u64), Some(3));
+        assert_eq!(
+            v.get("map_edge_pairs_scored").and_then(Json::as_u64),
+            Some(640)
+        );
+        assert_eq!(
+            v.get("map_edge_pairs_skipped").and_then(Json::as_u64),
+            Some(1360)
+        );
+        assert_eq!(
+            v.get("map_edge_pairs_memoized").and_then(Json::as_u64),
+            Some(480)
+        );
+        assert_eq!(
+            v.get("map_early_exit_tables").and_then(Json::as_u64),
+            Some(21)
+        );
+        assert_eq!(v.get("map_pruned_tables").and_then(Json::as_u64), Some(8));
+    }
+
+    #[test]
+    fn early_exit_parses_and_rejects_non_bool() {
+        let req = parse_query_request(br#"{"query":"a","options":{"early_exit":true}}"#).unwrap();
+        assert!(req.options.early_exit);
+        let req = parse_query_request(br#"{"query":"a","options":{"early_exit":false}}"#).unwrap();
+        assert!(!req.options.early_exit);
+        assert!(req.options.is_default());
+        let err = parse_query_request(br#"{"query":"a","options":{"early_exit":1}}"#).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("early_exit"), "{}", err.message);
     }
 
     #[test]

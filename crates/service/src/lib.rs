@@ -120,6 +120,21 @@ pub struct ServiceStats {
     /// [`TableSearchService::answer_observed`] (queries answered via the
     /// plain [`TableSearchService::answer`] path are not recorded).
     pub recorder: RecorderCounters,
+    /// Column pairs whose exact similarity was computed during edge
+    /// construction, summed over every engine run.
+    pub map_edge_pairs_scored: u64,
+    /// Column pairs the content-signature edge index skipped (their
+    /// similarity is provably zero), summed over every engine run.
+    pub map_edge_pairs_skipped: u64,
+    /// Column pairs replayed from the engine's cross-query pair memo
+    /// instead of being recomputed, summed over every engine run.
+    pub map_edge_pairs_memoized: u64,
+    /// Tables whose relevant upper bound could not beat all-`nr` (the
+    /// exact solver early exit), summed over every engine run.
+    pub map_early_exit_tables: u64,
+    /// Tables the `early_exit` request knob excluded from edge
+    /// construction, summed over every engine run.
+    pub map_pruned_tables: u64,
 }
 
 impl ServiceStats {
@@ -154,6 +169,11 @@ pub struct TableSearchService {
     tables_ingested: AtomicU64,
     tables_deleted: AtomicU64,
     compactions: AtomicU64,
+    map_edge_pairs_scored: AtomicU64,
+    map_edge_pairs_skipped: AtomicU64,
+    map_edge_pairs_memoized: AtomicU64,
+    map_early_exit_tables: AtomicU64,
+    map_pruned_tables: AtomicU64,
     recorder: FlightRecorder,
     config: ServiceConfig,
 }
@@ -226,6 +246,11 @@ impl TableSearchService {
             tables_ingested: AtomicU64::new(0),
             tables_deleted: AtomicU64::new(0),
             compactions: AtomicU64::new(0),
+            map_edge_pairs_scored: AtomicU64::new(0),
+            map_edge_pairs_skipped: AtomicU64::new(0),
+            map_edge_pairs_memoized: AtomicU64::new(0),
+            map_early_exit_tables: AtomicU64::new(0),
+            map_pruned_tables: AtomicU64::new(0),
             recorder: FlightRecorder::new(config.recorder),
             config,
         }
@@ -519,6 +544,19 @@ impl TableSearchService {
         if matches!(result, Err(WwtError::DeadlineExceeded(_))) {
             self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
         }
+        if let Ok(response) = &result {
+            let ms = response.diagnostics.map_stats;
+            self.map_edge_pairs_scored
+                .fetch_add(ms.edge_pairs_scored, Ordering::Relaxed);
+            self.map_edge_pairs_skipped
+                .fetch_add(ms.edge_pairs_skipped, Ordering::Relaxed);
+            self.map_edge_pairs_memoized
+                .fetch_add(ms.edge_pairs_memoized, Ordering::Relaxed);
+            self.map_early_exit_tables
+                .fetch_add(ms.early_exit_tables, Ordering::Relaxed);
+            self.map_pruned_tables
+                .fetch_add(ms.pruned_tables, Ordering::Relaxed);
+        }
         result
     }
 
@@ -577,6 +615,11 @@ impl TableSearchService {
             tables_deleted: self.tables_deleted.load(Ordering::Relaxed),
             compactions: self.compactions.load(Ordering::Relaxed),
             recorder: self.recorder.counters(),
+            map_edge_pairs_scored: self.map_edge_pairs_scored.load(Ordering::Relaxed),
+            map_edge_pairs_skipped: self.map_edge_pairs_skipped.load(Ordering::Relaxed),
+            map_edge_pairs_memoized: self.map_edge_pairs_memoized.load(Ordering::Relaxed),
+            map_early_exit_tables: self.map_early_exit_tables.load(Ordering::Relaxed),
+            map_pruned_tables: self.map_pruned_tables.load(Ordering::Relaxed),
         }
     }
 

@@ -158,6 +158,7 @@ fn random_option_draws_match_after_compaction() {
                 .then(|| (splitmix(&mut state) as usize) % 12),
             deadline_ms: None,
             explain: false,
+            early_exit: splitmix(&mut state).is_multiple_of(4),
         };
         let request = QueryRequest {
             query: queries[qi].clone(),
