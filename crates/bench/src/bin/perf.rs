@@ -25,7 +25,11 @@
 //! * **trace overhead** — interleaved repeats of the untraced entry
 //!   point, the disabled-trace production path, and a fully *enabled*
 //!   recording trace; `disabled_delta_pct` proves the always-present
-//!   hooks are free when off, `enabled_delta_pct` prices `explain`.
+//!   hooks are free when off, `enabled_delta_pct` prices `explain`;
+//! * **live-ingest cost** — N single `with_table_added` calls vs one
+//!   `with_tables_added` batch over the same tables (`live_ingest` in
+//!   the artifact): the batch path pays one delta rebuild where the
+//!   sequential path pays N.
 //!
 //! Results are written as JSON to `BENCH_query_path.json` at the repo
 //! root (override with `WWT_BENCH_OUT`). `WWT_BENCH_SMOKE=1` (or a
@@ -343,6 +347,36 @@ fn main() {
         }
     }
 
+    // Live-ingest cost: applying N tables to a frozen base one
+    // `with_table_added` call at a time (each call rebuilds the delta
+    // index — O(delta) per call, quadratic over the batch) vs one
+    // `with_tables_added` batch (all set mutations, then a single delta
+    // rebuild). Both produce the same engine state; the ratio is what
+    // routing mutations through the batch apply path buys.
+    let ingest_n = (if smoke { 8 } else { 32 }).min(tables.len() / 2);
+    let (base_tables, delta_tables) = tables.split_at(tables.len() - ingest_n);
+    let base_engine = {
+        let mut b = EngineBuilder::with_config(WwtConfig::default());
+        b.add_tables(base_tables.iter().cloned());
+        b.build()
+    };
+    let t0 = Instant::now();
+    let mut sequential = base_engine.clone();
+    for t in delta_tables {
+        sequential = sequential.with_table_added(t.clone());
+    }
+    let ingest_sequential_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let batched = base_engine.with_tables_added(delta_tables.to_vec());
+    let ingest_batch_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(sequential.delta_len(), batched.delta_len());
+    std::hint::black_box((sequential, batched));
+    let ingest_speedup = if ingest_batch_ms > 0.0 {
+        ingest_sequential_ms / ingest_batch_ms
+    } else {
+        0.0
+    };
+
     let out = Json::obj([
         ("bench", Json::from("query_path")),
         ("seed", Json::from(SEED)),
@@ -374,6 +408,15 @@ fn main() {
                 ("enabled_delta_pct", Json::from(enabled_delta_pct)),
             ]),
         ),
+        (
+            "live_ingest",
+            Json::obj([
+                ("tables", Json::from(ingest_n)),
+                ("sequential_ms", Json::from(ingest_sequential_ms)),
+                ("batch_ms", Json::from(ingest_batch_ms)),
+                ("speedup", Json::from(ingest_speedup)),
+            ]),
+        ),
         ("per_query", Json::Arr(per_query)),
     ]);
     let path = std::env::var("WWT_BENCH_OUT").unwrap_or_else(|_| {
@@ -386,7 +429,9 @@ fn main() {
          {engine_bind_serial_ms:.1} ms serial) | probe_topk {:.1} us (median) | \
          cold_query {:.0} us (median) / {:.0} us (mean) | warm_query {:.0} us (median) | \
          cached_query {:.0} us (median) | column_map {:.0} us (median) / {:.0} us (p95) | \
-         trace_overhead {disabled_delta_pct:+.2}% disabled / {enabled_delta_pct:+.2}% enabled",
+         trace_overhead {disabled_delta_pct:+.2}% disabled / {enabled_delta_pct:+.2}% enabled | \
+         live_ingest x{ingest_n}: {ingest_sequential_ms:.1} ms sequential vs \
+         {ingest_batch_ms:.1} ms batched ({ingest_speedup:.1}x)",
         mean(&index_build_ms),
         engine_bind_ms,
         median(&probe_us),

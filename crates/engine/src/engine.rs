@@ -20,7 +20,8 @@ use wwt_consolidate::{consolidate, RelevantInput};
 use wwt_core::{ColumnMapper, MappingResult, TableFeatures, TableView};
 use wwt_html::extract_tables;
 use wwt_index::{
-    DocSets, LiveIndex, SearchHit, ShardedIndex, ShardedIndexBuilder, TableIndex, TableStore,
+    DocSets, JournalRecord, LiveIndex, LiveOp, SearchHit, ShardedIndex, ShardedIndexBuilder,
+    TableIndex, TableStore,
 };
 use wwt_model::{Query, TableId, WebTable, WwtError};
 use wwt_obs::{SpanRecord, Trace};
@@ -215,6 +216,18 @@ pub struct Engine {
 struct LiveOverlay {
     live: Arc<LiveIndex>,
     features: HashMap<TableId, Arc<TableFeatures>>,
+}
+
+/// One live mutation in a batch handed to
+/// [`Engine::with_mutations_applied`] — the engine-level twin of a
+/// journal record (the journal stores the serialized form, this is the
+/// applied form).
+#[derive(Debug, Clone)]
+pub enum EngineMutation {
+    /// Ingest (or replace) one table.
+    Add(WebTable),
+    /// Remove one table by id.
+    Remove(TableId),
 }
 
 // Compile-time proof that one engine can serve many threads.
@@ -953,35 +966,10 @@ impl Engine {
     /// stays `Arc`-cheap — and the returned engine answers queries over
     /// the updated corpus immediately. Cost is O(delta): the delta index
     /// is rebuilt from its (threshold-bounded) tables plus one feature
-    /// computation for the new table.
+    /// computation for the new table. A single-op batch of
+    /// [`Engine::with_mutations_applied`].
     pub fn with_table_added(&self, table: WebTable) -> Engine {
-        let id = table.id;
-        let overrides_frozen = self.store.get(id).is_some();
-        let (base_live, mut features) = match &self.live {
-            Some(o) => (
-                o.live.with_table_added(table, overrides_frozen),
-                o.features.clone(),
-            ),
-            None => (
-                LiveIndex::empty(Arc::clone(&self.index)).with_table_added(table, overrides_frozen),
-                HashMap::new(),
-            ),
-        };
-        features.remove(&id);
-        if self.config.precompute_views {
-            let t = base_live
-                .delta_table(id)
-                .expect("the table just added is in the delta");
-            features.insert(
-                id,
-                Arc::new(TableFeatures::compute(
-                    t,
-                    self.index.stats(),
-                    self.config.mapper.body_freq_frac,
-                )),
-            );
-        }
-        self.with_overlay(base_live, features)
+        self.with_mutations_applied(vec![EngineMutation::Add(table)])
     }
 
     /// A new engine with table `id` removed from the live view: dropped
@@ -997,17 +985,123 @@ impl Engine {
         if !in_delta && (!in_frozen || already_gone) {
             return None;
         }
-        let live = match &self.live {
-            Some(o) => o.live.with_table_removed(id, in_frozen),
-            None => LiveIndex::empty(Arc::clone(&self.index)).with_table_removed(id, in_frozen),
+        Some(self.with_mutations_applied(vec![EngineMutation::Remove(id)]))
+    }
+
+    /// A new engine with N tables added in **one** delta rebuild — the
+    /// batch-ingest path (`POST /admin/tables/batch`). Equivalent to
+    /// folding the tables through [`Engine::with_table_added`] one at a
+    /// time, but the delta index is rebuilt once instead of N times and
+    /// the caller publishes one generation instead of N.
+    pub fn with_tables_added(&self, tables: Vec<WebTable>) -> Engine {
+        self.with_mutations_applied(tables.into_iter().map(EngineMutation::Add).collect())
+    }
+
+    /// Applies an ordered batch of live mutations with one delta rebuild
+    /// and returns the resulting engine. This is the single apply path
+    /// every live mutation goes through — single-table ingest/removal,
+    /// batch ingest, and journal replay — so the delta state is always
+    /// the same deterministic function of the logical mutation sequence,
+    /// which is what makes a replayed engine byte-identical to one that
+    /// took the same mutations live.
+    ///
+    /// Removals of ids that exist nowhere *at their position in the
+    /// batch* are skipped, matching [`Engine::with_table_removed`]
+    /// returning `None`. An empty (or all-skipped) batch returns a cheap
+    /// clone.
+    pub fn with_mutations_applied(&self, mutations: Vec<EngineMutation>) -> Engine {
+        // Pending delta membership / tombstones, tracked through the
+        // batch so each removal sees the state its predecessors left:
+        // the base overlay's view, corrected by what this batch has
+        // tombstoned (`added_tombstones`) or re-added (`revived`).
+        let mut in_delta: HashSet<TableId> = match &self.live {
+            Some(o) => o.live.delta_tables().iter().map(|t| t.id).collect(),
+            None => HashSet::new(),
         };
+        let mut added_tombstones: HashSet<TableId> = HashSet::new();
+        let mut revived: HashSet<TableId> = HashSet::new();
         let mut features = self
             .live
             .as_ref()
             .map(|o| o.features.clone())
             .unwrap_or_default();
-        features.remove(&id);
-        Some(self.with_overlay(live, features))
+        let mut ops: Vec<LiveOp> = Vec::with_capacity(mutations.len());
+        for mutation in mutations {
+            match mutation {
+                EngineMutation::Add(table) => {
+                    let id = table.id;
+                    let overrides_frozen = self.store.get(id).is_some();
+                    features.remove(&id);
+                    if self.config.precompute_views {
+                        features.insert(
+                            id,
+                            Arc::new(TableFeatures::compute(
+                                &table,
+                                self.index.stats(),
+                                self.config.mapper.body_freq_frac,
+                            )),
+                        );
+                    }
+                    in_delta.insert(id);
+                    added_tombstones.remove(&id);
+                    revived.insert(id);
+                    ops.push(LiveOp::Add {
+                        table,
+                        overrides_frozen,
+                    });
+                }
+                EngineMutation::Remove(id) => {
+                    let in_frozen = self.store.get(id).is_some();
+                    let base_tombstoned =
+                        self.live.as_ref().is_some_and(|o| o.live.is_tombstoned(id));
+                    let tombstoned = (base_tombstoned && !revived.contains(&id))
+                        || added_tombstones.contains(&id);
+                    if !in_delta.contains(&id) && (!in_frozen || tombstoned) {
+                        continue; // removing what isn't there: a no-op
+                    }
+                    features.remove(&id);
+                    in_delta.remove(&id);
+                    if in_frozen {
+                        added_tombstones.insert(id);
+                        revived.remove(&id);
+                    }
+                    ops.push(LiveOp::Remove {
+                        id,
+                        tombstone_frozen: in_frozen,
+                    });
+                }
+            }
+        }
+        if ops.is_empty() {
+            return self.clone();
+        }
+        let base_live = match &self.live {
+            Some(o) => o.live.with_ops_applied(ops),
+            None => LiveIndex::empty(Arc::clone(&self.index)).with_ops_applied(ops),
+        };
+        self.with_overlay(base_live, features)
+    }
+
+    /// Replays a journal recovered at boot over this (frozen) engine,
+    /// reconstructing the exact pre-crash logical corpus: add records
+    /// parse back through the table codec, remove records tombstone or
+    /// evict, and the whole sequence applies as one batch. The result is
+    /// byte-identical to the engine that originally took those mutations
+    /// live (`tests/crash_recovery.rs` is the differential proof).
+    pub fn with_journal_replayed(&self, records: &[JournalRecord]) -> Result<Engine, WwtError> {
+        let mut mutations = Vec::with_capacity(records.len());
+        for record in records {
+            match record {
+                JournalRecord::AddTable(line) => {
+                    let table = wwt_index::table_from_json(line.trim()).map_err(|e| {
+                        WwtError::Corrupt(format!("journal add record does not parse: {e}"))
+                    })?;
+                    mutations.push(EngineMutation::Add(table));
+                }
+                JournalRecord::RemoveTable(id) => mutations.push(EngineMutation::Remove(*id)),
+            }
+        }
+        Ok(self.with_mutations_applied(mutations))
     }
 
     /// Freezes the live delta into the main shards: rebuilds the engine
@@ -1070,13 +1164,44 @@ impl Engine {
     /// silently drop the mutations. Compact first ([`Engine::compacted`]).
     pub fn save_to_dir(&self, dir: &Path) -> Result<(), WwtError> {
         if self.is_live() {
-            return Err(WwtError::Invalid(
-                "engine has uncompacted live mutations; call compacted() before saving".into(),
-            ));
+            return Err(WwtError::Invalid(format!(
+                "engine has {} uncompacted live mutation(s); fold them first — \
+                 call compacted() (over HTTP: POST /admin/compact), or restart \
+                 with --journal so the delta replays instead of being saved",
+                self.delta_len() + self.tombstone_len()
+            )));
         }
         std::fs::create_dir_all(dir)?;
         wwt_index::persist::save_sharded(&self.index, dir)?;
         self.store.save(&dir.join("tables.jsonl"))?;
+        Ok(())
+    }
+
+    /// Persists like [`Engine::save_to_dir`], but replaces an existing
+    /// directory's files through a write-new-then-rename dance:
+    /// everything is written into a temporary subdirectory first, then
+    /// renamed over the live files one by one — data files first, the
+    /// manifest last, so a crash mid-replacement leaves a directory the
+    /// manifest's term checksum flags as inconsistent instead of one
+    /// that silently misloads. This is the "write-new, rename" half of
+    /// compaction's persist-then-truncate-journal contract.
+    pub fn save_to_dir_atomic(&self, dir: &Path) -> Result<(), WwtError> {
+        let tmp = dir.join(format!(".compact-tmp-{}", std::process::id()));
+        self.save_to_dir(&tmp)?;
+        let mut names: Vec<String> = (0..self.n_shards())
+            .map(wwt_index::persist::shard_file)
+            .collect();
+        names.push("tables.jsonl".into());
+        names.push(wwt_index::persist::MANIFEST_FILE.into());
+        for name in &names {
+            std::fs::rename(tmp.join(name), dir.join(name))?;
+        }
+        let _ = std::fs::remove_dir_all(&tmp);
+        // Best-effort directory fsync so the renames themselves are
+        // durable before the caller truncates its journal.
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
         Ok(())
     }
 

@@ -34,7 +34,7 @@ pub mod timing;
 
 pub use baselines::{baseline_map, BaselineConfig, BaselineMethod};
 pub use deadline::Deadline;
-pub use engine::{default_shards, Engine, EngineBuilder};
+pub use engine::{default_shards, Engine, EngineBuilder, EngineMutation};
 pub use evaluate::{
     bind_corpus, bind_corpus_sharded, evaluate_query, evaluate_query_with, evaluate_workload,
     evaluate_workload_with, BoundCorpus, Method, QueryEvaluation,

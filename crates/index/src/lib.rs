@@ -27,11 +27,17 @@
 //! merged statistics, total-order hit merging, consistent doc-id
 //! relabeling); [`persist::save_sharded`]/[`persist::load_sharded`]
 //! round-trip the partitioned layout through a versioned manifest.
+//!
+//! Live mutations ride [`live`] (the mutable delta segment) and are made
+//! durable by [`journal`] — a length-prefixed, checksummed write-ahead
+//! log whose reader tolerates torn tails, so acknowledged ingests
+//! survive a crash and replay at boot.
 
 pub mod builder;
 pub mod codec;
 pub(crate) mod docset_cache;
 pub mod field;
+pub mod journal;
 pub mod live;
 pub mod persist;
 pub mod search;
@@ -41,7 +47,8 @@ pub mod store;
 pub use builder::IndexBuilder;
 pub use codec::{table_from_json, table_to_json};
 pub use field::Field;
-pub use live::LiveIndex;
+pub use journal::{FsyncPolicy, Journal, JournalRecord, JournalReplay, TornTail};
+pub use live::{LiveIndex, LiveOp};
 pub use search::{DocSets, SearchHit, TableIndex};
 pub use shard::{shard_of, ShardedIndex, ShardedIndexBuilder};
 pub use store::TableStore;

@@ -7,7 +7,8 @@
 //! last compaction:
 //!
 //! * **delta tables** — newly ingested (or re-ingested) tables, indexed
-//!   in their own small [`TableIndex`] rebuilt per mutation (the delta
+//!   in their own small [`TableIndex`] rebuilt once per mutation *batch*
+//!   ([`LiveIndex::with_ops_applied`] — N ops, one rebuild; the delta
 //!   is bounded by the compaction threshold, so a rebuild is
 //!   milliseconds, not a full corpus build);
 //! * **tombstones** — frozen tables deleted since the last compaction;
@@ -44,6 +45,30 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 use wwt_model::{TableId, WebTable};
 use wwt_text::{CorpusStats, TermDict, TermId};
+
+/// One mutation in a batch handed to [`LiveIndex::with_ops_applied`].
+///
+/// The `overrides_frozen` / `tombstone_frozen` flags carry the caller's
+/// knowledge of the frozen table store (the overlay never sees it);
+/// because the frozen store is immutable between compactions, those
+/// flags depend only on the id, never on the position in the batch.
+#[derive(Debug, Clone)]
+pub enum LiveOp {
+    /// Add (or replace) one table in the delta.
+    Add {
+        /// The table to ingest.
+        table: WebTable,
+        /// Whether the frozen corpus also contains this id (shadow it).
+        overrides_frozen: bool,
+    },
+    /// Remove one table: delta eviction, frozen tombstone, or both.
+    Remove {
+        /// The id to remove.
+        id: TableId,
+        /// Whether the frozen corpus contains this id (tombstone it).
+        tombstone_frozen: bool,
+    },
+}
 
 /// A frozen [`ShardedIndex`] plus the mutable delta riding on top of it.
 #[derive(Debug)]
@@ -87,30 +112,10 @@ impl LiveIndex {
     /// owns the table store, so it makes that call — in which case the
     /// frozen copy is shadowed until compaction.
     pub fn with_table_added(&self, table: WebTable, overrides_frozen: bool) -> Self {
-        let id = table.id;
-        let mut delta_tables: Vec<WebTable> = self
-            .delta_tables
-            .iter()
-            .filter(|t| t.id != id)
-            .cloned()
-            .collect();
-        delta_tables.push(table);
-        delta_tables.sort_by_key(|t| t.id);
-        let mut tombstones = self.tombstones.clone();
-        tombstones.remove(&id); // a re-add revives a deleted id
-        let mut overridden = self.overridden.clone();
-        if overrides_frozen {
-            overridden.insert(id);
-        }
-        let refs: Vec<&WebTable> = delta_tables.iter().collect();
-        let delta = build_delta_index(&self.frozen, &refs);
-        LiveIndex {
-            frozen: Arc::clone(&self.frozen),
-            delta_tables,
-            delta,
-            tombstones,
-            overridden,
-        }
+        self.with_ops_applied(vec![LiveOp::Add {
+            table,
+            overrides_frozen,
+        }])
     }
 
     /// Removes one table: drops it from the delta if present, and
@@ -118,18 +123,54 @@ impl LiveIndex {
     /// checked the frozen store). The caller is responsible for not
     /// removing ids that exist nowhere.
     pub fn with_table_removed(&self, id: TableId, tombstone_frozen: bool) -> Self {
-        let delta_tables: Vec<WebTable> = self
-            .delta_tables
-            .iter()
-            .filter(|t| t.id != id)
-            .cloned()
-            .collect();
+        self.with_ops_applied(vec![LiveOp::Remove {
+            id,
+            tombstone_frozen,
+        }])
+    }
+
+    /// Applies a whole batch of mutations with **one** delta-index
+    /// rebuild, instead of the O(delta) rebuild every individual
+    /// mutation used to pay. The set mutations (delta membership,
+    /// tombstones, overrides) apply in batch order — so an add and a
+    /// remove of the same id interact exactly as they would applied one
+    /// by one — and the delta index is rebuilt once over the final
+    /// table set. Because the rebuilt index is a pure function of that
+    /// final set (tables sorted ascending by id), the result is
+    /// identical to folding the ops through [`Self::with_table_added`] /
+    /// [`Self::with_table_removed`] sequentially; this is what makes
+    /// journal replay reproduce the live engine byte-for-byte.
+    pub fn with_ops_applied(&self, ops: Vec<LiveOp>) -> Self {
+        let mut delta_tables = self.delta_tables.clone();
         let mut tombstones = self.tombstones.clone();
         let mut overridden = self.overridden.clone();
-        overridden.remove(&id);
-        if tombstone_frozen {
-            tombstones.insert(id);
+        for op in ops {
+            match op {
+                LiveOp::Add {
+                    table,
+                    overrides_frozen,
+                } => {
+                    let id = table.id;
+                    delta_tables.retain(|t| t.id != id);
+                    delta_tables.push(table);
+                    tombstones.remove(&id); // a re-add revives a deleted id
+                    if overrides_frozen {
+                        overridden.insert(id);
+                    }
+                }
+                LiveOp::Remove {
+                    id,
+                    tombstone_frozen,
+                } => {
+                    delta_tables.retain(|t| t.id != id);
+                    overridden.remove(&id);
+                    if tombstone_frozen {
+                        tombstones.insert(id);
+                    }
+                }
+            }
         }
+        delta_tables.sort_by_key(|t| t.id);
         let refs: Vec<&WebTable> = delta_tables.iter().collect();
         let delta = build_delta_index(&self.frozen, &refs);
         LiveIndex {
@@ -432,6 +473,55 @@ mod tests {
         assert!(!tables.contains(&TableId(2)), "tombstoned doc filtered");
         // The delta doc sits above the frozen id space.
         assert!(docs.iter().any(|&d| d >= n_frozen));
+    }
+
+    #[test]
+    fn batch_ops_match_sequential_mutations() {
+        let f = frozen(8, 2);
+        let a = table(40, "volcano,height", "volcanoes", &["etna", "3329"]);
+        let b = table(41, "volcano,height", "volcanoes", &["fuji", "3776"]);
+        let c = table(3, "volcano,height", "replacement", &["k2", "8611"]);
+        let ops = vec![
+            LiveOp::Add {
+                table: a.clone(),
+                overrides_frozen: false,
+            },
+            LiveOp::Add {
+                table: b.clone(),
+                overrides_frozen: false,
+            },
+            LiveOp::Remove {
+                id: TableId(40),
+                tombstone_frozen: false,
+            },
+            LiveOp::Remove {
+                id: TableId(1),
+                tombstone_frozen: true,
+            },
+            LiveOp::Add {
+                table: c.clone(),
+                overrides_frozen: true,
+            },
+        ];
+        let sequential = LiveIndex::empty(Arc::clone(&f))
+            .with_table_added(a, false)
+            .with_table_added(b, false)
+            .with_table_removed(TableId(40), false)
+            .with_table_removed(TableId(1), true)
+            .with_table_added(c, true);
+        let batched = LiveIndex::empty(f).with_ops_applied(ops);
+        assert_eq!(sequential.delta_len(), batched.delta_len());
+        assert_eq!(sequential.tombstone_len(), batched.tombstone_len());
+        assert_eq!(sequential.shadowed_len(), batched.shadowed_len());
+        for query in ["volcano height", "country currency", "replacement"] {
+            let x = sequential.search(&toks(query), 10);
+            let y = batched.search(&toks(query), 10);
+            assert_eq!(x.len(), y.len(), "query {query:?}");
+            for (h1, h2) in x.iter().zip(&y) {
+                assert_eq!(h1.table, h2.table);
+                assert_eq!(h1.score.to_bits(), h2.score.to_bits());
+            }
+        }
     }
 
     #[test]

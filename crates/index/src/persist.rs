@@ -13,11 +13,14 @@
 //! ```
 //!
 //! Terms are written in sorted order (the dictionary's id order), and the
-//! sharded layout's `manifest.json` (version 2) additionally persists the
-//! **global term dictionary** — the id space every shard's postings are
-//! keyed by. A version-1 manifest (pre-interning) still loads: its
-//! dictionary is rebuilt as the sorted union of the shard vocabularies,
-//! which is exactly what the freeze would have produced.
+//! sharded layout's `manifest.json` (version 3) carries the **global term
+//! dictionary's count and FNV-1a checksum** — the id space every shard's
+//! postings are keyed by is rebuilt as the sorted union of the shard
+//! vocabularies (exactly what the freeze would have produced) and
+//! verified against the digest. Version-2 manifests (which persisted the
+//! full vocabulary as JSON) verify against their stored terms, and
+//! version-1 manifests (pre-interning) rebuild unverified; both still
+//! load byte-identically.
 //!
 //! Corpus statistics are rebuilt from the postings at load time (df of a
 //! term = number of distinct docs across fields), so they are not stored.
@@ -166,12 +169,35 @@ pub const MANIFEST_FILE: &str = "manifest.json";
 
 /// Version tag written into the manifest; bumped on incompatible layout
 /// changes so an old binary fails loudly instead of misreading. Version 2
-/// added the persisted term dictionary; version-1 directories still load
-/// (the dictionary is rebuilt from the shard vocabularies).
-pub const MANIFEST_VERSION: u64 = 2;
+/// added the persisted term dictionary; version 3 replaced that
+/// full-vocabulary JSON array (O(vocabulary) manifest bytes — the PR 5
+/// known defect) with a term **count + checksum**: the dictionary is
+/// always rebuilt as the sorted union of the shard vocabularies and
+/// verified against the digest. Version-1 and version-2 directories
+/// still load byte-identically.
+pub const MANIFEST_VERSION: u64 = 3;
 
 /// Oldest manifest version this build can still read.
 pub const MANIFEST_MIN_VERSION: u64 = 1;
+
+/// Order-sensitive FNV-1a digest of a term dictionary: each term is fed
+/// length-prefixed so `["ab","c"]` and `["a","bc"]` cannot collide. The
+/// v3 manifest stores this (hex) instead of the terms themselves.
+pub fn term_dictionary_checksum<S: AsRef<str>>(terms: &[S]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut feed = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for t in terms {
+        let bytes = t.as_ref().as_bytes();
+        feed(&(bytes.len() as u32).to_le_bytes());
+        feed(bytes);
+    }
+    h
+}
 
 /// File name of shard `s`'s index inside an index directory.
 pub fn shard_file(s: usize) -> String {
@@ -179,20 +205,22 @@ pub fn shard_file(s: usize) -> String {
 }
 
 /// Persists a sharded index into `dir` (created if needed): a versioned
-/// `manifest.json` naming the layout and carrying the global term
-/// dictionary, plus one [`save`]-format `.idx` file per shard.
+/// `manifest.json` naming the layout and carrying the term dictionary's
+/// count + checksum, plus one [`save`]-format `.idx` file per shard.
 /// [`load_sharded`] reads it back.
 pub fn save_sharded(index: &crate::ShardedIndex, dir: &Path) -> Result<(), WwtError> {
     std::fs::create_dir_all(dir)?;
     for s in 0..index.n_shards() {
         save(index.shard(s), &dir.join(shard_file(s)))?;
     }
+    let terms = index.dict().terms();
     let manifest = wwt_json::Json::obj([
         ("version", wwt_json::Json::from(MANIFEST_VERSION)),
         ("shards", wwt_json::Json::from(index.n_shards())),
+        ("term_count", wwt_json::Json::from(terms.len())),
         (
-            "terms",
-            wwt_json::Json::arr(index.dict().terms().iter().map(String::as_str)),
+            "term_checksum",
+            wwt_json::Json::from(format!("{:016x}", term_dictionary_checksum(terms)).as_str()),
         ),
     ]);
     std::fs::write(dir.join(MANIFEST_FILE), manifest.encode())?;
@@ -203,9 +231,10 @@ pub fn save_sharded(index: &crate::ShardedIndex, dir: &Path) -> Result<(), WwtEr
 /// statistics (rebuilt from the postings, as in [`load`]) are merged
 /// into one global table shared by every shard, so the reloaded index
 /// scores bit-identically to the one that was saved. The term dictionary
-/// comes from a version-2 manifest, or is rebuilt as the sorted union of
-/// shard vocabularies for version-1 directories — the same ids either
-/// way.
+/// is always rebuilt as the sorted union of shard vocabularies and then
+/// verified against the manifest: count + checksum for version 3, the
+/// stored vocabulary for version 2, nothing for version 1 — the same
+/// ids every way.
 pub fn load_sharded(dir: &Path) -> Result<crate::ShardedIndex, WwtError> {
     let manifest_raw = std::fs::read_to_string(dir.join(MANIFEST_FILE))?;
     let manifest = wwt_json::Json::parse(&manifest_raw)
@@ -234,10 +263,10 @@ pub fn load_sharded(dir: &Path) -> Result<crate::ShardedIndex, WwtError> {
         })
         .collect::<Result<_, _>>()?;
     let index = crate::builder::assemble_sharded(frozen);
-    if version >= 2 {
-        // The persisted dictionary is the layout's id-space contract:
-        // the rebuilt (sorted-union) dictionary must reproduce it
-        // exactly, or the directory is inconsistent.
+    if version == 2 {
+        // The v2 manifest persisted the full dictionary as JSON; it is
+        // the layout's id-space contract, so the rebuilt (sorted-union)
+        // dictionary must reproduce it exactly.
         let terms = manifest
             .get("terms")
             .and_then(wwt_json::Json::as_arr)
@@ -251,6 +280,27 @@ pub fn load_sharded(dir: &Path) -> Result<crate::ShardedIndex, WwtError> {
             .collect::<Result<_, _>>()?;
         let rebuilt = index.dict().terms();
         if terms.len() != rebuilt.len() || terms.iter().zip(rebuilt).any(|(a, b)| *a != b) {
+            return Err(WwtError::Corrupt(
+                "manifest term dictionary disagrees with the shard vocabularies".into(),
+            ));
+        }
+    } else if version >= 3 {
+        // The v3 manifest carries the dictionary's count + checksum
+        // instead of the vocabulary itself: same consistency guarantee,
+        // O(1) manifest bytes.
+        let count = manifest
+            .get("term_count")
+            .and_then(wwt_json::Json::as_u64)
+            .ok_or_else(|| WwtError::Corrupt("v3 index manifest missing \"term_count\"".into()))?;
+        let checksum = manifest
+            .get("term_checksum")
+            .and_then(wwt_json::Json::as_str)
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+            .ok_or_else(|| {
+                WwtError::Corrupt("v3 index manifest missing hex \"term_checksum\"".into())
+            })?;
+        let rebuilt = index.dict().terms();
+        if count != rebuilt.len() as u64 || checksum != term_dictionary_checksum(rebuilt) {
             return Err(WwtError::Corrupt(
                 "manifest term dictionary disagrees with the shard vocabularies".into(),
             ));
@@ -465,6 +515,79 @@ mod tests {
     }
 
     #[test]
+    fn v2_manifest_with_full_terms_still_loads_identically() {
+        // A PR-5 era directory: same shard files, but a version-2
+        // manifest persisting the whole vocabulary as JSON. It must keep
+        // loading (and keep being verified against its stored terms).
+        let idx = sample_sharded();
+        let dir = std::env::temp_dir().join(format!("wwt_sharded_v2_{}", std::process::id()));
+        save_sharded(&idx, &dir).unwrap();
+        let manifest = wwt_json::Json::obj([
+            ("version", wwt_json::Json::from(2u64)),
+            ("shards", wwt_json::Json::from(idx.n_shards())),
+            (
+                "terms",
+                wwt_json::Json::arr(idx.dict().terms().iter().map(String::as_str)),
+            ),
+        ]);
+        std::fs::write(dir.join(MANIFEST_FILE), manifest.encode()).unwrap();
+        let restored = load_sharded(&dir).unwrap();
+        assert_eq!(restored.dict().terms(), idx.dict().terms());
+        for probe in ["common", "header2", "context words"] {
+            let toks = wwt_text::tokenize(probe);
+            let a = idx.search(&toks, 10);
+            let b = restored.search(&toks, 10);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.table, y.table);
+                assert_eq!(x.score.to_bits(), y.score.to_bits());
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v3_manifest_is_count_and_checksum_not_vocabulary() {
+        let idx = sample_sharded();
+        let dir = std::env::temp_dir().join(format!("wwt_sharded_v3_{}", std::process::id()));
+        save_sharded(&idx, &dir).unwrap();
+        let raw = std::fs::read_to_string(dir.join(MANIFEST_FILE)).unwrap();
+        let manifest = wwt_json::Json::parse(&raw).unwrap();
+        assert_eq!(
+            manifest.get("version").and_then(wwt_json::Json::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            manifest.get("term_count").and_then(wwt_json::Json::as_u64),
+            Some(idx.dict().terms().len() as u64)
+        );
+        assert!(manifest.get("terms").is_none(), "vocabulary not persisted");
+        // The manifest no longer grows with the vocabulary.
+        assert!(
+            raw.len() < 200,
+            "v3 manifest should be O(1) bytes, got {}",
+            raw.len()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn term_checksum_is_boundary_sensitive() {
+        assert_ne!(
+            term_dictionary_checksum(&["ab", "c"]),
+            term_dictionary_checksum(&["a", "bc"])
+        );
+        assert_ne!(
+            term_dictionary_checksum(&["a"]),
+            term_dictionary_checksum(&["a", "a"])
+        );
+        assert_eq!(
+            term_dictionary_checksum(&["a", "b"]),
+            term_dictionary_checksum(&["a", "b"])
+        );
+    }
+
+    #[test]
     fn sharded_load_rejects_bad_manifests() {
         let dir = std::env::temp_dir().join(format!("wwt_sharded_bad_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -491,6 +614,27 @@ mod tests {
         std::fs::write(
             dir.join(MANIFEST_FILE),
             r#"{"version":2,"shards":1,"terms":["common"]}"#,
+        )
+        .unwrap();
+        assert!(matches!(load_sharded(&dir), Err(WwtError::Corrupt(_))));
+        // A v3 manifest must carry count + checksum.
+        std::fs::write(dir.join(MANIFEST_FILE), r#"{"version":3,"shards":1}"#).unwrap();
+        assert!(matches!(load_sharded(&dir), Err(WwtError::Corrupt(_))));
+        // A v3 count that disagrees with the shard vocabularies is corrupt.
+        std::fs::write(
+            dir.join(MANIFEST_FILE),
+            r#"{"version":3,"shards":1,"term_count":1,"term_checksum":"00000000deadbeef"}"#,
+        )
+        .unwrap();
+        assert!(matches!(load_sharded(&dir), Err(WwtError::Corrupt(_))));
+        // A v3 checksum that disagrees (right count, wrong digest).
+        let idx = sample_index();
+        std::fs::write(
+            dir.join(MANIFEST_FILE),
+            format!(
+                r#"{{"version":3,"shards":1,"term_count":{},"term_checksum":"00000000deadbeef"}}"#,
+                idx.vocab_size()
+            ),
         )
         .unwrap();
         assert!(matches!(load_sharded(&dir), Err(WwtError::Corrupt(_))));

@@ -5,6 +5,7 @@
 //! wwt-serve [--addr 127.0.0.1:7070] [--scale 0.1] [--queries 8] [--workers N]
 //!           [--admin-token SECRET] [--corpus-dir DIR | --index-path DIR]
 //!           [--save-index DIR] [--build-only]
+//!           [--journal PATH] [--journal-fsync always|never]
 //! ```
 //!
 //! The engine comes from the first of: `--index-path DIR` (a directory
@@ -19,6 +20,14 @@
 //! hot-swaps the rebuilt engine while queries keep being answered; the
 //! bumped generation shows in `GET /healthz` and `GET /version`.
 //!
+//! `--journal PATH` makes live mutations durable: every accepted ingest
+//! and delete is appended (fsync'd, unless `--journal-fsync never`) to a
+//! write-ahead journal *before* the 202 is answered, and replayed over
+//! the freshly built engine at the next boot — a `kill -9` between
+//! compactions loses nothing. With `--index-path`, a successful
+//! `POST /admin/compact` persists the folded index back into that
+//! directory and truncates the journal.
+//!
 //! Every flag also reads an environment fallback (`WWT_ADDR`,
 //! `WWT_SCALE`, `WWT_QUERIES`, `WWT_SERVER_WORKERS`, `WWT_ADMIN_TOKEN`,
 //! `WWT_CORPUS_DIR`, `WWT_INDEX_PATH`, `WWT_SAVE_INDEX`). The process
@@ -32,6 +41,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use wwt_corpus::{workload, CorpusConfig, CorpusGenerator};
 use wwt_engine::{bind_corpus_sharded, Engine, WwtConfig};
+use wwt_index::{FsyncPolicy, Journal};
 use wwt_obs::{log, set_log_json, set_log_level, LogLevel};
 use wwt_server::{serve, EngineSource, ServerConfig};
 use wwt_service::TableSearchService;
@@ -81,15 +91,22 @@ fn main() {
              \x20                [--max-delta-tables N]\n\
              \x20                [--admin-token SECRET] [--corpus-dir DIR | --index-path DIR]\n\
              \x20                [--save-index DIR] [--build-only]\n\
+             \x20                [--journal PATH] [--journal-fsync always|never]\n\
              \x20                [--log-level error|warn|info|debug] [--log-json]\n\
              env fallbacks: WWT_ADDR, WWT_SCALE, WWT_QUERIES, WWT_SERVER_WORKERS,\n\
              \x20               WWT_SHARDS, WWT_MAX_CONCURRENT_QUERIES, WWT_MAX_DELTA_TABLES,\n\
              \x20               WWT_ADMIN_TOKEN, WWT_CORPUS_DIR, WWT_INDEX_PATH, WWT_SAVE_INDEX,\n\
-             \x20               WWT_LOG_LEVEL, WWT_LOG_JSON\n\
+             \x20               WWT_JOURNAL, WWT_JOURNAL_FSYNC, WWT_LOG_LEVEL, WWT_LOG_JSON\n\
              live ingest: POST /admin/tables (one table-store JSON line per request),\n\
+             \x20            POST /admin/tables/batch (JSONL: one table line per row, one\n\
+             \x20            rebuild + generation for the whole batch),\n\
              \x20            DELETE /admin/tables/ID, POST /admin/compact — all admin-gated;\n\
              \x20            --max-delta-tables N auto-compacts once the delta holds N tables\n\
              \x20            (0 = manual compaction only)\n\
+             durability: --journal PATH appends every mutation to a write-ahead journal\n\
+             \x20           (fsync'd before the 202) and replays it at boot; with\n\
+             \x20           --index-path, compaction persists the folded index and\n\
+             \x20           truncates the journal\n\
              observability: GET /metrics (per-stage histograms), POST /query with\n\
              \x20              \"options\":{{\"explain\":true}} for an inline trace, and the\n\
              \x20              admin-gated GET /debug/slow_queries, GET /debug/trace/ID"
@@ -123,6 +140,14 @@ fn main() {
     let corpus_dir = flag_or_env(&args, "--corpus-dir", "WWT_CORPUS_DIR").map(PathBuf::from);
     let index_path = flag_or_env(&args, "--index-path", "WWT_INDEX_PATH").map(PathBuf::from);
     let save_index = flag_or_env(&args, "--save-index", "WWT_SAVE_INDEX").map(PathBuf::from);
+    let journal_path = flag_or_env(&args, "--journal", "WWT_JOURNAL").map(PathBuf::from);
+    let journal_fsync = match flag_or_env(&args, "--journal-fsync", "WWT_JOURNAL_FSYNC") {
+        None => FsyncPolicy::Always,
+        Some(raw) => FsyncPolicy::parse(&raw).unwrap_or_else(|e| {
+            eprintln!("wwt-serve: --journal-fsync: {e}");
+            std::process::exit(2);
+        }),
+    };
     // Env truthiness: "0"/"false"/"" mean off, like an absent variable —
     // an env file disabling the flag must not silently enable it.
     let build_only = args.iter().any(|a| a == "--build-only")
@@ -145,7 +170,7 @@ fn main() {
         (None, None) => None,
     };
 
-    let engine = match &engine_source {
+    let mut engine = match &engine_source {
         Some(source) => {
             log!(
                 LogLevel::Info,
@@ -230,6 +255,68 @@ fn main() {
         return;
     }
 
+    // Open the journal and replay any surviving mutations over the
+    // freshly built engine: everything acknowledged before the last
+    // shutdown — or crash — is queryable again before the socket opens.
+    // (This runs after --save-index so that flag keeps persisting the
+    // frozen as-built engine.)
+    let mut journal = None;
+    if let Some(path) = &journal_path {
+        let (opened, replay) = match Journal::open(path, journal_fsync) {
+            Ok(opened) => opened,
+            Err(e) => {
+                log!(
+                    LogLevel::Error,
+                    "wwt-serve",
+                    "could not open the journal at {}: {e}",
+                    path.display()
+                );
+                std::process::exit(1);
+            }
+        };
+        if let Some(tail) = &replay.torn_tail {
+            log!(
+                LogLevel::Warn,
+                "wwt-serve",
+                "journal tail torn at byte {} ({}; {} byte(s) dropped) — \
+                 continuing with the intact prefix",
+                tail.offset,
+                tail.reason,
+                tail.dropped_bytes
+            );
+        }
+        if !replay.records.is_empty() {
+            engine = match engine.with_journal_replayed(&replay.records) {
+                Ok(engine) => engine,
+                Err(e) => {
+                    log!(
+                        LogLevel::Error,
+                        "wwt-serve",
+                        "journal replay from {} failed: {e}",
+                        path.display()
+                    );
+                    std::process::exit(1);
+                }
+            };
+            log!(
+                LogLevel::Info,
+                "wwt-serve",
+                "replayed {} journaled mutation(s): delta now {} table(s), {} tombstone(s)",
+                replay.records.len(),
+                engine.delta_len(),
+                engine.tombstone_len()
+            );
+        }
+        log!(
+            LogLevel::Info,
+            "wwt-serve",
+            "journal attached at {} (fsync: {})",
+            path.display(),
+            journal_fsync.label()
+        );
+        journal = Some(opened);
+    }
+
     let mut server_config = ServerConfig {
         addr,
         admin_token: Some(admin_token.clone()),
@@ -257,6 +344,13 @@ fn main() {
 
     let sample_query = sample_query(&engine);
     let service = Arc::new(TableSearchService::new(Arc::new(engine)));
+    if let Some(journal) = journal {
+        // Compaction may persist+truncate only when the engine source is
+        // an index directory it can fold the delta back into; a corpus
+        // or synthetic boot keeps every journal record so a rebuild
+        // replays the full mutation history.
+        service.attach_journal(journal, index_path.clone());
+    }
     let handle = match serve(service, server_config) {
         Ok(handle) => handle,
         Err(e) => {

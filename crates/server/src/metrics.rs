@@ -26,6 +26,10 @@
 //! | `wwt_tables_ingested_total` | counter | Tables accepted by live ingest since boot. |
 //! | `wwt_tables_deleted_total` | counter | Tables removed by live delete since boot. |
 //! | `wwt_compactions_total` | counter | Delta-into-frozen compactions since boot. |
+//! | `wwt_batches_ingested_total` | counter | Multi-table ingest batches accepted since boot (their tables also count in `wwt_tables_ingested_total`). |
+//! | `wwt_journal_attached` | gauge | 1 when a write-ahead journal is attached (mutations are fsync'd before the 202), else 0. |
+//! | `wwt_journal_records` | gauge | Intact mutation records currently in the journal (drops to 0 when compaction truncates it). |
+//! | `wwt_journal_bytes` | gauge | Bytes of intact records currently in the journal. |
 //! | `wwt_flight_records_total` | counter | Queries captured by the slow-query flight recorder. |
 //! | `wwt_flight_deadline_exceeded_total` | counter | Recorded queries that tripped their deadline. |
 //! | `wwt_flight_zero_results_total` | counter | Recorded queries that answered an empty table. |
@@ -69,6 +73,8 @@ pub enum Route {
     Reload,
     /// `POST /admin/tables` (live ingest).
     TablesIngest,
+    /// `POST /admin/tables/batch` (batched live ingest).
+    TablesBatch,
     /// `DELETE /admin/tables/{id}`.
     TableDelete,
     /// `POST /admin/compact`.
@@ -93,6 +99,7 @@ impl Route {
             Route::Shutdown => "shutdown",
             Route::Reload => "reload",
             Route::TablesIngest => "tables_ingest",
+            Route::TablesBatch => "tables_batch",
             Route::TableDelete => "table_delete",
             Route::Compact => "compact",
             Route::DebugSlowQueries => "debug_slow_queries",
@@ -369,6 +376,30 @@ impl Metrics {
                 cache.compactions,
             ),
             (
+                "wwt_batches_ingested_total",
+                "Multi-table ingest batches accepted since boot.",
+                "counter",
+                cache.batches_ingested,
+            ),
+            (
+                "wwt_journal_attached",
+                "1 when a write-ahead journal is attached, else 0.",
+                "gauge",
+                cache.journal_attached as u64,
+            ),
+            (
+                "wwt_journal_records",
+                "Intact mutation records currently in the write-ahead journal.",
+                "gauge",
+                cache.journal_records,
+            ),
+            (
+                "wwt_journal_bytes",
+                "Bytes of intact records currently in the write-ahead journal.",
+                "gauge",
+                cache.journal_bytes,
+            ),
+            (
                 "wwt_flight_records_total",
                 "Queries captured by the slow-query flight recorder.",
                 "counter",
@@ -446,6 +477,10 @@ mod tests {
             tables_ingested: 6,
             tables_deleted: 1,
             compactions: 3,
+            batches_ingested: 2,
+            journal_attached: true,
+            journal_records: 7,
+            journal_bytes: 1024,
             recorder: wwt_service::RecorderCounters {
                 recorded: 10,
                 deadline_exceeded: 1,
@@ -517,6 +552,18 @@ mod tests {
     }
 
     #[test]
+    fn journal_and_batch_series_render() {
+        let m = Metrics::new();
+        m.observe(Route::TablesBatch, 202, Duration::from_micros(700));
+        let text = m.render_prometheus(&cache_stats());
+        assert!(text.contains("wwt_http_requests_total{route=\"tables_batch\",code=\"202\"} 1\n"));
+        assert!(text.contains("wwt_batches_ingested_total 2\n"));
+        assert!(text.contains("wwt_journal_attached 1\n"));
+        assert!(text.contains("wwt_journal_records 7\n"));
+        assert!(text.contains("wwt_journal_bytes 1024\n"));
+    }
+
+    #[test]
     fn stage_histograms_and_flight_counters_render() {
         let m = Metrics::new();
         m.observe_stage(Stage::Probe1, Duration::from_micros(40));
@@ -579,6 +626,10 @@ mod tests {
             tables_ingested: 0,
             tables_deleted: 0,
             compactions: 0,
+            batches_ingested: 0,
+            journal_attached: false,
+            journal_records: 0,
+            journal_bytes: 0,
             recorder: wwt_service::RecorderCounters::default(),
             map_edge_pairs_scored: 0,
             map_edge_pairs_skipped: 0,

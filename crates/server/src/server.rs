@@ -550,6 +550,9 @@ fn dispatch(
         "/admin/shutdown" => Route::Shutdown,
         "/admin/reload" => Route::Reload,
         "/admin/tables" => Route::TablesIngest,
+        // The exact arm must precede the `/admin/tables/` prefix arm
+        // below, or "batch" would be parsed as a table id.
+        "/admin/tables/batch" => Route::TablesBatch,
         "/admin/compact" => Route::Compact,
         "/debug/slow_queries" => Route::DebugSlowQueries,
         path if path.starts_with("/admin/tables/") => Route::TableDelete,
@@ -568,6 +571,7 @@ fn dispatch(
         | Route::Shutdown
         | Route::Reload
         | Route::TablesIngest
+        | Route::TablesBatch
         | Route::Compact => "POST",
         Route::TableDelete => "DELETE",
         _ => "GET",
@@ -589,6 +593,7 @@ fn dispatch(
         Route::Shutdown
             | Route::Reload
             | Route::TablesIngest
+            | Route::TablesBatch
             | Route::TableDelete
             | Route::Compact
             | Route::DebugSlowQueries
@@ -721,37 +726,56 @@ fn dispatch(
                 shared.service.generation()
             ),
         ),
-        Route::Stats => (
-            route,
-            200,
-            JSON,
-            wire::encode_stats_with(
-                &shared.service.stats(),
-                shared.last_reload_error.lock().unwrap().as_deref(),
-            ),
-        ),
+        Route::Stats => {
+            let journal_path = shared.service.journal_path();
+            (
+                route,
+                200,
+                JSON,
+                wire::encode_stats_with(
+                    &shared.service.stats(),
+                    shared.last_reload_error.lock().unwrap().as_deref(),
+                    journal_path.as_deref().and_then(|p| p.to_str()),
+                ),
+            )
+        }
         Route::Metrics => (
             route,
             200,
             PROM,
             shared.metrics.render_prometheus(&shared.service.stats()),
         ),
-        Route::Version => (
-            route,
-            200,
-            JSON,
-            format!(
-                "{{\"version\":\"{}\",\"profile\":\"{}\",\"generation\":{},\"shards\":{}}}",
-                env!("CARGO_PKG_VERSION"),
-                if cfg!(debug_assertions) {
-                    "debug"
-                } else {
-                    "release"
-                },
-                shared.service.generation(),
-                shared.service.engine().n_shards()
-            ),
-        ),
+        Route::Version => {
+            // The journal path rides along (JSON-escaped — paths are
+            // operator input) so "is durability on, and where?" is
+            // answerable from the unauthenticated version probe.
+            let journal = shared
+                .service
+                .journal_path()
+                .map(|p| {
+                    format!(
+                        ",\"journal\":{}",
+                        Json::from(p.display().to_string().as_str()).encode()
+                    )
+                })
+                .unwrap_or_default();
+            (
+                route,
+                200,
+                JSON,
+                format!(
+                    "{{\"version\":\"{}\",\"profile\":\"{}\",\"generation\":{},\"shards\":{}{journal}}}",
+                    env!("CARGO_PKG_VERSION"),
+                    if cfg!(debug_assertions) {
+                        "debug"
+                    } else {
+                        "release"
+                    },
+                    shared.service.generation(),
+                    shared.service.engine().n_shards()
+                ),
+            )
+        }
         Route::Shutdown => {
             shared.begin_stop();
             (
@@ -763,6 +787,7 @@ fn dispatch(
         }
         Route::Reload => start_reload(shared),
         Route::TablesIngest => ingest_table(shared, request),
+        Route::TablesBatch => ingest_tables_batch(shared, request),
         Route::TableDelete => delete_table(shared, request),
         Route::Compact => start_compaction(shared, true),
         Route::DebugSlowQueries => slow_queries(shared),
@@ -835,17 +860,92 @@ fn ingest_table(shared: &Arc<Shared>, request: &Request) -> (Route, u16, &'stati
         }
     };
     let id = table.id.0;
-    let generation = shared.service.ingest_table(table);
-    let threshold = shared.config.max_delta_tables;
-    if threshold > 0 && shared.service.delta_len() >= threshold {
-        drop(start_compaction(shared, false));
-    }
+    // A journal-append failure refuses the mutation (500, engine
+    // untouched) — the 202 is a durability promise once a journal is
+    // attached, so it must never outrun the fsync.
+    let generation = match shared.service.ingest_table(table) {
+        Ok(generation) => generation,
+        Err(e) => {
+            let err = wire::api_error(&e);
+            return (
+                Route::TablesIngest,
+                err.status,
+                JSON,
+                wire::encode_error(&err),
+            );
+        }
+    };
+    maybe_start_auto_compaction(shared);
     (
         Route::TablesIngest,
         202,
         JSON,
         format!("{{\"status\":\"ingested\",\"table_id\":{id},\"generation\":{generation}}}"),
     )
+}
+
+/// `POST /admin/tables/batch`: parses the body as JSONL — one
+/// table-store JSON line per table, the same codec as the single-table
+/// route — and publishes every table in one delta rebuild, one journal
+/// flush, and one generation bump. All-or-nothing: a line that does not
+/// parse rejects the whole batch with 400 before the engine is touched.
+fn ingest_tables_batch(
+    shared: &Arc<Shared>,
+    request: &Request,
+) -> (Route, u16, &'static str, String) {
+    const JSON: &str = "application/json";
+    let parsed: Result<Vec<_>, String> = match std::str::from_utf8(&request.body) {
+        Ok(text) => text
+            .lines()
+            .map(str::trim)
+            .filter(|line| !line.is_empty())
+            .enumerate()
+            .map(|(i, line)| {
+                wwt_index::table_from_json(line).map_err(|e| format!("line {}: {e}", i + 1))
+            })
+            .collect(),
+        Err(_) => Err("body is not valid utf-8".to_string()),
+    };
+    let tables = match parsed {
+        Ok(tables) => tables,
+        Err(message) => {
+            let err = wire::ApiError {
+                status: 400,
+                message,
+            };
+            return (Route::TablesBatch, 400, JSON, wire::encode_error(&err));
+        }
+    };
+    let count = tables.len();
+    let generation = match shared.service.ingest_tables(tables) {
+        Ok(generation) => generation,
+        Err(e) => {
+            let err = wire::api_error(&e);
+            return (
+                Route::TablesBatch,
+                err.status,
+                JSON,
+                wire::encode_error(&err),
+            );
+        }
+    };
+    maybe_start_auto_compaction(shared);
+    (
+        Route::TablesBatch,
+        202,
+        JSON,
+        format!("{{\"status\":\"ingested\",\"tables\":{count},\"generation\":{generation}}}"),
+    )
+}
+
+/// Kicks off a background compaction when the delta has outgrown
+/// `max_delta_tables` (0 disables the trigger). Best-effort: a
+/// compaction already running just keeps running.
+fn maybe_start_auto_compaction(shared: &Arc<Shared>) {
+    let threshold = shared.config.max_delta_tables;
+    if threshold > 0 && shared.service.delta_len() >= threshold {
+        drop(start_compaction(shared, false));
+    }
 }
 
 /// `DELETE /admin/tables/{id}`: evicts a delta table or tombstones a
@@ -861,18 +961,27 @@ fn delete_table(shared: &Arc<Shared>, request: &Request) -> (Route, u16, &'stati
         return (Route::TableDelete, 400, JSON, wire::encode_error(&err));
     };
     match shared.service.remove_table(wwt_model::TableId(id)) {
-        Some(generation) => (
+        Ok(Some(generation)) => (
             Route::TableDelete,
             202,
             JSON,
             format!("{{\"status\":\"deleted\",\"table_id\":{id},\"generation\":{generation}}}"),
         ),
-        None => {
+        Ok(None) => {
             let err = wire::ApiError {
                 status: 404,
                 message: format!("no live table with id {id}"),
             };
             (Route::TableDelete, 404, JSON, wire::encode_error(&err))
+        }
+        Err(e) => {
+            let err = wire::api_error(&e);
+            (
+                Route::TableDelete,
+                err.status,
+                JSON,
+                wire::encode_error(&err),
+            )
         }
     }
 }
@@ -913,12 +1022,22 @@ fn start_compaction(shared: &Arc<Shared>, explicit: bool) -> (Route, u16, &'stat
     let spawned = std::thread::Builder::new()
         .name("wwt-compact".to_string())
         .spawn(move || {
-            let generation = worker.service.compact();
-            log!(
-                LogLevel::Info,
-                "wwt-server",
-                "delta compacted: generation {generation}"
-            );
+            // A compaction error after the swap means the folded index
+            // could not be persisted (or the journal not truncated) —
+            // the serving engine is still correct, so log and carry on;
+            // the journal keeps its records and replays at next boot.
+            match worker.service.compact() {
+                Ok(generation) => log!(
+                    LogLevel::Info,
+                    "wwt-server",
+                    "delta compacted: generation {generation}"
+                ),
+                Err(e) => log!(
+                    LogLevel::Error,
+                    "wwt-server",
+                    "compaction could not persist its result: {e}"
+                ),
+            }
             worker.compacting.store(false, Ordering::SeqCst);
         });
     if spawned.is_err() {

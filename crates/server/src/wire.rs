@@ -321,13 +321,18 @@ pub fn encode_batch_response(
 /// only ever appended — existing field names are load-bearing for
 /// dashboards.
 pub fn encode_stats(stats: &ServiceStats) -> String {
-    encode_stats_with(stats, None)
+    encode_stats_with(stats, None, None)
 }
 
 /// [`encode_stats`] plus the most recent reload failure, when one is
 /// pending — the read-only way to see why the generation never bumped
-/// (the field is absent while reloads are healthy).
-pub fn encode_stats_with(stats: &ServiceStats, last_reload_error: Option<&str>) -> String {
+/// (the field is absent while reloads are healthy) — and the attached
+/// write-ahead journal's path (absent when running without one).
+pub fn encode_stats_with(
+    stats: &ServiceStats,
+    last_reload_error: Option<&str>,
+    journal_path: Option<&str>,
+) -> String {
     let mut fields = vec![
         ("hits", Json::from(stats.hits)),
         ("misses", Json::from(stats.misses)),
@@ -348,6 +353,10 @@ pub fn encode_stats_with(stats: &ServiceStats, last_reload_error: Option<&str>) 
         ("tables_ingested", Json::from(stats.tables_ingested)),
         ("tables_deleted", Json::from(stats.tables_deleted)),
         ("compactions", Json::from(stats.compactions)),
+        ("batches_ingested", Json::from(stats.batches_ingested)),
+        ("journal_attached", Json::Bool(stats.journal_attached)),
+        ("journal_records", Json::from(stats.journal_records)),
+        ("journal_bytes", Json::from(stats.journal_bytes)),
         ("flight_records", Json::from(stats.recorder.recorded)),
         (
             "flight_deadline_exceeded",
@@ -377,6 +386,9 @@ pub fn encode_stats_with(stats: &ServiceStats, last_reload_error: Option<&str>) 
     ];
     if let Some(error) = last_reload_error {
         fields.push(("last_reload_error", Json::from(error)));
+    }
+    if let Some(path) = journal_path {
+        fields.push(("journal_path", Json::from(path)));
     }
     Json::obj(fields).encode()
 }
@@ -539,6 +551,10 @@ mod tests {
             tables_ingested: 0,
             tables_deleted: 0,
             compactions: 0,
+            batches_ingested: 0,
+            journal_attached: false,
+            journal_records: 0,
+            journal_bytes: 0,
             recorder: RecorderCounters::default(),
             map_edge_pairs_scored: 0,
             map_edge_pairs_skipped: 0,
@@ -569,6 +585,10 @@ mod tests {
             tables_ingested: 9,
             tables_deleted: 2,
             compactions: 4,
+            batches_ingested: 3,
+            journal_attached: true,
+            journal_records: 5,
+            journal_bytes: 640,
             recorder: RecorderCounters {
                 recorded: 12,
                 deadline_exceeded: 2,
@@ -628,6 +648,30 @@ mod tests {
             Some(21)
         );
         assert_eq!(v.get("map_pruned_tables").and_then(Json::as_u64), Some(8));
+        assert_eq!(v.get("batches_ingested").and_then(Json::as_u64), Some(3));
+        assert_eq!(
+            v.get("journal_attached").and_then(Json::as_bool),
+            Some(true)
+        );
+        assert_eq!(v.get("journal_records").and_then(Json::as_u64), Some(5));
+        assert_eq!(v.get("journal_bytes").and_then(Json::as_u64), Some(640));
+        // No journal path was supplied, so the field is absent — it only
+        // appears via encode_stats_with when a journal is attached.
+        assert!(v.get("journal_path").is_none());
+    }
+
+    #[test]
+    fn stats_body_carries_journal_path_when_supplied() {
+        let body = encode_stats_with(
+            &ServiceStats::default(),
+            None,
+            Some("/var/lib/wwt/journal.wal"),
+        );
+        let v = Json::parse(&body).unwrap();
+        assert_eq!(
+            v.get("journal_path").and_then(Json::as_str),
+            Some("/var/lib/wwt/journal.wal")
+        );
     }
 
     #[test]

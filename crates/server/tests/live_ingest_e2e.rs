@@ -4,10 +4,11 @@
 //! `max_delta_tables` auto-trigger) folds the delta into a fresh frozen
 //! engine — all while the admin gate keeps the routes locked down.
 
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wwt_engine::EngineBuilder;
-use wwt_index::table_to_json;
+use wwt_index::{table_to_json, FsyncPolicy, Journal};
 use wwt_model::{TableId, WebTable};
 use wwt_server::{serve, HttpClient, ServerConfig, ServerHandle};
 use wwt_service::TableSearchService;
@@ -15,13 +16,29 @@ use wwt_service::TableSearchService;
 const TOKEN: &str = "ingest-sesame";
 
 fn boot(max_delta_tables: usize) -> ServerHandle {
+    boot_with_journal(max_delta_tables, None)
+}
+
+fn boot_with_journal(max_delta_tables: usize, journal: Option<&Path>) -> ServerHandle {
     let page = "<html><body><p>countries and currency</p><table>\
          <tr><th>Country</th><th>Currency</th></tr>\
          <tr><td>India</td><td>Rupee</td></tr>\
          <tr><td>Japan</td><td>Yen</td></tr></table></body></html>";
     let mut b = EngineBuilder::new();
     b.add_html(page);
-    let service = Arc::new(TableSearchService::new(Arc::new(b.build())));
+    let mut engine = b.build();
+    let service = match journal {
+        Some(path) => {
+            let (journal, replay) = Journal::open(path, FsyncPolicy::Always).unwrap();
+            if !replay.records.is_empty() {
+                engine = engine.with_journal_replayed(&replay.records).unwrap();
+            }
+            let service = Arc::new(TableSearchService::new(Arc::new(engine)));
+            service.attach_journal(journal, None);
+            service
+        }
+        None => Arc::new(TableSearchService::new(Arc::new(engine))),
+    };
     let config = ServerConfig {
         admin_token: Some(TOKEN.to_string()),
         // Explicit pool: a single default worker on a 1-core runner lets
@@ -194,6 +211,107 @@ fn explicit_compaction_folds_the_delta_and_keeps_answers() {
     assert!(frozen_answer.contains("Etna"), "{frozen_answer}");
 
     handle.shutdown();
+}
+
+#[test]
+fn batch_ingest_is_one_generation_over_http() {
+    let handle = boot(0);
+    let addr = handle.addr();
+    let mut client = HttpClient::connect(addr).unwrap();
+
+    // JSONL body: one table-store line per table, blank lines ignored.
+    let body = format!(
+        "{}\n\n{}\n",
+        table_to_json(&volcano_table(730, "Etna")),
+        table_to_json(&volcano_table(731, "Vesuvius"))
+    );
+
+    // Same admin gate as the single-table route.
+    assert_eq!(
+        client.post("/admin/tables/batch", &body).unwrap().status,
+        403
+    );
+
+    // One 202 for the whole batch: one generation bump, both queryable.
+    let resp = client
+        .post_with_headers("/admin/tables/batch", &body, &[("x-admin-token", TOKEN)])
+        .unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.text());
+    assert!(resp.text().contains("\"tables\":2"), "{}", resp.text());
+    assert!(resp.text().contains("\"generation\":1"), "{}", resp.text());
+    let answer = client
+        .post("/query", r#"{"query":"volcano | elevation"}"#)
+        .unwrap()
+        .text();
+    assert!(answer.contains("Etna"), "{answer}");
+    assert!(answer.contains("Vesuvius"), "{answer}");
+
+    let stats = client.get("/stats").unwrap().text();
+    assert!(stats.contains("\"batches_ingested\":1"), "{stats}");
+    assert!(stats.contains("\"tables_ingested\":2"), "{stats}");
+    assert!(stats.contains("\"delta_tables\":2"), "{stats}");
+    let metrics = client.get("/metrics").unwrap().text();
+    assert!(
+        metrics.contains("wwt_batches_ingested_total 1\n"),
+        "{metrics}"
+    );
+
+    // A bad line rejects the whole batch before the engine is touched.
+    let resp = client
+        .post_with_headers(
+            "/admin/tables/batch",
+            "not json\n",
+            &[("x-admin-token", TOKEN)],
+        )
+        .unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.text());
+    assert!(resp.text().contains("line 1"), "{}", resp.text());
+    let stats = client.get("/stats").unwrap().text();
+    assert!(stats.contains("\"batches_ingested\":1"), "{stats}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn journaled_mutations_survive_a_server_restart() {
+    let dir = std::env::temp_dir().join(format!("wwt_e2e_journal_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let wal = dir.join("journal.wal");
+    let query = r#"{"query":"volcano | elevation"}"#;
+
+    // Boot 1: ingest over HTTP with a journal attached, then shut down
+    // without compacting — the delta exists only in the journal now.
+    {
+        let handle = boot_with_journal(0, Some(&wal));
+        let mut client = HttpClient::connect(handle.addr()).unwrap();
+        let body = table_to_json(&volcano_table(740, "Etna"));
+        let resp = client
+            .post_with_headers("/admin/tables", &body, &[("x-admin-token", TOKEN)])
+            .unwrap();
+        assert_eq!(resp.status, 202, "{}", resp.text());
+
+        // The journal surfaces on /stats (with its path) and /version.
+        let stats = client.get("/stats").unwrap().text();
+        assert!(stats.contains("\"journal_attached\":true"), "{stats}");
+        assert!(stats.contains("\"journal_records\":1"), "{stats}");
+        assert!(stats.contains("\"journal_path\":"), "{stats}");
+        let metrics = client.get("/metrics").unwrap().text();
+        assert!(metrics.contains("wwt_journal_attached 1\n"), "{metrics}");
+        assert!(metrics.contains("wwt_journal_records 1\n"), "{metrics}");
+        handle.shutdown();
+    }
+
+    // Boot 2: a fresh server over the same journal replays the ingest.
+    let handle = boot_with_journal(0, Some(&wal));
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+    let answer = client.post("/query", query).unwrap().text();
+    assert!(answer.contains("Etna"), "{answer}");
+    let stats = client.get("/stats").unwrap().text();
+    assert!(stats.contains("\"delta_tables\":1"), "{stats}");
+    assert!(stats.contains("\"journal_records\":1"), "{stats}");
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -35,10 +35,12 @@ mod slot;
 use cache::ShardedCache;
 use singleflight::{FlightGroup, Role};
 pub use slot::{EngineSlot, EngineSnapshot};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use wwt_engine::{Engine, QueryRequest, QueryResponse};
+use wwt_index::{table_to_json, Journal, JournalRecord};
 use wwt_model::{Query, TableId, WebTable, WwtError};
 pub use wwt_obs::{FlightRecord, QueryOutcome, RecorderConfig, RecorderCounters};
 use wwt_obs::{FlightRecorder, SpanRecord, Trace, TraceReport};
@@ -72,7 +74,7 @@ impl Default for ServiceConfig {
 }
 
 /// Serving counters, taken as a consistent-enough snapshot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Requests served from the cache.
     pub hits: u64,
@@ -116,6 +118,17 @@ pub struct ServiceStats {
     /// Delta-into-frozen compactions performed by
     /// [`TableSearchService::compact`] since startup.
     pub compactions: u64,
+    /// Batches accepted by [`TableSearchService::ingest_tables`] since
+    /// startup (each batch also counts its tables in `tables_ingested`).
+    pub batches_ingested: u64,
+    /// Whether a write-ahead journal is attached — live mutations are
+    /// fsync'd to disk before they are acknowledged and replay at boot.
+    pub journal_attached: bool,
+    /// Intact records currently in the attached journal (0 without one;
+    /// drops to 0 when compaction truncates it).
+    pub journal_records: u64,
+    /// Bytes of intact records currently in the attached journal.
+    pub journal_bytes: u64,
     /// Flight-recorder totals over every query that went through
     /// [`TableSearchService::answer_observed`] (queries answered via the
     /// plain [`TableSearchService::answer`] path are not recorded).
@@ -151,6 +164,19 @@ impl ServiceStats {
     }
 }
 
+/// The attached write-ahead journal plus the directory compaction
+/// persists the folded index into (when the engine was booted from a
+/// saved index directory).
+struct JournalState {
+    journal: Journal,
+    /// Where compaction saves the folded frozen index before truncating
+    /// the journal. `None` when the engine has no on-disk home (e.g.
+    /// booted from a raw corpus): compaction then *keeps* the journal,
+    /// because a restart rebuilds the pre-mutation corpus and needs the
+    /// full mutation history to catch up.
+    persist_dir: Option<PathBuf>,
+}
+
 /// A thread-safe table-search front end over a hot-swappable engine
 /// snapshot.
 pub struct TableSearchService {
@@ -166,9 +192,17 @@ pub struct TableSearchService {
     /// applies to the engine the previous one published. Queries never
     /// take this lock.
     live_lock: Mutex<()>,
+    /// The write-ahead journal (if attached) and where compaction
+    /// persists the folded index. Only touched under `live_lock` on the
+    /// mutation path; `stats()` reads the mirrored atomics instead.
+    journal: Mutex<Option<JournalState>>,
     tables_ingested: AtomicU64,
     tables_deleted: AtomicU64,
     compactions: AtomicU64,
+    batches_ingested: AtomicU64,
+    journal_attached: std::sync::atomic::AtomicBool,
+    journal_records: AtomicU64,
+    journal_bytes: AtomicU64,
     map_edge_pairs_scored: AtomicU64,
     map_edge_pairs_skipped: AtomicU64,
     map_edge_pairs_memoized: AtomicU64,
@@ -243,9 +277,14 @@ impl TableSearchService {
             swap_count: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
             live_lock: Mutex::new(()),
+            journal: Mutex::new(None),
             tables_ingested: AtomicU64::new(0),
             tables_deleted: AtomicU64::new(0),
             compactions: AtomicU64::new(0),
+            batches_ingested: AtomicU64::new(0),
+            journal_attached: std::sync::atomic::AtomicBool::new(false),
+            journal_records: AtomicU64::new(0),
+            journal_bytes: AtomicU64::new(0),
             map_edge_pairs_scored: AtomicU64::new(0),
             map_edge_pairs_skipped: AtomicU64::new(0),
             map_edge_pairs_memoized: AtomicU64::new(0),
@@ -301,24 +340,52 @@ impl TableSearchService {
     /// ingests/removals/compactions compose instead of clobbering each
     /// other; queries keep flowing against whichever snapshot they
     /// observed.
-    pub fn ingest_table(&self, table: WebTable) -> u64 {
+    pub fn ingest_table(&self, table: WebTable) -> Result<u64, WwtError> {
         let _guard = self.live_lock.lock().unwrap();
+        let record = JournalRecord::AddTable(table_to_json(&table));
         let next = self.engine().with_table_added(table);
+        self.journal_append(std::slice::from_ref(&record))?;
         let generation = self.reload(Arc::new(next));
         self.tables_ingested.fetch_add(1, Ordering::Relaxed);
-        generation
+        Ok(generation)
+    }
+
+    /// Ingests a whole batch of tables with **one** delta rebuild, one
+    /// journal flush and one generation bump — the cost of N single
+    /// ingests collapses to roughly the cost of one. Returns the
+    /// generation now serving every table in the batch; an empty batch
+    /// is a no-op returning the current generation.
+    pub fn ingest_tables(&self, tables: Vec<WebTable>) -> Result<u64, WwtError> {
+        if tables.is_empty() {
+            return Ok(self.generation());
+        }
+        let _guard = self.live_lock.lock().unwrap();
+        let records: Vec<JournalRecord> = tables
+            .iter()
+            .map(|t| JournalRecord::AddTable(table_to_json(t)))
+            .collect();
+        let count = tables.len() as u64;
+        let next = self.engine().with_tables_added(tables);
+        self.journal_append(&records)?;
+        let generation = self.reload(Arc::new(next));
+        self.tables_ingested.fetch_add(count, Ordering::Relaxed);
+        self.batches_ingested.fetch_add(1, Ordering::Relaxed);
+        Ok(generation)
     }
 
     /// Removes one table (delta eviction or frozen tombstone) and
-    /// publishes the result as a new generation. Returns `None` when the
-    /// id is unknown (or already tombstoned) — nothing is swapped and no
-    /// generation is burned.
-    pub fn remove_table(&self, id: TableId) -> Option<u64> {
+    /// publishes the result as a new generation. Returns `Ok(None)` when
+    /// the id is unknown (or already tombstoned) — nothing is swapped,
+    /// no generation is burned and nothing is journaled.
+    pub fn remove_table(&self, id: TableId) -> Result<Option<u64>, WwtError> {
         let _guard = self.live_lock.lock().unwrap();
-        let next = self.engine().with_table_removed(id)?;
+        let Some(next) = self.engine().with_table_removed(id) else {
+            return Ok(None);
+        };
+        self.journal_append(&[JournalRecord::RemoveTable(id)])?;
         let generation = self.reload(Arc::new(next));
         self.tables_deleted.fetch_add(1, Ordering::Relaxed);
-        Some(generation)
+        Ok(Some(generation))
     }
 
     /// Folds the delta segment and tombstones into a freshly built frozen
@@ -326,16 +393,83 @@ impl TableSearchService {
     /// logical corpus — and publishes it. A no-op (returning the current
     /// generation, swapping nothing) when the engine has no live
     /// mutations. Returns the generation now serving.
-    pub fn compact(&self) -> u64 {
+    ///
+    /// With a journal attached and an on-disk index home configured, the
+    /// folded index is persisted first (write-new, rename) and the
+    /// journal truncated after — its records are redundant once the fold
+    /// is durable. If persisting fails the journal is kept and the error
+    /// surfaces; the freshly compacted engine still serves.
+    pub fn compact(&self) -> Result<u64, WwtError> {
         let _guard = self.live_lock.lock().unwrap();
         let engine = self.engine();
         if !engine.is_live() {
-            return self.generation();
+            return Ok(self.generation());
         }
-        let next = engine.compacted();
-        let generation = self.reload(Arc::new(next));
+        let next = Arc::new(engine.compacted());
+        let generation = self.reload(Arc::clone(&next));
         self.compactions.fetch_add(1, Ordering::Relaxed);
-        generation
+        let mut guard = self.journal.lock().unwrap();
+        if let Some(state) = guard.as_mut() {
+            if let Some(dir) = state.persist_dir.clone() {
+                next.save_to_dir_atomic(&dir)?;
+                state.journal.truncate().map_err(WwtError::Io)?;
+                self.journal_records
+                    .store(state.journal.records(), Ordering::Relaxed);
+                self.journal_bytes
+                    .store(state.journal.bytes(), Ordering::Relaxed);
+            }
+        }
+        Ok(generation)
+    }
+
+    /// Attaches a write-ahead journal: every subsequent live mutation is
+    /// appended (and fsync'd, per the journal's policy) *before* it is
+    /// acknowledged, so an uncompacted delta survives a crash and
+    /// replays at the next boot. `persist_dir` names the engine's
+    /// on-disk home (the `--index-path` directory) when it has one:
+    /// compaction then persists the folded index there and truncates the
+    /// journal; without one the journal is kept across compactions so a
+    /// rebuilt-from-source boot can still catch up.
+    ///
+    /// The caller replays the journal's recovered records into the
+    /// engine *before* constructing the service (see
+    /// [`Engine::with_journal_replayed`]) and hands the opened journal
+    /// here.
+    pub fn attach_journal(&self, journal: Journal, persist_dir: Option<PathBuf>) {
+        let _guard = self.live_lock.lock().unwrap();
+        self.journal_records
+            .store(journal.records(), Ordering::Relaxed);
+        self.journal_bytes.store(journal.bytes(), Ordering::Relaxed);
+        self.journal_attached
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+        *self.journal.lock().unwrap() = Some(JournalState {
+            journal,
+            persist_dir,
+        });
+    }
+
+    /// The attached journal's path, if one is attached.
+    pub fn journal_path(&self) -> Option<PathBuf> {
+        self.journal
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map(|s| s.journal.path().to_path_buf())
+    }
+
+    /// Appends records to the attached journal (a no-op without one),
+    /// returning only once they are durable per the fsync policy — the
+    /// call that must succeed before a mutation is acknowledged.
+    fn journal_append(&self, records: &[JournalRecord]) -> Result<(), WwtError> {
+        let mut guard = self.journal.lock().unwrap();
+        if let Some(state) = guard.as_mut() {
+            state.journal.append_all(records).map_err(WwtError::Io)?;
+            self.journal_records
+                .store(state.journal.records(), Ordering::Relaxed);
+            self.journal_bytes
+                .store(state.journal.bytes(), Ordering::Relaxed);
+        }
+        Ok(())
     }
 
     /// Tables currently in the serving engine's delta segment.
@@ -614,6 +748,12 @@ impl TableSearchService {
             tables_ingested: self.tables_ingested.load(Ordering::Relaxed),
             tables_deleted: self.tables_deleted.load(Ordering::Relaxed),
             compactions: self.compactions.load(Ordering::Relaxed),
+            batches_ingested: self.batches_ingested.load(Ordering::Relaxed),
+            journal_attached: self
+                .journal_attached
+                .load(std::sync::atomic::Ordering::Relaxed),
+            journal_records: self.journal_records.load(Ordering::Relaxed),
+            journal_bytes: self.journal_bytes.load(Ordering::Relaxed),
             recorder: self.recorder.counters(),
             map_edge_pairs_scored: self.map_edge_pairs_scored.load(Ordering::Relaxed),
             map_edge_pairs_skipped: self.map_edge_pairs_skipped.load(Ordering::Relaxed),
@@ -1076,7 +1216,7 @@ mod tests {
         let req = QueryRequest::parse("volcano | elevation").unwrap();
         assert!(service.answer(&req).unwrap().table.is_empty());
 
-        let generation = service.ingest_table(volcano_table());
+        let generation = service.ingest_table(volcano_table()).unwrap();
         assert_eq!(generation, 1);
         let out = service.answer(&req).unwrap();
         assert!(
@@ -1097,7 +1237,7 @@ mod tests {
     #[test]
     fn remove_unknown_table_is_none_and_swaps_nothing() {
         let service = TableSearchService::new(tiny_engine());
-        assert_eq!(service.remove_table(TableId(123_456)), None);
+        assert_eq!(service.remove_table(TableId(123_456)).unwrap(), None);
         let stats = service.stats();
         assert_eq!(stats.generation, 0);
         assert_eq!(stats.swap_count, 0);
@@ -1108,15 +1248,15 @@ mod tests {
     fn compact_folds_the_delta_and_keeps_answers() {
         let service = TableSearchService::new(tiny_engine());
         // Compacting a fully frozen engine is a free no-op.
-        assert_eq!(service.compact(), 0);
+        assert_eq!(service.compact().unwrap(), 0);
         assert_eq!(service.stats().compactions, 0);
 
-        service.ingest_table(volcano_table());
+        service.ingest_table(volcano_table()).unwrap();
         assert_eq!(service.delta_len(), 1);
         let req = QueryRequest::parse("volcano | elevation").unwrap();
         let before = service.answer(&req).unwrap();
 
-        let generation = service.compact();
+        let generation = service.compact().unwrap();
         assert_eq!(generation, 2);
         let stats = service.stats();
         assert_eq!(stats.compactions, 1);
@@ -1128,7 +1268,7 @@ mod tests {
         assert_eq!(after.table, before.table);
 
         // Removing the now-frozen table tombstones it.
-        assert_eq!(service.remove_table(TableId(9_000)), Some(3));
+        assert_eq!(service.remove_table(TableId(9_000)).unwrap(), Some(3));
         assert!(service.answer(&req).unwrap().table.is_empty());
         let stats = service.stats();
         assert_eq!(stats.tables_deleted, 1);
@@ -1152,7 +1292,7 @@ mod tests {
                         vec![],
                     )
                     .unwrap();
-                    service.ingest_table(t);
+                    service.ingest_table(t).unwrap();
                 });
             }
         });
@@ -1161,6 +1301,124 @@ mod tests {
         assert_eq!(stats.tables_ingested, WRITERS as u64);
         assert_eq!(stats.swap_count, WRITERS as u64);
         assert_eq!(service.engine().n_tables(), 1 + WRITERS);
+    }
+
+    #[test]
+    fn batch_ingest_is_one_generation_for_n_tables() {
+        let service = TableSearchService::new(tiny_engine());
+        let tables: Vec<WebTable> = (0..3u32)
+            .map(|i| {
+                WebTable::new(
+                    TableId(9_200 + i),
+                    "live://batch",
+                    None,
+                    vec![vec!["Volcano".into(), "Elevation".into()]],
+                    vec![vec![format!("Peak{i}"), "1000".into()]],
+                    vec![],
+                )
+                .unwrap()
+            })
+            .collect();
+        let generation = service.ingest_tables(tables).unwrap();
+        assert_eq!(generation, 1, "N tables, one generation bump");
+        let stats = service.stats();
+        assert_eq!(stats.tables_ingested, 3);
+        assert_eq!(stats.batches_ingested, 1);
+        assert_eq!(stats.swap_count, 1);
+        assert_eq!(stats.delta_tables, 3);
+        let req = QueryRequest::parse("volcano | elevation").unwrap();
+        assert_eq!(service.answer(&req).unwrap().table.len(), 3);
+        // An empty batch swaps nothing and counts nothing.
+        assert_eq!(service.ingest_tables(Vec::new()).unwrap(), 1);
+        assert_eq!(service.stats().batches_ingested, 1);
+    }
+
+    #[test]
+    fn journal_makes_mutations_durable_and_truncates_on_compact() {
+        let dir = std::env::temp_dir().join(format!("wwt-svc-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = tiny_engine();
+        let frozen_tables = engine.n_tables();
+        engine.save_to_dir(&dir).unwrap();
+        let wal = dir.join("journal.wal");
+        let req = QueryRequest::parse("volcano | elevation").unwrap();
+
+        // Boot 1: attach a journal, ingest, then "crash" (drop).
+        {
+            let service = TableSearchService::new(engine);
+            let (journal, replay) = Journal::open(&wal, wwt_index::FsyncPolicy::Never).unwrap();
+            assert!(replay.records.is_empty());
+            service.attach_journal(journal, Some(dir.clone()));
+            service.ingest_table(volcano_table()).unwrap();
+            let stats = service.stats();
+            assert!(stats.journal_attached);
+            assert_eq!(stats.journal_records, 1);
+            assert!(stats.journal_bytes > 0);
+        }
+
+        // Boot 2: the frozen dir alone has no volcano table; dir +
+        // journal replay reconstructs the pre-crash corpus.
+        let (journal, replay) = Journal::open(&wal, wwt_index::FsyncPolicy::Never).unwrap();
+        assert_eq!(replay.records.len(), 1);
+        let recovered = Engine::load_from_dir(&dir, WwtConfig::default())
+            .unwrap()
+            .with_journal_replayed(&replay.records)
+            .unwrap();
+        assert_eq!(recovered.delta_len(), 1);
+        let service = TableSearchService::new(Arc::new(recovered));
+        service.attach_journal(journal, Some(dir.clone()));
+        assert!(service
+            .answer(&req)
+            .unwrap()
+            .table
+            .rows
+            .iter()
+            .any(|r| r.cells[0] == "Etna"));
+
+        // Compaction persists the fold into the dir and truncates the
+        // journal — the records are redundant once the fold is durable.
+        service.compact().unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.journal_records, 0);
+        assert_eq!(stats.journal_bytes, 0);
+        assert_eq!(std::fs::metadata(&wal).unwrap().len(), 0);
+        drop(service);
+
+        // Boot 3: the dir alone now carries the folded table.
+        let fresh = Engine::load_from_dir(&dir, WwtConfig::default()).unwrap();
+        assert_eq!(fresh.n_tables(), frozen_tables + 1);
+        assert!(!fresh.is_live());
+        let service = TableSearchService::new(Arc::new(fresh));
+        assert!(service
+            .answer(&req)
+            .unwrap()
+            .table
+            .rows
+            .iter()
+            .any(|r| r.cells[0] == "Etna"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_without_an_index_home_keeps_the_journal() {
+        let dir = std::env::temp_dir().join(format!("wwt-svc-nohome-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let wal = dir.join("journal.wal");
+        let service = TableSearchService::new(tiny_engine());
+        let (journal, _) = Journal::open(&wal, wwt_index::FsyncPolicy::Never).unwrap();
+        // No persist_dir: the engine was built from a source the journal
+        // cannot re-create, so its records stay until an on-disk fold.
+        service.attach_journal(journal, None);
+        service.ingest_table(volcano_table()).unwrap();
+        service.compact().unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.compactions, 1);
+        assert_eq!(
+            stats.journal_records, 1,
+            "journal must survive a fold that was not persisted"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -168,11 +168,16 @@
 //! stale answers. `wwt-serve --max-delta-tables N` (env
 //! `WWT_MAX_DELTA_TABLES`) auto-compacts in the background once the
 //! delta holds N tables; `0` (the default) leaves compaction to the
-//! explicit route. Delta scoring uses merged corpus statistics (frozen
+//! explicit route. Bulk loads go through `POST /admin/tables/batch`
+//! (JSONL, one table line per row): N tables cost one delta rebuild,
+//! one journal flush and one generation bump instead of N of each.
+//! Delta scoring uses merged corpus statistics (frozen
 //! hits keep their freeze-time statistics — an approximation compaction
 //! erases), and a live engine refuses [`engine::Engine::save_to_dir`]
 //! until compacted so the on-disk layout never silently drops
-//! mutations. Observability: `"delta_tables"`, `"delta_tombstones"`,
+//! mutations (the error names the remedies: `POST /admin/compact`, or a
+//! journal-backed restart). Observability: `"delta_tables"`,
+//! `"delta_tombstones"`,
 //! `"tables_ingested"`, `"tables_deleted"` and `"compactions"` on
 //! `GET /stats`, plus the `wwt_delta_tables` / `wwt_delta_tombstones`
 //! gauges and `wwt_tables_ingested_total` / `wwt_tables_deleted_total` /
@@ -206,6 +211,42 @@
 //! let compacted = live.compacted(); // byte-identical to a fresh build
 //! assert!(!compacted.is_live());
 //! ```
+//!
+//! ## Durability
+//!
+//! Live mutations are made crash-safe by a **write-ahead journal**
+//! ([`index::Journal`]): `wwt-serve --journal PATH` (env `WWT_JOURNAL`)
+//! appends every accepted ingest and delete as a length-prefixed,
+//! checksummed record — fsync'd *before* the 202 leaves the server — and
+//! replays the journal over the freshly built engine at the next boot.
+//! A `kill -9` between compactions loses nothing: the recovered engine
+//! is byte-identical to the one that never crashed
+//! (`tests/crash_recovery.rs` is the differential proof, across all five
+//! inference algorithms). A torn tail — the crash landed mid-append — is
+//! truncated back to the intact prefix with a logged warning, never a
+//! boot failure.
+//!
+//! The journal's lifecycle is tied to compaction: with `--index-path`,
+//! a successful `POST /admin/compact` persists the folded index back
+//! into that directory (write-new then rename, manifest last, so a
+//! half-finished replacement is caught by the manifest checksum instead
+//! of misloading) and then truncates the journal atomically. Corpus-dir
+//! and synthetic boots keep every record so a rebuild-from-source boot
+//! replays the full mutation history. `--journal-fsync never` (env
+//! `WWT_JOURNAL_FSYNC`) trades power-loss durability for bulk-load
+//! throughput; the default `always` fsyncs every append, and a batch
+//! costs one fsync total.
+//!
+//! In-process the same pieces compose directly: [`index::Journal::open`]
+//! returns the surviving records, [`engine::Engine::with_journal_replayed`]
+//! folds them over a loaded engine, and
+//! [`service::TableSearchService::attach_journal`] makes the service
+//! journal every subsequent mutation. Observability: `"journal_attached"`,
+//! `"journal_records"`, `"journal_bytes"`, `"journal_path"` and
+//! `"batches_ingested"` on `GET /stats`, the journal path on
+//! `GET /version`, and the `wwt_journal_attached` / `wwt_journal_records`
+//! / `wwt_journal_bytes` gauges plus `wwt_batches_ingested_total` on
+//! `GET /metrics`.
 //!
 //! ## Sharding
 //!

@@ -273,17 +273,46 @@ fn persisted_layouts_of_both_generations_serve_identical_bytes() {
             std::process::id()
         ));
 
-        // Current layout: v2 manifest carrying the term dictionary.
+        // Current layout: v3 manifest carrying a dictionary checksum
+        // instead of the vocabulary itself.
         fast.save_to_dir(&dir).unwrap();
         let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
-        assert!(manifest.contains("\"version\":2"), "manifest: {manifest}");
-        assert!(manifest.contains("\"terms\""), "manifest lacks dictionary");
+        assert!(manifest.contains("\"version\":3"), "manifest: {manifest}");
+        assert!(manifest.contains("\"term_count\""), "manifest: {manifest}");
+        assert!(
+            manifest.contains("\"term_checksum\""),
+            "manifest: {manifest}"
+        );
+        assert!(
+            !manifest.contains("\"terms\""),
+            "v3 must not inline the dictionary: {manifest}"
+        );
         let restored = Engine::load_from_dir(&dir, fast.config().clone()).unwrap();
         for (request, want) in requests.iter().zip(&expected) {
             assert_eq!(
                 *want,
                 canonical_bytes(request, &restored),
-                "v2 reload drift at {shards} shard(s)"
+                "v3 reload drift at {shards} shard(s)"
+            );
+        }
+
+        // PR-5 era layout: same shard files under a v2 manifest inlining
+        // the full vocabulary.
+        let v2 = wwt::json::Json::obj([
+            ("version", wwt::json::Json::from(2u64)),
+            ("shards", wwt::json::Json::from(shards)),
+            (
+                "terms",
+                wwt::json::Json::arr(fast.index().dict().terms().iter().map(String::as_str)),
+            ),
+        ]);
+        std::fs::write(dir.join("manifest.json"), v2.encode()).unwrap();
+        let v2_manifest = Engine::load_from_dir(&dir, fast.config().clone()).unwrap();
+        for (request, want) in requests.iter().zip(&expected) {
+            assert_eq!(
+                *want,
+                canonical_bytes(request, &v2_manifest),
+                "v2-manifest reload drift at {shards} shard(s)"
             );
         }
 
