@@ -332,6 +332,31 @@ fn main() {
     let disabled_delta_pct = delta_pct(&disabled_us);
     let enabled_delta_pct = delta_pct(&traced_us);
 
+    // Fail-soft overhead: the same interleaved off/on protocol as the
+    // trace measurement, with no fault armed — what the `fail_soft`
+    // option costs when nothing degrades (the answer bytes are
+    // identical, so any delta is pure bookkeeping).
+    let mut soft_off_us = Vec::new();
+    let mut soft_on_us = Vec::new();
+    for _ in 0..trace_reps {
+        for spec in specs.iter().take(n_queries) {
+            let request = QueryRequest::new(spec.query.clone());
+            let soft_request = request.clone().fail_soft(true);
+            std::hint::black_box(engine.answer_query(&spec.query));
+            let t0 = Instant::now();
+            std::hint::black_box(engine.answer(&request).expect("no deadline"));
+            soft_off_us.push(micros(t0.elapsed()));
+            let t0 = Instant::now();
+            std::hint::black_box(engine.answer(&soft_request).expect("no deadline"));
+            soft_on_us.push(micros(t0.elapsed()));
+        }
+    }
+    let fail_soft_delta_pct = if median(&soft_off_us) > 0.0 {
+        (median(&soft_on_us) - median(&soft_off_us)) / median(&soft_off_us) * 100.0
+    } else {
+        0.0
+    };
+
     // Cached-query latency: the service path with its response cache —
     // what a repeat HTTP request actually costs.
     let cached_reps = if smoke { 2 } else { 10 };
@@ -409,6 +434,14 @@ fn main() {
             ]),
         ),
         (
+            "fail_soft_overhead",
+            Json::obj([
+                ("off_median_us", Json::from(median(&soft_off_us))),
+                ("on_median_us", Json::from(median(&soft_on_us))),
+                ("on_delta_pct", Json::from(fail_soft_delta_pct)),
+            ]),
+        ),
+        (
             "live_ingest",
             Json::obj([
                 ("tables", Json::from(ingest_n)),
@@ -430,6 +463,7 @@ fn main() {
          cold_query {:.0} us (median) / {:.0} us (mean) | warm_query {:.0} us (median) | \
          cached_query {:.0} us (median) | column_map {:.0} us (median) / {:.0} us (p95) | \
          trace_overhead {disabled_delta_pct:+.2}% disabled / {enabled_delta_pct:+.2}% enabled | \
+         fail_soft_overhead {fail_soft_delta_pct:+.2}% | \
          live_ingest x{ingest_n}: {ingest_sequential_ms:.1} ms sequential vs \
          {ingest_batch_ms:.1} ms batched ({ingest_speedup:.1}x)",
         mean(&index_build_ms),

@@ -90,6 +90,19 @@ pub struct MappingResult {
 }
 
 impl MappingResult {
+    /// A mapping over zero tables — the fail-soft substitute when the
+    /// batch itself could not run (every table unlabeled, nothing
+    /// relevant). Identical to mapping an empty candidate slice.
+    pub fn empty() -> Self {
+        MappingResult {
+            labelings: Vec::new(),
+            column_probs: Vec::new(),
+            table_relevance: Vec::new(),
+            confident: Vec::new(),
+            stats: MapStats::default(),
+        }
+    }
+
     /// Tables labeled relevant, most relevant first.
     pub fn relevant_tables(&self) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.labelings.len())

@@ -19,21 +19,30 @@ use wwt_model::WwtError;
 #[derive(Debug, Clone, Copy)]
 pub struct Deadline {
     at: Option<Instant>,
+    /// The original budget, kept so fail-soft execution can judge
+    /// *pressure* (more than half the budget spent) rather than only
+    /// expiry.
+    budget: Option<Duration>,
 }
 
 impl Deadline {
     /// No deadline: every [`Deadline::check`] passes without reading the
     /// clock.
     pub fn none() -> Self {
-        Deadline { at: None }
+        Deadline {
+            at: None,
+            budget: None,
+        }
     }
 
     /// A deadline `budget_ms` milliseconds from now; `None` means no
     /// deadline. A budget of `0` expires immediately — the first
     /// checkpoint trips.
     pub fn starting_now(budget_ms: Option<u64>) -> Self {
+        let budget = budget_ms.map(Duration::from_millis);
         Deadline {
-            at: budget_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
+            at: budget.map(|b| Instant::now() + b),
+            budget,
         }
     }
 
@@ -41,6 +50,25 @@ impl Deadline {
     pub fn after(budget: Duration) -> Self {
         Deadline {
             at: Some(Instant::now() + budget),
+            budget: Some(budget),
+        }
+    }
+
+    /// Time left before the deadline (zero once it has passed); `None`
+    /// when no deadline is set.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at
+            .map(|at| at.saturating_duration_since(Instant::now()))
+    }
+
+    /// True iff a deadline is set and more than half its budget is
+    /// already spent — the trigger for fail-soft algorithm downgrades
+    /// (cheaper inference while an answer is still possible, instead of
+    /// an expensive one that will blow the budget).
+    pub fn pressured(&self) -> bool {
+        match (self.at, self.budget) {
+            (Some(at), Some(budget)) => at.saturating_duration_since(Instant::now()) <= budget / 2,
+            _ => false,
         }
     }
 
@@ -97,5 +125,27 @@ mod tests {
         std::thread::sleep(Duration::from_millis(5));
         assert!(d.expired());
         assert!(d.check("column_map").is_err());
+    }
+
+    #[test]
+    fn remaining_and_pressure() {
+        let none = Deadline::none();
+        assert_eq!(none.remaining(), None);
+        assert!(!none.pressured());
+
+        let fresh = Deadline::starting_now(Some(60_000));
+        assert!(fresh.remaining().unwrap() > Duration::from_secs(50));
+        assert!(!fresh.pressured());
+
+        // An expired deadline is by definition pressured, with zero left.
+        let spent = Deadline::starting_now(Some(0));
+        assert_eq!(spent.remaining(), Some(Duration::ZERO));
+        assert!(spent.pressured());
+
+        // Half the budget gone → pressured, well before expiry.
+        let d = Deadline::after(Duration::from_millis(20));
+        std::thread::sleep(Duration::from_millis(12));
+        assert!(!d.expired() || d.pressured()); // tolerate slow CI
+        assert!(d.pressured());
     }
 }

@@ -8,16 +8,17 @@
 
 use crate::deadline::Deadline;
 use crate::pipeline::WwtConfig;
-use crate::pool::fan_out;
+use crate::pool::{fan_out, try_fan_out};
 use crate::request::{QueryDiagnostics, QueryRequest, QueryResponse};
 use crate::retrieval::Retrieval;
+use crate::soft::FailSoft;
 use crate::timing::StageTimings;
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wwt_consolidate::{consolidate, RelevantInput};
-use wwt_core::{ColumnMapper, MappingResult, TableFeatures, TableView};
+use wwt_core::{ColumnMapper, InferenceAlgorithm, MappingResult, TableFeatures, TableView};
 use wwt_html::extract_tables;
 use wwt_index::{
     DocSets, JournalRecord, LiveIndex, LiveOp, SearchHit, ShardedIndex, ShardedIndexBuilder,
@@ -274,9 +275,15 @@ impl Engine {
     /// Runs the two-stage candidate retrieval (§2.2.1) with the engine
     /// configuration.
     pub fn retrieve(&self, query: &Query) -> Retrieval {
-        self.retrieve_with(query, &self.config, &Deadline::none(), &Trace::disabled())
-            .map(|(retrieval, _)| retrieval)
-            .expect("retrieval without a deadline cannot time out")
+        self.retrieve_with(
+            query,
+            &self.config,
+            &Deadline::none(),
+            &Trace::disabled(),
+            &FailSoft::off(),
+        )
+        .map(|(retrieval, _)| retrieval)
+        .expect("retrieval without a deadline cannot time out")
     }
 
     /// [`Engine::retrieve`] under a deadline: the budget is re-checked
@@ -291,8 +298,14 @@ impl Engine {
         query: &Query,
         deadline: &Deadline,
     ) -> Result<Retrieval, WwtError> {
-        self.retrieve_with(query, &self.config, deadline, &Trace::disabled())
-            .map(|(retrieval, _)| retrieval)
+        self.retrieve_with(
+            query,
+            &self.config,
+            deadline,
+            &Trace::disabled(),
+            &FailSoft::off(),
+        )
+        .map(|(retrieval, _)| retrieval)
     }
 
     /// One ranked index probe, scattered across the shards on the engine
@@ -308,6 +321,7 @@ impl Engine {
     /// Alongside the merged hits, returns each shard's probe wall-clock
     /// (scatter order) — the per-shard view `QueryDiagnostics` surfaces
     /// so scatter-gather stragglers are visible.
+    #[allow(clippy::too_many_arguments)]
     fn probe(
         &self,
         tokens: &[String],
@@ -316,9 +330,10 @@ impl Engine {
         stage: &'static str,
         trace: &Trace,
         label: &'static str,
+        soft: &FailSoft,
     ) -> Result<(Vec<SearchHit>, Vec<Duration>), WwtError> {
         let Some(overlay) = &self.live else {
-            return self.probe_frozen(tokens, k, deadline, stage, trace, label);
+            return self.probe_frozen(tokens, k, deadline, stage, trace, label, soft);
         };
         // Live path: over-fetch the frozen shards by the number of
         // shadowed tables (so filtering tombstoned/overridden hits can
@@ -327,7 +342,7 @@ impl Engine {
         // shard merge uses.
         let shadowed = overlay.live.shadowed_len();
         let (mut hits, shard_times) =
-            self.probe_frozen(tokens, k + shadowed, deadline, stage, trace, label)?;
+            self.probe_frozen(tokens, k + shadowed, deadline, stage, trace, label, soft)?;
         hits.retain(|h| !overlay.live.is_shadowed(h.table));
         let delta_hits = overlay.live.delta_search(tokens, k);
         if trace.is_enabled() {
@@ -339,7 +354,12 @@ impl Engine {
         Ok((hits, shard_times))
     }
 
-    /// The frozen-only scatter-gather behind [`Engine::probe`].
+    /// The frozen-only scatter-gather behind [`Engine::probe`]. Under
+    /// fail-soft, a shard whose worker errors (or panics) — or that the
+    /// deadline expired before — is dropped from the merge with a
+    /// recorded reason instead of failing the whole probe; its slot in
+    /// the per-shard timing view reads zero.
+    #[allow(clippy::too_many_arguments)]
     fn probe_frozen(
         &self,
         tokens: &[String],
@@ -348,17 +368,30 @@ impl Engine {
         stage: &'static str,
         trace: &Trace,
         label: &'static str,
+        soft: &FailSoft,
     ) -> Result<(Vec<SearchHit>, Vec<Duration>), WwtError> {
         let ids: Vec<TermId> = self.index.resolve_query(tokens);
         let n = self.index.n_shards();
-        if n == 1 {
+        let probe_one = |s: usize| -> Result<(Vec<SearchHit>, Duration), WwtError> {
             deadline.check(stage)?;
+            wwt_chaos::io_failpoint(wwt_chaos::PROBE_SHARD)?;
             let t0 = Instant::now();
-            let hits = self.index.shard(0).search_ids(&ids, k);
+            let hits = self.index.shard(s).search_ids(&ids, k);
+            Ok((hits, t0.elapsed()))
+        };
+        if n == 1 {
+            let (hits, elapsed) = match probe_one(0) {
+                Ok(r) => r,
+                Err(e) if soft.is_on() => {
+                    soft.note(format!("{stage}: shard 0 dropped: {e}"));
+                    (Vec::new(), Duration::default())
+                }
+                Err(e) => return Err(e),
+            };
             if trace.is_enabled() {
                 trace.note(&format!("{label}_shard_hits"), hits.len().to_string());
             }
-            return Ok((hits, vec![t0.elapsed()]));
+            return Ok((hits, vec![elapsed]));
         }
         // Tiny corpora probe serially (threads = 1): same scatter order,
         // same merged bytes, none of the spawn cost.
@@ -367,25 +400,48 @@ impl Engine {
         } else {
             1
         };
-        let per_shard: Vec<Result<(Vec<SearchHit>, Duration), WwtError>> =
-            fan_out(n, threads, |s| {
-                deadline.check(stage)?;
-                let t0 = Instant::now();
-                let hits = self.index.shard(s).search_ids(&ids, k);
-                Ok((hits, t0.elapsed()))
-            });
+        // Fail-soft additionally isolates worker *panics* (`try_fan_out`
+        // catches per unit); the strict path keeps the historical
+        // fan-out, where a panic propagates to the service boundary.
+        let per_shard: Vec<Result<(Vec<SearchHit>, Duration), WwtError>> = if soft.is_on() {
+            try_fan_out(n, threads, probe_one)
+                .into_iter()
+                .map(|r| match r {
+                    Ok(inner) => inner,
+                    Err(p) => Err(WwtError::Internal(p.to_string())),
+                })
+                .collect()
+        } else {
+            fan_out(n, threads, probe_one)
+        };
         let mut lists = Vec::with_capacity(n);
         let mut shard_times = Vec::with_capacity(n);
-        for r in per_shard {
-            let (hits, elapsed) = r?;
-            lists.push(hits);
-            shard_times.push(elapsed);
+        for (s, r) in per_shard.into_iter().enumerate() {
+            match r {
+                Ok((hits, elapsed)) => {
+                    lists.push(hits);
+                    shard_times.push(elapsed);
+                }
+                Err(e) if soft.is_on() => {
+                    soft.note(format!("{stage}: shard {s} dropped: {e}"));
+                    shard_times.push(Duration::default());
+                }
+                Err(e) => return Err(e),
+            }
         }
         if trace.is_enabled() {
             let per_shard_hits: Vec<String> = lists.iter().map(|l| l.len().to_string()).collect();
             trace.note(&format!("{label}_shard_hits"), per_shard_hits.join(","));
         }
-        Ok((merge_shard_hits(lists, k, deadline)?, shard_times))
+        // Fail-soft merging runs unbudgeted: the hits are already in
+        // hand, and losing them to a stride check would throw away the
+        // partial result the mode exists to save.
+        let merge_deadline = if soft.is_on() {
+            Deadline::none()
+        } else {
+            *deadline
+        };
+        Ok((merge_shard_hits(lists, k, &merge_deadline)?, shard_times))
     }
 
     /// Retrieval plus the stage-1 pre-mapping it computed along the way
@@ -398,6 +454,7 @@ impl Engine {
         cfg: &WwtConfig,
         deadline: &Deadline,
         trace: &Trace,
+        soft: &FailSoft,
     ) -> Result<(Retrieval, MappingResult), WwtError> {
         let mut timing = StageTimings::default();
 
@@ -413,6 +470,7 @@ impl Engine {
             "first probe",
             trace,
             "probe1",
+            soft,
         )?;
         if let Some(best) = hits1.first().map(|h| h.score) {
             hits1.retain(|h| h.score >= best * cfg.score_cutoff_frac);
@@ -448,21 +506,36 @@ impl Engine {
             algorithm: cfg.algorithm,
             pair_memo: Some(Arc::clone(&self.pair_memo)),
         };
-        let pre = self.map_traced(
+        let pre = match self.map_traced(
             &mapper,
             query,
             &tables1,
             trace,
             deadline,
             "column_map:premap",
-        )?;
+        ) {
+            Ok(pre) => pre,
+            Err(e) if soft.is_on() => {
+                // Fail-soft: no pre-mapping means no relevance scores —
+                // the second probe loses its seeds and the final map has
+                // no premap to fall back on, but retrieval itself stands.
+                soft.note(format!("column mapping (premap): {e}"));
+                MappingResult::empty()
+            }
+            Err(e) => return Err(e),
+        };
         timing.column_map += t0.elapsed();
 
-        let mut seeds: Vec<usize> = (0..tables1.len())
-            .filter(|&i| {
-                pre.table_relevance[i] >= cfg.high_relevance && pre.labelings[i].is_relevant()
-            })
-            .collect();
+        let mut seeds: Vec<usize> = if pre.labelings.len() == tables1.len() {
+            (0..tables1.len())
+                .filter(|&i| {
+                    pre.table_relevance[i] >= cfg.high_relevance && pre.labelings[i].is_relevant()
+                })
+                .collect()
+        } else {
+            // The fail-soft empty premap above: nothing to seed from.
+            Vec::new()
+        };
         seeds.sort_by(|&a, &b| {
             pre.table_relevance[b]
                 .partial_cmp(&pre.table_relevance[a])
@@ -474,8 +547,16 @@ impl Engine {
         }
 
         // Stage boundary: the second probe (and everything after it) is
-        // refused once the budget is spent.
-        deadline.check("second probe")?;
+        // refused once the budget is spent — or, fail-soft, skipped with
+        // the stage-1 candidates standing in for the full retrieval.
+        if let Err(e) = deadline.check("second probe") {
+            if soft.is_on() {
+                soft.note("second probe: skipped (deadline exceeded)");
+                seeds.clear();
+            } else {
+                return Err(e);
+            }
+        }
 
         let mut stage2: Vec<TableId> = Vec::new();
         let probe2_used = !seeds.is_empty();
@@ -510,6 +591,7 @@ impl Engine {
                 "second probe",
                 trace,
                 "probe2",
+                soft,
             )?;
             hits2.retain(|h| !stage1_set.contains(&h.table));
             hits2.truncate(cfg.probe2_k);
@@ -531,7 +613,15 @@ impl Engine {
                 // must not carry the request past its budget between the
                 // stage boundaries.
                 if i % MERGE_DEADLINE_STRIDE == 0 {
-                    deadline.check("retrieval merge")?;
+                    if let Err(e) = deadline.check("retrieval merge") {
+                        if soft.is_on() {
+                            soft.note(
+                                "retrieval merge: candidate list truncated (deadline exceeded)",
+                            );
+                            break;
+                        }
+                        return Err(e);
+                    }
                 }
                 if seen2.insert(h.table) {
                     stage2.push(h.table);
@@ -574,7 +664,10 @@ impl Engine {
     ) -> Result<QueryResponse, WwtError> {
         let cfg = request.options.resolve(&self.config)?;
         let deadline = Deadline::starting_now(request.options.deadline_ms);
+        // The admission check stays hard even under fail-soft: a budget
+        // spent before any work ran has no partial result to salvage.
         deadline.check("retrieval")?;
+        let soft = FailSoft::from_option(request.options.fail_soft);
         let local;
         let trace = if request.options.explain && !trace.is_enabled() {
             local = Trace::enabled("");
@@ -589,6 +682,7 @@ impl Engine {
                 request.options.max_rows,
                 trace,
                 &deadline,
+                &soft,
             );
         }
         let t0 = Instant::now();
@@ -601,6 +695,7 @@ impl Engine {
             request.options.max_rows,
             trace,
             &deadline,
+            &soft,
         )?;
         trace.note(
             "docset_cache_entries",
@@ -620,6 +715,7 @@ impl Engine {
             None,
             &Trace::disabled(),
             &Deadline::none(),
+            &FailSoft::off(),
         )
         .expect("a query without a deadline cannot time out")
     }
@@ -631,25 +727,41 @@ impl Engine {
         max_rows: Option<usize>,
         trace: &Trace,
         deadline: &Deadline,
+        soft: &FailSoft,
     ) -> Result<QueryResponse, WwtError> {
-        let (retrieval, premap) = self.retrieve_with(query, cfg, deadline, trace)?;
+        let (retrieval, premap) = self.retrieve_with(query, cfg, deadline, trace, soft)?;
         let mut timing = retrieval.timing.clone();
-        let candidates = retrieval.candidates();
+        let mut candidates = retrieval.candidates();
 
         // Stage boundary: candidate tables are in hand; mapping is the
-        // most expensive online stage, so refuse it on a spent budget.
-        deadline.check("column mapping")?;
+        // most expensive online stage, so refuse it on a spent budget —
+        // or, fail-soft, cut it back to the first-probe candidates the
+        // stage-1 pre-mapping already labeled.
+        let mut mapping_cut = false;
+        if let Err(e) = deadline.check("column mapping") {
+            if soft.is_on() {
+                soft.note("column mapping: limited to first-probe candidates (deadline exceeded)");
+                mapping_cut = true;
+                candidates.truncate(retrieval.stage1.len());
+            } else {
+                return Err(e);
+            }
+        }
 
         let t0 = Instant::now();
-        let tables: Vec<&WebTable> = candidates.iter().filter_map(|&id| self.table(id)).collect();
+        let mut tables: Vec<&WebTable> =
+            candidates.iter().filter_map(|&id| self.table(id)).collect();
         timing.read2 += t0.elapsed();
 
         // The stage-1 pre-map already labeled exactly this candidate set
-        // when the second probe contributed nothing — reuse it instead of
-        // re-running the most expensive online stage (the mapper is
-        // deterministic over identical inputs).
+        // when the second probe contributed nothing (or fail-soft cut
+        // the mapping back to stage 1) — reuse it instead of re-running
+        // the most expensive online stage (the mapper is deterministic
+        // over identical inputs).
         let premap_stats = premap.stats;
-        let reused_premap = retrieval.stage2.is_empty() && premap.labelings.len() == tables.len();
+        let reused_premap =
+            (retrieval.stage2.is_empty() || mapping_cut) && premap.labelings.len() == tables.len();
+        let mut fell_back = false;
         let mapping = if reused_premap {
             if trace.is_enabled() {
                 trace.note("column_map", "reused premap");
@@ -657,27 +769,64 @@ impl Engine {
             premap
         } else {
             let t0 = Instant::now();
+            // Fail-soft deadline pressure (over half the budget already
+            // spent): joint inference would likely blow what remains, so
+            // downgrade to independent per-table labeling — a cheaper
+            // answer beats none.
+            let mut algorithm = cfg.algorithm;
+            if soft.is_on() && deadline.pressured() && algorithm != InferenceAlgorithm::Independent
+            {
+                soft.note(
+                    "column mapping: downgraded to independent inference (deadline pressure)",
+                );
+                algorithm = InferenceAlgorithm::Independent;
+            }
             let mapper = ColumnMapper {
                 config: cfg.mapper.clone(),
-                algorithm: cfg.algorithm,
+                algorithm,
                 pair_memo: Some(Arc::clone(&self.pair_memo)),
             };
-            let mapping =
-                self.map_traced(&mapper, query, &tables, trace, deadline, "column_map")?;
-            timing.column_map += t0.elapsed();
-            mapping
+            match self.map_traced(&mapper, query, &tables, trace, deadline, "column_map") {
+                Ok(mapping) => {
+                    timing.column_map += t0.elapsed();
+                    mapping
+                }
+                Err(e) if soft.is_on() => {
+                    timing.column_map += t0.elapsed();
+                    soft.note(format!("column mapping: {e}"));
+                    fell_back = true;
+                    // Fall back to the stage-1 pre-mapping: candidates
+                    // are stage1 ++ stage2 and table reads preserve that
+                    // prefix order, so the premap labels exactly the
+                    // first `premap.labelings.len()` tables (zero when
+                    // the premap itself degraded away).
+                    tables.truncate(premap.labelings.len());
+                    candidates.truncate(tables.len());
+                    premap
+                }
+                Err(e) => return Err(e),
+            }
         };
         // Diagnostics counters cover every mapper run this request made:
         // the final map plus the premap when the latter wasn't reused
-        // (reuse would double-count the same run).
+        // (reuse — including the fail-soft fallback onto the premap —
+        // would double-count the same run).
         let mut map_stats = mapping.stats;
-        if !reused_premap {
+        if !reused_premap && !fell_back {
             map_stats.merge(&premap_stats);
         }
 
         // Stage boundary: mapping is done; consolidation is refused on a
-        // spent budget.
-        deadline.check("consolidation")?;
+        // spent budget (fail-soft: noted and run anyway — it is cheap
+        // relative to what is already in hand, and it is the step that
+        // turns the surviving candidates into an answer).
+        if let Err(e) = deadline.check("consolidation") {
+            if soft.is_on() {
+                soft.note("consolidation: ran past the deadline");
+            } else {
+                return Err(e);
+            }
+        }
 
         let t0 = Instant::now();
         let inputs: Vec<RelevantInput<'_>> = (0..tables.len())
@@ -710,6 +859,8 @@ impl Engine {
             rows_before_limit,
             trace: None,
             map_stats,
+            degraded: soft.any(),
+            degraded_reasons: soft.take(),
         };
         Ok(QueryResponse {
             table,
@@ -741,6 +892,7 @@ impl Engine {
         deadline: &Deadline,
         span_name: &'static str,
     ) -> Result<MappingResult, WwtError> {
+        wwt_chaos::io_failpoint(wwt_chaos::MAP_BATCH)?;
         let views = self.views_for(tables);
         let check = || deadline.check("column mapping");
         let cancel: Option<&(dyn Fn() -> Result<(), WwtError> + Sync)> = Some(&check);
@@ -1375,6 +1527,35 @@ mod tests {
         let report = out.diagnostics.trace.expect("enabled trace is attached");
         assert_eq!(report.request_id, "req-42");
         assert!(!report.spans.is_empty());
+    }
+
+    #[test]
+    fn fail_soft_without_faults_matches_the_healthy_answer() {
+        let engine = build_engine();
+        let req = QueryRequest::parse("country | currency").unwrap();
+        let healthy = engine.answer(&req).unwrap();
+        let soft = engine.answer(&req.clone().fail_soft(true)).unwrap();
+        // No fault, no deadline: fail-soft must be a pure pass-through.
+        assert_eq!(healthy.table, soft.table);
+        assert_eq!(healthy.candidates, soft.candidates);
+        assert!(!soft.diagnostics.degraded);
+        assert!(soft.diagnostics.degraded_reasons.is_empty());
+        assert!(!healthy.diagnostics.degraded);
+    }
+
+    #[test]
+    fn fail_soft_expired_admission_still_fails_hard() {
+        // A budget spent before any work ran has nothing to salvage:
+        // fail-soft keeps the admission-time 504 contract.
+        let engine = build_engine();
+        let req = QueryRequest::parse("country | currency")
+            .unwrap()
+            .fail_soft(true)
+            .deadline_ms(0);
+        assert!(matches!(
+            engine.answer(&req),
+            Err(WwtError::DeadlineExceeded(_))
+        ));
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod pipeline;
 pub mod pool;
 pub mod request;
 pub mod retrieval;
+pub mod soft;
 pub mod timing;
 
 pub use baselines::{baseline_map, BaselineConfig, BaselineMethod};
@@ -43,6 +44,7 @@ pub use pipeline::WwtConfig;
 pub use pool::fan_out;
 pub use request::{QueryDiagnostics, QueryOptions, QueryRequest, QueryResponse};
 pub use retrieval::Retrieval;
+pub use soft::FailSoft;
 pub use timing::StageTimings;
 // Re-exported so `answer_traced` callers need no direct wwt-obs dep.
 pub use wwt_obs::{Trace, TraceReport};

@@ -8,7 +8,7 @@
 //! `thread_local!` scratch in pooled code (the index's epoch-tagged
 //! score accumulator) is actually reused across probes.
 
-pub use wwt_pool::fan_out;
+pub use wwt_pool::{fan_out, try_fan_out};
 
 #[cfg(test)]
 mod tests {

@@ -47,6 +47,14 @@ pub struct QueryOptions {
     /// neighbors), so it participates in the cache fingerprint and is
     /// excluded from the default path's byte-identity guarantee.
     pub early_exit: bool,
+    /// Fail-soft execution: when a shard probe errors (or panics) or the
+    /// deadline expires mid-stage, return the merged **partial** results
+    /// with [`QueryDiagnostics::degraded`] set instead of aborting with
+    /// 504/500, and downgrade joint mapping algorithms to `Independent`
+    /// under deadline pressure rather than giving up. Off by default —
+    /// and because a degraded answer may differ from the healthy one, it
+    /// participates in the cache fingerprint.
+    pub fail_soft: bool,
 }
 
 impl QueryOptions {
@@ -121,6 +129,11 @@ impl QueryOptions {
             // Pruning may change the answer, so pruned and exact
             // responses must never share a cache entry.
             s.push_str("ee;");
+        }
+        if self.fail_soft {
+            // A degraded (partial) answer must never be served from the
+            // cache entry of a healthy run, nor vice versa.
+            s.push_str("fs;");
         }
         s
     }
@@ -198,6 +211,13 @@ impl QueryRequest {
         self
     }
 
+    /// Enables fail-soft execution ([`QueryOptions::fail_soft`]):
+    /// partial results with `degraded: true` instead of 504/500.
+    pub fn fail_soft(mut self, on: bool) -> Self {
+        self.options.fail_soft = on;
+        self
+    }
+
     /// The canonical cache key of this request: the normalized query
     /// (columns joined by `" | "`, as parsed) plus the options
     /// fingerprint.
@@ -234,6 +254,16 @@ pub struct QueryDiagnostics {
     /// responses, so the default path stays byte-identical; the service
     /// aggregates it into its stats surface instead.
     pub map_stats: wwt_core::MapStats,
+    /// True iff this response was produced fail-soft from partial data —
+    /// a shard probe failed, a stage was cut short by the deadline, or
+    /// the mapping algorithm was downgraded. Only ever set when
+    /// [`QueryOptions::fail_soft`] was on; wire-encoded conditionally so
+    /// healthy responses stay byte-identical.
+    pub degraded: bool,
+    /// Why the response is degraded, one human-readable reason per
+    /// affected stage (e.g. `"probe1: shard 2 failed: …"`). Empty iff
+    /// `degraded` is false.
+    pub degraded_reasons: Vec<String>,
 }
 
 /// Everything the engine produces for one request.
@@ -358,6 +388,21 @@ mod tests {
         assert!(cfg.mapper.early_exit);
         let cfg = plain.options.resolve(&base).unwrap();
         assert!(!cfg.mapper.early_exit);
+    }
+
+    #[test]
+    fn fail_soft_changes_the_fingerprint() {
+        let plain = QueryRequest::parse("country | currency").unwrap();
+        let soft = plain.clone().fail_soft(true);
+        assert!(soft.options.fail_soft);
+        assert!(!soft.options.is_default());
+        // A degraded answer may differ from the healthy one, so the two
+        // must never share a cache entry.
+        assert_ne!(plain.cache_key(), soft.cache_key());
+        assert_eq!(
+            plain.clone().fail_soft(false).cache_key(),
+            plain.cache_key()
+        );
     }
 
     #[test]

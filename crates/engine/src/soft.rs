@@ -1,0 +1,120 @@
+//! Fail-soft execution context ([`QueryOptions::fail_soft`]).
+//!
+//! A [`FailSoft`] handle threads through the online pipeline next to
+//! [`Deadline`](crate::Deadline) and [`Trace`](wwt_obs::Trace). Disabled
+//! (the default) it is inert — every `is_on()` check is a branch on a
+//! plain bool, no lock is ever touched, and the pipeline's error paths
+//! are byte-identical to a build without this module. Enabled, pipeline
+//! stages *absorb* recoverable faults instead of propagating them: a
+//! failed shard probe drops that shard, a mid-stage deadline expiry
+//! truncates the stage, a failed column-map batch falls back to the
+//! stage-1 pre-mapping — and each absorption records one human-readable
+//! reason here. The engine surfaces the collected reasons as
+//! [`QueryDiagnostics::degraded_reasons`](crate::QueryDiagnostics).
+//!
+//! Reasons live behind a `Mutex` because probe workers run on the shared
+//! pool; contention is nil (a handful of pushes per degraded request).
+//!
+//! [`QueryOptions::fail_soft`]: crate::QueryOptions::fail_soft
+
+use std::sync::Mutex;
+
+/// Collector for fail-soft degradation reasons; inert when disabled.
+#[derive(Debug)]
+pub struct FailSoft {
+    enabled: bool,
+    reasons: Mutex<Vec<String>>,
+}
+
+impl FailSoft {
+    /// A disabled handle: faults propagate exactly as without fail-soft.
+    pub fn off() -> Self {
+        FailSoft {
+            enabled: false,
+            reasons: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// An enabled handle: recoverable faults degrade instead of failing.
+    pub fn on() -> Self {
+        FailSoft {
+            enabled: true,
+            reasons: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A handle matching the request option.
+    pub fn from_option(fail_soft: bool) -> Self {
+        if fail_soft {
+            Self::on()
+        } else {
+            Self::off()
+        }
+    }
+
+    /// True iff faults should be absorbed.
+    pub fn is_on(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records why a stage degraded. No-op when disabled (callers on the
+    /// absorb path should already have checked [`FailSoft::is_on`]).
+    pub fn note(&self, reason: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        self.reasons
+            .lock()
+            .expect("fail-soft reason lock poisoned")
+            .push(reason.into());
+    }
+
+    /// True iff at least one degradation was recorded.
+    pub fn any(&self) -> bool {
+        self.enabled
+            && !self
+                .reasons
+                .lock()
+                .expect("fail-soft reason lock poisoned")
+                .is_empty()
+    }
+
+    /// Drains the recorded reasons (insertion order).
+    pub fn take(&self) -> Vec<String> {
+        std::mem::take(&mut *self.reasons.lock().expect("fail-soft reason lock poisoned"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_is_inert() {
+        let s = FailSoft::off();
+        assert!(!s.is_on());
+        s.note("ignored");
+        assert!(!s.any());
+        assert!(s.take().is_empty());
+        assert!(!FailSoft::from_option(false).is_on());
+    }
+
+    #[test]
+    fn on_collects_in_order() {
+        let s = FailSoft::on();
+        assert!(s.is_on());
+        assert!(!s.any());
+        s.note("probe1: shard 2 dropped");
+        s.note(String::from("second probe: skipped"));
+        assert!(s.any());
+        assert_eq!(
+            s.take(),
+            vec![
+                "probe1: shard 2 dropped".to_string(),
+                "second probe: skipped".to_string()
+            ]
+        );
+        assert!(!s.any());
+        assert!(FailSoft::from_option(true).is_on());
+    }
+}

@@ -240,6 +240,10 @@ impl Journal {
             buf.extend_from_slice(&r.encode());
         }
         let result = (|| -> std::io::Result<()> {
+            // Fault-injection site: a fault here exercises the same
+            // rollback path a real short write does, so chaos-armed runs
+            // prove acknowledged records survive injected append faults.
+            wwt_chaos::io_failpoint(wwt_chaos::JOURNAL_APPEND)?;
             self.file.write_all(&buf)?;
             self.file.flush()?;
             if self.fsync == FsyncPolicy::Always {

@@ -204,11 +204,28 @@ pub fn shard_file(s: usize) -> String {
     format!("shard-{s:04}.idx")
 }
 
+/// Attaches the offending file's path to a load error, preserving the
+/// error's type (corrupt stays corrupt, io stays io with its kind).
+fn in_file(e: WwtError, path: &Path) -> WwtError {
+    match e {
+        WwtError::Corrupt(m) => WwtError::Corrupt(format!("{m} in {}", path.display())),
+        WwtError::Io(io) => {
+            let kind = io.kind();
+            WwtError::Io(std::io::Error::new(
+                kind,
+                format!("{io} ({})", path.display()),
+            ))
+        }
+        other => other,
+    }
+}
+
 /// Persists a sharded index into `dir` (created if needed): a versioned
 /// `manifest.json` naming the layout and carrying the term dictionary's
 /// count + checksum, plus one [`save`]-format `.idx` file per shard.
 /// [`load_sharded`] reads it back.
 pub fn save_sharded(index: &crate::ShardedIndex, dir: &Path) -> Result<(), WwtError> {
+    wwt_chaos::io_failpoint(wwt_chaos::PERSIST_SAVE)?;
     std::fs::create_dir_all(dir)?;
     for s in 0..index.n_shards() {
         save(index.shard(s), &dir.join(shard_file(s)))?;
@@ -236,9 +253,16 @@ pub fn save_sharded(index: &crate::ShardedIndex, dir: &Path) -> Result<(), WwtEr
 /// stored vocabulary for version 2, nothing for version 1 — the same
 /// ids every way.
 pub fn load_sharded(dir: &Path) -> Result<crate::ShardedIndex, WwtError> {
-    let manifest_raw = std::fs::read_to_string(dir.join(MANIFEST_FILE))?;
-    let manifest = wwt_json::Json::parse(&manifest_raw)
-        .map_err(|e| WwtError::Corrupt(format!("bad index manifest: {e}")))?;
+    wwt_chaos::io_failpoint(wwt_chaos::PERSIST_LOAD)?;
+    let manifest_path = dir.join(MANIFEST_FILE);
+    let manifest_raw =
+        std::fs::read_to_string(&manifest_path).map_err(|e| in_file(e.into(), &manifest_path))?;
+    let manifest = wwt_json::Json::parse(&manifest_raw).map_err(|e| {
+        WwtError::Corrupt(format!(
+            "bad index manifest: {e} in {}",
+            manifest_path.display()
+        ))
+    })?;
     let version = manifest
         .get("version")
         .and_then(wwt_json::Json::as_u64)
@@ -257,9 +281,16 @@ pub fn load_sharded(dir: &Path) -> Result<crate::ShardedIndex, WwtError> {
         as usize;
     let frozen: Vec<FrozenShard> = (0..n_shards)
         .map(|s| {
+            let path = dir.join(shard_file(s));
             let mut data = Vec::new();
-            std::fs::File::open(dir.join(shard_file(s)))?.read_to_end(&mut data)?;
-            parse_bytes(&data)
+            // Name the offending shard file in every failure — an
+            // operator staring at a corrupt multi-shard directory needs
+            // to know *which* artifact to restore.
+            (|| -> Result<FrozenShard, WwtError> {
+                std::fs::File::open(&path)?.read_to_end(&mut data)?;
+                parse_bytes(&data)
+            })()
+            .map_err(|e| in_file(e, &path))
         })
         .collect::<Result<_, _>>()?;
     let index = crate::builder::assemble_sharded(frozen);
@@ -280,9 +311,10 @@ pub fn load_sharded(dir: &Path) -> Result<crate::ShardedIndex, WwtError> {
             .collect::<Result<_, _>>()?;
         let rebuilt = index.dict().terms();
         if terms.len() != rebuilt.len() || terms.iter().zip(rebuilt).any(|(a, b)| *a != b) {
-            return Err(WwtError::Corrupt(
-                "manifest term dictionary disagrees with the shard vocabularies".into(),
-            ));
+            return Err(WwtError::Corrupt(format!(
+                "manifest term dictionary disagrees with the shard vocabularies in {}",
+                dir.display()
+            )));
         }
     } else if version >= 3 {
         // The v3 manifest carries the dictionary's count + checksum
@@ -301,9 +333,10 @@ pub fn load_sharded(dir: &Path) -> Result<crate::ShardedIndex, WwtError> {
             })?;
         let rebuilt = index.dict().terms();
         if count != rebuilt.len() as u64 || checksum != term_dictionary_checksum(rebuilt) {
-            return Err(WwtError::Corrupt(
-                "manifest term dictionary disagrees with the shard vocabularies".into(),
-            ));
+            return Err(WwtError::Corrupt(format!(
+                "manifest term dictionary disagrees with the shard vocabularies in {}",
+                dir.display()
+            )));
         }
     }
     Ok(index)
@@ -641,6 +674,70 @@ mod tests {
         // Manifest promising more shards than exist on disk.
         std::fs::write(dir.join(MANIFEST_FILE), r#"{"version":1,"shards":2}"#).unwrap();
         assert!(load_sharded(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_shard_artifacts_name_the_offending_file() {
+        let idx = sample_sharded();
+        let dir = std::env::temp_dir().join(format!("wwt_sharded_corrupt_{}", std::process::id()));
+        let shard1 = dir.join(shard_file(1));
+        let shard1_name = shard1.display().to_string();
+
+        // Truncated shard file on disk: typed Corrupt naming the path.
+        save_sharded(&idx, &dir).unwrap();
+        let bytes = std::fs::read(&shard1).unwrap();
+        std::fs::write(&shard1, &bytes[..bytes.len() / 2]).unwrap();
+        match load_sharded(&dir) {
+            Err(WwtError::Corrupt(m)) => {
+                assert!(m.contains("truncated"), "message: {m}");
+                assert!(m.contains(&shard1_name), "message: {m}");
+            }
+            other => panic!("expected Corrupt for truncation, got {other:?}"),
+        }
+
+        // Bit-flipped payload (the doc-count word): the reader
+        // desynchronizes → typed Corrupt, same path context.
+        save_sharded(&idx, &dir).unwrap();
+        let mut bytes = std::fs::read(&shard1).unwrap();
+        bytes[11] ^= 0xFF; // high byte of n_docs, past the magic
+        std::fs::write(&shard1, &bytes).unwrap();
+        match load_sharded(&dir) {
+            Err(WwtError::Corrupt(m)) => {
+                assert!(m.contains(&shard1_name), "message: {m}");
+            }
+            other => panic!("expected Corrupt for bit flip, got {other:?}"),
+        }
+
+        // Missing shard file: typed Io error still naming the path.
+        save_sharded(&idx, &dir).unwrap();
+        std::fs::remove_file(&shard1).unwrap();
+        match load_sharded(&dir) {
+            Err(WwtError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::NotFound);
+                assert!(e.to_string().contains(&shard1_name), "message: {e}");
+            }
+            other => panic!("expected Io for missing shard, got {other:?}"),
+        }
+
+        // A v3 term_checksum mismatch names the index directory.
+        save_sharded(&idx, &dir).unwrap();
+        std::fs::write(
+            dir.join(MANIFEST_FILE),
+            format!(
+                r#"{{"version":3,"shards":{},"term_count":{},"term_checksum":"00000000deadbeef"}}"#,
+                idx.n_shards(),
+                idx.dict().terms().len()
+            ),
+        )
+        .unwrap();
+        match load_sharded(&dir) {
+            Err(WwtError::Corrupt(m)) => {
+                assert!(m.contains("disagrees"), "message: {m}");
+                assert!(m.contains(&dir.display().to_string()), "message: {m}");
+            }
+            other => panic!("expected Corrupt for checksum mismatch, got {other:?}"),
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

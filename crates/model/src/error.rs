@@ -44,6 +44,16 @@ pub enum WwtError {
     /// The request's deadline expired before the pipeline finished; the
     /// payload names the stage boundary where the budget ran out.
     DeadlineExceeded(String),
+    /// An unexpected internal failure — a pipeline panic caught at the
+    /// service boundary, or a worker that died mid-request. Always the
+    /// server's fault (HTTP 500), never the client's; the payload is a
+    /// short operator-facing description.
+    Internal(String),
+    /// The service is temporarily refusing this class of request —
+    /// e.g. mutations while the journal is in sticky read-only degraded
+    /// mode. Maps to HTTP 503 with a `Retry-After`; retrying later (or
+    /// after an operator recovers the service) is expected to succeed.
+    Unavailable(String),
 }
 
 impl std::fmt::Display for WwtError {
@@ -57,6 +67,8 @@ impl std::fmt::Display for WwtError {
             WwtError::DeadlineExceeded(stage) => {
                 write!(f, "deadline exceeded at {stage}")
             }
+            WwtError::Internal(m) => write!(f, "internal error: {m}"),
+            WwtError::Unavailable(m) => write!(f, "unavailable: {m}"),
         }
     }
 }
@@ -97,6 +109,14 @@ mod tests {
         assert_eq!(
             WwtError::DeadlineExceeded("consolidate".into()).to_string(),
             "deadline exceeded at consolidate"
+        );
+        assert_eq!(
+            WwtError::Internal("probe worker panicked".into()).to_string(),
+            "internal error: probe worker panicked"
+        );
+        assert_eq!(
+            WwtError::Unavailable("read-only".into()).to_string(),
+            "unavailable: read-only"
         );
     }
 

@@ -38,6 +38,38 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
+/// A caught panic from one fan-out unit: which unit, and the panic
+/// message (extracted from the payload — `&str` / `String` payloads are
+/// kept verbatim, anything else is summarized). Returned by
+/// [`WorkerPool::try_run`] / [`try_fan_out`] so callers can isolate a
+/// crashing unit instead of dying with it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitPanic {
+    /// Input index of the unit that panicked.
+    pub unit: usize,
+    /// The panic message.
+    pub message: String,
+}
+
+impl std::fmt::Display for UnitPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unit {} panicked: {}", self.unit, self.message)
+    }
+}
+
+impl std::error::Error for UnitPanic {}
+
+/// Best-effort extraction of a panic payload's message.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// One queued helper slot of a [`WorkerPool::run`] batch. The closure
 /// reference is lifetime-erased; see the module docs for why that is
 /// sound.
@@ -206,6 +238,87 @@ impl WorkerPool {
             })
             .collect()
     }
+
+    /// Like [`WorkerPool::run`], but a panicking unit is **isolated**
+    /// instead of re-raised: every unit always runs, and `result[i]` is
+    /// `Err(UnitPanic)` for exactly the units that panicked. This is the
+    /// fail-soft fan-out primitive — the caller decides per unit whether
+    /// to degrade, retry, or surface the failure. Unlike `run`'s serial
+    /// path, the serial path here also catches per-unit panics, so the
+    /// two paths have identical failure semantics.
+    pub fn try_run<R, F>(&self, n: usize, max_threads: usize, f: F) -> Vec<Result<R, UnitPanic>>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let unit = |i: usize| {
+            catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|payload| UnitPanic {
+                unit: i,
+                message: panic_message(payload.as_ref()),
+            })
+        };
+        if n == 0 {
+            return Vec::new();
+        }
+        if max_threads <= 1 || n == 1 {
+            return (0..n).map(unit).collect();
+        }
+
+        let results: Vec<Mutex<Option<Result<R, UnitPanic>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        // The per-unit closure never unwinds (the catch is inside), so
+        // the drain loop needs no panic slot of its own.
+        let drain = || loop {
+            let i = cursor.fetch_add(1, Ordering::SeqCst);
+            if i >= n {
+                return;
+            }
+            *results[i].lock().unwrap() = Some(unit(i));
+        };
+
+        let helpers = (max_threads.min(n) - 1).min(self.threads);
+        let work: &(dyn Fn() + Sync) = &drain;
+        // SAFETY: identical settle protocol to `run` — no pool thread
+        // holds this reference once we return; see the module docs.
+        let work =
+            unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(work) };
+        let batch = Arc::new(Batch {
+            work,
+            started: AtomicUsize::new(0),
+            exited: Mutex::new(0),
+            settled: Condvar::new(),
+        });
+        {
+            let mut queue = self.state.queue.lock().unwrap();
+            for _ in 0..helpers {
+                queue.push_back(Arc::clone(&batch));
+            }
+        }
+        self.state.task_ready.notify_all();
+
+        drain();
+
+        {
+            let mut queue = self.state.queue.lock().unwrap();
+            queue.retain(|queued| !Arc::ptr_eq(queued, &batch));
+        }
+        let started = batch.started.load(Ordering::SeqCst);
+        let mut exited = batch.exited.lock().unwrap();
+        while *exited < started {
+            exited = batch.settled.wait(exited).unwrap();
+        }
+        drop(exited);
+
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("every unit index is claimed exactly once")
+            })
+            .collect()
+    }
 }
 
 impl Drop for WorkerPool {
@@ -263,6 +376,18 @@ where
 /// child spans for scatter-gather probes and pooled column-map batches
 /// — callers that don't need per-unit timings should keep using
 /// [`fan_out`], which reads no clocks.
+/// [`fan_out`], but panic-isolating: `result[i]` is `Err(UnitPanic)` for
+/// exactly the units that panicked, and every unit always runs. Use this
+/// wherever one crashing unit must not take the whole batch (or the
+/// calling worker) down with it.
+pub fn try_fan_out<R, F>(n: usize, threads: usize, f: F) -> Vec<Result<R, UnitPanic>>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    WorkerPool::global().try_run(n, threads, f)
+}
+
 pub fn fan_out_timed<R, F>(n: usize, threads: usize, f: F) -> (Vec<R>, Vec<std::time::Duration>)
 where
     R: Send,
@@ -352,6 +477,56 @@ mod tests {
         // stays usable afterwards.
         assert_eq!(ran.load(Ordering::SeqCst), 12);
         assert_eq!(fan_out(3, 4, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn try_fan_out_isolates_panicking_units() {
+        for threads in [1, 4] {
+            let out = try_fan_out(12, threads, |i| {
+                if i % 5 == 2 {
+                    panic!("unit {i} exploded");
+                }
+                i * 10
+            });
+            assert_eq!(out.len(), 12);
+            for (i, slot) in out.iter().enumerate() {
+                if i % 5 == 2 {
+                    let err = slot.as_ref().unwrap_err();
+                    assert_eq!(err.unit, i);
+                    assert!(err.message.contains("exploded"), "got {:?}", err.message);
+                } else {
+                    assert_eq!(*slot, Ok(i * 10));
+                }
+            }
+        }
+        // The pool survives and keeps answering.
+        assert_eq!(fan_out(3, 4, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn try_fan_out_all_ok_matches_fan_out() {
+        for threads in [1, 2, 8] {
+            let out: Vec<usize> = try_fan_out(17, threads, |i| i * 3)
+                .into_iter()
+                .map(|r| r.unwrap())
+                .collect();
+            assert_eq!(out, fan_out(17, threads, |i| i * 3));
+        }
+    }
+
+    #[test]
+    fn unit_panic_message_extraction() {
+        let boxed: Box<dyn std::any::Any + Send> = Box::new("str payload");
+        assert_eq!(panic_message(boxed.as_ref()), "str payload");
+        let boxed: Box<dyn std::any::Any + Send> = Box::new(String::from("string payload"));
+        assert_eq!(panic_message(boxed.as_ref()), "string payload");
+        let boxed: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(panic_message(boxed.as_ref()), "non-string panic payload");
+        let p = UnitPanic {
+            unit: 7,
+            message: "boom".into(),
+        };
+        assert_eq!(p.to_string(), "unit 7 panicked: boom");
     }
 
     #[test]

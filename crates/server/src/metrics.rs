@@ -38,6 +38,11 @@
 //! | `wwt_map_edge_pairs_memoized_total` | counter | Column pairs replayed from the cross-query pair memo. |
 //! | `wwt_map_early_exit_tables_total` | counter | Tables whose relevant upper bound could not beat all-`nr`. |
 //! | `wwt_map_pruned_tables_total` | counter | Tables the `early_exit` knob excluded from edge construction. |
+//! | `wwt_internal_errors_total` | counter | Pipeline panics caught at the service boundary and answered 500. |
+//! | `wwt_degraded_queries_total` | counter | Fail-soft responses served with `degraded: true` (partial results). |
+//! | `wwt_journal_retries_total` | counter | Journal appends that needed at least one retry before succeeding. |
+//! | `wwt_read_only` | gauge | 1 while the service is in sticky read-only degraded mode (mutations answer 503), else 0. |
+//! | `wwt_queries_shed_total` | counter | Queries shed at admission (504 before dispatch) because their deadline budget was already spent. |
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -71,6 +76,8 @@ pub enum Route {
     Shutdown,
     /// `POST /admin/reload`.
     Reload,
+    /// `POST /admin/recover` (clear sticky read-only mode).
+    Recover,
     /// `POST /admin/tables` (live ingest).
     TablesIngest,
     /// `POST /admin/tables/batch` (batched live ingest).
@@ -98,6 +105,7 @@ impl Route {
             Route::Version => "version",
             Route::Shutdown => "shutdown",
             Route::Reload => "reload",
+            Route::Recover => "recover",
             Route::TablesIngest => "tables_ingest",
             Route::TablesBatch => "tables_batch",
             Route::TableDelete => "table_delete",
@@ -133,6 +141,9 @@ pub struct Metrics {
     /// Query/batch requests answered 429 because the per-route
     /// concurrency limit was saturated.
     queries_rejected: AtomicU64,
+    /// Queries answered 504 at admission, before any dispatch, because
+    /// their deadline budget was already spent on arrival.
+    queries_shed: AtomicU64,
     /// Per-pipeline-stage duration histograms
     /// (`wwt_stage_duration_us{stage=…}`), fed from each answered
     /// query's [`StageTimings`](wwt_engine::StageTimings) plus the
@@ -224,6 +235,17 @@ impl Metrics {
     /// Concurrency-limit rejections so far.
     pub fn queries_rejected(&self) -> u64 {
         self.queries_rejected.load(Ordering::Relaxed)
+    }
+
+    /// Records one query shed at admission (its deadline budget was
+    /// already spent before dispatch could start).
+    pub fn note_query_shed(&self) {
+        self.queries_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Admission-shed queries so far.
+    pub fn queries_shed(&self) -> u64 {
+        self.queries_shed.load(Ordering::Relaxed)
     }
 
     /// Renders every series in Prometheus text format, folding in the
@@ -447,6 +469,36 @@ impl Metrics {
                 "counter",
                 cache.map_pruned_tables,
             ),
+            (
+                "wwt_internal_errors_total",
+                "Pipeline panics caught at the service boundary and answered 500.",
+                "counter",
+                cache.internal_errors,
+            ),
+            (
+                "wwt_degraded_queries_total",
+                "Fail-soft responses served with degraded: true (partial results).",
+                "counter",
+                cache.degraded_queries,
+            ),
+            (
+                "wwt_journal_retries_total",
+                "Journal appends that needed at least one retry before succeeding.",
+                "counter",
+                cache.journal_retries,
+            ),
+            (
+                "wwt_read_only",
+                "1 while the service is in sticky read-only degraded mode, else 0.",
+                "gauge",
+                cache.read_only as u64,
+            ),
+            (
+                "wwt_queries_shed_total",
+                "Queries answered 504 at admission because their deadline budget was spent.",
+                "counter",
+                self.queries_shed(),
+            ),
         ] {
             out.push_str(&format!(
                 "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
@@ -491,6 +543,10 @@ mod tests {
             map_edge_pairs_memoized: 96,
             map_early_exit_tables: 9,
             map_pruned_tables: 4,
+            internal_errors: 2,
+            degraded_queries: 3,
+            journal_retries: 1,
+            read_only: true,
         }
     }
 
@@ -595,6 +651,20 @@ mod tests {
     }
 
     #[test]
+    fn resilience_series_render() {
+        let m = Metrics::new();
+        m.note_query_shed();
+        m.note_query_shed();
+        assert_eq!(m.queries_shed(), 2);
+        let text = m.render_prometheus(&cache_stats());
+        assert!(text.contains("wwt_internal_errors_total 2\n"));
+        assert!(text.contains("wwt_degraded_queries_total 3\n"));
+        assert!(text.contains("wwt_journal_retries_total 1\n"));
+        assert!(text.contains("wwt_read_only 1\n"));
+        assert!(text.contains("wwt_queries_shed_total 2\n"));
+    }
+
+    #[test]
     fn in_flight_gauge_tracks_and_renders() {
         let m = Metrics::new();
         m.request_started();
@@ -636,8 +706,14 @@ mod tests {
             map_edge_pairs_memoized: 0,
             map_early_exit_tables: 0,
             map_pruned_tables: 0,
+            internal_errors: 0,
+            degraded_queries: 0,
+            journal_retries: 0,
+            read_only: false,
         });
         assert!(text.contains("wwt_http_request_duration_seconds_count 0\n"));
+        assert!(text.contains("wwt_internal_errors_total 0\n"));
+        assert!(text.contains("wwt_read_only 0\n"));
         assert!(text.contains("wwt_http_request_duration_seconds_sum 0\n"));
         assert!(text.contains("wwt_cache_misses_total 0\n"));
     }

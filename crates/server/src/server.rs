@@ -507,13 +507,15 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
         let keep_alive = request.keep_alive
             && !shared.stopping()
             && served < shared.config.max_requests_per_connection.max(1);
-        // Backpressure statuses carry Retry-After: the concurrency
-        // budget frees up as soon as an in-flight query finishes, so a
-        // one-second backoff is enough for well-behaved clients.
-        let extra_headers: &[(&str, &str)] = if status == 429 {
-            &[("retry-after", "1"), ("x-request-id", &request_id)]
-        } else {
-            &[("x-request-id", &request_id)]
+        // Backpressure statuses carry Retry-After: 429 means the
+        // concurrency budget is saturated and frees up as soon as an
+        // in-flight query finishes (one second is plenty); 503 means
+        // the service is in read-only degraded mode, where recovery is
+        // an operator action — tell clients to back off longer.
+        let extra_headers: &[(&str, &str)] = match status {
+            429 => &[("retry-after", "1"), ("x-request-id", &request_id)],
+            503 => &[("retry-after", "5"), ("x-request-id", &request_id)],
+            _ => &[("x-request-id", &request_id)],
         };
         if http::write_response_with(
             &mut stream,
@@ -549,6 +551,7 @@ fn dispatch(
         "/version" => Route::Version,
         "/admin/shutdown" => Route::Shutdown,
         "/admin/reload" => Route::Reload,
+        "/admin/recover" => Route::Recover,
         "/admin/tables" => Route::TablesIngest,
         // The exact arm must precede the `/admin/tables/` prefix arm
         // below, or "batch" would be parsed as a table id.
@@ -570,6 +573,7 @@ fn dispatch(
         | Route::QueryBatch
         | Route::Shutdown
         | Route::Reload
+        | Route::Recover
         | Route::TablesIngest
         | Route::TablesBatch
         | Route::Compact => "POST",
@@ -592,6 +596,7 @@ fn dispatch(
         route,
         Route::Shutdown
             | Route::Reload
+            | Route::Recover
             | Route::TablesIngest
             | Route::TablesBatch
             | Route::TableDelete
@@ -627,6 +632,24 @@ fn dispatch(
             };
             match wire::parse_query_request(&request.body) {
                 Ok(req) => {
+                    // Admission-time shedding: a request that arrives
+                    // with its deadline budget already spent can only
+                    // burn pipeline work to produce the same 504 —
+                    // refuse it before it touches the service. This
+                    // stays a hard refusal even under fail_soft:
+                    // degraded answers still need *some* budget.
+                    if req.options.deadline_ms == Some(0) {
+                        shared.metrics.note_query_shed();
+                        shared.metrics.note_deadline_exceeded();
+                        let err = wire::api_error(&WwtError::DeadlineExceeded("admission".into()));
+                        log!(
+                            LogLevel::Debug,
+                            "wwt-server",
+                            id = request_id;
+                            "query shed at admission: zero deadline budget"
+                        );
+                        return (route, err.status, JSON, wire::encode_error(&err));
+                    }
                     let answer_start = Instant::now();
                     match shared.service.answer_observed(&req, request_id) {
                         Ok(observed) => {
@@ -721,8 +744,16 @@ fn dispatch(
             JSON,
             // Generation in the health body lets a load balancer (or the
             // CI smoke script) detect a completed reload by polling.
+            // Status flips to "degraded" in sticky read-only mode — the
+            // HTTP code stays 200 on purpose, since the query path is
+            // fully serviceable and must not be drained by a balancer.
             format!(
-                "{{\"status\":\"ok\",\"generation\":{}}}",
+                "{{\"status\":\"{}\",\"generation\":{}}}",
+                if shared.service.read_only() {
+                    "degraded"
+                } else {
+                    "ok"
+                },
                 shared.service.generation()
             ),
         ),
@@ -786,6 +817,23 @@ fn dispatch(
             )
         }
         Route::Reload => start_reload(shared),
+        Route::Recover => {
+            // Operator acknowledgement that the journal fault behind a
+            // sticky read-only degradation has been fixed: lift the
+            // refusal so mutations flow (and journal) again.
+            shared.service.clear_read_only();
+            log!(
+                LogLevel::Info,
+                "wwt-server",
+                "read-only mode cleared by operator"
+            );
+            (
+                route,
+                200,
+                JSON,
+                "{\"status\":\"recovered\",\"read_only\":false}".to_string(),
+            )
+        }
         Route::TablesIngest => ingest_table(shared, request),
         Route::TablesBatch => ingest_tables_batch(shared, request),
         Route::TableDelete => delete_table(shared, request),
@@ -1107,7 +1155,12 @@ fn start_reload(shared: &Arc<Shared>) -> (Route, u16, &'static str, String) {
             let config = engine.config().clone();
             let shards = engine.n_shards();
             drop(engine);
-            let result = source.build_sharded(config, Some(shards));
+            // The failpoint sits where a real source would touch disk or
+            // network, so chaos runs exercise the failure branch below
+            // (counter + retained last_error) without a broken corpus.
+            let result = wwt_chaos::io_failpoint(wwt_chaos::RELOAD_BUILD)
+                .map_err(WwtError::Io)
+                .and_then(|()| source.build_sharded(config, Some(shards)));
             let mut last_error = worker.last_reload_error.lock().unwrap();
             match result {
                 Ok(engine) => {

@@ -49,6 +49,14 @@ pub fn api_error(e: &WwtError) -> ApiError {
     let status = match e {
         WwtError::Query(_) | WwtError::Invalid(_) => 400,
         WwtError::DeadlineExceeded(_) => 504,
+        // Explicit, not caught by the catch-all: a panic converted at the
+        // service boundary must read as a server fault even if the
+        // catch-all ever changes.
+        WwtError::Internal(_) => 500,
+        // Degraded mode (e.g. sticky read-only after journal failures):
+        // the request was fine, the service just will not take it right
+        // now — retryable, so 503 rather than a plain 500.
+        WwtError::Unavailable(_) => 503,
         _ => 500,
     };
     ApiError {
@@ -137,6 +145,7 @@ fn options_from_json(value: &Json) -> Result<QueryOptions, ApiError> {
             "deadline_ms",
             "explain",
             "early_exit",
+            "fail_soft",
         ],
     )?;
     let uint = |key: &str| -> Result<Option<usize>, ApiError> {
@@ -191,6 +200,7 @@ fn options_from_json(value: &Json) -> Result<QueryOptions, ApiError> {
         deadline_ms,
         explain: flag("explain")?,
         early_exit: flag("early_exit")?,
+        fail_soft: flag("fail_soft")?,
     })
 }
 
@@ -282,6 +292,15 @@ fn response_json(request: &QueryRequest, response: &QueryResponse) -> Json {
     // to the pre-trace wire format.
     if let Some(trace) = &d.trace {
         diagnostic_fields.push(("trace", trace.to_json()));
+    }
+    // Present only on degraded fail-soft runs: healthy responses (and
+    // every response with `fail_soft` off) stay byte-identical.
+    if d.degraded {
+        diagnostic_fields.push(("degraded", Json::Bool(true)));
+        diagnostic_fields.push((
+            "degraded_reasons",
+            Json::arr(d.degraded_reasons.iter().map(String::as_str)),
+        ));
     }
     let diagnostics = Json::obj(diagnostic_fields);
     Json::obj([
@@ -383,6 +402,10 @@ pub fn encode_stats_with(
             Json::from(stats.map_early_exit_tables),
         ),
         ("map_pruned_tables", Json::from(stats.map_pruned_tables)),
+        ("internal_errors", Json::from(stats.internal_errors)),
+        ("degraded_queries", Json::from(stats.degraded_queries)),
+        ("journal_retries", Json::from(stats.journal_retries)),
+        ("read_only", Json::Bool(stats.read_only)),
     ];
     if let Some(error) = last_reload_error {
         fields.push(("last_reload_error", Json::from(error)));
@@ -522,6 +545,25 @@ mod tests {
             api_error(&WwtError::DeadlineExceeded("map".into())).status,
             504
         );
+        // A caught pipeline panic is the server's fault.
+        assert_eq!(api_error(&WwtError::Internal("panic".into())).status, 500);
+        // Degraded mode is retryable, not broken: 503.
+        assert_eq!(
+            api_error(&WwtError::Unavailable("read-only".into())).status,
+            503
+        );
+    }
+
+    #[test]
+    fn fail_soft_parses_and_rejects_non_bool() {
+        let req = parse_query_request(br#"{"query":"a","options":{"fail_soft":true}}"#).unwrap();
+        assert!(req.options.fail_soft);
+        let req = parse_query_request(br#"{"query":"a","options":{"fail_soft":false}}"#).unwrap();
+        assert!(!req.options.fail_soft);
+        assert!(req.options.is_default());
+        let err = parse_query_request(br#"{"query":"a","options":{"fail_soft":1}}"#).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("fail_soft"), "{}", err.message);
     }
 
     #[test]
@@ -561,6 +603,10 @@ mod tests {
             map_edge_pairs_memoized: 0,
             map_early_exit_tables: 0,
             map_pruned_tables: 0,
+            internal_errors: 0,
+            degraded_queries: 0,
+            journal_retries: 0,
+            read_only: false,
         });
         assert!(body.contains("\"hit_rate\":0"), "{body}");
         let v = Json::parse(&body).unwrap();
@@ -599,6 +645,10 @@ mod tests {
             map_edge_pairs_memoized: 480,
             map_early_exit_tables: 21,
             map_pruned_tables: 8,
+            internal_errors: 1,
+            degraded_queries: 6,
+            journal_retries: 2,
+            read_only: true,
         });
         let v = Json::parse(&body).unwrap();
         // Pre-existing field names stay untouched (additive evolution).
@@ -655,6 +705,10 @@ mod tests {
         );
         assert_eq!(v.get("journal_records").and_then(Json::as_u64), Some(5));
         assert_eq!(v.get("journal_bytes").and_then(Json::as_u64), Some(640));
+        assert_eq!(v.get("internal_errors").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("degraded_queries").and_then(Json::as_u64), Some(6));
+        assert_eq!(v.get("journal_retries").and_then(Json::as_u64), Some(2));
+        assert_eq!(v.get("read_only").and_then(Json::as_bool), Some(true));
         // No journal path was supplied, so the field is absent — it only
         // appears via encode_stats_with when a journal is attached.
         assert!(v.get("journal_path").is_none());

@@ -320,8 +320,9 @@ fn deadlines_map_to_504_with_their_own_counter_and_change_nothing_when_generous(
     let handle = start(Arc::clone(&service));
     let mut client = HttpClient::connect(handle.addr()).unwrap();
 
-    // A zero budget on a cold query trips the first pipeline checkpoint:
-    // 504, with the engine untouched and nothing cached.
+    // A zero budget is shed at admission: 504 before the request ever
+    // reaches the service, so the engine stays untouched, nothing is
+    // cached, and only the HTTP-level counters tick.
     let resp = client
         .post(
             "/query",
@@ -336,17 +337,20 @@ fn deadlines_map_to_504_with_their_own_counter_and_change_nothing_when_generous(
         .and_then(Json::as_str)
         .unwrap();
     assert!(msg.contains("deadline exceeded"), "{msg:?}");
+    assert!(msg.contains("admission"), "{msg:?}");
 
-    // The dedicated counters tick — in Prometheus and in /stats.
+    // The dedicated counters tick — deadline and shed in Prometheus,
+    // while the service-level stat stays 0 (the service never ran).
     let metrics = client.get("/metrics").unwrap().text();
     assert!(
         metrics.contains("wwt_http_deadline_exceeded_total 1\n"),
         "{metrics}"
     );
+    assert!(metrics.contains("wwt_queries_shed_total 1\n"), "{metrics}");
     let stats = Json::parse(&client.get("/stats").unwrap().text()).unwrap();
     assert_eq!(
         stats.get("deadline_exceeded").and_then(Json::as_u64),
-        Some(1)
+        Some(0)
     );
 
     // No deadline, then a generous deadline: byte-identical responses

@@ -1,0 +1,168 @@
+//! End-to-end resilience tests: admission-time deadline shedding, the
+//! sticky read-only degradation surfaced through `/healthz`, `/stats`
+//! and `/metrics`, and operator recovery via `POST /admin/recover`.
+//!
+//! The read-only scenario arms a `wwt_chaos` failpoint, which is
+//! process-global — tests that arm serialize on [`CHAOS`], and this
+//! binary never shares a process with other test suites.
+
+use std::sync::{Arc, Mutex};
+use wwt_engine::EngineBuilder;
+use wwt_index::{table_to_json, FsyncPolicy, Journal};
+use wwt_model::{TableId, WebTable};
+use wwt_server::{serve, HttpClient, ServerConfig, ServerHandle};
+use wwt_service::TableSearchService;
+
+const TOKEN: &str = "resilience-sesame";
+
+/// Failpoints are process-global; every test that arms holds this lock.
+static CHAOS: Mutex<()> = Mutex::new(());
+
+fn boot(journal: Option<&std::path::Path>) -> ServerHandle {
+    let page = "<html><body><p>countries and currency</p><table>\
+         <tr><th>Country</th><th>Currency</th></tr>\
+         <tr><td>India</td><td>Rupee</td></tr>\
+         <tr><td>Japan</td><td>Yen</td></tr></table></body></html>";
+    let mut b = EngineBuilder::new();
+    b.add_html(page);
+    let service = Arc::new(TableSearchService::new(Arc::new(b.build())));
+    if let Some(path) = journal {
+        let (journal, _) = Journal::open(path, FsyncPolicy::Never).unwrap();
+        service.attach_journal(journal, None);
+    }
+    let config = ServerConfig {
+        admin_token: Some(TOKEN.to_string()),
+        workers: 4,
+        ..ServerConfig::default()
+    };
+    serve(service, config).expect("bind ephemeral port")
+}
+
+fn volcano_table() -> WebTable {
+    WebTable::new(
+        TableId(4_200),
+        "live://volcano",
+        Some("Volcano heights".into()),
+        vec![vec!["Volcano".into(), "Elevation".into()]],
+        vec![
+            vec!["Etna".into(), "3329".into()],
+            vec!["Fuji".into(), "3776".into()],
+        ],
+        vec![],
+    )
+    .unwrap()
+}
+
+/// A query arriving with a zero deadline budget is refused at admission:
+/// 504 without touching the pipeline, counted in its own metric series.
+#[test]
+fn zero_deadline_is_shed_at_admission() {
+    let handle = boot(None);
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+
+    let resp = client
+        .post(
+            "/query",
+            r#"{"query":"country | currency","options":{"deadline_ms":0}}"#,
+        )
+        .unwrap();
+    assert_eq!(resp.status, 504, "{}", resp.text());
+    assert!(resp.text().contains("admission"), "{}", resp.text());
+
+    // The shed is visible as its own series, alongside the general
+    // deadline counter; fail_soft does not soften a spent budget.
+    let soft = client
+        .post(
+            "/query",
+            r#"{"query":"country | currency","options":{"deadline_ms":0,"fail_soft":true}}"#,
+        )
+        .unwrap();
+    assert_eq!(soft.status, 504, "{}", soft.text());
+
+    let metrics = client.get("/metrics").unwrap().text();
+    assert!(metrics.contains("wwt_queries_shed_total 2"), "{metrics}");
+
+    // A workable budget on the same connection still answers.
+    let ok = client
+        .post(
+            "/query",
+            r#"{"query":"country | currency","options":{"deadline_ms":5000}}"#,
+        )
+        .unwrap();
+    assert_eq!(ok.status, 200, "{}", ok.text());
+
+    handle.shutdown();
+}
+
+/// Journal-append faults trip sticky read-only mode: mutations answer
+/// 503 with a Retry-After, `/healthz` reports "degraded" (but stays
+/// 200 — the query path is fine and must not be drained), and `POST
+/// /admin/recover` restores write service.
+#[test]
+fn read_only_degradation_and_operator_recovery() {
+    let _guard = CHAOS.lock().unwrap_or_else(|e| e.into_inner());
+    wwt_chaos::disarm_all();
+    let dir = std::env::temp_dir().join(format!("wwt-resilience-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let handle = boot(Some(&dir.join("journal.wal")));
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+    let body = table_to_json(&volcano_table());
+
+    // A persistent journal fault exhausts the service's bounded retry.
+    wwt_chaos::arm("journal.append=error").unwrap();
+    let refused = client
+        .post_with_headers("/admin/tables", &body, &[("x-admin-token", TOKEN)])
+        .unwrap();
+    wwt_chaos::disarm_all();
+    assert_eq!(refused.status, 503, "{}", refused.text());
+    assert_eq!(refused.header("retry-after"), Some("5"));
+    assert!(refused.text().contains("journal append failed"));
+
+    // Degradation is observable everywhere an operator looks…
+    let health = client.get("/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    assert!(health.text().contains("\"status\":\"degraded\""));
+    let stats = client.get("/stats").unwrap().text();
+    assert!(stats.contains("\"read_only\":true"), "{stats}");
+    let metrics = client.get("/metrics").unwrap().text();
+    assert!(metrics.contains("wwt_read_only 1"), "{metrics}");
+
+    // …while the read path is untouched.
+    let query = client
+        .post("/query", r#"{"query":"country | currency"}"#)
+        .unwrap();
+    assert_eq!(query.status, 200, "{}", query.text());
+
+    // Stickiness: the fault is gone, yet mutations stay refused until
+    // the operator acknowledges recovery.
+    let still = client
+        .post_with_headers("/admin/tables", &body, &[("x-admin-token", TOKEN)])
+        .unwrap();
+    assert_eq!(still.status, 503, "{}", still.text());
+    assert!(still.text().contains("read-only"));
+
+    // Recovery is admin-gated like every mutating route.
+    assert_eq!(client.post("/admin/recover", "").unwrap().status, 403);
+    let recovered = client
+        .post_with_headers("/admin/recover", "", &[("x-admin-token", TOKEN)])
+        .unwrap();
+    assert_eq!(recovered.status, 200, "{}", recovered.text());
+    assert!(recovered.text().contains("\"read_only\":false"));
+
+    // Writes flow (and journal) again; health is back to "ok".
+    let accepted = client
+        .post_with_headers("/admin/tables", &body, &[("x-admin-token", TOKEN)])
+        .unwrap();
+    assert_eq!(accepted.status, 202, "{}", accepted.text());
+    assert!(client
+        .get("/healthz")
+        .unwrap()
+        .text()
+        .contains("\"status\":\"ok\""));
+    let stats = client.get("/stats").unwrap().text();
+    assert!(stats.contains("\"read_only\":false"), "{stats}");
+
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -148,6 +148,20 @@ pub struct ServiceStats {
     /// Tables the `early_exit` request knob excluded from edge
     /// construction, summed over every engine run.
     pub map_pruned_tables: u64,
+    /// Pipeline panics caught at the service boundary and converted to
+    /// [`WwtError::Internal`] (HTTP 500) instead of killing a worker.
+    pub internal_errors: u64,
+    /// Fail-soft responses served with `degraded: true` — partial
+    /// answers that survived a shard failure, panic or deadline squeeze.
+    pub degraded_queries: u64,
+    /// Journal appends that succeeded only after at least one retry
+    /// (transient write errors absorbed by the bounded backoff loop).
+    pub journal_retries: u64,
+    /// Whether the service is in sticky read-only degraded mode:
+    /// journal appends exhausted their retries, mutations are refused
+    /// with [`WwtError::Unavailable`] (HTTP 503) until an operator
+    /// recovers it; queries are unaffected.
+    pub read_only: bool,
 }
 
 impl ServiceStats {
@@ -208,6 +222,14 @@ pub struct TableSearchService {
     map_edge_pairs_memoized: AtomicU64,
     map_early_exit_tables: AtomicU64,
     map_pruned_tables: AtomicU64,
+    internal_errors: AtomicU64,
+    degraded_queries: AtomicU64,
+    journal_retries: AtomicU64,
+    /// Sticky read-only degraded mode: set when a journal append
+    /// exhausts its retries, cleared only by
+    /// [`TableSearchService::clear_read_only`]. Mutations check it up
+    /// front; queries never look at it.
+    read_only: std::sync::atomic::AtomicBool,
     recorder: FlightRecorder,
     config: ServiceConfig,
 }
@@ -290,6 +312,10 @@ impl TableSearchService {
             map_edge_pairs_memoized: AtomicU64::new(0),
             map_early_exit_tables: AtomicU64::new(0),
             map_pruned_tables: AtomicU64::new(0),
+            internal_errors: AtomicU64::new(0),
+            degraded_queries: AtomicU64::new(0),
+            journal_retries: AtomicU64::new(0),
+            read_only: std::sync::atomic::AtomicBool::new(false),
             recorder: FlightRecorder::new(config.recorder),
             config,
         }
@@ -341,6 +367,7 @@ impl TableSearchService {
     /// other; queries keep flowing against whichever snapshot they
     /// observed.
     pub fn ingest_table(&self, table: WebTable) -> Result<u64, WwtError> {
+        self.check_writable()?;
         let _guard = self.live_lock.lock().unwrap();
         let record = JournalRecord::AddTable(table_to_json(&table));
         let next = self.engine().with_table_added(table);
@@ -359,6 +386,7 @@ impl TableSearchService {
         if tables.is_empty() {
             return Ok(self.generation());
         }
+        self.check_writable()?;
         let _guard = self.live_lock.lock().unwrap();
         let records: Vec<JournalRecord> = tables
             .iter()
@@ -378,6 +406,7 @@ impl TableSearchService {
     /// the id is unknown (or already tombstoned) — nothing is swapped,
     /// no generation is burned and nothing is journaled.
     pub fn remove_table(&self, id: TableId) -> Result<Option<u64>, WwtError> {
+        self.check_writable()?;
         let _guard = self.live_lock.lock().unwrap();
         let Some(next) = self.engine().with_table_removed(id) else {
             return Ok(None);
@@ -400,6 +429,7 @@ impl TableSearchService {
     /// is durable. If persisting fails the journal is kept and the error
     /// surfaces; the freshly compacted engine still serves.
     pub fn compact(&self) -> Result<u64, WwtError> {
+        self.check_writable()?;
         let _guard = self.live_lock.lock().unwrap();
         let engine = self.engine();
         if !engine.is_live() {
@@ -460,16 +490,76 @@ impl TableSearchService {
     /// Appends records to the attached journal (a no-op without one),
     /// returning only once they are durable per the fsync policy — the
     /// call that must succeed before a mutation is acknowledged.
+    ///
+    /// Transient append errors are retried a bounded number of times
+    /// with a short backoff (the journal rolls back partial records, so
+    /// a retry starts from a clean tail). If every attempt fails the
+    /// service enters **sticky read-only degraded mode**: this and all
+    /// further mutations are refused with [`WwtError::Unavailable`]
+    /// until [`TableSearchService::clear_read_only`], while queries
+    /// keep being answered from the already-published engine.
     fn journal_append(&self, records: &[JournalRecord]) -> Result<(), WwtError> {
+        const ATTEMPTS: u32 = 3;
         let mut guard = self.journal.lock().unwrap();
-        if let Some(state) = guard.as_mut() {
-            state.journal.append_all(records).map_err(WwtError::Io)?;
-            self.journal_records
-                .store(state.journal.records(), Ordering::Relaxed);
-            self.journal_bytes
-                .store(state.journal.bytes(), Ordering::Relaxed);
+        let Some(state) = guard.as_mut() else {
+            return Ok(());
+        };
+        let mut last = None;
+        for attempt in 0..ATTEMPTS {
+            if attempt > 0 {
+                // 2ms, then 4ms: long enough to ride out an fsync hiccup,
+                // short enough that the mutation caller never notices.
+                std::thread::sleep(Duration::from_millis(1 << attempt));
+            }
+            match state.journal.append_all(records) {
+                Ok(()) => {
+                    self.journal_records
+                        .store(state.journal.records(), Ordering::Relaxed);
+                    self.journal_bytes
+                        .store(state.journal.bytes(), Ordering::Relaxed);
+                    if attempt > 0 {
+                        self.journal_retries
+                            .fetch_add(u64::from(attempt), Ordering::Relaxed);
+                    }
+                    return Ok(());
+                }
+                Err(e) => last = Some(e),
+            }
         }
-        Ok(())
+        let e = last.expect("at least one append attempt ran");
+        self.read_only
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+        Err(WwtError::Unavailable(format!(
+            "journal append failed {ATTEMPTS} times ({e}); service is read-only until recovery"
+        )))
+    }
+
+    /// Fast-fail gate at the top of every mutation: refuses with
+    /// [`WwtError::Unavailable`] while the service is in sticky
+    /// read-only degraded mode.
+    fn check_writable(&self) -> Result<(), WwtError> {
+        if self.read_only() {
+            Err(WwtError::Unavailable(
+                "service is read-only (journal degraded); mutations are refused until recovery"
+                    .to_string(),
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Whether the service is in sticky read-only degraded mode
+    /// (mutations refused, queries unaffected).
+    pub fn read_only(&self) -> bool {
+        self.read_only.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Clears sticky read-only degraded mode — the operator's recovery
+    /// lever (`POST /admin/recover`) once the journal's storage is
+    /// healthy again. A no-op when the service is already writable.
+    pub fn clear_read_only(&self) {
+        self.read_only
+            .store(false, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Tables currently in the serving engine's delta segment.
@@ -571,9 +661,14 @@ impl TableSearchService {
             let trace = Trace::enabled(request_id);
             trace.note("cache", "bypass (explain)");
             trace.note("generation", snapshot.generation.to_string());
-            let result = snapshot.engine.answer_traced(request, &trace);
+            let result = self.run_isolated(|| snapshot.engine.answer_traced(request, &trace));
             if matches!(result, Err(WwtError::DeadlineExceeded(_))) {
                 self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            }
+            if let Ok(response) = &result {
+                if response.diagnostics.degraded {
+                    self.degraded_queries.fetch_add(1, Ordering::Relaxed);
+                }
             }
             return match result {
                 Ok(response) => {
@@ -667,18 +762,45 @@ impl TableSearchService {
         self.cache.as_ref().and_then(|cache| cache.get(key))
     }
 
+    /// Runs one engine call behind a panic barrier. A pipeline panic
+    /// (a poisoned shard worker, an injected `probe.shard=panic`, a
+    /// plain bug) becomes [`WwtError::Internal`] instead of unwinding
+    /// into the serving stack — so a singleflight leader still closes
+    /// its flight with an explicit failure and an HTTP worker answers
+    /// 500 instead of dying. Every caught panic ticks
+    /// [`ServiceStats::internal_errors`]; the error text carries the
+    /// panic message so `/flights` anomalies stay attributable.
+    fn run_isolated(
+        &self,
+        f: impl FnOnce() -> Result<QueryResponse, WwtError>,
+    ) -> Result<QueryResponse, WwtError> {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+            Ok(result) => result,
+            Err(payload) => {
+                self.internal_errors.fetch_add(1, Ordering::Relaxed);
+                Err(WwtError::Internal(format!(
+                    "query pipeline panicked: {}",
+                    wwt_pool::panic_message(payload.as_ref())
+                )))
+            }
+        }
+    }
+
     /// One engine execution against a pinned snapshot, with the
-    /// deadline-abort counter maintained.
+    /// deadline-abort counter maintained and panics isolated.
     fn execute(
         &self,
         snapshot: &EngineSnapshot,
         request: &QueryRequest,
     ) -> Result<QueryResponse, WwtError> {
-        let result = snapshot.engine.answer(request);
+        let result = self.run_isolated(|| snapshot.engine.answer(request));
         if matches!(result, Err(WwtError::DeadlineExceeded(_))) {
             self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
         }
         if let Ok(response) = &result {
+            if response.diagnostics.degraded {
+                self.degraded_queries.fetch_add(1, Ordering::Relaxed);
+            }
             let ms = response.diagnostics.map_stats;
             self.map_edge_pairs_scored
                 .fetch_add(ms.edge_pairs_scored, Ordering::Relaxed);
@@ -760,6 +882,10 @@ impl TableSearchService {
             map_edge_pairs_memoized: self.map_edge_pairs_memoized.load(Ordering::Relaxed),
             map_early_exit_tables: self.map_early_exit_tables.load(Ordering::Relaxed),
             map_pruned_tables: self.map_pruned_tables.load(Ordering::Relaxed),
+            internal_errors: self.internal_errors.load(Ordering::Relaxed),
+            degraded_queries: self.degraded_queries.load(Ordering::Relaxed),
+            journal_retries: self.journal_retries.load(Ordering::Relaxed),
+            read_only: self.read_only(),
         }
     }
 
@@ -1553,5 +1679,48 @@ mod tests {
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.deadline_exceeded, 1);
+    }
+
+    #[test]
+    fn read_only_mode_refuses_mutations_but_answers_queries() {
+        let service = TableSearchService::new(tiny_engine());
+        let req = QueryRequest::parse("country | currency").unwrap();
+        assert!(!service.read_only());
+        assert!(!service.stats().read_only);
+
+        // Force the sticky degraded mode (journal_append sets this when
+        // its retries are exhausted; see tests/chaos_resilience.rs for
+        // the fault-injected end-to-end path).
+        service
+            .read_only
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+
+        for result in [
+            service.ingest_table(volcano_table()).map(Some),
+            service.ingest_tables(vec![volcano_table()]).map(Some),
+            service.remove_table(TableId(0)).map(|_| None),
+            service.compact().map(Some),
+        ] {
+            match result {
+                Err(WwtError::Unavailable(m)) => {
+                    assert!(m.contains("read-only"), "message names the mode: {m}")
+                }
+                other => panic!("mutations must 503 in read-only mode, got {other:?}"),
+            }
+        }
+        // An empty batch is a no-op even in read-only mode.
+        assert_eq!(service.ingest_tables(Vec::new()).unwrap(), 0);
+
+        // Queries are untouched by the degraded write path.
+        assert!(!service.answer(&req).unwrap().table.is_empty());
+        let stats = service.stats();
+        assert!(stats.read_only);
+        assert_eq!(stats.tables_ingested, 0);
+        assert_eq!(stats.swap_count, 0, "no generation was burned");
+
+        // Operator recovery restores the write path.
+        service.clear_read_only();
+        assert!(!service.read_only());
+        assert!(service.ingest_table(volcano_table()).is_ok());
     }
 }

@@ -26,6 +26,7 @@
 //! | [`service`] | [`service::TableSearchService`]: shared engine + cache + singleflight + batching |
 //! | [`server`] | [`server::serve`]: the HTTP/1.1 endpoint, metrics, graceful shutdown, `wwt-serve` |
 //! | [`obs`] | request-scoped tracing, per-stage histograms, flight recorder, leveled logging |
+//! | [`chaos`] | std-only failpoints (`WWT_CHAOS`) behind the resilience test harness |
 //!
 //! ## Quickstart
 //!
@@ -470,7 +471,86 @@
 //!        http://127.0.0.1:7070/debug/trace/demo-1   # retained flight record
 //! $ curl -s http://127.0.0.1:7070/metrics | grep wwt_stage_duration_us
 //! ```
+//!
+//! ## Resilience
+//!
+//! The serving stack is **fail-soft** end to end, and ships the harness
+//! that proves it. Three layers compose:
+//!
+//! * **Panic isolation** — a panic anywhere in the query pipeline is
+//!   caught at the service boundary and converted to
+//!   [`model::WwtError::Internal`] (HTTP **500** with the request id):
+//!   no worker dies, no singleflight follower hangs on the abandoned
+//!   flight, nothing is cached, and the failure is counted
+//!   (`wwt_internal_errors_total`) and retained by the flight recorder.
+//! * **Partial-result degradation** — `"options":{"fail_soft":true}`
+//!   (default **off**, part of the cache key) lets pipeline stages
+//!   absorb recoverable faults instead of failing the request: a dead
+//!   index shard is dropped from the scatter-gather, a failed
+//!   column-map batch falls back to the stage-1 premapping, deadline
+//!   pressure downgrades joint inference to Independent or truncates a
+//!   stage. The answer then carries `"degraded":true` plus
+//!   human-readable `"degraded_reasons"`; a request whose budget is
+//!   already spent at admission is still refused hard (**504**, counted
+//!   in `wwt_queries_shed_total` — nothing useful can be salvaged).
+//! * **Mutation-path resilience** — a journal append that keeps failing
+//!   after a bounded in-place retry (`wwt_journal_retries_total`) trips
+//!   **sticky read-only mode**: mutations answer **503** +
+//!   `Retry-After` ([`model::WwtError::Unavailable`]) instead of
+//!   half-acknowledging writes, while queries are untouched. The state
+//!   is visible on `GET /healthz` (`"status":"degraded"` — still HTTP
+//!   200, the read path is healthy), `"read_only"` on `GET /stats` and
+//!   the `wwt_read_only` gauge; `POST /admin/recover` (admin-gated)
+//!   lifts it once the operator has fixed the disk.
+//!
+//! Faults are injected with the std-only [`chaos`] failpoint crate:
+//! sites like `journal.append`, `probe.shard`, `map.batch`,
+//! `persist.load` / `persist.save` and `reload.build` are armed
+//! programmatically ([`chaos::arm`]) or via the environment —
+//! `WWT_CHAOS='probe.shard=panic,journal.append=error*3'`, with
+//! optional fire-count (`*N`) and seeded-deterministic sampling
+//! (`~1inK`). Disarmed (the default), every site is two relaxed atomic
+//! loads; no behavior or answer byte changes, which
+//! `tests/chaos_differential.rs` holds as a differential guarantee
+//! alongside single-fault crash-freedom and the degraded-subset
+//! contract. CI's resilience smoke boots `wwt-serve` under an armed
+//! journal fault and walks the full degrade → refuse → recover cycle
+//! over HTTP.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use wwt::engine::{EngineBuilder, QueryRequest};
+//! use wwt::service::TableSearchService;
+//!
+//! let mut builder = EngineBuilder::new();
+//! builder.add_html(
+//!     "<html><body><p>countries and currency</p><table>\
+//!      <tr><th>Country</th><th>Currency</th></tr>\
+//!      <tr><td>India</td><td>Rupee</td></tr></table></body></html>",
+//! );
+//! let service = TableSearchService::new(Arc::new(builder.build()));
+//! let request = QueryRequest::parse("country | currency").unwrap();
+//!
+//! // Inject a panic into every shard probe; no thread dies, the error
+//! // is typed, and nothing poisons later requests.
+//! wwt::chaos::arm("probe.shard=panic").unwrap();
+//! assert!(matches!(
+//!     service.answer(&request),
+//!     Err(wwt::model::WwtError::Internal(_))
+//! ));
+//! wwt::chaos::disarm_all();
+//! assert!(service.answer(&request).is_ok());
+//! assert_eq!(service.stats().internal_errors, 1);
+//!
+//! // Fail-soft: the same fault degrades instead of failing.
+//! wwt::chaos::arm("probe.shard=error").unwrap();
+//! let soft = service.answer(&request.fail_soft(true)).unwrap();
+//! assert!(soft.diagnostics.degraded);
+//! assert!(!soft.diagnostics.degraded_reasons.is_empty());
+//! wwt::chaos::disarm_all();
+//! ```
 
+pub use wwt_chaos as chaos;
 pub use wwt_consolidate as consolidate;
 pub use wwt_core as core;
 pub use wwt_corpus as corpus;

@@ -151,6 +151,7 @@ fn random_option_draws_match_the_oracle() {
             deadline_ms: None,
             explain: false,
             early_exit: knob_on() || splitmix(&mut state).is_multiple_of(4),
+            fail_soft: false,
         };
         let request = QueryRequest {
             query: queries[qi].clone(),

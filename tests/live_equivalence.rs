@@ -159,6 +159,7 @@ fn random_option_draws_match_after_compaction() {
             deadline_ms: None,
             explain: false,
             early_exit: splitmix(&mut state).is_multiple_of(4),
+            fail_soft: false,
         };
         let request = QueryRequest {
             query: queries[qi].clone(),

@@ -128,6 +128,7 @@ fn property_loop_random_option_draws_stay_byte_identical() {
             deadline_ms: None,
             explain: false,
             early_exit: splitmix(&mut state).is_multiple_of(4),
+            fail_soft: false,
         };
         let request = QueryRequest {
             query: queries[qi].clone(),
